@@ -1,0 +1,79 @@
+//! The attention backend abstraction.
+//!
+//! Every system evaluated in the paper — PAT, its ablations, and the seven
+//! baselines — is a *policy* that turns a decode batch into a [`KernelPlan`].
+//! The shared trait lets the kernel benchmark (Fig. 11/17), the end-to-end
+//! serving simulator (Fig. 12/13), and the numeric validator treat them
+//! uniformly.
+
+use crate::{DecodeBatch, KernelPlan};
+use sim_gpu::GpuSpec;
+
+/// A decode-attention implementation: packs a batch into an execution plan.
+pub trait AttentionBackend {
+    /// Display name, e.g. `"PAT"` or `"FlashAttention"`.
+    fn name(&self) -> &str;
+
+    /// Whether the backend supports this batch's shape. Baselines with
+    /// feature gaps return `false` (e.g. RelayAttention on multi-level
+    /// prefixes, FastTree on head ratios other than 1 and 4), which renders
+    /// as the "missing bars" of Fig. 11.
+    fn supports(&self, batch: &DecodeBatch) -> bool {
+        let _ = batch;
+        true
+    }
+
+    /// Produces the execution plan for one decode step.
+    fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CtaPlan, KvSlice, TileConfig};
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+
+    /// A trivial one-query-per-CTA backend used to exercise the trait object.
+    #[derive(Debug)]
+    struct Naive;
+
+    impl AttentionBackend for Naive {
+        fn name(&self) -> &str {
+            "naive"
+        }
+
+        fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
+            KernelPlan::new(
+                (0..batch.num_queries())
+                    .map(|q| CtaPlan {
+                        queries: vec![q],
+                        kv: KvSlice::new(
+                            batch.tables()[q].blocks().to_vec(),
+                            batch.kv_len(q),
+                            batch.block_size(),
+                        ),
+                        tile: TileConfig::new(64, 128),
+                        stream: 0,
+                        phase: 0,
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn backend_is_object_safe_and_plans_validate() {
+        let backend: Box<dyn AttentionBackend> = Box::new(Naive);
+        let head = HeadConfig::new(8, 8, 32);
+        let batch = DecodeBatch::new(
+            head,
+            vec![BlockTable::new(vec![BlockId(0)], 16, 16)],
+            2,
+        );
+        assert!(backend.supports(&batch));
+        let plan = backend.plan(&batch, &GpuSpec::a100_sxm4_80gb());
+        plan.validate(&batch).unwrap();
+        assert_eq!(backend.name(), "naive");
+    }
+}

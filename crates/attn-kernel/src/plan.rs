@@ -1,0 +1,367 @@
+//! Kernel execution plans: how a decode batch is packed into CTAs.
+//!
+//! A [`KernelPlan`] is the output of every attention backend's pack stage and
+//! the input of both executors. It is *semantics-preserving by construction
+//! check*: [`KernelPlan::validate`] proves that each query's KV positions are
+//! covered exactly once across its CTAs, so the merged output must equal the
+//! reference (the attn-math property tests cover the numeric side).
+
+use crate::{DecodeBatch, TileConfig};
+use kv_cache::BlockId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A contiguous run of KV blocks processed by one CTA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvSlice {
+    /// The physical blocks, in sequence order.
+    pub blocks: Vec<BlockId>,
+    /// Total tokens across the run; only the final block may be partial.
+    pub tokens: usize,
+}
+
+impl KvSlice {
+    /// Creates a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` cannot be held by `blocks` under `block_size`.
+    pub fn new(blocks: Vec<BlockId>, tokens: usize, block_size: usize) -> Self {
+        assert!(
+            tokens <= blocks.len() * block_size,
+            "{} tokens exceed {} blocks of {}",
+            tokens,
+            blocks.len(),
+            block_size
+        );
+        assert!(
+            blocks.len() <= tokens.div_ceil(block_size).max(0),
+            "slice has trailing empty blocks"
+        );
+        KvSlice { blocks, tokens }
+    }
+
+    /// Tokens stored in the slice's block index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn tokens_in_block(&self, i: usize, block_size: usize) -> usize {
+        assert!(i < self.blocks.len());
+        if i + 1 < self.blocks.len() {
+            block_size
+        } else {
+            self.tokens - i * block_size
+        }
+    }
+}
+
+/// One CTA of the plan: a set of packed queries attending over one KV slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtaPlan {
+    /// Batch query indices packed into this CTA.
+    pub queries: Vec<usize>,
+    /// The KV slice all packed queries attend over.
+    pub kv: KvSlice,
+    /// The tile configuration executing this CTA.
+    pub tile: TileConfig,
+    /// CUDA stream the CTA's kernel is enqueued on.
+    pub stream: usize,
+    /// Launch phase: consecutive CTAs with the same `(tile, phase)` on one
+    /// stream share a kernel launch; a phase change forces a separate,
+    /// serialized launch (e.g. RelayAttention's prefix-then-suffix kernels,
+    /// Cascade's per-level kernels).
+    pub phase: usize,
+}
+
+impl CtaPlan {
+    /// Creates a phase-0 CTA.
+    pub fn new(queries: Vec<usize>, kv: KvSlice, tile: TileConfig, stream: usize) -> Self {
+        CtaPlan { queries, kv, tile, stream, phase: 0 }
+    }
+
+    /// Query rows the CTA computes: packed queries × GQA group size.
+    pub fn query_rows(&self, group_size: usize) -> usize {
+        self.queries.len() * group_size
+    }
+}
+
+/// How a plan's *redundant* KV re-accesses interleave, which determines how
+/// much L2 can help (§3.2 and the RelayAttention++ baseline of §8.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum L2Affinity {
+    /// Re-accesses are scattered across the step (query-centric kernels):
+    /// hit probability follows the whole-step footprint.
+    #[default]
+    Scattered,
+    /// Re-accesses of a shared block are issued by temporally adjacent CTAs
+    /// (RelayAttention++-style ordering): hits are nearly guaranteed.
+    Grouped,
+}
+
+/// A full decode-attention execution plan.
+#[derive(Debug, Clone, Default)]
+pub struct KernelPlan {
+    /// The CTAs, in dispatch order.
+    pub ctas: Vec<CtaPlan>,
+    /// CPU-side planning cost in ns that is *exposed* on the critical path
+    /// (zero for PAT thanks to lazy update + async scheduling, §5.1/§8.7).
+    pub exposed_scheduling_ns: f64,
+    /// L2 interleaving behaviour of redundant accesses.
+    pub l2_affinity: L2Affinity,
+    /// Whether the kernel grid maps one CTA per *query* head rather than per
+    /// KV head. GQA-oblivious kernels (FlashAttention v2.5 decode, and
+    /// RelayAttention which delegates to it) re-load each KV head's data once
+    /// per query head in its group — multiplying KV traffic by `H/H_kv`.
+    pub per_query_head_kv: bool,
+}
+
+/// Why a plan fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A query's CTAs cover a different block multiset than its table.
+    CoverageMismatch {
+        /// The offending query.
+        query: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A CTA references a query outside the batch.
+    UnknownQuery(usize),
+    /// A CTA packs more query rows than its Q tile can hold.
+    TileOverflow {
+        /// Index of the offending CTA in the plan.
+        cta: usize,
+        /// Query rows (queries × group size).
+        rows: usize,
+        /// The CTA's Q-tile size.
+        m: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::CoverageMismatch { query, detail } => {
+                write!(f, "query {query}: KV coverage mismatch ({detail})")
+            }
+            PlanError::UnknownQuery(q) => write!(f, "plan references unknown query {q}"),
+            PlanError::TileOverflow { cta, rows, m } => {
+                write!(f, "cta {cta}: {rows} query rows exceed q-tile m={m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl KernelPlan {
+    /// Creates a plan from CTAs with no exposed scheduling cost.
+    pub fn new(ctas: Vec<CtaPlan>) -> Self {
+        KernelPlan {
+            ctas,
+            exposed_scheduling_ns: 0.0,
+            l2_affinity: L2Affinity::Scattered,
+            per_query_head_kv: false,
+        }
+    }
+
+    /// Number of CTAs (before kv-head expansion).
+    pub fn num_ctas(&self) -> usize {
+        self.ctas.len()
+    }
+
+    /// Number of distinct streams used.
+    pub fn num_streams(&self) -> usize {
+        self.ctas.iter().map(|c| c.stream).max().map_or(0, |s| s + 1)
+    }
+
+    /// Whether any query's output is split across multiple CTAs (requiring
+    /// the merge stage).
+    pub fn needs_merge(&self, num_queries: usize) -> bool {
+        let mut count = vec![0usize; num_queries];
+        for cta in &self.ctas {
+            for &q in &cta.queries {
+                if q < num_queries {
+                    count[q] += 1;
+                }
+            }
+        }
+        count.iter().any(|&c| c > 1)
+    }
+
+    /// CTAs per query.
+    pub fn ctas_per_query(&self, num_queries: usize) -> Vec<usize> {
+        let mut count = vec![0usize; num_queries];
+        for cta in &self.ctas {
+            for &q in &cta.queries {
+                if q < num_queries {
+                    count[q] += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Validates the plan against its batch: every query's KV must be covered
+    /// exactly once (block multiset equality plus token-count equality), all
+    /// query indices must exist, and no CTA may overflow its Q tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, batch: &DecodeBatch) -> Result<(), PlanError> {
+        let g = batch.head().group_size();
+        let mut covered: Vec<HashMap<BlockId, usize>> =
+            vec![HashMap::new(); batch.num_queries()];
+        let mut tokens: Vec<usize> = vec![0; batch.num_queries()];
+        for (i, cta) in self.ctas.iter().enumerate() {
+            let rows = cta.query_rows(g);
+            if rows > cta.tile.m {
+                return Err(PlanError::TileOverflow { cta: i, rows, m: cta.tile.m });
+            }
+            for &q in &cta.queries {
+                if q >= batch.num_queries() {
+                    return Err(PlanError::UnknownQuery(q));
+                }
+                for &b in &cta.kv.blocks {
+                    *covered[q].entry(b).or_insert(0) += 1;
+                }
+                tokens[q] += cta.kv.tokens;
+            }
+        }
+        for (q, table) in batch.tables().iter().enumerate() {
+            if tokens[q] != table.num_tokens() {
+                return Err(PlanError::CoverageMismatch {
+                    query: q,
+                    detail: format!("{} tokens covered, table has {}", tokens[q], table.num_tokens()),
+                });
+            }
+            let mut want: HashMap<BlockId, usize> = HashMap::new();
+            for &b in table.blocks() {
+                *want.entry(b).or_insert(0) += 1;
+            }
+            if covered[q] != want {
+                return Err(PlanError::CoverageMismatch {
+                    query: q,
+                    detail: format!(
+                        "covered {} distinct blocks, table has {}",
+                        covered[q].len(),
+                        want.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_math::HeadConfig;
+    use kv_cache::BlockTable;
+
+    fn batch() -> DecodeBatch {
+        let head = HeadConfig::new(8, 8, 16);
+        let tables = vec![
+            BlockTable::new(vec![BlockId(0), BlockId(1)], 32, 16),
+            BlockTable::new(vec![BlockId(0), BlockId(2)], 32, 16),
+        ];
+        DecodeBatch::new(head, tables, 2)
+    }
+
+    fn slice(ids: &[u32], tokens: usize) -> KvSlice {
+        KvSlice::new(ids.iter().map(|&i| BlockId(i)).collect(), tokens, 16)
+    }
+
+    #[test]
+    fn valid_shared_prefix_plan_passes() {
+        let plan = KernelPlan::new(vec![
+            CtaPlan {
+                queries: vec![0, 1],
+                kv: slice(&[0], 16),
+                tile: TileConfig::new(16, 16),
+                stream: 0,
+                phase: 0,
+            },
+            CtaPlan { queries: vec![0], kv: slice(&[1], 16), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+            CtaPlan { queries: vec![1], kv: slice(&[2], 16), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+        ]);
+        plan.validate(&batch()).unwrap();
+        assert!(plan.needs_merge(2));
+    }
+
+    #[test]
+    fn one_query_per_cta_plan_passes_without_merge() {
+        let plan = KernelPlan::new(vec![
+            CtaPlan { queries: vec![0], kv: slice(&[0, 1], 32), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+            CtaPlan { queries: vec![1], kv: slice(&[0, 2], 32), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+        ]);
+        plan.validate(&batch()).unwrap();
+        assert!(!plan.needs_merge(2));
+    }
+
+    #[test]
+    fn missing_coverage_is_caught() {
+        let plan = KernelPlan::new(vec![CtaPlan {
+            queries: vec![0, 1],
+            kv: slice(&[0], 16),
+            tile: TileConfig::new(16, 16),
+            stream: 0,
+            phase: 0,
+        }]);
+        assert!(matches!(
+            plan.validate(&batch()),
+            Err(PlanError::CoverageMismatch { query: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn double_coverage_is_caught() {
+        let plan = KernelPlan::new(vec![
+            CtaPlan { queries: vec![0], kv: slice(&[0, 1], 32), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+            CtaPlan { queries: vec![0], kv: slice(&[0], 16), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+            CtaPlan { queries: vec![1], kv: slice(&[0, 2], 32), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+        ]);
+        assert!(plan.validate(&batch()).is_err());
+    }
+
+    #[test]
+    fn tile_overflow_is_caught() {
+        let plan = KernelPlan::new(vec![CtaPlan {
+            queries: vec![0, 1],
+            kv: slice(&[0], 16),
+            tile: TileConfig::new(1, 16),
+            stream: 0,
+            phase: 0,
+        }]);
+        assert!(matches!(plan.validate(&batch()), Err(PlanError::TileOverflow { .. })));
+    }
+
+    #[test]
+    fn unknown_query_is_caught() {
+        let plan = KernelPlan::new(vec![CtaPlan {
+            queries: vec![9],
+            kv: slice(&[0], 16),
+            tile: TileConfig::new(16, 16),
+            stream: 0,
+            phase: 0,
+        }]);
+        assert_eq!(plan.validate(&batch()), Err(PlanError::UnknownQuery(9)));
+    }
+
+    #[test]
+    fn stream_count_is_max_plus_one() {
+        let mut plan = KernelPlan::new(vec![CtaPlan {
+            queries: vec![0],
+            kv: slice(&[0, 1], 32),
+            tile: TileConfig::new(16, 16),
+            stream: 2,
+            phase: 0,
+        }]);
+        assert_eq!(plan.num_streams(), 3);
+        plan.ctas.clear();
+        assert_eq!(plan.num_streams(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Global-memory traffic accounting (Fig. 6a, Fig. 14b).
+//!
+//! Given a plan, computes exactly how many bytes each CTA moves and where they
+//! are served from. Redundant re-accesses of a block (several CTAs loading the
+//! same KV) may hit L2 according to the plan's [`L2Affinity`]: scattered
+//! re-accesses hit with the footprint probability
+//! `min(1, L2 / step working set)`, grouped re-accesses (RelayAttention++
+//! ordering) almost always hit.
+
+use crate::{DecodeBatch, KernelPlan, L2Affinity};
+use attn_math::PartialAttn;
+use kv_cache::BlockId;
+use sim_gpu::{l2::reuse_fraction, GpuSpec};
+use std::collections::HashMap;
+
+/// Hit probability of grouped (temporally adjacent) re-accesses.
+const GROUPED_HIT_RATE: f64 = 0.95;
+
+/// Output element size (fp16).
+const OUT_BYTES: usize = 2;
+
+/// Per-CTA traffic, in per-kv-head bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CtaTraffic {
+    /// Bytes served from DRAM (KV + Q + intermediate writes).
+    pub dram_bytes: f64,
+    /// Bytes served from L2.
+    pub l2_bytes: f64,
+}
+
+/// Batch-level traffic report, in device-total bytes (all kv-heads).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficReport {
+    /// KV bytes streamed from DRAM.
+    pub kv_dram_bytes: f64,
+    /// KV bytes served by L2.
+    pub kv_l2_bytes: f64,
+    /// Query activation bytes loaded.
+    pub q_bytes: f64,
+    /// Intermediate (max, log-sum-exp, partial sum) bytes written in fp32.
+    pub intermediate_write_bytes: f64,
+    /// Intermediate bytes read back by the merge kernel.
+    pub intermediate_read_bytes: f64,
+    /// Final output bytes written.
+    pub output_bytes: f64,
+}
+
+impl TrafficReport {
+    /// All KV bytes *loaded* (DRAM + L2) — what a kernel "requests".
+    pub fn kv_loaded_bytes(&self) -> f64 {
+        self.kv_dram_bytes + self.kv_l2_bytes
+    }
+
+    /// Total DRAM read+write bytes (the Fig. 14b metric).
+    pub fn total_dram_bytes(&self) -> f64 {
+        self.kv_dram_bytes
+            + self.q_bytes
+            + self.intermediate_write_bytes
+            + self.intermediate_read_bytes
+            + self.output_bytes
+    }
+}
+
+/// The theoretical minimum KV traffic of a batch: every distinct block loaded
+/// exactly once (the "optimum" series of Fig. 6a).
+pub fn theoretical_min_kv_bytes(batch: &DecodeBatch) -> f64 {
+    batch.distinct_kv_bytes()
+}
+
+/// Analyzes `plan`'s memory traffic on `spec`.
+///
+/// Returns the device-total [`TrafficReport`] and per-CTA traffic (indexed
+/// like `plan.ctas`, in per-kv-head bytes).
+pub fn analyze_traffic(
+    batch: &DecodeBatch,
+    plan: &KernelPlan,
+    spec: &GpuSpec,
+) -> (TrafficReport, Vec<CtaTraffic>) {
+    let head = batch.head();
+    let bs = batch.block_size();
+    let d = head.head_dim();
+    let g = head.group_size();
+    // GQA-oblivious grids launch one CTA per query head: each KV head's data
+    // is requested `g` times (once per query head in the group).
+    let g_eff = if plan.per_query_head_kv { g } else { 1 };
+    let expansion = (head.num_kv_heads() * g_eff) as f64;
+    let per_token = batch.kv_bytes_per_token_per_kv_head() as f64;
+
+    // Access counts per block across CTAs (a CTA loads each slice block once
+    // into shared memory regardless of how many queries it packs).
+    let mut access_count: HashMap<BlockId, usize> = HashMap::new();
+    for cta in &plan.ctas {
+        for &b in &cta.kv.blocks {
+            *access_count.entry(b).or_insert(0) += 1;
+        }
+    }
+
+    let footprint = batch.distinct_kv_bytes();
+    let p_hit = match plan.l2_affinity {
+        L2Affinity::Scattered => reuse_fraction(spec.l2_bytes as f64, footprint),
+        L2Affinity::Grouped => GROUPED_HIT_RATE,
+    };
+
+    let ctas_per_query = plan.ctas_per_query(batch.num_queries());
+    let mut per_cta = vec![CtaTraffic::default(); plan.ctas.len()];
+    let mut report = TrafficReport::default();
+
+    for (i, cta) in plan.ctas.iter().enumerate() {
+        let mut kv_dram = 0.0;
+        let mut kv_l2 = 0.0;
+        for (bi, &b) in cta.kv.blocks.iter().enumerate() {
+            let bytes = cta.kv.tokens_in_block(bi, bs) as f64 * per_token;
+            // Accesses of this block's per-kv-head data across all hardware
+            // CTAs (including the g-fold redundancy of GQA-oblivious grids).
+            let k = (access_count[&b] * g_eff) as f64;
+            // One cold DRAM load plus (k-1) re-accesses split by p_hit,
+            // amortized evenly over the k accessing CTAs.
+            kv_dram += bytes * (1.0 + (k - 1.0) * (1.0 - p_hit)) / k;
+            kv_l2 += bytes * (k - 1.0) * p_hit / k;
+        }
+        // Q activations: real rows only (padding wastes on-chip memory, not
+        // DRAM bandwidth). Per hardware CTA.
+        let q_bytes = (cta.queries.len() * g * d * batch.dtype_bytes()) as f64 / g_eff as f64;
+        // Intermediates: written only by queries split across CTAs.
+        let inter_bytes: f64 = cta
+            .queries
+            .iter()
+            .filter(|&&q| ctas_per_query[q] > 1)
+            .map(|_| (g * PartialAttn::spill_bytes(d)) as f64 / g_eff as f64)
+            .sum();
+        per_cta[i] = CtaTraffic {
+            dram_bytes: kv_dram + q_bytes + inter_bytes,
+            l2_bytes: kv_l2,
+        };
+        report.kv_dram_bytes += kv_dram * expansion;
+        report.kv_l2_bytes += kv_l2 * expansion;
+        report.q_bytes += q_bytes * expansion;
+        report.intermediate_write_bytes += inter_bytes * expansion;
+    }
+    // The merge kernel reads every intermediate back once.
+    report.intermediate_read_bytes = report.intermediate_write_bytes;
+    report.output_bytes =
+        (batch.num_queries() * head.num_heads() * d * OUT_BYTES) as f64;
+    (report, per_cta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CtaPlan, KvSlice, TileConfig};
+    use attn_math::HeadConfig;
+    use kv_cache::BlockTable;
+
+    fn batch(n_queries: usize, shared_blocks: usize, private_blocks: usize) -> DecodeBatch {
+        let head = HeadConfig::new(8, 8, 128);
+        let bs = 16;
+        let tables = (0..n_queries)
+            .map(|q| {
+                let mut ids: Vec<BlockId> = (0..shared_blocks as u32).map(BlockId).collect();
+                ids.extend(
+                    (0..private_blocks as u32).map(|i| BlockId(1000 + q as u32 * 100 + i)),
+                );
+                let total = (shared_blocks + private_blocks) * bs;
+                BlockTable::new(ids, total, bs)
+            })
+            .collect();
+        DecodeBatch::new(head, tables, 2)
+    }
+
+    fn query_centric_plan(batch: &DecodeBatch) -> KernelPlan {
+        KernelPlan::new(
+            (0..batch.num_queries())
+                .map(|q| CtaPlan {
+                    queries: vec![q],
+                    kv: KvSlice::new(
+                        batch.tables()[q].blocks().to_vec(),
+                        batch.kv_len(q),
+                        batch.block_size(),
+                    ),
+                    tile: TileConfig::new(64, 128),
+                    stream: 0,
+                    phase: 0,
+                })
+                .collect(),
+        )
+    }
+
+    fn prefix_packed_plan(batch: &DecodeBatch, shared_blocks: usize) -> KernelPlan {
+        let bs = batch.block_size();
+        let mut ctas = vec![CtaPlan {
+            queries: (0..batch.num_queries()).collect(),
+            kv: KvSlice::new(
+                batch.tables()[0].blocks()[..shared_blocks].to_vec(),
+                shared_blocks * bs,
+                bs,
+            ),
+            tile: TileConfig::new(128, 64),
+            stream: 0,
+            phase: 0,
+        }];
+        for q in 0..batch.num_queries() {
+            let blocks = batch.tables()[q].blocks()[shared_blocks..].to_vec();
+            let tokens = batch.kv_len(q) - shared_blocks * bs;
+            ctas.push(CtaPlan {
+                queries: vec![q],
+                kv: KvSlice::new(blocks, tokens, bs),
+                tile: TileConfig::new(16, 64),
+                stream: 1,
+                phase: 0,
+            });
+        }
+        KernelPlan::new(ctas)
+    }
+
+    #[test]
+    fn query_centric_loads_shared_blocks_repeatedly() {
+        // 16k shared tokens: the step working set exceeds L2, so redundant
+        // re-loads mostly go to DRAM (the §3.2 effect).
+        let b = batch(8, 1024, 4);
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let (qc, _) = analyze_traffic(&b, &query_centric_plan(&b), &spec);
+        let (packed, _) = analyze_traffic(&b, &prefix_packed_plan(&b, 1024), &spec);
+        let min = theoretical_min_kv_bytes(&b);
+        assert!(qc.kv_loaded_bytes() > 4.0 * min, "query-centric should be redundant");
+        assert!(packed.kv_loaded_bytes() < 1.01 * min, "packed loads each block once");
+        assert!(qc.kv_dram_bytes > packed.kv_dram_bytes * 2.0);
+    }
+
+    #[test]
+    fn small_working_sets_are_absorbed_by_l2() {
+        // 8 queries sharing 2 blocks: footprint tiny vs 40MB L2.
+        let b = batch(8, 2, 1);
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let (r, _) = analyze_traffic(&b, &query_centric_plan(&b), &spec);
+        // p_hit == 1, so DRAM KV equals the distinct bytes.
+        assert!((r.kv_dram_bytes - theoretical_min_kv_bytes(&b)).abs() / r.kv_dram_bytes < 1e-9);
+        assert!(r.kv_l2_bytes > 0.0);
+    }
+
+    #[test]
+    fn grouped_affinity_beats_scattered_for_large_footprints() {
+        let b = batch(16, 512, 16); // footprint >> L2
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut plan = query_centric_plan(&b);
+        let (scattered, _) = analyze_traffic(&b, &plan, &spec);
+        plan.l2_affinity = L2Affinity::Grouped;
+        let (grouped, _) = analyze_traffic(&b, &plan, &spec);
+        assert!(grouped.kv_dram_bytes < scattered.kv_dram_bytes);
+        assert_eq!(grouped.kv_loaded_bytes(), scattered.kv_loaded_bytes());
+    }
+
+    #[test]
+    fn intermediates_only_for_split_queries() {
+        let b = batch(4, 8, 2);
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let (qc, _) = analyze_traffic(&b, &query_centric_plan(&b), &spec);
+        assert_eq!(qc.intermediate_write_bytes, 0.0, "one CTA per query needs no merge");
+        let (packed, _) = analyze_traffic(&b, &prefix_packed_plan(&b, 8), &spec);
+        assert!(packed.intermediate_write_bytes > 0.0);
+        assert_eq!(packed.intermediate_read_bytes, packed.intermediate_write_bytes);
+    }
+
+    #[test]
+    fn per_cta_totals_are_consistent() {
+        let b = batch(4, 8, 2);
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let plan = prefix_packed_plan(&b, 8);
+        let (report, per_cta) = analyze_traffic(&b, &plan, &spec);
+        let sum_dram: f64 = per_cta.iter().map(|c| c.dram_bytes).sum::<f64>() * 8.0;
+        let report_dram =
+            report.kv_dram_bytes + report.q_bytes + report.intermediate_write_bytes;
+        assert!((sum_dram - report_dram).abs() / report_dram < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Attention head configurations and grouped-query (GQA) head mapping.
+
+use std::fmt;
+
+/// An attention head configuration `(num_heads, num_kv_heads, head_dim)`.
+///
+/// The paper evaluates four configurations common in Llama, Qwen, and Gemma
+/// models: (32, 32), (16, 8), (32, 8), (64, 8), all with head dim 128 (§8.2).
+///
+/// # Examples
+///
+/// ```
+/// use attn_math::HeadConfig;
+///
+/// let gqa = HeadConfig::new(32, 8, 128);
+/// assert_eq!(gqa.group_size(), 4);
+/// assert_eq!(gqa.kv_head_of(13), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeadConfig {
+    num_heads: usize,
+    num_kv_heads: usize,
+    head_dim: usize,
+}
+
+impl HeadConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_heads` is not a positive multiple of `num_kv_heads`, or
+    /// `head_dim` is zero.
+    pub fn new(num_heads: usize, num_kv_heads: usize, head_dim: usize) -> Self {
+        assert!(num_kv_heads > 0 && head_dim > 0, "head counts must be positive");
+        assert!(
+            num_heads >= num_kv_heads && num_heads % num_kv_heads == 0,
+            "num_heads ({num_heads}) must be a multiple of num_kv_heads ({num_kv_heads})"
+        );
+        HeadConfig { num_heads, num_kv_heads, head_dim }
+    }
+
+    /// The four head configurations of the paper's kernel benchmark (§8.2).
+    pub fn paper_benchmark_set() -> [HeadConfig; 4] {
+        [
+            HeadConfig::new(32, 32, 128),
+            HeadConfig::new(16, 8, 128),
+            HeadConfig::new(32, 8, 128),
+            HeadConfig::new(64, 8, 128),
+        ]
+    }
+
+    /// Query head count.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// KV head count.
+    pub fn num_kv_heads(&self) -> usize {
+        self.num_kv_heads
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Query heads per KV head (`g = H / H_kv`).
+    pub fn group_size(&self) -> usize {
+        self.num_heads / self.num_kv_heads
+    }
+
+    /// KV head serving query head `q_head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_head` is out of range.
+    pub fn kv_head_of(&self, q_head: usize) -> usize {
+        assert!(q_head < self.num_heads, "query head {q_head} out of range");
+        q_head / self.group_size()
+    }
+
+    /// Query heads mapped to `kv_head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_head` is out of range.
+    pub fn q_heads_of(&self, kv_head: usize) -> std::ops::Range<usize> {
+        assert!(kv_head < self.num_kv_heads, "kv head {kv_head} out of range");
+        let g = self.group_size();
+        kv_head * g..(kv_head + 1) * g
+    }
+
+    /// KV bytes per token across all KV heads (keys + values) at `dtype_bytes`
+    /// per element.
+    pub fn kv_bytes_per_token(&self, dtype_bytes: usize) -> usize {
+        2 * self.num_kv_heads * self.head_dim * dtype_bytes
+    }
+
+    /// The softmax scale `1/sqrt(d_k)`.
+    pub fn scale(&self) -> f32 {
+        1.0 / (self.head_dim as f32).sqrt()
+    }
+}
+
+impl fmt::Display for HeadConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} (d={})", self.num_heads, self.num_kv_heads, self.head_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mha_is_group_size_one() {
+        let mha = HeadConfig::new(32, 32, 128);
+        assert_eq!(mha.group_size(), 1);
+        assert_eq!(mha.kv_head_of(17), 17);
+        assert_eq!(mha.q_heads_of(17), 17..18);
+    }
+
+    #[test]
+    fn gqa_mapping_partitions_heads() {
+        let cfg = HeadConfig::new(64, 8, 128);
+        assert_eq!(cfg.group_size(), 8);
+        let mut covered = vec![false; 64];
+        for kv in 0..8 {
+            for q in cfg.q_heads_of(kv) {
+                assert_eq!(cfg.kv_head_of(q), kv);
+                covered[q] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn kv_bytes_per_token_fp16() {
+        let cfg = HeadConfig::new(32, 8, 128);
+        // 8 kv heads * 128 dim * 2 bytes * 2 (K and V) = 4096.
+        assert_eq!(cfg.kv_bytes_per_token(2), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_divisible_heads_rejected() {
+        let _ = HeadConfig::new(30, 8, 128);
+    }
+
+    #[test]
+    fn paper_set_has_four_configs() {
+        let set = HeadConfig::paper_benchmark_set();
+        assert_eq!(set.len(), 4);
+        assert!(set.iter().all(|c| c.head_dim() == 128));
+    }
+}

@@ -1,0 +1,257 @@
+//! Partial attention state and the online-softmax merge (§7).
+//!
+//! Each CTA produces, per query and head, three intermediates: the running
+//! max score, a log-sum-exp accumulator, and a partial value-weighted sum.
+//! The merge kernel combines partials with online softmax [Dao et al.] and
+//! normalizes at the end. This module is the exact math behind both the tiled
+//! forward pass and the merge stage.
+
+use std::fmt;
+
+/// Per-(query, head) partial attention state over a subset of KV positions.
+///
+/// The represented quantity is `(m, l, acc)` where for the processed scores
+/// `s_i` and values `v_i`: `m = max s_i`, `l = Σ exp(s_i - m)`,
+/// `acc = Σ exp(s_i - m) · v_i`.
+///
+/// # Examples
+///
+/// ```
+/// use attn_math::PartialAttn;
+///
+/// let mut p = PartialAttn::empty(2);
+/// p.accumulate(0.5, &[1.0, 2.0]);
+/// p.accumulate(1.5, &[3.0, 4.0]);
+/// let out = p.finalize().unwrap();
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAttn {
+    max_score: f32,
+    sum_exp: f32,
+    acc: Vec<f32>,
+}
+
+/// Error returned when finalizing a partial that covers no KV positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyAttentionError;
+
+impl fmt::Display for EmptyAttentionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attention over an empty key/value set has no defined output")
+    }
+}
+
+impl std::error::Error for EmptyAttentionError {}
+
+impl PartialAttn {
+    /// An empty state for `head_dim`-dimensional values.
+    pub fn empty(head_dim: usize) -> Self {
+        PartialAttn { max_score: f32::NEG_INFINITY, sum_exp: 0.0, acc: vec![0.0; head_dim] }
+    }
+
+    /// Whether any score has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.sum_exp == 0.0
+    }
+
+    /// The running max score (`-inf` when empty).
+    pub fn max_score(&self) -> f32 {
+        self.max_score
+    }
+
+    /// The running `Σ exp(s - m)`.
+    pub fn sum_exp(&self) -> f32 {
+        self.sum_exp
+    }
+
+    /// Folds one `(score, value)` pair into the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` length differs from the state's head dim.
+    pub fn accumulate(&mut self, score: f32, value: &[f32]) {
+        assert_eq!(value.len(), self.acc.len(), "value dimension mismatch");
+        if score <= self.max_score {
+            let w = (score - self.max_score).exp();
+            self.sum_exp += w;
+            for (a, &v) in self.acc.iter_mut().zip(value) {
+                *a += w * v;
+            }
+        } else {
+            let scale = if self.max_score.is_finite() {
+                (self.max_score - score).exp()
+            } else {
+                0.0
+            };
+            self.sum_exp = self.sum_exp * scale + 1.0;
+            for (a, &v) in self.acc.iter_mut().zip(value) {
+                *a = *a * scale + v;
+            }
+            self.max_score = score;
+        }
+    }
+
+    /// Merges another partial into this one (online softmax combine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if head dims differ.
+    pub fn merge(&mut self, other: &PartialAttn) {
+        assert_eq!(self.acc.len(), other.acc.len(), "head dim mismatch");
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        let m = self.max_score.max(other.max_score);
+        let ws = (self.max_score - m).exp();
+        let wo = (other.max_score - m).exp();
+        self.sum_exp = self.sum_exp * ws + other.sum_exp * wo;
+        for (a, &o) in self.acc.iter_mut().zip(&other.acc) {
+            *a = *a * ws + o * wo;
+        }
+        self.max_score = m;
+    }
+
+    /// Normalizes into the final output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyAttentionError`] if no score was ever accumulated.
+    pub fn finalize(&self) -> Result<Vec<f32>, EmptyAttentionError> {
+        if self.is_empty() {
+            return Err(EmptyAttentionError);
+        }
+        Ok(self.acc.iter().map(|&a| a / self.sum_exp).collect())
+    }
+
+    /// Bytes of the intermediate this state represents when spilled to global
+    /// memory in fp32: `head_dim` accumulator floats plus max and log-sum-exp.
+    pub fn spill_bytes(head_dim: usize) -> usize {
+        (head_dim + 2) * 4
+    }
+}
+
+/// Merges an iterator of partials into one (the §7 merge kernel math).
+///
+/// Returns an empty state when the iterator is empty.
+pub fn merge_partials<'a, I>(head_dim: usize, partials: I) -> PartialAttn
+where
+    I: IntoIterator<Item = &'a PartialAttn>,
+{
+    let mut out = PartialAttn::empty(head_dim);
+    for p in partials {
+        out.merge(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn softmax_attend(scores: &[f32], values: &[Vec<f32>]) -> Vec<f32> {
+        let m = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let ws: Vec<f32> = scores.iter().map(|s| (s - m).exp()).collect();
+        let z: f32 = ws.iter().sum();
+        let d = values[0].len();
+        let mut out = vec![0.0; d];
+        for (w, v) in ws.iter().zip(values) {
+            for (o, &x) in out.iter_mut().zip(v) {
+                *o += w / z * x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn accumulate_matches_direct_softmax() {
+        let scores = [0.3f32, -1.2, 2.5, 0.0];
+        let values = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![-1.0, 2.0]];
+        let mut p = PartialAttn::empty(2);
+        for (s, v) in scores.iter().zip(&values) {
+            p.accumulate(*s, v);
+        }
+        let got = p.finalize().unwrap();
+        let want = softmax_attend(&scores, &values);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn merge_of_split_equals_whole() {
+        let scores = [0.3f32, -1.2, 2.5, 0.0, 4.0, -3.0];
+        let values: Vec<Vec<f32>> =
+            (0..6).map(|i| vec![i as f32, (i * i) as f32 * 0.1]).collect();
+        let mut whole = PartialAttn::empty(2);
+        for (s, v) in scores.iter().zip(&values) {
+            whole.accumulate(*s, v);
+        }
+        for split in 1..scores.len() {
+            let mut a = PartialAttn::empty(2);
+            let mut b = PartialAttn::empty(2);
+            for i in 0..split {
+                a.accumulate(scores[i], &values[i]);
+            }
+            for i in split..scores.len() {
+                b.accumulate(scores[i], &values[i]);
+            }
+            let merged = merge_partials(2, [&a, &b]);
+            let got = merged.finalize().unwrap();
+            let want = whole.finalize().unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-5, "split {split}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut p = PartialAttn::empty(3);
+        p.accumulate(1.0, &[1.0, 2.0, 3.0]);
+        let before = p.clone();
+        p.merge(&PartialAttn::empty(3));
+        assert_eq!(p, before);
+        let mut e = PartialAttn::empty(3);
+        e.merge(&before);
+        assert_eq!(e.finalize().unwrap(), before.finalize().unwrap());
+    }
+
+    #[test]
+    fn empty_finalize_errors() {
+        assert_eq!(PartialAttn::empty(4).finalize(), Err(EmptyAttentionError));
+    }
+
+    #[test]
+    fn large_scores_do_not_overflow() {
+        let mut p = PartialAttn::empty(1);
+        p.accumulate(1000.0, &[1.0]);
+        p.accumulate(1001.0, &[2.0]);
+        let out = p.finalize().unwrap();
+        assert!(out[0].is_finite());
+        assert!(out[0] > 1.5 && out[0] < 2.0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = PartialAttn::empty(2);
+        a.accumulate(0.5, &[1.0, 0.0]);
+        a.accumulate(-2.0, &[0.0, 1.0]);
+        let mut b = PartialAttn::empty(2);
+        b.accumulate(3.0, &[2.0, 2.0]);
+        let ab = merge_partials(2, [&a, &b]).finalize().unwrap();
+        let ba = merge_partials(2, [&b, &a]).finalize().unwrap();
+        for (x, y) in ab.iter().zip(&ba) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spill_bytes_matches_fp32_layout() {
+        assert_eq!(PartialAttn::spill_bytes(128), 130 * 4);
+    }
+}

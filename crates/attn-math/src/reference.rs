@@ -1,0 +1,150 @@
+//! Naive reference attention used as the correctness oracle.
+
+use crate::tensor::{dot, Matrix};
+use crate::PartialAttn;
+
+/// Computes `softmax(q·Kᵀ · scale) · V` for one query vector.
+///
+/// This is the textbook O(len·d) formulation (§2.1); every packed/split/merged
+/// execution plan must reproduce it bit-for-bit up to f32 rounding.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent or `keys` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use attn_math::{reference_attention, Matrix};
+///
+/// let keys = Matrix::from_rows(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+/// let values = Matrix::from_rows(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+/// let out = reference_attention(&[10.0, 0.0], &keys, &values, 1.0);
+/// assert!(out[0] > 0.99); // attends almost entirely to the first key
+/// ```
+pub fn reference_attention(q: &[f32], keys: &Matrix, values: &Matrix, scale: f32) -> Vec<f32> {
+    assert!(keys.rows() > 0, "attention over empty keys is undefined");
+    assert_eq!(keys.rows(), values.rows(), "keys/values length mismatch");
+    assert_eq!(q.len(), keys.cols(), "query/key dimension mismatch");
+    let scores: Vec<f32> = (0..keys.rows()).map(|i| dot(q, keys.row(i)) * scale).collect();
+    let m = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f32> = scores.iter().map(|s| (s - m).exp()).collect();
+    let z: f32 = weights.iter().sum();
+    let mut out = vec![0.0; values.cols()];
+    for (w, i) in weights.iter().zip(0..values.rows()) {
+        let v = values.row(i);
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o += (w / z) * x;
+        }
+    }
+    out
+}
+
+/// Computes the partial attention state of one query over a KV segment, tiled
+/// internally in chunks of `tile_n` keys — numerically identical to a single
+/// pass thanks to online softmax, and the exact computation one forward-stage
+/// CTA performs per KV tile (§5.2).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or `tile_n == 0`.
+pub fn attend_segment(
+    q: &[f32],
+    keys: &Matrix,
+    values: &Matrix,
+    scale: f32,
+    tile_n: usize,
+) -> PartialAttn {
+    assert!(tile_n > 0, "tile size must be positive");
+    assert_eq!(keys.rows(), values.rows(), "keys/values length mismatch");
+    assert_eq!(q.len(), keys.cols(), "query/key dimension mismatch");
+    let mut state = PartialAttn::empty(values.cols());
+    let mut start = 0;
+    while start < keys.rows() {
+        let end = (start + tile_n).min(keys.rows());
+        for i in start..end {
+            state.accumulate(dot(q, keys.row(i)) * scale, values.row(i));
+        }
+        start = end;
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Deterministic xorshift fill; avoids a rand dependency in unit tests.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+        };
+        Matrix::from_rows(rows, cols, (0..rows * cols).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn tiled_equals_reference_for_all_tile_sizes() {
+        let d = 16;
+        let len = 37;
+        let keys = random_matrix(len, d, 1);
+        let values = random_matrix(len, d, 2);
+        let q: Vec<f32> = random_matrix(1, d, 3).row(0).to_vec();
+        let scale = 1.0 / (d as f32).sqrt();
+        let want = reference_attention(&q, &keys, &values, scale);
+        for tile_n in [1, 2, 7, 16, 37, 64] {
+            let got = attend_segment(&q, &keys, &values, scale, tile_n).finalize().unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-5, "tile {tile_n}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_split_and_merge_equals_reference() {
+        let d = 8;
+        let len = 50;
+        let keys = random_matrix(len, d, 7);
+        let values = random_matrix(len, d, 8);
+        let q: Vec<f32> = random_matrix(1, d, 9).row(0).to_vec();
+        let scale = 0.35;
+        let want = reference_attention(&q, &keys, &values, scale);
+        // Split the KV into 3 uneven segments, attend separately, merge.
+        let cuts = [0usize, 13, 31, 50];
+        let mut merged = PartialAttn::empty(d);
+        for w in cuts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let part = attend_segment(
+                &q,
+                &keys.slice_rows(a, b),
+                &values.slice_rows(a, b),
+                scale,
+                16,
+            );
+            merged.merge(&part);
+        }
+        let got = merged.finalize().unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attends_to_dominant_key() {
+        let keys = Matrix::from_rows(3, 2, vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0]);
+        let values = Matrix::from_rows(3, 2, vec![1.0, 0.0, 0.0, 1.0, 5.0, 5.0]);
+        let out = reference_attention(&[20.0, 0.0], &keys, &values, 1.0);
+        assert!(out[0] > 0.99 && out[1] < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty keys")]
+    fn empty_keys_panic() {
+        let keys = Matrix::zeros(0, 4);
+        let values = Matrix::zeros(0, 4);
+        let _ = reference_attention(&[0.0; 4], &keys, &values, 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the core attention invariant: any partition of a
+//! query's KV positions into segments, attended independently and merged with
+//! online softmax, equals the naive reference.
+
+use attn_math::{attend_segment, merge_partials, reference_attention, Matrix, PartialAttn};
+use proptest::prelude::*;
+
+fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol * (1.0 + y.abs()))
+}
+
+prop_compose! {
+    fn kv_case()(
+        d in 1usize..16,
+        len in 1usize..96,
+    )(
+        d in Just(d),
+        len in Just(len),
+        q in prop::collection::vec(-2.0f32..2.0, d),
+        keys in prop::collection::vec(-2.0f32..2.0, len * d),
+        values in prop::collection::vec(-2.0f32..2.0, len * d),
+        cuts in prop::collection::vec(0usize..len, 0..6),
+        tile in 1usize..40,
+    ) -> (Vec<f32>, Matrix, Matrix, Vec<usize>, usize) {
+        (q, Matrix::from_rows(len, d, keys), Matrix::from_rows(len, d, values), cuts, tile)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Splitting KV at arbitrary cut points and merging preserves the output.
+    #[test]
+    fn split_merge_equals_reference((q, keys, values, mut cuts, tile) in kv_case()) {
+        let len = keys.rows();
+        let d = keys.cols();
+        let scale = 1.0 / (d as f32).sqrt();
+        cuts.push(0);
+        cuts.push(len);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut merged = PartialAttn::empty(d);
+        for w in cuts.windows(2) {
+            if w[1] > w[0] {
+                let part = attend_segment(
+                    &q,
+                    &keys.slice_rows(w[0], w[1]),
+                    &values.slice_rows(w[0], w[1]),
+                    scale,
+                    tile,
+                );
+                merged.merge(&part);
+            }
+        }
+        let got = merged.finalize().unwrap();
+        let want = reference_attention(&q, &keys, &values, scale);
+        prop_assert!(close(&got, &want, 1e-4), "got {:?} want {:?}", got, want);
+    }
+
+    /// Tile size never changes the result.
+    #[test]
+    fn tiling_is_invisible((q, keys, values, _cuts, tile) in kv_case()) {
+        let d = keys.cols();
+        let scale = 1.0 / (d as f32).sqrt();
+        let got = attend_segment(&q, &keys, &values, scale, tile).finalize().unwrap();
+        let want = reference_attention(&q, &keys, &values, scale);
+        prop_assert!(close(&got, &want, 1e-4));
+    }
+
+    /// Merging is associative up to rounding: ((a+b)+c) == (a+(b+c)).
+    #[test]
+    fn merge_is_associative((q, keys, values, _cuts, tile) in kv_case()) {
+        let len = keys.rows();
+        if len < 3 { return Ok(()); }
+        let d = keys.cols();
+        let scale = 1.0 / (d as f32).sqrt();
+        let third = len / 3;
+        let seg = |a: usize, b: usize| attend_segment(
+            &q, &keys.slice_rows(a, b), &values.slice_rows(a, b), scale, tile);
+        let (a, b, c) = (seg(0, third), seg(third, 2 * third), seg(2 * third, len));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = b.clone();
+        right.merge(&c);
+        let mut right_total = a.clone();
+        right_total.merge(&right);
+        let x = left.finalize().unwrap();
+        let y = right_total.finalize().unwrap();
+        prop_assert!(close(&x, &y, 1e-4));
+    }
+
+    /// The merged result over duplicated partials equals attention over the
+    /// concatenated KV (duplicates are legitimate KV positions).
+    #[test]
+    fn merge_handles_duplicate_segments((q, keys, values, _cuts, tile) in kv_case()) {
+        let d = keys.cols();
+        let scale = 1.0 / (d as f32).sqrt();
+        let part = attend_segment(&q, &keys, &values, scale, tile);
+        let doubled = merge_partials(d, [&part, &part]).finalize().unwrap();
+        let mut twice_keys = keys.clone();
+        twice_keys.append_rows(&keys);
+        let mut twice_values = values.clone();
+        twice_values.append_rows(&values);
+        let want = reference_attention(&q, &twice_keys, &twice_values, scale);
+        prop_assert!(close(&doubled, &want, 1e-4));
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared plumbing for the baseline planners.
+
+use attn_kernel::{CtaPlan, DecodeBatch, KvSlice, TileConfig};
+
+/// One CTA per query over its full KV — the query-centric paradigm (§3.2).
+pub fn one_query_per_cta(batch: &DecodeBatch, tile: TileConfig, stream: usize) -> Vec<CtaPlan> {
+    (0..batch.num_queries())
+        .map(|q| CtaPlan {
+            queries: vec![q],
+            kv: KvSlice::new(
+                batch.tables()[q].blocks().to_vec(),
+                batch.kv_len(q),
+                batch.block_size(),
+            ),
+            tile,
+            stream,
+            phase: 0,
+        })
+        .collect()
+}
+
+/// Splits every query's KV into chunks of at most `chunk_tokens` (block
+/// aligned), one CTA per chunk — FlashInfer-style load balancing.
+pub fn kv_chunked_ctas(
+    batch: &DecodeBatch,
+    chunk_tokens: usize,
+    tile: TileConfig,
+) -> Vec<CtaPlan> {
+    let bs = batch.block_size();
+    let blocks_per_chunk = (chunk_tokens / bs).max(1);
+    let mut ctas = Vec::new();
+    for q in 0..batch.num_queries() {
+        let table = &batch.tables()[q];
+        let total = table.num_tokens();
+        let mut consumed = 0usize;
+        for chunk in table.blocks().chunks(blocks_per_chunk) {
+            let tokens = (chunk.len() * bs).min(total - consumed);
+            ctas.push(CtaPlan {
+                queries: vec![q],
+                kv: KvSlice::new(chunk.to_vec(), tokens, bs),
+                tile,
+                stream: 0,
+                phase: 0,
+            });
+            consumed += tokens;
+        }
+    }
+    ctas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_kernel::KernelPlan;
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+
+    fn batch() -> DecodeBatch {
+        let tables = (0..4u32)
+            .map(|q| {
+                let ids: Vec<BlockId> = (0..8).map(BlockId).chain([BlockId(100 + q)]).collect();
+                BlockTable::new(ids, 9 * 16 - 3, 16)
+            })
+            .collect();
+        DecodeBatch::new(HeadConfig::new(32, 8, 128), tables, 2)
+    }
+
+    #[test]
+    fn one_query_per_cta_covers_batch() {
+        let b = batch();
+        let plan = KernelPlan::new(one_query_per_cta(&b, TileConfig::new(64, 128), 0));
+        plan.validate(&b).unwrap();
+        assert_eq!(plan.num_ctas(), 4);
+    }
+
+    #[test]
+    fn kv_chunking_respects_block_alignment_and_coverage() {
+        let b = batch();
+        let plan = KernelPlan::new(kv_chunked_ctas(&b, 48, TileConfig::new(16, 128)));
+        plan.validate(&b).unwrap();
+        assert_eq!(plan.num_ctas(), 4 * 3); // 9 blocks in chunks of 3
+    }
+
+    #[test]
+    fn oversized_chunk_degenerates_to_one_cta() {
+        let b = batch();
+        let plan = KernelPlan::new(kv_chunked_ctas(&b, 1 << 20, TileConfig::new(16, 128)));
+        plan.validate(&b).unwrap();
+        assert_eq!(plan.num_ctas(), 4);
+    }
+}

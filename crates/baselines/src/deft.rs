@@ -1,0 +1,111 @@
+//! DeFT (§8.2 baseline 6): KV-centric tree attention with load balancing.
+//!
+//! DeFT aggregates queries with shared KV (packing every tree node — a naive
+//! scheme that ignores the intermediate-traffic trade-off) and rebalances KV
+//! lengths across CTAs, all under one fixed tile (32, 16). Load balancing
+//! reduces SM tail bubbles, but the small fixed KV tile cannot keep enough
+//! data in flight and the naive packing spills extra intermediates (§8.3).
+
+use attn_kernel::{AttentionBackend, CtaPlan, DecodeBatch, KernelPlan, KvSlice, TileConfig};
+use pat_core::{enforce_row_limit, split_long_kv, PackingPolicy, PatBackend, PatConfig};
+use sim_gpu::GpuSpec;
+
+/// The DeFT baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Deft;
+
+impl Deft {
+    /// DeFT's fixed tile configuration (§8.2).
+    pub const TILE: TileConfig = TileConfig { m: 32, n: 16 };
+
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Deft
+    }
+}
+
+impl AttentionBackend for Deft {
+    fn name(&self) -> &str {
+        "DeFT"
+    }
+
+    fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
+        let g = batch.head().group_size();
+        let naive = PatBackend::with_config(PatConfig {
+            packing: PackingPolicy::Naive,
+            ..PatConfig::default()
+        });
+        let packs = naive.pack(batch);
+        let packs = enforce_row_limit(packs, g, Self::TILE.m.max(g));
+        // KV-length adjustment for SM load balance.
+        let packs = split_long_kv(packs, batch.block_size());
+        let ctas = packs
+            .into_iter()
+            .map(|p| CtaPlan {
+                queries: p.queries,
+                kv: KvSlice::new(p.blocks, p.tokens, batch.block_size()),
+                tile: Self::TILE,
+                stream: 0,
+                phase: 0,
+            })
+            .collect();
+        KernelPlan::new(ctas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_kernel::{execute_numeric, reference_output, KvStore, QueryActivations};
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+
+    fn batch(head: HeadConfig) -> DecodeBatch {
+        let tables = (0..8u32)
+            .map(|q| {
+                let mut ids: Vec<BlockId> = (0..32).map(BlockId).collect();
+                ids.extend((200 + (q / 4) * 50..200 + (q / 4) * 50 + 8).map(BlockId));
+                ids.push(BlockId(1000 + q));
+                let blocks = ids.len();
+                BlockTable::new(ids, blocks * 16 - 3, 16)
+            })
+            .collect();
+        DecodeBatch::new(head, tables, 2)
+    }
+
+    #[test]
+    fn plan_is_numerically_exact() {
+        let head = HeadConfig::new(8, 4, 16);
+        let b = batch(head);
+        let plan = Deft::new().plan(&b, &GpuSpec::a100_sxm4_80gb());
+        plan.validate(&b).unwrap();
+        let acts = QueryActivations::synthetic(head, b.num_queries(), 9);
+        let store = KvStore::synthetic_for(&b, 10);
+        let got = execute_numeric(&b, &acts, &store, &plan).unwrap();
+        assert!(got.max_abs_diff(&reference_output(&b, &acts, &store)) < 1e-4);
+    }
+
+    #[test]
+    fn uses_single_fixed_tile() {
+        let b = batch(HeadConfig::new(32, 8, 128));
+        let plan = Deft::new().plan(&b, &GpuSpec::a100_sxm4_80gb());
+        assert!(plan.ctas.iter().all(|c| c.tile == Deft::TILE));
+        assert_eq!(plan.num_streams(), 1);
+    }
+
+    #[test]
+    fn long_kv_is_rebalanced() {
+        let head = HeadConfig::new(32, 8, 128);
+        // One query with a huge private KV among short ones.
+        let tables = vec![
+            BlockTable::new((0..512).map(BlockId).collect(), 512 * 16, 16),
+            BlockTable::new(vec![BlockId(10_000)], 16, 16),
+            BlockTable::new(vec![BlockId(10_001)], 16, 16),
+        ];
+        let b = DecodeBatch::new(head, tables, 2);
+        let plan = Deft::new().plan(&b, &GpuSpec::a100_sxm4_80gb());
+        plan.validate(&b).unwrap();
+        // The long KV was split into multiple CTAs.
+        assert!(plan.ctas_per_query(3)[0] > 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Query-centric baselines: FlashAttention and FlashInfer (§8.2).
+
+use crate::common::{kv_chunked_ctas, one_query_per_cta};
+use attn_kernel::{AttentionBackend, DecodeBatch, KernelPlan, L2Affinity, TileConfig};
+use sim_gpu::{GpuSpec, Occupancy};
+
+/// FlashAttention v2 decode: one query per CTA, fixed tile (64, 128).
+///
+/// The canonical query-centric kernel: simple scheduling, but shared KV
+/// prefixes are re-loaded once per query (Observation #1, §3.2), and the
+/// fixed tile pads GQA decode's few query rows up to 64 (Observation #2).
+#[derive(Debug, Clone, Default)]
+pub struct FlashAttention;
+
+impl FlashAttention {
+    /// The tile configuration the paper reports for FlashAttention (§8.2).
+    pub const TILE: TileConfig = TileConfig { m: 64, n: 128 };
+
+    /// Creates the backend.
+    pub fn new() -> Self {
+        FlashAttention
+    }
+}
+
+impl AttentionBackend for FlashAttention {
+    fn name(&self) -> &str {
+        "FlashAttention"
+    }
+
+    fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
+        // FA ships per-architecture tile fallbacks (Volta's 96 KB shared
+        // memory cannot host the (64, 128) Ampere tile).
+        let occ = Occupancy::new(spec.clone());
+        let tile = [Self::TILE, TileConfig::new(64, 64), TileConfig::new(32, 64)]
+            .into_iter()
+            .find(|t| occ.ctas_per_sm(t.resources(batch.head().head_dim(), batch.dtype_bytes())).is_ok())
+            .unwrap_or(TileConfig::new(16, 32));
+        let mut plan = KernelPlan::new(one_query_per_cta(batch, tile, 0));
+        // FA v2.5's decode grid is GQA-oblivious: one CTA per (query, query
+        // head), so each KV head's cache is loaded once per group member.
+        plan.per_query_head_kv = true;
+        plan
+    }
+}
+
+/// FlashInfer decode: query-centric with dynamic CTA partitioning for SM
+/// load balance, tile (16, 128).
+///
+/// Long KV sequences are split into chunks sized so the grid fills the
+/// device, which removes tail bubbles at small batch sizes — at the cost of
+/// CPU-side scheduling work that grows with the batch (§8.4: "scheduling
+/// overhead that grows with request rate").
+#[derive(Debug, Clone, Default)]
+pub struct FlashInfer;
+
+impl FlashInfer {
+    /// The decoding tile configuration reported in §8.2.
+    pub const TILE: TileConfig = TileConfig { m: 16, n: 128 };
+
+    /// Creates the backend.
+    pub fn new() -> Self {
+        FlashInfer
+    }
+
+    /// Chunk size targeting ~2 waves of resident CTAs device-wide.
+    fn chunk_tokens(batch: &DecodeBatch, spec: &GpuSpec) -> usize {
+        let occ = Occupancy::new(spec.clone());
+        let per_sm = occ
+            .ctas_per_sm(Self::TILE.resources(batch.head().head_dim(), batch.dtype_bytes()))
+            .unwrap_or(1);
+        // Hardware CTAs = logical CTAs x kv heads.
+        let target_logical =
+            (2 * per_sm * spec.num_sms / batch.head().num_kv_heads().max(1)).max(1);
+        let total_tokens = batch.total_kv_tokens();
+        let bs = batch.block_size();
+        (total_tokens / target_logical).next_multiple_of(bs).max(bs)
+    }
+}
+
+impl AttentionBackend for FlashInfer {
+    fn name(&self) -> &str {
+        "FlashInfer"
+    }
+
+    fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
+        let chunk = Self::chunk_tokens(batch, spec);
+        // The grouped decode kernel holds a query's whole head group in one
+        // CTA; wide groups (MQA) grow the Q tile accordingly.
+        let m = Self::TILE.m.max(batch.head().group_size().next_power_of_two());
+        let tile = TileConfig::new(m, Self::TILE.n);
+        let ctas = kv_chunked_ctas(batch, chunk, tile);
+        let mut plan = KernelPlan::new(ctas);
+        // Dynamic partitioning runs on the CPU each step; its cost scales
+        // with the number of planned CTAs and is exposed on the critical
+        // path (no lazy update).
+        plan.exposed_scheduling_ns = 500.0 + 90.0 * plan.num_ctas() as f64;
+        plan.l2_affinity = L2Affinity::Scattered;
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_kernel::{execute_numeric, reference_output, simulate_plan, KvStore, QueryActivations};
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+
+    fn shared_batch(n: u32, shared: u32, private: u32) -> DecodeBatch {
+        let tables = (0..n)
+            .map(|q| {
+                let ids: Vec<BlockId> = (0..shared)
+                    .map(BlockId)
+                    .chain((0..private).map(|i| BlockId(1000 + q * 100 + i)))
+                    .collect();
+                BlockTable::new(ids, ((shared + private) * 16) as usize, 16)
+            })
+            .collect();
+        DecodeBatch::new(HeadConfig::new(32, 8, 128), tables, 2)
+    }
+
+    #[test]
+    fn flash_attention_is_numerically_exact() {
+        let head = HeadConfig::new(8, 4, 16);
+        let tables = (0..3u32)
+            .map(|q| {
+                BlockTable::new(vec![BlockId(0), BlockId(10 + q)], 28, 16)
+            })
+            .collect();
+        let b = DecodeBatch::new(head, tables, 2);
+        let plan = FlashAttention::new().plan(&b, &GpuSpec::a100_sxm4_80gb());
+        let acts = QueryActivations::synthetic(head, 3, 1);
+        let store = KvStore::synthetic_for(&b, 2);
+        let got = execute_numeric(&b, &acts, &store, &plan).unwrap();
+        assert!(got.max_abs_diff(&reference_output(&b, &acts, &store)) < 1e-4);
+    }
+
+    #[test]
+    fn flash_infer_is_numerically_exact() {
+        let head = HeadConfig::new(8, 4, 16);
+        let tables = (0..3u32)
+            .map(|q| BlockTable::new(vec![BlockId(0), BlockId(1), BlockId(10 + q)], 44, 16))
+            .collect();
+        let b = DecodeBatch::new(head, tables, 2);
+        let plan = FlashInfer::new().plan(&b, &GpuSpec::a100_sxm4_80gb());
+        let acts = QueryActivations::synthetic(head, 3, 1);
+        let store = KvStore::synthetic_for(&b, 2);
+        let got = execute_numeric(&b, &acts, &store, &plan).unwrap();
+        assert!(got.max_abs_diff(&reference_output(&b, &acts, &store)) < 1e-4);
+    }
+
+    #[test]
+    fn flash_infer_splits_long_kv_at_small_batch() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let b = shared_batch(2, 0, 512); // two queries, 8k tokens each
+        let fa = FlashAttention::new().plan(&b, &spec);
+        let fi = FlashInfer::new().plan(&b, &spec);
+        assert_eq!(fa.num_ctas(), 2);
+        assert!(fi.num_ctas() > 16, "FlashInfer load-balances long KV");
+        let fa_t = simulate_plan(&b, &fa, &spec).unwrap();
+        let fi_t = simulate_plan(&b, &fi, &spec).unwrap();
+        assert!(
+            fi_t.forward_ns < fa_t.forward_ns,
+            "splitting fills SMs: {} !< {}",
+            fi_t.forward_ns,
+            fa_t.forward_ns
+        );
+    }
+
+    #[test]
+    fn flash_infer_overhead_grows_with_batch() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let small = FlashInfer::new().plan(&shared_batch(4, 8, 8), &spec);
+        let large = FlashInfer::new().plan(&shared_batch(128, 8, 8), &spec);
+        assert!(large.exposed_scheduling_ns > small.exposed_scheduling_ns);
+    }
+
+    #[test]
+    fn both_support_everything() {
+        let b = shared_batch(4, 8, 8);
+        assert!(FlashAttention::new().supports(&b));
+        assert!(FlashInfer::new().supports(&b));
+    }
+}

@@ -1,0 +1,222 @@
+//! RelayAttention and RelayAttention++ (§8.2 baselines 4–5).
+//!
+//! RelayAttention packs the single first-level shared system prefix into
+//! dedicated CTAs and delegates the per-request suffixes to FlashAttention's
+//! kernel. It cannot handle multi-level prefixes or multiple first-level
+//! prefixes (missing bars in Fig. 11/12).
+//!
+//! RelayAttention++ is the paper's extension: deeper shared prefixes stay in
+//! one physical copy (vLLM-style reuse), and suffix CTAs that share blocks
+//! are issued adjacently so the redundant re-loads hit L2
+//! ([`L2Affinity::Grouped`]). It still requires a single first-level prefix.
+
+use attn_kernel::{
+    AttentionBackend, CtaPlan, DecodeBatch, KernelPlan, KvSlice, L2Affinity, TileConfig,
+};
+use kv_cache::PrefixForest;
+use sim_gpu::GpuSpec;
+
+/// Tile of the delegated FlashAttention kernel.
+const FA_TILE: TileConfig = TileConfig { m: 64, n: 128 };
+
+/// Builds the relay plan: prefix CTAs (chunked over queries to fit the FA
+/// tile) plus one suffix CTA per query.
+fn relay_plan(batch: &DecodeBatch, affinity: L2Affinity) -> KernelPlan {
+    let bs = batch.block_size();
+    let forest = batch.forest();
+    let root = &forest.roots()[0];
+    let prefix_blocks = root.blocks.clone();
+    let prefix_tokens = root.token_len;
+    let g = batch.head().group_size();
+    let per_cta = (FA_TILE.m / g).max(1);
+
+    let mut ctas = Vec::new();
+    let queries: Vec<usize> = (0..batch.num_queries()).collect();
+    for chunk in queries.chunks(per_cta) {
+        ctas.push(CtaPlan {
+            queries: chunk.to_vec(),
+            kv: KvSlice::new(prefix_blocks.clone(), prefix_tokens, bs),
+            tile: FA_TILE,
+            stream: 0,
+            phase: 0,
+        });
+    }
+    // The suffix kernel launches after the prefix (relay) kernel completes:
+    // two serial FlashAttention launches on one stream.
+    for q in 0..batch.num_queries() {
+        let table = &batch.tables()[q];
+        let suffix_blocks = table.blocks()[prefix_blocks.len()..].to_vec();
+        let tokens = table.num_tokens() - prefix_tokens;
+        if tokens > 0 {
+            ctas.push(CtaPlan {
+                queries: vec![q],
+                kv: KvSlice::new(suffix_blocks, tokens, bs),
+                tile: FA_TILE,
+                stream: 0,
+                phase: 1,
+            });
+        }
+    }
+    let mut plan = KernelPlan::new(ctas);
+    plan.l2_affinity = affinity;
+    // Relay delegates its forward kernels to FlashAttention, inheriting its
+    // GQA-oblivious per-query-head grid (§8.4: Relay's curves track FA's).
+    plan.per_query_head_kv = true;
+    plan
+}
+
+/// Whether the batch has exactly one first-level prefix covering all queries.
+fn single_first_level_prefix(forest: &PrefixForest, num_queries: usize) -> bool {
+    forest.roots().len() == 1
+        && forest.roots()[0].num_queries() == num_queries
+        && forest.roots()[0].token_len > 0
+        && num_queries > 1
+}
+
+/// RelayAttention: single system-prefix relay + FlashAttention suffixes.
+#[derive(Debug, Clone, Default)]
+pub struct RelayAttention;
+
+impl RelayAttention {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        RelayAttention
+    }
+}
+
+impl AttentionBackend for RelayAttention {
+    fn name(&self) -> &str {
+        "RelayAttention"
+    }
+
+    fn supports(&self, batch: &DecodeBatch) -> bool {
+        let forest = batch.forest();
+        // No multi-level prefixes: below the shared root, every child must be
+        // a private leaf.
+        single_first_level_prefix(&forest, batch.num_queries())
+            && forest.roots()[0].children.iter().all(|c| c.is_leaf())
+    }
+
+    fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
+        relay_plan(batch, L2Affinity::Scattered)
+    }
+}
+
+/// RelayAttention++: relay + KV-cache reuse for deeper prefixes via L2.
+#[derive(Debug, Clone, Default)]
+pub struct RelayAttentionPP;
+
+impl RelayAttentionPP {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        RelayAttentionPP
+    }
+}
+
+impl AttentionBackend for RelayAttentionPP {
+    fn name(&self) -> &str {
+        "RelayAttention++"
+    }
+
+    fn supports(&self, batch: &DecodeBatch) -> bool {
+        // Multi-level prefixes are fine (they reuse L2), but there must be a
+        // single first-level prefix shared by every request.
+        single_first_level_prefix(&batch.forest(), batch.num_queries())
+    }
+
+    fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
+        relay_plan(batch, L2Affinity::Grouped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_kernel::{execute_numeric, reference_output, simulate_plan, KvStore, QueryActivations};
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+
+    /// All queries share blocks [0..8); multi_level adds a second-level
+    /// prefix for half the queries.
+    fn batch(head: HeadConfig, multi_level: bool) -> DecodeBatch {
+        let tables = (0..6u32)
+            .map(|q| {
+                let mut ids: Vec<BlockId> = (0..8).map(BlockId).collect();
+                if multi_level && q < 3 {
+                    ids.extend((50..54).map(BlockId));
+                }
+                ids.push(BlockId(100 + q));
+                let blocks = ids.len();
+                BlockTable::new(ids, blocks * 16, 16)
+            })
+            .collect();
+        DecodeBatch::new(head, tables, 2)
+    }
+
+    #[test]
+    fn relay_supports_only_single_level() {
+        let head = HeadConfig::new(32, 8, 128);
+        assert!(RelayAttention::new().supports(&batch(head, false)));
+        assert!(!RelayAttention::new().supports(&batch(head, true)));
+        assert!(RelayAttentionPP::new().supports(&batch(head, true)));
+    }
+
+    #[test]
+    fn no_shared_root_means_unsupported() {
+        let head = HeadConfig::new(32, 8, 128);
+        let tables = (0..4u32)
+            .map(|q| BlockTable::new(vec![BlockId(q * 10), BlockId(q * 10 + 1)], 32, 16))
+            .collect();
+        let b = DecodeBatch::new(head, tables, 2);
+        assert!(!RelayAttention::new().supports(&b));
+        assert!(!RelayAttentionPP::new().supports(&b));
+    }
+
+    #[test]
+    fn relay_plan_is_numerically_exact() {
+        let head = HeadConfig::new(8, 4, 16);
+        let b = batch(head, false);
+        let plan = RelayAttention::new().plan(&b, &GpuSpec::a100_sxm4_80gb());
+        plan.validate(&b).unwrap();
+        let acts = QueryActivations::synthetic(head, b.num_queries(), 7);
+        let store = KvStore::synthetic_for(&b, 8);
+        let got = execute_numeric(&b, &acts, &store, &plan).unwrap();
+        assert!(got.max_abs_diff(&reference_output(&b, &acts, &store)) < 1e-4);
+    }
+
+    #[test]
+    fn relay_pp_plan_is_numerically_exact_on_multi_level() {
+        let head = HeadConfig::new(8, 4, 16);
+        let b = batch(head, true);
+        let plan = RelayAttentionPP::new().plan(&b, &GpuSpec::a100_sxm4_80gb());
+        plan.validate(&b).unwrap();
+        let acts = QueryActivations::synthetic(head, b.num_queries(), 7);
+        let store = KvStore::synthetic_for(&b, 8);
+        let got = execute_numeric(&b, &acts, &store, &plan).unwrap();
+        assert!(got.max_abs_diff(&reference_output(&b, &acts, &store)) < 1e-4);
+    }
+
+    #[test]
+    fn relay_pp_beats_relay_on_deep_prefixes() {
+        // Large second-level prefixes: ++'s grouped L2 reuse cuts DRAM
+        // traffic relative to plain relay (§8.3: 67.4% latency reduction).
+        let head = HeadConfig::new(32, 8, 128);
+        let tables = (0..16u32)
+            .map(|q| {
+                let mut ids: Vec<BlockId> = (0..64).map(BlockId).collect();
+                ids.extend((1000 + (q / 8) * 1000..1000 + (q / 8) * 1000 + 640).map(BlockId));
+                ids.push(BlockId(20_000 + q));
+                let blocks = ids.len();
+                BlockTable::new(ids, blocks * 16, 16)
+            })
+            .collect();
+        let b = DecodeBatch::new(head, tables, 2);
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let pp = RelayAttentionPP::new().plan(&b, &spec);
+        let base = relay_plan(&b, L2Affinity::Scattered);
+        let t_pp = simulate_plan(&b, &pp, &spec).unwrap();
+        let t_base = simulate_plan(&b, &base, &spec).unwrap();
+        assert!(t_pp.traffic.kv_dram_bytes < t_base.traffic.kv_dram_bytes);
+        assert!(t_pp.forward_ns < t_base.forward_ns);
+    }
+}

@@ -1,0 +1,132 @@
+//! §9 "Prospects and Limitations" — two quantified discussion points:
+//!
+//! 1. **Hardware compute-to-bandwidth ratio.** As GPUs become more
+//!    compute-dominant (V100 → B200: 139 → 312 FLOP/Byte), memory-focused
+//!    designs like PAT become increasingly valuable. We sweep four
+//!    generations and report PAT's speedup over FlashAttention on the same
+//!    shared-prefix batch.
+//!
+//! 2. **Model architecture.** PAT's gains are large for KV-retaining
+//!    attention (MHA, GQA) and shrink as the KV state is compressed
+//!    (MQA / MLA-like single-kv-head, reduced head dim): less KV traffic
+//!    means less redundancy to eliminate.
+
+use attn_kernel::{simulate_plan, AttentionBackend};
+use attn_math::HeadConfig;
+use baselines::{FlashAttention, FlashInfer};
+use pat_bench::{banner, save_json};
+use pat_core::PatBackend;
+use serde::Serialize;
+use serving::{latency_breakdown, ModelSpec};
+use sim_gpu::GpuSpec;
+use workloads::BatchSpec;
+
+#[derive(Serialize)]
+struct HwRow {
+    device: String,
+    flops_per_byte: f64,
+    pat_us: f64,
+    fa_us: f64,
+    speedup: f64,
+    attention_share_pct: f64,
+}
+
+#[derive(Serialize)]
+struct ArchRow {
+    architecture: String,
+    kv_bytes_per_token: usize,
+    pat_us: f64,
+    baseline_us: f64,
+    saved_us: f64,
+}
+
+fn vs_backend(
+    batch: &attn_kernel::DecodeBatch,
+    spec: &GpuSpec,
+    baseline: &dyn AttentionBackend,
+) -> (f64, f64) {
+    let pat = simulate_plan(batch, &PatBackend::new().plan(batch, spec), spec).unwrap();
+    let base = simulate_plan(batch, &baseline.plan(batch, spec), spec).unwrap();
+    (pat.total_ns / 1000.0, base.total_ns / 1000.0)
+}
+
+fn main() {
+    let workload = BatchSpec::new(vec![1, 4, 64], vec![2048, 512, 256]);
+
+    banner("§9(1) — PAT benefit across GPU generations (B=[1,4,64], L=[2048,512,256])");
+    println!(
+        "{:<18} {:>11} {:>11} {:>11} {:>9} {:>16}",
+        "device", "FLOP/Byte", "PAT (us)", "FA (us)", "speedup", "attn share @8k"
+    );
+    let mut hw_rows = Vec::new();
+    for spec in [
+        GpuSpec::v100_sxm2_32gb(),
+        GpuSpec::a100_sxm4_80gb(),
+        GpuSpec::h100_sxm5_80gb(),
+        GpuSpec::b200_sxm_192gb(),
+    ] {
+        let batch = workload.build(HeadConfig::new(32, 8, 128));
+        let (pat_us, fa_us) = vs_backend(&batch, &spec, &FlashAttention::new());
+        // Decode attention's share of a full decode step (Llama-3-8B,
+        // batch 64, 8K context) on this generation: the motivation metric.
+        let share = latency_breakdown(&ModelSpec::llama3_8b(), &spec, 64, &[8192])[0]
+            .attention_fraction;
+        println!(
+            "{:<18} {:>11.0} {:>11.1} {:>11.1} {:>8.2}x {:>15.1}%",
+            spec.name,
+            spec.flops_per_byte(),
+            pat_us,
+            fa_us,
+            fa_us / pat_us,
+            share * 100.0
+        );
+        hw_rows.push(HwRow {
+            device: spec.name.to_string(),
+            flops_per_byte: spec.flops_per_byte(),
+            pat_us,
+            fa_us,
+            speedup: fa_us / pat_us,
+            attention_share_pct: share * 100.0,
+        });
+    }
+    println!("
+note: the raw PAT-vs-FA speedup shrinks on newer parts because their much");
+    println!("larger L2 absorbs more of FA's redundancy; the memory-bound attention share");
+    println!("of the decode step stays dominant, which is §9's actual argument.");
+
+    banner("§9(2) — PAT benefit across attention architectures (A100, vs GQA-aware FlashInfer)");
+    println!(
+        "{:<26} {:>14} {:>12} {:>16} {:>12}",
+        "architecture", "KV B/token", "PAT (us)", "FlashInfer (us)", "saved (us)"
+    );
+    let mut arch_rows = Vec::new();
+    let spec = GpuSpec::a100_sxm4_80gb();
+    for (label, head) in [
+        ("MHA 32/32 d128", HeadConfig::new(32, 32, 128)),
+        ("GQA 32/8 d128", HeadConfig::new(32, 8, 128)),
+        ("MQA 32/1 d128", HeadConfig::new(32, 1, 128)),
+        ("MLA-like 32/1 d64", HeadConfig::new(32, 1, 64)),
+    ] {
+        let batch = workload.build(head);
+        let (pat_us, base_us) = vs_backend(&batch, &spec, &FlashInfer::new());
+        println!(
+            "{:<26} {:>14} {:>12.1} {:>16.1} {:>12.1}",
+            label,
+            head.kv_bytes_per_token(2),
+            pat_us,
+            base_us,
+            base_us - pat_us
+        );
+        arch_rows.push(ArchRow {
+            architecture: label.to_string(),
+            kv_bytes_per_token: head.kv_bytes_per_token(2),
+            pat_us,
+            baseline_us: base_us,
+            saved_us: base_us - pat_us,
+        });
+    }
+    println!("\npaper §9: benefits shrink for architectures that compress or remove KV");
+    println!("state (MLA, linear attention, MLKV) — the absolute time PAT saves per");
+    println!("attention call drops with the KV footprint.");
+    save_json("discussion_prospects", &(&hw_rows, &arch_rows));
+}

@@ -1,0 +1,83 @@
+//! Fig. 6a: average KV cache loaded from global memory per decode step on
+//! toolagent- and conversation-style batches — FlashAttention vs PAT vs the
+//! theoretical minimum (every distinct block loaded once).
+
+use attn_kernel::{theoretical_min_kv_bytes, DecodeBatch};
+use attn_math::HeadConfig;
+use baselines::FlashAttention;
+use kv_cache::CacheManager;
+use pat_bench::{banner, save_json, time_backend};
+use pat_core::PatBackend;
+use serde::Serialize;
+use sim_gpu::GpuSpec;
+use workloads::{generate_trace, TraceConfig, TraceKind};
+
+#[derive(Serialize)]
+struct Row {
+    trace: String,
+    fa_gb: f64,
+    pat_gb: f64,
+    optimal_gb: f64,
+    fa_over_optimal: f64,
+    fa_over_pat: f64,
+}
+
+fn main() {
+    banner("Fig. 6a — KV bytes from global memory per decode step (GB)");
+    let spec = GpuSpec::a100_sxm4_80gb();
+    let head = HeadConfig::new(32, 8, 128);
+    let mut rows = Vec::new();
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>14} {:>12}",
+        "trace", "FA", "PAT", "optimal", "FA/optimal", "FA/PAT"
+    );
+    for kind in [TraceKind::ToolAgent, TraceKind::Conversation] {
+        let requests = generate_trace(TraceConfig {
+            kind,
+            rate_per_s: 10.0,
+            duration_s: 60.0,
+            seed: 6,
+        });
+        // Decode batches of 64 concurrent requests drawn from the trace.
+        let mut cache = CacheManager::new(4_000_000, 16);
+        let (mut fa_sum, mut pat_sum, mut opt_sum) = (0.0f64, 0.0f64, 0.0f64);
+        let mut steps = 0;
+        for window in requests.chunks(64).take(6) {
+            if window.len() < 8 {
+                continue;
+            }
+            let tables: Vec<_> = window
+                .iter()
+                .map(|r| cache.insert_sequence(&r.prompt.to_tokens()).expect("pool sized"))
+                .collect();
+            let batch = DecodeBatch::new(head, tables.clone(), 2);
+            let fa = time_backend(&FlashAttention::new(), &batch, &spec).expect("supported");
+            let pat = time_backend(&PatBackend::new(), &batch, &spec).expect("supported");
+            fa_sum += fa.traffic.kv_dram_bytes;
+            pat_sum += pat.traffic.kv_dram_bytes;
+            opt_sum += theoretical_min_kv_bytes(&batch);
+            steps += 1;
+            for t in &tables {
+                cache.free_sequence(t).expect("allocated");
+            }
+        }
+        let n = steps as f64;
+        let row = Row {
+            trace: kind.name().to_string(),
+            fa_gb: fa_sum / n / 1e9,
+            pat_gb: pat_sum / n / 1e9,
+            optimal_gb: opt_sum / n / 1e9,
+            fa_over_optimal: fa_sum / opt_sum,
+            fa_over_pat: fa_sum / pat_sum,
+        };
+        println!(
+            "{:>14} {:>10.3} {:>10.3} {:>10.3} {:>13.1}x {:>11.1}x",
+            row.trace, row.fa_gb, row.pat_gb, row.optimal_gb, row.fa_over_optimal, row.fa_over_pat
+        );
+        rows.push(row);
+    }
+    // A FlashAttention-vs-backend check is meaningful per layer; the numbers
+    // above are per decode step for one layer.
+    println!("\npaper: FA loads 4.3-8.7x the theoretical minimum and 4.1-7.5x PAT.");
+    save_json("fig06_redundant_traffic", &rows);
+}

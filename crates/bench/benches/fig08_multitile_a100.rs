@@ -1,0 +1,57 @@
+//! Fig. 8: multi-tile kernel design and validation on A100-SXM4-80GB.
+//!
+//! (a) global→shared transfer latency vs data size; (b) offline-solved tile
+//! feasibility grid; (c) bandwidth utilization and (d) kernel latency across
+//! all feasible tiles on a no-prefix batch of 1134 × KV-1024 (the paper's
+//! kernel-equivalence validation).
+
+use pat_bench::{banner, kernel_equivalence, save_json};
+use pat_core::TileSolver;
+use serde::Serialize;
+use sim_gpu::{GpuSpec, TransferModel};
+
+#[derive(Serialize)]
+struct Results {
+    sweep: Vec<(f64, f64)>,
+    table: String,
+    equivalence: Vec<pat_bench::EquivalenceRow>,
+}
+
+fn main() {
+    let spec = GpuSpec::a100_sxm4_80gb();
+
+    banner("Fig. 8a — global-to-shared transfer latency vs data size (A100)");
+    let model = TransferModel::from_spec(&spec);
+    let sizes: Vec<f64> = (7..28).map(|i| 2f64.powi(i)).collect();
+    let sweep = model.latency_sweep(&sizes);
+    println!("{:>14} {:>14} {:>16}", "bytes", "latency (ns)", "eff. GB/s");
+    for &(bytes, ns) in &sweep {
+        println!("{bytes:>14.0} {ns:>14.1} {:>16.1}", bytes / ns);
+    }
+    println!("flat-region latency L = {:.0} ns, bandwidth B = {:.0} GB/s, knee = {:.2} MB",
+        model.latency_ns(), model.bandwidth(), model.knee_bytes() / 1e6);
+
+    banner("Fig. 8b — feasible tile configurations (✓; ①/②/③ = violated constraint)");
+    let solver = TileSolver::new(spec.clone(), 128, 2);
+    let table = solver.render_table();
+    print!("{table}");
+    println!("feasible configurations: {} (paper: 11)", solver.feasible_tiles().len());
+
+    banner("Fig. 8c/d — kernel equivalence @ batch 1134, KV 1024, no prefixes");
+    let rows = kernel_equivalence(&spec, 1134);
+    println!("{:>12} {:>8} {:>12} {:>14}", "tile", "C/SM", "bw util", "latency (us)");
+    for row in &rows {
+        println!(
+            "{:>12} {:>8} {:>11.1}% {:>14.1}",
+            row.tile,
+            row.ctas_per_sm,
+            row.bandwidth_utilization * 100.0,
+            row.latency_us
+        );
+    }
+    let (lo, hi) = rows.iter().fold((1.0f64, 0.0f64), |(lo, hi), r| {
+        (lo.min(r.bandwidth_utilization), hi.max(r.bandwidth_utilization))
+    });
+    println!("\nbandwidth utilization range: {:.1}%-{:.1}% (paper: 83%-86%)", lo * 100.0, hi * 100.0);
+    save_json("fig08_multitile_a100", &Results { sweep, table, equivalence: rows });
+}

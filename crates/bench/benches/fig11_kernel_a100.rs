@@ -1,0 +1,13 @@
+//! Fig. 11: normalized kernel performance of PAT and the seven baselines
+//! across 20 decode-batch configurations × 4 head configurations on the
+//! simulated A100 (higher is better; PAT = 1.00; `--` marks the paper's
+//! "missing bars" — RelayAttention on multi-level/multi-root prefixes,
+//! FastTree on the 16/8 and 64/8 head settings).
+
+use pat_bench::{run_kernel_figure, save_json};
+use sim_gpu::GpuSpec;
+
+fn main() {
+    let cells = run_kernel_figure(&GpuSpec::a100_sxm4_80gb(), "Fig. 11");
+    save_json("fig11_kernel_a100", &cells);
+}

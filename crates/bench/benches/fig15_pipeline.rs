@@ -1,0 +1,70 @@
+//! Fig. 15: CTA execution pipelines on SM0–SM5 for the two-level prefix
+//! batch (Fig. 11 config ⑥) — multi-stream PAT vs serial execution. White
+//! space (`.`) marks execution bubbles; digits are stream ids.
+
+use attn_kernel::{simulate_plan, AttentionBackend};
+use attn_math::HeadConfig;
+use pat_bench::{banner, save_json};
+use pat_core::ablation::{pat, pat_serial};
+use serde::Serialize;
+use sim_gpu::GpuSpec;
+use workloads::BatchSpec;
+
+#[derive(Serialize)]
+struct Results {
+    multi_stream_gantt: String,
+    serial_gantt: String,
+    multi_stream_bubble: f64,
+    serial_bubble: f64,
+    multi_stream_us: f64,
+    serial_us: f64,
+}
+
+fn main() {
+    let spec = GpuSpec::a100_sxm4_80gb();
+    let head = HeadConfig::new(32, 8, 128);
+    // Fig. 11 configuration ⑥: B=[1,4,16], L=[128,256,1024].
+    let batch = BatchSpec::new(vec![1, 4, 16], vec![128, 256, 1024]).build(head);
+
+    let run = |backend: &dyn AttentionBackend| {
+        let plan = backend.plan(&batch, &spec);
+        simulate_plan(&batch, &plan, &spec).expect("valid plan")
+    };
+    let multi = run(&pat());
+    let serial = run(&pat_serial());
+
+    banner("Fig. 15a — PAT multi-stream execution pipeline (SM0-SM5)");
+    let multi_gantt = multi.trace.render_gantt(6, 96);
+    print!("{multi_gantt}");
+    println!(
+        "forward latency {:.1} us, bubble fraction {:.1}%",
+        multi.forward_ns / 1000.0,
+        multi.trace.bubble_fraction(spec.num_sms) * 100.0
+    );
+
+    banner("Fig. 15b — serial execution pipeline (SM0-SM5)");
+    let serial_gantt = serial.trace.render_gantt(6, 96);
+    print!("{serial_gantt}");
+    println!(
+        "forward latency {:.1} us, bubble fraction {:.1}%",
+        serial.forward_ns / 1000.0,
+        serial.trace.bubble_fraction(spec.num_sms) * 100.0
+    );
+
+    println!(
+        "\nmulti-stream reduces forward latency by {:.1}% on this batch (paper §8.6: ~4.8%",
+        (1.0 - multi.forward_ns / serial.forward_ns) * 100.0
+    );
+    println!("averaged over the full suite).");
+    save_json(
+        "fig15_pipeline",
+        &Results {
+            multi_stream_bubble: multi.trace.bubble_fraction(spec.num_sms),
+            serial_bubble: serial.trace.bubble_fraction(spec.num_sms),
+            multi_stream_us: multi.forward_ns / 1000.0,
+            serial_us: serial.forward_ns / 1000.0,
+            multi_stream_gantt: multi_gantt,
+            serial_gantt: serial_gantt,
+        },
+    );
+}

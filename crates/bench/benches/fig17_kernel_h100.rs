@@ -1,0 +1,10 @@
+//! Fig. 17 (Appendix A): the Fig. 11 kernel benchmark re-run on the
+//! simulated H100, with the tile suite re-derived by the constraint solver.
+
+use pat_bench::{run_kernel_figure, save_json};
+use sim_gpu::GpuSpec;
+
+fn main() {
+    let cells = run_kernel_figure(&GpuSpec::h100_sxm5_80gb(), "Fig. 17");
+    save_json("fig17_kernel_h100", &cells);
+}

@@ -1,0 +1,41 @@
+//! Table 1: memory hierarchy of the simulated A100-SXM4-80GB (plus the H100
+//! used in §5.2/Appendix A).
+
+use pat_bench::{banner, save_json};
+use serde::Serialize;
+use sim_gpu::GpuSpec;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    level: String,
+    shared_by: String,
+    size_bytes: u64,
+    latency_ns: f64,
+    bandwidth_gbps: f64,
+    on_chip: bool,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in [GpuSpec::a100_sxm4_80gb(), GpuSpec::h100_sxm5_80gb()] {
+        banner(&format!("Table 1 — memory hierarchy of {}", spec.name));
+        print!("{spec}");
+        for level in spec.memory_hierarchy() {
+            rows.push(Row {
+                device: spec.name.to_string(),
+                level: level.name.to_string(),
+                shared_by: level.shared_by.to_string(),
+                size_bytes: level.size_bytes,
+                latency_ns: level.latency_ns,
+                bandwidth_gbps: level.bandwidth,
+                on_chip: level.on_chip,
+            });
+        }
+        println!(
+            "in-flight bytes to saturate HBM (L*B): {:.2} MB",
+            spec.inflight_bytes_to_saturate() / 1e6
+        );
+    }
+    save_json("table1_memory_hierarchy", &rows);
+}

@@ -1,0 +1,285 @@
+//! # pat-bench — harnesses regenerating every table and figure of the paper
+//!
+//! Each `cargo bench -p pat-bench --bench <name>` target is a standalone
+//! harness (no criterion timing loop — the numbers *are* simulation outputs)
+//! that prints the same rows/series the paper reports and persists them as
+//! JSON under `target/bench-results/`. The `micro` target additionally runs
+//! criterion micro-benchmarks of the host-side hot paths (pack scheduler,
+//! online-softmax merge, tiled attention).
+//!
+//! See `DESIGN.md` for the experiment ↔ module index and `EXPERIMENTS.md`
+//! for paper-vs-measured numbers.
+
+use attn_kernel::{simulate_plan, AttentionBackend, DecodeBatch, TimingReport};
+use baselines::{
+    Cascade, Deft, FastTree, FlashAttention, FlashInfer, RelayAttention, RelayAttentionPP,
+};
+use pat_core::PatBackend;
+use serde::Serialize;
+use sim_gpu::GpuSpec;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Directory where bench harnesses persist their JSON series.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-results");
+    fs::create_dir_all(&dir).expect("create bench-results dir");
+    dir
+}
+
+/// Writes a JSON-serializable result set for later inspection.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    fs::write(&path, json).expect("write results");
+    println!("[saved {}]", path.display());
+}
+
+/// The eight systems of the kernel benchmark (Fig. 11/17), PAT first.
+pub fn kernel_systems() -> Vec<Box<dyn AttentionBackend>> {
+    vec![
+        Box::new(PatBackend::new()),
+        Box::new(FlashAttention::new()),
+        Box::new(FlashInfer::new()),
+        Box::new(FastTree::new()),
+        Box::new(RelayAttention::new()),
+        Box::new(RelayAttentionPP::new()),
+        Box::new(Deft::new()),
+        Box::new(Cascade::new()),
+    ]
+}
+
+/// One measured cell of a kernel benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelCell {
+    /// System name.
+    pub system: String,
+    /// Batch-spec label.
+    pub config: String,
+    /// Head configuration label.
+    pub heads: String,
+    /// Attention latency in microseconds (`None` when unsupported).
+    pub latency_us: Option<f64>,
+    /// Normalized performance (PAT = 1.0).
+    pub normalized: Option<f64>,
+}
+
+/// Simulates one backend on one batch; `None` if unsupported.
+pub fn time_backend(
+    backend: &dyn AttentionBackend,
+    batch: &DecodeBatch,
+    spec: &GpuSpec,
+) -> Option<TimingReport> {
+    if !backend.supports(batch) {
+        return None;
+    }
+    let plan = backend.plan(batch, spec);
+    plan.validate(batch).unwrap_or_else(|e| {
+        panic!("{} produced an invalid plan: {e}", backend.name());
+    });
+    Some(simulate_plan(batch, &plan, spec).expect("plan simulates"))
+}
+
+/// Formats an optional latency for table output.
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:8.1}"),
+        None => format!("{:>8}", "--"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+
+    #[test]
+    fn kernel_systems_has_eight_entries_pat_first() {
+        let systems = kernel_systems();
+        assert_eq!(systems.len(), 8);
+        assert_eq!(systems[0].name(), "PAT");
+    }
+
+    #[test]
+    fn time_backend_returns_none_for_unsupported() {
+        let batch = DecodeBatch::new(
+            HeadConfig::new(16, 8, 128), // group size 2: FastTree unsupported
+            vec![BlockTable::new(vec![BlockId(0)], 16, 16)],
+            2,
+        );
+        let spec = GpuSpec::a100_sxm4_80gb();
+        assert!(time_backend(&FastTree::new(), &batch, &spec).is_none());
+        assert!(time_backend(&FlashAttention::new(), &batch, &spec).is_some());
+    }
+}
+
+/// Runs the full kernel benchmark grid (Fig. 11 on A100, Fig. 17 on H100):
+/// 20 decode-batch configurations × 4 head configurations × 8 systems.
+/// Prints normalized performance (PAT = 1.00, higher is better) and returns
+/// all cells.
+pub fn run_kernel_figure(spec: &GpuSpec, figure: &str) -> Vec<KernelCell> {
+    use attn_math::HeadConfig;
+    use workloads::figure11_specs;
+
+    let systems = kernel_systems();
+    let mut cells = Vec::new();
+    for head in HeadConfig::paper_benchmark_set() {
+        banner(&format!(
+            "{figure} — heads {}/{} on {}  (normalized perf, PAT = 1.00; -- = unsupported)",
+            head.num_heads(),
+            head.num_kv_heads(),
+            spec.name
+        ));
+        print!("{:<28}", "config");
+        for s in &systems {
+            print!(" {:>10}", shorten(s.name()));
+        }
+        println!();
+        for (i, batch_spec) in figure11_specs().iter().enumerate() {
+            let batch = batch_spec.build(head);
+            let times: Vec<Option<f64>> = systems
+                .iter()
+                .map(|s| time_backend(s.as_ref(), &batch, spec).map(|r| r.total_ns))
+                .collect();
+            let pat_ns = times[0].expect("PAT supports everything");
+            print!("({:>2}) {:<23}", i + 1, batch_spec.label());
+            for (s, t) in systems.iter().zip(&times) {
+                let normalized = t.map(|ns| pat_ns / ns);
+                match normalized {
+                    Some(x) => print!(" {x:>10.2}"),
+                    None => print!(" {:>10}", "--"),
+                }
+                cells.push(KernelCell {
+                    system: s.name().to_string(),
+                    config: batch_spec.label(),
+                    heads: format!("{}/{}", head.num_heads(), head.num_kv_heads()),
+                    latency_us: t.map(|ns| ns / 1000.0),
+                    normalized,
+                });
+            }
+            println!();
+        }
+    }
+    summarize_kernel_cells(&cells);
+    cells
+}
+
+fn shorten(name: &str) -> String {
+    match name {
+        "FlashAttention" => "FA".into(),
+        "FlashInfer" => "FI".into(),
+        "RelayAttention" => "Relay".into(),
+        "RelayAttention++" => "Relay++".into(),
+        other => other.into(),
+    }
+}
+
+/// Prints the §8.3-style summary: average latency reduction and max speedup
+/// of PAT vs each baseline over the prefixed configurations.
+pub fn summarize_kernel_cells(cells: &[KernelCell]) {
+    use std::collections::BTreeMap;
+    let mut per_system: BTreeMap<&str, Vec<(f64, f64)>> = BTreeMap::new();
+    for cell in cells {
+        if cell.system == "PAT" || !cell.config.contains("B=[1,") && !cell.config.contains("B=[2,")
+            && !cell.config.contains("B=[4,") && !cell.config.contains("B=[8,")
+        {
+            continue;
+        }
+        // Pair this cell with PAT's latency on the same (config, heads).
+        let pat = cells
+            .iter()
+            .find(|c| c.system == "PAT" && c.config == cell.config && c.heads == cell.heads)
+            .and_then(|c| c.latency_us);
+        if let (Some(pat_us), Some(base_us)) = (pat, cell.latency_us) {
+            per_system.entry(cell.system.as_str()).or_default().push((pat_us, base_us));
+        }
+    }
+    banner("Summary over shared-prefix configs (paper §8.3)");
+    let mut all_reductions = Vec::new();
+    for (system, pairs) in per_system {
+        let mean_reduction = pairs
+            .iter()
+            .map(|(p, b)| (1.0 - p / b) * 100.0)
+            .sum::<f64>()
+            / pairs.len() as f64;
+        let max_speedup =
+            pairs.iter().map(|(p, b)| b / p).fold(0.0f64, f64::max);
+        println!(
+            "vs {system:<18} mean attention-latency reduction {mean_reduction:5.1}%   max speedup {max_speedup:5.1}x   (n={})",
+            pairs.len()
+        );
+        all_reductions.extend(pairs.iter().map(|(p, b)| (1.0 - p / b) * 100.0));
+    }
+    if !all_reductions.is_empty() {
+        let overall = all_reductions.iter().sum::<f64>() / all_reductions.len() as f64;
+        println!("overall mean reduction: {overall:.1}%  (paper: 53.5%)");
+    }
+}
+
+/// One row of the kernel-equivalence validation (Fig. 8c/d, Fig. 9).
+#[derive(Debug, Clone, Serialize)]
+pub struct EquivalenceRow {
+    /// Tile configuration label.
+    pub tile: String,
+    /// Resident CTAs per SM.
+    pub ctas_per_sm: usize,
+    /// Average HBM bandwidth utilization.
+    pub bandwidth_utilization: f64,
+    /// Kernel latency in microseconds.
+    pub latency_us: f64,
+}
+
+/// Runs the kernel-equivalence validation of §5.2: a no-prefix decode batch
+/// (KV length 1024) executed under every feasible tile configuration. All
+/// feasible tiles should sustain similar bandwidth utilization and latency.
+pub fn kernel_equivalence(spec: &GpuSpec, batch_size: usize) -> Vec<EquivalenceRow> {
+    use attn_kernel::{CtaPlan, KernelPlan, KvSlice};
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+    use pat_core::TileSolver;
+    use sim_gpu::Occupancy;
+
+    let head = HeadConfig::new(32, 8, 128);
+    let bs = 16;
+    let blocks_per_q = 1024 / bs;
+    let tables: Vec<BlockTable> = (0..batch_size)
+        .map(|q| {
+            let ids: Vec<BlockId> =
+                (0..blocks_per_q as u32).map(|i| BlockId(q as u32 * 1000 + i)).collect();
+            BlockTable::new(ids, 1024, bs)
+        })
+        .collect();
+    let batch = DecodeBatch::new(head, tables, 2);
+    let solver = TileSolver::new(spec.clone(), head.head_dim(), 2);
+    let occupancy = Occupancy::new(spec.clone());
+
+    let mut rows = Vec::new();
+    for tile in solver.feasible_tiles() {
+        let ctas: Vec<CtaPlan> = (0..batch_size)
+            .map(|q| CtaPlan {
+                queries: vec![q],
+                kv: KvSlice::new(batch.tables()[q].blocks().to_vec(), 1024, bs),
+                tile,
+                stream: 0,
+                phase: 0,
+            })
+            .collect();
+        let plan = KernelPlan::new(ctas);
+        let report = simulate_plan(&batch, &plan, spec).expect("valid plan");
+        rows.push(EquivalenceRow {
+            tile: tile.to_string(),
+            ctas_per_sm: occupancy.ctas_per_sm(tile.resources(128, 2)).unwrap_or(0),
+            bandwidth_utilization: report.bandwidth_utilization,
+            latency_us: report.forward_ns / 1000.0,
+        });
+    }
+    rows
+}

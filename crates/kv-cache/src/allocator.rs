@@ -1,0 +1,186 @@
+//! Reference-counted paged block allocator.
+//!
+//! Physical KV blocks are a fixed pool; prefix reuse (vLLM/SGLang style, §3.1)
+//! maps the same physical block into many requests' block tables, tracked by
+//! reference counts. Freeing decrements; blocks return to the free list at
+//! zero.
+
+use crate::BlockId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors from [`BlockAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The pool is exhausted.
+    OutOfBlocks,
+    /// The block is not currently allocated.
+    NotAllocated(BlockId),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfBlocks => write!(f, "kv block pool exhausted"),
+            AllocError::NotAllocated(b) => write!(f, "block {b} is not allocated"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A fixed pool of KV blocks with per-block reference counts.
+///
+/// # Examples
+///
+/// ```
+/// use kv_cache::BlockAllocator;
+///
+/// let mut pool = BlockAllocator::new(4);
+/// let b = pool.allocate()?;
+/// pool.retain(b)?;            // share with a second request
+/// pool.release(b)?;           // first request departs
+/// assert_eq!(pool.free_blocks(), 3);
+/// pool.release(b)?;           // last owner departs
+/// assert_eq!(pool.free_blocks(), 4);
+/// # Ok::<(), kv_cache::AllocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    refcounts: Vec<u32>,
+    free: VecDeque<BlockId>,
+}
+
+impl BlockAllocator {
+    /// Creates a pool of `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        BlockAllocator {
+            refcounts: vec![0; capacity],
+            free: (0..capacity as u32).map(BlockId).collect(),
+        }
+    }
+
+    /// Total pool capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.refcounts.len()
+    }
+
+    /// Blocks currently free.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Blocks currently allocated (refcount ≥ 1).
+    pub fn used_blocks(&self) -> usize {
+        self.capacity() - self.free_blocks()
+    }
+
+    /// Allocates a fresh block with refcount 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfBlocks`] when the pool is exhausted.
+    pub fn allocate(&mut self) -> Result<BlockId, AllocError> {
+        let block = self.free.pop_front().ok_or(AllocError::OutOfBlocks)?;
+        self.refcounts[block.0 as usize] = 1;
+        Ok(block)
+    }
+
+    /// Increments the refcount of an allocated block (prefix sharing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] if the block is free.
+    pub fn retain(&mut self, block: BlockId) -> Result<(), AllocError> {
+        let rc = self
+            .refcounts
+            .get_mut(block.0 as usize)
+            .ok_or(AllocError::NotAllocated(block))?;
+        if *rc == 0 {
+            return Err(AllocError::NotAllocated(block));
+        }
+        *rc += 1;
+        Ok(())
+    }
+
+    /// Decrements the refcount; frees the block at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] if the block is already free.
+    pub fn release(&mut self, block: BlockId) -> Result<(), AllocError> {
+        let rc = self
+            .refcounts
+            .get_mut(block.0 as usize)
+            .ok_or(AllocError::NotAllocated(block))?;
+        if *rc == 0 {
+            return Err(AllocError::NotAllocated(block));
+        }
+        *rc -= 1;
+        if *rc == 0 {
+            self.free.push_back(block);
+        }
+        Ok(())
+    }
+
+    /// Current refcount of `block` (0 if free or out of range).
+    pub fn refcount(&self, block: BlockId) -> u32 {
+        self.refcounts.get(block.0 as usize).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_exhausted() {
+        let mut pool = BlockAllocator::new(2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(pool.allocate(), Err(AllocError::OutOfBlocks));
+        pool.release(a).unwrap();
+        assert!(pool.allocate().is_ok());
+    }
+
+    #[test]
+    fn sharing_keeps_block_alive() {
+        let mut pool = BlockAllocator::new(1);
+        let b = pool.allocate().unwrap();
+        pool.retain(b).unwrap();
+        pool.retain(b).unwrap();
+        assert_eq!(pool.refcount(b), 3);
+        pool.release(b).unwrap();
+        pool.release(b).unwrap();
+        assert_eq!(pool.free_blocks(), 0);
+        pool.release(b).unwrap();
+        assert_eq!(pool.free_blocks(), 1);
+    }
+
+    #[test]
+    fn double_release_is_an_error() {
+        let mut pool = BlockAllocator::new(1);
+        let b = pool.allocate().unwrap();
+        pool.release(b).unwrap();
+        assert_eq!(pool.release(b), Err(AllocError::NotAllocated(b)));
+    }
+
+    #[test]
+    fn retain_of_free_block_is_an_error() {
+        let mut pool = BlockAllocator::new(1);
+        assert_eq!(pool.retain(BlockId(0)), Err(AllocError::NotAllocated(BlockId(0))));
+        assert_eq!(pool.retain(BlockId(9)), Err(AllocError::NotAllocated(BlockId(9))));
+    }
+
+    #[test]
+    fn used_plus_free_is_capacity() {
+        let mut pool = BlockAllocator::new(8);
+        let mut held = Vec::new();
+        for _ in 0..5 {
+            held.push(pool.allocate().unwrap());
+        }
+        assert_eq!(pool.used_blocks() + pool.free_blocks(), 8);
+        assert_eq!(pool.used_blocks(), 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! KV-cache blocks and block tables.
+//!
+//! Following vLLM's paged KV cache (§2.1, §8.1 of the paper), the KV entries
+//! of a sequence are stored in fixed-size blocks of `block_size` tokens.
+//! A request's logical sequence maps to physical blocks through its
+//! [`BlockTable`]; shared prefixes appear as identical leading block ids
+//! across tables.
+
+use std::fmt;
+
+/// Identifier of a physical KV block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl From<u32> for BlockId {
+    fn from(v: u32) -> Self {
+        BlockId(v)
+    }
+}
+
+/// Default KV-block size in tokens; the paper notes block sizes are typically
+/// at least 16, which makes intra-node packing always profitable (§5.1).
+pub const DEFAULT_BLOCK_SIZE: usize = 16;
+
+/// The per-request row of the block table: physical block ids plus the exact
+/// token count (the last block may be partially filled).
+///
+/// # Examples
+///
+/// ```
+/// use kv_cache::{BlockId, BlockTable};
+///
+/// let table = BlockTable::new(vec![BlockId(0), BlockId(1)], 20, 16);
+/// assert_eq!(table.num_tokens(), 20);
+/// assert_eq!(table.tokens_in_block(1), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockTable {
+    blocks: Vec<BlockId>,
+    num_tokens: usize,
+    block_size: usize,
+}
+
+impl BlockTable {
+    /// Creates a block table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero or `blocks` cannot hold `num_tokens`.
+    pub fn new(blocks: Vec<BlockId>, num_tokens: usize, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(
+            num_tokens <= blocks.len() * block_size,
+            "{num_tokens} tokens do not fit in {} blocks of {block_size}",
+            blocks.len()
+        );
+        assert!(
+            blocks.len() <= num_tokens.div_ceil(block_size),
+            "trailing unused blocks are not allowed"
+        );
+        BlockTable { blocks, num_tokens, block_size }
+    }
+
+    /// Creates an empty table for a fresh request.
+    pub fn empty(block_size: usize) -> Self {
+        BlockTable::new(Vec::new(), 0, block_size)
+    }
+
+    /// The physical block ids, in sequence order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Total KV tokens stored.
+    pub fn num_tokens(&self) -> usize {
+        self.num_tokens
+    }
+
+    /// The block size in tokens.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Tokens stored in block index `i` (the final block may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn tokens_in_block(&self, i: usize) -> usize {
+        assert!(i < self.blocks.len(), "block index {i} out of bounds");
+        if i + 1 < self.blocks.len() {
+            self.block_size
+        } else {
+            self.num_tokens - i * self.block_size
+        }
+    }
+
+    /// Appends `block` and accounts for `tokens` new tokens in it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous block is not full or `tokens` exceeds the block
+    /// size.
+    pub fn push_block(&mut self, block: BlockId, tokens: usize) {
+        assert!(tokens >= 1 && tokens <= self.block_size);
+        assert!(
+            self.num_tokens == self.blocks.len() * self.block_size,
+            "previous block must be full before appending"
+        );
+        self.blocks.push(block);
+        self.num_tokens += tokens;
+    }
+
+    /// Adds `tokens` tokens to the final (partial) block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if they do not fit.
+    pub fn extend_last_block(&mut self, tokens: usize) {
+        assert!(
+            self.num_tokens + tokens <= self.blocks.len() * self.block_size,
+            "tokens overflow the last block"
+        );
+        self.num_tokens += tokens;
+    }
+
+    /// Length of the longest common block prefix with `other`.
+    pub fn common_prefix_blocks(&self, other: &BlockTable) -> usize {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_last_block_is_tracked() {
+        let t = BlockTable::new(vec![BlockId(3), BlockId(7), BlockId(9)], 36, 16);
+        assert_eq!(t.tokens_in_block(0), 16);
+        assert_eq!(t.tokens_in_block(1), 16);
+        assert_eq!(t.tokens_in_block(2), 4);
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut t = BlockTable::empty(16);
+        t.push_block(BlockId(0), 16);
+        t.push_block(BlockId(1), 1);
+        t.extend_last_block(3);
+        assert_eq!(t.num_tokens(), 20);
+        assert_eq!(t.blocks().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous block must be full")]
+    fn push_onto_partial_block_panics() {
+        let mut t = BlockTable::empty(16);
+        t.push_block(BlockId(0), 8);
+        t.push_block(BlockId(1), 8);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = BlockTable::new(vec![BlockId(0), BlockId(1), BlockId(2)], 48, 16);
+        let b = BlockTable::new(vec![BlockId(0), BlockId(1), BlockId(5)], 48, 16);
+        assert_eq!(a.common_prefix_blocks(&b), 2);
+        assert_eq!(a.common_prefix_blocks(&a), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn overflow_rejected() {
+        let _ = BlockTable::new(vec![BlockId(0)], 17, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing unused blocks")]
+    fn unused_blocks_rejected() {
+        let _ = BlockTable::new(vec![BlockId(0), BlockId(1)], 10, 16);
+    }
+}

@@ -1,0 +1,351 @@
+//! vLLM/SGLang-style prefix-cache manager (§3.1).
+//!
+//! Maps content-identical logical prefixes to a single physical block via
+//! chained block hashing: a block's identity is `hash(parent_hash, tokens)`.
+//! Requests whose token prefixes match reuse physical blocks (refcounted); the
+//! cache itself keeps a reference so recently used prefixes survive request
+//! departure until evicted under memory pressure.
+//!
+//! Note the paper's point (§3.1): this reuse reduces *memory footprint*, not
+//! *global memory accesses* — the attention kernel still re-loads shared
+//! blocks per query unless it is prefix-aware.
+
+use crate::{AllocError, BlockAllocator, BlockId, BlockTable};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Token id type used throughout the reproduction.
+pub type Token = u32;
+
+/// Cumulative prefix-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Full blocks served from the cache.
+    pub hit_blocks: u64,
+    /// Full blocks newly allocated.
+    pub miss_blocks: u64,
+    /// Tokens covered by cache hits.
+    pub hit_tokens: u64,
+    /// Tokens newly written (misses + partial tails + decode appends).
+    pub miss_tokens: u64,
+    /// Blocks evicted under memory pressure.
+    pub evicted_blocks: u64,
+}
+
+impl CacheStats {
+    /// Token-level cache hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hit_tokens + self.miss_tokens;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_tokens as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedBlock {
+    block: BlockId,
+    last_use: u64,
+}
+
+/// Prefix-reusing KV cache manager.
+///
+/// # Examples
+///
+/// ```
+/// use kv_cache::CacheManager;
+///
+/// let mut cache = CacheManager::new(1024, 16);
+/// let system_prompt: Vec<u32> = (0..64).collect();
+/// let t1 = cache.insert_sequence(&system_prompt)?;
+/// let t2 = cache.insert_sequence(&system_prompt)?;
+/// // Identical prefixes map to identical physical blocks.
+/// assert_eq!(t1.blocks(), t2.blocks());
+/// assert!(cache.stats().hit_rate() > 0.0);
+/// # Ok::<(), kv_cache::AllocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheManager {
+    allocator: BlockAllocator,
+    block_size: usize,
+    by_hash: HashMap<u64, CachedBlock>,
+    hash_of_block: HashMap<BlockId, u64>,
+    stats: CacheStats,
+    clock: u64,
+}
+
+impl CacheManager {
+    /// Creates a manager over a pool of `capacity_blocks` blocks of
+    /// `block_size` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(capacity_blocks: usize, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        CacheManager {
+            allocator: BlockAllocator::new(capacity_blocks),
+            block_size,
+            by_hash: HashMap::new(),
+            hash_of_block: HashMap::new(),
+            stats: CacheStats::default(),
+            clock: 0,
+        }
+    }
+
+    /// The block size in tokens.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The underlying allocator (for capacity queries).
+    pub fn allocator(&self) -> &BlockAllocator {
+        &self.allocator
+    }
+
+    /// Cached blocks held only by the cache itself (evictable on demand).
+    pub fn evictable_blocks(&self) -> usize {
+        self.by_hash.values().filter(|c| self.allocator.refcount(c.block) == 1).count()
+    }
+
+    /// Blocks obtainable right now: free plus evictable.
+    pub fn available_blocks(&self) -> usize {
+        self.allocator.free_blocks() + self.evictable_blocks()
+    }
+
+    /// Admits a full sequence (a request's prompt), reusing cached prefix
+    /// blocks where token content matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfBlocks`] if allocation fails even after
+    /// evicting every unreferenced cached block.
+    pub fn insert_sequence(&mut self, tokens: &[Token]) -> Result<BlockTable, AllocError> {
+        let mut table = BlockTable::empty(self.block_size);
+        let mut parent_hash = 0u64;
+        let mut consumed = 0;
+        while consumed < tokens.len() {
+            let take = (tokens.len() - consumed).min(self.block_size);
+            let chunk = &tokens[consumed..consumed + take];
+            if take == self.block_size {
+                let h = Self::chain_hash(parent_hash, chunk);
+                self.clock += 1;
+                if let Some(cached) = self.by_hash.get_mut(&h) {
+                    cached.last_use = self.clock;
+                    let block = cached.block;
+                    self.allocator.retain(block)?;
+                    table.push_block(block, take);
+                    self.stats.hit_blocks += 1;
+                    self.stats.hit_tokens += take as u64;
+                } else {
+                    let block = self.allocate_with_eviction()?;
+                    self.by_hash.insert(h, CachedBlock { block, last_use: self.clock });
+                    self.hash_of_block.insert(block, h);
+                    // The cache holds one reference; the request another.
+                    self.allocator.retain(block)?;
+                    table.push_block(block, take);
+                    self.stats.miss_blocks += 1;
+                    self.stats.miss_tokens += take as u64;
+                }
+                parent_hash = h;
+            } else {
+                // Partial tail: never shared.
+                let block = self.allocate_with_eviction()?;
+                table.push_block(block, take);
+                self.stats.miss_tokens += take as u64;
+            }
+            consumed += take;
+        }
+        Ok(table)
+    }
+
+    /// Appends one decode token to a request's table, allocating a fresh
+    /// block when the last block is full. Decode-time blocks are not shared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfBlocks`] on pool exhaustion.
+    pub fn append_token(&mut self, table: &mut BlockTable) -> Result<(), AllocError> {
+        self.stats.miss_tokens += 1;
+        if table.num_tokens() == table.blocks().len() * self.block_size {
+            let block = self.allocate_with_eviction()?;
+            table.push_block(block, 1);
+        } else {
+            table.extend_last_block(1);
+        }
+        Ok(())
+    }
+
+    /// Releases all blocks of a departing request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] if the table references freed
+    /// blocks (a caller bug).
+    pub fn free_sequence(&mut self, table: &BlockTable) -> Result<(), AllocError> {
+        for &block in table.blocks() {
+            self.allocator.release(block)?;
+            // If only the cache's own reference remains, the block stays
+            // resident for future reuse until evicted.
+            if self.allocator.refcount(block) == 0 {
+                // Block was not cache-owned (partial/decode block): gone.
+                self.hash_of_block.remove(&block);
+            }
+        }
+        Ok(())
+    }
+
+    fn allocate_with_eviction(&mut self) -> Result<BlockId, AllocError> {
+        loop {
+            match self.allocator.allocate() {
+                Ok(block) => return Ok(block),
+                Err(AllocError::OutOfBlocks) => {
+                    if !self.evict_one() {
+                        return Err(AllocError::OutOfBlocks);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used cached block that only the cache still
+    /// references. Returns false if none is evictable.
+    fn evict_one(&mut self) -> bool {
+        let victim = self
+            .by_hash
+            .iter()
+            .filter(|(_, c)| self.allocator.refcount(c.block) == 1)
+            .min_by_key(|(_, c)| c.last_use)
+            .map(|(&h, c)| (h, c.block));
+        let Some((hash, block)) = victim else { return false };
+        self.by_hash.remove(&hash);
+        self.hash_of_block.remove(&block);
+        self.allocator.release(block).expect("cache-owned reference exists");
+        self.stats.evicted_blocks += 1;
+        true
+    }
+
+    fn chain_hash(parent: u64, chunk: &[Token]) -> u64 {
+        let mut h = DefaultHasher::new();
+        parent.hash(&mut h);
+        chunk.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_prefixes_share_blocks() {
+        let mut cache = CacheManager::new(64, 16);
+        let tokens: Vec<Token> = (0..48).collect();
+        let a = cache.insert_sequence(&tokens).unwrap();
+        let b = cache.insert_sequence(&tokens).unwrap();
+        assert_eq!(a.blocks(), b.blocks());
+        assert_eq!(cache.stats().hit_blocks, 3);
+        // Physical usage: 3 blocks, not 6.
+        assert_eq!(cache.allocator().used_blocks(), 3);
+    }
+
+    #[test]
+    fn diverging_suffixes_split() {
+        let mut cache = CacheManager::new(64, 16);
+        let mut a_tokens: Vec<Token> = (0..32).collect();
+        let mut b_tokens = a_tokens.clone();
+        a_tokens.extend(100..116);
+        b_tokens.extend(200..216);
+        let a = cache.insert_sequence(&a_tokens).unwrap();
+        let b = cache.insert_sequence(&b_tokens).unwrap();
+        assert_eq!(a.blocks()[..2], b.blocks()[..2]);
+        assert_ne!(a.blocks()[2], b.blocks()[2]);
+    }
+
+    #[test]
+    fn partial_tails_are_private() {
+        let mut cache = CacheManager::new(64, 16);
+        let tokens: Vec<Token> = (0..20).collect();
+        let a = cache.insert_sequence(&tokens).unwrap();
+        let b = cache.insert_sequence(&tokens).unwrap();
+        assert_eq!(a.blocks()[0], b.blocks()[0]);
+        assert_ne!(a.blocks()[1], b.blocks()[1]);
+    }
+
+    #[test]
+    fn decode_appends_fill_then_allocate() {
+        let mut cache = CacheManager::new(64, 16);
+        let mut table = cache.insert_sequence(&(0..16).collect::<Vec<_>>()).unwrap();
+        assert_eq!(table.blocks().len(), 1);
+        for _ in 0..16 {
+            cache.append_token(&mut table).unwrap();
+        }
+        assert_eq!(table.blocks().len(), 2);
+        assert_eq!(table.num_tokens(), 32);
+        cache.append_token(&mut table).unwrap();
+        assert_eq!(table.blocks().len(), 3);
+    }
+
+    #[test]
+    fn cached_prefix_survives_request_departure() {
+        let mut cache = CacheManager::new(64, 16);
+        let tokens: Vec<Token> = (0..32).collect();
+        let a = cache.insert_sequence(&tokens).unwrap();
+        cache.free_sequence(&a).unwrap();
+        let b = cache.insert_sequence(&tokens).unwrap();
+        assert_eq!(cache.stats().hit_blocks, 2, "prefix reused after departure");
+        cache.free_sequence(&b).unwrap();
+    }
+
+    #[test]
+    fn eviction_frees_space_under_pressure() {
+        let mut cache = CacheManager::new(4, 16);
+        let a = cache.insert_sequence(&(0..32).collect::<Vec<_>>()).unwrap();
+        cache.free_sequence(&a).unwrap();
+        // Pool: 2 cached blocks; asking for 4 new ones forces eviction.
+        let b = cache.insert_sequence(&(100..164).collect::<Vec<_>>()).unwrap();
+        assert_eq!(b.blocks().len(), 4);
+        assert!(cache.stats().evicted_blocks >= 2);
+    }
+
+    #[test]
+    fn exhaustion_without_evictable_blocks_errors() {
+        let mut cache = CacheManager::new(2, 16);
+        let _held = cache.insert_sequence(&(0..32).collect::<Vec<_>>()).unwrap();
+        let err = cache.insert_sequence(&(100..132).collect::<Vec<_>>()).unwrap_err();
+        assert_eq!(err, AllocError::OutOfBlocks);
+    }
+
+    #[test]
+    fn available_counts_free_plus_evictable() {
+        let mut cache = CacheManager::new(8, 16);
+        let a = cache.insert_sequence(&(0..32).collect::<Vec<_>>()).unwrap();
+        assert_eq!(cache.available_blocks(), 6); // 2 held by request + cache
+        cache.free_sequence(&a).unwrap();
+        // Cached blocks are evictable again.
+        assert_eq!(cache.evictable_blocks(), 2);
+        assert_eq!(cache.available_blocks(), 8);
+    }
+
+    #[test]
+    fn hit_rate_reflects_sharing() {
+        let mut cache = CacheManager::new(1024, 16);
+        let shared: Vec<Token> = (0..64).collect();
+        for i in 0..10u32 {
+            let mut t = shared.clone();
+            t.extend(1000 + i * 100..1000 + i * 100 + 64);
+            cache.insert_sequence(&t).unwrap();
+        }
+        // 9 of 10 requests hit the 64-token shared prefix: 576 of 1280 tokens.
+        assert!((cache.stats().hit_rate() - 0.45).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Prefix-sharing statistics (§3.1, Fig. 4).
+
+use crate::{BlockTable, PrefixForest};
+
+/// Shared-prefix statistics of one decode batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPrefixStats {
+    /// Queries in the batch.
+    pub num_queries: usize,
+    /// Total logical KV tokens across queries.
+    pub total_tokens: usize,
+    /// Logical KV tokens covered by intra-batch shared prefixes.
+    pub shared_tokens: usize,
+    /// Distinct shared prefixes (internal nodes with `s > 1`).
+    pub distinct_shared_prefixes: usize,
+}
+
+impl BatchPrefixStats {
+    /// Computes the statistics for a batch of block tables.
+    pub fn from_tables(tables: &[BlockTable]) -> Self {
+        let forest = PrefixForest::from_block_tables(tables);
+        let total_tokens = tables.iter().map(BlockTable::num_tokens).sum();
+        BatchPrefixStats {
+            num_queries: tables.len(),
+            total_tokens,
+            shared_tokens: forest.shared_token_coverage(),
+            distinct_shared_prefixes: forest.num_shared_nodes(),
+        }
+    }
+
+    /// Fraction of the batch's logical KV tokens inside shared prefixes
+    /// (2.8–82.6% on the paper's traces).
+    pub fn shared_coverage(&self) -> f64 {
+        if self.total_tokens == 0 {
+            0.0
+        } else {
+            self.shared_tokens as f64 / self.total_tokens as f64
+        }
+    }
+}
+
+/// Trace-level prefix ratio (Fig. 4): the fraction of all KV tokens that come
+/// from prefixes reused across requests. Computed from per-request
+/// `(reused_tokens, total_tokens)` pairs, e.g. collected while replaying a
+/// trace through a [`CacheManager`](crate::CacheManager).
+///
+/// # Examples
+///
+/// ```
+/// use kv_cache::stats::prefix_ratio;
+///
+/// // 3 requests, each 100 tokens, 60 of which hit the prefix cache.
+/// let ratio = prefix_ratio([(60, 100), (60, 100), (60, 100)]);
+/// assert!((ratio - 0.6).abs() < 1e-12);
+/// ```
+pub fn prefix_ratio<I>(per_request: I) -> f64
+where
+    I: IntoIterator<Item = (u64, u64)>,
+{
+    let (mut reused, mut total) = (0u64, 0u64);
+    for (r, t) in per_request {
+        reused += r;
+        total += t;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        reused as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockId;
+
+    fn table(ids: &[u32], tokens: usize) -> BlockTable {
+        BlockTable::new(ids.iter().map(|&i| BlockId(i)).collect(), tokens, 16)
+    }
+
+    #[test]
+    fn fully_shared_batch_has_high_coverage() {
+        let tables: Vec<BlockTable> = (0..4).map(|q| table(&[0, 1, 2, 3, 100 + q], 80)).collect();
+        let stats = BatchPrefixStats::from_tables(&tables);
+        assert_eq!(stats.total_tokens, 320);
+        assert_eq!(stats.shared_tokens, 64 * 4);
+        assert!((stats.shared_coverage() - 0.8).abs() < 1e-12);
+        assert_eq!(stats.distinct_shared_prefixes, 1);
+    }
+
+    #[test]
+    fn no_sharing_means_zero_coverage() {
+        let tables: Vec<BlockTable> = (0..4).map(|q| table(&[10 * q, 10 * q + 1], 32)).collect();
+        let stats = BatchPrefixStats::from_tables(&tables);
+        assert_eq!(stats.shared_coverage(), 0.0);
+        assert_eq!(stats.distinct_shared_prefixes, 0);
+    }
+
+    #[test]
+    fn multi_level_prefixes_are_counted() {
+        let tables = vec![
+            table(&[0, 1, 2], 48),
+            table(&[0, 1, 3], 48),
+            table(&[0, 4, 5], 48),
+            table(&[0, 4, 6], 48),
+        ];
+        let stats = BatchPrefixStats::from_tables(&tables);
+        assert_eq!(stats.distinct_shared_prefixes, 3);
+        // root (16 tokens x 4 queries) + two level-2 nodes (16 x 2 each).
+        assert_eq!(stats.shared_tokens, 64 + 32 + 32);
+    }
+
+    #[test]
+    fn prefix_ratio_handles_empty() {
+        assert_eq!(prefix_ratio(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The ablation baselines of §8.6.
+//!
+//! Each disables exactly one PAT design: PAT-compute swaps the memory-centric
+//! profit model for a FastTree-style compute-oriented one, PAT-naive packs
+//! every tree node unconditionally, PAT-fixed pins the FlashAttention tile
+//! (64, 128), and PAT-serial launches all kernels on one stream.
+
+use crate::backend::{PackingPolicy, PatBackend, PatConfig};
+
+/// Full PAT (the reference point of Fig. 14).
+pub fn pat() -> PatBackend {
+    PatBackend::new()
+}
+
+/// PAT-compute: compute-oriented packing cost model.
+pub fn pat_compute() -> PatBackend {
+    PatBackend::with_config(PatConfig {
+        packing: PackingPolicy::ComputeCost,
+        ..PatConfig::default()
+    })
+}
+
+/// PAT-naive: packs each tree-structure block-table node into a CTA.
+pub fn pat_naive() -> PatBackend {
+    PatBackend::with_config(PatConfig { packing: PackingPolicy::Naive, ..PatConfig::default() })
+}
+
+/// PAT-fixed: single fixed tile configuration (64, 128) as in FlashAttention.
+pub fn pat_fixed() -> PatBackend {
+    PatBackend::with_config(PatConfig { multi_tile: false, ..PatConfig::default() })
+}
+
+/// PAT-serial: serial multi-kernel execution as in FastTree.
+pub fn pat_serial() -> PatBackend {
+    PatBackend::with_config(PatConfig { multi_stream: false, ..PatConfig::default() })
+}
+
+/// All four ablations, labelled as in Fig. 14.
+pub fn all_ablations() -> Vec<(&'static str, PatBackend)> {
+    vec![
+        ("PAT", pat()),
+        ("PAT-compute", pat_compute()),
+        ("PAT-naive", pat_naive()),
+        ("PAT-fixed", pat_fixed()),
+        ("PAT-serial", pat_serial()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_kernel::{simulate_plan, AttentionBackend, DecodeBatch};
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+    use sim_gpu::GpuSpec;
+
+    /// A Fig. 14-style workload: a short first-level prefix (one block,
+    /// where Scheme-2 merging pays off), long second-level prefixes, and
+    /// diverse private tails.
+    fn ablation_batch() -> DecodeBatch {
+        let head = HeadConfig::new(32, 8, 128); // Llama-3-8B heads
+        let tables: Vec<BlockTable> = (0..40u32)
+            .map(|q| {
+                let mut ids: Vec<u32> = vec![0]; // 16 shared tokens, s = 40
+                let group = q / 20;
+                ids.extend(200 + group * 100..200 + group * 100 + 64); // 1024 tokens, s = 20
+                ids.extend(10_000 + q * 256..10_000 + q * 256 + 2 + q * 4);
+                let blocks = ids.len();
+                BlockTable::new(ids.iter().map(|&i| BlockId(i)).collect(), blocks * 16, 16)
+            })
+            .collect();
+        DecodeBatch::new(head, tables, 2)
+    }
+
+    #[test]
+    fn ablations_are_slower_than_pat() {
+        let batch = ablation_batch();
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let time = |b: &PatBackend| {
+            let plan = b.plan(&batch, &spec);
+            plan.validate(&batch).unwrap();
+            simulate_plan(&batch, &plan, &spec).unwrap().total_ns
+        };
+        let pat_ns = time(&pat());
+        for (name, backend) in all_ablations().into_iter().skip(1) {
+            let t = time(&backend);
+            assert!(
+                t >= pat_ns * 0.99,
+                "{name} ({t:.0} ns) should not beat PAT ({pat_ns:.0} ns)"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_moves_more_memory_than_pat() {
+        let batch = ablation_batch();
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let traffic = |b: &PatBackend| {
+            let plan = b.plan(&batch, &spec);
+            simulate_plan(&batch, &plan, &spec).unwrap().traffic.total_dram_bytes()
+        };
+        assert!(traffic(&pat_naive()) > traffic(&pat()));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = all_ablations().iter().map(|(l, _)| *l).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(labels, dedup);
+    }
+}

@@ -1,0 +1,194 @@
+//! Human-readable traces of the pack scheduler's decisions.
+//!
+//! For every internal node of the prefix forest, records whether each child
+//! was **split** (Scheme 1) or **merged** (Scheme 2) and the profit-rule
+//! inputs behind the choice — useful for debugging packings, for the
+//! examples, and for verifying the decision rule end to end.
+
+use crate::profit::should_merge_child;
+use attn_kernel::DecodeBatch;
+use kv_cache::PrefixNode;
+use std::fmt;
+
+/// One Scheme-1/Scheme-2 decision at an internal tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackDecision {
+    /// Path of the parent node from its root, as child indexes (empty for a
+    /// root).
+    pub parent_path: Vec<usize>,
+    /// Effective KV tokens of the parent's run (including inherited blocks).
+    pub parent_tokens: usize,
+    /// Queries in the considered child's subtree (`s_i`).
+    pub child_queries: usize,
+    /// Child index under the parent.
+    pub child_index: usize,
+    /// Whether Scheme 2 (merge) was chosen: `4·s_i > l_u`.
+    pub merged: bool,
+}
+
+impl fmt::Display for PackDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {:?} child #{}: 4*{} {} {} -> {}",
+            self.parent_path,
+            self.child_index,
+            self.child_queries,
+            if self.merged { ">" } else { "<=" },
+            self.parent_tokens,
+            if self.merged { "merge (Scheme 2)" } else { "split (Scheme 1)" },
+        )
+    }
+}
+
+/// Replays the TreeHeuristic walk over `batch`'s forest, returning every
+/// Scheme decision in visit order.
+///
+/// # Examples
+///
+/// ```
+/// use attn_kernel::DecodeBatch;
+/// use attn_math::HeadConfig;
+/// use kv_cache::{BlockId, BlockTable};
+/// use pat_core::explain_pack;
+///
+/// // 8 queries share one 16-token block; two groups of 4 share 64 blocks.
+/// let tables: Vec<BlockTable> = (0..8u32)
+///     .map(|q| {
+///         let mut ids = vec![BlockId(0)];
+///         ids.extend((100 + (q / 4) * 100..100 + (q / 4) * 100 + 64).map(BlockId));
+///         ids.push(BlockId(1000 + q));
+///         BlockTable::new(ids, 66 * 16, 16)
+///     })
+///     .collect();
+/// let batch = DecodeBatch::new(HeadConfig::new(32, 8, 128), tables, 2);
+/// let decisions = explain_pack(&batch);
+/// // The 16-token root merges into both 4-query groups (4*4 > 16 is false!…
+/// // exactly 16, so it splits — the rule is strict).
+/// assert!(decisions.iter().any(|d| d.parent_tokens == 16));
+/// ```
+pub fn explain_pack(batch: &DecodeBatch) -> Vec<PackDecision> {
+    let forest = batch.forest();
+    let mut decisions = Vec::new();
+    for root in forest.roots() {
+        walk(root, 0, &mut Vec::new(), &mut decisions);
+    }
+    decisions
+}
+
+fn walk(
+    node: &PrefixNode,
+    inherited_tokens: usize,
+    path: &mut Vec<usize>,
+    out: &mut Vec<PackDecision>,
+) {
+    if node.is_leaf() {
+        return;
+    }
+    let tokens = inherited_tokens + node.token_len;
+    for (i, child) in node.children.iter().enumerate() {
+        let merged = should_merge_child(child.num_queries(), tokens);
+        out.push(PackDecision {
+            parent_path: path.clone(),
+            parent_tokens: tokens,
+            child_queries: child.num_queries(),
+            child_index: i,
+            merged,
+        });
+        path.push(i);
+        walk(child, if merged { tokens } else { 0 }, path, out);
+        path.pop();
+    }
+}
+
+/// Renders the decisions as an indented report.
+pub fn render_decisions(decisions: &[PackDecision]) -> String {
+    let mut s = String::new();
+    for d in decisions {
+        for _ in 0..d.parent_path.len() {
+            s.push_str("  ");
+        }
+        s.push_str(&d.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+
+    fn batch(rows: Vec<Vec<u32>>) -> DecodeBatch {
+        let tables = rows
+            .into_iter()
+            .map(|ids| {
+                let blocks: Vec<BlockId> = ids.into_iter().map(BlockId).collect();
+                let n = blocks.len();
+                BlockTable::new(blocks, n * 16, 16)
+            })
+            .collect();
+        DecodeBatch::new(HeadConfig::new(32, 8, 128), tables, 2)
+    }
+
+    #[test]
+    fn decisions_match_the_rule_exactly() {
+        // Root of 1 block (16 tokens) over a 5-query subtree: 4*5 = 20 > 16
+        // -> merge; and over a 3-query subtree: 12 <= 16 -> split.
+        let mut rows = Vec::new();
+        for q in 0..5u32 {
+            rows.push(vec![0, 100, 101, 1000 + q]);
+        }
+        for q in 0..3u32 {
+            rows.push(vec![0, 200, 201, 2000 + q]);
+        }
+        let decisions = explain_pack(&batch(rows));
+        let root_decisions: Vec<&PackDecision> =
+            decisions.iter().filter(|d| d.parent_path.is_empty()).collect();
+        assert_eq!(root_decisions.len(), 2);
+        let five = root_decisions.iter().find(|d| d.child_queries == 5).unwrap();
+        let three = root_decisions.iter().find(|d| d.child_queries == 3).unwrap();
+        assert!(five.merged);
+        assert!(!three.merged);
+    }
+
+    /// Two groups of five queries under a single 16-token root: both groups
+    /// merge (4*5 > 16), and their own decisions see the inherited tokens.
+    fn two_merged_groups() -> DecodeBatch {
+        let mut rows = Vec::new();
+        for q in 0..10u32 {
+            rows.push(vec![0, 100 + (q / 5) * 50, 101 + (q / 5) * 50, 1000 + q]);
+        }
+        batch(rows)
+    }
+
+    #[test]
+    fn merged_parents_propagate_tokens_downward() {
+        let decisions = explain_pack(&two_merged_groups());
+        let roots: Vec<&PackDecision> =
+            decisions.iter().filter(|d| d.parent_path.is_empty()).collect();
+        assert_eq!(roots.len(), 2);
+        assert!(roots.iter().all(|d| d.merged), "4*5 > 16 merges both groups");
+        // Group nodes own 2 blocks (32 tokens) + inherited 16 = 48.
+        let nested: Vec<&PackDecision> =
+            decisions.iter().filter(|d| d.parent_path.len() == 1).collect();
+        assert!(!nested.is_empty());
+        assert!(nested.iter().all(|d| d.parent_tokens == 48), "{nested:?}");
+    }
+
+    #[test]
+    fn leaves_produce_no_decisions() {
+        let decisions = explain_pack(&batch(vec![vec![1, 2], vec![3, 4]]));
+        assert!(decisions.is_empty());
+    }
+
+    #[test]
+    fn render_is_indented_and_nonempty() {
+        let decisions = explain_pack(&two_merged_groups());
+        let text = render_decisions(&decisions);
+        assert!(text.contains("Scheme 2"));
+        assert!(text.contains("Scheme 1"), "leaf splits render too");
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,206 @@
+//! The lazy-update mechanism (§5.1).
+//!
+//! The pack scheduler is linear, but invoking it per transformer layer per
+//! decode step would still cost. PAT instead (1) reuses a packing across
+//! continuous-batching iterations until the block-table *structure* changes
+//! (arrivals, departures, or new block assignments — growing the final
+//! partial block does not count), and (2) runs the scheduler asynchronously,
+//! overlapped with pre-attention work, so its latency is not exposed
+//! (validated in Fig. 16 / §8.7).
+
+use crate::backend::PatBackend;
+use crate::packer::Pack;
+use attn_kernel::{DecodeBatch, KernelPlan};
+use sim_gpu::GpuSpec;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Cache statistics of the lazy scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LazyStats {
+    /// Plans served from cache.
+    pub hits: u64,
+    /// Full scheduler invocations.
+    pub misses: u64,
+}
+
+impl LazyStats {
+    /// Fraction of decode steps that reused a cached packing.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A PAT scheduler with plan caching across decode steps.
+///
+/// # Examples
+///
+/// ```
+/// use attn_kernel::DecodeBatch;
+/// use attn_math::HeadConfig;
+/// use kv_cache::{BlockId, BlockTable};
+/// use pat_core::LazyPat;
+/// use sim_gpu::GpuSpec;
+///
+/// let head = HeadConfig::new(32, 8, 128);
+/// let spec = GpuSpec::a100_sxm4_80gb();
+/// let mut lazy = LazyPat::new();
+/// let step = |tokens| DecodeBatch::new(head, vec![
+///     BlockTable::new(vec![BlockId(0), BlockId(1)], tokens, 16),
+///     BlockTable::new(vec![BlockId(0), BlockId(2)], tokens, 16),
+/// ], 2);
+/// lazy.plan(&step(20), &spec); // miss: full packing
+/// lazy.plan(&step(21), &spec); // hit: same block structure, +1 token
+/// assert_eq!(lazy.stats().misses, 1);
+/// assert_eq!(lazy.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LazyPat {
+    backend: PatBackend,
+    cached: Option<(u64, Vec<Pack>)>,
+    stats: LazyStats,
+}
+
+impl LazyPat {
+    /// Creates a lazy scheduler around full PAT.
+    pub fn new() -> Self {
+        LazyPat::default()
+    }
+
+    /// Creates a lazy scheduler around a configured backend.
+    pub fn with_backend(backend: PatBackend) -> Self {
+        LazyPat { backend, cached: None, stats: LazyStats::default() }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &PatBackend {
+        &self.backend
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> LazyStats {
+        self.stats
+    }
+
+    /// Plans a decode step, reusing the cached packing when the block-table
+    /// structure is unchanged. Token counts are refreshed either way, so the
+    /// plan is always exact for the current step.
+    pub fn plan(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
+        let key = structure_fingerprint(batch);
+        let packs = match &self.cached {
+            Some((cached_key, packs)) if *cached_key == key => {
+                self.stats.hits += 1;
+                let mut packs = packs.clone();
+                for p in &mut packs {
+                    p.refresh_tokens(batch.tables());
+                }
+                packs
+            }
+            _ => {
+                self.stats.misses += 1;
+                let packs = self.backend.pack(batch);
+                self.cached = Some((key, packs.clone()));
+                packs
+            }
+        };
+        self.backend.finish_plan(batch, packs, spec)
+    }
+
+    /// Drops the cached packing (e.g. on engine reconfiguration).
+    pub fn invalidate(&mut self) {
+        self.cached = None;
+    }
+}
+
+/// Fingerprint of the batch's block-table *structure*: block ids and query
+/// order, but not token counts (the final partial block grows every step
+/// without changing the packing).
+pub fn structure_fingerprint(batch: &DecodeBatch) -> u64 {
+    let mut h = DefaultHasher::new();
+    batch.num_queries().hash(&mut h);
+    for t in batch.tables() {
+        t.blocks().hash(&mut h);
+        0xB10Cu16.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_math::HeadConfig;
+    use kv_cache::{BlockId, BlockTable};
+
+    fn batch(rows: &[(&[u32], usize)]) -> DecodeBatch {
+        let tables = rows
+            .iter()
+            .map(|(ids, tokens)| {
+                BlockTable::new(ids.iter().map(|&i| BlockId(i)).collect(), *tokens, 16)
+            })
+            .collect();
+        DecodeBatch::new(HeadConfig::new(32, 8, 128), tables, 2)
+    }
+
+    #[test]
+    fn token_growth_hits_the_cache_and_stays_exact() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new();
+        let p1 = lazy.plan(&batch(&[(&[0, 1], 20), (&[0, 2], 24)]), &spec);
+        let b2 = batch(&[(&[0, 1], 21), (&[0, 2], 25)]);
+        let p2 = lazy.plan(&b2, &spec);
+        assert_eq!(lazy.stats(), LazyStats { hits: 1, misses: 1 });
+        // Refreshed plan covers the new token counts exactly.
+        p2.validate(&b2).unwrap();
+        let t1: usize = p1.ctas.iter().map(|c| c.kv.tokens * c.queries.len()).sum();
+        let t2: usize = p2.ctas.iter().map(|c| c.kv.tokens * c.queries.len()).sum();
+        assert_eq!(t2, t1 + 2);
+    }
+
+    #[test]
+    fn new_block_invalidates() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new();
+        lazy.plan(&batch(&[(&[0, 1], 32), (&[0, 2], 32)]), &spec);
+        // Query 0 rolled into a fresh block: structure changed.
+        let b = batch(&[(&[0, 1, 7], 33), (&[0, 2], 32)]);
+        let p = lazy.plan(&b, &spec);
+        assert_eq!(lazy.stats(), LazyStats { hits: 0, misses: 2 });
+        p.validate(&b).unwrap();
+    }
+
+    #[test]
+    fn arrival_and_departure_invalidate() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new();
+        lazy.plan(&batch(&[(&[0, 1], 32), (&[0, 2], 32)]), &spec);
+        lazy.plan(&batch(&[(&[0, 1], 32), (&[0, 2], 32), (&[0, 3], 32)]), &spec);
+        lazy.plan(&batch(&[(&[0, 1], 32)]), &spec);
+        assert_eq!(lazy.stats().misses, 3);
+    }
+
+    #[test]
+    fn explicit_invalidation_forces_repack() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new();
+        let b = batch(&[(&[0, 1], 32), (&[0, 2], 32)]);
+        lazy.plan(&b, &spec);
+        lazy.invalidate();
+        lazy.plan(&b, &spec);
+        assert_eq!(lazy.stats(), LazyStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn hit_rate_reflects_reuse() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new();
+        for tokens in 20..30 {
+            lazy.plan(&batch(&[(&[0, 1], tokens), (&[0, 2], tokens)]), &spec);
+        }
+        assert!((lazy.stats().hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

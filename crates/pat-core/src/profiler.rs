@@ -1,0 +1,189 @@
+//! Offline KV-tile profiler (§5.2, "Deriving KV tile n").
+//!
+//! The paper derives the runtime selector's KV-tile rule by *profiling*: for
+//! each candidate `n`, sweep KV lengths on the target GPU, keep the largest
+//! performance-equivalent tile at each length, and encode the stabilized
+//! mapping as a piecewise decision tree. [`TileSelector`](crate::TileSelector)
+//! ships the A100-profiled tree as constants; this module reproduces the
+//! derivation itself on the simulator, so the constants can be re-derived
+//! for any [`GpuSpec`] (the porting procedure of §5.2).
+
+use attn_kernel::{simulate_plan, CtaPlan, DecodeBatch, KernelPlan, KvSlice, TileConfig};
+use attn_math::HeadConfig;
+use kv_cache::{BlockId, BlockTable, DEFAULT_BLOCK_SIZE};
+use sim_gpu::GpuSpec;
+use std::collections::BTreeSet;
+
+/// A piecewise `KV length → n` rule: `(upper_bound_inclusive, n)` entries in
+/// ascending bound order, with the last entry covering everything above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NRule {
+    entries: Vec<(usize, usize)>,
+}
+
+impl NRule {
+    /// Builds a rule from `(kv upper bound, n)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or bounds are not strictly ascending.
+    pub fn new(entries: Vec<(usize, usize)>) -> Self {
+        assert!(!entries.is_empty(), "rule needs at least one entry");
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "bounds must ascend: {entries:?}"
+        );
+        NRule { entries }
+    }
+
+    /// The profiled `n` for a KV length.
+    pub fn n_for(&self, kv_len: usize) -> usize {
+        for &(bound, n) in &self.entries {
+            if kv_len <= bound {
+                return n;
+            }
+        }
+        self.entries.last().expect("non-empty").1
+    }
+
+    /// The raw entries.
+    pub fn entries(&self) -> &[(usize, usize)] {
+        &self.entries
+    }
+}
+
+/// Profiles candidate KV tiles on `spec` by sweeping the *mean* KV length of
+/// a fixed-size decode batch whose per-request lengths spread over
+/// `[kv/2, 3·kv/2]` — autoregressive decoding always has length variance,
+/// and that variance is exactly what separates the tiles: stragglers at the
+/// batch tail run alone at their per-CTA rate cap (`2·n·h·b / L`), so long
+/// KV punishes small `n`, while short KV punishes large `n` through exposed
+/// padded final-tile compute. The per-length winners compress into an
+/// [`NRule`]. `feasible_n` is the set of n values available at the
+/// selector's smallest Q tile (from [`crate::TileSolver`]).
+///
+/// # Panics
+///
+/// Panics if `feasible_n` is empty.
+pub fn derive_n_rule(spec: &GpuSpec, head: HeadConfig, feasible_n: &[usize]) -> NRule {
+    assert!(!feasible_n.is_empty(), "need candidate KV tiles");
+    let candidates: BTreeSet<usize> = feasible_n.iter().copied().collect();
+    let sweep: &[usize] = &[32, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048, 4096];
+    let batch_size = 192;
+
+    let mut winners: Vec<(usize, usize)> = Vec::new();
+    for &kv in sweep {
+        let batch = mixed_batch(head, batch_size, kv);
+        let mut best: Option<(usize, f64)> = None;
+        for &n in &candidates {
+            let tile = TileConfig::new(16, n);
+            let plan = uniform_plan(&batch, tile);
+            let ns = simulate_plan(&batch, &plan, spec).expect("valid sweep plan").forward_ns;
+            // Prefer the LARGER tile on ties within 1% (the paper's rule:
+            // larger n lowers concurrency pressure on long KV).
+            let better = match best {
+                None => true,
+                Some((best_n, best_ns)) => {
+                    ns < best_ns * 0.99 || (ns <= best_ns * 1.01 && n > best_n)
+                }
+            };
+            if better {
+                best = Some((n, ns));
+            }
+        }
+        winners.push((kv, best.expect("candidates non-empty").0));
+    }
+
+    // Compress consecutive equal winners into threshold entries.
+    let mut entries: Vec<(usize, usize)> = Vec::new();
+    for (kv, n) in winners {
+        match entries.last_mut() {
+            Some((bound, last_n)) if *last_n == n => *bound = kv,
+            _ => entries.push((kv, n)),
+        }
+    }
+    // The final entry is open-ended.
+    if let Some(last) = entries.last_mut() {
+        last.0 = usize::MAX;
+    }
+    NRule::new(entries)
+}
+
+/// A no-prefix batch whose KV lengths ramp over `[kv/2, 3·kv/2]`.
+fn mixed_batch(head: HeadConfig, batch_size: usize, kv: usize) -> DecodeBatch {
+    let bs = DEFAULT_BLOCK_SIZE;
+    let tables: Vec<BlockTable> = (0..batch_size)
+        .map(|q| {
+            let len = (kv / 2 + q * kv / batch_size).max(bs);
+            let blocks = len.div_ceil(bs);
+            let ids: Vec<BlockId> =
+                (0..blocks as u32).map(|i| BlockId(q as u32 * 100_000 + i)).collect();
+            BlockTable::new(ids, len, bs)
+        })
+        .collect();
+    DecodeBatch::new(head, tables, 2)
+}
+
+fn uniform_plan(batch: &DecodeBatch, tile: TileConfig) -> KernelPlan {
+    KernelPlan::new(
+        (0..batch.num_queries())
+            .map(|q| CtaPlan {
+                queries: vec![q],
+                kv: KvSlice::new(
+                    batch.tables()[q].blocks().to_vec(),
+                    batch.kv_len(q),
+                    batch.block_size(),
+                ),
+                tile,
+                stream: 0,
+                phase: 0,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TileSolver;
+
+    #[test]
+    fn rule_lookup_is_piecewise() {
+        let rule = NRule::new(vec![(95, 16), (191, 32), (767, 64), (usize::MAX, 128)]);
+        assert_eq!(rule.n_for(0), 16);
+        assert_eq!(rule.n_for(95), 16);
+        assert_eq!(rule.n_for(96), 32);
+        assert_eq!(rule.n_for(192), 64);
+        assert_eq!(rule.n_for(10_000), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn non_ascending_bounds_rejected() {
+        let _ = NRule::new(vec![(100, 16), (50, 32)]);
+    }
+
+    /// Re-deriving the rule on the simulated A100 must reproduce the
+    /// hard-coded selector behaviour: small n for short KV, n growing with
+    /// KV length, the largest tile for long KV.
+    #[test]
+    fn derived_rule_is_monotone_and_ends_at_the_largest_tile() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let head = HeadConfig::new(32, 8, 128);
+        let solver = TileSolver::new(spec.clone(), head.head_dim(), 2);
+        let feasible_n: Vec<usize> =
+            solver.feasible_tiles().iter().filter(|t| t.m == 16).map(|t| t.n).collect();
+        let rule = derive_n_rule(&spec, head, &feasible_n);
+        // Monotone: n never shrinks as KV grows.
+        let mut prev = 0;
+        for kv in [32, 64, 128, 192, 256, 512, 1024, 4096, 16_384] {
+            let n = rule.n_for(kv);
+            assert!(n >= prev, "n must grow with KV: {:?}", rule.entries());
+            prev = n;
+        }
+        // Long KV always prefers the largest feasible tile.
+        assert_eq!(rule.n_for(1 << 20), *feasible_n.iter().max().unwrap());
+        // Short KV prefers a strictly smaller tile than long KV.
+        assert!(rule.n_for(32) < rule.n_for(1 << 20), "{:?}", rule.entries());
+    }
+}

@@ -1,0 +1,164 @@
+//! The memory-centric profit model of the pack scheduler (§5.1).
+//!
+//! All quantities are in *elements × head dim* units; the common factor `d`
+//! cancels in every comparison, so the API works in tokens.
+//!
+//! * Packing a node with `s` queries sharing `l` KV tokens saves
+//!   `(s-1)·l·d` global loads but costs `8·s·d` of fp32 intermediate
+//!   writes+reads (`2s` intermediates, doubled for read+write, doubled again
+//!   for fp32 vs fp16): profit ratio `r = (s-1)·l / (8s) ≥ l/16 > 0` for
+//!   block-granular sharing.
+//! * For a child `v_i` (with `s_i` queries) of node `u` (prefix length
+//!   `l_u`): merging `u`'s blocks into `v_i`'s CTA (Scheme 2) beats splitting
+//!   (Scheme 1) exactly when `4·s_i > l_u`.
+
+/// Intermediate-overhead constant: `8·s·d` memory accesses per packed node
+/// (`2s` fp32 intermediates, written then read).
+pub const INTERMEDIATE_FACTOR: f64 = 8.0;
+
+/// Profit-to-overhead ratio of packing one non-leaf node into a CTA
+/// (the `r = (s-1)·l / (8s)` of §5.1).
+///
+/// # Examples
+///
+/// ```
+/// use pat_core::profit::intra_node_ratio;
+///
+/// // A 16-token shared block is always profitable: r >= 16/16 = 1... in the
+/// // limit; with s = 2 it is exactly (1*16)/(8*2) = 1.0.
+/// assert!((intra_node_ratio(2, 16) - 1.0).abs() < 1e-12);
+/// assert!(intra_node_ratio(64, 2048) > 1.0);
+/// ```
+pub fn intra_node_ratio(s: usize, l: usize) -> f64 {
+    assert!(s >= 1, "a node has at least one query");
+    (s as f64 - 1.0) * l as f64 / (INTERMEDIATE_FACTOR * s as f64)
+}
+
+/// Net memory-access profit (in token·d units) of packing a node: savings
+/// minus intermediate overhead. Positive means packing wins.
+pub fn intra_node_profit(s: usize, l: usize) -> f64 {
+    (s as f64 - 1.0) * l as f64 - INTERMEDIATE_FACTOR * s as f64
+}
+
+/// Whether child `v_i` (with `s_i` queries) should be **merged** with its
+/// parent's blocks (Scheme 2, Fig. 7d) rather than split into its own CTA
+/// (Scheme 1, Fig. 7c). The incremental profit of Scheme 2 is
+/// `4·s_i·d − l_u·d`, so merge iff `4·s_i > l_u`.
+///
+/// # Examples
+///
+/// ```
+/// use pat_core::profit::should_merge_child;
+///
+/// // Short parent prefix, many child queries: merge.
+/// assert!(should_merge_child(16, 16));
+/// // Long parent prefix, single child query: split.
+/// assert!(!should_merge_child(1, 2048));
+/// ```
+pub fn should_merge_child(child_queries: usize, parent_len: usize) -> bool {
+    4 * child_queries > parent_len
+}
+
+/// Scheme-1 (split) profit of a parent `u` with children (Eq. 1), in
+/// token·d units: `(s_u−1)·l_u − 4·s_u + Σ_i (s_i−1)·l_i`.
+pub fn scheme1_profit(parent_queries: usize, parent_len: usize, children: &[(usize, usize)]) -> f64 {
+    let s_u = parent_queries as f64;
+    let own = (s_u - 1.0) * parent_len as f64 - 4.0 * s_u;
+    let kids: f64 = children.iter().map(|&(s, l)| (s as f64 - 1.0) * l as f64).sum();
+    own + kids
+}
+
+/// Scheme-2 (merge child `i`) profit (Eq. 2), in token·d units.
+///
+/// # Panics
+///
+/// Panics if `merged` is out of range of `children`.
+pub fn scheme2_profit(
+    parent_queries: usize,
+    parent_len: usize,
+    children: &[(usize, usize)],
+    merged: usize,
+) -> f64 {
+    assert!(merged < children.len(), "merged child index out of range");
+    let (s_i, l_i) = children[merged];
+    let s_rem = (parent_queries - s_i) as f64;
+    let own = (s_rem - 1.0) * parent_len as f64 - 4.0 * s_rem;
+    let others: f64 = children
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != merged)
+        .map(|(_, &(s, l))| (s as f64 - 1.0) * l as f64)
+        .sum();
+    let merged_part = (s_i as f64 - 1.0) * (parent_len + l_i) as f64;
+    own + others + merged_part
+}
+
+/// The compute-oriented cost of a pack, used by the PAT-compute ablation
+/// (FastTree-style, §8.6): tensor-core work is proportional to padded query
+/// rows times KV tokens, so packing always looks good and intermediate
+/// traffic is ignored.
+pub fn compute_cost(query_rows: usize, kv_tokens: usize) -> f64 {
+    query_rows as f64 * kv_tokens as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_granular_sharing_is_always_profitable() {
+        // l >= 16 (one KV block) implies r >= l/16 >= 1 in the s->inf limit
+        // and r > 0 for any s >= 2.
+        for s in 2..100 {
+            // At the l = 16 boundary profit is non-negative (zero at s = 2);
+            // any longer sharing is strictly profitable.
+            assert!(intra_node_profit(s, 16) >= 0.0, "s={s}");
+            for l in [32, 256, 4096] {
+                assert!(intra_node_ratio(s, l) > 0.0);
+                assert!(intra_node_profit(s, l) > 0.0, "s={s} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_query_node_has_no_profit() {
+        assert!(intra_node_profit(1, 4096) < 0.0);
+        assert_eq!(intra_node_ratio(1, 4096), 0.0);
+    }
+
+    #[test]
+    fn merge_rule_matches_incremental_profit() {
+        // Scheme 2 minus Scheme 1 must equal 4*s_i - l_u (in token·d units).
+        for &(s_u, l_u) in &[(8usize, 64usize), (16, 16), (32, 2048), (5, 20)] {
+            for &(s_i, l_i) in &[(2usize, 128usize), (7, 16), (4, 1024)] {
+                if s_i >= s_u {
+                    continue;
+                }
+                let children = vec![(s_i, l_i), (s_u - s_i, 96)];
+                let s1 = scheme1_profit(s_u, l_u, &children);
+                let s2 = scheme2_profit(s_u, l_u, &children, 0);
+                let delta = s2 - s1;
+                let expected = 4.0 * s_i as f64 - l_u as f64;
+                assert!(
+                    (delta - expected).abs() < 1e-9,
+                    "delta {delta} vs expected {expected} for s_u={s_u} l_u={l_u} s_i={s_i}"
+                );
+                assert_eq!(delta > 0.0, should_merge_child(s_i, l_u));
+            }
+        }
+    }
+
+    #[test]
+    fn long_parent_prefixes_prefer_split() {
+        assert!(!should_merge_child(8, 2048));
+        assert!(should_merge_child(513, 2048));
+    }
+
+    #[test]
+    fn compute_cost_ignores_sharing() {
+        // One packed CTA (8 rows x 1024 kv) costs the same compute as eight
+        // redundant CTAs of 1 row x 1024 kv — the flaw of compute-oriented
+        // packing for memory-bound decode (§8.6).
+        assert_eq!(compute_cost(8, 1024), 8.0 * compute_cost(1, 1024));
+    }
+}

@@ -1,0 +1,165 @@
+//! The runtime tile-size selector (§5.2).
+//!
+//! Given the feasible (performance-equivalent) tile suite from the offline
+//! solver, assigns each CTA an `(m, n)`:
+//!
+//! * **Q tile `m` — round-up rule**: the smallest feasible `m` holding the
+//!   CTA's query rows, avoiding both row-splitting (which would re-load the
+//!   shared KV) and oversized tiles (which waste on-chip memory needed for
+//!   `n`).
+//! * **KV tile `n` — piecewise decision tree**: short KV prefers small `n`
+//!   (the last tile's compute is exposed: at KV 192, n=128 wastes ~50% of the
+//!   final tile while n=64 divides evenly), long KV prefers large `n` (lower
+//!   concurrency per SM, more bandwidth per CTA, smaller tail bubbles). The
+//!   thresholds are the offline-profiled stabilization points.
+
+use attn_kernel::TileConfig;
+use std::collections::BTreeSet;
+
+/// The runtime tile selector over a feasible tile suite.
+///
+/// # Examples
+///
+/// ```
+/// use attn_kernel::TileConfig;
+/// use pat_core::{TileSelector, TileSolver};
+/// use sim_gpu::GpuSpec;
+///
+/// let solver = TileSolver::new(GpuSpec::a100_sxm4_80gb(), 128, 2);
+/// let selector = TileSelector::new(solver.feasible_tiles());
+/// // 20 query rows round up to m=32; KV 192 picks n=64 (divides evenly).
+/// assert_eq!(selector.select(20, 192), Some(TileConfig::new(32, 64)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileSelector {
+    feasible: Vec<TileConfig>,
+    m_options: Vec<usize>,
+}
+
+impl TileSelector {
+    /// Creates a selector over `feasible` tiles (from [`crate::TileSolver`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feasible` is empty.
+    pub fn new(feasible: Vec<TileConfig>) -> Self {
+        assert!(!feasible.is_empty(), "selector needs a non-empty tile suite");
+        let m_options: Vec<usize> =
+            feasible.iter().map(|t| t.m).collect::<BTreeSet<_>>().into_iter().collect();
+        TileSelector { feasible, m_options }
+    }
+
+    /// The feasible suite.
+    pub fn feasible(&self) -> &[TileConfig] {
+        &self.feasible
+    }
+
+    /// Largest feasible Q tile (the row-split threshold for the packer).
+    pub fn max_m(&self) -> usize {
+        *self.m_options.last().expect("non-empty")
+    }
+
+    /// Round-up rule: smallest feasible `m ≥ query_rows`.
+    pub fn select_m(&self, query_rows: usize) -> Option<usize> {
+        self.m_options.iter().copied().find(|&m| m >= query_rows)
+    }
+
+    /// The offline-profiled KV-length → preferred-`n` decision tree.
+    pub fn preferred_n(kv_len: usize) -> usize {
+        match kv_len {
+            0..=95 => 16,
+            96..=191 => 32,
+            192..=767 => 64,
+            _ => 128,
+        }
+    }
+
+    /// Selects the `(m, n)` pair for a CTA with `query_rows` rows over
+    /// `kv_len` KV tokens. Returns `None` when `query_rows` exceeds the
+    /// largest feasible `m` (the caller must row-split first).
+    pub fn select(&self, query_rows: usize, kv_len: usize) -> Option<TileConfig> {
+        let m = self.select_m(query_rows)?;
+        let cap = Self::preferred_n(kv_len);
+        // Largest feasible n ≤ cap for this m; fall back to the smallest
+        // available n when the cap excludes everything (e.g. m=64 has no
+        // n=16 tile on A100).
+        let mut candidates: Vec<usize> =
+            self.feasible.iter().filter(|t| t.m == m).map(|t| t.n).collect();
+        candidates.sort_unstable();
+        let n = candidates
+            .iter()
+            .copied()
+            .filter(|&n| n <= cap)
+            .next_back()
+            .or_else(|| candidates.first().copied())?;
+        Some(TileConfig::new(m, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TileSolver;
+    use sim_gpu::GpuSpec;
+
+    fn selector() -> TileSelector {
+        let solver = TileSolver::new(GpuSpec::a100_sxm4_80gb(), 128, 2);
+        TileSelector::new(solver.feasible_tiles())
+    }
+
+    #[test]
+    fn round_up_rule_matches_paper_example() {
+        // §5.2: q = 20 chooses m = 32, not 16 (splitting) nor 64/128 (waste).
+        let s = selector();
+        assert_eq!(s.select_m(20), Some(32));
+        assert_eq!(s.select_m(1), Some(16));
+        assert_eq!(s.select_m(16), Some(16));
+        assert_eq!(s.select_m(33), Some(64));
+        assert_eq!(s.select_m(64), Some(64));
+        assert_eq!(s.select_m(65), None, "row split required above max m");
+    }
+
+    #[test]
+    fn kv_192_prefers_n_64_over_128() {
+        // §5.2: at KV 192, n=128 leaves a 50% compute bubble in the last
+        // tile; n=64 divides evenly and is performance-equivalent.
+        let s = selector();
+        let tile = s.select(16, 192).unwrap();
+        assert_eq!(tile.n, 64);
+    }
+
+    #[test]
+    fn long_kv_prefers_large_n() {
+        let s = selector();
+        assert_eq!(s.select(16, 4096).unwrap().n, 128);
+        assert_eq!(s.select(16, 1024).unwrap().n, 128);
+    }
+
+    #[test]
+    fn short_kv_prefers_small_n() {
+        let s = selector();
+        assert_eq!(s.select(16, 64).unwrap().n, 16);
+        assert_eq!(s.select(16, 128).unwrap().n, 32);
+    }
+
+    #[test]
+    fn m64_falls_back_to_smallest_available_n() {
+        // (64,16) is infeasible on A100; short-KV CTAs with 64 rows take the
+        // smallest feasible n for m=64 instead (32).
+        let s = selector();
+        let tile = s.select(64, 64).unwrap();
+        assert_eq!(tile.m, 64);
+        assert_eq!(tile.n, 32);
+    }
+
+    #[test]
+    fn max_m_reflects_suite() {
+        assert_eq!(selector().max_m(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_suite_rejected() {
+        let _ = TileSelector::new(vec![]);
+    }
+}

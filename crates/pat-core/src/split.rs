@@ -1,0 +1,146 @@
+//! Long-KV split (§6).
+//!
+//! Multi-stream execution alone cannot remove execution bubbles when one
+//! CTA's KV is orders of magnitude longer than the others. PAT splits any
+//! pack whose KV length exceeds the batch-mean KV length into equal parts
+//! (at block granularity) so the last-finishing CTAs shorten and SM
+//! utilization improves. The split partials are recombined by the merge
+//! stage, which the profit model already accounts for.
+
+use crate::packer::Pack;
+
+/// Splits packs longer than the mean KV length into equal parts, cutting at
+/// block boundaries. `block_size` is the KV block size in tokens.
+///
+/// # Panics
+///
+/// Panics if `block_size` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use kv_cache::BlockId;
+/// use pat_core::{split_long_kv, Pack};
+///
+/// let packs = vec![
+///     Pack { queries: vec![0], blocks: (0..64).map(BlockId).collect(), tokens: 1024, start: 0 },
+///     Pack { queries: vec![1], blocks: vec![BlockId(100)], tokens: 16, start: 0 },
+/// ];
+/// let out = split_long_kv(packs, 16);
+/// // The long pack is split; the short one is untouched.
+/// assert!(out.len() > 2);
+/// assert!(out.iter().all(|p| p.tokens <= 520));
+/// ```
+pub fn split_long_kv(packs: Vec<Pack>, block_size: usize) -> Vec<Pack> {
+    assert!(block_size > 0, "block size must be positive");
+    if packs.is_empty() {
+        return packs;
+    }
+    let mean = packs.iter().map(|p| p.tokens).sum::<usize>() as f64 / packs.len() as f64;
+    let mut out = Vec::with_capacity(packs.len());
+    for pack in packs {
+        if (pack.tokens as f64) <= mean || pack.blocks.len() <= 1 {
+            out.push(pack);
+            continue;
+        }
+        let parts = (pack.tokens as f64 / mean).ceil() as usize;
+        let parts = parts.min(pack.blocks.len()).max(1);
+        let blocks_per_part = pack.blocks.len().div_ceil(parts);
+        let mut consumed_tokens = 0;
+        let mut consumed_blocks = 0;
+        for chunk in pack.blocks.chunks(blocks_per_part) {
+            // All but the final chunk consist of full blocks.
+            let is_last = consumed_tokens + chunk.len() * block_size >= pack.tokens;
+            let tokens = if is_last {
+                pack.tokens - consumed_tokens
+            } else {
+                chunk.len() * block_size
+            };
+            out.push(Pack {
+                queries: pack.queries.clone(),
+                blocks: chunk.to_vec(),
+                tokens,
+                start: pack.start + consumed_blocks,
+            });
+            consumed_tokens += tokens;
+            consumed_blocks += chunk.len();
+        }
+        debug_assert_eq!(consumed_tokens, pack.tokens);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_cache::BlockId;
+
+    fn pack(q: usize, nblocks: u32, tokens: usize) -> Pack {
+        Pack {
+            queries: vec![q],
+            blocks: (0..nblocks).map(|i| BlockId(q as u32 * 1000 + i)).collect(),
+            tokens,
+            start: 0,
+        }
+    }
+
+    fn total_tokens(packs: &[Pack]) -> usize {
+        packs.iter().map(|p| p.tokens).sum()
+    }
+
+    #[test]
+    fn balanced_packs_are_untouched() {
+        let packs = vec![pack(0, 4, 64), pack(1, 4, 64), pack(2, 4, 64)];
+        let out = split_long_kv(packs.clone(), 16);
+        assert_eq!(out, packs);
+    }
+
+    #[test]
+    fn outlier_is_split_below_the_mean() {
+        let packs = vec![pack(0, 256, 4096), pack(1, 2, 32), pack(2, 2, 32)];
+        let mean = (4096 + 32 + 32) as f64 / 3.0;
+        let out = split_long_kv(packs, 16);
+        assert!(out.len() > 3);
+        for p in out.iter().filter(|p| p.queries == vec![0]) {
+            // Parts sized to ceil(len/parts) blocks stay near the mean.
+            assert!((p.tokens as f64) <= mean + 16.0, "part of {} tokens", p.tokens);
+        }
+    }
+
+    #[test]
+    fn token_totals_are_preserved() {
+        let packs = vec![pack(0, 100, 1590), pack(1, 1, 16), pack(2, 7, 112)];
+        let before = total_tokens(&packs);
+        let out = split_long_kv(packs, 16);
+        assert_eq!(total_tokens(&out), before);
+        // Partial final block stays in exactly one part.
+        let q0_tokens: usize = out.iter().filter(|p| p.queries == vec![0]).map(|p| p.tokens).sum();
+        assert_eq!(q0_tokens, 1590);
+    }
+
+    #[test]
+    fn block_multisets_are_preserved() {
+        let packs = vec![pack(0, 33, 528), pack(1, 1, 16)];
+        let out = split_long_kv(packs, 16);
+        let mut blocks: Vec<BlockId> = out
+            .iter()
+            .filter(|p| p.queries == vec![0])
+            .flat_map(|p| p.blocks.iter().copied())
+            .collect();
+        blocks.sort();
+        let want: Vec<BlockId> = (0..33).map(BlockId).collect();
+        assert_eq!(blocks, want);
+    }
+
+    #[test]
+    fn single_block_packs_cannot_split() {
+        let packs = vec![pack(0, 1, 16), pack(1, 1, 4)];
+        let out = split_long_kv(packs.clone(), 16);
+        assert_eq!(out, packs);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(split_long_kv(vec![], 16).is_empty());
+    }
+}

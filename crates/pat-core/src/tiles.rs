@@ -1,0 +1,243 @@
+//! The offline multi-tile configuration solver (§5.2, Fig. 8b).
+//!
+//! Enumerates the `(m, n)` grid and applies the paper's three constraints:
+//!
+//! 1. **① Resources** — per-CTA shared memory within the addressable limit,
+//!    per-thread registers below the spill threshold, and the CTA's aggregate
+//!    registers within the SM register file.
+//! 2. **② Bandwidth** — enough data in flight device-wide to cover the
+//!    memory latency: `S · C · in_flight(n) ≥ L · B`, i.e.
+//!    `n ≥ L·B / (S·C·2·h·b)`, where `C` is the occupancy from ①.
+//! 3. **③ CUTLASS** — both tile sizes powers of two and ≥ 16.
+//!
+//! The surviving set is the *performance-equivalent kernel suite*: all
+//! members saturate HBM bandwidth (validated in Fig. 8c/d and Fig. 9).
+
+use attn_kernel::TileConfig;
+use sim_gpu::{GpuSpec, Occupancy};
+use std::fmt;
+
+/// The tile-size grid the solver searches (constraint ③'s domain).
+pub const TILE_GRID: [usize; 4] = [16, 32, 64, 128];
+
+/// Which constraint rejected a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileConstraint {
+    /// ① shared-memory or register limits.
+    Resources,
+    /// ② bandwidth lower bound on in-flight data.
+    Bandwidth,
+    /// ③ CUTLASS/CuTe tile-shape requirements.
+    Cutlass,
+}
+
+impl fmt::Display for TileConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileConstraint::Resources => write!(f, "① resources"),
+            TileConstraint::Bandwidth => write!(f, "② bandwidth"),
+            TileConstraint::Cutlass => write!(f, "③ cutlass"),
+        }
+    }
+}
+
+/// Solver verdict for one `(m, n)` candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileVerdict {
+    /// The candidate configuration.
+    pub tile: TileConfig,
+    /// Resident CTAs per SM (0 when ① is violated).
+    pub ctas_per_sm: usize,
+    /// The violated constraint, or `None` if feasible.
+    pub violated: Option<TileConstraint>,
+}
+
+impl TileVerdict {
+    /// Whether the configuration is feasible.
+    pub fn is_feasible(&self) -> bool {
+        self.violated.is_none()
+    }
+}
+
+/// The offline tile solver for one device + head geometry.
+///
+/// # Examples
+///
+/// ```
+/// use pat_core::TileSolver;
+/// use sim_gpu::GpuSpec;
+///
+/// let solver = TileSolver::new(GpuSpec::a100_sxm4_80gb(), 128, 2);
+/// let feasible = solver.feasible_tiles();
+/// assert!(feasible.len() >= 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileSolver {
+    spec: GpuSpec,
+    head_dim: usize,
+    dtype_bytes: usize,
+}
+
+impl TileSolver {
+    /// Creates a solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` or `dtype_bytes` is zero.
+    pub fn new(spec: GpuSpec, head_dim: usize, dtype_bytes: usize) -> Self {
+        assert!(head_dim > 0 && dtype_bytes > 0, "geometry must be positive");
+        TileSolver { spec, head_dim, dtype_bytes }
+    }
+
+    /// The device this solver targets.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Judges one candidate against constraints ①–③.
+    pub fn judge(&self, tile: TileConfig) -> TileVerdict {
+        // ③ CUTLASS shape requirements.
+        let pow2 = |x: usize| x.is_power_of_two();
+        if !pow2(tile.m) || !pow2(tile.n) || tile.m < 16 || tile.n < 16 {
+            return TileVerdict { tile, ctas_per_sm: 0, violated: Some(TileConstraint::Cutlass) };
+        }
+        // ① resource limits via the occupancy calculator.
+        let occupancy = Occupancy::new(self.spec.clone());
+        let resources = tile.resources(self.head_dim, self.dtype_bytes);
+        let c = match occupancy.ctas_per_sm(resources) {
+            Ok(c) => c,
+            Err(_) => {
+                return TileVerdict {
+                    tile,
+                    ctas_per_sm: 0,
+                    violated: Some(TileConstraint::Resources),
+                }
+            }
+        };
+        // ② bandwidth: all resident CTAs together must keep L·B in flight.
+        let device_rate = self.spec.num_sms as f64
+            * c as f64
+            * tile.rate_cap(&self.spec, self.head_dim, self.dtype_bytes);
+        if device_rate < self.spec.global_bandwidth {
+            return TileVerdict { tile, ctas_per_sm: c, violated: Some(TileConstraint::Bandwidth) };
+        }
+        TileVerdict { tile, ctas_per_sm: c, violated: None }
+    }
+
+    /// Judges the full grid (the Fig. 8b table).
+    pub fn grid_verdicts(&self) -> Vec<TileVerdict> {
+        let mut out = Vec::with_capacity(TILE_GRID.len() * TILE_GRID.len());
+        for &m in &TILE_GRID {
+            for &n in &TILE_GRID {
+                out.push(self.judge(TileConfig::new(m, n)));
+            }
+        }
+        out
+    }
+
+    /// The feasible (performance-equivalent) tile set, sorted by `(m, n)`.
+    pub fn feasible_tiles(&self) -> Vec<TileConfig> {
+        self.grid_verdicts()
+            .into_iter()
+            .filter(TileVerdict::is_feasible)
+            .map(|v| v.tile)
+            .collect()
+    }
+
+    /// Renders the Fig. 8b feasibility table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} (h={}, b={}):\n", self.spec.name, self.head_dim, self.dtype_bytes));
+        out.push_str("        ");
+        for &n in &TILE_GRID {
+            out.push_str(&format!(" n={n:<5}"));
+        }
+        out.push('\n');
+        for &m in &TILE_GRID {
+            out.push_str(&format!("  m={m:<4}"));
+            for &n in &TILE_GRID {
+                let v = self.judge(TileConfig::new(m, n));
+                let cell = match v.violated {
+                    None => format!("✓ C={}", v.ctas_per_sm),
+                    Some(TileConstraint::Resources) => "①".to_string(),
+                    Some(TileConstraint::Bandwidth) => "②".to_string(),
+                    Some(TileConstraint::Cutlass) => "③".to_string(),
+                };
+                out.push_str(&format!(" {cell:<6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100() -> TileSolver {
+        TileSolver::new(GpuSpec::a100_sxm4_80gb(), 128, 2)
+    }
+
+    fn h100() -> TileSolver {
+        TileSolver::new(GpuSpec::h100_sxm5_80gb(), 128, 2)
+    }
+
+    #[test]
+    fn a100_feasible_set_matches_figure_8b() {
+        let tiles = a100().feasible_tiles();
+        assert_eq!(tiles.len(), 11, "paper reports 11 available configs:\n{}", a100().render_table());
+        // All m=16 and m=32 configs are feasible.
+        for m in [16, 32] {
+            for n in TILE_GRID {
+                assert!(tiles.contains(&TileConfig::new(m, n)), "({m},{n}) missing");
+            }
+        }
+        // (64,32), (64,64), (64,128) are feasible; (64,16) starves bandwidth.
+        assert!(tiles.contains(&TileConfig::new(64, 32)));
+        assert!(tiles.contains(&TileConfig::new(64, 64)));
+        assert!(tiles.contains(&TileConfig::new(64, 128)));
+        assert!(!tiles.contains(&TileConfig::new(64, 16)));
+        // m=128 exceeds the per-thread register budget.
+        assert!(tiles.iter().all(|t| t.m < 128));
+    }
+
+    #[test]
+    fn h100_removes_64_32_and_64_64() {
+        let a = a100().feasible_tiles();
+        let h = h100().feasible_tiles();
+        assert_eq!(h.len(), 9, "paper: A100 set minus two:\n{}", h100().render_table());
+        assert!(a.contains(&TileConfig::new(64, 32)));
+        assert!(a.contains(&TileConfig::new(64, 64)));
+        assert!(!h.contains(&TileConfig::new(64, 32)));
+        assert!(!h.contains(&TileConfig::new(64, 64)));
+        assert!(h.contains(&TileConfig::new(64, 128)));
+        // H100's set is a strict subset of A100's.
+        assert!(h.iter().all(|t| a.contains(t)));
+    }
+
+    #[test]
+    fn non_power_of_two_is_cutlass_violation() {
+        let v = a100().judge(TileConfig::new(24, 16));
+        assert_eq!(v.violated, Some(TileConstraint::Cutlass));
+        let v = a100().judge(TileConfig::new(16, 8));
+        assert_eq!(v.violated, Some(TileConstraint::Cutlass));
+    }
+
+    #[test]
+    fn violated_constraints_annotate_the_grid() {
+        let verdicts = a100().grid_verdicts();
+        assert_eq!(verdicts.len(), 16);
+        let m128: Vec<_> = verdicts.iter().filter(|v| v.tile.m == 128).collect();
+        assert!(m128.iter().all(|v| v.violated == Some(TileConstraint::Resources)));
+        let v6416 = verdicts.iter().find(|v| v.tile == TileConfig::new(64, 16)).unwrap();
+        assert_eq!(v6416.violated, Some(TileConstraint::Bandwidth));
+    }
+
+    #[test]
+    fn render_table_mentions_device() {
+        let t = a100().render_table();
+        assert!(t.contains("A100"));
+        assert!(t.contains('✓'));
+    }
+}

@@ -1,0 +1,98 @@
+//! The serving-side attention abstraction.
+//!
+//! Serving needs per-step planning with state (PAT's lazy-update cache);
+//! stateless kernel backends are adapted via [`Stateless`].
+
+use attn_kernel::{AttentionBackend, DecodeBatch, KernelPlan};
+use pat_core::LazyPat;
+use sim_gpu::GpuSpec;
+
+/// A decode-attention implementation as used by the serving engine.
+pub trait ServingAttention {
+    /// Display name.
+    fn name(&self) -> String;
+
+    /// Whether this backend supports the batch's shape.
+    fn supports(&self, batch: &DecodeBatch) -> bool {
+        let _ = batch;
+        true
+    }
+
+    /// Plans one decode step (may use internal caching).
+    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan;
+
+    /// CPU cost of this step's scheduling work, if the backend reports it
+    /// (used for the Fig. 16 overhead analysis).
+    fn scheduling_cost_ns(&self, batch: &DecodeBatch) -> Option<f64> {
+        let _ = batch;
+        None
+    }
+}
+
+/// Adapter: any stateless [`AttentionBackend`] serves as-is.
+#[derive(Debug, Clone)]
+pub struct Stateless<B>(pub B);
+
+impl<B: AttentionBackend> ServingAttention for Stateless<B> {
+    fn name(&self) -> String {
+        self.0.name().to_string()
+    }
+
+    fn supports(&self, batch: &DecodeBatch) -> bool {
+        self.0.supports(batch)
+    }
+
+    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
+        self.0.plan(batch, spec)
+    }
+}
+
+impl ServingAttention for LazyPat {
+    fn name(&self) -> String {
+        "PAT".to_string()
+    }
+
+    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
+        self.plan(batch, spec)
+    }
+
+    fn scheduling_cost_ns(&self, batch: &DecodeBatch) -> Option<f64> {
+        Some(self.backend().scheduling_cost_ns(batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_math::HeadConfig;
+    use baselines::FlashAttention;
+    use kv_cache::{BlockId, BlockTable};
+
+    fn batch() -> DecodeBatch {
+        DecodeBatch::new(
+            HeadConfig::new(32, 8, 128),
+            vec![BlockTable::new(vec![BlockId(0)], 16, 16)],
+            2,
+        )
+    }
+
+    #[test]
+    fn stateless_adapter_delegates() {
+        let mut s = Stateless(FlashAttention::new());
+        assert_eq!(s.name(), "FlashAttention");
+        let b = batch();
+        assert!(s.supports(&b));
+        let plan = s.plan_step(&b, &GpuSpec::a100_sxm4_80gb());
+        plan.validate(&b).unwrap();
+        assert!(s.scheduling_cost_ns(&b).is_none());
+    }
+
+    #[test]
+    fn lazy_pat_reports_scheduling_cost() {
+        let mut pat = LazyPat::new();
+        let b = batch();
+        let plan = pat.plan_step(&b, &GpuSpec::a100_sxm4_80gb());
+        plan.validate(&b).unwrap();
+        assert!(pat.scheduling_cost_ns(&b).unwrap() > 0.0);
+    }
+}

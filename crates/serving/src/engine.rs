@@ -1,0 +1,638 @@
+//! The continuous-batching serving engine (vLLM-style, §8.4).
+//!
+//! Simulates online serving in virtual time: requests arrive (Poisson),
+//! prefills admit them into the running batch (prefix-reusing KV cache),
+//! and every decode step plans attention through the configured backend,
+//! prices it on the GPU simulator, and advances the clock. Produces the
+//! TTFT/TPOT metrics of Fig. 12/13 and the scheduler-overhead samples of
+//! Fig. 16.
+
+use crate::attention::ServingAttention;
+use crate::costs::CostModel;
+use crate::metrics::{AggregateMetrics, RequestMetrics};
+use crate::model::ModelSpec;
+use attn_kernel::{simulate_plan, DecodeBatch};
+use attn_math::HeadConfig;
+use kv_cache::{BlockTable, CacheManager, DEFAULT_BLOCK_SIZE};
+use sim_gpu::GpuSpec;
+use std::collections::VecDeque;
+use workloads::Request;
+
+/// Tensor/pipeline parallel layout (§8.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Tensor-parallel ways (divides attention heads and weight shards).
+    pub tp: usize,
+    /// Pipeline-parallel stages (divides layers).
+    pub pp: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism { tp: 1, pp: 1 }
+    }
+}
+
+impl Parallelism {
+    /// Single-GPU layout.
+    pub fn single() -> Self {
+        Parallelism::default()
+    }
+
+    /// Total GPUs used.
+    pub fn num_gpus(&self) -> usize {
+        self.tp * self.pp
+    }
+}
+
+/// Serving-engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// The served model.
+    pub model: ModelSpec,
+    /// The GPU (per device).
+    pub gpu: GpuSpec,
+    /// Parallel layout.
+    pub parallel: Parallelism,
+    /// Maximum concurrent decode requests.
+    pub max_batch: usize,
+    /// Maximum prompt tokens per prefill step.
+    pub max_prefill_tokens: usize,
+    /// KV pool size in blocks.
+    pub kv_capacity_blocks: usize,
+    /// Stop simulating this long after the last arrival (drain limit), s.
+    pub drain_limit_s: f64,
+    /// Mix prefill chunks into decode steps (vLLM chunked prefill) instead
+    /// of running whole prefills with priority. Smooths TPOT spikes at the
+    /// cost of slightly slower time-to-first-token for short prompts.
+    pub chunked_prefill: bool,
+}
+
+impl ServingConfig {
+    /// A sensible single-A100 configuration for `model`.
+    pub fn single_gpu(model: ModelSpec) -> Self {
+        ServingConfig {
+            model,
+            gpu: GpuSpec::a100_sxm4_80gb(),
+            parallel: Parallelism::single(),
+            max_batch: 128,
+            max_prefill_tokens: 8192,
+            kv_capacity_blocks: 400_000,
+            drain_limit_s: 600.0,
+            chunked_prefill: false,
+        }
+    }
+}
+
+/// Result of one serving simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Aggregate metrics over completed requests.
+    pub metrics: AggregateMetrics,
+    /// Per-request records (completed only).
+    pub per_request: Vec<RequestMetrics>,
+    /// Decode steps executed.
+    pub decode_steps: usize,
+    /// Mean decode batch size.
+    pub mean_batch: f64,
+    /// Attention share of total decode-step time, in `[0, 1]`.
+    pub attention_fraction: f64,
+    /// Per-step `(scheduler, pre-attention)` cost samples in ns, when the
+    /// backend reports scheduling costs (Fig. 16).
+    pub overhead_samples: Vec<(f64, f64)>,
+    /// Requests dropped at the drain limit (overload indicator).
+    pub unfinished: usize,
+    /// Recompute preemptions forced by KV-pool pressure.
+    pub preemptions: u64,
+    /// Requests dropped because they can never fit the KV pool.
+    pub dropped: u64,
+}
+
+#[derive(Debug)]
+struct Active {
+    req_idx: usize,
+    table: BlockTable,
+    produced: usize,
+    target: usize,
+    first_token_ns: f64,
+    arrival_ns: f64,
+}
+
+/// Runs the serving simulation for `requests` (must be sorted by arrival).
+///
+/// When the KV pool runs out, the engine preempts the most recently arrived
+/// running request (vLLM's recompute policy): its blocks are freed and it
+/// restarts from prefill once space frees up.
+///
+/// # Panics
+///
+/// Panics if requests are unsorted, or if a single request cannot fit in
+/// the KV pool even with every other request preempted.
+pub fn simulate_serving(
+    config: &ServingConfig,
+    attention: &mut dyn ServingAttention,
+    requests: &[Request],
+) -> SimulationResult {
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "requests must be sorted by arrival"
+    );
+    let tp = config.parallel.tp;
+    let pp = config.parallel.pp;
+    // Attention heads shard across TP ranks; each rank's kernel handles an
+    // equal slice, so one rank's latency is the attention latency.
+    let full_head = config.model.head;
+    let shard_head = HeadConfig::new(
+        (full_head.num_heads() / tp).max(1),
+        (full_head.num_kv_heads() / tp).max(1),
+        full_head.head_dim(),
+    );
+    let cost = CostModel::with_tp(config.model, config.gpu.clone(), tp);
+    let layers_per_stage = config.model.num_layers.div_ceil(pp);
+
+    let mut cache = CacheManager::new(config.kv_capacity_blocks, DEFAULT_BLOCK_SIZE);
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    // Chunked-prefill progress: (request idx, clamped prompt len, tokens done).
+    let mut prefilling: VecDeque<(usize, usize, usize)> = VecDeque::new();
+    let mut active: Vec<Active> = Vec::new();
+    let mut completed: Vec<RequestMetrics> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut clock_ns = 0.0f64;
+    let mut decode_steps = 0usize;
+    let mut batch_acc = 0usize;
+    let mut attn_time = 0.0f64;
+    let mut total_time = 0.0f64;
+    let mut overhead_samples = Vec::new();
+    let mut preemptions: u64 = 0;
+    let mut dropped: u64 = 0;
+    let deadline_ns = requests.last().map_or(0.0, |r| r.arrival_s * 1e9)
+        + config.drain_limit_s * 1e9;
+
+    /// Frees the most recently arrived active request and requeues it for
+    /// recompute. Returns the preempted request index, or `None`.
+    fn preempt_latest(
+        active: &mut Vec<Active>,
+        waiting: &mut VecDeque<usize>,
+        cache: &mut CacheManager,
+    ) -> Option<usize> {
+        let victim = active
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.arrival_ns.partial_cmp(&b.1.arrival_ns).expect("finite"))?
+            .0;
+        let a = active.swap_remove(victim);
+        cache.free_sequence(&a.table).expect("victim blocks are allocated");
+        waiting.push_front(a.req_idx);
+        Some(a.req_idx)
+    }
+
+    loop {
+        // Admit arrivals.
+        while next_arrival < requests.len()
+            && requests[next_arrival].arrival_s * 1e9 <= clock_ns
+        {
+            waiting.push_back(next_arrival);
+            next_arrival += 1;
+        }
+        if active.is_empty() && waiting.is_empty() && prefilling.is_empty() {
+            if next_arrival >= requests.len() {
+                break;
+            }
+            clock_ns = requests[next_arrival].arrival_s * 1e9;
+            continue;
+        }
+        if clock_ns > deadline_ns {
+            break;
+        }
+
+        if config.chunked_prefill {
+            // Admit waiting requests into the prefilling queue (same
+            // admission control as below, but no dedicated prefill step).
+            while let Some(&idx) = waiting.front() {
+                let req = &requests[idx];
+                let budget =
+                    config.model.max_context.saturating_sub(req.decode_tokens).max(16);
+                let prompt_tokens = req.prompt.total_tokens().min(budget);
+                let bs = DEFAULT_BLOCK_SIZE;
+                let needed =
+                    prompt_tokens.div_ceil(bs) + req.decode_tokens.div_ceil(bs) + 2;
+                if needed > cache.allocator().capacity() {
+                    waiting.pop_front();
+                    dropped += 1;
+                    continue;
+                }
+                let engine_busy = !active.is_empty() || !prefilling.is_empty();
+                if active.len() + prefilling.len() >= config.max_batch
+                    || (needed > cache.available_blocks() && engine_busy)
+                {
+                    break;
+                }
+                waiting.pop_front();
+                prefilling.push_back((idx, prompt_tokens, 0));
+            }
+        }
+
+        // Prefill-priority scheduling (vLLM default): admit waiting requests
+        // up to the token budget, then decode.
+        if !config.chunked_prefill && !waiting.is_empty() && active.len() < config.max_batch {
+            let mut chunk_tokens = 0usize;
+            let mut admitted = Vec::new();
+            let mut budget_blocks = cache.available_blocks();
+            while let Some(&idx) = waiting.front() {
+                let req = &requests[idx];
+                // Clamp over-long prompts to the model context window.
+                let budget =
+                    config.model.max_context.saturating_sub(req.decode_tokens).max(16);
+                let prompt_tokens = req.prompt.total_tokens().min(budget);
+                if active.len() + admitted.len() >= config.max_batch
+                    || (chunk_tokens + prompt_tokens > config.max_prefill_tokens
+                        && !admitted.is_empty())
+                {
+                    break;
+                }
+                // Admission control (vLLM watermark): the request's whole
+                // lifetime (prompt + decode budget) must fit in currently
+                // obtainable blocks, or it waits for departures. Prefix hits
+                // only make this conservative.
+                let bs = DEFAULT_BLOCK_SIZE;
+                let needed =
+                    prompt_tokens.div_ceil(bs) + req.decode_tokens.div_ceil(bs) + 2;
+                if needed > cache.allocator().capacity() {
+                    // Can never fit, even alone: reject rather than livelock.
+                    waiting.pop_front();
+                    dropped += 1;
+                    continue;
+                }
+                let engine_busy = !active.is_empty() || !admitted.is_empty();
+                if needed > budget_blocks && engine_busy {
+                    break;
+                }
+                budget_blocks = budget_blocks.saturating_sub(needed);
+                waiting.pop_front();
+                chunk_tokens += prompt_tokens;
+                admitted.push((idx, prompt_tokens));
+                if chunk_tokens >= config.max_prefill_tokens {
+                    break;
+                }
+            }
+            if !admitted.is_empty() {
+            clock_ns += cost.prefill_ns(chunk_tokens);
+            for (idx, prompt_tokens) in admitted {
+                let req = &requests[idx];
+                let tokens = req.prompt.to_tokens()[..prompt_tokens].to_vec();
+                let table = loop {
+                    match cache.insert_sequence(&tokens) {
+                        Ok(t) => break t,
+                        Err(_) => {
+                            preemptions += 1;
+                            if preempt_latest(&mut active, &mut waiting, &mut cache).is_none() {
+                                panic!("a single request exceeds the KV pool");
+                            }
+                        }
+                    }
+                };
+                let arrival_ns = req.arrival_s * 1e9;
+                if req.decode_tokens <= 1 {
+                    cache.free_sequence(&table).expect("allocated above");
+                    completed.push(RequestMetrics {
+                        ttft_ns: clock_ns - arrival_ns,
+                        tpot_ns: 0.0,
+                        completion_ns: clock_ns - arrival_ns,
+                        decode_tokens: 1,
+                    });
+                } else {
+                    active.push(Active {
+                        req_idx: idx,
+                        table,
+                        produced: 1,
+                        target: req.decode_tokens,
+                        first_token_ns: clock_ns,
+                        arrival_ns,
+                    });
+                }
+            }
+            continue;
+            }
+            // Nothing admissible right now: fall through to decode so
+            // departures can free KV blocks for the waiting requests.
+        }
+        // Chunked prefill: carve this step's chunk from the prefill queue.
+        let mut prefill_chunk = 0usize;
+        let mut finished_prefills: Vec<(usize, usize)> = Vec::new();
+        if config.chunked_prefill {
+            let mut budget = config.max_prefill_tokens;
+            while budget > 0 {
+                let Some(front) = prefilling.front_mut() else { break };
+                let take = (front.1 - front.2).min(budget);
+                front.2 += take;
+                budget -= take;
+                prefill_chunk += take;
+                if front.2 >= front.1 {
+                    let (idx, prompt_tokens, _) = prefilling.pop_front().expect("front exists");
+                    finished_prefills.push((idx, prompt_tokens));
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if active.is_empty() && prefill_chunk == 0 {
+            // Everything waiting was dropped or nothing is runnable yet.
+            continue;
+        }
+        if active.is_empty() {
+            // Pure prefill-chunk step.
+            clock_ns += cost.prefill_ns(prefill_chunk);
+            admit_finished_prefills(
+                &finished_prefills,
+                requests,
+                &mut cache,
+                &mut active,
+                &mut completed,
+                clock_ns,
+            );
+            continue;
+        }
+
+        // Decode step.
+        let tables: Vec<BlockTable> = active.iter().map(|a| a.table.clone()).collect();
+        let batch = DecodeBatch::new(shard_head, tables, 2);
+        let plan = attention.plan_step(&batch, &config.gpu);
+        let report = simulate_plan(&batch, &plan, &config.gpu)
+            .expect("backend plans are valid");
+        // Kernel time repeats per layer; exposed CPU scheduling is paid once
+        // per step (the plan's metadata is shared across layers).
+        let attention_ns = (report.total_ns - report.scheduling_ns)
+            * config.model.num_layers as f64
+            + report.scheduling_ns;
+        let linear_ns = cost.decode_linear_ns(batch.num_queries(), layers_per_stage) * pp as f64;
+        // Pipeline stages hand activations over (pp - 1) boundaries.
+        let pp_transfer_ns = (pp - 1) as f64
+            * (8_000.0 + batch.num_queries() as f64 * config.model.hidden as f64 * 2.0 / 300.0);
+        let prefill_ns = cost.chunked_prefill_marginal_ns(prefill_chunk);
+        let step_ns = attention_ns + linear_ns + pp_transfer_ns + prefill_ns;
+        if let Some(sched) = attention.scheduling_cost_ns(&batch) {
+            overhead_samples.push((sched, cost.pre_attention_ns(batch.num_queries())));
+        }
+        clock_ns += step_ns;
+        decode_steps += 1;
+        batch_acc += batch.num_queries();
+        attn_time += attention_ns;
+        total_time += step_ns;
+        admit_finished_prefills(
+            &finished_prefills,
+            requests,
+            &mut cache,
+            &mut active,
+            &mut completed,
+            clock_ns,
+        );
+
+        let mut i = 0;
+        while i < active.len() {
+            // Append this request's new token, preempting the youngest
+            // request under KV pressure (possibly this one).
+            let my_req = active[i].req_idx;
+            let mut appended = false;
+            loop {
+                let Some(pos) = active.iter().position(|a| a.req_idx == my_req) else {
+                    break; // this request was itself preempted
+                };
+                i = pos;
+                if cache.append_token(&mut active[i].table).is_ok() {
+                    appended = true;
+                    break;
+                }
+                preemptions += 1;
+                if preempt_latest(&mut active, &mut waiting, &mut cache).is_none() {
+                    panic!("a single request exceeds the KV pool");
+                }
+            }
+            if !appended {
+                // Restart scanning: indices shifted and this slot now holds a
+                // different (already-processed or pending) request. The next
+                // decode step will cover any request we skip here.
+                continue;
+            }
+            active[i].produced += 1;
+            if active[i].produced >= active[i].target {
+                let a = active.swap_remove(i);
+                cache.free_sequence(&a.table).expect("allocated above");
+                let gaps = (a.produced - 1).max(1) as f64;
+                completed.push(RequestMetrics {
+                    ttft_ns: a.first_token_ns - a.arrival_ns,
+                    tpot_ns: (clock_ns - a.first_token_ns) / gaps,
+                    completion_ns: clock_ns - a.arrival_ns,
+                    decode_tokens: a.produced,
+                });
+                let _ = a.req_idx;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    SimulationResult {
+        metrics: AggregateMetrics::from_requests(&completed),
+        per_request: completed,
+        decode_steps,
+        mean_batch: if decode_steps == 0 { 0.0 } else { batch_acc as f64 / decode_steps as f64 },
+        attention_fraction: if total_time == 0.0 { 0.0 } else { attn_time / total_time },
+        overhead_samples,
+        unfinished: active.len() + waiting.len() + prefilling.len()
+            + (requests.len() - next_arrival),
+        preemptions,
+        dropped,
+    }
+}
+
+/// Moves requests whose chunked prefill just completed into the decode
+/// batch, producing their first token.
+fn admit_finished_prefills(
+    finished: &[(usize, usize)],
+    requests: &[Request],
+    cache: &mut CacheManager,
+    active: &mut Vec<Active>,
+    completed: &mut Vec<RequestMetrics>,
+    clock_ns: f64,
+) {
+    for &(idx, prompt_tokens) in finished {
+        let req = &requests[idx];
+        let tokens = req.prompt.to_tokens()[..prompt_tokens].to_vec();
+        let table = cache.insert_sequence(&tokens).expect("admission reserved blocks");
+        let arrival_ns = req.arrival_s * 1e9;
+        if req.decode_tokens <= 1 {
+            cache.free_sequence(&table).expect("allocated above");
+            completed.push(RequestMetrics {
+                ttft_ns: clock_ns - arrival_ns,
+                tpot_ns: 0.0,
+                completion_ns: clock_ns - arrival_ns,
+                decode_tokens: 1,
+            });
+        } else {
+            active.push(Active {
+                req_idx: idx,
+                table,
+                produced: 1,
+                target: req.decode_tokens,
+                first_token_ns: clock_ns,
+                arrival_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::Stateless;
+    use baselines::FlashAttention;
+    use pat_core::LazyPat;
+    use workloads::{generate_trace, TraceConfig, TraceKind};
+
+    fn short_trace(rate: f64) -> Vec<Request> {
+        generate_trace(TraceConfig {
+            kind: TraceKind::Conversation,
+            rate_per_s: rate,
+            duration_s: 6.0,
+            seed: 7,
+        })
+    }
+
+    fn config() -> ServingConfig {
+        ServingConfig::single_gpu(ModelSpec::llama3_8b())
+    }
+
+    #[test]
+    fn all_requests_complete_at_low_rate() {
+        let requests = short_trace(2.0);
+        let mut pat = LazyPat::new();
+        let result = simulate_serving(&config(), &mut pat, &requests);
+        assert_eq!(result.unfinished, 0);
+        assert_eq!(result.metrics.completed, requests.len());
+        assert!(result.metrics.mean_ttft_ms > 0.0);
+        assert!(result.metrics.mean_tpot_ms > 0.0);
+        assert!(result.decode_steps > 0);
+    }
+
+    #[test]
+    fn pat_beats_flash_attention_on_shared_prefix_trace() {
+        let requests = short_trace(4.0);
+        let mut pat = LazyPat::new();
+        let pat_result = simulate_serving(&config(), &mut pat, &requests);
+        let mut fa = Stateless(FlashAttention::new());
+        let fa_result = simulate_serving(&config(), &mut fa, &requests);
+        assert!(
+            pat_result.metrics.mean_tpot_ms < fa_result.metrics.mean_tpot_ms,
+            "PAT {:.3} ms !< FA {:.3} ms",
+            pat_result.metrics.mean_tpot_ms,
+            fa_result.metrics.mean_tpot_ms
+        );
+    }
+
+    #[test]
+    fn pat_reports_overhead_samples_and_they_hide_in_pre_attention() {
+        let requests = short_trace(4.0);
+        let mut pat = LazyPat::new();
+        let result = simulate_serving(&config(), &mut pat, &requests);
+        assert!(!result.overhead_samples.is_empty());
+        let (sched, pre): (Vec<f64>, Vec<f64>) = result.overhead_samples.iter().copied().unzip();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&sched) < mean(&pre),
+            "scheduler ({:.0} ns) must hide inside pre-attention ({:.0} ns)",
+            mean(&sched),
+            mean(&pre)
+        );
+    }
+
+    #[test]
+    fn higher_rate_increases_tpot() {
+        let mut pat_low = LazyPat::new();
+        let low = simulate_serving(&config(), &mut pat_low, &short_trace(1.0));
+        let mut pat_high = LazyPat::new();
+        let high = simulate_serving(&config(), &mut pat_high, &short_trace(8.0));
+        assert!(high.mean_batch > low.mean_batch);
+        assert!(high.metrics.mean_tpot_ms >= low.metrics.mean_tpot_ms * 0.9);
+    }
+
+    #[test]
+    fn tp_reduces_tpot_for_a_large_model() {
+        let requests = short_trace(1.0);
+        let mut cfg = ServingConfig::single_gpu(ModelSpec::qwen25_72b());
+        cfg.max_prefill_tokens = 4096;
+        let mut pat1 = LazyPat::new();
+        let single = simulate_serving(&cfg, &mut pat1, &requests);
+        cfg.parallel = Parallelism { tp: 2, pp: 2 };
+        let mut pat4 = LazyPat::new();
+        let multi = simulate_serving(&cfg, &mut pat4, &requests);
+        assert!(
+            multi.metrics.mean_tpot_ms < single.metrics.mean_tpot_ms,
+            "TP2xPP2 {:.2} !< single {:.2}",
+            multi.metrics.mean_tpot_ms,
+            single.metrics.mean_tpot_ms
+        );
+    }
+
+    #[test]
+    fn tiny_kv_pool_serves_via_admission_control() {
+        let requests = short_trace(6.0);
+        let mut cfg = config();
+        // A pool that can hold only a handful of ~2.5k-token contexts: the
+        // watermark admits few requests at a time, but everyone finishes.
+        cfg.kv_capacity_blocks = 1200;
+        cfg.max_batch = 32;
+        let mut pat = LazyPat::new();
+        let result = simulate_serving(&cfg, &mut pat, &requests);
+        assert_eq!(result.unfinished, 0, "requests must finish under pressure");
+        assert_eq!(result.dropped, 0);
+        assert_eq!(result.metrics.completed, requests.len());
+        assert!(result.mean_batch < 16.0, "pool bounds concurrency");
+    }
+
+    #[test]
+    fn impossible_requests_are_dropped_not_livelocked() {
+        let mut requests = short_trace(2.0);
+        for r in &mut requests {
+            r.decode_tokens = 2000; // prompt + decode exceed the pool below
+        }
+        let mut cfg = config();
+        cfg.kv_capacity_blocks = 150;
+        let mut pat = LazyPat::new();
+        let result = simulate_serving(&cfg, &mut pat, &requests);
+        assert_eq!(result.dropped as usize, requests.len());
+        assert_eq!(result.unfinished, 0);
+        assert_eq!(result.metrics.completed, 0);
+    }
+
+    #[test]
+    fn chunked_prefill_serves_everyone_and_smooths_tail_latency() {
+        // A bursty moment: many long prompts arriving together makes
+        // prefill-priority stall decoding (P99 TPOT spikes); chunking mixes
+        // the prefills into decode steps.
+        let requests = short_trace(10.0);
+        let mut cfg = config();
+        cfg.max_prefill_tokens = 2048;
+        let mut pat1 = LazyPat::new();
+        let priority = simulate_serving(&cfg, &mut pat1, &requests);
+        cfg.chunked_prefill = true;
+        let mut pat2 = LazyPat::new();
+        let chunked = simulate_serving(&cfg, &mut pat2, &requests);
+        assert_eq!(chunked.unfinished, 0);
+        assert_eq!(chunked.metrics.completed, requests.len());
+        assert!(
+            chunked.metrics.p99_tpot_ms < priority.metrics.p99_tpot_ms * 1.5,
+            "chunked {:.1} ms vs priority {:.1} ms",
+            chunked.metrics.p99_tpot_ms,
+            priority.metrics.p99_tpot_ms
+        );
+    }
+
+    #[test]
+    fn empty_request_list_is_fine() {
+        let mut pat = LazyPat::new();
+        let result = simulate_serving(&config(), &mut pat, &[]);
+        assert_eq!(result.metrics.completed, 0);
+        assert_eq!(result.decode_steps, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Serving metrics: TTFT, TPOT, completion latency (§8.2).
+
+/// Per-request latency record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestMetrics {
+    /// Time to first token, ns.
+    pub ttft_ns: f64,
+    /// Mean time per output token after the first, ns (0 for single-token
+    /// outputs).
+    pub tpot_ns: f64,
+    /// Total completion latency (arrival → last token), ns.
+    pub completion_ns: f64,
+    /// Output tokens produced.
+    pub decode_tokens: usize,
+}
+
+/// Aggregates over completed requests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AggregateMetrics {
+    /// Mean time to first token, ms.
+    pub mean_ttft_ms: f64,
+    /// Mean time per output token, ms.
+    pub mean_tpot_ms: f64,
+    /// 99th-percentile per-request TPOT, ms.
+    pub p99_tpot_ms: f64,
+    /// Mean request completion latency, ms.
+    pub mean_completion_ms: f64,
+    /// Number of completed requests.
+    pub completed: usize,
+}
+
+impl AggregateMetrics {
+    /// Aggregates a set of per-request records.
+    pub fn from_requests(requests: &[RequestMetrics]) -> Self {
+        if requests.is_empty() {
+            return AggregateMetrics::default();
+        }
+        let n = requests.len() as f64;
+        let mean = |f: fn(&RequestMetrics) -> f64| requests.iter().map(f).sum::<f64>() / n;
+        let mut tpots: Vec<f64> =
+            requests.iter().filter(|r| r.decode_tokens > 1).map(|r| r.tpot_ns).collect();
+        tpots.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p99 = if tpots.is_empty() {
+            0.0
+        } else {
+            tpots[((tpots.len() as f64 * 0.99).ceil() as usize - 1).min(tpots.len() - 1)]
+        };
+        let mean_tpot = if tpots.is_empty() {
+            0.0
+        } else {
+            tpots.iter().sum::<f64>() / tpots.len() as f64
+        };
+        AggregateMetrics {
+            mean_ttft_ms: mean(|r| r.ttft_ns) / 1e6,
+            mean_tpot_ms: mean_tpot / 1e6,
+            p99_tpot_ms: p99 / 1e6,
+            mean_completion_ms: mean(|r| r.completion_ns) / 1e6,
+            completed: requests.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm(ttft: f64, tpot: f64, tokens: usize) -> RequestMetrics {
+        RequestMetrics {
+            ttft_ns: ttft,
+            tpot_ns: tpot,
+            completion_ns: ttft + tpot * tokens as f64,
+            decode_tokens: tokens,
+        }
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let reqs = vec![rm(1e6, 2e6, 10), rm(3e6, 4e6, 10)];
+        let agg = AggregateMetrics::from_requests(&reqs);
+        assert!((agg.mean_ttft_ms - 2.0).abs() < 1e-9);
+        assert!((agg.mean_tpot_ms - 3.0).abs() < 1e-9);
+        assert!((agg.p99_tpot_ms - 4.0).abs() < 1e-9);
+        assert_eq!(agg.completed, 2);
+    }
+
+    #[test]
+    fn p99_picks_the_tail() {
+        let mut reqs: Vec<RequestMetrics> = (1..=100).map(|i| rm(0.0, i as f64 * 1e6, 5)).collect();
+        let agg = AggregateMetrics::from_requests(&reqs);
+        assert!((agg.p99_tpot_ms - 99.0).abs() < 1e-9);
+        reqs.truncate(10);
+        let agg = AggregateMetrics::from_requests(&reqs);
+        assert!((agg.p99_tpot_ms - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_token_requests_do_not_pollute_tpot() {
+        let reqs = vec![rm(1e6, 0.0, 1), rm(1e6, 5e6, 10)];
+        let agg = AggregateMetrics::from_requests(&reqs);
+        assert!((agg.mean_tpot_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_zeroes() {
+        let agg = AggregateMetrics::from_requests(&[]);
+        assert_eq!(agg.completed, 0);
+        assert_eq!(agg.mean_tpot_ms, 0.0);
+    }
+}

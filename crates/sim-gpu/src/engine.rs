@@ -1,0 +1,628 @@
+//! Discrete-event execution engine.
+//!
+//! Models the part of the GPU the paper's forward stage cares about:
+//!
+//! * a **GigaThread-style dispatcher** placing CTAs onto SMs as shared-memory,
+//!   register, thread, and slot resources free up;
+//! * a **shared HBM bus**: at any instant, resident CTAs split the global
+//!   bandwidth by max–min fairness, with each CTA capped at the rate its
+//!   in-flight (double-buffered) tile data can sustain (`in_flight / L`,
+//!   constraint ② of §5.2);
+//! * **compute floors**: a CTA cannot finish before its tensor-core pipeline
+//!   does, which exposes final-tile compute bubbles on short KV;
+//! * **streams**: kernels in one stream run serially (with launch overhead),
+//!   kernels in different streams run concurrently (§6).
+//!
+//! The engine returns a makespan, per-CTA spans (Fig. 15), and bandwidth
+//! accounting (Fig. 8c).
+
+use crate::occupancy::{CtaResources, Occupancy, OccupancyViolation};
+use crate::trace::{CtaSpan, ExecutionTrace, KernelSpan};
+use crate::GpuSpec;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Work performed by a single CTA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtaWork {
+    /// Caller correlation id (e.g. pack index), surfaced in the trace.
+    pub tag: u64,
+    /// Bytes this CTA must stream from global memory (DRAM).
+    pub dram_bytes: f64,
+    /// Bytes served by L2 (cheaper, but still occupy the CTA's pipeline).
+    pub l2_bytes: f64,
+    /// Lower bound on the CTA's wall time from dispatch (pipeline latency +
+    /// tensor-core compute, including the exposed final-tile compute).
+    pub min_exec_ns: f64,
+    /// Maximum DRAM-equivalent load rate in bytes/ns this CTA can sustain,
+    /// i.e. its in-flight bytes divided by the memory latency.
+    pub rate_cap: f64,
+    /// Exposed epilogue after the final tile's data arrives (the last tile's
+    /// compute cannot overlap any further load — §5.2's compute bubble).
+    pub tail_ns: f64,
+}
+
+/// A kernel: a set of homogeneous CTAs sharing one resource footprint.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Display label, e.g. `"pat(m=32,n=64)"`.
+    pub label: String,
+    /// Per-CTA resource footprint (determines occupancy).
+    pub resources: CtaResources,
+    /// The CTAs to execute.
+    pub ctas: Vec<CtaWork>,
+}
+
+/// A CUDA stream: kernels execute in order within a stream.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSpec {
+    /// Kernels in issue order.
+    pub kernels: Vec<KernelSpec>,
+}
+
+/// Result of simulating a set of streams.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock makespan in ns.
+    pub total_ns: f64,
+    /// Bytes moved from DRAM.
+    pub dram_bytes: f64,
+    /// Bytes served by L2.
+    pub l2_bytes: f64,
+    /// Average fraction of peak HBM bandwidth used over the makespan.
+    pub bandwidth_utilization: f64,
+    /// Per-CTA and per-kernel spans.
+    pub trace: ExecutionTrace,
+}
+
+/// Errors from [`Engine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A kernel's CTAs can never fit on an SM.
+    CtaDoesNotFit {
+        /// The offending kernel's label.
+        kernel: String,
+        /// Which resource limit was violated.
+        violation: OccupancyViolation,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::CtaDoesNotFit { kernel, violation } => {
+                write!(f, "kernel `{kernel}` has CTAs that cannot fit on any SM ({violation:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[derive(Debug, Clone, Copy)]
+struct SmState {
+    free_smem: isize,
+    free_regs: isize,
+    free_threads: isize,
+    free_slots: isize,
+}
+
+#[derive(Debug)]
+struct ActiveKernel {
+    stream: usize,
+    kernel_index: usize,
+    label: String,
+    resources: CtaResources,
+    pending: VecDeque<CtaWork>,
+    outstanding: usize,
+    launch_time: f64,
+    first_dispatch: Option<f64>,
+}
+
+#[derive(Debug)]
+struct RunningCta {
+    sm: usize,
+    active_kernel: usize,
+    tag: u64,
+    start: f64,
+    /// Remaining DRAM-equivalent bytes to stream (L2 bytes are pre-scaled).
+    remaining: f64,
+    rate_cap: f64,
+    floor_end: f64,
+    tail_ns: f64,
+    tail_applied: bool,
+    rate: f64,
+}
+
+/// The execution engine for one device.
+///
+/// # Examples
+///
+/// ```
+/// use sim_gpu::{CtaResources, CtaWork, Engine, GpuSpec, KernelSpec, StreamSpec};
+///
+/// let engine = Engine::new(GpuSpec::a100_sxm4_80gb());
+/// let kernel = KernelSpec {
+///     label: "demo".into(),
+///     resources: CtaResources { smem_bytes: 32 * 1024, regs_per_thread: 64, threads: 128 },
+///     ctas: vec![CtaWork { tag: 0, dram_bytes: 1e6, l2_bytes: 0.0,
+///                          min_exec_ns: 1_000.0, rate_cap: 50.0, tail_ns: 0.0 }],
+/// };
+/// let result = engine.run(vec![StreamSpec { kernels: vec![kernel] }])?;
+/// assert!(result.total_ns > 0.0);
+/// # Ok::<(), sim_gpu::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    spec: GpuSpec,
+}
+
+const EPS: f64 = 1e-6;
+
+impl Engine {
+    /// Creates an engine for `spec`.
+    pub fn new(spec: GpuSpec) -> Self {
+        Engine { spec }
+    }
+
+    /// The device being simulated.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Simulates the streams to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::CtaDoesNotFit`] if any kernel's per-CTA resource
+    /// footprint exceeds hardware limits (the run would hang on real hardware).
+    pub fn run(&self, streams: Vec<StreamSpec>) -> Result<RunResult, EngineError> {
+        let occupancy = Occupancy::new(self.spec.clone());
+        for stream in &streams {
+            for kernel in &stream.kernels {
+                if let Err(violation) = occupancy.ctas_per_sm(kernel.resources) {
+                    return Err(EngineError::CtaDoesNotFit {
+                        kernel: kernel.label.clone(),
+                        violation,
+                    });
+                }
+            }
+        }
+
+        let l2_speedup = self.spec.global_bandwidth / self.spec.l2_bandwidth;
+        let mut sms: Vec<SmState> = (0..self.spec.num_sms)
+            .map(|_| SmState {
+                free_smem: self.spec.smem_per_sm as isize,
+                free_regs: self.spec.regs_per_sm as isize,
+                free_threads: self.spec.max_threads_per_sm as isize,
+                free_slots: self.spec.max_ctas_per_sm as isize,
+            })
+            .collect();
+
+        // Per-stream cursor and the time the next kernel may launch.
+        let mut next_kernel: Vec<usize> = vec![0; streams.len()];
+        let mut launch_ready: Vec<f64> = vec![0.0; streams.len()];
+        let mut active: Vec<ActiveKernel> = Vec::new();
+        let mut running: Vec<RunningCta> = Vec::new();
+        let mut trace = ExecutionTrace::default();
+        let mut total_dram = 0.0;
+        let mut total_l2 = 0.0;
+        let mut streamed_eff = 0.0;
+
+        let mut now = 0.0f64;
+        loop {
+            // 1. Activate stream-head kernels whose launch time has arrived.
+            for (s, stream) in streams.iter().enumerate() {
+                while next_kernel[s] < stream.kernels.len() && launch_ready[s] <= now + EPS {
+                    // Only one kernel of a stream is in flight at a time.
+                    let in_flight = active.iter().any(|k| k.stream == s);
+                    if in_flight {
+                        break;
+                    }
+                    let k = next_kernel[s];
+                    let kernel = &stream.kernels[k];
+                    active.push(ActiveKernel {
+                        stream: s,
+                        kernel_index: k,
+                        label: kernel.label.clone(),
+                        resources: kernel.resources,
+                        pending: kernel.ctas.iter().copied().collect(),
+                        outstanding: 0,
+                        launch_time: now,
+                        first_dispatch: None,
+                    });
+                    next_kernel[s] += 1;
+                }
+            }
+
+            // 2. Dispatch pending CTAs onto SMs (GigaThread greedy placement,
+            //    oldest kernel first; launch-time ties go to the kernel with
+            //    the larger per-CTA footprint so big CTAs are not starved by
+            //    a flood of small ones filling every partially-free SM).
+            let mut order: Vec<usize> = (0..active.len()).collect();
+            order.sort_by(|&a, &b| {
+                active[a]
+                    .launch_time
+                    .partial_cmp(&active[b].launch_time)
+                    .expect("launch times are finite")
+                    .then_with(|| {
+                        active[b].resources.smem_bytes.cmp(&active[a].resources.smem_bytes)
+                    })
+            });
+            for idx in order {
+                while let Some(&work) = active[idx].pending.front() {
+                    let res = active[idx].resources;
+                    let slot = sms.iter().position(|sm| {
+                        sm.free_smem >= res.smem_bytes as isize
+                            && sm.free_regs >= res.regs_per_cta() as isize
+                            && sm.free_threads >= res.threads as isize
+                            && sm.free_slots >= 1
+                    });
+                    let Some(sm) = slot else { break };
+                    sms[sm].free_smem -= res.smem_bytes as isize;
+                    sms[sm].free_regs -= res.regs_per_cta() as isize;
+                    sms[sm].free_threads -= res.threads as isize;
+                    sms[sm].free_slots -= 1;
+                    active[idx].pending.pop_front();
+                    active[idx].outstanding += 1;
+                    if active[idx].first_dispatch.is_none() {
+                        active[idx].first_dispatch = Some(now);
+                    }
+                    total_dram += work.dram_bytes;
+                    total_l2 += work.l2_bytes;
+                    running.push(RunningCta {
+                        sm,
+                        active_kernel: idx,
+                        tag: work.tag,
+                        start: now,
+                        remaining: work.dram_bytes + work.l2_bytes * l2_speedup,
+                        rate_cap: work.rate_cap.max(EPS),
+                        floor_end: now + work.min_exec_ns.max(0.0),
+                        tail_ns: work.tail_ns.max(0.0),
+                        tail_applied: false,
+                        rate: 0.0,
+                    });
+                }
+            }
+
+            if running.is_empty() && active.iter().all(|k| k.pending.is_empty()) {
+                // Nothing resident: either we're done or we jump to the next
+                // launch time.
+                let next_launch = (0..streams.len())
+                    .filter(|&s| next_kernel[s] < streams[s].kernels.len())
+                    .map(|s| launch_ready[s])
+                    .fold(f64::INFINITY, f64::min);
+                if active.is_empty() && next_launch.is_infinite() {
+                    break;
+                }
+                if next_launch.is_finite() && next_launch > now {
+                    now = next_launch;
+                    continue;
+                }
+            }
+
+            // 3. Max-min fair bandwidth allocation among loading CTAs; the
+            //    shared budget is the *achievable* DRAM bandwidth.
+            Self::waterfill(
+                &mut running,
+                self.spec.global_bandwidth * self.spec.dram_efficiency,
+            );
+
+            // 4. Find the next event.
+            let mut next_event = f64::INFINITY;
+            for cta in &running {
+                let t = if cta.remaining > EPS {
+                    if cta.rate > EPS {
+                        (now + cta.remaining / cta.rate).max(cta.floor_end.min(f64::INFINITY))
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    cta.floor_end
+                };
+                // The CTA's completion is bytes-done AND floor passed; but we
+                // must still wake at the bytes-done moment to re-waterfill.
+                let wake = if cta.remaining > EPS && cta.rate > EPS {
+                    now + cta.remaining / cta.rate
+                } else {
+                    cta.floor_end.max(now)
+                };
+                next_event = next_event.min(wake.max(now + EPS)).min(t.max(now + EPS));
+            }
+            for (s, _) in streams.iter().enumerate() {
+                if next_kernel[s] < streams[s].kernels.len()
+                    && !active.iter().any(|k| k.stream == s)
+                    && launch_ready[s] > now
+                {
+                    next_event = next_event.min(launch_ready[s]);
+                }
+            }
+            if next_event.is_infinite() {
+                debug_assert!(running.is_empty(), "running CTAs but no next event");
+                break;
+            }
+
+            // 5. Advance time.
+            let dt = next_event - now;
+            for cta in running.iter_mut() {
+                let moved = (cta.rate * dt).min(cta.remaining);
+                cta.remaining -= moved;
+                streamed_eff += moved;
+            }
+            now = next_event;
+
+            // 6. Retire finished CTAs and kernels. A CTA whose bytes just
+            //    completed first serves its exposed epilogue (final-tile
+            //    compute) before releasing its SM resources.
+            for cta in running.iter_mut() {
+                if cta.remaining <= EPS && !cta.tail_applied {
+                    cta.tail_applied = true;
+                    cta.floor_end = cta.floor_end.max(now + cta.tail_ns);
+                }
+            }
+            let mut finished_kernels: Vec<usize> = Vec::new();
+            let mut i = 0;
+            while i < running.len() {
+                let done = running[i].remaining <= EPS && running[i].floor_end <= now + EPS;
+                if done {
+                    let cta = running.swap_remove(i);
+                    let res = active[cta.active_kernel].resources;
+                    sms[cta.sm].free_smem += res.smem_bytes as isize;
+                    sms[cta.sm].free_regs += res.regs_per_cta() as isize;
+                    sms[cta.sm].free_threads += res.threads as isize;
+                    sms[cta.sm].free_slots += 1;
+                    trace.ctas.push(CtaSpan {
+                        stream: active[cta.active_kernel].stream,
+                        kernel: active[cta.active_kernel].label.clone(),
+                        tag: cta.tag,
+                        sm: cta.sm,
+                        start_ns: cta.start,
+                        end_ns: now,
+                    });
+                    active[cta.active_kernel].outstanding -= 1;
+                    if active[cta.active_kernel].outstanding == 0
+                        && active[cta.active_kernel].pending.is_empty()
+                    {
+                        finished_kernels.push(cta.active_kernel);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            finished_kernels.sort_unstable();
+            finished_kernels.dedup();
+            for &idx in finished_kernels.iter().rev() {
+                let kernel = active.swap_remove(idx);
+                // swap_remove moved the last element into `idx`; fix refs.
+                for cta in running.iter_mut() {
+                    if cta.active_kernel == active.len() {
+                        cta.active_kernel = idx;
+                    }
+                }
+                launch_ready[kernel.stream] = now + self.spec.kernel_launch_ns;
+                trace.kernels.push(KernelSpan {
+                    stream: kernel.stream,
+                    kernel_index: kernel.kernel_index,
+                    label: kernel.label,
+                    launch_ns: kernel.launch_time,
+                    start_ns: kernel.first_dispatch.unwrap_or(kernel.launch_time),
+                    end_ns: now,
+                });
+            }
+        }
+
+        trace.ctas.sort_by(|a, b| a.start_ns.partial_cmp(&b.start_ns).expect("finite"));
+        trace.kernels.sort_by(|a, b| a.launch_ns.partial_cmp(&b.launch_ns).expect("finite"));
+        let utilization = if now > 0.0 {
+            (streamed_eff / (self.spec.global_bandwidth * now)).min(1.0)
+        } else {
+            0.0
+        };
+        Ok(RunResult {
+            total_ns: now,
+            dram_bytes: total_dram,
+            l2_bytes: total_l2,
+            bandwidth_utilization: utilization,
+            trace,
+        })
+    }
+
+    /// Max-min fair sharing of `budget` bytes/ns among loading CTAs, each
+    /// capped at its own `rate_cap`.
+    fn waterfill(running: &mut [RunningCta], budget: f64) {
+        let mut loaders: Vec<usize> = (0..running.len())
+            .filter(|&i| running[i].remaining > EPS)
+            .collect();
+        for &i in &loaders {
+            running[i].rate = 0.0;
+        }
+        loaders.sort_by(|&a, &b| {
+            running[a].rate_cap.partial_cmp(&running[b].rate_cap).expect("finite caps")
+        });
+        let mut remaining_budget = budget;
+        let mut remaining_n = loaders.len();
+        for &i in &loaders {
+            let fair = remaining_budget / remaining_n as f64;
+            let rate = running[i].rate_cap.min(fair);
+            running[i].rate = rate;
+            remaining_budget -= rate;
+            remaining_n -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_res() -> CtaResources {
+        CtaResources { smem_bytes: 32 * 1024, regs_per_thread: 64, threads: 128 }
+    }
+
+    fn work(bytes: f64) -> CtaWork {
+        CtaWork { tag: 0, dram_bytes: bytes, l2_bytes: 0.0, min_exec_ns: 500.0, rate_cap: 60.0, tail_ns: 0.0 }
+    }
+
+    fn engine() -> Engine {
+        Engine::new(GpuSpec::a100_sxm4_80gb())
+    }
+
+    #[test]
+    fn single_cta_is_rate_capped() {
+        let e = engine();
+        let bytes = 6.0e6;
+        let r = e
+            .run(vec![StreamSpec {
+                kernels: vec![KernelSpec {
+                    label: "k".into(),
+                    resources: small_res(),
+                    ctas: vec![work(bytes)],
+                }],
+            }])
+            .unwrap();
+        // One CTA cannot use the whole bus: time ~ bytes / rate_cap.
+        let expected = bytes / 60.0;
+        assert!((r.total_ns - expected).abs() / expected < 0.05, "{} vs {}", r.total_ns, expected);
+        assert!(r.bandwidth_utilization < 0.1);
+    }
+
+    #[test]
+    fn many_ctas_saturate_the_bus() {
+        let e = engine();
+        let n = 1024;
+        let bytes = 1.0e6;
+        let ctas: Vec<CtaWork> = (0..n).map(|i| CtaWork { tag: i as u64, ..work(bytes) }).collect();
+        let r = e
+            .run(vec![StreamSpec {
+                kernels: vec![KernelSpec { label: "k".into(), resources: small_res(), ctas }],
+            }])
+            .unwrap();
+        let ideal = n as f64 * bytes / 2039.0;
+        assert!(r.bandwidth_utilization > 0.8, "util {}", r.bandwidth_utilization);
+        assert!(r.total_ns < 1.5 * ideal);
+    }
+
+    #[test]
+    fn compute_floor_delays_completion() {
+        let e = engine();
+        let mut cta = work(1_000.0);
+        cta.min_exec_ns = 1.0e6;
+        let r = e
+            .run(vec![StreamSpec {
+                kernels: vec![KernelSpec {
+                    label: "k".into(),
+                    resources: small_res(),
+                    ctas: vec![cta],
+                }],
+            }])
+            .unwrap();
+        assert!(r.total_ns >= 1.0e6);
+    }
+
+    #[test]
+    fn streams_run_concurrently_but_kernels_serialize_within_a_stream() {
+        let e = engine();
+        let mk = |label: &str| KernelSpec {
+            label: label.into(),
+            resources: small_res(),
+            ctas: (0..432).map(|i| CtaWork { tag: i, ..work(1.0e5) }).collect(),
+        };
+        let serial = e
+            .run(vec![StreamSpec { kernels: vec![mk("a"), mk("b")] }])
+            .unwrap();
+        let parallel = e
+            .run(vec![
+                StreamSpec { kernels: vec![mk("a")] },
+                StreamSpec { kernels: vec![mk("b")] },
+            ])
+            .unwrap();
+        assert!(
+            parallel.total_ns < serial.total_ns,
+            "parallel {} !< serial {}",
+            parallel.total_ns,
+            serial.total_ns
+        );
+    }
+
+    #[test]
+    fn oversized_kernel_is_rejected() {
+        let e = engine();
+        let res = CtaResources { smem_bytes: 300 * 1024, regs_per_thread: 32, threads: 128 };
+        let err = e
+            .run(vec![StreamSpec {
+                kernels: vec![KernelSpec {
+                    label: "huge".into(),
+                    resources: res,
+                    ctas: vec![work(1.0)],
+                }],
+            }])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::CtaDoesNotFit { .. }));
+    }
+
+    #[test]
+    fn l2_bytes_move_faster_than_dram_bytes() {
+        let e = engine();
+        let dram_only = CtaWork {
+            tag: 0,
+            dram_bytes: 4.0e6,
+            l2_bytes: 0.0,
+            min_exec_ns: 0.0,
+            rate_cap: 60.0, tail_ns: 0.0 };
+        let l2_heavy = CtaWork {
+            tag: 0,
+            dram_bytes: 1.0e6,
+            l2_bytes: 3.0e6,
+            min_exec_ns: 0.0,
+            rate_cap: 60.0, tail_ns: 0.0 };
+        let run = |cta| {
+            e.run(vec![StreamSpec {
+                kernels: vec![KernelSpec { label: "k".into(), resources: small_res(), ctas: vec![cta] }],
+            }])
+            .unwrap()
+            .total_ns
+        };
+        assert!(run(l2_heavy) < run(dram_only));
+    }
+
+    #[test]
+    fn trace_covers_all_ctas() {
+        let e = engine();
+        let ctas: Vec<CtaWork> = (0..10).map(|i| CtaWork { tag: i, ..work(1.0e5) }).collect();
+        let r = e
+            .run(vec![StreamSpec {
+                kernels: vec![KernelSpec { label: "k".into(), resources: small_res(), ctas }],
+            }])
+            .unwrap();
+        assert_eq!(r.trace.ctas.len(), 10);
+        assert_eq!(r.trace.kernels.len(), 1);
+        for span in &r.trace.ctas {
+            assert!(span.end_ns > span.start_ns);
+            assert!(span.sm < 108);
+        }
+    }
+
+    #[test]
+    fn empty_run_completes_instantly() {
+        let r = engine().run(vec![]).unwrap();
+        assert_eq!(r.total_ns, 0.0);
+        assert_eq!(r.dram_bytes, 0.0);
+    }
+
+    #[test]
+    fn imbalanced_ctas_create_a_tail() {
+        // One CTA with 10x the bytes dominates the makespan: the execution
+        // bubble of §3.3.
+        let e = engine();
+        let mut ctas: Vec<CtaWork> = (0..100).map(|i| CtaWork { tag: i, ..work(1.0e5) }).collect();
+        ctas.push(CtaWork { tag: 999, ..work(4.0e6) });
+        let r = e
+            .run(vec![StreamSpec {
+                kernels: vec![KernelSpec { label: "k".into(), resources: small_res(), ctas }],
+            }])
+            .unwrap();
+        let long = r.trace.ctas.iter().find(|c| c.tag == 999).unwrap();
+        assert!((long.end_ns - r.total_ns).abs() < 1.0, "long CTA ends last");
+        assert!(r.bandwidth_utilization < 0.6, "tail leaves the bus idle");
+    }
+}

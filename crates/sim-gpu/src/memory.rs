@@ -1,0 +1,144 @@
+//! Global→shared memory transfer model (Fig. 8a).
+//!
+//! The paper measures transfer latency against data size and observes two
+//! regimes: a flat region dominated by the inherent pipeline latency `L`, and
+//! a linear region governed by the sustainable bandwidth `B`. We model a
+//! single transfer of `s` bytes as `t(s) = L + s / B`, which reproduces both
+//! regimes: for `s ≪ L·B` the latency term dominates (flat), and for
+//! `s ≫ L·B` the bandwidth term dominates (linear).
+
+use crate::GpuSpec;
+
+/// Latency + bandwidth model of a single global→shared transfer.
+///
+/// # Examples
+///
+/// ```
+/// use sim_gpu::{GpuSpec, TransferModel};
+///
+/// let model = TransferModel::from_spec(&GpuSpec::a100_sxm4_80gb());
+/// // Tiny transfers are latency-bound...
+/// assert!(model.transfer_ns(128.0) < 1.1 * model.latency_ns());
+/// // ...large transfers are bandwidth-bound.
+/// let big = 512.0 * 1024.0 * 1024.0;
+/// assert!(model.transfer_ns(big) > 0.9 * big / model.bandwidth());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    latency_ns: f64,
+    bandwidth: f64,
+}
+
+impl TransferModel {
+    /// Builds a model from explicit latency (ns) and bandwidth (bytes/ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn new(latency_ns: f64, bandwidth: f64) -> Self {
+        assert!(latency_ns > 0.0, "latency must be positive");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        TransferModel { latency_ns, bandwidth }
+    }
+
+    /// Builds the model for a device's global memory.
+    pub fn from_spec(spec: &GpuSpec) -> Self {
+        TransferModel::new(spec.mem_latency_ns, spec.global_bandwidth)
+    }
+
+    /// Inherent pipeline latency `L` in ns (flat region of Fig. 8a).
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Sustainable bandwidth `B` in bytes/ns (slope of the linear region).
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Time to move `bytes` from global memory into shared memory.
+    pub fn transfer_ns(&self, bytes: f64) -> f64 {
+        self.latency_ns + bytes.max(0.0) / self.bandwidth
+    }
+
+    /// The data size at which latency and bandwidth contribute equally
+    /// (`L·B`); keeping at least this much data in flight saturates the bus.
+    pub fn knee_bytes(&self) -> f64 {
+        self.latency_ns * self.bandwidth
+    }
+
+    /// Effective bandwidth achieved by back-to-back transfers of `bytes`
+    /// without pipelining (bytes/ns). Approaches `B` as `bytes → ∞`.
+    pub fn effective_bandwidth(&self, bytes: f64) -> f64 {
+        bytes / self.transfer_ns(bytes)
+    }
+
+    /// Sweeps transfer sizes and reports `(bytes, ns)` pairs, reproducing the
+    /// measurement behind Fig. 8a.
+    pub fn latency_sweep(&self, sizes: &[f64]) -> Vec<(f64, f64)> {
+        sizes.iter().map(|&s| (s, self.transfer_ns(s))).collect()
+    }
+
+    /// Maximum sustained load rate (bytes/ns) of one consumer that keeps
+    /// `inflight_bytes` outstanding: the pipelined-streaming limit
+    /// `inflight / L`, never exceeding the bus bandwidth.
+    pub fn pipelined_rate(&self, inflight_bytes: f64) -> f64 {
+        (inflight_bytes / self.latency_ns).min(self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100_model() -> TransferModel {
+        TransferModel::from_spec(&GpuSpec::a100_sxm4_80gb())
+    }
+
+    #[test]
+    fn flat_then_linear() {
+        let m = a100_model();
+        let small = m.transfer_ns(64.0);
+        let smallish = m.transfer_ns(4096.0);
+        // Flat region: 64x size change moves latency by <1%.
+        assert!((smallish - small) / small < 0.01);
+        let big = m.transfer_ns(1024.0 * 1024.0 * 128.0);
+        let bigger = m.transfer_ns(1024.0 * 1024.0 * 256.0);
+        // Linear region: doubling size roughly doubles time.
+        assert!((bigger / big - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn knee_is_latency_bandwidth_product() {
+        let m = a100_model();
+        assert!((m.knee_bytes() - m.latency_ns() * m.bandwidth()).abs() < 1e-9);
+        // At the knee, effective bandwidth is exactly half of peak.
+        let eff = m.effective_bandwidth(m.knee_bytes());
+        assert!((eff - m.bandwidth() / 2.0).abs() / m.bandwidth() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_rate_caps_at_bus_bandwidth() {
+        let m = a100_model();
+        assert!(m.pipelined_rate(1e12) <= m.bandwidth());
+        let tiny = m.pipelined_rate(512.0);
+        assert!(tiny < m.bandwidth() / 100.0);
+    }
+
+    #[test]
+    fn sweep_is_monotonic() {
+        let m = a100_model();
+        let sizes: Vec<f64> = (0..20).map(|i| 2f64.powi(i) * 1024.0).collect();
+        let sweep = m.latency_sweep(&sizes);
+        assert_eq!(sweep.len(), sizes.len());
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be positive")]
+    fn zero_latency_rejected() {
+        let _ = TransferModel::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! SM occupancy: how many CTAs of a given resource footprint fit on one SM.
+//!
+//! This implements the resource side of constraint ① in §5.2: a CTA's
+//! shared-memory and register demand bounds resident CTA concurrency, which in
+//! turn determines how much data the device can keep in flight (constraint ②)
+//! and how large the execution bubbles are (§3.3).
+
+use crate::GpuSpec;
+
+/// Resource footprint of one CTA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtaResources {
+    /// Shared-memory usage in bytes.
+    pub smem_bytes: usize,
+    /// 32-bit registers used per thread.
+    pub regs_per_thread: usize,
+    /// Threads per CTA.
+    pub threads: usize,
+}
+
+impl CtaResources {
+    /// Total registers consumed by the CTA.
+    pub fn regs_per_cta(&self) -> usize {
+        self.regs_per_thread * self.threads
+    }
+}
+
+/// Why a CTA cannot be scheduled at all on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyViolation {
+    /// Shared-memory demand exceeds the per-CTA addressable limit.
+    SharedMemory,
+    /// Per-thread register demand exceeds the architectural cap
+    /// (register spilling would occur).
+    RegistersPerThread,
+    /// The CTA's aggregate registers exceed the SM register file.
+    RegistersPerSm,
+    /// More threads than an SM can host.
+    Threads,
+}
+
+/// Occupancy calculator for a device.
+///
+/// # Examples
+///
+/// ```
+/// use sim_gpu::{CtaResources, GpuSpec, Occupancy};
+///
+/// let occ = Occupancy::new(GpuSpec::a100_sxm4_80gb());
+/// let light = CtaResources { smem_bytes: 16 * 1024, regs_per_thread: 64, threads: 128 };
+/// assert!(occ.ctas_per_sm(light).unwrap() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Occupancy {
+    spec: GpuSpec,
+}
+
+impl Occupancy {
+    /// Creates a calculator for `spec`.
+    pub fn new(spec: GpuSpec) -> Self {
+        Occupancy { spec }
+    }
+
+    /// The device this calculator models.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Number of CTAs with footprint `res` that can be resident on one SM.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated limit if even a single CTA does not fit.
+    pub fn ctas_per_sm(&self, res: CtaResources) -> Result<usize, OccupancyViolation> {
+        if res.smem_bytes > self.spec.smem_per_cta_max {
+            return Err(OccupancyViolation::SharedMemory);
+        }
+        if res.regs_per_thread > self.spec.max_regs_per_thread {
+            return Err(OccupancyViolation::RegistersPerThread);
+        }
+        if res.regs_per_cta() > self.spec.regs_per_sm {
+            return Err(OccupancyViolation::RegistersPerSm);
+        }
+        if res.threads > self.spec.max_threads_per_sm {
+            return Err(OccupancyViolation::Threads);
+        }
+        let by_smem = if res.smem_bytes == 0 {
+            self.spec.max_ctas_per_sm
+        } else {
+            self.spec.smem_per_sm / res.smem_bytes
+        };
+        let by_regs = if res.regs_per_cta() == 0 {
+            self.spec.max_ctas_per_sm
+        } else {
+            self.spec.regs_per_sm / res.regs_per_cta()
+        };
+        let by_threads = if res.threads == 0 {
+            self.spec.max_ctas_per_sm
+        } else {
+            self.spec.max_threads_per_sm / res.threads
+        };
+        Ok(by_smem
+            .min(by_regs)
+            .min(by_threads)
+            .min(self.spec.max_ctas_per_sm)
+            .max(1))
+    }
+
+    /// Device-wide resident CTA capacity for footprint `res`.
+    pub fn ctas_per_device(&self, res: CtaResources) -> Result<usize, OccupancyViolation> {
+        Ok(self.ctas_per_sm(res)? * self.spec.num_sms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ() -> Occupancy {
+        Occupancy::new(GpuSpec::a100_sxm4_80gb())
+    }
+
+    #[test]
+    fn heavier_ctas_reduce_occupancy() {
+        let light = CtaResources { smem_bytes: 8 * 1024, regs_per_thread: 32, threads: 128 };
+        let heavy = CtaResources { smem_bytes: 96 * 1024, regs_per_thread: 128, threads: 256 };
+        let o = occ();
+        assert!(o.ctas_per_sm(light).unwrap() > o.ctas_per_sm(heavy).unwrap());
+    }
+
+    #[test]
+    fn oversized_smem_is_rejected() {
+        let res = CtaResources { smem_bytes: 200 * 1024, regs_per_thread: 32, threads: 128 };
+        assert_eq!(occ().ctas_per_sm(res), Err(OccupancyViolation::SharedMemory));
+    }
+
+    #[test]
+    fn register_spill_is_rejected() {
+        let res = CtaResources { smem_bytes: 1024, regs_per_thread: 256, threads: 128 };
+        assert_eq!(occ().ctas_per_sm(res), Err(OccupancyViolation::RegistersPerThread));
+    }
+
+    #[test]
+    fn aggregate_register_limit_applies() {
+        // 255 regs/thread * 512 threads = 130560 > 65536 regs per SM.
+        let res = CtaResources { smem_bytes: 1024, regs_per_thread: 255, threads: 512 };
+        assert_eq!(occ().ctas_per_sm(res), Err(OccupancyViolation::RegistersPerSm));
+    }
+
+    #[test]
+    fn hardware_cta_cap_applies() {
+        let tiny = CtaResources { smem_bytes: 16, regs_per_thread: 8, threads: 32 };
+        let c = occ().ctas_per_sm(tiny).unwrap();
+        assert_eq!(c, GpuSpec::a100_sxm4_80gb().max_ctas_per_sm);
+    }
+
+    #[test]
+    fn device_capacity_scales_with_sms() {
+        let res = CtaResources { smem_bytes: 32 * 1024, regs_per_thread: 64, threads: 128 };
+        let o = occ();
+        let per_sm = o.ctas_per_sm(res).unwrap();
+        assert_eq!(o.ctas_per_device(res).unwrap(), per_sm * 108);
+    }
+}

@@ -1,0 +1,318 @@
+//! Hardware specifications of the simulated GPUs.
+//!
+//! [`GpuSpec`] encodes the memory-hierarchy and execution-resource numbers the
+//! paper relies on (Table 1 for A100-SXM4-80GB, plus an H100-SXM setup used by
+//! §5.2 and Appendix A). All bandwidths are stored in bytes/ns, which is
+//! numerically equal to GB/s (with GB = 1e9 bytes), and all latencies in ns.
+
+use std::fmt;
+
+/// One level of the GPU memory hierarchy, as listed in Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryLevel {
+    /// Human-readable level name, e.g. `"Shared Memory / L1 Cache"`.
+    pub name: &'static str,
+    /// Which execution entity shares this level (thread, CTA, all SMs).
+    pub shared_by: &'static str,
+    /// Capacity description (per-SM levels report per-SM size).
+    pub size_bytes: u64,
+    /// Approximate access latency in ns.
+    pub latency_ns: f64,
+    /// Read/write bandwidth from the upper memory level, bytes/ns (== GB/s).
+    pub bandwidth: f64,
+    /// Whether the level is on-chip.
+    pub on_chip: bool,
+}
+
+/// Full specification of a simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use sim_gpu::GpuSpec;
+///
+/// let a100 = GpuSpec::a100_sxm4_80gb();
+/// assert_eq!(a100.num_sms, 108);
+/// assert!(a100.global_bandwidth > 2000.0 && a100.global_bandwidth < 2100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name of the device.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Unified shared-memory/L1 size per SM in bytes.
+    pub smem_per_sm: usize,
+    /// Maximum shared memory addressable by a single CTA in bytes.
+    pub smem_per_cta_max: usize,
+    /// Size of the register file per SM in 32-bit registers.
+    pub regs_per_sm: usize,
+    /// Architectural cap on 32-bit registers per thread.
+    pub max_regs_per_thread: usize,
+    /// Hardware cap on resident CTAs per SM.
+    pub max_ctas_per_sm: usize,
+    /// Hardware cap on resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 bandwidth in bytes/ns.
+    pub l2_bandwidth: f64,
+    /// Peak global-memory (HBM) bandwidth in bytes/ns.
+    pub global_bandwidth: f64,
+    /// Fraction of peak HBM bandwidth achievable by streaming kernels
+    /// (DRAM row-activation and refresh overheads).
+    pub dram_efficiency: f64,
+    /// Inherent global→shared transfer latency in ns (the flat region of
+    /// Fig. 8a); loads smaller than `latency * bandwidth` cannot saturate the
+    /// memory bus.
+    pub mem_latency_ns: f64,
+    /// Dense fp16 tensor-core throughput per SM in FLOP/ns.
+    pub tensor_flops_per_sm: f64,
+    /// Overhead of launching one kernel, in ns.
+    pub kernel_launch_ns: f64,
+    /// HBM capacity in bytes.
+    pub hbm_bytes: u64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-SXM4-80GB (Ampere), the paper's primary testbed (Table 1).
+    pub fn a100_sxm4_80gb() -> Self {
+        GpuSpec {
+            name: "A100-SXM4-80GB",
+            num_sms: 108,
+            smem_per_sm: 192 * 1024,
+            smem_per_cta_max: 163 * 1024,
+            regs_per_sm: 64 * 1024,
+            max_regs_per_thread: 255,
+            max_ctas_per_sm: 32,
+            max_threads_per_sm: 2048,
+            l2_bytes: 40 * 1024 * 1024,
+            l2_bandwidth: 4500.0,
+            global_bandwidth: 2039.0,
+            dram_efficiency: 0.87,
+            mem_latency_ns: 500.0,
+            // 312 TFLOP/s fp16 tensor / 108 SMs.
+            tensor_flops_per_sm: 312_000.0 / 108.0,
+            kernel_launch_ns: 3_000.0,
+            hbm_bytes: 80 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// NVIDIA H100-SXM5-80GB (Hopper), used in §5.2 and Appendix A.
+    pub fn h100_sxm5_80gb() -> Self {
+        GpuSpec {
+            name: "H100-SXM5-80GB",
+            num_sms: 132,
+            smem_per_sm: 228 * 1024,
+            smem_per_cta_max: 227 * 1024,
+            regs_per_sm: 64 * 1024,
+            max_regs_per_thread: 255,
+            max_ctas_per_sm: 32,
+            max_threads_per_sm: 2048,
+            l2_bytes: 50 * 1024 * 1024,
+            l2_bandwidth: 7000.0,
+            global_bandwidth: 3350.0,
+            dram_efficiency: 0.945,
+            // Hopper's effective pipeline-fill latency (TMA setup + deeper
+            // HBM3 pipeline). The larger latency*bandwidth product is what
+            // prunes the small-n configs in Fig. 9 relative to Fig. 8b:
+            // a resident CTA must keep more data in flight to saturate HBM3.
+            mem_latency_ns: 1400.0,
+            // 989 TFLOP/s fp16 tensor / 132 SMs.
+            tensor_flops_per_sm: 989_000.0 / 132.0,
+            kernel_launch_ns: 3_000.0,
+            hbm_bytes: 80 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// NVIDIA V100-SXM2-32GB (Volta): the low end of the compute-to-bandwidth
+    /// trend discussed in §9 (V100 -> B200: 139 -> 312 FLOP/Byte).
+    pub fn v100_sxm2_32gb() -> Self {
+        GpuSpec {
+            name: "V100-SXM2-32GB",
+            num_sms: 80,
+            smem_per_sm: 96 * 1024,
+            smem_per_cta_max: 96 * 1024,
+            regs_per_sm: 64 * 1024,
+            max_regs_per_thread: 255,
+            max_ctas_per_sm: 32,
+            max_threads_per_sm: 2048,
+            l2_bytes: 6 * 1024 * 1024,
+            l2_bandwidth: 2500.0,
+            global_bandwidth: 900.0,
+            dram_efficiency: 0.82,
+            mem_latency_ns: 440.0,
+            // 125 TFLOP/s fp16 tensor / 80 SMs.
+            tensor_flops_per_sm: 125_000.0 / 80.0,
+            kernel_launch_ns: 4_000.0,
+            hbm_bytes: 32 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// NVIDIA B200-SXM-192GB (Blackwell): the high end of the §9 trend —
+    /// compute grows faster than bandwidth, making memory-centric designs
+    /// like PAT increasingly valuable.
+    pub fn b200_sxm_192gb() -> Self {
+        GpuSpec {
+            name: "B200-SXM-192GB",
+            num_sms: 148,
+            smem_per_sm: 228 * 1024,
+            smem_per_cta_max: 227 * 1024,
+            regs_per_sm: 64 * 1024,
+            max_regs_per_thread: 255,
+            max_ctas_per_sm: 32,
+            max_threads_per_sm: 2048,
+            l2_bytes: 126 * 1024 * 1024,
+            l2_bandwidth: 16_000.0,
+            global_bandwidth: 8_000.0,
+            dram_efficiency: 0.93,
+            mem_latency_ns: 1_500.0,
+            // ~2500 TFLOP/s fp16 tensor / 148 SMs (the §9 figure of 312
+            // FLOP/Byte at 8 TB/s).
+            tensor_flops_per_sm: 2_500_000.0 / 148.0,
+            kernel_launch_ns: 3_000.0,
+            hbm_bytes: 192 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Compute-to-bandwidth ratio in FLOP/Byte (the §9 trend metric).
+    pub fn flops_per_byte(&self) -> f64 {
+        self.tensor_flops() / self.global_bandwidth
+    }
+
+    /// Total peak tensor throughput of the device in FLOP/ns.
+    pub fn tensor_flops(&self) -> f64 {
+        self.tensor_flops_per_sm * self.num_sms as f64
+    }
+
+    /// Bytes that must be in flight device-wide to cover the memory latency
+    /// and keep the HBM bus saturated (`L * B` from constraint ② in §5.2).
+    pub fn inflight_bytes_to_saturate(&self) -> f64 {
+        self.mem_latency_ns * self.global_bandwidth
+    }
+
+    /// The memory hierarchy rows of Table 1 for this device.
+    pub fn memory_hierarchy(&self) -> Vec<MemoryLevel> {
+        vec![
+            MemoryLevel {
+                name: "Register",
+                shared_by: "Thread",
+                size_bytes: (self.regs_per_sm * 4) as u64,
+                latency_ns: 2.0,
+                bandwidth: 20_000.0,
+                on_chip: true,
+            },
+            MemoryLevel {
+                name: "Shared Memory / L1 Cache",
+                shared_by: "CTA",
+                size_bytes: self.smem_per_sm as u64,
+                latency_ns: 20.0,
+                bandwidth: 19_000.0,
+                on_chip: true,
+            },
+            MemoryLevel {
+                name: "L2 Cache",
+                shared_by: "All SMs",
+                size_bytes: self.l2_bytes,
+                latency_ns: 140.0,
+                bandwidth: self.l2_bandwidth,
+                on_chip: true,
+            },
+            MemoryLevel {
+                name: "Global Memory",
+                shared_by: "All SMs",
+                size_bytes: self.hbm_bytes,
+                latency_ns: 200.0,
+                bandwidth: self.global_bandwidth,
+                on_chip: false,
+            },
+        ]
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} SMs, {:.0} GB/s HBM, {} MB L2)",
+            self.name,
+            self.num_sms,
+            self.global_bandwidth,
+            self.l2_bytes / (1024 * 1024)
+        )?;
+        for level in self.memory_hierarchy() {
+            writeln!(
+                f,
+                "  {:<26} shared by {:<8} size {:>12} B  latency ~{:>4.0} ns  bw ~{:>6.0} GB/s  {}",
+                level.name,
+                level.shared_by,
+                level.size_bytes,
+                level.latency_ns,
+                level.bandwidth,
+                if level.on_chip { "on-chip" } else { "off-chip" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_table1() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        assert_eq!(spec.num_sms, 108);
+        assert_eq!(spec.smem_per_cta_max, 163 * 1024);
+        assert_eq!(spec.l2_bytes, 40 * 1024 * 1024);
+        assert_eq!(spec.max_regs_per_thread, 255);
+        // Table 1: register file 256 KB/SM.
+        assert_eq!(spec.regs_per_sm * 4, 256 * 1024);
+    }
+
+    #[test]
+    fn h100_has_more_bandwidth_and_sms() {
+        let a = GpuSpec::a100_sxm4_80gb();
+        let h = GpuSpec::h100_sxm5_80gb();
+        assert!(h.global_bandwidth > a.global_bandwidth);
+        assert!(h.num_sms > a.num_sms);
+        assert!(h.inflight_bytes_to_saturate() > a.inflight_bytes_to_saturate());
+    }
+
+    #[test]
+    fn compute_to_bandwidth_ratio_grows_across_generations() {
+        let ratios: Vec<f64> = [
+            GpuSpec::v100_sxm2_32gb(),
+            GpuSpec::a100_sxm4_80gb(),
+            GpuSpec::h100_sxm5_80gb(),
+            GpuSpec::b200_sxm_192gb(),
+        ]
+        .iter()
+        .map(GpuSpec::flops_per_byte)
+        .collect();
+        for w in ratios.windows(2) {
+            assert!(w[1] > w[0], "ratio must grow: {ratios:?}");
+        }
+        // §9 quotes V100 at 139 FLOP/Byte.
+        assert!((ratios[0] - 139.0).abs() < 15.0, "V100 ratio {}", ratios[0]);
+    }
+
+    #[test]
+    fn hierarchy_is_ordered_fastest_first() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let levels = spec.memory_hierarchy();
+        assert_eq!(levels.len(), 4);
+        for pair in levels.windows(2) {
+            assert!(pair[0].latency_ns <= pair[1].latency_ns);
+        }
+        assert!(!levels.last().unwrap().on_chip);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let text = GpuSpec::a100_sxm4_80gb().to_string();
+        assert!(text.contains("A100"));
+        assert!(text.contains("Global Memory"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Arrival processes for online-serving experiments (§8.4).
+
+use rand::Rng;
+
+/// A Poisson arrival process: exponential inter-arrival gaps at a fixed
+/// request rate.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use workloads::PoissonArrivals;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let arrivals: Vec<f64> = PoissonArrivals::new(5.0)
+///     .take_until(60.0, &mut rng);
+/// // ~300 arrivals in 60 s at 5 req/s.
+/// assert!(arrivals.len() > 200 && arrivals.len() < 400);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    rate_per_s: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate_per_s` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn new(rate_per_s: f64) -> Self {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        PoissonArrivals { rate_per_s }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_s
+    }
+
+    /// Samples one inter-arrival gap in seconds.
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.rate_per_s
+    }
+
+    /// All arrival times in `[0, duration_s)`.
+    pub fn take_until<R: Rng + ?Sized>(&self, duration_s: f64, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = self.next_gap(rng);
+        while t < duration_s {
+            out.push(t);
+            t += self.next_gap(rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_rate_converges() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let arrivals = PoissonArrivals::new(8.0).take_until(600.0, &mut rng);
+        let rate = arrivals.len() as f64 / 600.0;
+        assert!((rate - 8.0).abs() < 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let arrivals = PoissonArrivals::new(3.0).take_until(30.0, &mut rng);
+        for w in arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(arrivals.iter().all(|&t| t >= 0.0 && t < 30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Trace persistence: JSONL serialization of request streams.
+//!
+//! Generated traces can be saved and replayed exactly — one request per
+//! line — so serving experiments are reproducible and shareable without
+//! regenerating from seeds.
+
+use crate::requests::Request;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a trace as JSON Lines (one request per line).
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn save_trace<P: AsRef<Path>>(path: P, requests: &[Request]) -> std::io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for request in requests {
+        let line = serde_json::to_string(request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Reads a JSONL trace written by [`save_trace`].
+///
+/// # Errors
+///
+/// Returns any I/O or deserialization error; requests must be sorted by
+/// arrival time (validated).
+pub fn load_trace<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<Request>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut requests = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: Request = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+        })?;
+        requests.push(request);
+    }
+    if !requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "trace is not sorted by arrival time",
+        ));
+    }
+    Ok(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_trace, TraceConfig, TraceKind};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let requests = generate_trace(TraceConfig {
+            kind: TraceKind::ToolAgent,
+            rate_per_s: 8.0,
+            duration_s: 10.0,
+            seed: 3,
+        });
+        let dir = std::env::temp_dir().join("pat-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toolagent.jsonl");
+        save_trace(&path, &requests).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(loaded, requests);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsorted_traces_are_rejected() {
+        let mut requests = generate_trace(TraceConfig {
+            kind: TraceKind::QwenA,
+            rate_per_s: 5.0,
+            duration_s: 5.0,
+            seed: 3,
+        });
+        requests.reverse();
+        let dir = std::env::temp_dir().join("pat-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unsorted.jsonl");
+        save_trace(&path, &requests).unwrap();
+        assert!(load_trace(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let dir = std::env::temp_dir().join("pat-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blank.jsonl");
+        std::fs::write(&path, "\n\n").unwrap();
+        assert!(load_trace(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

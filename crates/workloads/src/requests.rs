@@ -1,0 +1,100 @@
+//! Requests and prompt specifications.
+//!
+//! Prompts are described as sequences of *segments*; two requests containing
+//! the same segment share its token content exactly, which is what drives
+//! prefix reuse in the KV cache and shared prefixes inside decode batches.
+
+use kv_cache::Token;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of tokens identified by content: equal `(id, position)`
+/// pairs always expand to equal tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// Content identity of the segment.
+    pub id: u64,
+    /// Length in tokens.
+    pub tokens: usize,
+}
+
+/// A prompt as an ordered list of segments.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PromptSpec {
+    /// The segments, in prompt order.
+    pub segments: Vec<Segment>,
+}
+
+impl PromptSpec {
+    /// A prompt from `(id, tokens)` pairs.
+    pub fn from_parts<I: IntoIterator<Item = (u64, usize)>>(parts: I) -> Self {
+        PromptSpec {
+            segments: parts.into_iter().map(|(id, tokens)| Segment { id, tokens }).collect(),
+        }
+    }
+
+    /// Total prompt length in tokens.
+    pub fn total_tokens(&self) -> usize {
+        self.segments.iter().map(|s| s.tokens).sum()
+    }
+
+    /// Expands the prompt into concrete token ids. Token values are a
+    /// deterministic wide mix of `(segment id, offset)`, so identical
+    /// segments produce identical token runs and distinct segments collide
+    /// with negligible probability.
+    pub fn to_tokens(&self) -> Vec<Token> {
+        let mut out = Vec::with_capacity(self.total_tokens());
+        for seg in &self.segments {
+            for i in 0..seg.tokens {
+                let mut x = seg.id
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xBF58476D1CE4E5B9);
+                x ^= x >> 31;
+                out.push(x as Token);
+            }
+        }
+        out
+    }
+}
+
+/// One inference request of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Sequential request id.
+    pub id: u64,
+    /// Arrival time in seconds from trace start.
+    pub arrival_s: f64,
+    /// The prompt.
+    pub prompt: PromptSpec,
+    /// Number of output tokens to decode.
+    pub decode_tokens: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_segments_expand_identically() {
+        let a = PromptSpec::from_parts([(7, 100), (9, 50)]);
+        let b = PromptSpec::from_parts([(7, 100), (11, 50)]);
+        let (ta, tb) = (a.to_tokens(), b.to_tokens());
+        assert_eq!(ta[..100], tb[..100]);
+        assert_ne!(ta[100..], tb[100..]);
+    }
+
+    #[test]
+    fn token_count_matches_spec() {
+        let p = PromptSpec::from_parts([(1, 46), (2, 302), (3, 1775)]);
+        assert_eq!(p.total_tokens(), 2123);
+        assert_eq!(p.to_tokens().len(), 2123);
+    }
+
+    #[test]
+    fn distinct_segments_do_not_collide() {
+        let p = PromptSpec::from_parts([(1, 1000), (2, 1000)]);
+        let t = p.to_tokens();
+        let same = t[..1000].iter().zip(&t[1000..]).filter(|(a, b)| a == b).count();
+        assert!(same < 5, "{same} collisions in 1000 tokens");
+    }
+}

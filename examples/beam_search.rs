@@ -1,0 +1,43 @@
+//! Tree-structured decoding (beam search): all hypotheses share the prompt
+//! and diverge progressively — the deepest prefix hierarchy a decode batch
+//! can have, and the workload DeFT was built for. PAT's TreeHeuristic packs
+//! the whole divergence tree; query-centric kernels re-load the prompt once
+//! per beam (per query head).
+//!
+//! Run with `cargo run --release --example beam_search`.
+
+use pat::prelude::*;
+use pat_core::{explain_pack, render_decisions};
+
+fn main() {
+    let head = HeadConfig::new(32, 8, 128);
+    let spec = GpuSpec::a100_sxm4_80gb();
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "beams", "prompt", "PAT (us)", "FA (us)", "DeFT (us)", "PAT/FA"
+    );
+    for beams in [2usize, 4, 8, 16, 32] {
+        let batch = BatchSpec::beam_search(2048, beams, 256).build(head);
+        let time = |backend: &dyn AttentionBackend| {
+            let plan = backend.plan(&batch, &spec);
+            plan.validate(&batch).expect("valid plan");
+            simulate_plan(&batch, &plan, &spec).expect("simulates").total_ns / 1000.0
+        };
+        let pat = time(&PatBackend::new());
+        let fa = time(&FlashAttention::new());
+        let deft = time(&Deft::new());
+        println!(
+            "{beams:>6} {:>10} {pat:>12.1} {fa:>12.1} {deft:>12.1} {:>9.2}x",
+            2048,
+            fa / pat
+        );
+    }
+
+    // Show the packing decisions for an 8-beam tree.
+    let batch = BatchSpec::beam_search(2048, 8, 192).build(head);
+    println!("\nTreeHeuristic decisions on the 8-beam tree (prompt 2048, 64 tokens/level):");
+    print!("{}", render_decisions(&explain_pack(&batch)));
+    println!("\nLong shared runs split (Scheme 1, loaded once for all beams); short");
+    println!("divergence levels would merge into their subtrees if 4*beams exceeded them.");
+}

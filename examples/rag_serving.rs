@@ -1,0 +1,77 @@
+//! RAG serving scenario: requests share a system prompt and draw from a
+//! small pool of retrieved documents — a two-level prefix hierarchy. Serves
+//! the same request stream with PAT and with FlashAttention and compares
+//! TTFT/TPOT.
+//!
+//! Run with `cargo run --release --example rag_serving`.
+
+use pat::prelude::*;
+use serving::Stateless;
+use workloads::{PoissonArrivals, PromptSpec, Request};
+
+fn main() {
+    // Build a RAG request stream: 60 s at 5 req/s. Every request carries the
+    // 512-token system prompt, one of 12 retrieved documents (~1500 tokens,
+    // popular documents recur), and a ~100-token question.
+    let mut rng_state = 0xC0FFEEu64;
+    let mut next = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    let arrivals = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        PoissonArrivals::new(5.0).take_until(60.0, &mut rng)
+    };
+    let requests: Vec<Request> = arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival_s)| {
+            let doc = next() % 12;
+            let question_len = 60 + (next() % 90) as usize;
+            let decode_tokens = 64 + (next() % 192) as usize;
+            Request {
+                id: i as u64,
+                arrival_s,
+                prompt: PromptSpec::from_parts([
+                    (1, 512),                       // system prompt (shared by all)
+                    (100 + doc, 1500),              // retrieved document (shared by topic)
+                    (10_000 + i as u64, question_len), // unique question
+                ]),
+                decode_tokens,
+            }
+        })
+        .collect();
+    println!("RAG stream: {} requests over 60 s", requests.len());
+
+    let config = ServingConfig::single_gpu(ModelSpec::qwen3_8b());
+    let mut pat = LazyPat::new();
+    let pat_result = simulate_serving(&config, &mut pat, &requests);
+    let mut fa = Stateless(FlashAttention::new());
+    let fa_result = simulate_serving(&config, &mut fa, &requests);
+
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>12} {:>10}",
+        "backend", "TTFT (ms)", "TPOT (ms)", "P99 TPOT", "completed"
+    );
+    for (name, r) in [("PAT", &pat_result), ("FlashAttention", &fa_result)] {
+        println!(
+            "{:<16} {:>12.1} {:>12.2} {:>12.2} {:>10}",
+            name,
+            r.metrics.mean_ttft_ms,
+            r.metrics.mean_tpot_ms,
+            r.metrics.p99_tpot_ms,
+            r.metrics.completed
+        );
+    }
+    println!(
+        "\nPAT reduces mean TPOT by {:.1}% on this RAG workload.",
+        (1.0 - pat_result.metrics.mean_tpot_ms / fa_result.metrics.mean_tpot_ms) * 100.0
+    );
+    println!(
+        "Lazy-update cache hit rate: {:.0}% of decode steps reused a packing.",
+        pat.stats().hit_rate() * 100.0
+    );
+}

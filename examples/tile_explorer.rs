@@ -1,0 +1,31 @@
+//! Tile explorer: prints the offline constraint solver's feasibility grids
+//! for A100 and H100 (Fig. 8b / Fig. 9) and walks the runtime tile
+//! selector's decisions across query counts and KV lengths (§5.2).
+//!
+//! Run with `cargo run --release --example tile_explorer`.
+
+use pat::prelude::*;
+
+fn main() {
+    for spec in [GpuSpec::a100_sxm4_80gb(), GpuSpec::h100_sxm5_80gb()] {
+        let solver = TileSolver::new(spec.clone(), 128, 2);
+        println!("{}", solver.render_table());
+        let tiles = solver.feasible_tiles();
+        println!("-> {} performance-equivalent configurations\n", tiles.len());
+    }
+
+    let solver = TileSolver::new(GpuSpec::a100_sxm4_80gb(), 128, 2);
+    let selector = TileSelector::new(solver.feasible_tiles());
+    println!("runtime tile selection on A100 (rows = packed queries x GQA group):");
+    println!("{:>6} {:>8} {:>12}", "rows", "kv len", "tile (m,n)");
+    for rows in [1usize, 4, 8, 20, 32, 64] {
+        for kv in [64usize, 192, 512, 2048, 8192] {
+            match selector.select(rows, kv) {
+                Some(tile) => println!("{rows:>6} {kv:>8} {:>12}", tile.to_string()),
+                None => println!("{rows:>6} {kv:>8} {:>12}", "row split"),
+            }
+        }
+    }
+    println!("\nNote the paper's §5.2 examples: 20 rows round up to m=32, and");
+    println!("KV 192 picks n=64 over 128 to avoid a 50% final-tile compute bubble.");
+}

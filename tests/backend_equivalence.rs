@@ -1,0 +1,137 @@
+//! Cross-crate integration: every backend's plan, on every workload shape it
+//! supports, must be numerically identical to unpacked attention and pass
+//! structural validation. This is the repository's core invariant — packing,
+//! tiling, splitting, and merging are pure execution-strategy choices.
+
+use pat::prelude::*;
+use pat_core::ablation::all_ablations;
+
+/// Numerically-sized head config (small dims keep the oracle fast while
+/// exercising GQA mapping).
+fn small_head() -> HeadConfig {
+    HeadConfig::new(8, 4, 16)
+}
+
+/// Workload shapes spanning the paper's space: single/multi root,
+/// single/multi level, balanced/skewed KV, no sharing.
+fn workload_specs() -> Vec<BatchSpec> {
+    vec![
+        BatchSpec::new(vec![1, 4], vec![64, 128]),
+        BatchSpec::new(vec![1, 8], vec![256, 64]),
+        BatchSpec::new(vec![1, 2, 8], vec![32, 128, 96]),
+        BatchSpec::new(vec![2, 8], vec![128, 64]),
+        BatchSpec::new(vec![1, 2, 4, 8], vec![16, 64, 48, 80]),
+        BatchSpec::new(vec![4], vec![160]),
+        BatchSpec::new(vec![1, 16], vec![512, 32]),
+    ]
+}
+
+fn all_systems() -> Vec<Box<dyn AttentionBackend>> {
+    let mut systems: Vec<Box<dyn AttentionBackend>> = vec![
+        Box::new(FlashAttention::new()),
+        Box::new(FlashInfer::new()),
+        Box::new(FastTree::new()),
+        Box::new(RelayAttention::new()),
+        Box::new(RelayAttentionPP::new()),
+        Box::new(Deft::new()),
+        Box::new(Cascade::new()),
+    ];
+    for (_, ablation) in all_ablations() {
+        systems.push(Box::new(ablation));
+    }
+    systems
+}
+
+#[test]
+fn every_backend_matches_the_reference_on_every_supported_workload() {
+    let spec = GpuSpec::a100_sxm4_80gb();
+    for (w, workload) in workload_specs().into_iter().enumerate() {
+        let batch = workload.build(small_head());
+        let acts = QueryActivations::synthetic(small_head(), batch.num_queries(), w as u64);
+        let store = KvStore::synthetic_for(&batch, w as u64 + 99);
+        let want = reference_output(&batch, &acts, &store);
+        let mut supported = 0;
+        for backend in all_systems() {
+            if !backend.supports(&batch) {
+                continue;
+            }
+            supported += 1;
+            let plan = backend.plan(&batch, &spec);
+            plan.validate(&batch).unwrap_or_else(|e| {
+                panic!("{} invalid on {}: {e}", backend.name(), workload.label())
+            });
+            let got = execute_numeric(&batch, &acts, &store, &plan)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", backend.name(), workload.label()));
+            let diff = got.max_abs_diff(&want);
+            assert!(
+                diff < 1e-4,
+                "{} diverges on {}: {diff}",
+                backend.name(),
+                workload.label()
+            );
+        }
+        assert!(supported >= 8, "workload {} supported by too few systems", workload.label());
+    }
+}
+
+#[test]
+fn every_backend_simulates_on_both_gpus() {
+    for gpu in [GpuSpec::a100_sxm4_80gb(), GpuSpec::h100_sxm5_80gb()] {
+        let batch = BatchSpec::new(vec![1, 8], vec![512, 256]).build(HeadConfig::new(32, 8, 128));
+        for backend in all_systems() {
+            if !backend.supports(&batch) {
+                continue;
+            }
+            let plan = backend.plan(&batch, &gpu);
+            let report = simulate_plan(&batch, &plan, &gpu)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", backend.name(), gpu.name));
+            assert!(report.total_ns > 0.0);
+            assert!(report.traffic.kv_dram_bytes > 0.0);
+            assert!(report.bandwidth_utilization <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn pat_never_loads_more_kv_than_query_centric_baselines() {
+    let spec = GpuSpec::a100_sxm4_80gb();
+    let head = HeadConfig::new(32, 8, 128);
+    for workload in workload_specs() {
+        let batch = workload.build(head);
+        let pat_plan = PatBackend::new().plan(&batch, &spec);
+        let fa_plan = FlashAttention::new().plan(&batch, &spec);
+        let pat = simulate_plan(&batch, &pat_plan, &spec).unwrap();
+        let fa = simulate_plan(&batch, &fa_plan, &spec).unwrap();
+        assert!(
+            pat.traffic.kv_loaded_bytes() <= fa.traffic.kv_loaded_bytes() * 1.001,
+            "PAT loads more KV than FA on {}",
+            workload.label()
+        );
+    }
+}
+
+#[test]
+fn pat_is_fastest_or_tied_on_the_paper_suite() {
+    let spec = GpuSpec::a100_sxm4_80gb();
+    let head = HeadConfig::new(32, 8, 128);
+    for workload in figure11_specs() {
+        let batch = workload.build(head);
+        let pat_ns =
+            simulate_plan(&batch, &PatBackend::new().plan(&batch, &spec), &spec).unwrap().total_ns;
+        for backend in all_systems() {
+            if !backend.supports(&batch) {
+                continue;
+            }
+            let plan = backend.plan(&batch, &spec);
+            let t = simulate_plan(&batch, &plan, &spec).unwrap().total_ns;
+            assert!(
+                pat_ns <= t * 1.06,
+                "{} beats PAT by >6% on {}: {} vs {}",
+                backend.name(),
+                workload.label(),
+                t,
+                pat_ns
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests of the GPU engine itself: work conservation, resource
+//! bounds, and stream semantics under randomized CTA populations.
+
+use proptest::prelude::*;
+use sim_gpu::{CtaResources, CtaWork, Engine, GpuSpec, KernelSpec, StreamSpec};
+
+fn res(smem_kb: usize, regs: usize, threads: usize) -> CtaResources {
+    CtaResources { smem_bytes: smem_kb * 1024, regs_per_thread: regs, threads }
+}
+
+prop_compose! {
+    fn random_kernel()(
+        n_ctas in 1usize..64,
+        smem_kb in 8usize..96,
+        regs in 32usize..128,
+        bytes_exp in 12u32..22,
+        cap in 8.0f64..300.0,
+        floor in 0.0f64..50_000.0,
+        tail in 0.0f64..2_000.0,
+    ) -> KernelSpec {
+        KernelSpec {
+            label: format!("k(smem={smem_kb})"),
+            resources: res(smem_kb, regs, 128),
+            ctas: (0..n_ctas)
+                .map(|i| CtaWork {
+                    tag: i as u64,
+                    dram_bytes: 2f64.powi(bytes_exp as i32),
+                    l2_bytes: 0.0,
+                    min_exec_ns: floor,
+                    rate_cap: cap,
+                    tail_ns: tail,
+                })
+                .collect(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Makespan is never below the bandwidth floor, and utilization never
+    /// exceeds the achievable DRAM efficiency.
+    #[test]
+    fn work_is_conserved(kernels in prop::collection::vec(random_kernel(), 1..4)) {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let engine = Engine::new(spec.clone());
+        let total_bytes: f64 = kernels
+            .iter()
+            .flat_map(|k| k.ctas.iter())
+            .map(|c| c.dram_bytes)
+            .sum();
+        let streams: Vec<StreamSpec> =
+            kernels.into_iter().map(|k| StreamSpec { kernels: vec![k] }).collect();
+        let run = engine.run(streams).expect("feasible kernels");
+        let floor = total_bytes / (spec.global_bandwidth * spec.dram_efficiency);
+        prop_assert!(run.total_ns >= floor * 0.999, "{} < {}", run.total_ns, floor);
+        prop_assert!(run.bandwidth_utilization <= spec.dram_efficiency + 1e-9);
+        prop_assert!((run.dram_bytes - total_bytes).abs() < 1.0);
+    }
+
+    /// Every CTA executes exactly once and respects its floor and tail.
+    #[test]
+    fn every_cta_runs_once_with_its_floor(kernel in random_kernel()) {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let engine = Engine::new(spec);
+        let n = kernel.ctas.len();
+        let floor = kernel.ctas[0].min_exec_ns;
+        let run = engine
+            .run(vec![StreamSpec { kernels: vec![kernel] }])
+            .expect("feasible kernel");
+        prop_assert_eq!(run.trace.ctas.len(), n);
+        let mut tags: Vec<u64> = run.trace.ctas.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), n, "duplicate or missing CTAs");
+        for span in &run.trace.ctas {
+            prop_assert!(span.end_ns - span.start_ns >= floor - 1e-6);
+        }
+    }
+
+    /// Kernels within one stream never overlap; a later kernel starts after
+    /// the earlier one ends (plus launch overhead).
+    #[test]
+    fn stream_kernels_serialize(a in random_kernel(), b in random_kernel()) {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let launch = spec.kernel_launch_ns;
+        let engine = Engine::new(spec);
+        let run = engine
+            .run(vec![StreamSpec { kernels: vec![a, b] }])
+            .expect("feasible kernels");
+        prop_assert_eq!(run.trace.kernels.len(), 2);
+        let first = &run.trace.kernels[0];
+        let second = &run.trace.kernels[1];
+        prop_assert!(
+            second.launch_ns >= first.end_ns + launch - 1e-6,
+            "second kernel launched at {} before {} + {launch}",
+            second.launch_ns,
+            first.end_ns
+        );
+    }
+
+    /// SM residency never exceeds shared-memory capacity at any instant
+    /// (checked at every CTA start event).
+    #[test]
+    fn smem_capacity_is_respected(kernel in random_kernel()) {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let smem_per_cta = kernel.resources.smem_bytes;
+        let engine = Engine::new(spec.clone());
+        let run = engine
+            .run(vec![StreamSpec { kernels: vec![kernel] }])
+            .expect("feasible kernel");
+        for probe in &run.trace.ctas {
+            let resident = run
+                .trace
+                .ctas
+                .iter()
+                .filter(|c| {
+                    c.sm == probe.sm
+                        && c.start_ns <= probe.start_ns + 1e-9
+                        && c.end_ns > probe.start_ns + 1e-9
+                })
+                .count();
+            prop_assert!(
+                resident * smem_per_cta <= spec.smem_per_sm,
+                "{resident} CTAs x {smem_per_cta} B on one SM"
+            );
+        }
+    }
+}

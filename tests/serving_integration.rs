@@ -1,0 +1,99 @@
+//! End-to-end serving integration: traces through the continuous-batching
+//! engine with each serving backend, checking metric sanity and the paper's
+//! qualitative orderings.
+
+use pat::prelude::*;
+use serving::{ServingAttention, Stateless};
+
+fn trace(kind: TraceKind, rate: f64) -> Vec<workloads::Request> {
+    generate_trace(TraceConfig { kind, rate_per_s: rate, duration_s: 5.0, seed: 21 })
+}
+
+#[test]
+fn serving_completes_and_orders_systems_correctly() {
+    let requests = trace(TraceKind::Conversation, 4.0);
+    let config = ServingConfig::single_gpu(ModelSpec::llama3_8b());
+    let mut results = Vec::new();
+    let mut systems: Vec<(&str, Box<dyn ServingAttention>)> = vec![
+        ("PAT", Box::new(LazyPat::new())),
+        ("FA", Box::new(Stateless(FlashAttention::new()))),
+    ];
+    for (name, system) in systems.iter_mut() {
+        let r = serving::simulate_serving(&config, system.as_mut(), &requests);
+        assert_eq!(r.unfinished, 0, "{name} left requests unfinished");
+        assert_eq!(r.metrics.completed, requests.len());
+        assert!(r.metrics.mean_ttft_ms > 0.0);
+        assert!(r.metrics.p99_tpot_ms >= r.metrics.mean_tpot_ms);
+        results.push((*name, r.metrics.mean_tpot_ms));
+    }
+    assert!(results[0].1 < results[1].1, "PAT must beat FlashAttention: {results:?}");
+}
+
+#[test]
+fn all_four_traces_serve_cleanly_under_pat() {
+    let config = ServingConfig::single_gpu(ModelSpec::qwen3_8b());
+    for kind in TraceKind::all() {
+        let requests = trace(kind, 3.0);
+        let mut pat = LazyPat::new();
+        let r = serving::simulate_serving(&config, &mut pat, &requests);
+        assert_eq!(r.unfinished, 0, "{} overloaded", kind.name());
+        assert!(r.attention_fraction > 0.0 && r.attention_fraction < 1.0);
+        assert!(pat.stats().hit_rate() >= 0.0);
+    }
+}
+
+#[test]
+fn llama_context_limit_clamps_long_prompts() {
+    // Conversation prompts plus huge decode budgets must still fit 8K.
+    let mut requests = trace(TraceKind::Conversation, 2.0);
+    for r in &mut requests {
+        r.decode_tokens = 512;
+        // Inflate the unique segment beyond the context window.
+        r.prompt.segments.last_mut().unwrap().tokens = 9000;
+    }
+    let config = ServingConfig::single_gpu(ModelSpec::llama3_8b());
+    let mut pat = LazyPat::new();
+    let r = serving::simulate_serving(&config, &mut pat, &requests);
+    assert_eq!(r.unfinished, 0);
+    assert_eq!(r.metrics.completed, requests.len());
+}
+
+#[test]
+fn attention_fraction_grows_with_context_pressure() {
+    let config = ServingConfig::single_gpu(ModelSpec::qwen3_8b());
+    let short = {
+        let mut requests = trace(TraceKind::QwenA, 2.0);
+        for r in &mut requests {
+            r.decode_tokens = r.decode_tokens.min(48);
+        }
+        let mut pat = LazyPat::new();
+        serving::simulate_serving(&config, &mut pat, &requests)
+    };
+    let long = {
+        let mut requests = trace(TraceKind::QwenA, 2.0);
+        for r in &mut requests {
+            r.prompt.segments.last_mut().unwrap().tokens += 6000;
+            r.decode_tokens = r.decode_tokens.min(48);
+        }
+        let mut pat = LazyPat::new();
+        serving::simulate_serving(&config, &mut pat, &requests)
+    };
+    assert!(
+        long.attention_fraction > short.attention_fraction,
+        "longer contexts must shift time into attention: {} vs {}",
+        long.attention_fraction,
+        short.attention_fraction
+    );
+}
+
+#[test]
+fn overload_is_reported_not_hidden() {
+    // An absurd request rate with a tiny drain budget must flag unfinished
+    // work rather than fabricating metrics.
+    let mut config = ServingConfig::single_gpu(ModelSpec::qwen25_72b());
+    config.drain_limit_s = 0.5;
+    let requests = trace(TraceKind::QwenB, 50.0);
+    let mut pat = LazyPat::new();
+    let r = serving::simulate_serving(&config, &mut pat, &requests);
+    assert!(r.unfinished > 0);
+}
