@@ -66,11 +66,7 @@ mod tests {
     fn backend_is_object_safe_and_plans_validate() {
         let backend: Box<dyn AttentionBackend> = Box::new(Naive);
         let head = HeadConfig::new(8, 8, 32);
-        let batch = DecodeBatch::new(
-            head,
-            vec![BlockTable::new(vec![BlockId(0)], 16, 16)],
-            2,
-        );
+        let batch = DecodeBatch::new(head, vec![BlockTable::new(vec![BlockId(0)], 16, 16)], 2);
         assert!(backend.supports(&batch));
         let plan = backend.plan(&batch, &GpuSpec::a100_sxm4_80gb());
         plan.validate(&batch).unwrap();

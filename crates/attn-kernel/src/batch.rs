@@ -46,14 +46,21 @@ impl DecodeBatch {
     /// Panics if `tables` is empty, block sizes are inconsistent, or
     /// `dtype_bytes` is zero.
     pub fn new(head: HeadConfig, tables: Vec<BlockTable>, dtype_bytes: usize) -> Self {
-        assert!(!tables.is_empty(), "a decode batch needs at least one query");
+        assert!(
+            !tables.is_empty(),
+            "a decode batch needs at least one query"
+        );
         assert!(dtype_bytes > 0, "dtype size must be positive");
         let bs = tables[0].block_size();
         assert!(
             tables.iter().all(|t| t.block_size() == bs),
             "all block tables must share one block size"
         );
-        DecodeBatch { head, tables, dtype_bytes }
+        DecodeBatch {
+            head,
+            tables,
+            dtype_bytes,
+        }
     }
 
     /// The attention head configuration.
@@ -193,7 +200,11 @@ impl KvStore {
     /// Panics if `block_size` is zero.
     pub fn new(head: HeadConfig, block_size: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        KvStore { head, block_size, blocks: HashMap::new() }
+        KvStore {
+            head,
+            block_size,
+            blocks: HashMap::new(),
+        }
     }
 
     /// Populates a store with deterministic synthetic data for every block

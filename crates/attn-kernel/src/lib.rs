@@ -62,8 +62,8 @@ mod batch;
 mod numeric;
 mod plan;
 mod tile;
-pub mod traffic;
 mod timing;
+pub mod traffic;
 
 pub use backend::AttentionBackend;
 pub use batch::{DecodeBatch, KvStore, QueryActivations, FP16_BYTES};

@@ -74,8 +74,9 @@ pub fn execute_numeric(
     let (nh, d) = (head.num_heads(), head.head_dim());
     let bs = batch.block_size();
     let scale = head.scale();
-    let mut partials: Vec<Vec<PartialAttn>> =
-        (0..batch.num_queries()).map(|_| (0..nh).map(|_| PartialAttn::empty(d)).collect()).collect();
+    let mut partials: Vec<Vec<PartialAttn>> = (0..batch.num_queries())
+        .map(|_| (0..nh).map(|_| PartialAttn::empty(d)).collect())
+        .collect();
 
     for cta in &plan.ctas {
         if cta.kv.blocks.is_empty() {
@@ -176,7 +177,13 @@ mod tests {
     }
 
     fn cta(queries: &[usize], kv: KvSlice) -> CtaPlan {
-        CtaPlan { queries: queries.to_vec(), kv, tile: TileConfig::new(16, 16), stream: 0, phase: 0 }
+        CtaPlan {
+            queries: queries.to_vec(),
+            kv,
+            tile: TileConfig::new(16, 16),
+            stream: 0,
+            phase: 0,
+        }
     }
 
     #[test]
@@ -249,7 +256,7 @@ mod tests {
 }
 
 /// Parallel variant of [`execute_numeric`]: fans CTAs out across worker
-/// threads with `crossbeam` scoped threads, merging per-(query, head)
+/// threads with `std::thread` scoped threads, merging per-(query, head)
 /// partials at the end. Bit-identical ordering is *not* guaranteed (merge
 /// order differs), but online-softmax merging is order-insensitive up to
 /// f32 rounding, which the tests bound.
@@ -279,12 +286,12 @@ pub fn execute_numeric_parallel(
     // Each worker owns a disjoint chunk of CTAs and produces its own partial
     // table; the main thread merges the tables.
     let chunk = plan.ctas.len().div_ceil(threads).max(1);
-    let tables: Vec<Vec<Vec<PartialAttn>>> = crossbeam::thread::scope(|scope| {
+    let tables: Vec<Vec<Vec<PartialAttn>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = plan
             .ctas
             .chunks(chunk)
             .map(|ctas| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut partials: Vec<Vec<PartialAttn>> = (0..batch.num_queries())
                         .map(|_| (0..nh).map(|_| PartialAttn::empty(d)).collect())
                         .collect();
@@ -320,9 +327,11 @@ pub fn execute_numeric_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut merged: Vec<Vec<PartialAttn>> = (0..batch.num_queries())
         .map(|_| (0..nh).map(|_| PartialAttn::empty(d)).collect())
@@ -388,9 +397,11 @@ mod parallel_tests {
         let plan = KernelPlan::new(ctas);
         let sequential = execute_numeric(&batch, &acts, &store, &plan).unwrap();
         for threads in [1, 2, 5, 16] {
-            let parallel =
-                execute_numeric_parallel(&batch, &acts, &store, &plan, threads).unwrap();
-            assert!(parallel.max_abs_diff(&sequential) < 1e-5, "threads={threads}");
+            let parallel = execute_numeric_parallel(&batch, &acts, &store, &plan, threads).unwrap();
+            assert!(
+                parallel.max_abs_diff(&sequential) < 1e-5,
+                "threads={threads}"
+            );
         }
         let want = reference_output(&batch, &acts, &store);
         let got = execute_numeric_parallel(&batch, &acts, &store, &plan, 4).unwrap();
@@ -400,11 +411,7 @@ mod parallel_tests {
     #[test]
     fn parallel_rejects_invalid_plans() {
         let head = HeadConfig::new(8, 4, 16);
-        let batch = DecodeBatch::new(
-            head,
-            vec![BlockTable::new(vec![BlockId(0)], 16, 16)],
-            2,
-        );
+        let batch = DecodeBatch::new(head, vec![BlockTable::new(vec![BlockId(0)], 16, 16)], 2);
         let acts = QueryActivations::synthetic(head, 1, 1);
         let store = KvStore::synthetic_for(&batch, 2);
         let empty = KernelPlan::new(vec![]);

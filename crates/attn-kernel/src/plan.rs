@@ -35,7 +35,7 @@ impl KvSlice {
             block_size
         );
         assert!(
-            blocks.len() <= tokens.div_ceil(block_size).max(0),
+            blocks.len() <= tokens.div_ceil(block_size),
             "slice has trailing empty blocks"
         );
         KvSlice { blocks, tokens }
@@ -77,7 +77,13 @@ pub struct CtaPlan {
 impl CtaPlan {
     /// Creates a phase-0 CTA.
     pub fn new(queries: Vec<usize>, kv: KvSlice, tile: TileConfig, stream: usize) -> Self {
-        CtaPlan { queries, kv, tile, stream, phase: 0 }
+        CtaPlan {
+            queries,
+            kv,
+            tile,
+            stream,
+            phase: 0,
+        }
     }
 
     /// Query rows the CTA computes: packed queries × GQA group size.
@@ -173,7 +179,11 @@ impl KernelPlan {
 
     /// Number of distinct streams used.
     pub fn num_streams(&self) -> usize {
-        self.ctas.iter().map(|c| c.stream).max().map_or(0, |s| s + 1)
+        self.ctas
+            .iter()
+            .map(|c| c.stream)
+            .max()
+            .map_or(0, |s| s + 1)
     }
 
     /// Whether any query's output is split across multiple CTAs (requiring
@@ -212,13 +222,16 @@ impl KernelPlan {
     /// Returns the first violation found.
     pub fn validate(&self, batch: &DecodeBatch) -> Result<(), PlanError> {
         let g = batch.head().group_size();
-        let mut covered: Vec<HashMap<BlockId, usize>> =
-            vec![HashMap::new(); batch.num_queries()];
+        let mut covered: Vec<HashMap<BlockId, usize>> = vec![HashMap::new(); batch.num_queries()];
         let mut tokens: Vec<usize> = vec![0; batch.num_queries()];
         for (i, cta) in self.ctas.iter().enumerate() {
             let rows = cta.query_rows(g);
             if rows > cta.tile.m {
-                return Err(PlanError::TileOverflow { cta: i, rows, m: cta.tile.m });
+                return Err(PlanError::TileOverflow {
+                    cta: i,
+                    rows,
+                    m: cta.tile.m,
+                });
             }
             for &q in &cta.queries {
                 if q >= batch.num_queries() {
@@ -234,7 +247,11 @@ impl KernelPlan {
             if tokens[q] != table.num_tokens() {
                 return Err(PlanError::CoverageMismatch {
                     query: q,
-                    detail: format!("{} tokens covered, table has {}", tokens[q], table.num_tokens()),
+                    detail: format!(
+                        "{} tokens covered, table has {}",
+                        tokens[q],
+                        table.num_tokens()
+                    ),
                 });
             }
             let mut want: HashMap<BlockId, usize> = HashMap::new();
@@ -285,8 +302,20 @@ mod tests {
                 stream: 0,
                 phase: 0,
             },
-            CtaPlan { queries: vec![0], kv: slice(&[1], 16), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
-            CtaPlan { queries: vec![1], kv: slice(&[2], 16), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+            CtaPlan {
+                queries: vec![0],
+                kv: slice(&[1], 16),
+                tile: TileConfig::new(16, 16),
+                stream: 0,
+                phase: 0,
+            },
+            CtaPlan {
+                queries: vec![1],
+                kv: slice(&[2], 16),
+                tile: TileConfig::new(16, 16),
+                stream: 0,
+                phase: 0,
+            },
         ]);
         plan.validate(&batch()).unwrap();
         assert!(plan.needs_merge(2));
@@ -295,8 +324,20 @@ mod tests {
     #[test]
     fn one_query_per_cta_plan_passes_without_merge() {
         let plan = KernelPlan::new(vec![
-            CtaPlan { queries: vec![0], kv: slice(&[0, 1], 32), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
-            CtaPlan { queries: vec![1], kv: slice(&[0, 2], 32), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+            CtaPlan {
+                queries: vec![0],
+                kv: slice(&[0, 1], 32),
+                tile: TileConfig::new(16, 16),
+                stream: 0,
+                phase: 0,
+            },
+            CtaPlan {
+                queries: vec![1],
+                kv: slice(&[0, 2], 32),
+                tile: TileConfig::new(16, 16),
+                stream: 0,
+                phase: 0,
+            },
         ]);
         plan.validate(&batch()).unwrap();
         assert!(!plan.needs_merge(2));
@@ -320,9 +361,27 @@ mod tests {
     #[test]
     fn double_coverage_is_caught() {
         let plan = KernelPlan::new(vec![
-            CtaPlan { queries: vec![0], kv: slice(&[0, 1], 32), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
-            CtaPlan { queries: vec![0], kv: slice(&[0], 16), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
-            CtaPlan { queries: vec![1], kv: slice(&[0, 2], 32), tile: TileConfig::new(16, 16), stream: 0, phase: 0 },
+            CtaPlan {
+                queries: vec![0],
+                kv: slice(&[0, 1], 32),
+                tile: TileConfig::new(16, 16),
+                stream: 0,
+                phase: 0,
+            },
+            CtaPlan {
+                queries: vec![0],
+                kv: slice(&[0], 16),
+                tile: TileConfig::new(16, 16),
+                stream: 0,
+                phase: 0,
+            },
+            CtaPlan {
+                queries: vec![1],
+                kv: slice(&[0, 2], 32),
+                tile: TileConfig::new(16, 16),
+                stream: 0,
+                phase: 0,
+            },
         ]);
         assert!(plan.validate(&batch()).is_err());
     }
@@ -336,7 +395,10 @@ mod tests {
             stream: 0,
             phase: 0,
         }]);
-        assert!(matches!(plan.validate(&batch()), Err(PlanError::TileOverflow { .. })));
+        assert!(matches!(
+            plan.validate(&batch()),
+            Err(PlanError::TileOverflow { .. })
+        ));
     }
 
     #[test]

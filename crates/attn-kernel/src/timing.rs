@@ -194,7 +194,9 @@ mod tests {
         let tables = (0..n_queries)
             .map(|q| {
                 let mut ids: Vec<BlockId> = (0..shared_blocks as u32).map(BlockId).collect();
-                ids.extend((0..private_blocks as u32).map(|i| BlockId(10_000 + q as u32 * 512 + i)));
+                ids.extend(
+                    (0..private_blocks as u32).map(|i| BlockId(10_000 + q as u32 * 512 + i)),
+                );
                 BlockTable::new(ids, (shared_blocks + private_blocks) * bs, bs)
             })
             .collect();
@@ -224,7 +226,8 @@ mod tests {
         // 16k shared tokens (working set > L2) + 128 private tokens each.
         let b = batch(32, 1024, 8);
         let spec = GpuSpec::a100_sxm4_80gb();
-        let qc = simulate_plan(&b, &one_query_per_cta(&b, TileConfig::new(64, 128)), &spec).unwrap();
+        let qc =
+            simulate_plan(&b, &one_query_per_cta(&b, TileConfig::new(64, 128)), &spec).unwrap();
 
         // 32 queries x group size 4 = 128 rows: split into two m=64 CTAs
         // (m=128 exceeds the per-thread register budget on A100).
@@ -275,7 +278,11 @@ mod tests {
         let b = batch(512, 0, 64); // 1024 private tokens each, no sharing
         let spec = GpuSpec::a100_sxm4_80gb();
         let r = simulate_plan(&b, &one_query_per_cta(&b, TileConfig::new(16, 64)), &spec).unwrap();
-        assert!(r.bandwidth_utilization > 0.7, "util {}", r.bandwidth_utilization);
+        assert!(
+            r.bandwidth_utilization > 0.7,
+            "util {}",
+            r.bandwidth_utilization
+        );
     }
 
     #[test]
@@ -283,7 +290,10 @@ mod tests {
         let b = batch(2, 4, 1);
         let spec = GpuSpec::a100_sxm4_80gb();
         let plan = KernelPlan::new(vec![]);
-        assert!(matches!(simulate_plan(&b, &plan, &spec), Err(TimingError::Plan(_))));
+        assert!(matches!(
+            simulate_plan(&b, &plan, &spec),
+            Err(TimingError::Plan(_))
+        ));
     }
 
     #[test]
@@ -294,6 +304,10 @@ mod tests {
         let r = simulate_plan(&b, &plan, &spec).unwrap();
         // 3 logical CTAs x 8 kv-heads.
         assert_eq!(r.trace.ctas.len(), 24);
-        assert!(r.trace.ctas.iter().all(|c| (c.tag as usize) < plan.ctas.len()));
+        assert!(r
+            .trace
+            .ctas
+            .iter()
+            .all(|c| (c.tag as usize) < plan.ctas.len()));
     }
 }

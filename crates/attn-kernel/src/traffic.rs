@@ -139,8 +139,7 @@ pub fn analyze_traffic(
     }
     // The merge kernel reads every intermediate back once.
     report.intermediate_read_bytes = report.intermediate_write_bytes;
-    report.output_bytes =
-        (batch.num_queries() * head.num_heads() * d * OUT_BYTES) as f64;
+    report.output_bytes = (batch.num_queries() * head.num_heads() * d * OUT_BYTES) as f64;
     (report, per_cta)
 }
 
@@ -157,9 +156,7 @@ mod tests {
         let tables = (0..n_queries)
             .map(|q| {
                 let mut ids: Vec<BlockId> = (0..shared_blocks as u32).map(BlockId).collect();
-                ids.extend(
-                    (0..private_blocks as u32).map(|i| BlockId(1000 + q as u32 * 100 + i)),
-                );
+                ids.extend((0..private_blocks as u32).map(|i| BlockId(1000 + q as u32 * 100 + i)));
                 let total = (shared_blocks + private_blocks) * bs;
                 BlockTable::new(ids, total, bs)
             })
@@ -221,8 +218,14 @@ mod tests {
         let (qc, _) = analyze_traffic(&b, &query_centric_plan(&b), &spec);
         let (packed, _) = analyze_traffic(&b, &prefix_packed_plan(&b, 1024), &spec);
         let min = theoretical_min_kv_bytes(&b);
-        assert!(qc.kv_loaded_bytes() > 4.0 * min, "query-centric should be redundant");
-        assert!(packed.kv_loaded_bytes() < 1.01 * min, "packed loads each block once");
+        assert!(
+            qc.kv_loaded_bytes() > 4.0 * min,
+            "query-centric should be redundant"
+        );
+        assert!(
+            packed.kv_loaded_bytes() < 1.01 * min,
+            "packed loads each block once"
+        );
         assert!(qc.kv_dram_bytes > packed.kv_dram_bytes * 2.0);
     }
 
@@ -254,10 +257,16 @@ mod tests {
         let b = batch(4, 8, 2);
         let spec = GpuSpec::a100_sxm4_80gb();
         let (qc, _) = analyze_traffic(&b, &query_centric_plan(&b), &spec);
-        assert_eq!(qc.intermediate_write_bytes, 0.0, "one CTA per query needs no merge");
+        assert_eq!(
+            qc.intermediate_write_bytes, 0.0,
+            "one CTA per query needs no merge"
+        );
         let (packed, _) = analyze_traffic(&b, &prefix_packed_plan(&b, 8), &spec);
         assert!(packed.intermediate_write_bytes > 0.0);
-        assert_eq!(packed.intermediate_read_bytes, packed.intermediate_write_bytes);
+        assert_eq!(
+            packed.intermediate_read_bytes,
+            packed.intermediate_write_bytes
+        );
     }
 
     #[test]
@@ -267,8 +276,7 @@ mod tests {
         let plan = prefix_packed_plan(&b, 8);
         let (report, per_cta) = analyze_traffic(&b, &plan, &spec);
         let sum_dram: f64 = per_cta.iter().map(|c| c.dram_bytes).sum::<f64>() * 8.0;
-        let report_dram =
-            report.kv_dram_bytes + report.q_bytes + report.intermediate_write_bytes;
+        let report_dram = report.kv_dram_bytes + report.q_bytes + report.intermediate_write_bytes;
         assert!((sum_dram - report_dram).abs() / report_dram < 1e-9);
     }
 }

@@ -31,12 +31,19 @@ impl HeadConfig {
     /// Panics if `num_heads` is not a positive multiple of `num_kv_heads`, or
     /// `head_dim` is zero.
     pub fn new(num_heads: usize, num_kv_heads: usize, head_dim: usize) -> Self {
-        assert!(num_kv_heads > 0 && head_dim > 0, "head counts must be positive");
         assert!(
-            num_heads >= num_kv_heads && num_heads % num_kv_heads == 0,
+            num_kv_heads > 0 && head_dim > 0,
+            "head counts must be positive"
+        );
+        assert!(
+            num_heads >= num_kv_heads && num_heads.is_multiple_of(num_kv_heads),
             "num_heads ({num_heads}) must be a multiple of num_kv_heads ({num_kv_heads})"
         );
-        HeadConfig { num_heads, num_kv_heads, head_dim }
+        HeadConfig {
+            num_heads,
+            num_kv_heads,
+            head_dim,
+        }
     }
 
     /// The four head configurations of the paper's kernel benchmark (§8.2).
@@ -85,7 +92,10 @@ impl HeadConfig {
     ///
     /// Panics if `kv_head` is out of range.
     pub fn q_heads_of(&self, kv_head: usize) -> std::ops::Range<usize> {
-        assert!(kv_head < self.num_kv_heads, "kv head {kv_head} out of range");
+        assert!(
+            kv_head < self.num_kv_heads,
+            "kv head {kv_head} out of range"
+        );
         let g = self.group_size();
         kv_head * g..(kv_head + 1) * g
     }
@@ -104,7 +114,11 @@ impl HeadConfig {
 
 impl fmt::Display for HeadConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} (d={})", self.num_heads, self.num_kv_heads, self.head_dim)
+        write!(
+            f,
+            "{}/{} (d={})",
+            self.num_heads, self.num_kv_heads, self.head_dim
+        )
     }
 }
 
@@ -124,7 +138,7 @@ mod tests {
     fn gqa_mapping_partitions_heads() {
         let cfg = HeadConfig::new(64, 8, 128);
         assert_eq!(cfg.group_size(), 8);
-        let mut covered = vec![false; 64];
+        let mut covered = [false; 64];
         for kv in 0..8 {
             for q in cfg.q_heads_of(kv) {
                 assert_eq!(cfg.kv_head_of(q), kv);

@@ -38,7 +38,10 @@ pub struct EmptyAttentionError;
 
 impl fmt::Display for EmptyAttentionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "attention over an empty key/value set has no defined output")
+        write!(
+            f,
+            "attention over an empty key/value set has no defined output"
+        )
     }
 }
 
@@ -47,7 +50,11 @@ impl std::error::Error for EmptyAttentionError {}
 impl PartialAttn {
     /// An empty state for `head_dim`-dimensional values.
     pub fn empty(head_dim: usize) -> Self {
-        PartialAttn { max_score: f32::NEG_INFINITY, sum_exp: 0.0, acc: vec![0.0; head_dim] }
+        PartialAttn {
+            max_score: f32::NEG_INFINITY,
+            sum_exp: 0.0,
+            acc: vec![0.0; head_dim],
+        }
     }
 
     /// Whether any score has been accumulated.
@@ -170,7 +177,12 @@ mod tests {
     #[test]
     fn accumulate_matches_direct_softmax() {
         let scores = [0.3f32, -1.2, 2.5, 0.0];
-        let values = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![-1.0, 2.0]];
+        let values = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![-1.0, 2.0],
+        ];
         let mut p = PartialAttn::empty(2);
         for (s, v) in scores.iter().zip(&values) {
             p.accumulate(*s, v);
@@ -185,8 +197,9 @@ mod tests {
     #[test]
     fn merge_of_split_equals_whole() {
         let scores = [0.3f32, -1.2, 2.5, 0.0, 4.0, -3.0];
-        let values: Vec<Vec<f32>> =
-            (0..6).map(|i| vec![i as f32, (i * i) as f32 * 0.1]).collect();
+        let values: Vec<Vec<f32>> = (0..6)
+            .map(|i| vec![i as f32, (i * i) as f32 * 0.1])
+            .collect();
         let mut whole = PartialAttn::empty(2);
         for (s, v) in scores.iter().zip(&values) {
             whole.accumulate(*s, v);

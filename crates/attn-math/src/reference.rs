@@ -26,7 +26,9 @@ pub fn reference_attention(q: &[f32], keys: &Matrix, values: &Matrix, scale: f32
     assert!(keys.rows() > 0, "attention over empty keys is undefined");
     assert_eq!(keys.rows(), values.rows(), "keys/values length mismatch");
     assert_eq!(q.len(), keys.cols(), "query/key dimension mismatch");
-    let scores: Vec<f32> = (0..keys.rows()).map(|i| dot(q, keys.row(i)) * scale).collect();
+    let scores: Vec<f32> = (0..keys.rows())
+        .map(|i| dot(q, keys.row(i)) * scale)
+        .collect();
     let m = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let weights: Vec<f32> = scores.iter().map(|s| (s - m).exp()).collect();
     let z: f32 = weights.iter().sum();
@@ -96,7 +98,9 @@ mod tests {
         let scale = 1.0 / (d as f32).sqrt();
         let want = reference_attention(&q, &keys, &values, scale);
         for tile_n in [1, 2, 7, 16, 37, 64] {
-            let got = attend_segment(&q, &keys, &values, scale, tile_n).finalize().unwrap();
+            let got = attend_segment(&q, &keys, &values, scale, tile_n)
+                .finalize()
+                .unwrap();
             for (g, w) in got.iter().zip(&want) {
                 assert!((g - w).abs() < 1e-5, "tile {tile_n}");
             }

@@ -24,7 +24,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -73,8 +77,15 @@ impl Matrix {
     ///
     /// Panics if the range is invalid.
     pub fn slice_rows(&self, from: usize, to: usize) -> Matrix {
-        assert!(from <= to && to <= self.rows, "invalid row range {from}..{to}");
-        Matrix::from_rows(to - from, self.cols, self.data[from * self.cols..to * self.cols].to_vec())
+        assert!(
+            from <= to && to <= self.rows,
+            "invalid row range {from}..{to}"
+        );
+        Matrix::from_rows(
+            to - from,
+            self.cols,
+            self.data[from * self.cols..to * self.cols].to_vec(),
+        )
     }
 
     /// Appends the rows of `other`.
@@ -97,14 +108,20 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -6,7 +6,9 @@ use attn_math::{attend_segment, merge_partials, reference_attention, Matrix, Par
 use proptest::prelude::*;
 
 fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
-    a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol * (1.0 + y.abs()))
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| (x - y).abs() <= tol * (1.0 + y.abs()))
 }
 
 prop_compose! {

@@ -46,7 +46,11 @@ impl AttentionBackend for Cascade {
         let mut ctas: Vec<CtaPlan> = packs
             .into_iter()
             .map(|p| {
-                let tile = if p.queries.len() > 1 { Self::SHARED_TILE } else { Self::UNIQUE_TILE };
+                let tile = if p.queries.len() > 1 {
+                    Self::SHARED_TILE
+                } else {
+                    Self::UNIQUE_TILE
+                };
                 let phase = starts.binary_search(&p.start).expect("start collected");
                 CtaPlan {
                     queries: p.queries,
@@ -100,7 +104,9 @@ mod tests {
         let b = batch(HeadConfig::new(32, 8, 128));
         let plan = Cascade::new().plan(&b, &GpuSpec::a100_sxm4_80gb());
         let first_unique = plan.ctas.iter().position(|c| c.queries.len() == 1).unwrap();
-        assert!(plan.ctas[first_unique..].iter().all(|c| c.queries.len() == 1));
+        assert!(plan.ctas[first_unique..]
+            .iter()
+            .all(|c| c.queries.len() == 1));
         assert_eq!(plan.num_streams(), 1);
     }
 

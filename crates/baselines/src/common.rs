@@ -21,11 +21,7 @@ pub fn one_query_per_cta(batch: &DecodeBatch, tile: TileConfig, stream: usize) -
 
 /// Splits every query's KV into chunks of at most `chunk_tokens` (block
 /// aligned), one CTA per chunk — FlashInfer-style load balancing.
-pub fn kv_chunked_ctas(
-    batch: &DecodeBatch,
-    chunk_tokens: usize,
-    tile: TileConfig,
-) -> Vec<CtaPlan> {
+pub fn kv_chunked_ctas(batch: &DecodeBatch, chunk_tokens: usize, tile: TileConfig) -> Vec<CtaPlan> {
     let bs = batch.block_size();
     let blocks_per_chunk = (chunk_tokens / bs).max(1);
     let mut ctas = Vec::new();

@@ -52,7 +52,11 @@ impl AttentionBackend for FastTree {
             .into_iter()
             .map(|p| {
                 let rows = p.queries.len() * g;
-                let tile = if rows > Self::NARROW_TILE.m { Self::WIDE_TILE } else { Self::NARROW_TILE };
+                let tile = if rows > Self::NARROW_TILE.m {
+                    Self::WIDE_TILE
+                } else {
+                    Self::NARROW_TILE
+                };
                 CtaPlan {
                     queries: p.queries,
                     kv: KvSlice::new(p.blocks, p.tokens, batch.block_size()),

@@ -33,7 +33,10 @@ impl AttentionBackend for FlashAttention {
         let occ = Occupancy::new(spec.clone());
         let tile = [Self::TILE, TileConfig::new(64, 64), TileConfig::new(32, 64)]
             .into_iter()
-            .find(|t| occ.ctas_per_sm(t.resources(batch.head().head_dim(), batch.dtype_bytes())).is_ok())
+            .find(|t| {
+                occ.ctas_per_sm(t.resources(batch.head().head_dim(), batch.dtype_bytes()))
+                    .is_ok()
+            })
             .unwrap_or(TileConfig::new(16, 32));
         let mut plan = KernelPlan::new(one_query_per_cta(batch, tile, 0));
         // FA v2.5's decode grid is GQA-oblivious: one CTA per (query, query
@@ -86,7 +89,9 @@ impl AttentionBackend for FlashInfer {
         let chunk = Self::chunk_tokens(batch, spec);
         // The grouped decode kernel holds a query's whole head group in one
         // CTA; wide groups (MQA) grow the Q tile accordingly.
-        let m = Self::TILE.m.max(batch.head().group_size().next_power_of_two());
+        let m = Self::TILE
+            .m
+            .max(batch.head().group_size().next_power_of_two());
         let tile = TileConfig::new(m, Self::TILE.n);
         let ctas = kv_chunked_ctas(batch, chunk, tile);
         let mut plan = KernelPlan::new(ctas);
@@ -102,7 +107,9 @@ impl AttentionBackend for FlashInfer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use attn_kernel::{execute_numeric, reference_output, simulate_plan, KvStore, QueryActivations};
+    use attn_kernel::{
+        execute_numeric, reference_output, simulate_plan, KvStore, QueryActivations,
+    };
     use attn_math::HeadConfig;
     use kv_cache::{BlockId, BlockTable};
 
@@ -123,9 +130,7 @@ mod tests {
     fn flash_attention_is_numerically_exact() {
         let head = HeadConfig::new(8, 4, 16);
         let tables = (0..3u32)
-            .map(|q| {
-                BlockTable::new(vec![BlockId(0), BlockId(10 + q)], 28, 16)
-            })
+            .map(|q| BlockTable::new(vec![BlockId(0), BlockId(10 + q)], 28, 16))
             .collect();
         let b = DecodeBatch::new(head, tables, 2);
         let plan = FlashAttention::new().plan(&b, &GpuSpec::a100_sxm4_80gb());

@@ -132,7 +132,9 @@ impl AttentionBackend for RelayAttentionPP {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use attn_kernel::{execute_numeric, reference_output, simulate_plan, KvStore, QueryActivations};
+    use attn_kernel::{
+        execute_numeric, reference_output, simulate_plan, KvStore, QueryActivations,
+    };
     use attn_math::HeadConfig;
     use kv_cache::{BlockId, BlockTable};
 

@@ -69,8 +69,8 @@ fn main() {
         let (pat_us, fa_us) = vs_backend(&batch, &spec, &FlashAttention::new());
         // Decode attention's share of a full decode step (Llama-3-8B,
         // batch 64, 8K context) on this generation: the motivation metric.
-        let share = latency_breakdown(&ModelSpec::llama3_8b(), &spec, 64, &[8192])[0]
-            .attention_fraction;
+        let share =
+            latency_breakdown(&ModelSpec::llama3_8b(), &spec, 64, &[8192])[0].attention_fraction;
         println!(
             "{:<18} {:>11.0} {:>11.1} {:>11.1} {:>8.2}x {:>15.1}%",
             spec.name,
@@ -89,8 +89,10 @@ fn main() {
             attention_share_pct: share * 100.0,
         });
     }
-    println!("
-note: the raw PAT-vs-FA speedup shrinks on newer parts because their much");
+    println!(
+        "
+note: the raw PAT-vs-FA speedup shrinks on newer parts because their much"
+    );
     println!("larger L2 absorbs more of FA's redundancy; the memory-bound attention share");
     println!("of the decode step stays dominant, which is §9's actual argument.");
 

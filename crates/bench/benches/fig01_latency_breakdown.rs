@@ -28,7 +28,10 @@ fn main() {
             .into_iter()
             .filter(|&c| c <= model.max_context)
             .collect();
-        println!("{:>10} {:>14} {:>14} {:>14}", "context", "attention(ms)", "linear(ms)", "attn share");
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}",
+            "context", "attention(ms)", "linear(ms)", "attn share"
+        );
         for row in latency_breakdown(&model, &gpu, 64, &contexts) {
             println!(
                 "{:>10} {:>14.2} {:>14.2} {:>13.1}%",

@@ -43,7 +43,11 @@ fn main() {
         for window in requests.chunks(32).take(12) {
             let tables: Vec<_> = window
                 .iter()
-                .map(|r| cache.insert_sequence(&r.prompt.to_tokens()).expect("pool sized"))
+                .map(|r| {
+                    cache
+                        .insert_sequence(&r.prompt.to_tokens())
+                        .expect("pool sized")
+                })
                 .collect();
             let stats = BatchPrefixStats::from_tables(&tables);
             coverages.push(stats.shared_coverage());

@@ -48,7 +48,11 @@ fn main() {
             }
             let tables: Vec<_> = window
                 .iter()
-                .map(|r| cache.insert_sequence(&r.prompt.to_tokens()).expect("pool sized"))
+                .map(|r| {
+                    cache
+                        .insert_sequence(&r.prompt.to_tokens())
+                        .expect("pool sized")
+                })
                 .collect();
             let batch = DecodeBatch::new(head, tables.clone(), 2);
             let fa = time_backend(&FlashAttention::new(), &batch, &spec).expect("supported");

@@ -28,18 +28,28 @@ fn main() {
     for &(bytes, ns) in &sweep {
         println!("{bytes:>14.0} {ns:>14.1} {:>16.1}", bytes / ns);
     }
-    println!("flat-region latency L = {:.0} ns, bandwidth B = {:.0} GB/s, knee = {:.2} MB",
-        model.latency_ns(), model.bandwidth(), model.knee_bytes() / 1e6);
+    println!(
+        "flat-region latency L = {:.0} ns, bandwidth B = {:.0} GB/s, knee = {:.2} MB",
+        model.latency_ns(),
+        model.bandwidth(),
+        model.knee_bytes() / 1e6
+    );
 
     banner("Fig. 8b — feasible tile configurations (✓; ①/②/③ = violated constraint)");
     let solver = TileSolver::new(spec.clone(), 128, 2);
     let table = solver.render_table();
     print!("{table}");
-    println!("feasible configurations: {} (paper: 11)", solver.feasible_tiles().len());
+    println!(
+        "feasible configurations: {} (paper: 11)",
+        solver.feasible_tiles().len()
+    );
 
     banner("Fig. 8c/d — kernel equivalence @ batch 1134, KV 1024, no prefixes");
     let rows = kernel_equivalence(&spec, 1134);
-    println!("{:>12} {:>8} {:>12} {:>14}", "tile", "C/SM", "bw util", "latency (us)");
+    println!(
+        "{:>12} {:>8} {:>12} {:>14}",
+        "tile", "C/SM", "bw util", "latency (us)"
+    );
     for row in &rows {
         println!(
             "{:>12} {:>8} {:>11.1}% {:>14.1}",
@@ -50,8 +60,22 @@ fn main() {
         );
     }
     let (lo, hi) = rows.iter().fold((1.0f64, 0.0f64), |(lo, hi), r| {
-        (lo.min(r.bandwidth_utilization), hi.max(r.bandwidth_utilization))
+        (
+            lo.min(r.bandwidth_utilization),
+            hi.max(r.bandwidth_utilization),
+        )
     });
-    println!("\nbandwidth utilization range: {:.1}%-{:.1}% (paper: 83%-86%)", lo * 100.0, hi * 100.0);
-    save_json("fig08_multitile_a100", &Results { sweep, table, equivalence: rows });
+    println!(
+        "\nbandwidth utilization range: {:.1}%-{:.1}% (paper: 83%-86%)",
+        lo * 100.0,
+        hi * 100.0
+    );
+    save_json(
+        "fig08_multitile_a100",
+        &Results {
+            sweep,
+            table,
+            equivalence: rows,
+        },
+    );
 }

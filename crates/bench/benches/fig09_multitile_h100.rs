@@ -20,11 +20,17 @@ fn main() {
     let solver = TileSolver::new(spec.clone(), 128, 2);
     let table = solver.render_table();
     print!("{table}");
-    println!("feasible configurations: {} (paper: 9)", solver.feasible_tiles().len());
+    println!(
+        "feasible configurations: {} (paper: 9)",
+        solver.feasible_tiles().len()
+    );
 
     banner("Fig. 9a/b — kernel equivalence @ batch 1188, KV 1024, no prefixes (H100)");
     let rows = kernel_equivalence(&spec, 1188);
-    println!("{:>12} {:>8} {:>12} {:>14}", "tile", "C/SM", "bw util", "latency (us)");
+    println!(
+        "{:>12} {:>8} {:>12} {:>14}",
+        "tile", "C/SM", "bw util", "latency (us)"
+    );
     for row in &rows {
         println!(
             "{:>12} {:>8} {:>11.1}% {:>14.1}",
@@ -35,8 +41,21 @@ fn main() {
         );
     }
     let (lo, hi) = rows.iter().fold((1.0f64, 0.0f64), |(lo, hi), r| {
-        (lo.min(r.bandwidth_utilization), hi.max(r.bandwidth_utilization))
+        (
+            lo.min(r.bandwidth_utilization),
+            hi.max(r.bandwidth_utilization),
+        )
     });
-    println!("\nbandwidth utilization range: {:.1}%-{:.1}% (paper: 92.3%-94.2%)", lo * 100.0, hi * 100.0);
-    save_json("fig09_multitile_h100", &Results { table, equivalence: rows });
+    println!(
+        "\nbandwidth utilization range: {:.1}%-{:.1}% (paper: 92.3%-94.2%)",
+        lo * 100.0,
+        hi * 100.0
+    );
+    save_json(
+        "fig09_multitile_h100",
+        &Results {
+            table,
+            equivalence: rows,
+        },
+    );
 }

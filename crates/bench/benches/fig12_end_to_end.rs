@@ -33,7 +33,11 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for model in [ModelSpec::llama3_8b(), ModelSpec::qwen3_8b()] {
         for trace in [TraceKind::Conversation, TraceKind::ToolAgent] {
-            banner(&format!("Fig. 12 — {} on {} trace", model.name, trace.name()));
+            banner(&format!(
+                "Fig. 12 — {} on {} trace",
+                model.name,
+                trace.name()
+            ));
             println!(
                 "{:>6} {:<18} {:>12} {:>12} {:>12} {:>10}",
                 "rate", "system", "TTFT(ms)", "TPOT(ms)", "P99 TPOT", "done"
@@ -48,7 +52,10 @@ fn main() {
                 let config = ServingConfig::single_gpu(model);
                 let mut systems: Vec<(String, Box<dyn ServingAttention>)> = vec![
                     ("PAT".into(), Box::new(LazyPat::new())),
-                    ("FlashAttention".into(), Box::new(Stateless(FlashAttention::new()))),
+                    (
+                        "FlashAttention".into(),
+                        Box::new(Stateless(FlashAttention::new())),
+                    ),
                     ("FlashInfer".into(), Box::new(Stateless(FlashInfer::new()))),
                 ];
                 // Relay++ requires a single first-level prefix: conversation
@@ -91,7 +98,10 @@ fn main() {
         let mut reductions = Vec::new();
         for row in rows.iter().filter(|r| r.system == base) {
             if let Some(pat) = rows.iter().find(|r| {
-                r.system == "PAT" && r.model == row.model && r.trace == row.trace && r.rate == row.rate
+                r.system == "PAT"
+                    && r.model == row.model
+                    && r.trace == row.trace
+                    && r.rate == row.rate
             }) {
                 reductions.push((1.0 - pat.mean_tpot_ms / row.mean_tpot_ms) * 100.0);
             }
@@ -101,7 +111,9 @@ fn main() {
         }
         let (lo, hi) = reductions
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &r| {
+                (lo.min(r), hi.max(r))
+            });
         println!("vs {base:<18} TPOT reduction {lo:.1}%..{hi:.1}%");
     }
     println!("paper: 17.2-68.1% vs Relay++, 17.0-89.5% vs FA, 32.2-93.1% vs FlashInfer");

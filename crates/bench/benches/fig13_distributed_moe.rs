@@ -5,7 +5,9 @@ use baselines::{FlashAttention, FlashInfer};
 use pat_bench::{banner, save_json};
 use pat_core::LazyPat;
 use serde::Serialize;
-use serving::{simulate_serving, ModelSpec, Parallelism, ServingAttention, ServingConfig, Stateless};
+use serving::{
+    simulate_serving, ModelSpec, Parallelism, ServingAttention, ServingConfig, Stateless,
+};
 use workloads::{generate_trace, TraceConfig, TraceKind};
 
 #[derive(Serialize)]
@@ -21,11 +23,23 @@ struct Row {
 fn main() {
     let mut rows = Vec::new();
     let setups: Vec<(&str, ModelSpec, Parallelism, f64)> = vec![
-        ("Qwen2.5-72B TP2xPP2 (4xA100)", ModelSpec::qwen25_72b(), Parallelism { tp: 2, pp: 2 }, 1.5),
-        ("Qwen3-30B-A3B MoE (1xA100)", ModelSpec::qwen3_30b_a3b(), Parallelism::single(), 4.0),
+        (
+            "Qwen2.5-72B TP2xPP2 (4xA100)",
+            ModelSpec::qwen25_72b(),
+            Parallelism { tp: 2, pp: 2 },
+            1.5,
+        ),
+        (
+            "Qwen3-30B-A3B MoE (1xA100)",
+            ModelSpec::qwen3_30b_a3b(),
+            Parallelism::single(),
+            4.0,
+        ),
     ];
     for (label, model, parallel, rate) in setups {
-        banner(&format!("Fig. 13 — {label}, toolagent trace @ {rate} req/s"));
+        banner(&format!(
+            "Fig. 13 — {label}, toolagent trace @ {rate} req/s"
+        ));
         let requests = generate_trace(TraceConfig {
             kind: TraceKind::ToolAgent,
             rate_per_s: rate,
@@ -34,11 +48,17 @@ fn main() {
         });
         let mut config = ServingConfig::single_gpu(model);
         config.parallel = parallel;
-        println!("{:<18} {:>12} {:>12} {:>12}", "system", "TPOT(ms)", "P99 TPOT", "TTFT(ms)");
+        println!(
+            "{:<18} {:>12} {:>12} {:>12}",
+            "system", "TPOT(ms)", "P99 TPOT", "TTFT(ms)"
+        );
         let mut pat_tpot = 0.0;
         let systems: Vec<(String, Box<dyn ServingAttention>)> = vec![
             ("PAT".into(), Box::new(LazyPat::new())),
-            ("FlashAttention".into(), Box::new(Stateless(FlashAttention::new()))),
+            (
+                "FlashAttention".into(),
+                Box::new(Stateless(FlashAttention::new())),
+            ),
             ("FlashInfer".into(), Box::new(Stateless(FlashInfer::new()))),
         ];
         for (name, mut system) in systems {

@@ -64,7 +64,7 @@ fn main() {
             multi_stream_us: multi.forward_ns / 1000.0,
             serial_us: serial.forward_ns / 1000.0,
             multi_stream_gantt: multi_gantt,
-            serial_gantt: serial_gantt,
+            serial_gantt,
         },
     );
 }

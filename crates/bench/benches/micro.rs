@@ -49,7 +49,9 @@ fn bench_merge(c: &mut Criterion) {
     for i in 0..8 {
         let mut p = PartialAttn::empty(d);
         for j in 0..16 {
-            let v: Vec<f32> = (0..d).map(|k| ((i * 31 + j * 7 + k) % 13) as f32 * 0.1).collect();
+            let v: Vec<f32> = (0..d)
+                .map(|k| ((i * 31 + j * 7 + k) % 13) as f32 * 0.1)
+                .collect();
             p.accumulate((i + j) as f32 * 0.3, &v);
         }
         partials.push(p);
@@ -63,7 +65,9 @@ fn bench_attention_math(c: &mut Criterion) {
     let d = 128;
     let len = 1024;
     let fill = |seed: usize| -> Vec<f32> {
-        (0..len * d).map(|i| (((i * 2654435761) ^ seed) % 1000) as f32 / 500.0 - 1.0).collect()
+        (0..len * d)
+            .map(|i| (((i * 2654435761) ^ seed) % 1000) as f32 / 500.0 - 1.0)
+            .collect()
     };
     let keys = Matrix::from_rows(len, d, fill(1));
     let values = Matrix::from_rows(len, d, fill(2));

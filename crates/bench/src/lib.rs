@@ -188,8 +188,11 @@ pub fn summarize_kernel_cells(cells: &[KernelCell]) {
     use std::collections::BTreeMap;
     let mut per_system: BTreeMap<&str, Vec<(f64, f64)>> = BTreeMap::new();
     for cell in cells {
-        if cell.system == "PAT" || !cell.config.contains("B=[1,") && !cell.config.contains("B=[2,")
-            && !cell.config.contains("B=[4,") && !cell.config.contains("B=[8,")
+        if cell.system == "PAT"
+            || !cell.config.contains("B=[1,")
+                && !cell.config.contains("B=[2,")
+                && !cell.config.contains("B=[4,")
+                && !cell.config.contains("B=[8,")
         {
             continue;
         }
@@ -199,7 +202,10 @@ pub fn summarize_kernel_cells(cells: &[KernelCell]) {
             .find(|c| c.system == "PAT" && c.config == cell.config && c.heads == cell.heads)
             .and_then(|c| c.latency_us);
         if let (Some(pat_us), Some(base_us)) = (pat, cell.latency_us) {
-            per_system.entry(cell.system.as_str()).or_default().push((pat_us, base_us));
+            per_system
+                .entry(cell.system.as_str())
+                .or_default()
+                .push((pat_us, base_us));
         }
     }
     banner("Summary over shared-prefix configs (paper §8.3)");
@@ -210,8 +216,7 @@ pub fn summarize_kernel_cells(cells: &[KernelCell]) {
             .map(|(p, b)| (1.0 - p / b) * 100.0)
             .sum::<f64>()
             / pairs.len() as f64;
-        let max_speedup =
-            pairs.iter().map(|(p, b)| b / p).fold(0.0f64, f64::max);
+        let max_speedup = pairs.iter().map(|(p, b)| b / p).fold(0.0f64, f64::max);
         println!(
             "vs {system:<18} mean attention-latency reduction {mean_reduction:5.1}%   max speedup {max_speedup:5.1}x   (n={})",
             pairs.len()
@@ -252,8 +257,9 @@ pub fn kernel_equivalence(spec: &GpuSpec, batch_size: usize) -> Vec<EquivalenceR
     let blocks_per_q = 1024 / bs;
     let tables: Vec<BlockTable> = (0..batch_size)
         .map(|q| {
-            let ids: Vec<BlockId> =
-                (0..blocks_per_q as u32).map(|i| BlockId(q as u32 * 1000 + i)).collect();
+            let ids: Vec<BlockId> = (0..blocks_per_q as u32)
+                .map(|i| BlockId(q as u32 * 1000 + i))
+                .collect();
             BlockTable::new(ids, 1024, bs)
         })
         .collect();

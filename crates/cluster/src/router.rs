@@ -1,0 +1,254 @@
+//! Routing policies: which replica serves an arriving request.
+//!
+//! Routers see a read-only [`ReplicaView`] of every replica — load counters
+//! and a prefix-overlap probe against the replica's live KV cache — and pick
+//! a replica index. The probes are strictly read-only (no LRU perturbation),
+//! so a router's observations never change any replica's behavior; only its
+//! placement decision does.
+
+use serving::ServingEngine;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use workloads::Request;
+
+/// Read-only snapshot of one replica, as exposed to routers.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaView<'a> {
+    engine: &'a ServingEngine,
+}
+
+impl<'a> ReplicaView<'a> {
+    pub(crate) fn new(engine: &'a ServingEngine) -> Self {
+        ReplicaView { engine }
+    }
+
+    /// Requests routed here that have not finished (queued, prefilling,
+    /// decoding, or not yet admitted).
+    pub fn outstanding(&self) -> usize {
+        self.engine.outstanding()
+    }
+
+    /// Requests admitted but not yet decoding.
+    pub fn queue_depth(&self) -> usize {
+        self.engine.queue_depth()
+    }
+
+    /// Requests currently decoding.
+    pub fn num_active(&self) -> usize {
+        self.engine.num_active()
+    }
+
+    /// How many leading prompt tokens this replica's KV cache would serve
+    /// without recomputation. Read-only: never touches cache recency.
+    pub fn prefix_overlap_tokens(&self, prompt_tokens: &[u32]) -> usize {
+        self.engine.cache().prefix_overlap_tokens(prompt_tokens)
+    }
+}
+
+/// A request-routing policy over a fleet of replicas.
+pub trait Router: std::fmt::Debug {
+    /// Short policy name (used in metrics and bench output).
+    fn name(&self) -> &'static str;
+
+    /// Picks the replica (index into `replicas`) to serve `request`.
+    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> usize;
+}
+
+/// Cycles through replicas in order, ignoring state entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Starts the cycle at replica 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
+        let pick = self.next % replicas.len();
+        self.next = (self.next + 1) % replicas.len();
+        pick
+    }
+}
+
+/// Routes to the replica with the fewest outstanding requests (lowest index
+/// on ties).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastOutstanding;
+
+impl LeastOutstanding {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        LeastOutstanding
+    }
+}
+
+impl Router for LeastOutstanding {
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+
+    fn route(&mut self, _request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
+        least_loaded(replicas)
+    }
+}
+
+fn least_loaded(replicas: &[ReplicaView<'_>]) -> usize {
+    let mut best = 0;
+    for (i, view) in replicas.iter().enumerate().skip(1) {
+        if view.outstanding() < replicas[best].outstanding() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Consistent hashing on the request's prefix identity.
+///
+/// The shared prefix of a prompt is everything but its final (per-request
+/// unique) segment; hashing that identity onto a ring of replica virtual
+/// nodes sends all requests of one prefix family to the same replica,
+/// stabilizing placements as the fleet grows or shrinks. Skewed prefix
+/// popularity translates directly into load skew — the classic weakness the
+/// prefix-affinity policy addresses.
+#[derive(Debug, Clone)]
+pub struct ConsistentHashPrefix {
+    vnodes: usize,
+    ring: Vec<(u64, usize)>,
+    built_for: usize,
+}
+
+impl ConsistentHashPrefix {
+    /// A ring with `vnodes` virtual nodes per replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    pub fn new(vnodes: usize) -> Self {
+        assert!(vnodes > 0, "need at least one virtual node per replica");
+        ConsistentHashPrefix {
+            vnodes,
+            ring: Vec::new(),
+            built_for: 0,
+        }
+    }
+
+    fn rebuild(&mut self, replicas: usize) {
+        self.ring.clear();
+        for replica in 0..replicas {
+            for v in 0..self.vnodes {
+                let mut h = DefaultHasher::new();
+                (replica as u64, v as u64).hash(&mut h);
+                self.ring.push((h.finish(), replica));
+            }
+        }
+        self.ring.sort_unstable();
+        self.built_for = replicas;
+    }
+
+    /// Identity of the request's shared prefix: all segments except the
+    /// final one (the whole prompt when there is only one segment).
+    fn prefix_key(request: &Request) -> u64 {
+        let segments = &request.prompt.segments;
+        let shared = if segments.len() > 1 {
+            &segments[..segments.len() - 1]
+        } else {
+            segments
+        };
+        let mut h = DefaultHasher::new();
+        for seg in shared {
+            (seg.id, seg.tokens as u64).hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+impl Default for ConsistentHashPrefix {
+    fn default() -> Self {
+        ConsistentHashPrefix::new(64)
+    }
+}
+
+impl Router for ConsistentHashPrefix {
+    fn name(&self) -> &'static str {
+        "consistent-hash"
+    }
+
+    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
+        if self.built_for != replicas.len() {
+            self.rebuild(replicas.len());
+        }
+        let key = Self::prefix_key(request);
+        let at = self.ring.partition_point(|&(h, _)| h < key);
+        self.ring[at % self.ring.len()].1
+    }
+}
+
+/// Prefix-affinity routing: probe every replica's live KV cache and score
+/// `overlap_tokens − alpha · load`, where load is the replica's outstanding
+/// request count. When no replica holds a useful overlap (best overlap below
+/// `min_overlap_tokens`), falls back to least-loaded placement so cold
+/// prefixes spread across the fleet instead of piling onto replica 0.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixAffinity {
+    /// Tokens of cached overlap one outstanding request is worth.
+    pub alpha: f64,
+    /// Minimum useful overlap; below it the policy balances load instead.
+    pub min_overlap_tokens: usize,
+}
+
+impl PrefixAffinity {
+    /// The defaults used by the Fig. 18 experiment: one outstanding request
+    /// outweighs 2048 cached tokens, and anything under one KV block (16
+    /// tokens) counts as no overlap. The large `alpha` makes cache warmth a
+    /// strong tiebreak among comparably loaded replicas rather than a
+    /// license to skew load — decode steps are priced by batch size, so a
+    /// systematically deeper replica costs more TPOT than a warm cache
+    /// saves.
+    pub fn new() -> Self {
+        PrefixAffinity {
+            alpha: 2048.0,
+            min_overlap_tokens: 16,
+        }
+    }
+}
+
+impl Default for PrefixAffinity {
+    fn default() -> Self {
+        PrefixAffinity::new()
+    }
+}
+
+impl Router for PrefixAffinity {
+    fn name(&self) -> &'static str {
+        "prefix-affinity"
+    }
+
+    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
+        let prompt_tokens = request.prompt.to_tokens();
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best_overlap = 0usize;
+        for (i, view) in replicas.iter().enumerate() {
+            let overlap = view.prefix_overlap_tokens(&prompt_tokens);
+            let score = overlap as f64 - self.alpha * view.outstanding() as f64;
+            if score > best_score {
+                best = i;
+                best_score = score;
+                best_overlap = overlap;
+            }
+        }
+        if best_overlap < self.min_overlap_tokens {
+            return least_loaded(replicas);
+        }
+        best
+    }
+}

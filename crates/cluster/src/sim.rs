@@ -1,0 +1,193 @@
+//! The multi-replica cluster simulator.
+//!
+//! Instantiates N independent [`ServingEngine`] replicas — each with its own
+//! KV cache and attention backend — and co-simulates them in virtual time:
+//! before each arrival is routed, every replica is advanced to the arrival
+//! instant so the router observes loads and cache contents as they would be
+//! at that moment; the routed request is then submitted to exactly one
+//! replica. Replicas never share KV state, which is precisely why placement
+//! matters: a prefix cached on replica A is recomputed from scratch on
+//! replica B.
+
+use crate::metrics::{
+    duplicated_blocks, kv_block_bytes, load_imbalance, ClusterResult, ReplicaSummary,
+};
+use crate::router::{ReplicaView, Router};
+use pat_core::LazyPat;
+use serving::{AggregateMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome};
+use workloads::Request;
+
+/// Cluster shape: how many replicas, each running the same engine config.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of independent replicas.
+    pub replicas: usize,
+    /// Per-replica engine configuration.
+    pub engine: ServingConfig,
+}
+
+impl ClusterConfig {
+    /// `replicas` copies of `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(replicas: usize, engine: ServingConfig) -> Self {
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        ClusterConfig { replicas, engine }
+    }
+}
+
+/// A fleet of serving-engine replicas behind a routing policy.
+pub struct Cluster {
+    engines: Vec<ServingEngine>,
+    backends: Vec<Box<dyn ServingAttention>>,
+    router: Box<dyn Router>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("replicas", &self.engines.len())
+            .field("router", &self.router)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster whose replicas each get a backend from `backend`.
+    pub fn new(
+        config: &ClusterConfig,
+        router: Box<dyn Router>,
+        mut backend: impl FnMut() -> Box<dyn ServingAttention>,
+    ) -> Self {
+        assert!(config.replicas > 0, "a cluster needs at least one replica");
+        let engines = (0..config.replicas)
+            .map(|_| ServingEngine::new(config.engine.clone()))
+            .collect();
+        let backends = (0..config.replicas).map(|_| backend()).collect();
+        Cluster {
+            engines,
+            backends,
+            router,
+        }
+    }
+
+    /// A cluster of PAT ([`LazyPat`]) replicas — the common case.
+    pub fn with_lazy_pat(config: &ClusterConfig, router: Box<dyn Router>) -> Self {
+        Cluster::new(config, router, || Box::new(LazyPat::new()))
+    }
+
+    /// Advances replica `i` until its clock reaches `t_ns` or it goes idle.
+    fn advance_replica_to(&mut self, i: usize, t_ns: f64) {
+        while self.engines[i].clock_ns() < t_ns {
+            if self.engines[i].step(self.backends[i].as_mut()) == StepOutcome::Idle {
+                break;
+            }
+        }
+    }
+
+    /// Routes and serves `requests` (must be sorted by arrival), then drains
+    /// every replica and aggregates fleet metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are unsorted or the router returns an out-of-range
+    /// replica index.
+    pub fn run(mut self, requests: &[Request]) -> ClusterResult {
+        assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "requests must be sorted by arrival"
+        );
+        let n = self.engines.len();
+        let mut assignments: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
+        let mut routed = vec![0usize; n];
+        for request in requests {
+            let t_ns = request.arrival_s * 1e9;
+            // Bring the whole fleet up to the arrival instant so the router
+            // sees loads and caches as of "now", not as of the last arrival.
+            for i in 0..n {
+                self.advance_replica_to(i, t_ns);
+            }
+            let target = {
+                let views: Vec<ReplicaView<'_>> =
+                    self.engines.iter().map(ReplicaView::new).collect();
+                self.router.route(request, &views)
+            };
+            assert!(target < n, "router picked replica {target} of {n}");
+            self.engines[target].submit(request.clone());
+            assignments.push((request.id, target));
+            routed[target] += 1;
+        }
+        // Drain: run every replica to quiescence (or its drain deadline).
+        for i in 0..n {
+            while self.engines[i].step(self.backends[i].as_mut()) == StepOutcome::Progress {}
+        }
+
+        // Cache-level fleet metrics, read before finalization consumes the
+        // engines.
+        let block_bytes = kv_block_bytes(
+            &self.engines[0].config().model,
+            self.engines[0].cache().block_size(),
+        );
+        let resident: Vec<Vec<u64>> = self
+            .engines
+            .iter()
+            .map(|e| e.cache().resident_hashes().collect())
+            .collect();
+        let dup_blocks = duplicated_blocks(&resident);
+        let hit_rates: Vec<f64> = self
+            .engines
+            .iter()
+            .map(|e| e.cache().stats().hit_rate())
+            .collect();
+        let (mut hit_tokens, mut total_tokens) = (0u64, 0u64);
+        for engine in &self.engines {
+            let stats = engine.cache().stats();
+            hit_tokens += stats.hit_tokens;
+            total_tokens += stats.hit_tokens + stats.miss_tokens;
+        }
+
+        let results: Vec<_> = self
+            .engines
+            .into_iter()
+            .map(ServingEngine::into_result)
+            .collect();
+        let mut all_requests = Vec::new();
+        let (mut unfinished, mut preemptions, mut dropped) = (0usize, 0u64, 0u64);
+        for r in &results {
+            all_requests.extend_from_slice(&r.per_request);
+            unfinished += r.unfinished;
+            preemptions += r.preemptions;
+            dropped += r.dropped;
+        }
+        let per_replica = results
+            .into_iter()
+            .zip(routed.iter())
+            .zip(hit_rates)
+            .map(|((result, &routed), prefix_hit_rate)| ReplicaSummary {
+                routed,
+                prefix_hit_rate,
+                result,
+            })
+            .collect();
+        ClusterResult {
+            per_replica,
+            fleet: AggregateMetrics::from_requests(&all_requests),
+            fleet_hit_rate: if total_tokens == 0 {
+                0.0
+            } else {
+                hit_tokens as f64 / total_tokens as f64
+            },
+            load_imbalance: load_imbalance(&routed),
+            duplicated_kv_blocks: dup_blocks,
+            duplicated_kv_bytes: dup_blocks as u64 * block_bytes,
+            assignments,
+            unfinished,
+            preemptions,
+            dropped,
+        }
+    }
+}

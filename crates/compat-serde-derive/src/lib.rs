@@ -1,0 +1,278 @@
+//! Derive macros for the in-workspace `serde` stub.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input token
+//! stream is walked directly. Supported shapes — the ones this workspace
+//! uses — are structs with named fields and enums whose variants are all
+//! unit variants (serialized as their name string). Generics, tuple structs,
+//! and `#[serde(...)]` attributes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum of unit variants.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` for a named-field struct or unit enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct or unit enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             value.get(\"{f}\").unwrap_or(&::serde::Value::Null)\
+                         ).map_err(|e| ::serde::Error::custom(\
+                             ::std::format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if value.as_map().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected map for struct {name}\")));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let ::serde::Value::Str(s) = value else {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected string for enum {name}\")));\n\
+                         }};\n\
+                         match s.as_str() {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+/// Parses the derive input into a [`Shape`].
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility to reach `struct`/`enum`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + [...]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                return Err(format!("serde stub derive: unexpected token `{kw}`"));
+            }
+            other => return Err(format!("serde stub derive: unexpected token `{other}`")),
+        }
+    }
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        return Err("serde stub derive: missing type name".into());
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        return Err(format!(
+            "serde stub derive: `{name}` has no braced body (tuple/unit types unsupported)"
+        ));
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return Err(format!(
+            "serde stub derive: `{name}` must have a braced body"
+        ));
+    }
+    if is_struct {
+        Ok(Shape::Struct {
+            name,
+            fields: parse_named_fields(body.stream())?,
+        })
+    } else {
+        Ok(Shape::UnitEnum {
+            name,
+            variants: parse_unit_variants(body.stream())?,
+        })
+    }
+}
+
+/// Extracts field names from `{ attrs? vis? name: Type, ... }`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments included).
+        while matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '#') {
+            i += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            return Err(format!(
+                "serde stub derive: expected field name, found `{:?}`",
+                tokens.get(i).map(ToString::to_string)
+            ));
+        };
+        fields.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde stub derive: expected `:` after field, found `{:?}`",
+                    other.map(ToString::to_string)
+                ))
+            }
+        }
+        // Skip the type up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from `{ attrs? Name, ... }`, rejecting payloads.
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(variant)) = tokens.get(i) else {
+            return Err("serde stub derive: expected enum variant name".into());
+        };
+        variants.push(variant.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "serde stub derive: only unit enum variants are supported, found `{other}`"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,410 @@
+//! Minimal in-workspace stand-in for `serde_json`.
+//!
+//! Renders and parses the [`serde::Value`] model of the in-workspace serde
+//! stub. Floats print with Rust's shortest round-trip formatting, so
+//! `to_string` → `from_str` preserves every `f64` exactly (the guarantee the
+//! real crate's `float_roundtrip` feature provides).
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+pub use serde::Error;
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] for non-finite floats (JSON has no representation).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns [`Error`] for non-finite floats.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or shape mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::UInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Float(v) => {
+            if !v.is_finite() {
+                return Err(Error::custom("non-finite float is not valid JSON"));
+            }
+            // Rust's shortest round-trip formatting; force a decimal point so
+            // the number re-parses as a float-compatible value.
+            let _ = write!(out, "{v}");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_bracketed(out, b"[]", items.len(), indent, level, |out, i, lvl| {
+                write_value(out, &items[i], indent, lvl)
+            })?;
+        }
+        Value::Map(entries) => {
+            write_bracketed(out, b"{}", entries.len(), indent, level, |out, i, lvl| {
+                let (k, v) = &entries[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, lvl)
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn write_bracketed(
+    out: &mut String,
+    brackets: &[u8; 2],
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    mut item: impl FnMut(&mut String, usize, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
+    out.push(brackets[0] as char);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i, level + 1)?;
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(brackets[1] as char);
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `]` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `}}` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::custom(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if v <= i64::MAX as u64 {
+                        return Ok(Value::Int(-(v as i64)));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error::custom(format!("invalid number `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let v = Value::Map(vec![
+            ("id".into(), Value::UInt(3)),
+            ("arrival_s".into(), Value::Float(0.12345678901234567)),
+            ("neg".into(), Value::Int(-7)),
+            ("name".into(), Value::Str("a \"quoted\" \\ line\n".into())),
+            (
+                "seq".into(),
+                Value::Seq(vec![Value::Null, Value::Bool(true), Value::Float(1.5)]),
+            ),
+            ("empty".into(), Value::Seq(vec![])),
+        ]);
+        let compact = to_string(&v).unwrap();
+        let parsed: Value = from_str(&compact).unwrap();
+        // Integral-valued floats reparse as ints; compare numerically.
+        assert_eq!(
+            parsed.get("arrival_s").unwrap().as_f64(),
+            Some(0.12345678901234567)
+        );
+        assert_eq!(parsed.get("neg").unwrap().as_i64(), Some(-7));
+        assert_eq!(parsed.get("id").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            parsed.get("name").unwrap(),
+            &Value::Str("a \"quoted\" \\ line\n".into())
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        let reparsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [1.0 / 3.0, 1e-308, 123456.789, f64::MIN_POSITIVE, 0.59] {
+            let s = to_string(&x).unwrap();
+            let y: f64 = from_str(&s).unwrap();
+            assert_eq!(x, y, "{s}");
+        }
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(to_string(&f64::NAN).is_err());
+    }
+}

@@ -169,8 +169,14 @@ mod tests {
     #[test]
     fn retain_of_free_block_is_an_error() {
         let mut pool = BlockAllocator::new(1);
-        assert_eq!(pool.retain(BlockId(0)), Err(AllocError::NotAllocated(BlockId(0))));
-        assert_eq!(pool.retain(BlockId(9)), Err(AllocError::NotAllocated(BlockId(9))));
+        assert_eq!(
+            pool.retain(BlockId(0)),
+            Err(AllocError::NotAllocated(BlockId(0)))
+        );
+        assert_eq!(
+            pool.retain(BlockId(9)),
+            Err(AllocError::NotAllocated(BlockId(9)))
+        );
     }
 
     #[test]

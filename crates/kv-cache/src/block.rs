@@ -64,7 +64,11 @@ impl BlockTable {
             blocks.len() <= num_tokens.div_ceil(block_size),
             "trailing unused blocks are not allowed"
         );
-        BlockTable { blocks, num_tokens, block_size }
+        BlockTable {
+            blocks,
+            num_tokens,
+            block_size,
+        }
     }
 
     /// Creates an empty table for a fresh request.

@@ -113,12 +113,42 @@ impl CacheManager {
 
     /// Cached blocks held only by the cache itself (evictable on demand).
     pub fn evictable_blocks(&self) -> usize {
-        self.by_hash.values().filter(|c| self.allocator.refcount(c.block) == 1).count()
+        self.by_hash
+            .values()
+            .filter(|c| self.allocator.refcount(c.block) == 1)
+            .count()
     }
 
     /// Blocks obtainable right now: free plus evictable.
     pub fn available_blocks(&self) -> usize {
         self.allocator.free_blocks() + self.evictable_blocks()
+    }
+
+    /// Read-only probe: how many leading tokens of `tokens` would be served
+    /// from the cache if the sequence were inserted right now.
+    ///
+    /// Walks the chain hashes of full blocks without bumping recency or
+    /// statistics, so routers can repeatedly probe live replica caches
+    /// without perturbing LRU eviction order.
+    pub fn prefix_overlap_tokens(&self, tokens: &[Token]) -> usize {
+        let mut parent_hash = 0u64;
+        let mut matched = 0usize;
+        for chunk in tokens.chunks_exact(self.block_size) {
+            let h = Self::chain_hash(parent_hash, chunk);
+            if !self.by_hash.contains_key(&h) {
+                break;
+            }
+            matched += self.block_size;
+            parent_hash = h;
+        }
+        matched
+    }
+
+    /// Chain hashes of every cache-resident shareable block. Two replicas
+    /// holding the same hash store the same KV content twice — the basis of
+    /// the cluster's cross-replica duplication metric.
+    pub fn resident_hashes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.by_hash.keys().copied()
     }
 
     /// Admits a full sequence (a request's prompt), reusing cached prefix
@@ -147,7 +177,13 @@ impl CacheManager {
                     self.stats.hit_tokens += take as u64;
                 } else {
                     let block = self.allocate_with_eviction()?;
-                    self.by_hash.insert(h, CachedBlock { block, last_use: self.clock });
+                    self.by_hash.insert(
+                        h,
+                        CachedBlock {
+                            block,
+                            last_use: self.clock,
+                        },
+                    );
                     self.hash_of_block.insert(block, h);
                     // The cache holds one reference; the request another.
                     self.allocator.retain(block)?;
@@ -226,10 +262,14 @@ impl CacheManager {
             .filter(|(_, c)| self.allocator.refcount(c.block) == 1)
             .min_by_key(|(_, c)| c.last_use)
             .map(|(&h, c)| (h, c.block));
-        let Some((hash, block)) = victim else { return false };
+        let Some((hash, block)) = victim else {
+            return false;
+        };
         self.by_hash.remove(&hash);
         self.hash_of_block.remove(&block);
-        self.allocator.release(block).expect("cache-owned reference exists");
+        self.allocator
+            .release(block)
+            .expect("cache-owned reference exists");
         self.stats.evicted_blocks += 1;
         true
     }
@@ -312,7 +352,9 @@ mod tests {
         let a = cache.insert_sequence(&(0..32).collect::<Vec<_>>()).unwrap();
         cache.free_sequence(&a).unwrap();
         // Pool: 2 cached blocks; asking for 4 new ones forces eviction.
-        let b = cache.insert_sequence(&(100..164).collect::<Vec<_>>()).unwrap();
+        let b = cache
+            .insert_sequence(&(100..164).collect::<Vec<_>>())
+            .unwrap();
         assert_eq!(b.blocks().len(), 4);
         assert!(cache.stats().evicted_blocks >= 2);
     }
@@ -321,7 +363,9 @@ mod tests {
     fn exhaustion_without_evictable_blocks_errors() {
         let mut cache = CacheManager::new(2, 16);
         let _held = cache.insert_sequence(&(0..32).collect::<Vec<_>>()).unwrap();
-        let err = cache.insert_sequence(&(100..132).collect::<Vec<_>>()).unwrap_err();
+        let err = cache
+            .insert_sequence(&(100..132).collect::<Vec<_>>())
+            .unwrap_err();
         assert_eq!(err, AllocError::OutOfBlocks);
     }
 
@@ -334,6 +378,62 @@ mod tests {
         // Cached blocks are evictable again.
         assert_eq!(cache.evictable_blocks(), 2);
         assert_eq!(cache.available_blocks(), 8);
+    }
+
+    #[test]
+    fn overlap_probe_predicts_hits_without_touching_recency() {
+        let mut cache = CacheManager::new(8, 16);
+        let shared: Vec<Token> = (0..32).collect();
+        let held = cache.insert_sequence(&shared).unwrap();
+        // Full-block prefix match, divergence after 32 tokens.
+        let mut probe_tokens = shared.clone();
+        probe_tokens.extend(500..520);
+        assert_eq!(cache.prefix_overlap_tokens(&probe_tokens), 32);
+        // Partial tail never matches; unknown prefixes don't either.
+        assert_eq!(cache.prefix_overlap_tokens(&shared[..20]), 16);
+        assert_eq!(
+            cache.prefix_overlap_tokens(&(900..964).collect::<Vec<_>>()),
+            0
+        );
+        // The probe is read-only: stats and recency are untouched, so the
+        // probed blocks are still the LRU eviction victims.
+        let stats_before = cache.stats();
+        for _ in 0..100 {
+            cache.prefix_overlap_tokens(&probe_tokens);
+        }
+        assert_eq!(cache.stats(), stats_before);
+        cache.free_sequence(&held).unwrap();
+        let newer = cache
+            .insert_sequence(&(100..132).collect::<Vec<_>>())
+            .unwrap();
+        cache.prefix_overlap_tokens(&shared); // must not refresh `shared`
+                                              // 6 fresh blocks against 4 free ones: forces two LRU evictions.
+        let _fill = cache
+            .insert_sequence(&(200..296).collect::<Vec<_>>())
+            .unwrap();
+        // `shared`'s two blocks were oldest and got evicted despite probes.
+        assert_eq!(cache.prefix_overlap_tokens(&shared), 0);
+        assert_eq!(
+            cache.prefix_overlap_tokens(&(100..132).collect::<Vec<_>>()),
+            32
+        );
+        cache.free_sequence(&newer).unwrap();
+    }
+
+    #[test]
+    fn resident_hashes_enumerate_shareable_blocks() {
+        let mut cache = CacheManager::new(64, 16);
+        let table = cache.insert_sequence(&(0..40).collect::<Vec<_>>()).unwrap();
+        // Two full blocks are shareable; the 8-token tail is private.
+        assert_eq!(cache.resident_hashes().count(), 2);
+        let mut other = CacheManager::new(64, 16);
+        other.insert_sequence(&(0..40).collect::<Vec<_>>()).unwrap();
+        let mine: std::collections::HashSet<u64> = cache.resident_hashes().collect();
+        assert!(
+            other.resident_hashes().all(|h| mine.contains(&h)),
+            "content-addressed"
+        );
+        cache.free_sequence(&table).unwrap();
     }
 
     #[test]

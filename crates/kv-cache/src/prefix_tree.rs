@@ -39,7 +39,11 @@ impl PrefixNode {
 
     /// Nodes in this subtree (including self).
     pub fn num_nodes(&self) -> usize {
-        1 + self.children.iter().map(PrefixNode::num_nodes).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(PrefixNode::num_nodes)
+            .sum::<usize>()
     }
 }
 
@@ -76,7 +80,10 @@ impl PrefixForest {
     pub fn from_block_tables(tables: &[BlockTable]) -> Self {
         let queries: Vec<usize> = (0..tables.len()).collect();
         let roots = Self::build(tables, &queries, 0);
-        PrefixForest { roots, num_queries: tables.len() }
+        PrefixForest {
+            roots,
+            num_queries: tables.len(),
+        }
     }
 
     /// The first-level shared prefixes (roots).
@@ -108,7 +115,11 @@ impl PrefixForest {
     /// (the "intra-batch shared prefix coverage" numerator of §3.1).
     pub fn shared_token_coverage(&self) -> usize {
         fn walk(node: &PrefixNode) -> usize {
-            let own = if node.num_queries() > 1 { node.token_len * node.num_queries() } else { 0 };
+            let own = if node.num_queries() > 1 {
+                node.token_len * node.num_queries()
+            } else {
+                0
+            };
             own + node.children.iter().map(walk).sum::<usize>()
         }
         self.roots.iter().map(walk).sum()
@@ -155,7 +166,12 @@ impl PrefixForest {
                 let q = group[0];
                 let run: Vec<BlockId> = tables[q].blocks()[depth..].to_vec();
                 let token_len = Self::run_tokens(tables, &[q], depth, run.len());
-                nodes.push(PrefixNode { blocks: run, token_len, queries: vec![q], children: Vec::new() });
+                nodes.push(PrefixNode {
+                    blocks: run,
+                    token_len,
+                    queries: vec![q],
+                    children: Vec::new(),
+                });
                 continue;
             }
             // Longest common run among the group starting at `depth`.
@@ -173,7 +189,12 @@ impl PrefixForest {
             let run: Vec<BlockId> = tables[group[0]].blocks()[depth..depth + lcp].to_vec();
             let token_len = Self::run_tokens(tables, &group, depth, lcp);
             let children = Self::build(tables, &group, depth + lcp);
-            nodes.push(PrefixNode { blocks: run, token_len, queries: group, children });
+            nodes.push(PrefixNode {
+                blocks: run,
+                token_len,
+                queries: group,
+                children,
+            });
         }
         nodes
     }
@@ -246,7 +267,10 @@ mod tests {
         // 16 + 16 + 8 tokens, shared by both queries.
         assert_eq!(root.token_len, 40);
         assert_eq!(root.children.len(), 2);
-        assert!(root.children.iter().all(|c| c.token_len == 0 && c.is_leaf()));
+        assert!(root
+            .children
+            .iter()
+            .all(|c| c.token_len == 0 && c.is_leaf()));
         assert_eq!(forest.shared_token_coverage(), 80);
     }
 
@@ -272,8 +296,7 @@ mod tests {
 
     #[test]
     fn node_count_is_linear_in_queries() {
-        let tables: Vec<BlockTable> =
-            (0..64).map(|q| table(&[0, 1, 100 + q], 48)).collect();
+        let tables: Vec<BlockTable> = (0..64).map(|q| table(&[0, 1, 100 + q], 48)).collect();
         let forest = PrefixForest::from_block_tables(&tables);
         // One shared root + 64 leaves.
         assert_eq!(forest.num_nodes(), 65);

@@ -103,6 +103,55 @@ impl RadixCache {
         &self.allocator
     }
 
+    /// Read-only probe: length in tokens of the longest cached block-aligned
+    /// prefix of `tokens`.
+    ///
+    /// Walks the trie exactly like [`RadixCache::insert_sequence`] but never
+    /// splits edges and never bumps `last_use`, so repeated probes cannot
+    /// change LRU eviction order. A partial block-aligned match inside an
+    /// edge still counts toward the overlap (insertion would split there and
+    /// reuse the matched half).
+    pub fn longest_prefix_overlap(&self, tokens: &[Token]) -> usize {
+        let bs = self.block_size;
+        let full = tokens.len() / bs * bs;
+        let mut consumed = 0usize;
+        let mut cursor: Option<usize> = None;
+        while consumed < full {
+            let level: &[usize] = match cursor {
+                None => &self.roots,
+                Some(ix) => &self.arena[ix].children,
+            };
+            let probe = &tokens[consumed..full];
+            let best = level
+                .iter()
+                .copied()
+                .filter(|&c| !self.arena[c].dead)
+                .map(|c| {
+                    let common = self.arena[c]
+                        .tokens
+                        .iter()
+                        .zip(probe.iter())
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    (c, common / bs * bs)
+                })
+                .max_by_key(|&(_, cp)| cp);
+            let Some((ix, cp)) = best else { break };
+            if cp == 0 {
+                break;
+            }
+            consumed += cp;
+            if cp < self.arena[ix].tokens.len() {
+                // Matched a strict prefix of this edge: descending further
+                // would require a split, which a read-only walk must not do —
+                // and the remainder cannot match the edge's suffix anyway.
+                break;
+            }
+            cursor = Some(ix);
+        }
+        consumed
+    }
+
     /// Admits a sequence, reusing the longest cached block-aligned prefix and
     /// inserting the remainder as a new trie edge. The returned table's
     /// blocks are retained for the caller (release with
@@ -217,7 +266,7 @@ impl RadixCache {
     /// the original children.
     fn split_edge(&mut self, ix: usize, cp: usize) {
         let bs = self.block_size;
-        debug_assert!(cp % bs == 0 && cp > 0 && cp < self.arena[ix].tokens.len());
+        debug_assert!(cp.is_multiple_of(bs) && cp > 0 && cp < self.arena[ix].tokens.len());
         let suffix_tokens = self.arena[ix].tokens.split_off(cp);
         let suffix_blocks = self.arena[ix].blocks.split_off(cp / bs);
         let old_children = std::mem::take(&mut self.arena[ix].children);
@@ -349,7 +398,9 @@ mod tests {
         let mut cache = RadixCache::new(4, 16);
         let a = cache.insert_sequence(&(0..32).collect::<Vec<_>>()).unwrap();
         cache.free_sequence(&a).unwrap();
-        let b = cache.insert_sequence(&(100..164).collect::<Vec<_>>()).unwrap();
+        let b = cache
+            .insert_sequence(&(100..164).collect::<Vec<_>>())
+            .unwrap();
         assert_eq!(b.blocks().len(), 4);
         assert!(cache.stats().evicted_blocks >= 2);
     }
@@ -360,7 +411,9 @@ mod tests {
         let held = cache.insert_sequence(&(0..32).collect::<Vec<_>>()).unwrap();
         // Pool: 2 used (rc 2) + 1 free. Asking for 2 blocks must fail: the
         // held edge cannot be evicted.
-        let err = cache.insert_sequence(&(100..132).collect::<Vec<_>>()).unwrap_err();
+        let err = cache
+            .insert_sequence(&(100..132).collect::<Vec<_>>())
+            .unwrap_err();
         assert_eq!(err, AllocError::OutOfBlocks);
         drop(held);
     }
@@ -381,7 +434,9 @@ mod tests {
         // a new 4-block request must evict child edges, never the parent
         // while `tb` still references it... parent blocks have rc 2 (cache +
         // tb), so they are ineligible anyway; the freed child (rc 1) goes.
-        let tc = cache.insert_sequence(&(300..364).collect::<Vec<_>>()).unwrap();
+        let tc = cache
+            .insert_sequence(&(300..364).collect::<Vec<_>>())
+            .unwrap();
         assert_eq!(tc.blocks().len(), 4);
         // tb's prefix is still intact and reusable.
         let tb2 = cache.insert_sequence(&b).unwrap();
@@ -406,6 +461,52 @@ mod tests {
     }
 
     #[test]
+    fn overlap_probe_matches_insertion_hits() {
+        let mut cache = RadixCache::new(256, 16);
+        let base: Vec<Token> = (0..64).collect();
+        let t = cache.insert_sequence(&base).unwrap();
+        // Exact prefix, mid-edge block-aligned prefix, and divergence.
+        assert_eq!(cache.longest_prefix_overlap(&base), 64);
+        assert_eq!(cache.longest_prefix_overlap(&base[..32]), 32);
+        let mut diverging = base[..32].to_vec();
+        diverging.extend(900..932);
+        assert_eq!(cache.longest_prefix_overlap(&diverging), 32);
+        assert_eq!(
+            cache.longest_prefix_overlap(&(500..564).collect::<Vec<_>>()),
+            0
+        );
+        // Partial final block never counts: sharing is block-aligned.
+        assert_eq!(cache.longest_prefix_overlap(&base[..40]), 32);
+        // The probe predicts exactly the hit tokens a real insert then sees.
+        let before = cache.stats().hit_tokens;
+        let td = cache.insert_sequence(&diverging).unwrap();
+        assert_eq!(cache.stats().hit_tokens - before, 32);
+        cache.free_sequence(&t).unwrap();
+        cache.free_sequence(&td).unwrap();
+    }
+
+    #[test]
+    fn overlap_probe_is_read_only() {
+        let mut cache = RadixCache::new(256, 16);
+        let tokens: Vec<Token> = (0..64).collect();
+        let t = cache.insert_sequence(&tokens).unwrap();
+        let arena_len = cache.arena.len();
+        let recency: Vec<u64> = cache.arena.iter().map(|n| n.last_use).collect();
+        let mut mid_edge = tokens[..32].to_vec();
+        mid_edge.extend(700..732);
+        for _ in 0..50 {
+            cache.longest_prefix_overlap(&tokens);
+            cache.longest_prefix_overlap(&mid_edge);
+        }
+        // No edges were split (the mid-edge probe would have) and no
+        // recency was bumped.
+        assert_eq!(cache.arena.len(), arena_len, "probe must not split edges");
+        let after: Vec<u64> = cache.arena.iter().map(|n| n.last_use).collect();
+        assert_eq!(after, recency, "probe must not touch LRU state");
+        cache.free_sequence(&t).unwrap();
+    }
+
+    #[test]
     fn arena_slots_are_recycled() {
         let mut cache = RadixCache::new(2, 16);
         for i in 0..20u32 {
@@ -415,7 +516,11 @@ mod tests {
         }
         // 20 distinct 2-block edges through a 2-block pool: every insert
         // evicts the previous edge and recycles its slot.
-        assert!(cache.arena.len() <= 3, "arena grew to {}", cache.arena.len());
+        assert!(
+            cache.arena.len() <= 3,
+            "arena grew to {}",
+            cache.arena.len()
+        );
         assert_eq!(cache.stats().evicted_blocks, 19 * 2);
     }
 }

@@ -22,17 +22,26 @@ pub fn pat_compute() -> PatBackend {
 
 /// PAT-naive: packs each tree-structure block-table node into a CTA.
 pub fn pat_naive() -> PatBackend {
-    PatBackend::with_config(PatConfig { packing: PackingPolicy::Naive, ..PatConfig::default() })
+    PatBackend::with_config(PatConfig {
+        packing: PackingPolicy::Naive,
+        ..PatConfig::default()
+    })
 }
 
 /// PAT-fixed: single fixed tile configuration (64, 128) as in FlashAttention.
 pub fn pat_fixed() -> PatBackend {
-    PatBackend::with_config(PatConfig { multi_tile: false, ..PatConfig::default() })
+    PatBackend::with_config(PatConfig {
+        multi_tile: false,
+        ..PatConfig::default()
+    })
 }
 
 /// PAT-serial: serial multi-kernel execution as in FastTree.
 pub fn pat_serial() -> PatBackend {
-    PatBackend::with_config(PatConfig { multi_stream: false, ..PatConfig::default() })
+    PatBackend::with_config(PatConfig {
+        multi_stream: false,
+        ..PatConfig::default()
+    })
 }
 
 /// All four ablations, labelled as in Fig. 14.
@@ -97,7 +106,10 @@ mod tests {
         let spec = GpuSpec::a100_sxm4_80gb();
         let traffic = |b: &PatBackend| {
             let plan = b.plan(&batch, &spec);
-            simulate_plan(&batch, &plan, &spec).unwrap().traffic.total_dram_bytes()
+            simulate_plan(&batch, &plan, &spec)
+                .unwrap()
+                .traffic
+                .total_dram_bytes()
         };
         assert!(traffic(&pat_naive()) > traffic(&pat()));
     }

@@ -4,7 +4,9 @@ use crate::packer::{enforce_row_limit, pack_forest, Pack};
 use crate::selector::TileSelector;
 use crate::split::split_long_kv;
 use crate::tiles::TileSolver;
-use attn_kernel::{AttentionBackend, CtaPlan, DecodeBatch, KernelPlan, KvSlice, L2Affinity, TileConfig};
+use attn_kernel::{
+    AttentionBackend, CtaPlan, DecodeBatch, KernelPlan, KvSlice, L2Affinity, TileConfig,
+};
 use kv_cache::{PrefixForest, PrefixNode};
 use sim_gpu::GpuSpec;
 
@@ -109,18 +111,17 @@ impl PatBackend {
 
     /// The forward-stage planning: packs → CTAs with tiles and streams.
     /// Used directly by the lazy-update scheduler with cached packs.
-    pub fn finish_plan(
-        &self,
-        batch: &DecodeBatch,
-        packs: Vec<Pack>,
-        spec: &GpuSpec,
-    ) -> KernelPlan {
+    pub fn finish_plan(&self, batch: &DecodeBatch, packs: Vec<Pack>, spec: &GpuSpec) -> KernelPlan {
         let head = batch.head();
         let g = head.group_size();
         let selector = TileSelector::new(
             TileSolver::new(spec.clone(), head.head_dim(), batch.dtype_bytes()).feasible_tiles(),
         );
-        let max_m = if self.config.multi_tile { selector.max_m() } else { self.config.fixed_tile.m };
+        let max_m = if self.config.multi_tile {
+            selector.max_m()
+        } else {
+            self.config.fixed_tile.m
+        };
         let mut packs = enforce_row_limit(packs, g, max_m);
         if self.config.long_kv_split {
             // Splitting exists to fill idle SMs (§6); once the device is
@@ -137,7 +138,9 @@ impl PatBackend {
             .map(|pack| {
                 let rows = pack.queries.len() * g;
                 let tile = if self.config.multi_tile {
-                    selector.select(rows, pack.tokens).expect("row limit enforced")
+                    selector
+                        .select(rows, pack.tokens)
+                        .expect("row limit enforced")
                 } else {
                     self.config.fixed_tile
                 };
@@ -205,7 +208,11 @@ impl PatBackend {
 
 impl AttentionBackend for PatBackend {
     fn name(&self) -> &str {
-        match (self.config.packing, self.config.multi_tile, self.config.multi_stream) {
+        match (
+            self.config.packing,
+            self.config.multi_tile,
+            self.config.multi_stream,
+        ) {
             (PackingPolicy::MemoryProfit, true, true) => "PAT",
             (PackingPolicy::ComputeCost, _, _) => "PAT-compute",
             (PackingPolicy::Naive, _, _) => "PAT-naive",
@@ -264,7 +271,12 @@ fn compute_pack(forest: &PrefixForest, group_size: usize) -> Vec<Pack> {
         let child_depth = node_depth + node.blocks.len();
         if node.is_leaf() {
             if tokens > 0 {
-                packs.push(Pack { queries: node.queries.clone(), blocks, tokens, start });
+                packs.push(Pack {
+                    queries: node.queries.clone(),
+                    blocks,
+                    tokens,
+                    start,
+                });
             }
             return;
         }
@@ -285,7 +297,12 @@ fn compute_pack(forest: &PrefixForest, group_size: usize) -> Vec<Pack> {
             }
         }
         if !remaining.is_empty() && tokens > 0 {
-            packs.push(Pack { queries: remaining, blocks, tokens, start });
+            packs.push(Pack {
+                queries: remaining,
+                blocks,
+                tokens,
+                start,
+            });
         }
     }
     let mut packs = Vec::new();
@@ -345,15 +362,31 @@ mod tests {
         let store = KvStore::synthetic_for(&batch, 4);
         let want = reference_output(&batch, &acts, &store);
         for config in [
-            PatConfig { packing: PackingPolicy::ComputeCost, ..PatConfig::default() },
-            PatConfig { packing: PackingPolicy::Naive, ..PatConfig::default() },
-            PatConfig { multi_tile: false, ..PatConfig::default() },
-            PatConfig { multi_stream: false, ..PatConfig::default() },
-            PatConfig { long_kv_split: false, ..PatConfig::default() },
+            PatConfig {
+                packing: PackingPolicy::ComputeCost,
+                ..PatConfig::default()
+            },
+            PatConfig {
+                packing: PackingPolicy::Naive,
+                ..PatConfig::default()
+            },
+            PatConfig {
+                multi_tile: false,
+                ..PatConfig::default()
+            },
+            PatConfig {
+                multi_stream: false,
+                ..PatConfig::default()
+            },
+            PatConfig {
+                long_kv_split: false,
+                ..PatConfig::default()
+            },
         ] {
             let backend = PatBackend::with_config(config);
             let plan = backend.plan(&batch, &spec);
-            plan.validate(&batch).unwrap_or_else(|e| panic!("{config:?}: {e}"));
+            plan.validate(&batch)
+                .unwrap_or_else(|e| panic!("{config:?}: {e}"));
             let got = execute_numeric(&batch, &acts, &store, &plan).unwrap();
             assert!(got.max_abs_diff(&want) < 1e-4, "{config:?}");
         }
@@ -417,10 +450,15 @@ mod tests {
     #[test]
     fn backend_names_reflect_configuration() {
         assert_eq!(PatBackend::new().name(), "PAT");
-        let fixed = PatBackend::with_config(PatConfig { multi_tile: false, ..Default::default() });
+        let fixed = PatBackend::with_config(PatConfig {
+            multi_tile: false,
+            ..Default::default()
+        });
         assert_eq!(fixed.name(), "PAT-fixed");
-        let serial =
-            PatBackend::with_config(PatConfig { multi_stream: false, ..Default::default() });
+        let serial = PatBackend::with_config(PatConfig {
+            multi_stream: false,
+            ..Default::default()
+        });
         assert_eq!(serial.name(), "PAT-serial");
     }
 }

@@ -44,7 +44,10 @@ pub fn packing_cost(packs: &[Pack], num_queries: usize) -> f64 {
 /// Panics if the forest has more than 20 internal edges (4^10+ candidates).
 pub fn exact_pack(forest: &PrefixForest, num_queries: usize) -> (Vec<Pack>, f64) {
     let edges: usize = count_internal_edges(forest);
-    assert!(edges <= 20, "exact packing is exponential; {edges} edges is too many");
+    assert!(
+        edges <= 20,
+        "exact packing is exponential; {edges} edges is too many"
+    );
     let combos = 1u64 << edges;
     let mut best: Option<(Vec<Pack>, f64)> = None;
     for mask in 0..combos {
@@ -86,7 +89,12 @@ fn assemble(
     let child_depth = node_depth + node.blocks.len();
     if node.is_leaf() {
         if tokens > 0 {
-            packs.push(Pack { queries: node.queries.clone(), blocks, tokens, start });
+            packs.push(Pack {
+                queries: node.queries.clone(),
+                blocks,
+                tokens,
+                start,
+            });
         }
         return;
     }
@@ -102,7 +110,12 @@ fn assemble(
         }
     }
     if !remaining.is_empty() && tokens > 0 {
-        packs.push(Pack { queries: remaining, blocks, tokens, start });
+        packs.push(Pack {
+            queries: remaining,
+            blocks,
+            tokens,
+            start,
+        });
     }
 }
 
@@ -136,23 +149,33 @@ mod tests {
     fn small_cases() -> Vec<Vec<Vec<u32>>> {
         let mut cases = Vec::new();
         // Long root, leaves split (Scheme 1 everywhere).
-        cases.push((0..4u32).map(|q| {
-            let mut ids: Vec<u32> = (0..8).collect();
-            ids.push(100 + q);
-            ids
-        }).collect());
+        cases.push(
+            (0..4u32)
+                .map(|q| {
+                    let mut ids: Vec<u32> = (0..8).collect();
+                    ids.push(100 + q);
+                    ids
+                })
+                .collect(),
+        );
         // Short root over two 5-query groups (Scheme 2 at the root).
-        cases.push((0..10u32).map(|q| {
-            vec![0, 100 + (q / 5) * 50, 101 + (q / 5) * 50, 1000 + q]
-        }).collect());
+        cases.push(
+            (0..10u32)
+                .map(|q| vec![0, 100 + (q / 5) * 50, 101 + (q / 5) * 50, 1000 + q])
+                .collect(),
+        );
         // Three-level tree with clear-cut decisions (long root).
-        cases.push((0..8u32).map(|q| {
-            let mut ids: Vec<u32> = (0..8).collect();
-            ids.push(10 + q / 4);
-            ids.push(20 + q / 2);
-            ids.push(1000 + q);
-            ids
-        }).collect());
+        cases.push(
+            (0..8u32)
+                .map(|q| {
+                    let mut ids: Vec<u32> = (0..8).collect();
+                    ids.push(10 + q / 4);
+                    ids.push(20 + q / 2);
+                    ids.push(1000 + q);
+                    ids
+                })
+                .collect(),
+        );
         // No sharing.
         cases.push((0..3u32).map(|q| vec![q * 10, q * 10 + 1]).collect());
         cases
@@ -191,9 +214,7 @@ mod tests {
         let heuristic = heuristic_cost(&forest, n);
         assert!(heuristic > exact, "heuristic {heuristic} vs exact {exact}");
         // The optimum has no root-only pack: block 0 merged into both groups.
-        assert!(best_packs
-            .iter()
-            .all(|p| p.blocks != vec![BlockId(0)]));
+        assert!(best_packs.iter().all(|p| p.blocks != vec![BlockId(0)]));
         // ...and the loss is bounded by the parent's length (16 tokens).
         assert!(heuristic - exact <= 16.0 + 1e-9);
     }
@@ -216,9 +237,24 @@ mod tests {
 
     #[test]
     fn cost_counts_intermediates_for_split_queries() {
-        let pack1 = Pack { queries: vec![0, 1], blocks: vec![BlockId(0)], tokens: 16, start: 0 };
-        let pack2 = Pack { queries: vec![0], blocks: vec![BlockId(1)], tokens: 16, start: 1 };
-        let pack3 = Pack { queries: vec![1], blocks: vec![BlockId(2)], tokens: 16, start: 1 };
+        let pack1 = Pack {
+            queries: vec![0, 1],
+            blocks: vec![BlockId(0)],
+            tokens: 16,
+            start: 0,
+        };
+        let pack2 = Pack {
+            queries: vec![0],
+            blocks: vec![BlockId(1)],
+            tokens: 16,
+            start: 1,
+        };
+        let pack3 = Pack {
+            queries: vec![1],
+            blocks: vec![BlockId(2)],
+            tokens: 16,
+            start: 1,
+        };
         let cost = packing_cost(&[pack1, pack2, pack3], 2);
         // 48 tokens of KV + each query in 2 packs spills 1 intermediate (4).
         assert!((cost - (48.0 + 8.0)).abs() < 1e-9, "{cost}");

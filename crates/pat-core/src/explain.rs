@@ -36,7 +36,11 @@ impl fmt::Display for PackDecision {
             self.child_queries,
             if self.merged { ">" } else { "<=" },
             self.parent_tokens,
-            if self.merged { "merge (Scheme 2)" } else { "split (Scheme 1)" },
+            if self.merged {
+                "merge (Scheme 2)"
+            } else {
+                "split (Scheme 1)"
+            },
         )
     }
 }
@@ -144,11 +148,19 @@ mod tests {
             rows.push(vec![0, 200, 201, 2000 + q]);
         }
         let decisions = explain_pack(&batch(rows));
-        let root_decisions: Vec<&PackDecision> =
-            decisions.iter().filter(|d| d.parent_path.is_empty()).collect();
+        let root_decisions: Vec<&PackDecision> = decisions
+            .iter()
+            .filter(|d| d.parent_path.is_empty())
+            .collect();
         assert_eq!(root_decisions.len(), 2);
-        let five = root_decisions.iter().find(|d| d.child_queries == 5).unwrap();
-        let three = root_decisions.iter().find(|d| d.child_queries == 3).unwrap();
+        let five = root_decisions
+            .iter()
+            .find(|d| d.child_queries == 5)
+            .unwrap();
+        let three = root_decisions
+            .iter()
+            .find(|d| d.child_queries == 3)
+            .unwrap();
         assert!(five.merged);
         assert!(!three.merged);
     }
@@ -166,13 +178,20 @@ mod tests {
     #[test]
     fn merged_parents_propagate_tokens_downward() {
         let decisions = explain_pack(&two_merged_groups());
-        let roots: Vec<&PackDecision> =
-            decisions.iter().filter(|d| d.parent_path.is_empty()).collect();
+        let roots: Vec<&PackDecision> = decisions
+            .iter()
+            .filter(|d| d.parent_path.is_empty())
+            .collect();
         assert_eq!(roots.len(), 2);
-        assert!(roots.iter().all(|d| d.merged), "4*5 > 16 merges both groups");
+        assert!(
+            roots.iter().all(|d| d.merged),
+            "4*5 > 16 merges both groups"
+        );
         // Group nodes own 2 blocks (32 tokens) + inherited 16 = 48.
-        let nested: Vec<&PackDecision> =
-            decisions.iter().filter(|d| d.parent_path.len() == 1).collect();
+        let nested: Vec<&PackDecision> = decisions
+            .iter()
+            .filter(|d| d.parent_path.len() == 1)
+            .collect();
         assert!(!nested.is_empty());
         assert!(nested.iter().all(|d| d.parent_tokens == 48), "{nested:?}");
     }

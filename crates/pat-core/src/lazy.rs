@@ -74,7 +74,11 @@ impl LazyPat {
 
     /// Creates a lazy scheduler around a configured backend.
     pub fn with_backend(backend: PatBackend) -> Self {
-        LazyPat { backend, cached: None, stats: LazyStats::default() }
+        LazyPat {
+            backend,
+            cached: None,
+            stats: LazyStats::default(),
+        }
     }
 
     /// The wrapped backend.
@@ -178,7 +182,10 @@ mod tests {
         let spec = GpuSpec::a100_sxm4_80gb();
         let mut lazy = LazyPat::new();
         lazy.plan(&batch(&[(&[0, 1], 32), (&[0, 2], 32)]), &spec);
-        lazy.plan(&batch(&[(&[0, 1], 32), (&[0, 2], 32), (&[0, 3], 32)]), &spec);
+        lazy.plan(
+            &batch(&[(&[0, 1], 32), (&[0, 2], 32), (&[0, 3], 32)]),
+            &spec,
+        );
         lazy.plan(&batch(&[(&[0, 1], 32)]), &spec);
         assert_eq!(lazy.stats().misses, 3);
     }

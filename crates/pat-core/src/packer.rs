@@ -99,7 +99,12 @@ fn tree_heuristic(
         // Pack the query's (inherited +) non-shared KV into one CTA; a query
         // whose KV is fully covered by ancestors contributes no CTA.
         if tokens > 0 {
-            packs.push(Pack { queries: node.queries.clone(), blocks, tokens, start });
+            packs.push(Pack {
+                queries: node.queries.clone(),
+                blocks,
+                tokens,
+                start,
+            });
         }
         return;
     }
@@ -118,7 +123,12 @@ fn tree_heuristic(
         }
     }
     if !remaining.is_empty() && tokens > 0 {
-        packs.push(Pack { queries: remaining, blocks, tokens, start });
+        packs.push(Pack {
+            queries: remaining,
+            blocks,
+            tokens,
+            start,
+        });
     }
 }
 
@@ -126,7 +136,10 @@ fn tree_heuristic(
 /// largest feasible Q tile, duplicating the KV run per chunk (§5.2's m
 /// round-up rule presumes packs fit one CTA).
 pub fn enforce_row_limit(packs: Vec<Pack>, group_size: usize, max_m: usize) -> Vec<Pack> {
-    assert!(group_size > 0 && max_m >= group_size, "max_m must hold one query's rows");
+    assert!(
+        group_size > 0 && max_m >= group_size,
+        "max_m must hold one query's rows"
+    );
     let per_cta = max_m / group_size;
     let mut out = Vec::with_capacity(packs.len());
     for pack in packs {
@@ -212,7 +225,7 @@ mod tests {
         let tables: Vec<BlockTable> = (0..16)
             .map(|q| {
                 let mut ids: Vec<u32> = vec![0];
-                let side = (q / 8) as u32;
+                let side = q / 8;
                 ids.extend(100 + side * 10..100 + side * 10 + 4);
                 ids.push(1000 + q);
                 table(&ids, 6 * 16)
@@ -224,15 +237,16 @@ mod tests {
         // Root merged into both children: no pack holds ONLY block 0, and
         // two packs hold root + child-level blocks (5 blocks, 8 queries).
         assert!(packs.iter().all(|p| p.blocks != vec![BlockId(0)]));
-        let merged: Vec<&Pack> =
-            packs.iter().filter(|p| p.blocks.len() == 5 && p.queries.len() == 8).collect();
+        let merged: Vec<&Pack> = packs
+            .iter()
+            .filter(|p| p.blocks.len() == 5 && p.queries.len() == 8)
+            .collect();
         assert_eq!(merged.len(), 2);
     }
 
     #[test]
     fn no_sharing_degenerates_to_one_query_per_cta() {
-        let tables: Vec<BlockTable> =
-            (0..8).map(|q| table(&[q * 100, q * 100 + 1], 32)).collect();
+        let tables: Vec<BlockTable> = (0..8).map(|q| table(&[q * 100, q * 100 + 1], 32)).collect();
         let b = batch(tables);
         let packs = pack_batch(&b);
         assert_exact_coverage(&b, &packs);
@@ -259,7 +273,9 @@ mod tests {
         let packs = pack_batch(&b);
         assert_exact_coverage(&b, &packs);
         // The 128-token root: 4*8 = 32 < 128 for halves -> split at root.
-        assert!(packs.iter().any(|p| p.queries.len() == 16 && p.tokens == 128));
+        assert!(packs
+            .iter()
+            .any(|p| p.queries.len() == 16 && p.tokens == 128));
     }
 
     #[test]
@@ -270,7 +286,11 @@ mod tests {
         for p in &packs {
             for &q in &p.queries {
                 for (i, &blk) in p.blocks.iter().enumerate() {
-                    assert_eq!(b.tables()[q].blocks()[p.start + i], blk, "pack start offset");
+                    assert_eq!(
+                        b.tables()[q].blocks()[p.start + i],
+                        blk,
+                        "pack start offset"
+                    );
                 }
             }
         }
@@ -284,8 +304,12 @@ mod tests {
 
     #[test]
     fn row_limit_duplicates_kv_for_oversized_packs() {
-        let pack =
-            Pack { queries: (0..40).collect(), blocks: vec![BlockId(0)], tokens: 16, start: 0 };
+        let pack = Pack {
+            queries: (0..40).collect(),
+            blocks: vec![BlockId(0)],
+            tokens: 16,
+            start: 0,
+        };
         let out = enforce_row_limit(vec![pack], 4, 128); // 32 queries per CTA
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].queries.len(), 32);

@@ -78,7 +78,9 @@ pub fn derive_n_rule(spec: &GpuSpec, head: HeadConfig, feasible_n: &[usize]) -> 
         for &n in &candidates {
             let tile = TileConfig::new(16, n);
             let plan = uniform_plan(&batch, tile);
-            let ns = simulate_plan(&batch, &plan, spec).expect("valid sweep plan").forward_ns;
+            let ns = simulate_plan(&batch, &plan, spec)
+                .expect("valid sweep plan")
+                .forward_ns;
             // Prefer the LARGER tile on ties within 1% (the paper's rule:
             // larger n lowers concurrency pressure on long KV).
             let better = match best {
@@ -116,8 +118,9 @@ fn mixed_batch(head: HeadConfig, batch_size: usize, kv: usize) -> DecodeBatch {
         .map(|q| {
             let len = (kv / 2 + q * kv / batch_size).max(bs);
             let blocks = len.div_ceil(bs);
-            let ids: Vec<BlockId> =
-                (0..blocks as u32).map(|i| BlockId(q as u32 * 100_000 + i)).collect();
+            let ids: Vec<BlockId> = (0..blocks as u32)
+                .map(|i| BlockId(q as u32 * 100_000 + i))
+                .collect();
             BlockTable::new(ids, len, bs)
         })
         .collect();
@@ -171,8 +174,12 @@ mod tests {
         let spec = GpuSpec::a100_sxm4_80gb();
         let head = HeadConfig::new(32, 8, 128);
         let solver = TileSolver::new(spec.clone(), head.head_dim(), 2);
-        let feasible_n: Vec<usize> =
-            solver.feasible_tiles().iter().filter(|t| t.m == 16).map(|t| t.n).collect();
+        let feasible_n: Vec<usize> = solver
+            .feasible_tiles()
+            .iter()
+            .filter(|t| t.m == 16)
+            .map(|t| t.n)
+            .collect();
         let rule = derive_n_rule(&spec, head, &feasible_n);
         // Monotone: n never shrinks as KV grows.
         let mut prev = 0;

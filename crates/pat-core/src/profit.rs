@@ -61,10 +61,17 @@ pub fn should_merge_child(child_queries: usize, parent_len: usize) -> bool {
 
 /// Scheme-1 (split) profit of a parent `u` with children (Eq. 1), in
 /// token·d units: `(s_u−1)·l_u − 4·s_u + Σ_i (s_i−1)·l_i`.
-pub fn scheme1_profit(parent_queries: usize, parent_len: usize, children: &[(usize, usize)]) -> f64 {
+pub fn scheme1_profit(
+    parent_queries: usize,
+    parent_len: usize,
+    children: &[(usize, usize)],
+) -> f64 {
     let s_u = parent_queries as f64;
     let own = (s_u - 1.0) * parent_len as f64 - 4.0 * s_u;
-    let kids: f64 = children.iter().map(|&(s, l)| (s as f64 - 1.0) * l as f64).sum();
+    let kids: f64 = children
+        .iter()
+        .map(|&(s, l)| (s as f64 - 1.0) * l as f64)
+        .sum();
     own + kids
 }
 

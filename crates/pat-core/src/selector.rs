@@ -43,10 +43,20 @@ impl TileSelector {
     ///
     /// Panics if `feasible` is empty.
     pub fn new(feasible: Vec<TileConfig>) -> Self {
-        assert!(!feasible.is_empty(), "selector needs a non-empty tile suite");
-        let m_options: Vec<usize> =
-            feasible.iter().map(|t| t.m).collect::<BTreeSet<_>>().into_iter().collect();
-        TileSelector { feasible, m_options }
+        assert!(
+            !feasible.is_empty(),
+            "selector needs a non-empty tile suite"
+        );
+        let m_options: Vec<usize> = feasible
+            .iter()
+            .map(|t| t.m)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        TileSelector {
+            feasible,
+            m_options,
+        }
     }
 
     /// The feasible suite.
@@ -83,14 +93,17 @@ impl TileSelector {
         // Largest feasible n ≤ cap for this m; fall back to the smallest
         // available n when the cap excludes everything (e.g. m=64 has no
         // n=16 tile on A100).
-        let mut candidates: Vec<usize> =
-            self.feasible.iter().filter(|t| t.m == m).map(|t| t.n).collect();
+        let mut candidates: Vec<usize> = self
+            .feasible
+            .iter()
+            .filter(|t| t.m == m)
+            .map(|t| t.n)
+            .collect();
         candidates.sort_unstable();
         let n = candidates
             .iter()
             .copied()
-            .filter(|&n| n <= cap)
-            .next_back()
+            .rfind(|&n| n <= cap)
             .or_else(|| candidates.first().copied())?;
         Some(TileConfig::new(m, n))
     }

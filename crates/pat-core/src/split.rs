@@ -103,7 +103,11 @@ mod tests {
         assert!(out.len() > 3);
         for p in out.iter().filter(|p| p.queries == vec![0]) {
             // Parts sized to ceil(len/parts) blocks stay near the mean.
-            assert!((p.tokens as f64) <= mean + 16.0, "part of {} tokens", p.tokens);
+            assert!(
+                (p.tokens as f64) <= mean + 16.0,
+                "part of {} tokens",
+                p.tokens
+            );
         }
     }
 
@@ -114,7 +118,11 @@ mod tests {
         let out = split_long_kv(packs, 16);
         assert_eq!(total_tokens(&out), before);
         // Partial final block stays in exactly one part.
-        let q0_tokens: usize = out.iter().filter(|p| p.queries == vec![0]).map(|p| p.tokens).sum();
+        let q0_tokens: usize = out
+            .iter()
+            .filter(|p| p.queries == vec![0])
+            .map(|p| p.tokens)
+            .sum();
         assert_eq!(q0_tokens, 1590);
     }
 

@@ -86,7 +86,11 @@ impl TileSolver {
     /// Panics if `head_dim` or `dtype_bytes` is zero.
     pub fn new(spec: GpuSpec, head_dim: usize, dtype_bytes: usize) -> Self {
         assert!(head_dim > 0 && dtype_bytes > 0, "geometry must be positive");
-        TileSolver { spec, head_dim, dtype_bytes }
+        TileSolver {
+            spec,
+            head_dim,
+            dtype_bytes,
+        }
     }
 
     /// The device this solver targets.
@@ -99,7 +103,11 @@ impl TileSolver {
         // ③ CUTLASS shape requirements.
         let pow2 = |x: usize| x.is_power_of_two();
         if !pow2(tile.m) || !pow2(tile.n) || tile.m < 16 || tile.n < 16 {
-            return TileVerdict { tile, ctas_per_sm: 0, violated: Some(TileConstraint::Cutlass) };
+            return TileVerdict {
+                tile,
+                ctas_per_sm: 0,
+                violated: Some(TileConstraint::Cutlass),
+            };
         }
         // ① resource limits via the occupancy calculator.
         let occupancy = Occupancy::new(self.spec.clone());
@@ -119,9 +127,17 @@ impl TileSolver {
             * c as f64
             * tile.rate_cap(&self.spec, self.head_dim, self.dtype_bytes);
         if device_rate < self.spec.global_bandwidth {
-            return TileVerdict { tile, ctas_per_sm: c, violated: Some(TileConstraint::Bandwidth) };
+            return TileVerdict {
+                tile,
+                ctas_per_sm: c,
+                violated: Some(TileConstraint::Bandwidth),
+            };
         }
-        TileVerdict { tile, ctas_per_sm: c, violated: None }
+        TileVerdict {
+            tile,
+            ctas_per_sm: c,
+            violated: None,
+        }
     }
 
     /// Judges the full grid (the Fig. 8b table).
@@ -147,7 +163,10 @@ impl TileSolver {
     /// Renders the Fig. 8b feasibility table.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{} (h={}, b={}):\n", self.spec.name, self.head_dim, self.dtype_bytes));
+        out.push_str(&format!(
+            "{} (h={}, b={}):\n",
+            self.spec.name, self.head_dim, self.dtype_bytes
+        ));
         out.push_str("        ");
         for &n in &TILE_GRID {
             out.push_str(&format!(" n={n:<5}"));
@@ -186,7 +205,12 @@ mod tests {
     #[test]
     fn a100_feasible_set_matches_figure_8b() {
         let tiles = a100().feasible_tiles();
-        assert_eq!(tiles.len(), 11, "paper reports 11 available configs:\n{}", a100().render_table());
+        assert_eq!(
+            tiles.len(),
+            11,
+            "paper reports 11 available configs:\n{}",
+            a100().render_table()
+        );
         // All m=16 and m=32 configs are feasible.
         for m in [16, 32] {
             for n in TILE_GRID {
@@ -206,7 +230,12 @@ mod tests {
     fn h100_removes_64_32_and_64_64() {
         let a = a100().feasible_tiles();
         let h = h100().feasible_tiles();
-        assert_eq!(h.len(), 9, "paper: A100 set minus two:\n{}", h100().render_table());
+        assert_eq!(
+            h.len(),
+            9,
+            "paper: A100 set minus two:\n{}",
+            h100().render_table()
+        );
         assert!(a.contains(&TileConfig::new(64, 32)));
         assert!(a.contains(&TileConfig::new(64, 64)));
         assert!(!h.contains(&TileConfig::new(64, 32)));
@@ -229,8 +258,13 @@ mod tests {
         let verdicts = a100().grid_verdicts();
         assert_eq!(verdicts.len(), 16);
         let m128: Vec<_> = verdicts.iter().filter(|v| v.tile.m == 128).collect();
-        assert!(m128.iter().all(|v| v.violated == Some(TileConstraint::Resources)));
-        let v6416 = verdicts.iter().find(|v| v.tile == TileConfig::new(64, 16)).unwrap();
+        assert!(m128
+            .iter()
+            .all(|v| v.violated == Some(TileConstraint::Resources)));
+        let v6416 = verdicts
+            .iter()
+            .find(|v| v.tile == TileConfig::new(64, 16))
+            .unwrap();
         assert_eq!(v6416.violated, Some(TileConstraint::Bandwidth));
     }
 

@@ -42,8 +42,9 @@ pub fn latency_breakdown(
             let blocks = ctx.div_ceil(bs);
             let tables: Vec<BlockTable> = (0..batch)
                 .map(|q| {
-                    let ids: Vec<BlockId> =
-                        (0..blocks as u32).map(|i| BlockId(q as u32 * 100_000 + i)).collect();
+                    let ids: Vec<BlockId> = (0..blocks as u32)
+                        .map(|i| BlockId(q as u32 * 100_000 + i))
+                        .collect();
                     BlockTable::new(ids, ctx, bs)
                 })
                 .collect();

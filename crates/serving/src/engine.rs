@@ -6,6 +6,14 @@
 //! prices it on the GPU simulator, and advances the clock. Produces the
 //! TTFT/TPOT metrics of Fig. 12/13 and the scheduler-overhead samples of
 //! Fig. 16.
+//!
+//! The engine is exposed in two forms: the one-shot [`simulate_serving`]
+//! (submit a whole sorted trace, run to completion) and the steppable
+//! [`ServingEngine`], which external drivers — notably the multi-replica
+//! cluster simulator — advance one scheduling iteration at a time via
+//! [`ServingEngine::step`], interleaving [`ServingEngine::submit`] calls as
+//! routed requests arrive. `simulate_serving` is a thin wrapper over the
+//! steppable engine, so both paths execute identical scheduling decisions.
 
 use crate::attention::ServingAttention;
 use crate::costs::CostModel;
@@ -108,6 +116,17 @@ pub struct SimulationResult {
     pub dropped: u64,
 }
 
+/// What one [`ServingEngine::step`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The engine advanced: admitted requests, ran a prefill or decode step,
+    /// or jumped its idle clock to the next pending arrival.
+    Progress,
+    /// Nothing to do: every submitted request has been processed (or the
+    /// drain deadline has passed). Submitting more work revives the engine.
+    Idle,
+}
+
 #[derive(Debug)]
 struct Active {
     req_idx: usize,
@@ -118,11 +137,511 @@ struct Active {
     arrival_ns: f64,
 }
 
-/// Runs the serving simulation for `requests` (must be sorted by arrival).
+/// A steppable continuous-batching serving engine over one replica.
+///
+/// Holds the complete scheduler state — KV cache, waiting/prefilling/decoding
+/// queues, virtual clock, and metric accumulators — and advances one
+/// scheduling iteration per [`step`](ServingEngine::step) call. The attention
+/// backend is passed into `step` rather than owned, so a fleet driver can
+/// keep engines and backends in separate collections.
 ///
 /// When the KV pool runs out, the engine preempts the most recently arrived
 /// running request (vLLM's recompute policy): its blocks are freed and it
 /// restarts from prefill once space frees up.
+#[derive(Debug)]
+pub struct ServingEngine {
+    config: ServingConfig,
+    cost: CostModel,
+    shard_head: HeadConfig,
+    layers_per_stage: usize,
+    cache: CacheManager,
+    requests: Vec<Request>,
+    waiting: VecDeque<usize>,
+    /// Chunked-prefill progress: (request idx, clamped prompt len, tokens done).
+    prefilling: VecDeque<(usize, usize, usize)>,
+    active: Vec<Active>,
+    completed: Vec<RequestMetrics>,
+    next_arrival: usize,
+    clock_ns: f64,
+    decode_steps: usize,
+    batch_acc: usize,
+    attn_time: f64,
+    total_time: f64,
+    overhead_samples: Vec<(f64, f64)>,
+    preemptions: u64,
+    dropped: u64,
+}
+
+impl ServingEngine {
+    /// Creates an idle engine with an empty KV cache.
+    pub fn new(config: ServingConfig) -> Self {
+        let tp = config.parallel.tp;
+        let pp = config.parallel.pp;
+        // Attention heads shard across TP ranks; each rank's kernel handles an
+        // equal slice, so one rank's latency is the attention latency.
+        let full_head = config.model.head;
+        let shard_head = HeadConfig::new(
+            (full_head.num_heads() / tp).max(1),
+            (full_head.num_kv_heads() / tp).max(1),
+            full_head.head_dim(),
+        );
+        let cost = CostModel::with_tp(config.model, config.gpu.clone(), tp);
+        let layers_per_stage = config.model.num_layers.div_ceil(pp);
+        let cache = CacheManager::new(config.kv_capacity_blocks, DEFAULT_BLOCK_SIZE);
+        ServingEngine {
+            config,
+            cost,
+            shard_head,
+            layers_per_stage,
+            cache,
+            requests: Vec::new(),
+            waiting: VecDeque::new(),
+            prefilling: VecDeque::new(),
+            active: Vec::new(),
+            completed: Vec::new(),
+            next_arrival: 0,
+            clock_ns: 0.0,
+            decode_steps: 0,
+            batch_acc: 0,
+            attn_time: 0.0,
+            total_time: 0.0,
+            overhead_samples: Vec::new(),
+            preemptions: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Submits a request. Requests must be submitted in arrival order; the
+    /// engine admits each once its virtual clock reaches the arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` arrives before a previously submitted request.
+    pub fn submit(&mut self, request: Request) {
+        if let Some(last) = self.requests.last() {
+            assert!(
+                last.arrival_s <= request.arrival_s,
+                "requests must be submitted in arrival order"
+            );
+        }
+        self.requests.push(request);
+    }
+
+    /// The engine's virtual clock, ns.
+    pub fn clock_ns(&self) -> f64 {
+        self.clock_ns
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Requests admitted but not yet decoding (waiting + mid-prefill).
+    pub fn queue_depth(&self) -> usize {
+        self.waiting.len() + self.prefilling.len()
+    }
+
+    /// Requests currently in the decode batch.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Submitted requests not yet completed or dropped (includes requests
+    /// whose arrival time is still in the engine's future).
+    pub fn outstanding(&self) -> usize {
+        self.waiting.len()
+            + self.prefilling.len()
+            + self.active.len()
+            + (self.requests.len() - self.next_arrival)
+    }
+
+    /// The replica's KV cache, for read-only introspection (prefix-overlap
+    /// probes, hit-rate stats, residency queries) by routers and metrics.
+    pub fn cache(&self) -> &CacheManager {
+        &self.cache
+    }
+
+    /// Per-request records of requests completed so far.
+    pub fn completed_requests(&self) -> &[RequestMetrics] {
+        &self.completed
+    }
+
+    /// Drain deadline: this long past the latest submitted arrival, the
+    /// engine stops (remaining requests count as unfinished).
+    fn deadline_ns(&self) -> f64 {
+        self.requests.last().map_or(0.0, |r| r.arrival_s * 1e9) + self.config.drain_limit_s * 1e9
+    }
+
+    /// Frees the most recently arrived active request and requeues it for
+    /// recompute. Returns the preempted request index, or `None`.
+    fn preempt_latest(&mut self) -> Option<usize> {
+        let victim = self
+            .active
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.arrival_ns.partial_cmp(&b.1.arrival_ns).expect("finite"))?
+            .0;
+        let a = self.active.swap_remove(victim);
+        self.cache
+            .free_sequence(&a.table)
+            .expect("victim blocks are allocated");
+        self.waiting.push_front(a.req_idx);
+        Some(a.req_idx)
+    }
+
+    /// Runs one scheduling iteration: admit arrivals, then either prefill,
+    /// decode (with an optional chunked-prefill share), or jump the idle
+    /// clock forward to the next pending arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single request exceeds the KV pool even with every other
+    /// request preempted.
+    pub fn step(&mut self, attention: &mut dyn ServingAttention) -> StepOutcome {
+        // Admit arrivals.
+        while self.next_arrival < self.requests.len()
+            && self.requests[self.next_arrival].arrival_s * 1e9 <= self.clock_ns
+        {
+            self.waiting.push_back(self.next_arrival);
+            self.next_arrival += 1;
+        }
+        if self.active.is_empty() && self.waiting.is_empty() && self.prefilling.is_empty() {
+            if self.next_arrival >= self.requests.len() {
+                return StepOutcome::Idle;
+            }
+            self.clock_ns = self.requests[self.next_arrival].arrival_s * 1e9;
+            return StepOutcome::Progress;
+        }
+        if self.clock_ns > self.deadline_ns() {
+            return StepOutcome::Idle;
+        }
+
+        if self.config.chunked_prefill {
+            // Admit waiting requests into the prefilling queue (same
+            // admission control as below, but no dedicated prefill step).
+            while let Some(&idx) = self.waiting.front() {
+                let req = &self.requests[idx];
+                let budget = self
+                    .config
+                    .model
+                    .max_context
+                    .saturating_sub(req.decode_tokens)
+                    .max(16);
+                let prompt_tokens = req.prompt.total_tokens().min(budget);
+                let bs = DEFAULT_BLOCK_SIZE;
+                let needed = prompt_tokens.div_ceil(bs) + req.decode_tokens.div_ceil(bs) + 2;
+                if needed > self.cache.allocator().capacity() {
+                    self.waiting.pop_front();
+                    self.dropped += 1;
+                    continue;
+                }
+                let engine_busy = !self.active.is_empty() || !self.prefilling.is_empty();
+                if self.active.len() + self.prefilling.len() >= self.config.max_batch
+                    || (needed > self.cache.available_blocks() && engine_busy)
+                {
+                    break;
+                }
+                self.waiting.pop_front();
+                // Prefix-cached prompt blocks skip recomputation: start the
+                // chunk cursor past the resident prefix (read-only probe; at
+                // least one token is always computed for fresh logits).
+                let tokens = req.prompt.to_tokens();
+                let clamped = &tokens[..prompt_tokens];
+                let cached = self
+                    .cache
+                    .prefix_overlap_tokens(clamped)
+                    .min(prompt_tokens.saturating_sub(1));
+                self.prefilling.push_back((idx, prompt_tokens, cached));
+            }
+        }
+
+        // Prefill-priority scheduling (vLLM default): admit waiting requests
+        // up to the token budget, then decode.
+        if !self.config.chunked_prefill
+            && !self.waiting.is_empty()
+            && self.active.len() < self.config.max_batch
+        {
+            let mut chunk_tokens = 0usize;
+            let mut admitted = Vec::new();
+            let mut budget_blocks = self.cache.available_blocks();
+            while let Some(&idx) = self.waiting.front() {
+                let req = &self.requests[idx];
+                // Clamp over-long prompts to the model context window.
+                let budget = self
+                    .config
+                    .model
+                    .max_context
+                    .saturating_sub(req.decode_tokens)
+                    .max(16);
+                let prompt_tokens = req.prompt.total_tokens().min(budget);
+                if self.active.len() + admitted.len() >= self.config.max_batch
+                    || (chunk_tokens + prompt_tokens > self.config.max_prefill_tokens
+                        && !admitted.is_empty())
+                {
+                    break;
+                }
+                // Admission control (vLLM watermark): the request's whole
+                // lifetime (prompt + decode budget) must fit in currently
+                // obtainable blocks, or it waits for departures. Prefix hits
+                // only make this conservative.
+                let bs = DEFAULT_BLOCK_SIZE;
+                let needed = prompt_tokens.div_ceil(bs) + req.decode_tokens.div_ceil(bs) + 2;
+                if needed > self.cache.allocator().capacity() {
+                    // Can never fit, even alone: reject rather than livelock.
+                    self.waiting.pop_front();
+                    self.dropped += 1;
+                    continue;
+                }
+                let engine_busy = !self.active.is_empty() || !admitted.is_empty();
+                if needed > budget_blocks && engine_busy {
+                    break;
+                }
+                budget_blocks = budget_blocks.saturating_sub(needed);
+                self.waiting.pop_front();
+                chunk_tokens += prompt_tokens;
+                admitted.push((idx, prompt_tokens));
+                if chunk_tokens >= self.config.max_prefill_tokens {
+                    break;
+                }
+            }
+            if !admitted.is_empty() {
+                // Prefix caching discounts prefill compute (vLLM APC /
+                // SGLang): prompt blocks already resident in the KV cache are
+                // reused, so only each request's uncached suffix is computed.
+                // At least one token is always computed — the final partial
+                // block is never cached and the request needs fresh logits.
+                let mut computed_tokens = 0usize;
+                let mut placed = Vec::with_capacity(admitted.len());
+                for (idx, prompt_tokens) in admitted {
+                    let tokens = self.requests[idx].prompt.to_tokens()[..prompt_tokens].to_vec();
+                    let (table, hit_tokens) = loop {
+                        let hits_before = self.cache.stats().hit_tokens;
+                        match self.cache.insert_sequence(&tokens) {
+                            Ok(t) => {
+                                let hit = self.cache.stats().hit_tokens - hits_before;
+                                break (t, hit as usize);
+                            }
+                            Err(_) => {
+                                self.preemptions += 1;
+                                if self.preempt_latest().is_none() {
+                                    panic!("a single request exceeds the KV pool");
+                                }
+                            }
+                        }
+                    };
+                    computed_tokens += prompt_tokens.saturating_sub(hit_tokens).max(1);
+                    placed.push((idx, table));
+                }
+                self.clock_ns += self.cost.prefill_ns(computed_tokens);
+                for (idx, table) in placed {
+                    let req = &self.requests[idx];
+                    let arrival_ns = req.arrival_s * 1e9;
+                    if req.decode_tokens <= 1 {
+                        let request_id = req.id;
+                        self.cache.free_sequence(&table).expect("allocated above");
+                        self.completed.push(RequestMetrics {
+                            request_id,
+                            ttft_ns: self.clock_ns - arrival_ns,
+                            tpot_ns: 0.0,
+                            completion_ns: self.clock_ns - arrival_ns,
+                            decode_tokens: 1,
+                        });
+                    } else {
+                        let target = req.decode_tokens;
+                        self.active.push(Active {
+                            req_idx: idx,
+                            table,
+                            produced: 1,
+                            target,
+                            first_token_ns: self.clock_ns,
+                            arrival_ns,
+                        });
+                    }
+                }
+                return StepOutcome::Progress;
+            }
+            // Nothing admissible right now: fall through to decode so
+            // departures can free KV blocks for the waiting requests.
+        }
+        // Chunked prefill: carve this step's chunk from the prefill queue.
+        let mut prefill_chunk = 0usize;
+        let mut finished_prefills: Vec<(usize, usize)> = Vec::new();
+        if self.config.chunked_prefill {
+            let mut budget = self.config.max_prefill_tokens;
+            while budget > 0 {
+                let Some(front) = self.prefilling.front_mut() else {
+                    break;
+                };
+                let take = (front.1 - front.2).min(budget);
+                front.2 += take;
+                budget -= take;
+                prefill_chunk += take;
+                if front.2 >= front.1 {
+                    let (idx, prompt_tokens, _) =
+                        self.prefilling.pop_front().expect("front exists");
+                    finished_prefills.push((idx, prompt_tokens));
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if self.active.is_empty() && prefill_chunk == 0 {
+            // Everything waiting was dropped or nothing is runnable yet.
+            return StepOutcome::Progress;
+        }
+        if self.active.is_empty() {
+            // Pure prefill-chunk step.
+            self.clock_ns += self.cost.prefill_ns(prefill_chunk);
+            self.admit_finished_prefills(&finished_prefills);
+            return StepOutcome::Progress;
+        }
+
+        // Decode step.
+        let tables: Vec<BlockTable> = self.active.iter().map(|a| a.table.clone()).collect();
+        let batch = DecodeBatch::new(self.shard_head, tables, 2);
+        let plan = attention.plan_step(&batch, &self.config.gpu);
+        let report =
+            simulate_plan(&batch, &plan, &self.config.gpu).expect("backend plans are valid");
+        // Kernel time repeats per layer; exposed CPU scheduling is paid once
+        // per step (the plan's metadata is shared across layers).
+        let attention_ns = (report.total_ns - report.scheduling_ns)
+            * self.config.model.num_layers as f64
+            + report.scheduling_ns;
+        let pp = self.config.parallel.pp;
+        let linear_ns = self
+            .cost
+            .decode_linear_ns(batch.num_queries(), self.layers_per_stage)
+            * pp as f64;
+        // Pipeline stages hand activations over (pp - 1) boundaries.
+        let pp_transfer_ns = (pp - 1) as f64
+            * (8_000.0
+                + batch.num_queries() as f64 * self.config.model.hidden as f64 * 2.0 / 300.0);
+        let prefill_ns = self.cost.chunked_prefill_marginal_ns(prefill_chunk);
+        let step_ns = attention_ns + linear_ns + pp_transfer_ns + prefill_ns;
+        if let Some(sched) = attention.scheduling_cost_ns(&batch) {
+            self.overhead_samples
+                .push((sched, self.cost.pre_attention_ns(batch.num_queries())));
+        }
+        self.clock_ns += step_ns;
+        self.decode_steps += 1;
+        self.batch_acc += batch.num_queries();
+        self.attn_time += attention_ns;
+        self.total_time += step_ns;
+        self.admit_finished_prefills(&finished_prefills);
+
+        let mut i = 0;
+        while i < self.active.len() {
+            // Append this request's new token, preempting the youngest
+            // request under KV pressure (possibly this one).
+            let my_req = self.active[i].req_idx;
+            let mut appended = false;
+            // The loop exits without appending when this request was itself
+            // preempted (its index no longer appears in the active set).
+            while let Some(pos) = self.active.iter().position(|a| a.req_idx == my_req) {
+                i = pos;
+                if self.cache.append_token(&mut self.active[i].table).is_ok() {
+                    appended = true;
+                    break;
+                }
+                self.preemptions += 1;
+                if self.preempt_latest().is_none() {
+                    panic!("a single request exceeds the KV pool");
+                }
+            }
+            if !appended {
+                // Restart scanning: indices shifted and this slot now holds a
+                // different (already-processed or pending) request. The next
+                // decode step will cover any request we skip here.
+                continue;
+            }
+            self.active[i].produced += 1;
+            if self.active[i].produced >= self.active[i].target {
+                let a = self.active.swap_remove(i);
+                self.cache.free_sequence(&a.table).expect("allocated above");
+                let gaps = (a.produced - 1).max(1) as f64;
+                self.completed.push(RequestMetrics {
+                    request_id: self.requests[a.req_idx].id,
+                    ttft_ns: a.first_token_ns - a.arrival_ns,
+                    tpot_ns: (self.clock_ns - a.first_token_ns) / gaps,
+                    completion_ns: self.clock_ns - a.arrival_ns,
+                    decode_tokens: a.produced,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        StepOutcome::Progress
+    }
+
+    /// Moves requests whose chunked prefill just completed into the decode
+    /// batch, producing their first token.
+    fn admit_finished_prefills(&mut self, finished: &[(usize, usize)]) {
+        for &(idx, prompt_tokens) in finished {
+            let tokens = self.requests[idx].prompt.to_tokens()[..prompt_tokens].to_vec();
+            let table = self
+                .cache
+                .insert_sequence(&tokens)
+                .expect("admission reserved blocks");
+            let req = &self.requests[idx];
+            let arrival_ns = req.arrival_s * 1e9;
+            if req.decode_tokens <= 1 {
+                let request_id = req.id;
+                self.cache.free_sequence(&table).expect("allocated above");
+                self.completed.push(RequestMetrics {
+                    request_id,
+                    ttft_ns: self.clock_ns - arrival_ns,
+                    tpot_ns: 0.0,
+                    completion_ns: self.clock_ns - arrival_ns,
+                    decode_tokens: 1,
+                });
+            } else {
+                let target = req.decode_tokens;
+                self.active.push(Active {
+                    req_idx: idx,
+                    table,
+                    produced: 1,
+                    target,
+                    first_token_ns: self.clock_ns,
+                    arrival_ns,
+                });
+            }
+        }
+    }
+
+    /// Finalizes the simulation, consuming the engine. Requests still in
+    /// flight (or never admitted) count as unfinished.
+    pub fn into_result(self) -> SimulationResult {
+        SimulationResult {
+            metrics: AggregateMetrics::from_requests(&self.completed),
+            per_request: self.completed,
+            decode_steps: self.decode_steps,
+            mean_batch: if self.decode_steps == 0 {
+                0.0
+            } else {
+                self.batch_acc as f64 / self.decode_steps as f64
+            },
+            attention_fraction: if self.total_time == 0.0 {
+                0.0
+            } else {
+                self.attn_time / self.total_time
+            },
+            overhead_samples: self.overhead_samples,
+            unfinished: self.active.len()
+                + self.waiting.len()
+                + self.prefilling.len()
+                + (self.requests.len() - self.next_arrival),
+            preemptions: self.preemptions,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Runs the serving simulation for `requests` (must be sorted by arrival).
+///
+/// Thin wrapper over [`ServingEngine`]: submits every request up front and
+/// steps the engine until it goes idle.
 ///
 /// # Panics
 ///
@@ -134,352 +653,17 @@ pub fn simulate_serving(
     requests: &[Request],
 ) -> SimulationResult {
     assert!(
-        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s),
         "requests must be sorted by arrival"
     );
-    let tp = config.parallel.tp;
-    let pp = config.parallel.pp;
-    // Attention heads shard across TP ranks; each rank's kernel handles an
-    // equal slice, so one rank's latency is the attention latency.
-    let full_head = config.model.head;
-    let shard_head = HeadConfig::new(
-        (full_head.num_heads() / tp).max(1),
-        (full_head.num_kv_heads() / tp).max(1),
-        full_head.head_dim(),
-    );
-    let cost = CostModel::with_tp(config.model, config.gpu.clone(), tp);
-    let layers_per_stage = config.model.num_layers.div_ceil(pp);
-
-    let mut cache = CacheManager::new(config.kv_capacity_blocks, DEFAULT_BLOCK_SIZE);
-    let mut waiting: VecDeque<usize> = VecDeque::new();
-    // Chunked-prefill progress: (request idx, clamped prompt len, tokens done).
-    let mut prefilling: VecDeque<(usize, usize, usize)> = VecDeque::new();
-    let mut active: Vec<Active> = Vec::new();
-    let mut completed: Vec<RequestMetrics> = Vec::new();
-    let mut next_arrival = 0usize;
-    let mut clock_ns = 0.0f64;
-    let mut decode_steps = 0usize;
-    let mut batch_acc = 0usize;
-    let mut attn_time = 0.0f64;
-    let mut total_time = 0.0f64;
-    let mut overhead_samples = Vec::new();
-    let mut preemptions: u64 = 0;
-    let mut dropped: u64 = 0;
-    let deadline_ns = requests.last().map_or(0.0, |r| r.arrival_s * 1e9)
-        + config.drain_limit_s * 1e9;
-
-    /// Frees the most recently arrived active request and requeues it for
-    /// recompute. Returns the preempted request index, or `None`.
-    fn preempt_latest(
-        active: &mut Vec<Active>,
-        waiting: &mut VecDeque<usize>,
-        cache: &mut CacheManager,
-    ) -> Option<usize> {
-        let victim = active
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.arrival_ns.partial_cmp(&b.1.arrival_ns).expect("finite"))?
-            .0;
-        let a = active.swap_remove(victim);
-        cache.free_sequence(&a.table).expect("victim blocks are allocated");
-        waiting.push_front(a.req_idx);
-        Some(a.req_idx)
+    let mut engine = ServingEngine::new(config.clone());
+    for request in requests {
+        engine.submit(request.clone());
     }
-
-    loop {
-        // Admit arrivals.
-        while next_arrival < requests.len()
-            && requests[next_arrival].arrival_s * 1e9 <= clock_ns
-        {
-            waiting.push_back(next_arrival);
-            next_arrival += 1;
-        }
-        if active.is_empty() && waiting.is_empty() && prefilling.is_empty() {
-            if next_arrival >= requests.len() {
-                break;
-            }
-            clock_ns = requests[next_arrival].arrival_s * 1e9;
-            continue;
-        }
-        if clock_ns > deadline_ns {
-            break;
-        }
-
-        if config.chunked_prefill {
-            // Admit waiting requests into the prefilling queue (same
-            // admission control as below, but no dedicated prefill step).
-            while let Some(&idx) = waiting.front() {
-                let req = &requests[idx];
-                let budget =
-                    config.model.max_context.saturating_sub(req.decode_tokens).max(16);
-                let prompt_tokens = req.prompt.total_tokens().min(budget);
-                let bs = DEFAULT_BLOCK_SIZE;
-                let needed =
-                    prompt_tokens.div_ceil(bs) + req.decode_tokens.div_ceil(bs) + 2;
-                if needed > cache.allocator().capacity() {
-                    waiting.pop_front();
-                    dropped += 1;
-                    continue;
-                }
-                let engine_busy = !active.is_empty() || !prefilling.is_empty();
-                if active.len() + prefilling.len() >= config.max_batch
-                    || (needed > cache.available_blocks() && engine_busy)
-                {
-                    break;
-                }
-                waiting.pop_front();
-                prefilling.push_back((idx, prompt_tokens, 0));
-            }
-        }
-
-        // Prefill-priority scheduling (vLLM default): admit waiting requests
-        // up to the token budget, then decode.
-        if !config.chunked_prefill && !waiting.is_empty() && active.len() < config.max_batch {
-            let mut chunk_tokens = 0usize;
-            let mut admitted = Vec::new();
-            let mut budget_blocks = cache.available_blocks();
-            while let Some(&idx) = waiting.front() {
-                let req = &requests[idx];
-                // Clamp over-long prompts to the model context window.
-                let budget =
-                    config.model.max_context.saturating_sub(req.decode_tokens).max(16);
-                let prompt_tokens = req.prompt.total_tokens().min(budget);
-                if active.len() + admitted.len() >= config.max_batch
-                    || (chunk_tokens + prompt_tokens > config.max_prefill_tokens
-                        && !admitted.is_empty())
-                {
-                    break;
-                }
-                // Admission control (vLLM watermark): the request's whole
-                // lifetime (prompt + decode budget) must fit in currently
-                // obtainable blocks, or it waits for departures. Prefix hits
-                // only make this conservative.
-                let bs = DEFAULT_BLOCK_SIZE;
-                let needed =
-                    prompt_tokens.div_ceil(bs) + req.decode_tokens.div_ceil(bs) + 2;
-                if needed > cache.allocator().capacity() {
-                    // Can never fit, even alone: reject rather than livelock.
-                    waiting.pop_front();
-                    dropped += 1;
-                    continue;
-                }
-                let engine_busy = !active.is_empty() || !admitted.is_empty();
-                if needed > budget_blocks && engine_busy {
-                    break;
-                }
-                budget_blocks = budget_blocks.saturating_sub(needed);
-                waiting.pop_front();
-                chunk_tokens += prompt_tokens;
-                admitted.push((idx, prompt_tokens));
-                if chunk_tokens >= config.max_prefill_tokens {
-                    break;
-                }
-            }
-            if !admitted.is_empty() {
-            clock_ns += cost.prefill_ns(chunk_tokens);
-            for (idx, prompt_tokens) in admitted {
-                let req = &requests[idx];
-                let tokens = req.prompt.to_tokens()[..prompt_tokens].to_vec();
-                let table = loop {
-                    match cache.insert_sequence(&tokens) {
-                        Ok(t) => break t,
-                        Err(_) => {
-                            preemptions += 1;
-                            if preempt_latest(&mut active, &mut waiting, &mut cache).is_none() {
-                                panic!("a single request exceeds the KV pool");
-                            }
-                        }
-                    }
-                };
-                let arrival_ns = req.arrival_s * 1e9;
-                if req.decode_tokens <= 1 {
-                    cache.free_sequence(&table).expect("allocated above");
-                    completed.push(RequestMetrics {
-                        ttft_ns: clock_ns - arrival_ns,
-                        tpot_ns: 0.0,
-                        completion_ns: clock_ns - arrival_ns,
-                        decode_tokens: 1,
-                    });
-                } else {
-                    active.push(Active {
-                        req_idx: idx,
-                        table,
-                        produced: 1,
-                        target: req.decode_tokens,
-                        first_token_ns: clock_ns,
-                        arrival_ns,
-                    });
-                }
-            }
-            continue;
-            }
-            // Nothing admissible right now: fall through to decode so
-            // departures can free KV blocks for the waiting requests.
-        }
-        // Chunked prefill: carve this step's chunk from the prefill queue.
-        let mut prefill_chunk = 0usize;
-        let mut finished_prefills: Vec<(usize, usize)> = Vec::new();
-        if config.chunked_prefill {
-            let mut budget = config.max_prefill_tokens;
-            while budget > 0 {
-                let Some(front) = prefilling.front_mut() else { break };
-                let take = (front.1 - front.2).min(budget);
-                front.2 += take;
-                budget -= take;
-                prefill_chunk += take;
-                if front.2 >= front.1 {
-                    let (idx, prompt_tokens, _) = prefilling.pop_front().expect("front exists");
-                    finished_prefills.push((idx, prompt_tokens));
-                } else {
-                    break;
-                }
-            }
-        }
-
-        if active.is_empty() && prefill_chunk == 0 {
-            // Everything waiting was dropped or nothing is runnable yet.
-            continue;
-        }
-        if active.is_empty() {
-            // Pure prefill-chunk step.
-            clock_ns += cost.prefill_ns(prefill_chunk);
-            admit_finished_prefills(
-                &finished_prefills,
-                requests,
-                &mut cache,
-                &mut active,
-                &mut completed,
-                clock_ns,
-            );
-            continue;
-        }
-
-        // Decode step.
-        let tables: Vec<BlockTable> = active.iter().map(|a| a.table.clone()).collect();
-        let batch = DecodeBatch::new(shard_head, tables, 2);
-        let plan = attention.plan_step(&batch, &config.gpu);
-        let report = simulate_plan(&batch, &plan, &config.gpu)
-            .expect("backend plans are valid");
-        // Kernel time repeats per layer; exposed CPU scheduling is paid once
-        // per step (the plan's metadata is shared across layers).
-        let attention_ns = (report.total_ns - report.scheduling_ns)
-            * config.model.num_layers as f64
-            + report.scheduling_ns;
-        let linear_ns = cost.decode_linear_ns(batch.num_queries(), layers_per_stage) * pp as f64;
-        // Pipeline stages hand activations over (pp - 1) boundaries.
-        let pp_transfer_ns = (pp - 1) as f64
-            * (8_000.0 + batch.num_queries() as f64 * config.model.hidden as f64 * 2.0 / 300.0);
-        let prefill_ns = cost.chunked_prefill_marginal_ns(prefill_chunk);
-        let step_ns = attention_ns + linear_ns + pp_transfer_ns + prefill_ns;
-        if let Some(sched) = attention.scheduling_cost_ns(&batch) {
-            overhead_samples.push((sched, cost.pre_attention_ns(batch.num_queries())));
-        }
-        clock_ns += step_ns;
-        decode_steps += 1;
-        batch_acc += batch.num_queries();
-        attn_time += attention_ns;
-        total_time += step_ns;
-        admit_finished_prefills(
-            &finished_prefills,
-            requests,
-            &mut cache,
-            &mut active,
-            &mut completed,
-            clock_ns,
-        );
-
-        let mut i = 0;
-        while i < active.len() {
-            // Append this request's new token, preempting the youngest
-            // request under KV pressure (possibly this one).
-            let my_req = active[i].req_idx;
-            let mut appended = false;
-            loop {
-                let Some(pos) = active.iter().position(|a| a.req_idx == my_req) else {
-                    break; // this request was itself preempted
-                };
-                i = pos;
-                if cache.append_token(&mut active[i].table).is_ok() {
-                    appended = true;
-                    break;
-                }
-                preemptions += 1;
-                if preempt_latest(&mut active, &mut waiting, &mut cache).is_none() {
-                    panic!("a single request exceeds the KV pool");
-                }
-            }
-            if !appended {
-                // Restart scanning: indices shifted and this slot now holds a
-                // different (already-processed or pending) request. The next
-                // decode step will cover any request we skip here.
-                continue;
-            }
-            active[i].produced += 1;
-            if active[i].produced >= active[i].target {
-                let a = active.swap_remove(i);
-                cache.free_sequence(&a.table).expect("allocated above");
-                let gaps = (a.produced - 1).max(1) as f64;
-                completed.push(RequestMetrics {
-                    ttft_ns: a.first_token_ns - a.arrival_ns,
-                    tpot_ns: (clock_ns - a.first_token_ns) / gaps,
-                    completion_ns: clock_ns - a.arrival_ns,
-                    decode_tokens: a.produced,
-                });
-                let _ = a.req_idx;
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    SimulationResult {
-        metrics: AggregateMetrics::from_requests(&completed),
-        per_request: completed,
-        decode_steps,
-        mean_batch: if decode_steps == 0 { 0.0 } else { batch_acc as f64 / decode_steps as f64 },
-        attention_fraction: if total_time == 0.0 { 0.0 } else { attn_time / total_time },
-        overhead_samples,
-        unfinished: active.len() + waiting.len() + prefilling.len()
-            + (requests.len() - next_arrival),
-        preemptions,
-        dropped,
-    }
-}
-
-/// Moves requests whose chunked prefill just completed into the decode
-/// batch, producing their first token.
-fn admit_finished_prefills(
-    finished: &[(usize, usize)],
-    requests: &[Request],
-    cache: &mut CacheManager,
-    active: &mut Vec<Active>,
-    completed: &mut Vec<RequestMetrics>,
-    clock_ns: f64,
-) {
-    for &(idx, prompt_tokens) in finished {
-        let req = &requests[idx];
-        let tokens = req.prompt.to_tokens()[..prompt_tokens].to_vec();
-        let table = cache.insert_sequence(&tokens).expect("admission reserved blocks");
-        let arrival_ns = req.arrival_s * 1e9;
-        if req.decode_tokens <= 1 {
-            cache.free_sequence(&table).expect("allocated above");
-            completed.push(RequestMetrics {
-                ttft_ns: clock_ns - arrival_ns,
-                tpot_ns: 0.0,
-                completion_ns: clock_ns - arrival_ns,
-                decode_tokens: 1,
-            });
-        } else {
-            active.push(Active {
-                req_idx: idx,
-                table,
-                produced: 1,
-                target: req.decode_tokens,
-                first_token_ns: clock_ns,
-                arrival_ns,
-            });
-        }
-    }
+    while engine.step(attention) == StepOutcome::Progress {}
+    engine.into_result()
 }
 
 #[cfg(test)]
@@ -634,5 +818,58 @@ mod tests {
         let result = simulate_serving(&config(), &mut pat, &[]);
         assert_eq!(result.metrics.completed, 0);
         assert_eq!(result.decode_steps, 0);
+    }
+
+    #[test]
+    fn incremental_submission_matches_upfront_submission() {
+        // The steppable engine must behave identically whether the whole
+        // trace is submitted up front or each request is submitted only once
+        // the clock (or the outside world) reaches its arrival time — the
+        // contract the cluster driver relies on.
+        let requests = short_trace(5.0);
+        let mut pat_a = LazyPat::new();
+        let upfront = simulate_serving(&config(), &mut pat_a, &requests);
+
+        let mut pat_b = LazyPat::new();
+        let mut engine = ServingEngine::new(config());
+        for request in &requests {
+            let arrival_ns = request.arrival_s * 1e9;
+            while engine.clock_ns() < arrival_ns {
+                if engine.step(&mut pat_b) == StepOutcome::Idle {
+                    break;
+                }
+            }
+            engine.submit(request.clone());
+        }
+        while engine.step(&mut pat_b) == StepOutcome::Progress {}
+        let incremental = engine.into_result();
+
+        assert_eq!(upfront.per_request, incremental.per_request);
+        assert_eq!(upfront.decode_steps, incremental.decode_steps);
+        assert_eq!(upfront.preemptions, incremental.preemptions);
+        assert!(upfront.metrics.mean_tpot_ms == incremental.metrics.mean_tpot_ms);
+    }
+
+    #[test]
+    fn engine_exposes_cache_and_queue_introspection() {
+        let requests = short_trace(4.0);
+        let mut engine = ServingEngine::new(config());
+        for request in &requests {
+            engine.submit(request.clone());
+        }
+        assert_eq!(engine.outstanding(), requests.len());
+        assert_eq!(engine.queue_depth(), 0);
+        let mut pat = LazyPat::new();
+        let mut saw_active = false;
+        while engine.step(&mut pat) == StepOutcome::Progress {
+            saw_active |= engine.num_active() > 0;
+        }
+        assert!(saw_active);
+        assert!(
+            engine.cache().stats().hit_tokens > 0,
+            "trace shares prefixes"
+        );
+        assert_eq!(engine.completed_requests().len(), requests.len());
+        assert_eq!(engine.outstanding(), 0);
     }
 }

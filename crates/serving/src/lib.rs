@@ -41,6 +41,8 @@ mod model;
 pub use attention::{ServingAttention, Stateless};
 pub use breakdown::{latency_breakdown, BreakdownRow};
 pub use costs::CostModel;
-pub use engine::{simulate_serving, Parallelism, ServingConfig, SimulationResult};
+pub use engine::{
+    simulate_serving, Parallelism, ServingConfig, ServingEngine, SimulationResult, StepOutcome,
+};
 pub use metrics::{AggregateMetrics, RequestMetrics};
 pub use model::{ModelSpec, MoeSpec};

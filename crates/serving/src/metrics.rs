@@ -1,8 +1,12 @@
 //! Serving metrics: TTFT, TPOT, completion latency (§8.2).
 
+use serde::Serialize;
+
 /// Per-request latency record.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct RequestMetrics {
+    /// Id of the completed request (from [`workloads::Request::id`]).
+    pub request_id: u64,
     /// Time to first token, ns.
     pub ttft_ns: f64,
     /// Mean time per output token after the first, ns (0 for single-token
@@ -15,7 +19,7 @@ pub struct RequestMetrics {
 }
 
 /// Aggregates over completed requests.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub struct AggregateMetrics {
     /// Mean time to first token, ms.
     pub mean_ttft_ms: f64,
@@ -37,8 +41,11 @@ impl AggregateMetrics {
         }
         let n = requests.len() as f64;
         let mean = |f: fn(&RequestMetrics) -> f64| requests.iter().map(f).sum::<f64>() / n;
-        let mut tpots: Vec<f64> =
-            requests.iter().filter(|r| r.decode_tokens > 1).map(|r| r.tpot_ns).collect();
+        let mut tpots: Vec<f64> = requests
+            .iter()
+            .filter(|r| r.decode_tokens > 1)
+            .map(|r| r.tpot_ns)
+            .collect();
         tpots.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let p99 = if tpots.is_empty() {
             0.0
@@ -66,6 +73,7 @@ mod tests {
 
     fn rm(ttft: f64, tpot: f64, tokens: usize) -> RequestMetrics {
         RequestMetrics {
+            request_id: 0,
             ttft_ns: ttft,
             tpot_ns: tpot,
             completion_ns: ttft + tpot * tokens as f64,

@@ -87,7 +87,11 @@ impl ModelSpec {
             intermediate: 6144,
             vocab: 151_936,
             max_context: 32_768,
-            moe: Some(MoeSpec { num_experts: 128, active_experts: 8, expert_intermediate: 768 }),
+            moe: Some(MoeSpec {
+                num_experts: 128,
+                active_experts: 8,
+                expert_intermediate: 768,
+            }),
         }
     }
 
@@ -107,8 +111,7 @@ impl ModelSpec {
         match self.moe {
             None => 3 * self.hidden * self.intermediate,
             Some(moe) => {
-                let activated =
-                    (batch_tokens * moe.active_experts).min(moe.num_experts);
+                let activated = (batch_tokens * moe.active_experts).min(moe.num_experts);
                 3 * self.hidden * moe.expert_intermediate * activated
             }
         }

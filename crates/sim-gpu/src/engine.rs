@@ -91,7 +91,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::CtaDoesNotFit { kernel, violation } => {
-                write!(f, "kernel `{kernel}` has CTAs that cannot fit on any SM ({violation:?})")
+                write!(
+                    f,
+                    "kernel `{kernel}` has CTAs that cannot fit on any SM ({violation:?})"
+                )
             }
         }
     }
@@ -246,7 +249,10 @@ impl Engine {
                     .partial_cmp(&active[b].launch_time)
                     .expect("launch times are finite")
                     .then_with(|| {
-                        active[b].resources.smem_bytes.cmp(&active[a].resources.smem_bytes)
+                        active[b]
+                            .resources
+                            .smem_bytes
+                            .cmp(&active[a].resources.smem_bytes)
                     })
             });
             for idx in order {
@@ -411,8 +417,12 @@ impl Engine {
             }
         }
 
-        trace.ctas.sort_by(|a, b| a.start_ns.partial_cmp(&b.start_ns).expect("finite"));
-        trace.kernels.sort_by(|a, b| a.launch_ns.partial_cmp(&b.launch_ns).expect("finite"));
+        trace
+            .ctas
+            .sort_by(|a, b| a.start_ns.partial_cmp(&b.start_ns).expect("finite"));
+        trace
+            .kernels
+            .sort_by(|a, b| a.launch_ns.partial_cmp(&b.launch_ns).expect("finite"));
         let utilization = if now > 0.0 {
             (streamed_eff / (self.spec.global_bandwidth * now)).min(1.0)
         } else {
@@ -437,7 +447,10 @@ impl Engine {
             running[i].rate = 0.0;
         }
         loaders.sort_by(|&a, &b| {
-            running[a].rate_cap.partial_cmp(&running[b].rate_cap).expect("finite caps")
+            running[a]
+                .rate_cap
+                .partial_cmp(&running[b].rate_cap)
+                .expect("finite caps")
         });
         let mut remaining_budget = budget;
         let mut remaining_n = loaders.len();
@@ -456,11 +469,22 @@ mod tests {
     use super::*;
 
     fn small_res() -> CtaResources {
-        CtaResources { smem_bytes: 32 * 1024, regs_per_thread: 64, threads: 128 }
+        CtaResources {
+            smem_bytes: 32 * 1024,
+            regs_per_thread: 64,
+            threads: 128,
+        }
     }
 
     fn work(bytes: f64) -> CtaWork {
-        CtaWork { tag: 0, dram_bytes: bytes, l2_bytes: 0.0, min_exec_ns: 500.0, rate_cap: 60.0, tail_ns: 0.0 }
+        CtaWork {
+            tag: 0,
+            dram_bytes: bytes,
+            l2_bytes: 0.0,
+            min_exec_ns: 500.0,
+            rate_cap: 60.0,
+            tail_ns: 0.0,
+        }
     }
 
     fn engine() -> Engine {
@@ -482,7 +506,12 @@ mod tests {
             .unwrap();
         // One CTA cannot use the whole bus: time ~ bytes / rate_cap.
         let expected = bytes / 60.0;
-        assert!((r.total_ns - expected).abs() / expected < 0.05, "{} vs {}", r.total_ns, expected);
+        assert!(
+            (r.total_ns - expected).abs() / expected < 0.05,
+            "{} vs {}",
+            r.total_ns,
+            expected
+        );
         assert!(r.bandwidth_utilization < 0.1);
     }
 
@@ -491,14 +520,27 @@ mod tests {
         let e = engine();
         let n = 1024;
         let bytes = 1.0e6;
-        let ctas: Vec<CtaWork> = (0..n).map(|i| CtaWork { tag: i as u64, ..work(bytes) }).collect();
+        let ctas: Vec<CtaWork> = (0..n)
+            .map(|i| CtaWork {
+                tag: i as u64,
+                ..work(bytes)
+            })
+            .collect();
         let r = e
             .run(vec![StreamSpec {
-                kernels: vec![KernelSpec { label: "k".into(), resources: small_res(), ctas }],
+                kernels: vec![KernelSpec {
+                    label: "k".into(),
+                    resources: small_res(),
+                    ctas,
+                }],
             }])
             .unwrap();
         let ideal = n as f64 * bytes / 2039.0;
-        assert!(r.bandwidth_utilization > 0.8, "util {}", r.bandwidth_utilization);
+        assert!(
+            r.bandwidth_utilization > 0.8,
+            "util {}",
+            r.bandwidth_utilization
+        );
         assert!(r.total_ns < 1.5 * ideal);
     }
 
@@ -525,15 +567,26 @@ mod tests {
         let mk = |label: &str| KernelSpec {
             label: label.into(),
             resources: small_res(),
-            ctas: (0..432).map(|i| CtaWork { tag: i, ..work(1.0e5) }).collect(),
+            ctas: (0..432)
+                .map(|i| CtaWork {
+                    tag: i,
+                    ..work(1.0e5)
+                })
+                .collect(),
         };
         let serial = e
-            .run(vec![StreamSpec { kernels: vec![mk("a"), mk("b")] }])
+            .run(vec![StreamSpec {
+                kernels: vec![mk("a"), mk("b")],
+            }])
             .unwrap();
         let parallel = e
             .run(vec![
-                StreamSpec { kernels: vec![mk("a")] },
-                StreamSpec { kernels: vec![mk("b")] },
+                StreamSpec {
+                    kernels: vec![mk("a")],
+                },
+                StreamSpec {
+                    kernels: vec![mk("b")],
+                },
             ])
             .unwrap();
         assert!(
@@ -547,7 +600,11 @@ mod tests {
     #[test]
     fn oversized_kernel_is_rejected() {
         let e = engine();
-        let res = CtaResources { smem_bytes: 300 * 1024, regs_per_thread: 32, threads: 128 };
+        let res = CtaResources {
+            smem_bytes: 300 * 1024,
+            regs_per_thread: 32,
+            threads: 128,
+        };
         let err = e
             .run(vec![StreamSpec {
                 kernels: vec![KernelSpec {
@@ -568,16 +625,24 @@ mod tests {
             dram_bytes: 4.0e6,
             l2_bytes: 0.0,
             min_exec_ns: 0.0,
-            rate_cap: 60.0, tail_ns: 0.0 };
+            rate_cap: 60.0,
+            tail_ns: 0.0,
+        };
         let l2_heavy = CtaWork {
             tag: 0,
             dram_bytes: 1.0e6,
             l2_bytes: 3.0e6,
             min_exec_ns: 0.0,
-            rate_cap: 60.0, tail_ns: 0.0 };
+            rate_cap: 60.0,
+            tail_ns: 0.0,
+        };
         let run = |cta| {
             e.run(vec![StreamSpec {
-                kernels: vec![KernelSpec { label: "k".into(), resources: small_res(), ctas: vec![cta] }],
+                kernels: vec![KernelSpec {
+                    label: "k".into(),
+                    resources: small_res(),
+                    ctas: vec![cta],
+                }],
             }])
             .unwrap()
             .total_ns
@@ -588,10 +653,19 @@ mod tests {
     #[test]
     fn trace_covers_all_ctas() {
         let e = engine();
-        let ctas: Vec<CtaWork> = (0..10).map(|i| CtaWork { tag: i, ..work(1.0e5) }).collect();
+        let ctas: Vec<CtaWork> = (0..10)
+            .map(|i| CtaWork {
+                tag: i,
+                ..work(1.0e5)
+            })
+            .collect();
         let r = e
             .run(vec![StreamSpec {
-                kernels: vec![KernelSpec { label: "k".into(), resources: small_res(), ctas }],
+                kernels: vec![KernelSpec {
+                    label: "k".into(),
+                    resources: small_res(),
+                    ctas,
+                }],
             }])
             .unwrap();
         assert_eq!(r.trace.ctas.len(), 10);
@@ -614,11 +688,23 @@ mod tests {
         // One CTA with 10x the bytes dominates the makespan: the execution
         // bubble of §3.3.
         let e = engine();
-        let mut ctas: Vec<CtaWork> = (0..100).map(|i| CtaWork { tag: i, ..work(1.0e5) }).collect();
-        ctas.push(CtaWork { tag: 999, ..work(4.0e6) });
+        let mut ctas: Vec<CtaWork> = (0..100)
+            .map(|i| CtaWork {
+                tag: i,
+                ..work(1.0e5)
+            })
+            .collect();
+        ctas.push(CtaWork {
+            tag: 999,
+            ..work(4.0e6)
+        });
         let r = e
             .run(vec![StreamSpec {
-                kernels: vec![KernelSpec { label: "k".into(), resources: small_res(), ctas }],
+                kernels: vec![KernelSpec {
+                    label: "k".into(),
+                    resources: small_res(),
+                    ctas,
+                }],
             }])
             .unwrap();
         let long = r.trace.ctas.iter().find(|c| c.tag == 999).unwrap();

@@ -108,7 +108,10 @@ impl L2Simulator {
         let size = bytes.max(0.0) as u64;
         let split = if let Some(entry) = self.resident.get_mut(&key) {
             entry.1 = self.tick;
-            TrafficSplit { dram_bytes: 0.0, l2_bytes: bytes }
+            TrafficSplit {
+                dram_bytes: 0.0,
+                l2_bytes: bytes,
+            }
         } else {
             if size <= self.capacity {
                 while self.used + size > self.capacity {
@@ -117,7 +120,10 @@ impl L2Simulator {
                 self.resident.insert(key, (size, self.tick));
                 self.used += size;
             }
-            TrafficSplit { dram_bytes: bytes, l2_bytes: 0.0 }
+            TrafficSplit {
+                dram_bytes: bytes,
+                l2_bytes: 0.0,
+            }
         };
         self.totals.merge(split);
         split

@@ -38,7 +38,10 @@ impl TransferModel {
     pub fn new(latency_ns: f64, bandwidth: f64) -> Self {
         assert!(latency_ns > 0.0, "latency must be positive");
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        TransferModel { latency_ns, bandwidth }
+        TransferModel {
+            latency_ns,
+            bandwidth,
+        }
     }
 
     /// Builds the model for a device's global memory.

@@ -84,21 +84,22 @@ impl Occupancy {
         if res.threads > self.spec.max_threads_per_sm {
             return Err(OccupancyViolation::Threads);
         }
-        let by_smem = if res.smem_bytes == 0 {
-            self.spec.max_ctas_per_sm
-        } else {
-            self.spec.smem_per_sm / res.smem_bytes
-        };
-        let by_regs = if res.regs_per_cta() == 0 {
-            self.spec.max_ctas_per_sm
-        } else {
-            self.spec.regs_per_sm / res.regs_per_cta()
-        };
-        let by_threads = if res.threads == 0 {
-            self.spec.max_ctas_per_sm
-        } else {
-            self.spec.max_threads_per_sm / res.threads
-        };
+        // A zero resource footprint imposes no limit (checked_div -> None).
+        let by_smem = self
+            .spec
+            .smem_per_sm
+            .checked_div(res.smem_bytes)
+            .unwrap_or(self.spec.max_ctas_per_sm);
+        let by_regs = self
+            .spec
+            .regs_per_sm
+            .checked_div(res.regs_per_cta())
+            .unwrap_or(self.spec.max_ctas_per_sm);
+        let by_threads = self
+            .spec
+            .max_threads_per_sm
+            .checked_div(res.threads)
+            .unwrap_or(self.spec.max_ctas_per_sm);
         Ok(by_smem
             .min(by_regs)
             .min(by_threads)
@@ -122,41 +123,78 @@ mod tests {
 
     #[test]
     fn heavier_ctas_reduce_occupancy() {
-        let light = CtaResources { smem_bytes: 8 * 1024, regs_per_thread: 32, threads: 128 };
-        let heavy = CtaResources { smem_bytes: 96 * 1024, regs_per_thread: 128, threads: 256 };
+        let light = CtaResources {
+            smem_bytes: 8 * 1024,
+            regs_per_thread: 32,
+            threads: 128,
+        };
+        let heavy = CtaResources {
+            smem_bytes: 96 * 1024,
+            regs_per_thread: 128,
+            threads: 256,
+        };
         let o = occ();
         assert!(o.ctas_per_sm(light).unwrap() > o.ctas_per_sm(heavy).unwrap());
     }
 
     #[test]
     fn oversized_smem_is_rejected() {
-        let res = CtaResources { smem_bytes: 200 * 1024, regs_per_thread: 32, threads: 128 };
-        assert_eq!(occ().ctas_per_sm(res), Err(OccupancyViolation::SharedMemory));
+        let res = CtaResources {
+            smem_bytes: 200 * 1024,
+            regs_per_thread: 32,
+            threads: 128,
+        };
+        assert_eq!(
+            occ().ctas_per_sm(res),
+            Err(OccupancyViolation::SharedMemory)
+        );
     }
 
     #[test]
     fn register_spill_is_rejected() {
-        let res = CtaResources { smem_bytes: 1024, regs_per_thread: 256, threads: 128 };
-        assert_eq!(occ().ctas_per_sm(res), Err(OccupancyViolation::RegistersPerThread));
+        let res = CtaResources {
+            smem_bytes: 1024,
+            regs_per_thread: 256,
+            threads: 128,
+        };
+        assert_eq!(
+            occ().ctas_per_sm(res),
+            Err(OccupancyViolation::RegistersPerThread)
+        );
     }
 
     #[test]
     fn aggregate_register_limit_applies() {
         // 255 regs/thread * 512 threads = 130560 > 65536 regs per SM.
-        let res = CtaResources { smem_bytes: 1024, regs_per_thread: 255, threads: 512 };
-        assert_eq!(occ().ctas_per_sm(res), Err(OccupancyViolation::RegistersPerSm));
+        let res = CtaResources {
+            smem_bytes: 1024,
+            regs_per_thread: 255,
+            threads: 512,
+        };
+        assert_eq!(
+            occ().ctas_per_sm(res),
+            Err(OccupancyViolation::RegistersPerSm)
+        );
     }
 
     #[test]
     fn hardware_cta_cap_applies() {
-        let tiny = CtaResources { smem_bytes: 16, regs_per_thread: 8, threads: 32 };
+        let tiny = CtaResources {
+            smem_bytes: 16,
+            regs_per_thread: 8,
+            threads: 32,
+        };
         let c = occ().ctas_per_sm(tiny).unwrap();
         assert_eq!(c, GpuSpec::a100_sxm4_80gb().max_ctas_per_sm);
     }
 
     #[test]
     fn device_capacity_scales_with_sms() {
-        let res = CtaResources { smem_bytes: 32 * 1024, regs_per_thread: 64, threads: 128 };
+        let res = CtaResources {
+            smem_bytes: 32 * 1024,
+            regs_per_thread: 64,
+            threads: 128,
+        };
         let o = occ();
         let per_sm = o.ctas_per_sm(res).unwrap();
         assert_eq!(o.ctas_per_device(res).unwrap(), per_sm * 108);

@@ -94,7 +94,12 @@ impl ExecutionTrace {
             }
             let _ = writeln!(out, "SM{sm:<3} {}", row.iter().collect::<String>());
         }
-        let _ = writeln!(out, "      0 ns {:>width$.0} ns", makespan, width = width - 5);
+        let _ = writeln!(
+            out,
+            "      0 ns {:>width$.0} ns",
+            makespan,
+            width = width - 5
+        );
         out
     }
 }
@@ -104,7 +109,14 @@ mod tests {
     use super::*;
 
     fn span(sm: usize, start: f64, end: f64, stream: usize) -> CtaSpan {
-        CtaSpan { stream, kernel: "k".into(), tag: 0, sm, start_ns: start, end_ns: end }
+        CtaSpan {
+            stream,
+            kernel: "k".into(),
+            tag: 0,
+            sm,
+            start_ns: start,
+            end_ns: end,
+        }
     }
 
     #[test]
@@ -127,7 +139,10 @@ mod tests {
 
     #[test]
     fn bubble_fraction_half_when_one_sm_idles() {
-        let t = ExecutionTrace { ctas: vec![span(0, 0.0, 10.0, 0)], kernels: vec![] };
+        let t = ExecutionTrace {
+            ctas: vec![span(0, 0.0, 10.0, 0)],
+            kernels: vec![],
+        };
         assert!((t.bubble_fraction(2) - 0.5).abs() < 1e-9);
     }
 

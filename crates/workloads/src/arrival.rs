@@ -76,7 +76,7 @@ mod tests {
         for w in arrivals.windows(2) {
             assert!(w[0] < w[1]);
         }
-        assert!(arrivals.iter().all(|&t| t >= 0.0 && t < 30.0));
+        assert!(arrivals.iter().all(|&t| (0.0..30.0).contains(&t)));
     }
 
     #[test]

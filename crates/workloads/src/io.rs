@@ -40,11 +40,17 @@ pub fn load_trace<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<Request>> {
             continue;
         }
         let request: Request = serde_json::from_str(&line).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", i + 1),
+            )
         })?;
         requests.push(request);
     }
-    if !requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s) {
+    if !requests
+        .windows(2)
+        .all(|w| w[0].arrival_s <= w[1].arrival_s)
+    {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "trace is not sorted by arrival time",

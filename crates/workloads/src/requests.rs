@@ -28,7 +28,10 @@ impl PromptSpec {
     /// A prompt from `(id, tokens)` pairs.
     pub fn from_parts<I: IntoIterator<Item = (u64, usize)>>(parts: I) -> Self {
         PromptSpec {
-            segments: parts.into_iter().map(|(id, tokens)| Segment { id, tokens }).collect(),
+            segments: parts
+                .into_iter()
+                .map(|(id, tokens)| Segment { id, tokens })
+                .collect(),
         }
     }
 
@@ -45,7 +48,8 @@ impl PromptSpec {
         let mut out = Vec::with_capacity(self.total_tokens());
         for seg in &self.segments {
             for i in 0..seg.tokens {
-                let mut x = seg.id
+                let mut x = seg
+                    .id
                     .wrapping_mul(0x9E3779B97F4A7C15)
                     .wrapping_add(i as u64)
                     .wrapping_mul(0xBF58476D1CE4E5B9);
@@ -94,7 +98,11 @@ mod tests {
     fn distinct_segments_do_not_collide() {
         let p = PromptSpec::from_parts([(1, 1000), (2, 1000)]);
         let t = p.to_tokens();
-        let same = t[..1000].iter().zip(&t[1000..]).filter(|(a, b)| a == b).count();
+        let same = t[..1000]
+            .iter()
+            .zip(&t[1000..])
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(same < 5, "{same} collisions in 1000 tokens");
     }
 }

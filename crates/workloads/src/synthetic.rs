@@ -41,7 +41,10 @@ impl BatchSpec {
     pub fn new(b: Vec<usize>, l: Vec<usize>) -> Self {
         assert_eq!(b.len(), l.len(), "B and L must have equal length");
         assert!(!b.is_empty(), "spec needs at least one level");
-        assert!(b[0] >= 1 && l.iter().all(|&x| x > 0), "levels must be positive");
+        assert!(
+            b[0] >= 1 && l.iter().all(|&x| x > 0),
+            "levels must be positive"
+        );
         for w in b.windows(2) {
             assert!(
                 w[1] >= w[0] && w[1] % w[0] == 0,
@@ -62,8 +65,14 @@ impl BatchSpec {
     ///
     /// Panics unless `beams` is a power of two ≥ 2 and lengths are positive.
     pub fn beam_search(prompt_tokens: usize, beams: usize, decoded_tokens: usize) -> Self {
-        assert!(beams.is_power_of_two() && beams >= 2, "beams must be a power of two >= 2");
-        assert!(prompt_tokens > 0 && decoded_tokens > 0, "lengths must be positive");
+        assert!(
+            beams.is_power_of_two() && beams >= 2,
+            "beams must be a power of two >= 2"
+        );
+        assert!(
+            prompt_tokens > 0 && decoded_tokens > 0,
+            "lengths must be positive"
+        );
         let levels = beams.trailing_zeros() as usize;
         let mut b = vec![1usize];
         let mut l = vec![prompt_tokens];
@@ -108,16 +117,13 @@ impl BatchSpec {
         // of each non-leaf level is padded to a block boundary so levels
         // share at whole-block granularity (as real paged caches do).
         let mut level_blocks: Vec<Vec<Vec<BlockId>>> = Vec::new();
-        for (level, (&nodes, &len)) in self.b.iter().zip(&self.l).enumerate() {
-            let blocks_needed = if level + 1 < self.b.len() {
-                len.div_ceil(bs)
-            } else {
-                len.div_ceil(bs)
-            };
+        for (&nodes, &len) in self.b.iter().zip(&self.l) {
+            let blocks_needed = len.div_ceil(bs);
             let mut per_node = Vec::with_capacity(nodes);
             for _ in 0..nodes {
-                let run: Vec<BlockId> =
-                    (next_block..next_block + blocks_needed as u32).map(BlockId).collect();
+                let run: Vec<BlockId> = (next_block..next_block + blocks_needed as u32)
+                    .map(BlockId)
+                    .collect();
                 next_block += blocks_needed as u32;
                 per_node.push(run);
             }

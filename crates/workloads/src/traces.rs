@@ -29,7 +29,12 @@ pub enum TraceKind {
 impl TraceKind {
     /// All four traces in Fig. 4 order.
     pub fn all() -> [TraceKind; 4] {
-        [TraceKind::ToolAgent, TraceKind::Conversation, TraceKind::QwenA, TraceKind::QwenB]
+        [
+            TraceKind::ToolAgent,
+            TraceKind::Conversation,
+            TraceKind::QwenA,
+            TraceKind::QwenB,
+        ]
     }
 
     /// Display name.
@@ -107,7 +112,12 @@ pub fn generate_trace(cfg: TraceConfig) -> Vec<Request> {
                 TraceKind::QwenA => qwen_a_prompt(id, &mut rng),
                 TraceKind::QwenB => qwen_b_prompt(id, &mut rng),
             };
-            Request { id, arrival_s, prompt, decode_tokens }
+            Request {
+                id,
+                arrival_s,
+                prompt,
+                decode_tokens,
+            }
         })
         .collect()
 }
@@ -134,10 +144,7 @@ fn toolagent_prompt<R: Rng + ?Sized>(id: u64, rng: &mut R) -> (PromptSpec, usize
     let unique_len = rng.gen_range(300..1500);
     let decode = rng.gen_range(64..256);
     (
-        PromptSpec::from_parts([
-            (NS_TOOL | tool, tool_len),
-            (NS_UNIQUE | id, unique_len),
-        ]),
+        PromptSpec::from_parts([(NS_TOOL | tool, tool_len), (NS_UNIQUE | id, unique_len)]),
         decode,
     )
 }
@@ -169,7 +176,10 @@ fn qwen_a_prompt<R: Rng + ?Sized>(id: u64, rng: &mut R) -> (PromptSpec, usize) {
         let api = zipf_pick(rng, 16) as u64;
         let api_len = 768 + ((api * 40503) % 768) as usize;
         let unique = rng.gen_range(200..1000);
-        (PromptSpec::from_parts([(NS_MID | api, api_len), (NS_UNIQUE | id, unique)]), decode)
+        (
+            PromptSpec::from_parts([(NS_MID | api, api_len), (NS_UNIQUE | id, unique)]),
+            decode,
+        )
     } else {
         let unique = rng.gen_range(400..2000);
         (PromptSpec::from_parts([(NS_UNIQUE | id, unique)]), decode)
@@ -184,7 +194,10 @@ fn qwen_b_prompt<R: Rng + ?Sized>(id: u64, rng: &mut R) -> (PromptSpec, usize) {
     let unique = rng.gen_range(200..1400);
     let decode = rng.gen_range(32..192);
     (
-        PromptSpec::from_parts([(NS_TEMPLATE | template, template_len), (NS_UNIQUE | id, unique)]),
+        PromptSpec::from_parts([
+            (NS_TEMPLATE | template, template_len),
+            (NS_UNIQUE | id, unique),
+        ]),
         decode,
     )
 }
@@ -192,12 +205,18 @@ fn qwen_b_prompt<R: Rng + ?Sized>(id: u64, rng: &mut R) -> (PromptSpec, usize) {
 /// Replays a trace's prompts through a prefix cache and reports the
 /// token-level prefix ratio (the Fig. 4 measurement).
 pub fn measure_prefix_ratio(requests: &[Request]) -> f64 {
-    let blocks_needed: usize =
-        requests.iter().map(|r| r.prompt.total_tokens() / 16 + 2).sum::<usize>();
+    let blocks_needed: usize = requests
+        .iter()
+        .map(|r| r.prompt.total_tokens() / 16 + 2)
+        .sum::<usize>();
     let mut cache = kv_cache::CacheManager::new(blocks_needed, 16);
     let mut tables = Vec::new();
     for r in requests {
-        tables.push(cache.insert_sequence(&r.prompt.to_tokens()).expect("sized to fit"));
+        tables.push(
+            cache
+                .insert_sequence(&r.prompt.to_tokens())
+                .expect("sized to fit"),
+        );
     }
     cache.stats().hit_rate()
 }
@@ -207,7 +226,12 @@ mod tests {
     use super::*;
 
     fn cfg(kind: TraceKind) -> TraceConfig {
-        TraceConfig { kind, rate_per_s: 10.0, duration_s: 60.0, seed: 42 }
+        TraceConfig {
+            kind,
+            rate_per_s: 10.0,
+            duration_s: 60.0,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -229,7 +253,10 @@ mod tests {
         let a = generate_trace(cfg(TraceKind::ToolAgent));
         let b = generate_trace(cfg(TraceKind::ToolAgent));
         assert_eq!(a, b);
-        let c = generate_trace(TraceConfig { seed: 43, ..cfg(TraceKind::ToolAgent) });
+        let c = generate_trace(TraceConfig {
+            seed: 43,
+            ..cfg(TraceKind::ToolAgent)
+        });
         assert_ne!(a, c);
     }
 
@@ -243,15 +270,17 @@ mod tests {
             assert_eq!(r.prompt.segments[2].tokens, 1775);
         }
         // Total three-level prefix length matches the paper's ~2123 tokens.
-        let prefix: usize = requests[0].prompt.segments[..3].iter().map(|s| s.tokens).sum();
+        let prefix: usize = requests[0].prompt.segments[..3]
+            .iter()
+            .map(|s| s.tokens)
+            .sum();
         assert_eq!(prefix, 2123);
     }
 
     #[test]
     fn toolagent_reuses_tools_across_requests() {
         let requests = generate_trace(cfg(TraceKind::ToolAgent));
-        let mut tool_ids: Vec<u64> =
-            requests.iter().map(|r| r.prompt.segments[0].id).collect();
+        let mut tool_ids: Vec<u64> = requests.iter().map(|r| r.prompt.segments[0].id).collect();
         tool_ids.sort_unstable();
         tool_ids.dedup();
         assert!(tool_ids.len() <= 24);

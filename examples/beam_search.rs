@@ -22,7 +22,10 @@ fn main() {
         let time = |backend: &dyn AttentionBackend| {
             let plan = backend.plan(&batch, &spec);
             plan.validate(&batch).expect("valid plan");
-            simulate_plan(&batch, &plan, &spec).expect("simulates").total_ns / 1000.0
+            simulate_plan(&batch, &plan, &spec)
+                .expect("simulates")
+                .total_ns
+                / 1000.0
         };
         let pat = time(&PatBackend::new());
         let fa = time(&FlashAttention::new());

@@ -6,8 +6,8 @@
 //!
 //! Run with `cargo run --release --example cache_showdown`.
 
-use pat::prelude::*;
 use kv_cache::RadixCache;
+use pat::prelude::*;
 
 fn main() {
     let requests = generate_trace(TraceConfig {
@@ -27,7 +27,10 @@ fn main() {
         radix.insert_sequence(&tokens).expect("pool sized");
     }
     let logical_blocks: usize = tables.iter().map(|t| t.blocks().len()).sum();
-    println!("{:<28} {:>14} {:>12}", "cache design", "hit rate", "phys blocks");
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "cache design", "hit rate", "phys blocks"
+    );
     println!(
         "{:<28} {:>13.1}% {:>12}",
         "vLLM hash chaining",
@@ -40,7 +43,10 @@ fn main() {
         radix.stats().hit_rate() * 100.0,
         radix.allocator().used_blocks()
     );
-    println!("{:<28} {:>14} {:>12}", "(logical, no reuse)", "--", logical_blocks);
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "(logical, no reuse)", "--", logical_blocks
+    );
 
     // Now the paper's point: take 48 concurrent requests as a decode batch.
     // Reuse shrank memory, but FlashAttention still loads the logical bytes;
@@ -51,10 +57,22 @@ fn main() {
     let fa = simulate_plan(&batch, &FlashAttention::new().plan(&batch, &spec), &spec).unwrap();
     let pat = simulate_plan(&batch, &PatBackend::new().plan(&batch, &spec), &spec).unwrap();
     let optimal = attn_kernel::theoretical_min_kv_bytes(&batch);
-    println!("\ndecode batch of {} requests (one layer):", batch.num_queries());
-    println!("  distinct KV (theoretical min) : {:>8.1} MB", optimal / 1e6);
-    println!("  PAT loads                     : {:>8.1} MB", pat.traffic.kv_loaded_bytes() / 1e6);
-    println!("  FlashAttention loads          : {:>8.1} MB", fa.traffic.kv_loaded_bytes() / 1e6);
+    println!(
+        "\ndecode batch of {} requests (one layer):",
+        batch.num_queries()
+    );
+    println!(
+        "  distinct KV (theoretical min) : {:>8.1} MB",
+        optimal / 1e6
+    );
+    println!(
+        "  PAT loads                     : {:>8.1} MB",
+        pat.traffic.kv_loaded_bytes() / 1e6
+    );
+    println!(
+        "  FlashAttention loads          : {:>8.1} MB",
+        fa.traffic.kv_loaded_bytes() / 1e6
+    );
     println!(
         "\nprefix REUSE saved {:.0}% of memory; prefix-AWARE execution saved {:.0}% of loads.",
         (1.0 - hash.allocator().used_blocks() as f64 / logical_blocks as f64) * 100.0,

@@ -21,7 +21,11 @@ fn main() {
     let batch = DecodeBatch::new(head, tables, 2);
     let spec = GpuSpec::a100_sxm4_80gb();
 
-    println!("decode batch: {} queries, {} KV tokens each", batch.num_queries(), batch.kv_len(0));
+    println!(
+        "decode batch: {} queries, {} KV tokens each",
+        batch.num_queries(),
+        batch.kv_len(0)
+    );
     println!("GPU: {}", spec.name);
 
     // Plan with PAT and with FlashAttention.
@@ -44,7 +48,10 @@ fn main() {
     // ...but move very different amounts of KV cache and take different time.
     let pat_time = simulate_plan(&batch, &pat_plan, &spec).expect("simulates");
     let fa_time = simulate_plan(&batch, &fa_plan, &spec).expect("simulates");
-    println!("\n{:<16} {:>12} {:>14} {:>10}", "backend", "latency", "KV from DRAM", "bw util");
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>10}",
+        "backend", "latency", "KV from DRAM", "bw util"
+    );
     for (name, r) in [("PAT", &pat_time), ("FlashAttention", &fa_time)] {
         println!(
             "{:<16} {:>9.1} us {:>11.1} MB {:>9.0}%",

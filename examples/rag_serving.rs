@@ -36,8 +36,8 @@ fn main() {
                 id: i as u64,
                 arrival_s,
                 prompt: PromptSpec::from_parts([
-                    (1, 512),                       // system prompt (shared by all)
-                    (100 + doc, 1500),              // retrieved document (shared by topic)
+                    (1, 512),                          // system prompt (shared by all)
+                    (100 + doc, 1500),                 // retrieved document (shared by topic)
                     (10_000 + i as u64, question_len), // unique question
                 ]),
                 decode_tokens,

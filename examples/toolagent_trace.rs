@@ -17,7 +17,11 @@ fn main() {
     println!(
         "toolagent trace: {} requests over 20 s (mean prompt {} tokens)",
         requests.len(),
-        requests.iter().map(|r| r.prompt.total_tokens()).sum::<usize>() / requests.len().max(1)
+        requests
+            .iter()
+            .map(|r| r.prompt.total_tokens())
+            .sum::<usize>()
+            / requests.len().max(1)
     );
 
     let config = ServingConfig::single_gpu(ModelSpec::llama3_8b());

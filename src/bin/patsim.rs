@@ -96,7 +96,7 @@ fn heads_of(flags: &HashMap<String, String>) -> Result<HeadConfig, String> {
     let (h, kv) = spec.split_once('/').ok_or("heads must look like 32/8")?;
     let h: usize = h.parse().map_err(|_| "bad head count")?;
     let kv: usize = kv.parse().map_err(|_| "bad kv head count")?;
-    if h == 0 || kv == 0 || h % kv != 0 {
+    if h == 0 || kv == 0 || !h.is_multiple_of(kv) {
         return Err(format!("invalid head config {h}/{kv}"));
     }
     Ok(HeadConfig::new(h, kv, 128))
@@ -112,8 +112,16 @@ fn cmd_kernel(flags: &HashMap<String, String>) -> Result<(), String> {
     let head = heads_of(flags)?;
     let spec = BatchSpec::new(b, l);
     let batch = spec.build(head);
-    println!("batch {} on {} ({} queries)", spec.label(), gpu.name, batch.num_queries());
-    println!("{:<18} {:>12} {:>14} {:>10} {:>10}", "system", "latency", "KV DRAM (MB)", "bw util", "vs PAT");
+    println!(
+        "batch {} on {} ({} queries)",
+        spec.label(),
+        gpu.name,
+        batch.num_queries()
+    );
+    println!(
+        "{:<18} {:>12} {:>14} {:>10} {:>10}",
+        "system", "latency", "KV DRAM (MB)", "bw util", "vs PAT"
+    );
 
     let systems: Vec<Box<dyn AttentionBackend>> = vec![
         Box::new(PatBackend::new()),
@@ -132,7 +140,8 @@ fn cmd_kernel(flags: &HashMap<String, String>) -> Result<(), String> {
             continue;
         }
         let plan = system.plan(&batch, &gpu);
-        plan.validate(&batch).map_err(|e| format!("{}: {e}", system.name()))?;
+        plan.validate(&batch)
+            .map_err(|e| format!("{}: {e}", system.name()))?;
         let report = simulate_plan(&batch, &plan, &gpu).map_err(|e| e.to_string())?;
         let pat = *pat_ns.get_or_insert(report.total_ns);
         println!(
@@ -163,17 +172,34 @@ fn cmd_tiles(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    let kind = match flags.get("trace").map(String::as_str).unwrap_or("conversation") {
+    let kind = match flags
+        .get("trace")
+        .map(String::as_str)
+        .unwrap_or("conversation")
+    {
         "toolagent" => TraceKind::ToolAgent,
         "conversation" => TraceKind::Conversation,
         "qwen-a" => TraceKind::QwenA,
         "qwen-b" => TraceKind::QwenB,
         other => return Err(format!("unknown trace `{other}`")),
     };
-    let rate: f64 = flags.get("rate").map(String::as_str).unwrap_or("5").parse().map_err(|_| "bad --rate")?;
-    let duration: f64 =
-        flags.get("duration").map(String::as_str).unwrap_or("15").parse().map_err(|_| "bad --duration")?;
-    let model = match flags.get("model").map(String::as_str).unwrap_or("llama3-8b") {
+    let rate: f64 = flags
+        .get("rate")
+        .map(String::as_str)
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "bad --rate")?;
+    let duration: f64 = flags
+        .get("duration")
+        .map(String::as_str)
+        .unwrap_or("15")
+        .parse()
+        .map_err(|_| "bad --duration")?;
+    let model = match flags
+        .get("model")
+        .map(String::as_str)
+        .unwrap_or("llama3-8b")
+    {
         "llama3-8b" => ModelSpec::llama3_8b(),
         "qwen3-8b" => ModelSpec::qwen3_8b(),
         "qwen25-72b" => ModelSpec::qwen25_72b(),
@@ -191,7 +217,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let requests = match flags.get("load") {
         Some(path) => workloads::load_trace(path).map_err(|e| e.to_string())?,
-        None => generate_trace(TraceConfig { kind, rate_per_s: rate, duration_s: duration, seed: 7 }),
+        None => generate_trace(TraceConfig {
+            kind,
+            rate_per_s: rate,
+            duration_s: duration,
+            seed: 7,
+        }),
     };
     if let Some(path) = flags.get("save") {
         workloads::save_trace(path, &requests).map_err(|e| e.to_string())?;
@@ -215,9 +246,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("completed     : {:>10}", result.metrics.completed);
     println!("decode steps  : {:>10}", result.decode_steps);
     println!("mean batch    : {:>10.1}", result.mean_batch);
-    println!("attention time: {:>9.0}% of decode steps", result.attention_fraction * 100.0);
+    println!(
+        "attention time: {:>9.0}% of decode steps",
+        result.attention_fraction * 100.0
+    );
     if result.unfinished > 0 {
-        println!("WARNING: {} requests unfinished (overload)", result.unfinished);
+        println!(
+            "WARNING: {} requests unfinished (overload)",
+            result.unfinished
+        );
     }
     Ok(())
 }
@@ -232,7 +269,12 @@ fn cmd_traces() -> Result<(), String> {
             seed: 4,
         });
         let ratio = workloads::measure_prefix_ratio(&requests);
-        println!("{:>14} {:>11.1}% {:>9.0}%", kind.name(), ratio * 100.0, kind.paper_prefix_ratio() * 100.0);
+        println!(
+            "{:>14} {:>11.1}% {:>9.0}%",
+            kind.name(),
+            ratio * 100.0,
+            kind.paper_prefix_ratio() * 100.0
+        );
     }
     Ok(())
 }

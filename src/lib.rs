@@ -18,7 +18,9 @@
 //! * [`kv_cache`] — paged KV cache with prefix reuse and prefix trees;
 //! * [`sim_gpu`] — the A100/H100 simulator;
 //! * [`workloads`] — synthetic `(B, L)` batches and trace models;
-//! * [`serving`] — the continuous-batching serving simulator.
+//! * [`serving`] — the continuous-batching serving simulator;
+//! * [`cluster`] — the multi-replica fleet simulator with prefix-aware
+//!   request routing.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 pub use attn_kernel;
 pub use attn_math;
 pub use baselines;
+pub use cluster;
 pub use kv_cache;
 pub use pat_core;
 pub use serving;
@@ -64,9 +67,13 @@ pub mod prelude {
     pub use baselines::{
         Cascade, Deft, FastTree, FlashAttention, FlashInfer, RelayAttention, RelayAttentionPP,
     };
+    pub use cluster::{
+        Cluster, ClusterConfig, ConsistentHashPrefix, LeastOutstanding, PrefixAffinity, RoundRobin,
+        Router,
+    };
     pub use kv_cache::{BlockId, BlockTable, CacheManager, PrefixForest};
     pub use pat_core::{LazyPat, PatBackend, PatConfig, TileSelector, TileSolver};
-    pub use serving::{simulate_serving, ModelSpec, ServingConfig};
+    pub use serving::{simulate_serving, ModelSpec, ServingConfig, ServingEngine};
     pub use sim_gpu::{Engine, GpuSpec};
     pub use workloads::{figure11_specs, generate_trace, BatchSpec, TraceConfig, TraceKind};
 }

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/attn_kernel-3516497fe426b319.d: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/traffic.rs crates/attn-kernel/src/timing.rs
+
+/root/repo/target/debug/deps/attn_kernel-3516497fe426b319: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/traffic.rs crates/attn-kernel/src/timing.rs
+
+crates/attn-kernel/src/lib.rs:
+crates/attn-kernel/src/backend.rs:
+crates/attn-kernel/src/batch.rs:
+crates/attn-kernel/src/numeric.rs:
+crates/attn-kernel/src/plan.rs:
+crates/attn-kernel/src/tile.rs:
+crates/attn-kernel/src/traffic.rs:
+crates/attn-kernel/src/timing.rs:

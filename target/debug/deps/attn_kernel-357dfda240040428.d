@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/attn_kernel-357dfda240040428.d: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/timing.rs crates/attn-kernel/src/traffic.rs
+
+/root/repo/target/debug/deps/libattn_kernel-357dfda240040428.rlib: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/timing.rs crates/attn-kernel/src/traffic.rs
+
+/root/repo/target/debug/deps/libattn_kernel-357dfda240040428.rmeta: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/timing.rs crates/attn-kernel/src/traffic.rs
+
+crates/attn-kernel/src/lib.rs:
+crates/attn-kernel/src/backend.rs:
+crates/attn-kernel/src/batch.rs:
+crates/attn-kernel/src/numeric.rs:
+crates/attn-kernel/src/plan.rs:
+crates/attn-kernel/src/tile.rs:
+crates/attn-kernel/src/timing.rs:
+crates/attn-kernel/src/traffic.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/attn_kernel-7b113fd592944e13.d: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/timing.rs crates/attn-kernel/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattn_kernel-7b113fd592944e13.rmeta: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/timing.rs crates/attn-kernel/src/traffic.rs Cargo.toml
+
+crates/attn-kernel/src/lib.rs:
+crates/attn-kernel/src/backend.rs:
+crates/attn-kernel/src/batch.rs:
+crates/attn-kernel/src/numeric.rs:
+crates/attn-kernel/src/plan.rs:
+crates/attn-kernel/src/tile.rs:
+crates/attn-kernel/src/timing.rs:
+crates/attn-kernel/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/attn_math-305cd5a85b140016.d: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs
+
+/root/repo/target/debug/deps/attn_math-305cd5a85b140016: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs
+
+crates/attn-math/src/lib.rs:
+crates/attn-math/src/gqa.rs:
+crates/attn-math/src/half.rs:
+crates/attn-math/src/partial.rs:
+crates/attn-math/src/reference.rs:
+crates/attn-math/src/tensor.rs:

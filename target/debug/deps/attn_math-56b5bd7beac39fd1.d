@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/attn_math-56b5bd7beac39fd1.d: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattn_math-56b5bd7beac39fd1.rmeta: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs Cargo.toml
+
+crates/attn-math/src/lib.rs:
+crates/attn-math/src/gqa.rs:
+crates/attn-math/src/half.rs:
+crates/attn-math/src/partial.rs:
+crates/attn-math/src/reference.rs:
+crates/attn-math/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

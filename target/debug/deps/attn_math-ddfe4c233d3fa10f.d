@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/attn_math-ddfe4c233d3fa10f.d: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs
+
+/root/repo/target/debug/deps/libattn_math-ddfe4c233d3fa10f.rlib: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs
+
+/root/repo/target/debug/deps/libattn_math-ddfe4c233d3fa10f.rmeta: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs
+
+crates/attn-math/src/lib.rs:
+crates/attn-math/src/gqa.rs:
+crates/attn-math/src/half.rs:
+crates/attn-math/src/partial.rs:
+crates/attn-math/src/reference.rs:
+crates/attn-math/src/tensor.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/attn_math-fa8ed63c7d83865b.d: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattn_math-fa8ed63c7d83865b.rmeta: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs Cargo.toml
+
+crates/attn-math/src/lib.rs:
+crates/attn-math/src/gqa.rs:
+crates/attn-math/src/half.rs:
+crates/attn-math/src/partial.rs:
+crates/attn-math/src/reference.rs:
+crates/attn-math/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_equivalence-0b86b722f6c7d2d8.d: tests/backend_equivalence.rs
+
+/root/repo/target/debug/deps/backend_equivalence-0b86b722f6c7d2d8: tests/backend_equivalence.rs
+
+tests/backend_equivalence.rs:

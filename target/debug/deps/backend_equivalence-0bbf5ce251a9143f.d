@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_equivalence-0bbf5ce251a9143f.d: tests/backend_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_equivalence-0bbf5ce251a9143f.rmeta: tests/backend_equivalence.rs Cargo.toml
+
+tests/backend_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

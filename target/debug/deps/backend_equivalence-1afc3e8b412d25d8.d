@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_equivalence-1afc3e8b412d25d8.d: tests/backend_equivalence.rs
+
+/root/repo/target/debug/deps/backend_equivalence-1afc3e8b412d25d8: tests/backend_equivalence.rs
+
+tests/backend_equivalence.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/baselines-1c338f91d2db7917.d: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs
+
+/root/repo/target/debug/deps/libbaselines-1c338f91d2db7917.rlib: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs
+
+/root/repo/target/debug/deps/libbaselines-1c338f91d2db7917.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cascade.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/deft.rs:
+crates/baselines/src/fasttree.rs:
+crates/baselines/src/flash.rs:
+crates/baselines/src/relay.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baselines-334602b0d5ce409a.d: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs
+
+/root/repo/target/debug/deps/baselines-334602b0d5ce409a: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cascade.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/deft.rs:
+crates/baselines/src/fasttree.rs:
+crates/baselines/src/flash.rs:
+crates/baselines/src/relay.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/baselines-8fcd50c9dc5e7316.d: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-8fcd50c9dc5e7316.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cascade.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/deft.rs:
+crates/baselines/src/fasttree.rs:
+crates/baselines/src/flash.rs:
+crates/baselines/src/relay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/baselines-f7c0008fa9298935.d: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-f7c0008fa9298935.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cascade.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/deft.rs:
+crates/baselines/src/fasttree.rs:
+crates/baselines/src/flash.rs:
+crates/baselines/src/relay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_equivalence-2bff22f7cc667d6c.d: tests/cache_equivalence.rs
+
+/root/repo/target/debug/deps/cache_equivalence-2bff22f7cc667d6c: tests/cache_equivalence.rs
+
+tests/cache_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_equivalence-7a0bbd8089e81f3a.d: tests/cache_equivalence.rs
+
+/root/repo/target/debug/deps/cache_equivalence-7a0bbd8089e81f3a: tests/cache_equivalence.rs
+
+tests/cache_equivalence.rs:

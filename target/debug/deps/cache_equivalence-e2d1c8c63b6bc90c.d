@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_equivalence-e2d1c8c63b6bc90c.d: tests/cache_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_equivalence-e2d1c8c63b6bc90c.rmeta: tests/cache_equivalence.rs Cargo.toml
+
+tests/cache_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cluster-0e00f533b40a6eef.d: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-0e00f533b40a6eef.rmeta: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/router.rs:
+crates/cluster/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

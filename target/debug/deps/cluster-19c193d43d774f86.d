@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cluster-19c193d43d774f86.d: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/cluster-19c193d43d774f86: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/router.rs:
+crates/cluster/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cluster-a17b2972c4a22b91.d: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/libcluster-a17b2972c4a22b91.rlib: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/libcluster-a17b2972c4a22b91.rmeta: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/router.rs:
+crates/cluster/src/sim.rs:

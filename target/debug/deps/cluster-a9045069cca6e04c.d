@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cluster-a9045069cca6e04c.d: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-a9045069cca6e04c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/router.rs:
+crates/cluster/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_tests-77f6b331fb3d8b8e.d: crates/cluster/tests/cluster_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_tests-77f6b331fb3d8b8e.rmeta: crates/cluster/tests/cluster_tests.rs Cargo.toml
+
+crates/cluster/tests/cluster_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_tests-f281188c8b90df60.d: crates/cluster/tests/cluster_tests.rs
+
+/root/repo/target/debug/deps/cluster_tests-f281188c8b90df60: crates/cluster/tests/cluster_tests.rs
+
+crates/cluster/tests/cluster_tests.rs:

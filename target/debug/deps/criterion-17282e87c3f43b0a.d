@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-17282e87c3f43b0a.d: crates/compat-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-17282e87c3f43b0a: crates/compat-criterion/src/lib.rs
+
+crates/compat-criterion/src/lib.rs:

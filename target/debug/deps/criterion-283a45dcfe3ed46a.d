@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-283a45dcfe3ed46a.d: crates/compat-criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-283a45dcfe3ed46a.rmeta: crates/compat-criterion/src/lib.rs Cargo.toml
+
+crates/compat-criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

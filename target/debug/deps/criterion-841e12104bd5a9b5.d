@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-841e12104bd5a9b5.d: crates/compat-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-841e12104bd5a9b5.rlib: crates/compat-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-841e12104bd5a9b5.rmeta: crates/compat-criterion/src/lib.rs
+
+crates/compat-criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-fb45e6fec76f2103.d: crates/compat-criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-fb45e6fec76f2103.rmeta: crates/compat-criterion/src/lib.rs Cargo.toml
+
+crates/compat-criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

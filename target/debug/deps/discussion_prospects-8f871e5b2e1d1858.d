@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/discussion_prospects-8f871e5b2e1d1858.d: crates/bench/benches/discussion_prospects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiscussion_prospects-8f871e5b2e1d1858.rmeta: crates/bench/benches/discussion_prospects.rs Cargo.toml
+
+crates/bench/benches/discussion_prospects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_invariants-0f6dbcf6eb77632f.d: tests/engine_invariants.rs
+
+/root/repo/target/debug/deps/engine_invariants-0f6dbcf6eb77632f: tests/engine_invariants.rs
+
+tests/engine_invariants.rs:

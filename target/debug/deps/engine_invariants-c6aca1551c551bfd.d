@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_invariants-c6aca1551c551bfd.d: tests/engine_invariants.rs
+
+/root/repo/target/debug/deps/engine_invariants-c6aca1551c551bfd: tests/engine_invariants.rs
+
+tests/engine_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_invariants-f0db1691a5e71c42.d: tests/engine_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_invariants-f0db1691a5e71c42.rmeta: tests/engine_invariants.rs Cargo.toml
+
+tests/engine_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_latency_breakdown-81c149917c053850.d: crates/bench/benches/fig01_latency_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_latency_breakdown-81c149917c053850.rmeta: crates/bench/benches/fig01_latency_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig01_latency_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_prefix_ratio-fe3cbbb9e5001b3c.d: crates/bench/benches/fig04_prefix_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_prefix_ratio-fe3cbbb9e5001b3c.rmeta: crates/bench/benches/fig04_prefix_ratio.rs Cargo.toml
+
+crates/bench/benches/fig04_prefix_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_redundant_traffic-7bf786d584703bd9.d: crates/bench/benches/fig06_redundant_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_redundant_traffic-7bf786d584703bd9.rmeta: crates/bench/benches/fig06_redundant_traffic.rs Cargo.toml
+
+crates/bench/benches/fig06_redundant_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_multitile_a100-12b695ac305beb06.d: crates/bench/benches/fig08_multitile_a100.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_multitile_a100-12b695ac305beb06.rmeta: crates/bench/benches/fig08_multitile_a100.rs Cargo.toml
+
+crates/bench/benches/fig08_multitile_a100.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_multitile_h100-d0e14fb44be8c1e6.d: crates/bench/benches/fig09_multitile_h100.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_multitile_h100-d0e14fb44be8c1e6.rmeta: crates/bench/benches/fig09_multitile_h100.rs Cargo.toml
+
+crates/bench/benches/fig09_multitile_h100.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_kernel_a100-10e0f48055d75cdb.d: crates/bench/benches/fig11_kernel_a100.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_kernel_a100-10e0f48055d75cdb.rmeta: crates/bench/benches/fig11_kernel_a100.rs Cargo.toml
+
+crates/bench/benches/fig11_kernel_a100.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

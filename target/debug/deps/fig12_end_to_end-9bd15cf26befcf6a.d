@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_end_to_end-9bd15cf26befcf6a.d: crates/bench/benches/fig12_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_end_to_end-9bd15cf26befcf6a.rmeta: crates/bench/benches/fig12_end_to_end.rs Cargo.toml
+
+crates/bench/benches/fig12_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

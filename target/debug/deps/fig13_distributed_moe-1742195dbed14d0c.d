@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_distributed_moe-1742195dbed14d0c.d: crates/bench/benches/fig13_distributed_moe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_distributed_moe-1742195dbed14d0c.rmeta: crates/bench/benches/fig13_distributed_moe.rs Cargo.toml
+
+crates/bench/benches/fig13_distributed_moe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

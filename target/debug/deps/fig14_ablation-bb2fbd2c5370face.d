@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_ablation-bb2fbd2c5370face.d: crates/bench/benches/fig14_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_ablation-bb2fbd2c5370face.rmeta: crates/bench/benches/fig14_ablation.rs Cargo.toml
+
+crates/bench/benches/fig14_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

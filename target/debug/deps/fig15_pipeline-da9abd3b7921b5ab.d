@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_pipeline-da9abd3b7921b5ab.d: crates/bench/benches/fig15_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_pipeline-da9abd3b7921b5ab.rmeta: crates/bench/benches/fig15_pipeline.rs Cargo.toml
+
+crates/bench/benches/fig15_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_overhead-473e17d94132ace5.d: crates/bench/benches/fig16_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_overhead-473e17d94132ace5.rmeta: crates/bench/benches/fig16_overhead.rs Cargo.toml
+
+crates/bench/benches/fig16_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_kernel_h100-7e48f5fe3c6a493a.d: crates/bench/benches/fig17_kernel_h100.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_kernel_h100-7e48f5fe3c6a493a.rmeta: crates/bench/benches/fig17_kernel_h100.rs Cargo.toml
+
+crates/bench/benches/fig17_kernel_h100.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_cluster_routing-f3935a4c43c235ff.d: crates/bench/benches/fig18_cluster_routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_cluster_routing-f3935a4c43c235ff.rmeta: crates/bench/benches/fig18_cluster_routing.rs Cargo.toml
+
+crates/bench/benches/fig18_cluster_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kv_cache-3d5eddc36b439396.d: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs
+
+/root/repo/target/debug/deps/kv_cache-3d5eddc36b439396: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs
+
+crates/kv-cache/src/lib.rs:
+crates/kv-cache/src/allocator.rs:
+crates/kv-cache/src/block.rs:
+crates/kv-cache/src/cache_manager.rs:
+crates/kv-cache/src/prefix_tree.rs:
+crates/kv-cache/src/radix.rs:
+crates/kv-cache/src/stats.rs:

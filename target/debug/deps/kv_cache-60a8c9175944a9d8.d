@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kv_cache-60a8c9175944a9d8.d: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs
+
+/root/repo/target/debug/deps/libkv_cache-60a8c9175944a9d8.rlib: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs
+
+/root/repo/target/debug/deps/libkv_cache-60a8c9175944a9d8.rmeta: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs
+
+crates/kv-cache/src/lib.rs:
+crates/kv-cache/src/allocator.rs:
+crates/kv-cache/src/block.rs:
+crates/kv-cache/src/cache_manager.rs:
+crates/kv-cache/src/prefix_tree.rs:
+crates/kv-cache/src/radix.rs:
+crates/kv-cache/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/kv_cache-f167cb40b63ba46d.d: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkv_cache-f167cb40b63ba46d.rmeta: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs Cargo.toml
+
+crates/kv-cache/src/lib.rs:
+crates/kv-cache/src/allocator.rs:
+crates/kv-cache/src/block.rs:
+crates/kv-cache/src/cache_manager.rs:
+crates/kv-cache/src/prefix_tree.rs:
+crates/kv-cache/src/radix.rs:
+crates/kv-cache/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

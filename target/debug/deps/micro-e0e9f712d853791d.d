@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-e0e9f712d853791d.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-e0e9f712d853791d.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pat-279d59b45448ef54.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpat-279d59b45448ef54.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpat-279d59b45448ef54.rmeta: src/lib.rs
+
+src/lib.rs:

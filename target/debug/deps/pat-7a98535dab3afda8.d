@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pat-7a98535dab3afda8.d: src/lib.rs
+
+/root/repo/target/debug/deps/pat-7a98535dab3afda8: src/lib.rs
+
+src/lib.rs:

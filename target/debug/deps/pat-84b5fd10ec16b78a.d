@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pat-84b5fd10ec16b78a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpat-84b5fd10ec16b78a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpat-84b5fd10ec16b78a.rmeta: src/lib.rs
+
+src/lib.rs:

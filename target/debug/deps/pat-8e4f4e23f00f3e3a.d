@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pat-8e4f4e23f00f3e3a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpat-8e4f4e23f00f3e3a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pat-e5ce851d1e07cc0d.d: src/lib.rs
+
+/root/repo/target/debug/deps/pat-e5ce851d1e07cc0d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pat_bench-005edceee92a530c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpat_bench-005edceee92a530c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpat_bench-005edceee92a530c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pat_bench-21e2c2d81e0ffaa2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pat_bench-21e2c2d81e0ffaa2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

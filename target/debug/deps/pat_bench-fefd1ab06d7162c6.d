@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pat_bench-fefd1ab06d7162c6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpat_bench-fefd1ab06d7162c6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pat_core-0bd35a9de708e6dd.d: crates/pat-core/src/lib.rs crates/pat-core/src/ablation.rs crates/pat-core/src/backend.rs crates/pat-core/src/exact.rs crates/pat-core/src/explain.rs crates/pat-core/src/lazy.rs crates/pat-core/src/packer.rs crates/pat-core/src/profiler.rs crates/pat-core/src/profit.rs crates/pat-core/src/selector.rs crates/pat-core/src/split.rs crates/pat-core/src/tiles.rs
+
+/root/repo/target/debug/deps/pat_core-0bd35a9de708e6dd: crates/pat-core/src/lib.rs crates/pat-core/src/ablation.rs crates/pat-core/src/backend.rs crates/pat-core/src/exact.rs crates/pat-core/src/explain.rs crates/pat-core/src/lazy.rs crates/pat-core/src/packer.rs crates/pat-core/src/profiler.rs crates/pat-core/src/profit.rs crates/pat-core/src/selector.rs crates/pat-core/src/split.rs crates/pat-core/src/tiles.rs
+
+crates/pat-core/src/lib.rs:
+crates/pat-core/src/ablation.rs:
+crates/pat-core/src/backend.rs:
+crates/pat-core/src/exact.rs:
+crates/pat-core/src/explain.rs:
+crates/pat-core/src/lazy.rs:
+crates/pat-core/src/packer.rs:
+crates/pat-core/src/profiler.rs:
+crates/pat-core/src/profit.rs:
+crates/pat-core/src/selector.rs:
+crates/pat-core/src/split.rs:
+crates/pat-core/src/tiles.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pat_core-1254fad009393247.d: crates/pat-core/src/lib.rs crates/pat-core/src/ablation.rs crates/pat-core/src/backend.rs crates/pat-core/src/exact.rs crates/pat-core/src/explain.rs crates/pat-core/src/lazy.rs crates/pat-core/src/packer.rs crates/pat-core/src/profiler.rs crates/pat-core/src/profit.rs crates/pat-core/src/selector.rs crates/pat-core/src/split.rs crates/pat-core/src/tiles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpat_core-1254fad009393247.rmeta: crates/pat-core/src/lib.rs crates/pat-core/src/ablation.rs crates/pat-core/src/backend.rs crates/pat-core/src/exact.rs crates/pat-core/src/explain.rs crates/pat-core/src/lazy.rs crates/pat-core/src/packer.rs crates/pat-core/src/profiler.rs crates/pat-core/src/profit.rs crates/pat-core/src/selector.rs crates/pat-core/src/split.rs crates/pat-core/src/tiles.rs Cargo.toml
+
+crates/pat-core/src/lib.rs:
+crates/pat-core/src/ablation.rs:
+crates/pat-core/src/backend.rs:
+crates/pat-core/src/exact.rs:
+crates/pat-core/src/explain.rs:
+crates/pat-core/src/lazy.rs:
+crates/pat-core/src/packer.rs:
+crates/pat-core/src/profiler.rs:
+crates/pat-core/src/profit.rs:
+crates/pat-core/src/selector.rs:
+crates/pat-core/src/split.rs:
+crates/pat-core/src/tiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

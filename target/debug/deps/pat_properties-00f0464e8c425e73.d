@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pat_properties-00f0464e8c425e73.d: tests/pat_properties.rs
+
+/root/repo/target/debug/deps/pat_properties-00f0464e8c425e73: tests/pat_properties.rs
+
+tests/pat_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pat_properties-b03451db67a23c20.d: tests/pat_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpat_properties-b03451db67a23c20.rmeta: tests/pat_properties.rs Cargo.toml
+
+tests/pat_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

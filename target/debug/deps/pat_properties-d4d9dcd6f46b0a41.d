@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pat_properties-d4d9dcd6f46b0a41.d: tests/pat_properties.rs
+
+/root/repo/target/debug/deps/pat_properties-d4d9dcd6f46b0a41: tests/pat_properties.rs
+
+tests/pat_properties.rs:

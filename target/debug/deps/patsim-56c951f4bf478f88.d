@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patsim-56c951f4bf478f88.d: src/bin/patsim.rs
+
+/root/repo/target/debug/deps/patsim-56c951f4bf478f88: src/bin/patsim.rs
+
+src/bin/patsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patsim-5c485651a30d590e.d: src/bin/patsim.rs
+
+/root/repo/target/debug/deps/patsim-5c485651a30d590e: src/bin/patsim.rs
+
+src/bin/patsim.rs:

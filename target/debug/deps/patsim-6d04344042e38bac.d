@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patsim-6d04344042e38bac.d: src/bin/patsim.rs
+
+/root/repo/target/debug/deps/patsim-6d04344042e38bac: src/bin/patsim.rs
+
+src/bin/patsim.rs:

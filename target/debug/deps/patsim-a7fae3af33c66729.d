@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/patsim-a7fae3af33c66729.d: src/bin/patsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpatsim-a7fae3af33c66729.rmeta: src/bin/patsim.rs Cargo.toml
+
+src/bin/patsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patsim-bb409f126989162f.d: src/bin/patsim.rs
+
+/root/repo/target/debug/deps/patsim-bb409f126989162f: src/bin/patsim.rs
+
+src/bin/patsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/patsim-d1d1b850b6173df2.d: src/bin/patsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpatsim-d1d1b850b6173df2.rmeta: src/bin/patsim.rs Cargo.toml
+
+src/bin/patsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4fa190a5d2a07d58.d: crates/attn-math/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4fa190a5d2a07d58.rmeta: crates/attn-math/tests/properties.rs Cargo.toml
+
+crates/attn-math/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

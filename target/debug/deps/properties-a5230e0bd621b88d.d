@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a5230e0bd621b88d.d: crates/attn-math/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a5230e0bd621b88d: crates/attn-math/tests/properties.rs
+
+crates/attn-math/tests/properties.rs:

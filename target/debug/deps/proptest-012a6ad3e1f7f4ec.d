@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-012a6ad3e1f7f4ec.d: crates/compat-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-012a6ad3e1f7f4ec: crates/compat-proptest/src/lib.rs
+
+crates/compat-proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-51099c22a1de8f24.d: crates/compat-proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-51099c22a1de8f24.rmeta: crates/compat-proptest/src/lib.rs Cargo.toml
+
+crates/compat-proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-a0168e52c7b82df2.d: crates/compat-proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-a0168e52c7b82df2.rmeta: crates/compat-proptest/src/lib.rs Cargo.toml
+
+crates/compat-proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

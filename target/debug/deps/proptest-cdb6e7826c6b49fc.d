@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-cdb6e7826c6b49fc.d: crates/compat-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cdb6e7826c6b49fc.rlib: crates/compat-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cdb6e7826c6b49fc.rmeta: crates/compat-proptest/src/lib.rs
+
+crates/compat-proptest/src/lib.rs:

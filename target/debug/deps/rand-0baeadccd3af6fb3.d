@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0baeadccd3af6fb3.d: crates/compat-rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-0baeadccd3af6fb3: crates/compat-rand/src/lib.rs
+
+crates/compat-rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-a7b083e78dafc74b.d: crates/compat-rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a7b083e78dafc74b.rmeta: crates/compat-rand/src/lib.rs Cargo.toml
+
+crates/compat-rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

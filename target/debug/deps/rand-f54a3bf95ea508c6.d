@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f54a3bf95ea508c6.d: crates/compat-rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f54a3bf95ea508c6.rlib: crates/compat-rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f54a3bf95ea508c6.rmeta: crates/compat-rand/src/lib.rs
+
+crates/compat-rand/src/lib.rs:

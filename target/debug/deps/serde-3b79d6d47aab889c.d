@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-3b79d6d47aab889c.d: crates/compat-serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-3b79d6d47aab889c: crates/compat-serde/src/lib.rs
+
+crates/compat-serde/src/lib.rs:

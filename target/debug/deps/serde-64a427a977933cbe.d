@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-64a427a977933cbe.d: crates/compat-serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-64a427a977933cbe.rmeta: crates/compat-serde/src/lib.rs Cargo.toml
+
+crates/compat-serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

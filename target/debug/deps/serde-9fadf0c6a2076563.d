@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-9fadf0c6a2076563.d: crates/compat-serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9fadf0c6a2076563.rlib: crates/compat-serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9fadf0c6a2076563.rmeta: crates/compat-serde/src/lib.rs
+
+crates/compat-serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-f4b78b093f5d3407.d: crates/compat-serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-f4b78b093f5d3407.rmeta: crates/compat-serde/src/lib.rs Cargo.toml
+
+crates/compat-serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-031f4205b41b3471.d: crates/compat-serde-derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-031f4205b41b3471.rmeta: crates/compat-serde-derive/src/lib.rs Cargo.toml
+
+crates/compat-serde-derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-b02aec896e8e2033.d: crates/compat-serde-derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-b02aec896e8e2033.so: crates/compat-serde-derive/src/lib.rs Cargo.toml
+
+crates/compat-serde-derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

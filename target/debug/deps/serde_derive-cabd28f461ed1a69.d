@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-cabd28f461ed1a69.d: crates/compat-serde-derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-cabd28f461ed1a69: crates/compat-serde-derive/src/lib.rs
+
+crates/compat-serde-derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ebf900d472879db3.d: crates/compat-serde-derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ebf900d472879db3.so: crates/compat-serde-derive/src/lib.rs
+
+crates/compat-serde-derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-403e93b6c26d8947.d: crates/compat-serde-json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-403e93b6c26d8947.rmeta: crates/compat-serde-json/src/lib.rs Cargo.toml
+
+crates/compat-serde-json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

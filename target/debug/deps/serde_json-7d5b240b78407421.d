@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-7d5b240b78407421.d: crates/compat-serde-json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-7d5b240b78407421: crates/compat-serde-json/src/lib.rs
+
+crates/compat-serde-json/src/lib.rs:

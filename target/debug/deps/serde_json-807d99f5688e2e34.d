@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-807d99f5688e2e34.d: crates/compat-serde-json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-807d99f5688e2e34.rlib: crates/compat-serde-json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-807d99f5688e2e34.rmeta: crates/compat-serde-json/src/lib.rs
+
+crates/compat-serde-json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-a1b43d95921f2d18.d: crates/compat-serde-json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-a1b43d95921f2d18.rmeta: crates/compat-serde-json/src/lib.rs Cargo.toml
+
+crates/compat-serde-json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

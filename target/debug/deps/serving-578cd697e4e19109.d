@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/serving-578cd697e4e19109.d: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserving-578cd697e4e19109.rmeta: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs Cargo.toml
+
+crates/serving/src/lib.rs:
+crates/serving/src/attention.rs:
+crates/serving/src/breakdown.rs:
+crates/serving/src/costs.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

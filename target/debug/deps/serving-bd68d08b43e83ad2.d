@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/serving-bd68d08b43e83ad2.d: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+/root/repo/target/debug/deps/libserving-bd68d08b43e83ad2.rlib: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+/root/repo/target/debug/deps/libserving-bd68d08b43e83ad2.rmeta: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/attention.rs:
+crates/serving/src/breakdown.rs:
+crates/serving/src/costs.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/model.rs:

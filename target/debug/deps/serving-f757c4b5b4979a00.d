@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/serving-f757c4b5b4979a00.d: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+/root/repo/target/debug/deps/libserving-f757c4b5b4979a00.rlib: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+/root/repo/target/debug/deps/libserving-f757c4b5b4979a00.rmeta: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/attention.rs:
+crates/serving/src/breakdown.rs:
+crates/serving/src/costs.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/model.rs:

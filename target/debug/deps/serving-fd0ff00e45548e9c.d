@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/serving-fd0ff00e45548e9c.d: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+/root/repo/target/debug/deps/serving-fd0ff00e45548e9c: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/attention.rs:
+crates/serving/src/breakdown.rs:
+crates/serving/src/costs.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serving_integration-cdc7780aca33b5fe.d: tests/serving_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserving_integration-cdc7780aca33b5fe.rmeta: tests/serving_integration.rs Cargo.toml
+
+tests/serving_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

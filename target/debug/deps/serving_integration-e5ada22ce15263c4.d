@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving_integration-e5ada22ce15263c4.d: tests/serving_integration.rs
+
+/root/repo/target/debug/deps/serving_integration-e5ada22ce15263c4: tests/serving_integration.rs
+
+tests/serving_integration.rs:

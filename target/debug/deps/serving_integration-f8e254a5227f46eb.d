@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving_integration-f8e254a5227f46eb.d: tests/serving_integration.rs
+
+/root/repo/target/debug/deps/serving_integration-f8e254a5227f46eb: tests/serving_integration.rs
+
+tests/serving_integration.rs:

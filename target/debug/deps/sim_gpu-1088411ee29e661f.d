@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sim_gpu-1088411ee29e661f.d: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs
+
+/root/repo/target/debug/deps/sim_gpu-1088411ee29e661f: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs
+
+crates/sim-gpu/src/lib.rs:
+crates/sim-gpu/src/chrome.rs:
+crates/sim-gpu/src/engine.rs:
+crates/sim-gpu/src/l2.rs:
+crates/sim-gpu/src/memory.rs:
+crates/sim-gpu/src/occupancy.rs:
+crates/sim-gpu/src/spec.rs:
+crates/sim-gpu/src/trace.rs:

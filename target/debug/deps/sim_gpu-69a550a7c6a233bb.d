@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sim_gpu-69a550a7c6a233bb.d: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs
+
+/root/repo/target/debug/deps/libsim_gpu-69a550a7c6a233bb.rlib: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs
+
+/root/repo/target/debug/deps/libsim_gpu-69a550a7c6a233bb.rmeta: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs
+
+crates/sim-gpu/src/lib.rs:
+crates/sim-gpu/src/chrome.rs:
+crates/sim-gpu/src/engine.rs:
+crates/sim-gpu/src/l2.rs:
+crates/sim-gpu/src/memory.rs:
+crates/sim-gpu/src/occupancy.rs:
+crates/sim-gpu/src/spec.rs:
+crates/sim-gpu/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sim_gpu-ab75be3aeec78b8d.d: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_gpu-ab75be3aeec78b8d.rmeta: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs Cargo.toml
+
+crates/sim-gpu/src/lib.rs:
+crates/sim-gpu/src/chrome.rs:
+crates/sim-gpu/src/engine.rs:
+crates/sim-gpu/src/l2.rs:
+crates/sim-gpu/src/memory.rs:
+crates/sim-gpu/src/occupancy.rs:
+crates/sim-gpu/src/spec.rs:
+crates/sim-gpu/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_memory_hierarchy-3c2aa109d8d94e93.d: crates/bench/benches/table1_memory_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_memory_hierarchy-3c2aa109d8d94e93.rmeta: crates/bench/benches/table1_memory_hierarchy.rs Cargo.toml
+
+crates/bench/benches/table1_memory_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-1e203e31beee9a3d.d: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/workloads-1e203e31beee9a3d: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrival.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/requests.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tenants.rs:
+crates/workloads/src/traces.rs:

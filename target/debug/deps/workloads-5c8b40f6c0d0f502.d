@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/workloads-5c8b40f6c0d0f502.d: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-5c8b40f6c0d0f502.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrival.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/requests.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tenants.rs:
+crates/workloads/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

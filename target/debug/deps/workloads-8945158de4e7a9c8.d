@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-8945158de4e7a9c8.d: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libworkloads-8945158de4e7a9c8.rlib: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libworkloads-8945158de4e7a9c8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrival.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/requests.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tenants.rs:
+crates/workloads/src/traces.rs:

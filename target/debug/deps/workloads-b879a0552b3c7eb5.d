@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/workloads-b879a0552b3c7eb5.d: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-b879a0552b3c7eb5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrival.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/requests.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tenants.rs:
+crates/workloads/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation_tour-b77a7d023af05a87.d: examples/ablation_tour.rs
+
+/root/repo/target/debug/examples/ablation_tour-b77a7d023af05a87: examples/ablation_tour.rs
+
+examples/ablation_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation_tour-b83f28203bba768d.d: examples/ablation_tour.rs
+
+/root/repo/target/debug/examples/ablation_tour-b83f28203bba768d: examples/ablation_tour.rs
+
+examples/ablation_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ablation_tour-bf477957481e7c9c.d: examples/ablation_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libablation_tour-bf477957481e7c9c.rmeta: examples/ablation_tour.rs Cargo.toml
+
+examples/ablation_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

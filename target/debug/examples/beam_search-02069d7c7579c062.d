@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/beam_search-02069d7c7579c062.d: examples/beam_search.rs
+
+/root/repo/target/debug/examples/beam_search-02069d7c7579c062: examples/beam_search.rs
+
+examples/beam_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/beam_search-c19c0bf19b3e84d8.d: examples/beam_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbeam_search-c19c0bf19b3e84d8.rmeta: examples/beam_search.rs Cargo.toml
+
+examples/beam_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/beam_search-e8c19b605a76bb80.d: examples/beam_search.rs
+
+/root/repo/target/debug/examples/beam_search-e8c19b605a76bb80: examples/beam_search.rs
+
+examples/beam_search.rs:

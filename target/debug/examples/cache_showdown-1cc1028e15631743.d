@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_showdown-1cc1028e15631743.d: examples/cache_showdown.rs
+
+/root/repo/target/debug/examples/cache_showdown-1cc1028e15631743: examples/cache_showdown.rs
+
+examples/cache_showdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_showdown-3a9ba606f6e59882.d: examples/cache_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_showdown-3a9ba606f6e59882.rmeta: examples/cache_showdown.rs Cargo.toml
+
+examples/cache_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_showdown-6be71e91a90c521b.d: examples/cache_showdown.rs
+
+/root/repo/target/debug/examples/cache_showdown-6be71e91a90c521b: examples/cache_showdown.rs
+
+examples/cache_showdown.rs:

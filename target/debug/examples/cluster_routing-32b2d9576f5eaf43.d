@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_routing-32b2d9576f5eaf43.d: examples/cluster_routing.rs
+
+/root/repo/target/debug/examples/cluster_routing-32b2d9576f5eaf43: examples/cluster_routing.rs
+
+examples/cluster_routing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cluster_routing-3770e259fd330f77.d: examples/cluster_routing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcluster_routing-3770e259fd330f77.rmeta: examples/cluster_routing.rs Cargo.toml
+
+examples/cluster_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1c208d657c2ffd44.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1c208d657c2ffd44: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c194d5ba6d3d1913.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c194d5ba6d3d1913: examples/quickstart.rs
+
+examples/quickstart.rs:

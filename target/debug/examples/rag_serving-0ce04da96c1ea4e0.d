@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rag_serving-0ce04da96c1ea4e0.d: examples/rag_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/librag_serving-0ce04da96c1ea4e0.rmeta: examples/rag_serving.rs Cargo.toml
+
+examples/rag_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

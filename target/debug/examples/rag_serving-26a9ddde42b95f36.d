@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rag_serving-26a9ddde42b95f36.d: examples/rag_serving.rs
+
+/root/repo/target/debug/examples/rag_serving-26a9ddde42b95f36: examples/rag_serving.rs
+
+examples/rag_serving.rs:

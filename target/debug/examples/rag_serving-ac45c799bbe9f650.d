@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rag_serving-ac45c799bbe9f650.d: examples/rag_serving.rs
+
+/root/repo/target/debug/examples/rag_serving-ac45c799bbe9f650: examples/rag_serving.rs
+
+examples/rag_serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tile_explorer-26c2aece4e337839.d: examples/tile_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtile_explorer-26c2aece4e337839.rmeta: examples/tile_explorer.rs Cargo.toml
+
+examples/tile_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tile_explorer-469707fe57ef513b.d: examples/tile_explorer.rs
+
+/root/repo/target/debug/examples/tile_explorer-469707fe57ef513b: examples/tile_explorer.rs
+
+examples/tile_explorer.rs:

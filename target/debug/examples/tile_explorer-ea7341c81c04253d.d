@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tile_explorer-ea7341c81c04253d.d: examples/tile_explorer.rs
+
+/root/repo/target/debug/examples/tile_explorer-ea7341c81c04253d: examples/tile_explorer.rs
+
+examples/tile_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/toolagent_trace-124fa0b465045147.d: examples/toolagent_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtoolagent_trace-124fa0b465045147.rmeta: examples/toolagent_trace.rs Cargo.toml
+
+examples/toolagent_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

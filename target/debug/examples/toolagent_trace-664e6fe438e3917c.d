@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/toolagent_trace-664e6fe438e3917c.d: examples/toolagent_trace.rs
+
+/root/repo/target/debug/examples/toolagent_trace-664e6fe438e3917c: examples/toolagent_trace.rs
+
+examples/toolagent_trace.rs:

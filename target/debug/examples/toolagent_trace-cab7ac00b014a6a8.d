@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/toolagent_trace-cab7ac00b014a6a8.d: examples/toolagent_trace.rs
+
+/root/repo/target/debug/examples/toolagent_trace-cab7ac00b014a6a8: examples/toolagent_trace.rs
+
+examples/toolagent_trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/attn_kernel-cdc7e9b6c0427acc.d: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/timing.rs crates/attn-kernel/src/traffic.rs
+
+/root/repo/target/release/deps/libattn_kernel-cdc7e9b6c0427acc.rlib: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/timing.rs crates/attn-kernel/src/traffic.rs
+
+/root/repo/target/release/deps/libattn_kernel-cdc7e9b6c0427acc.rmeta: crates/attn-kernel/src/lib.rs crates/attn-kernel/src/backend.rs crates/attn-kernel/src/batch.rs crates/attn-kernel/src/numeric.rs crates/attn-kernel/src/plan.rs crates/attn-kernel/src/tile.rs crates/attn-kernel/src/timing.rs crates/attn-kernel/src/traffic.rs
+
+crates/attn-kernel/src/lib.rs:
+crates/attn-kernel/src/backend.rs:
+crates/attn-kernel/src/batch.rs:
+crates/attn-kernel/src/numeric.rs:
+crates/attn-kernel/src/plan.rs:
+crates/attn-kernel/src/tile.rs:
+crates/attn-kernel/src/timing.rs:
+crates/attn-kernel/src/traffic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/attn_math-9c68bcd4012db721.d: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs
+
+/root/repo/target/release/deps/libattn_math-9c68bcd4012db721.rlib: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs
+
+/root/repo/target/release/deps/libattn_math-9c68bcd4012db721.rmeta: crates/attn-math/src/lib.rs crates/attn-math/src/gqa.rs crates/attn-math/src/half.rs crates/attn-math/src/partial.rs crates/attn-math/src/reference.rs crates/attn-math/src/tensor.rs
+
+crates/attn-math/src/lib.rs:
+crates/attn-math/src/gqa.rs:
+crates/attn-math/src/half.rs:
+crates/attn-math/src/partial.rs:
+crates/attn-math/src/reference.rs:
+crates/attn-math/src/tensor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/baselines-6bc2791913a72a8a.d: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs
+
+/root/repo/target/release/deps/libbaselines-6bc2791913a72a8a.rlib: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs
+
+/root/repo/target/release/deps/libbaselines-6bc2791913a72a8a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cascade.rs crates/baselines/src/common.rs crates/baselines/src/deft.rs crates/baselines/src/fasttree.rs crates/baselines/src/flash.rs crates/baselines/src/relay.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cascade.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/deft.rs:
+crates/baselines/src/fasttree.rs:
+crates/baselines/src/flash.rs:
+crates/baselines/src/relay.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cluster-56d317d4f7298d2b.d: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/libcluster-56d317d4f7298d2b.rlib: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/libcluster-56d317d4f7298d2b.rmeta: crates/cluster/src/lib.rs crates/cluster/src/metrics.rs crates/cluster/src/router.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/router.rs:
+crates/cluster/src/sim.rs:

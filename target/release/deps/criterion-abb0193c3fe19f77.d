@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-abb0193c3fe19f77.d: crates/compat-criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-abb0193c3fe19f77.rlib: crates/compat-criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-abb0193c3fe19f77.rmeta: crates/compat-criterion/src/lib.rs
+
+crates/compat-criterion/src/lib.rs:

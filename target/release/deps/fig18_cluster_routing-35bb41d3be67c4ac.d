@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_cluster_routing-35bb41d3be67c4ac.d: crates/bench/benches/fig18_cluster_routing.rs
+
+/root/repo/target/release/deps/fig18_cluster_routing-35bb41d3be67c4ac: crates/bench/benches/fig18_cluster_routing.rs
+
+crates/bench/benches/fig18_cluster_routing.rs:

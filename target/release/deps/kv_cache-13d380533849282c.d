@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/kv_cache-13d380533849282c.d: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs
+
+/root/repo/target/release/deps/libkv_cache-13d380533849282c.rlib: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs
+
+/root/repo/target/release/deps/libkv_cache-13d380533849282c.rmeta: crates/kv-cache/src/lib.rs crates/kv-cache/src/allocator.rs crates/kv-cache/src/block.rs crates/kv-cache/src/cache_manager.rs crates/kv-cache/src/prefix_tree.rs crates/kv-cache/src/radix.rs crates/kv-cache/src/stats.rs
+
+crates/kv-cache/src/lib.rs:
+crates/kv-cache/src/allocator.rs:
+crates/kv-cache/src/block.rs:
+crates/kv-cache/src/cache_manager.rs:
+crates/kv-cache/src/prefix_tree.rs:
+crates/kv-cache/src/radix.rs:
+crates/kv-cache/src/stats.rs:

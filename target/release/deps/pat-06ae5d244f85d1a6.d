@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pat-06ae5d244f85d1a6.d: src/lib.rs
+
+/root/repo/target/release/deps/libpat-06ae5d244f85d1a6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpat-06ae5d244f85d1a6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pat-e8d5171b6ce282b6.d: src/lib.rs
+
+/root/repo/target/release/deps/libpat-e8d5171b6ce282b6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpat-e8d5171b6ce282b6.rmeta: src/lib.rs
+
+src/lib.rs:

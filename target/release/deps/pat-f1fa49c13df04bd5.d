@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pat-f1fa49c13df04bd5.d: src/lib.rs
+
+/root/repo/target/release/deps/libpat-f1fa49c13df04bd5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpat-f1fa49c13df04bd5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pat_bench-4b73f948bbdb1c1d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpat_bench-4b73f948bbdb1c1d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpat_bench-4b73f948bbdb1c1d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/patsim-4472621080dcd5f6.d: src/bin/patsim.rs
+
+/root/repo/target/release/deps/patsim-4472621080dcd5f6: src/bin/patsim.rs
+
+src/bin/patsim.rs:

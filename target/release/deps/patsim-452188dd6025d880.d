@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/patsim-452188dd6025d880.d: src/bin/patsim.rs
+
+/root/repo/target/release/deps/patsim-452188dd6025d880: src/bin/patsim.rs
+
+src/bin/patsim.rs:

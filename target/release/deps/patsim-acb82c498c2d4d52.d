@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/patsim-acb82c498c2d4d52.d: src/bin/patsim.rs
+
+/root/repo/target/release/deps/patsim-acb82c498c2d4d52: src/bin/patsim.rs
+
+src/bin/patsim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-04221b4fde5aa5a5.d: crates/compat-proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-04221b4fde5aa5a5.rlib: crates/compat-proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-04221b4fde5aa5a5.rmeta: crates/compat-proptest/src/lib.rs
+
+crates/compat-proptest/src/lib.rs:

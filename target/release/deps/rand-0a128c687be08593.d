@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-0a128c687be08593.d: crates/compat-rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0a128c687be08593.rlib: crates/compat-rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0a128c687be08593.rmeta: crates/compat-rand/src/lib.rs
+
+crates/compat-rand/src/lib.rs:

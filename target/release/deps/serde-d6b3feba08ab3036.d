@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-d6b3feba08ab3036.d: crates/compat-serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d6b3feba08ab3036.rlib: crates/compat-serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d6b3feba08ab3036.rmeta: crates/compat-serde/src/lib.rs
+
+crates/compat-serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-3ebff61914a9dde3.d: crates/compat-serde-derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-3ebff61914a9dde3.so: crates/compat-serde-derive/src/lib.rs
+
+crates/compat-serde-derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-c1c0a60b1b505fef.d: crates/compat-serde-json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c1c0a60b1b505fef.rlib: crates/compat-serde-json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c1c0a60b1b505fef.rmeta: crates/compat-serde-json/src/lib.rs
+
+crates/compat-serde-json/src/lib.rs:

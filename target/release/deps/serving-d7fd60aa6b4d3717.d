@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/serving-d7fd60aa6b4d3717.d: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+/root/repo/target/release/deps/libserving-d7fd60aa6b4d3717.rlib: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+/root/repo/target/release/deps/libserving-d7fd60aa6b4d3717.rmeta: crates/serving/src/lib.rs crates/serving/src/attention.rs crates/serving/src/breakdown.rs crates/serving/src/costs.rs crates/serving/src/engine.rs crates/serving/src/metrics.rs crates/serving/src/model.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/attention.rs:
+crates/serving/src/breakdown.rs:
+crates/serving/src/costs.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/model.rs:

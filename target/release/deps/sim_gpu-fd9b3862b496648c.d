@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sim_gpu-fd9b3862b496648c.d: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs
+
+/root/repo/target/release/deps/libsim_gpu-fd9b3862b496648c.rlib: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs
+
+/root/repo/target/release/deps/libsim_gpu-fd9b3862b496648c.rmeta: crates/sim-gpu/src/lib.rs crates/sim-gpu/src/chrome.rs crates/sim-gpu/src/engine.rs crates/sim-gpu/src/l2.rs crates/sim-gpu/src/memory.rs crates/sim-gpu/src/occupancy.rs crates/sim-gpu/src/spec.rs crates/sim-gpu/src/trace.rs
+
+crates/sim-gpu/src/lib.rs:
+crates/sim-gpu/src/chrome.rs:
+crates/sim-gpu/src/engine.rs:
+crates/sim-gpu/src/l2.rs:
+crates/sim-gpu/src/memory.rs:
+crates/sim-gpu/src/occupancy.rs:
+crates/sim-gpu/src/spec.rs:
+crates/sim-gpu/src/trace.rs:

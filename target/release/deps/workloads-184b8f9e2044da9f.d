@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/workloads-184b8f9e2044da9f.d: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs
+
+/root/repo/target/release/deps/libworkloads-184b8f9e2044da9f.rlib: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs
+
+/root/repo/target/release/deps/libworkloads-184b8f9e2044da9f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arrival.rs crates/workloads/src/io.rs crates/workloads/src/requests.rs crates/workloads/src/synthetic.rs crates/workloads/src/tenants.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrival.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/requests.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tenants.rs:
+crates/workloads/src/traces.rs:

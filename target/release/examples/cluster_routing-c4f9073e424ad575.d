@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cluster_routing-c4f9073e424ad575.d: examples/cluster_routing.rs
+
+/root/repo/target/release/examples/cluster_routing-c4f9073e424ad575: examples/cluster_routing.rs
+
+examples/cluster_routing.rs:

@@ -60,8 +60,9 @@ fn every_backend_matches_the_reference_on_every_supported_workload() {
             plan.validate(&batch).unwrap_or_else(|e| {
                 panic!("{} invalid on {}: {e}", backend.name(), workload.label())
             });
-            let got = execute_numeric(&batch, &acts, &store, &plan)
-                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", backend.name(), workload.label()));
+            let got = execute_numeric(&batch, &acts, &store, &plan).unwrap_or_else(|e| {
+                panic!("{} failed on {}: {e}", backend.name(), workload.label())
+            });
             let diff = got.max_abs_diff(&want);
             assert!(
                 diff < 1e-4,
@@ -70,7 +71,11 @@ fn every_backend_matches_the_reference_on_every_supported_workload() {
                 workload.label()
             );
         }
-        assert!(supported >= 8, "workload {} supported by too few systems", workload.label());
+        assert!(
+            supported >= 8,
+            "workload {} supported by too few systems",
+            workload.label()
+        );
     }
 }
 
@@ -116,8 +121,9 @@ fn pat_is_fastest_or_tied_on_the_paper_suite() {
     let head = HeadConfig::new(32, 8, 128);
     for workload in figure11_specs() {
         let batch = workload.build(head);
-        let pat_ns =
-            simulate_plan(&batch, &PatBackend::new().plan(&batch, &spec), &spec).unwrap().total_ns;
+        let pat_ns = simulate_plan(&batch, &PatBackend::new().plan(&batch, &spec), &spec)
+            .unwrap()
+            .total_ns;
         for backend in all_systems() {
             if !backend.supports(&batch) {
                 continue;

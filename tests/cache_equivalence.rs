@@ -51,7 +51,10 @@ fn reuse_reduces_footprint_but_not_logical_kv() {
     }
     let physical = cache.allocator().used_blocks();
     let logical: usize = tables.iter().map(|t| t.blocks().len()).sum();
-    assert!(physical < logical / 8, "physical {physical} vs logical {logical}");
+    assert!(
+        physical < logical / 8,
+        "physical {physical} vs logical {logical}"
+    );
 
     // The shared structure is exactly what the pack scheduler exploits.
     let stats = BatchPrefixStats::from_tables(&tables);
@@ -72,11 +75,21 @@ fn both_cache_designs_share_split_prefixes() {
     b.extend(900..932);
     for cache_run in 0..2 {
         let (ta, tb) = if cache_run == 0 {
-            (radix.insert_sequence(&a).unwrap(), radix.insert_sequence(&b).unwrap())
+            (
+                radix.insert_sequence(&a).unwrap(),
+                radix.insert_sequence(&b).unwrap(),
+            )
         } else {
-            (hash.insert_sequence(&a).unwrap(), hash.insert_sequence(&b).unwrap())
+            (
+                hash.insert_sequence(&a).unwrap(),
+                hash.insert_sequence(&b).unwrap(),
+            )
         };
-        assert_eq!(ta.blocks()[..2], tb.blocks()[..2], "32-token overlap shared");
+        assert_eq!(
+            ta.blocks()[..2],
+            tb.blocks()[..2],
+            "32-token overlap shared"
+        );
         assert_ne!(ta.blocks()[2], tb.blocks()[2]);
     }
     assert_eq!(radix.stats().hit_tokens, hash.stats().hit_tokens);

@@ -5,7 +5,11 @@ use proptest::prelude::*;
 use sim_gpu::{CtaResources, CtaWork, Engine, GpuSpec, KernelSpec, StreamSpec};
 
 fn res(smem_kb: usize, regs: usize, threads: usize) -> CtaResources {
-    CtaResources { smem_bytes: smem_kb * 1024, regs_per_thread: regs, threads }
+    CtaResources {
+        smem_bytes: smem_kb * 1024,
+        regs_per_thread: regs,
+        threads,
+    }
 }
 
 prop_compose! {

@@ -6,7 +6,12 @@ use pat::prelude::*;
 use serving::{ServingAttention, Stateless};
 
 fn trace(kind: TraceKind, rate: f64) -> Vec<workloads::Request> {
-    generate_trace(TraceConfig { kind, rate_per_s: rate, duration_s: 5.0, seed: 21 })
+    generate_trace(TraceConfig {
+        kind,
+        rate_per_s: rate,
+        duration_s: 5.0,
+        seed: 21,
+    })
 }
 
 #[test]
@@ -26,7 +31,10 @@ fn serving_completes_and_orders_systems_correctly() {
         assert!(r.metrics.p99_tpot_ms >= r.metrics.mean_tpot_ms);
         results.push((*name, r.metrics.mean_tpot_ms));
     }
-    assert!(results[0].1 < results[1].1, "PAT must beat FlashAttention: {results:?}");
+    assert!(
+        results[0].1 < results[1].1,
+        "PAT must beat FlashAttention: {results:?}"
+    );
 }
 
 #[test]
