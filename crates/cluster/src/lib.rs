@@ -58,6 +58,7 @@ pub use metrics::{
     duplicated_blocks, kv_block_bytes, load_imbalance, ClusterResult, FleetRow, ReplicaSummary,
 };
 pub use router::{
-    ConsistentHashPrefix, LeastOutstanding, PrefixAffinity, ReplicaView, RoundRobin, Router,
+    ConsistentHashPrefix, LeastOutstanding, PrefixAffinity, ReplicaState, ReplicaView, RoundRobin,
+    Router,
 };
 pub use sim::{Cluster, ClusterConfig};

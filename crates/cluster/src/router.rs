@@ -11,15 +11,58 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use workloads::Request;
 
+/// Lifecycle state of a replica, as a fleet control plane sees it.
+///
+/// Routers receive the state alongside each [`ReplicaView`] and must only
+/// place requests on *routable* replicas: [`Healthy`](ReplicaState::Healthy)
+/// and [`Degraded`](ReplicaState::Degraded) accept traffic (a degraded
+/// replica is slow but alive), while [`Draining`](ReplicaState::Draining)
+/// finishes its in-flight work before retiring and
+/// [`Dead`](ReplicaState::Dead) serves nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplicaState {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// Alive but slowed (straggler); still routable.
+    Degraded,
+    /// Graceful scale-down: finishes existing work, accepts nothing new.
+    Draining,
+    /// Crashed or retired: not serving, KV cache lost.
+    Dead,
+}
+
+impl ReplicaState {
+    /// Whether a router may place new requests on a replica in this state.
+    pub fn is_routable(self) -> bool {
+        matches!(self, ReplicaState::Healthy | ReplicaState::Degraded)
+    }
+}
+
 /// Read-only snapshot of one replica, as exposed to routers.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplicaView<'a> {
     engine: &'a ServingEngine,
+    state: ReplicaState,
 }
 
 impl<'a> ReplicaView<'a> {
-    pub(crate) fn new(engine: &'a ServingEngine) -> Self {
-        ReplicaView { engine }
+    /// A view of a healthy replica (the fixed-fleet cluster simulator).
+    pub fn new(engine: &'a ServingEngine) -> Self {
+        ReplicaView {
+            engine,
+            state: ReplicaState::Healthy,
+        }
+    }
+
+    /// A view carrying an explicit lifecycle state (fleet control planes).
+    pub fn with_state(engine: &'a ServingEngine, state: ReplicaState) -> Self {
+        ReplicaView { engine, state }
+    }
+
+    /// The replica's lifecycle state.
+    pub fn state(&self) -> ReplicaState {
+        self.state
     }
 
     /// Requests routed here that have not finished (queued, prefilling,
@@ -51,6 +94,11 @@ pub trait Router: std::fmt::Debug {
     fn name(&self) -> &'static str;
 
     /// Picks the replica (index into `replicas`) to serve `request`.
+    ///
+    /// Implementations must skip non-routable replicas (draining or dead —
+    /// see [`ReplicaState::is_routable`]) and panic if no replica is
+    /// routable; callers are expected to shed or queue load instead of
+    /// routing into a fully dead fleet.
     fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> usize;
 }
 
@@ -73,9 +121,15 @@ impl Router for RoundRobin {
     }
 
     fn route(&mut self, _request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
-        let pick = self.next % replicas.len();
-        self.next = (self.next + 1) % replicas.len();
-        pick
+        let n = replicas.len();
+        for _ in 0..n {
+            let pick = self.next % n;
+            self.next = (self.next + 1) % n;
+            if replicas[pick].state().is_routable() {
+                return pick;
+            }
+        }
+        panic!("no routable replica");
     }
 }
 
@@ -102,13 +156,17 @@ impl Router for LeastOutstanding {
 }
 
 fn least_loaded(replicas: &[ReplicaView<'_>]) -> usize {
-    let mut best = 0;
-    for (i, view) in replicas.iter().enumerate().skip(1) {
-        if view.outstanding() < replicas[best].outstanding() {
-            best = i;
+    let mut best: Option<usize> = None;
+    for (i, view) in replicas.iter().enumerate() {
+        if !view.state().is_routable() {
+            continue;
+        }
+        match best {
+            Some(b) if view.outstanding() >= replicas[b].outstanding() => {}
+            _ => best = Some(i),
         }
     }
-    best
+    best.expect("no routable replica")
 }
 
 /// Consistent hashing on the request's prefix identity.
@@ -188,7 +246,16 @@ impl Router for ConsistentHashPrefix {
         }
         let key = Self::prefix_key(request);
         let at = self.ring.partition_point(|&(h, _)| h < key);
-        self.ring[at % self.ring.len()].1
+        // Walk the ring clockwise past vnodes of non-routable replicas, so a
+        // prefix family fails over to the next replica on the ring (and
+        // snaps back when its home replica recovers).
+        for offset in 0..self.ring.len() {
+            let replica = self.ring[(at + offset) % self.ring.len()].1;
+            if replicas[replica].state().is_routable() {
+                return replica;
+            }
+        }
+        panic!("no routable replica");
     }
 }
 
@@ -234,14 +301,17 @@ impl Router for PrefixAffinity {
 
     fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
         let prompt_tokens = request.prompt.to_tokens();
-        let mut best = 0usize;
+        let mut best: Option<usize> = None;
         let mut best_score = f64::NEG_INFINITY;
         let mut best_overlap = 0usize;
         for (i, view) in replicas.iter().enumerate() {
+            if !view.state().is_routable() {
+                continue;
+            }
             let overlap = view.prefix_overlap_tokens(&prompt_tokens);
             let score = overlap as f64 - self.alpha * view.outstanding() as f64;
             if score > best_score {
-                best = i;
+                best = Some(i);
                 best_score = score;
                 best_overlap = overlap;
             }
@@ -249,6 +319,103 @@ impl Router for PrefixAffinity {
         if best_overlap < self.min_overlap_tokens {
             return least_loaded(replicas);
         }
-        best
+        best.expect("no routable replica")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serving::{ModelSpec, ServingConfig, ServingEngine};
+    use workloads::PromptSpec;
+
+    fn engines(n: usize) -> Vec<ServingEngine> {
+        (0..n)
+            .map(|_| ServingEngine::new(ServingConfig::single_gpu(ModelSpec::llama3_8b())))
+            .collect()
+    }
+
+    fn request() -> Request {
+        Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt: PromptSpec::from_parts([(1, 64)]),
+            decode_tokens: 8,
+        }
+    }
+
+    fn views<'a>(engines: &'a [ServingEngine], states: &[ReplicaState]) -> Vec<ReplicaView<'a>> {
+        engines
+            .iter()
+            .zip(states)
+            .map(|(e, &s)| ReplicaView::with_state(e, s))
+            .collect()
+    }
+
+    #[test]
+    fn routable_states_are_healthy_and_degraded_only() {
+        assert!(ReplicaState::Healthy.is_routable());
+        assert!(ReplicaState::Degraded.is_routable());
+        assert!(!ReplicaState::Draining.is_routable());
+        assert!(!ReplicaState::Dead.is_routable());
+    }
+
+    #[test]
+    fn round_robin_skips_dead_and_draining_replicas() {
+        use ReplicaState::{Dead, Draining, Healthy};
+        let engines = engines(4);
+        let states = [Healthy, Dead, Draining, Healthy];
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| rr.route(&request(), &views(&engines, &states)))
+            .collect();
+        assert_eq!(picks, vec![0, 3, 0, 3, 0, 3]);
+    }
+
+    #[test]
+    fn least_outstanding_ignores_non_routable_replicas() {
+        use ReplicaState::{Dead, Healthy};
+        let mut engines = engines(3);
+        // Replica 0 is dead (and idle: zero outstanding would otherwise win);
+        // replica 1 carries work; replica 2 is idle and healthy.
+        engines[1].submit(request());
+        let states = [Dead, Healthy, Healthy];
+        let mut lo = LeastOutstanding::new();
+        assert_eq!(lo.route(&request(), &views(&engines, &states)), 2);
+    }
+
+    #[test]
+    fn consistent_hash_fails_over_along_the_ring_and_snaps_back() {
+        use ReplicaState::{Dead, Healthy};
+        let engines = engines(4);
+        let mut ch = ConsistentHashPrefix::default();
+        let all_healthy = [Healthy; 4];
+        let home = ch.route(&request(), &views(&engines, &all_healthy));
+        let mut with_dead = all_healthy;
+        with_dead[home] = Dead;
+        let fallback = ch.route(&request(), &views(&engines, &with_dead));
+        assert_ne!(fallback, home, "dead home replica must be skipped");
+        // Deterministic fallback, and recovery snaps the family back home.
+        assert_eq!(fallback, ch.route(&request(), &views(&engines, &with_dead)));
+        assert_eq!(home, ch.route(&request(), &views(&engines, &all_healthy)));
+    }
+
+    #[test]
+    fn prefix_affinity_never_picks_a_dead_replica() {
+        use ReplicaState::{Dead, Healthy};
+        let engines = engines(2);
+        let states = [Dead, Healthy];
+        let mut aff = PrefixAffinity::new();
+        for _ in 0..4 {
+            assert_eq!(aff.route(&request(), &views(&engines, &states)), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no routable replica")]
+    fn routing_into_a_fully_dead_fleet_panics() {
+        let engines = engines(2);
+        let states = [ReplicaState::Dead, ReplicaState::Dead];
+        LeastOutstanding::new().route(&request(), &views(&engines, &states));
     }
 }

@@ -3,8 +3,8 @@
 //! qualitative behavior of each routing policy.
 
 use cluster::{
-    Cluster, ClusterConfig, ConsistentHashPrefix, LeastOutstanding, PrefixAffinity, RoundRobin,
-    Router,
+    Cluster, ClusterConfig, ConsistentHashPrefix, FleetRow, LeastOutstanding, PrefixAffinity,
+    RoundRobin, Router,
 };
 use pat_core::LazyPat;
 use proptest::prelude::*;
@@ -129,6 +129,44 @@ proptest! {
                 Some(expected) => prop_assert_eq!(&outputs, expected, "{} changed outputs", name),
             }
         }
+    }
+}
+
+/// Zero-completion and single-replica runs must produce finite metrics all
+/// the way through `FleetRow` — no NaN from empty means or percentiles.
+#[test]
+fn empty_and_single_replica_fleet_metrics_are_finite() {
+    for (replicas, requests) in [
+        (1usize, Vec::new()),
+        (4, Vec::new()),
+        (
+            1,
+            generate_trace(TraceConfig {
+                kind: TraceKind::Conversation,
+                rate_per_s: 1.0,
+                duration_s: 2.0,
+                seed: 11,
+            }),
+        ),
+    ] {
+        let config = ClusterConfig::new(replicas, engine_config());
+        let result = Cluster::with_lazy_pat(&config, Box::new(RoundRobin::new())).run(&requests);
+        let row = FleetRow::new("round-robin", "probe", 0.0, &result);
+        for v in [
+            row.mean_ttft_ms,
+            row.mean_tpot_ms,
+            row.p99_tpot_ms,
+            row.fleet_hit_rate,
+            row.load_imbalance,
+            row.duplicated_kv_mib,
+        ] {
+            assert!(
+                v.is_finite(),
+                "non-finite metric in {replicas}-replica run of {} requests: {row:?}",
+                requests.len()
+            );
+        }
+        assert_eq!(row.completed, requests.len());
     }
 }
 

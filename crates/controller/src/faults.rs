@@ -1,0 +1,234 @@
+//! Fault injection: scripted and seeded-random replica failures.
+//!
+//! Faults are generated up front — either from an explicit script or from a
+//! seeded random process — so a controller run is a pure function of
+//! `(config, trace, fault plan)` and two runs with the same inputs are
+//! bit-identical.
+
+use rand::{Rng, SeedableRng};
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The replica dies instantly: every queued and in-flight request is
+    /// torn out of it and its KV cache is lost. If `restart_after_s` is
+    /// `Some`, the replica comes back that many seconds later with a cold
+    /// cache; `None` means it never returns.
+    Crash {
+        /// Index of the replica to kill (into the initial fleet).
+        replica: usize,
+        /// Seconds until the replica restarts, cold; `None` = permanent.
+        restart_after_s: Option<f64>,
+    },
+    /// The replica keeps serving but every step takes `1 / factor` times as
+    /// long (a straggler: thermal throttling, a noisy neighbor, ECC
+    /// retirement). `factor` must be in `(0, 1]`.
+    Slowdown {
+        /// Index of the replica to slow.
+        replica: usize,
+        /// Speed factor while degraded (0.5 = half speed).
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration_s: f64,
+    },
+}
+
+/// A fault at a point in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes, seconds from trace start.
+    pub at_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Parameters for a seeded-random fault process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomFaultConfig {
+    /// Seed for the fault stream (independent of the trace seed).
+    pub seed: u64,
+    /// Horizon over which faults are drawn, seconds.
+    pub duration_s: f64,
+    /// Number of replicas faults may target.
+    pub replicas: usize,
+    /// Mean crashes per minute across the whole fleet.
+    pub crash_rate_per_min: f64,
+    /// Mean restart delay after a crash, seconds.
+    pub mean_restart_s: f64,
+    /// Mean slowdowns per minute across the whole fleet.
+    pub slowdown_rate_per_min: f64,
+    /// Mean slowdown duration, seconds.
+    pub mean_slowdown_s: f64,
+    /// Speed factor drawn uniformly from this range (lo, hi], both in (0, 1].
+    pub slow_factor_range: (f64, f64),
+}
+
+/// A time-sorted schedule of faults to inject into a fleet.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults at all (the healthy baseline).
+    pub fn none() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// An explicit script of faults; sorted by time on construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has a negative timestamp, a `Slowdown` factor
+    /// outside `(0, 1]`, or a non-positive duration.
+    pub fn scripted(mut events: Vec<FaultEvent>) -> Self {
+        for e in &events {
+            assert!(e.at_s >= 0.0, "fault time must be non-negative");
+            if let FaultKind::Slowdown {
+                factor, duration_s, ..
+            } = e.kind
+            {
+                assert!(
+                    factor > 0.0 && factor <= 1.0,
+                    "slowdown factor must be in (0, 1]"
+                );
+                assert!(duration_s > 0.0, "slowdown duration must be positive");
+            }
+        }
+        events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite fault times"));
+        FaultPlan { events }
+    }
+
+    /// Draws crashes and slowdowns from independent Poisson processes with
+    /// exponentially distributed restart/slowdown durations, targeting a
+    /// uniformly random replica each time. Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or the factor range leaves `(0, 1]`.
+    pub fn random(cfg: &RandomFaultConfig) -> Self {
+        assert!(cfg.replicas > 0, "fault plan needs at least one replica");
+        let (lo, hi) = cfg.slow_factor_range;
+        assert!(
+            0.0 < lo && lo <= hi && hi <= 1.0,
+            "slow factor range must lie in (0, 1]"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let mut events = Vec::new();
+        let draw_times = |rate_per_min: f64, rng: &mut rand::rngs::StdRng| -> Vec<f64> {
+            let mut times = Vec::new();
+            if rate_per_min <= 0.0 {
+                return times;
+            }
+            let rate_per_s = rate_per_min / 60.0;
+            let mut t = 0.0;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t -= u.ln() / rate_per_s;
+                if t >= cfg.duration_s {
+                    return times;
+                }
+                times.push(t);
+            }
+        };
+        for at_s in draw_times(cfg.crash_rate_per_min, &mut rng) {
+            let replica = rng.gen_range(0..cfg.replicas);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let restart = -u.ln() * cfg.mean_restart_s;
+            events.push(FaultEvent {
+                at_s,
+                kind: FaultKind::Crash {
+                    replica,
+                    restart_after_s: Some(restart),
+                },
+            });
+        }
+        for at_s in draw_times(cfg.slowdown_rate_per_min, &mut rng) {
+            let replica = rng.gen_range(0..cfg.replicas);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let duration_s = (-u.ln() * cfg.mean_slowdown_s).max(0.1);
+            let factor = if lo == hi { lo } else { rng.gen_range(lo..hi) };
+            events.push(FaultEvent {
+                at_s,
+                kind: FaultKind::Slowdown {
+                    replica,
+                    factor,
+                    duration_s,
+                },
+            });
+        }
+        FaultPlan::scripted(events)
+    }
+
+    /// The schedule, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Time of the last scheduled fault, 0.0 when empty.
+    pub fn last_at_s(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.at_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_plans_sort_by_time() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent {
+                at_s: 9.0,
+                kind: FaultKind::Crash {
+                    replica: 1,
+                    restart_after_s: None,
+                },
+            },
+            FaultEvent {
+                at_s: 2.0,
+                kind: FaultKind::Slowdown {
+                    replica: 0,
+                    factor: 0.5,
+                    duration_s: 3.0,
+                },
+            },
+        ]);
+        assert_eq!(plan.events()[0].at_s, 2.0);
+        assert_eq!(plan.last_at_s(), 9.0);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let cfg = RandomFaultConfig {
+            seed: 7,
+            duration_s: 600.0,
+            replicas: 4,
+            crash_rate_per_min: 0.5,
+            mean_restart_s: 20.0,
+            slowdown_rate_per_min: 1.0,
+            mean_slowdown_s: 15.0,
+            slow_factor_range: (0.3, 0.8),
+        };
+        let a = FaultPlan::random(&cfg);
+        let b = FaultPlan::random(&cfg);
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty());
+        assert!(a.events().windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        let c = FaultPlan::random(&RandomFaultConfig { seed: 8, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn zero_factor_slowdown_rejected() {
+        let _ = FaultPlan::scripted(vec![FaultEvent {
+            at_s: 0.0,
+            kind: FaultKind::Slowdown {
+                replica: 0,
+                factor: 0.0,
+                duration_s: 1.0,
+            },
+        }]);
+    }
+}

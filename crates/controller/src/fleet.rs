@@ -1,0 +1,860 @@
+//! The fleet controller: a deterministic control plane over a set of
+//! serving-engine replicas.
+//!
+//! Wraps the same steppable [`ServingEngine`] replicas as
+//! [`cluster::Cluster`], but adds the operational layer a real deployment
+//! needs: injected faults ([`crate::FaultPlan`]), a periodic health checker
+//! that distinguishes a replica's *actual* state from what the control plane
+//! has *observed*, failover that tears incomplete requests off a crashed
+//! replica and replays them elsewhere (paying the cold-prefix recompute
+//! cost), an SLO-aware autoscaler with graceful drain, and admission
+//! control that queues or sheds load at saturation.
+//!
+//! Everything runs in virtual time off a single event loop, so a run is a
+//! pure function of `(config, router, fault plan, trace)`.
+
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+use crate::metrics::{ControlEvent, ControlResult};
+use cluster::{ReplicaState, ReplicaView, Router};
+use pat_core::LazyPat;
+use serving::{
+    AggregateMetrics, RequestMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome,
+};
+use std::collections::{BTreeMap, VecDeque};
+use workloads::Request;
+
+/// SLO-aware autoscaling policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Never drain below this many routable replicas.
+    pub min_replicas: usize,
+    /// Never grow beyond this many live + provisioning replicas.
+    pub max_replicas: usize,
+    /// Scale up when mean outstanding per routable replica (counting the
+    /// controller's own backlog) exceeds this.
+    pub scale_up_outstanding: f64,
+    /// Scale down when mean outstanding falls below this.
+    pub scale_down_outstanding: f64,
+    /// Rolling window (completions) for the TTFT scale-up signal.
+    pub ttft_window: usize,
+    /// Seconds between a scale-up decision and the new replica serving.
+    pub provision_delay_s: f64,
+    /// Minimum seconds between scaling decisions.
+    pub cooldown_s: f64,
+}
+
+impl AutoscalerConfig {
+    /// A policy bounded to `[min_replicas, max_replicas]` with default
+    /// thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= min_replicas <= max_replicas`.
+    pub fn new(min_replicas: usize, max_replicas: usize) -> Self {
+        assert!(
+            (1..=max_replicas).contains(&min_replicas),
+            "need 1 <= min_replicas <= max_replicas"
+        );
+        AutoscalerConfig {
+            min_replicas,
+            max_replicas,
+            scale_up_outstanding: 32.0,
+            scale_down_outstanding: 4.0,
+            ttft_window: 64,
+            provision_delay_s: 2.0,
+            cooldown_s: 5.0,
+        }
+    }
+}
+
+/// Admission-control policy: queue at saturation, shed past the queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Saturation threshold: admit directly while fleet outstanding stays
+    /// below `max_outstanding_per_replica * routable_replicas`.
+    pub max_outstanding_per_replica: usize,
+    /// Controller-side buffer; arrivals beyond it are shed.
+    pub max_queued: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_outstanding_per_replica: 64,
+            max_queued: 256,
+        }
+    }
+}
+
+/// Full configuration of a controlled fleet.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Per-replica engine configuration.
+    pub engine: ServingConfig,
+    /// Replicas at t = 0.
+    pub initial_replicas: usize,
+    /// Health-check / control-loop period, seconds. Crash detection
+    /// latency is at most one tick.
+    pub tick_s: f64,
+    /// Whether the control plane observes replica state at all. Off, the
+    /// fleet is flown blind: routers keep addressing crashed replicas.
+    pub health_checks: bool,
+    /// Whether incomplete work on a crashed replica is replayed elsewhere.
+    /// Off, that work is simply lost.
+    pub failover: bool,
+    /// TTFT service-level objective, ms; goodput counts completions within
+    /// it, measured from original arrival.
+    pub slo_ttft_ms: f64,
+    /// Autoscaling policy; `None` pins the fleet at `initial_replicas`.
+    pub autoscaler: Option<AutoscalerConfig>,
+    /// Admission policy; `None` admits everything immediately.
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl ControllerConfig {
+    /// A managed fleet: health checks and failover on, no autoscaler or
+    /// admission control (add them by setting the fields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_replicas` is zero.
+    pub fn managed(initial_replicas: usize, engine: ServingConfig) -> Self {
+        assert!(initial_replicas > 0, "a fleet needs at least one replica");
+        ControllerConfig {
+            engine,
+            initial_replicas,
+            tick_s: 0.5,
+            health_checks: true,
+            failover: true,
+            slo_ttft_ms: 500.0,
+            autoscaler: None,
+            admission: None,
+        }
+    }
+
+    /// An unmanaged fleet of fixed size: no health checks, no failover, no
+    /// autoscaling, no admission control. Requests routed to a crashed
+    /// replica wait for its restart (or are lost if it never returns); work
+    /// in flight at a crash is lost outright. The baseline the control
+    /// plane is judged against.
+    pub fn static_fleet(initial_replicas: usize, engine: ServingConfig) -> Self {
+        ControllerConfig {
+            health_checks: false,
+            failover: false,
+            ..ControllerConfig::managed(initial_replicas, engine)
+        }
+    }
+}
+
+/// One replica slot: the engine, its attention backend, and the split
+/// between ground truth (`actual`) and the control plane's belief
+/// (`observed`). Routing always uses `observed`; faults mutate `actual`.
+struct Replica {
+    engine: ServingEngine,
+    backend: Box<dyn ServingAttention>,
+    actual: ReplicaState,
+    observed: ReplicaState,
+    /// When a crashed (or still-provisioning) replica comes up, seconds.
+    restart_at_s: Option<f64>,
+    /// When a straggler's speed factor resets to 1.0, seconds.
+    restore_speed_at_s: Option<f64>,
+    /// Requests routed here while the replica was actually down: the
+    /// control plane hasn't noticed, so from its view they are "in
+    /// flight"; they surface at detection (failover) or restart (replay).
+    limbo: Vec<Request>,
+    /// Cursor into `engine.completed_requests()` for incremental
+    /// observation of completions.
+    completed_seen: usize,
+    /// Per-request records of previous incarnations (pre-crash engines).
+    archived: Vec<RequestMetrics>,
+    archived_preemptions: u64,
+}
+
+impl Replica {
+    fn fresh(engine_cfg: &ServingConfig, backend: Box<dyn ServingAttention>) -> Self {
+        Replica {
+            engine: ServingEngine::new(engine_cfg.clone()),
+            backend,
+            actual: ReplicaState::Healthy,
+            observed: ReplicaState::Healthy,
+            restart_at_s: None,
+            restore_speed_at_s: None,
+            limbo: Vec::new(),
+            completed_seen: 0,
+            archived: Vec::new(),
+            archived_preemptions: 0,
+        }
+    }
+
+    fn provisioning(
+        engine_cfg: &ServingConfig,
+        backend: Box<dyn ServingAttention>,
+        ready_s: f64,
+    ) -> Self {
+        let mut r = Replica::fresh(engine_cfg, backend);
+        r.actual = ReplicaState::Dead;
+        r.observed = ReplicaState::Dead;
+        r.restart_at_s = Some(ready_s);
+        r
+    }
+}
+
+/// The fleet control plane. Build one per run; [`run`](FleetController::run)
+/// consumes it.
+pub struct FleetController {
+    config: ControllerConfig,
+    router: Box<dyn Router>,
+    faults: FaultPlan,
+    backend_factory: Box<dyn FnMut() -> Box<dyn ServingAttention>>,
+}
+
+impl std::fmt::Debug for FleetController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetController")
+            .field("config", &self.config)
+            .field("router", &self.router)
+            .field("faults", &self.faults.events().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetController {
+    /// A controller whose replicas each get a backend from `backend`.
+    pub fn new(
+        config: ControllerConfig,
+        router: Box<dyn Router>,
+        faults: FaultPlan,
+        backend: impl FnMut() -> Box<dyn ServingAttention> + 'static,
+    ) -> Self {
+        assert!(
+            config.initial_replicas > 0,
+            "a fleet needs at least one replica"
+        );
+        assert!(config.tick_s > 0.0, "tick period must be positive");
+        FleetController {
+            config,
+            router,
+            faults,
+            backend_factory: Box::new(backend),
+        }
+    }
+
+    /// A controller over PAT ([`LazyPat`]) replicas — the common case.
+    pub fn with_lazy_pat(
+        config: ControllerConfig,
+        router: Box<dyn Router>,
+        faults: FaultPlan,
+    ) -> Self {
+        FleetController::new(config, router, faults, || Box::new(LazyPat::new()))
+    }
+
+    /// Serves `requests` (sorted by arrival, unique ids) under the fault
+    /// plan and returns the full accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are unsorted or ids repeat, or if the router
+    /// picks a non-routable replica.
+    pub fn run(self, requests: &[Request]) -> ControlResult {
+        assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "requests must be sorted by arrival"
+        );
+        let FleetController {
+            config,
+            router,
+            faults,
+            mut backend_factory,
+        } = self;
+        let replicas = (0..config.initial_replicas)
+            .map(|_| Replica::fresh(&config.engine, backend_factory()))
+            .collect();
+        let origin_ns: BTreeMap<u64, f64> =
+            requests.iter().map(|r| (r.id, r.arrival_s * 1e9)).collect();
+        assert_eq!(
+            origin_ns.len(),
+            requests.len(),
+            "request ids must be unique"
+        );
+        let sim = Sim {
+            peak_replicas: config.initial_replicas,
+            config,
+            router,
+            backend_factory,
+            replicas,
+            now_s: 0.0,
+            origin_ns,
+            submit_ns: BTreeMap::new(),
+            pending: VecDeque::new(),
+            orphans: Vec::new(),
+            shed_ids: Vec::new(),
+            lost_ids: Vec::new(),
+            events: Vec::new(),
+            ttft_window: VecDeque::new(),
+            failovers: 0,
+            refilled_prefill_tokens: 0,
+            crashes: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            cooldown_until_s: 0.0,
+        };
+        sim.run(requests, &faults)
+    }
+}
+
+/// Live state of one controller run.
+struct Sim {
+    config: ControllerConfig,
+    router: Box<dyn Router>,
+    backend_factory: Box<dyn FnMut() -> Box<dyn ServingAttention>>,
+    replicas: Vec<Replica>,
+    now_s: f64,
+    /// Original arrival of every offered request, ns.
+    origin_ns: BTreeMap<u64, f64>,
+    /// Latest engine-submission instant per request, ns. Completion
+    /// metrics are relative to this; the delta to `origin_ns` converts
+    /// them back to user-perceived latencies.
+    submit_ns: BTreeMap<u64, f64>,
+    /// Admission-control backpressure queue (FIFO).
+    pending: VecDeque<Request>,
+    /// Requests recovered from crashed replicas, awaiting re-routing.
+    orphans: Vec<Request>,
+    shed_ids: Vec<u64>,
+    lost_ids: Vec<u64>,
+    events: Vec<ControlEvent>,
+    /// Rolling corrected TTFTs (ms) of recent completions.
+    ttft_window: VecDeque<f64>,
+    failovers: usize,
+    refilled_prefill_tokens: u64,
+    crashes: usize,
+    scale_ups: usize,
+    scale_downs: usize,
+    peak_replicas: usize,
+    cooldown_until_s: f64,
+}
+
+impl Sim {
+    fn run(mut self, requests: &[Request], faults: &FaultPlan) -> ControlResult {
+        let tick_s = self.config.tick_s;
+        let mut next_tick = tick_s;
+        let mut arr = 0usize;
+        let mut fault_i = 0usize;
+        let schedule = faults.events();
+        let last_arrival = requests.last().map_or(0.0, |r| r.arrival_s);
+        let horizon_s = last_arrival.max(faults.last_at_s()) + self.config.engine.drain_limit_s;
+
+        loop {
+            let mut t = f64::INFINITY;
+            if arr < requests.len() {
+                t = t.min(requests[arr].arrival_s);
+            }
+            if fault_i < schedule.len() {
+                t = t.min(schedule[fault_i].at_s);
+            }
+            for r in &self.replicas {
+                if let Some(x) = r.restart_at_s {
+                    t = t.min(x);
+                }
+                if let Some(x) = r.restore_speed_at_s {
+                    t = t.min(x);
+                }
+            }
+            if self.has_work() {
+                t = t.min(next_tick);
+            }
+            if !t.is_finite() || t > horizon_s {
+                break;
+            }
+            self.advance_all(t * 1e9);
+            self.now_s = t;
+            while fault_i < schedule.len() && schedule[fault_i].at_s <= t {
+                self.apply_fault(&schedule[fault_i]);
+                fault_i += 1;
+            }
+            for i in 0..self.replicas.len() {
+                if self.replicas[i].restart_at_s.is_some_and(|x| x <= t) {
+                    self.revive(i);
+                }
+                if self.replicas[i].restore_speed_at_s.is_some_and(|x| x <= t) {
+                    self.restore_speed(i);
+                }
+            }
+            if next_tick <= t {
+                self.tick();
+                while next_tick <= t {
+                    next_tick += tick_s;
+                }
+            }
+            while arr < requests.len() && requests[arr].arrival_s <= t {
+                self.offer(requests[arr].clone());
+                arr += 1;
+            }
+        }
+
+        // Quiesce every live replica and take one last look.
+        for r in &mut self.replicas {
+            if r.actual != ReplicaState::Dead {
+                while r.engine.step(r.backend.as_mut()) == StepOutcome::Progress {}
+            }
+        }
+        self.observe_completions();
+        // Whatever never made it out of a dead replica's limbo, or could
+        // not be replayed anywhere, is explicitly lost.
+        for r in &mut self.replicas {
+            self.lost_ids.extend(r.limbo.drain(..).map(|q| q.id));
+        }
+        let orphans = std::mem::take(&mut self.orphans);
+        self.lost_ids.extend(orphans.into_iter().map(|q| q.id));
+
+        self.finish(requests)
+    }
+
+    fn finish(mut self, requests: &[Request]) -> ControlResult {
+        let mut all: Vec<RequestMetrics> = Vec::new();
+        let mut preemptions = 0u64;
+        for r in self.replicas {
+            all.extend(r.archived);
+            preemptions += r.archived_preemptions;
+            let res = r.engine.into_result();
+            preemptions += res.preemptions;
+            all.extend(res.per_request);
+        }
+        for m in &mut all {
+            let submit = self.submit_ns[&m.request_id];
+            let origin = self.origin_ns[&m.request_id];
+            let delta = submit - origin;
+            m.ttft_ns += delta;
+            m.completion_ns += delta;
+        }
+        all.sort_by_key(|m| m.request_id);
+        assert!(
+            all.windows(2).all(|w| w[0].request_id < w[1].request_id),
+            "a request completed on two replicas"
+        );
+        self.shed_ids.sort_unstable();
+        self.lost_ids.sort_unstable();
+        let offered = requests.len();
+        let (completed, shed, lost) = (all.len(), self.shed_ids.len(), self.lost_ids.len());
+        assert!(
+            completed + shed + lost <= offered,
+            "request accounting overflow: {completed} + {shed} + {lost} > {offered}"
+        );
+        let slo_ns = self.config.slo_ttft_ms * 1e6;
+        let within_slo = all.iter().filter(|m| m.ttft_ns <= slo_ns).count();
+        ControlResult {
+            fleet: AggregateMetrics::from_requests(&all),
+            per_request: all,
+            offered,
+            completed,
+            shed,
+            lost,
+            unfinished: offered - completed - shed - lost,
+            goodput: if offered == 0 {
+                0.0
+            } else {
+                within_slo as f64 / offered as f64
+            },
+            slo_ttft_ms: self.config.slo_ttft_ms,
+            failovers: self.failovers,
+            refilled_prefill_tokens: self.refilled_prefill_tokens,
+            crashes: self.crashes,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            peak_replicas: self.peak_replicas,
+            preemptions,
+            events: self.events,
+            shed_ids: self.shed_ids,
+            lost_ids: self.lost_ids,
+        }
+    }
+
+    // ------------------------------------------------------------- plumbing
+
+    fn event(&mut self, what: String) {
+        self.events.push(ControlEvent {
+            t_s: self.now_s,
+            what,
+        });
+    }
+
+    fn routable_count(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.observed.is_routable())
+            .count()
+    }
+
+    /// Outstanding work the control plane can see: engine queues on
+    /// routable replicas plus its own backlog.
+    fn observed_load(&self) -> usize {
+        let engine_load: usize = self
+            .replicas
+            .iter()
+            .filter(|r| r.observed.is_routable())
+            .map(|r| r.engine.outstanding() + r.limbo.len())
+            .sum();
+        engine_load + self.pending.len() + self.orphans.len()
+    }
+
+    fn has_work(&self) -> bool {
+        !self.pending.is_empty()
+            || !self.orphans.is_empty()
+            || self.replicas.iter().any(|r| {
+                !r.limbo.is_empty()
+                    || r.actual == ReplicaState::Draining
+                    || (r.actual != ReplicaState::Dead && r.engine.outstanding() > 0)
+            })
+    }
+
+    fn advance_all(&mut self, t_ns: f64) {
+        for r in &mut self.replicas {
+            if r.actual == ReplicaState::Dead {
+                continue;
+            }
+            while r.engine.clock_ns() < t_ns {
+                if r.engine.step(r.backend.as_mut()) == StepOutcome::Idle {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn note_peak(&mut self) {
+        let live = self
+            .replicas
+            .iter()
+            .filter(|r| r.actual != ReplicaState::Dead)
+            .count();
+        self.peak_replicas = self.peak_replicas.max(live);
+    }
+
+    // ------------------------------------------------------------- routing
+
+    /// Routes `req` among replicas the control plane believes routable.
+    /// If the chosen replica is actually down (an undetected crash), the
+    /// request falls into its limbo instead of an engine queue.
+    fn route_now(&mut self, req: Request, is_failover: bool) {
+        let (target, overlap) = {
+            let views: Vec<ReplicaView<'_>> = self
+                .replicas
+                .iter()
+                .map(|r| ReplicaView::with_state(&r.engine, r.observed))
+                .collect();
+            assert!(
+                views.iter().any(|v| v.state().is_routable()),
+                "route_now called with no routable replica"
+            );
+            let target = self.router.route(&req, &views);
+            assert!(
+                target < views.len() && views[target].state().is_routable(),
+                "router picked non-routable replica {target}"
+            );
+            let overlap = if is_failover {
+                views[target].prefix_overlap_tokens(&req.prompt.to_tokens())
+            } else {
+                0
+            };
+            (target, overlap)
+        };
+        if self.replicas[target].actual.is_routable() {
+            if is_failover {
+                self.failovers += 1;
+                let recompute = req.prompt.total_tokens().saturating_sub(overlap);
+                self.refilled_prefill_tokens += recompute as u64;
+            }
+            self.submit_to(target, req);
+        } else {
+            self.replicas[target].limbo.push(req);
+        }
+    }
+
+    fn submit_to(&mut self, i: usize, mut req: Request) {
+        req.arrival_s = self.now_s;
+        self.submit_ns.insert(req.id, self.now_s * 1e9);
+        self.replicas[i].engine.submit(req);
+    }
+
+    /// Handles one fresh arrival: admission control, then routing.
+    fn offer(&mut self, req: Request) {
+        let routable = self.routable_count();
+        if routable == 0 {
+            // Nowhere to send it; buffer (bounded if admission is on).
+            self.buffer_or_shed(req);
+            return;
+        }
+        if let Some(adm) = self.config.admission {
+            let saturated = self.observed_load() >= adm.max_outstanding_per_replica * routable;
+            if saturated || !self.pending.is_empty() {
+                self.buffer_or_shed(req);
+                return;
+            }
+        }
+        self.route_now(req, false);
+    }
+
+    fn buffer_or_shed(&mut self, req: Request) {
+        let cap = self
+            .config
+            .admission
+            .map_or(usize::MAX, |adm| adm.max_queued);
+        if self.pending.len() < cap {
+            self.pending.push_back(req);
+        } else {
+            self.shed_ids.push(req.id);
+        }
+    }
+
+    /// Admits queued work while the fleet has headroom.
+    fn drain_pending(&mut self) {
+        while !self.pending.is_empty() {
+            let routable = self.routable_count();
+            if routable == 0 {
+                return;
+            }
+            if let Some(adm) = self.config.admission {
+                if self.observed_load() - self.pending.len()
+                    >= adm.max_outstanding_per_replica * routable
+                {
+                    return;
+                }
+            }
+            let req = self.pending.pop_front().expect("checked non-empty");
+            self.route_now(req, false);
+        }
+    }
+
+    // -------------------------------------------------------------- faults
+
+    fn apply_fault(&mut self, fault: &FaultEvent) {
+        match fault.kind {
+            FaultKind::Crash {
+                replica,
+                restart_after_s,
+            } => {
+                if replica >= self.replicas.len()
+                    || self.replicas[replica].actual == ReplicaState::Dead
+                {
+                    return;
+                }
+                self.crashes += 1;
+                let failover = self.config.failover;
+                let now_s = self.now_s;
+                let engine_cfg = self.config.engine.clone();
+                let r = &mut self.replicas[replica];
+                // Tear out everything incomplete, then swap in a cold
+                // engine: the KV cache and all in-flight decode state die
+                // with the process.
+                let incomplete = r.engine.take_incomplete();
+                let dead = std::mem::replace(&mut r.engine, ServingEngine::new(engine_cfg));
+                let res = dead.into_result();
+                r.archived.extend(res.per_request);
+                r.archived_preemptions += res.preemptions;
+                r.completed_seen = 0;
+                r.actual = ReplicaState::Dead;
+                r.restart_at_s = restart_after_s.map(|d| now_s + d);
+                r.restore_speed_at_s = None;
+                let torn = incomplete.len();
+                if failover {
+                    // Held as limbo until the health checker notices the
+                    // crash; then rerouted.
+                    r.limbo.extend(incomplete);
+                } else {
+                    self.lost_ids.extend(incomplete.iter().map(|q| q.id));
+                }
+                self.event(format!(
+                    "crash replica {replica} ({torn} requests in flight)"
+                ));
+            }
+            FaultKind::Slowdown {
+                replica,
+                factor,
+                duration_s,
+            } => {
+                if replica >= self.replicas.len()
+                    || self.replicas[replica].actual == ReplicaState::Dead
+                {
+                    return;
+                }
+                let now_s = self.now_s;
+                let r = &mut self.replicas[replica];
+                r.engine.set_speed_factor(factor);
+                if r.actual == ReplicaState::Healthy {
+                    r.actual = ReplicaState::Degraded;
+                }
+                r.restore_speed_at_s = Some(now_s + duration_s);
+                self.event(format!("slowdown replica {replica} to {factor}x"));
+            }
+        }
+    }
+
+    fn revive(&mut self, i: usize) {
+        self.replicas[i].restart_at_s = None;
+        self.replicas[i].actual = ReplicaState::Healthy;
+        self.replicas[i].observed = ReplicaState::Healthy;
+        self.event(format!("replica {i} up (cold cache)"));
+        let limbo = std::mem::take(&mut self.replicas[i].limbo);
+        if self.config.failover {
+            // Anything still in limbo reroutes at the next tick.
+            self.orphans.extend(limbo);
+        } else {
+            // Static fleet: the backlog that piled up against the dead
+            // address finally gets served, cold.
+            for req in limbo {
+                self.submit_to(i, req);
+            }
+        }
+        self.note_peak();
+    }
+
+    fn restore_speed(&mut self, i: usize) {
+        let r = &mut self.replicas[i];
+        r.restore_speed_at_s = None;
+        r.engine.set_speed_factor(1.0);
+        if r.actual == ReplicaState::Degraded {
+            r.actual = ReplicaState::Healthy;
+        }
+        self.event(format!("replica {i} speed restored"));
+    }
+
+    // ---------------------------------------------------------- the tick
+
+    /// One control-loop iteration: observe completions, detect state
+    /// changes, fail over orphans, admit queued work, autoscale, retire
+    /// drained replicas.
+    fn tick(&mut self) {
+        self.observe_completions();
+        if self.config.health_checks {
+            self.detect();
+        }
+        if self.config.failover && !self.orphans.is_empty() && self.routable_count() > 0 {
+            let orphans = std::mem::take(&mut self.orphans);
+            for req in orphans {
+                self.route_now(req, true);
+            }
+        }
+        self.drain_pending();
+        self.autoscale();
+        self.retire_drained();
+    }
+
+    fn observe_completions(&mut self) {
+        let cap = self
+            .config
+            .autoscaler
+            .as_ref()
+            .map_or(64, |a| a.ttft_window.max(1));
+        for r in &mut self.replicas {
+            let completed = r.engine.completed_requests();
+            for m in &completed[r.completed_seen..] {
+                let submit = self.submit_ns[&m.request_id];
+                let origin = self.origin_ns[&m.request_id];
+                let corrected_ms = (m.ttft_ns + submit - origin) / 1e6;
+                self.ttft_window.push_back(corrected_ms);
+            }
+            r.completed_seen = completed.len();
+        }
+        while self.ttft_window.len() > cap {
+            self.ttft_window.pop_front();
+        }
+    }
+
+    /// Health check: fold each replica's actual state into the control
+    /// plane's observed state. Detection latency is the tick period.
+    fn detect(&mut self) {
+        let failover = self.config.failover;
+        let mut detected: Vec<usize> = Vec::new();
+        for (i, r) in self.replicas.iter_mut().enumerate() {
+            if r.observed == r.actual {
+                continue;
+            }
+            if r.actual == ReplicaState::Dead {
+                detected.push(i);
+            }
+            r.observed = r.actual;
+        }
+        for i in detected {
+            let limbo = std::mem::take(&mut self.replicas[i].limbo);
+            self.event(format!(
+                "detected crash of replica {i} ({} stranded)",
+                limbo.len()
+            ));
+            if failover {
+                self.orphans.extend(limbo);
+            } else {
+                self.lost_ids.extend(limbo.iter().map(|q| q.id));
+            }
+        }
+    }
+
+    fn autoscale(&mut self) {
+        let Some(a) = self.config.autoscaler.clone() else {
+            return;
+        };
+        if self.now_s < self.cooldown_until_s {
+            return;
+        }
+        let routable = self.routable_count();
+        let provisioning = self
+            .replicas
+            .iter()
+            .filter(|r| r.actual == ReplicaState::Dead && r.restart_at_s.is_some())
+            .count();
+        let load = self.observed_load() as f64;
+        let mean_out = load / routable.max(1) as f64;
+        let rolling_ttft_ms = if self.ttft_window.is_empty() {
+            0.0
+        } else {
+            self.ttft_window.iter().sum::<f64>() / self.ttft_window.len() as f64
+        };
+        let want_up = mean_out > a.scale_up_outstanding
+            || (!self.ttft_window.is_empty() && rolling_ttft_ms > self.config.slo_ttft_ms);
+        if want_up && routable + provisioning < a.max_replicas {
+            let ready = self.now_s + a.provision_delay_s;
+            let backend = (self.backend_factory)();
+            self.replicas
+                .push(Replica::provisioning(&self.config.engine, backend, ready));
+            self.scale_ups += 1;
+            self.cooldown_until_s = self.now_s + a.cooldown_s;
+            self.event(format!(
+                "scale-up: provisioning replica {} (mean load {mean_out:.1}, rolling TTFT {rolling_ttft_ms:.0} ms)",
+                self.replicas.len() - 1
+            ));
+            return;
+        }
+        let want_down = mean_out < a.scale_down_outstanding
+            && self.pending.is_empty()
+            && self.orphans.is_empty()
+            && provisioning == 0;
+        if want_down && routable > a.min_replicas {
+            let victim = self
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.observed.is_routable() && r.actual.is_routable())
+                .min_by_key(|(i, r)| (r.engine.outstanding(), *i))
+                .map(|(i, _)| i)
+                .expect("routable > min_replicas >= 1");
+            let r = &mut self.replicas[victim];
+            r.engine.begin_drain();
+            r.actual = ReplicaState::Draining;
+            r.observed = ReplicaState::Draining;
+            self.scale_downs += 1;
+            self.cooldown_until_s = self.now_s + a.cooldown_s;
+            self.event(format!("scale-down: draining replica {victim}"));
+        }
+    }
+
+    /// Retires drained replicas whose queues have emptied.
+    fn retire_drained(&mut self) {
+        for i in 0..self.replicas.len() {
+            let r = &mut self.replicas[i];
+            if r.actual == ReplicaState::Draining && r.engine.outstanding() == 0 {
+                r.actual = ReplicaState::Dead;
+                r.observed = ReplicaState::Dead;
+                self.event(format!("retired replica {i}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # controller — a fault-injecting fleet control plane
+//!
+//! The operational layer above the [`cluster`] simulator: where `cluster`
+//! answers *"which replica should serve this request?"*, this crate answers
+//! *"what happens to the fleet when things go wrong?"* It drives the same
+//! steppable [`serving::ServingEngine`] replicas through injected crashes
+//! and slowdowns, and supplies the machinery a production deployment uses
+//! to survive them:
+//!
+//! * **Fault injection** ([`FaultPlan`]) — scripted or seeded-random
+//!   crashes (cold-cache restarts) and stragglers (speed-factor
+//!   slowdowns), generated up front so every run is deterministic.
+//! * **Health checking** — the control plane's *observed* replica state
+//!   lags ground truth by up to one tick; routing decisions use the
+//!   observed state, so requests keep flowing into a dead replica until
+//!   the crash is detected.
+//! * **Failover** — incomplete requests are torn off a crashed replica and
+//!   replayed elsewhere. The replay pays the PAT-specific price: whatever
+//!   prefix was warm on the dead replica must be re-prefilled wherever the
+//!   request lands ([`ControlResult::refilled_prefill_tokens`]).
+//! * **SLO-aware autoscaling** ([`AutoscalerConfig`]) — grows the fleet on
+//!   queue depth or rolling-TTFT pressure (after a provisioning delay,
+//!   cold), and drains the least-loaded replica gracefully when load
+//!   recedes.
+//! * **Admission control** ([`AdmissionConfig`]) — queues load at
+//!   saturation and sheds past the buffer, so overload degrades goodput
+//!   ([`ControlResult::goodput`]) instead of latency for everyone.
+//!
+//! Every offered request is accounted for in exactly one of
+//! `completed / shed / lost / unfinished` — nothing is silently dropped.
+//!
+//! ## Example
+//!
+//! ```
+//! use cluster::PrefixAffinity;
+//! use controller::{ControllerConfig, FaultEvent, FaultKind, FaultPlan, FleetController};
+//! use serving::{ModelSpec, ServingConfig};
+//! use workloads::{generate_trace, TraceConfig, TraceKind};
+//!
+//! let trace = generate_trace(TraceConfig {
+//!     kind: TraceKind::ToolAgent,
+//!     rate_per_s: 8.0,
+//!     duration_s: 6.0,
+//!     seed: 1,
+//! });
+//! let faults = FaultPlan::scripted(vec![FaultEvent {
+//!     at_s: 2.0,
+//!     kind: FaultKind::Crash { replica: 0, restart_after_s: Some(3.0) },
+//! }]);
+//! let config = ControllerConfig::managed(2, ServingConfig::single_gpu(ModelSpec::llama3_8b()));
+//! let result = FleetController::with_lazy_pat(config, Box::new(PrefixAffinity::new()), faults)
+//!     .run(&trace);
+//! assert_eq!(result.crashes, 1);
+//! assert_eq!(
+//!     result.offered,
+//!     result.completed + result.shed + result.lost + result.unfinished
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod faults;
+mod fleet;
+mod metrics;
+
+pub use faults::{FaultEvent, FaultKind, FaultPlan, RandomFaultConfig};
+pub use fleet::{AdmissionConfig, AutoscalerConfig, ControllerConfig, FleetController};
+pub use metrics::{window_stats, ControlEvent, ControlResult, WindowStats};

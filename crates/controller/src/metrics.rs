@@ -1,0 +1,204 @@
+//! Controller-level outcome accounting: goodput, loss classes, and
+//! per-phase slices of a run.
+
+use serde::Serialize;
+use serving::{percentile, AggregateMetrics, RequestMetrics};
+use workloads::Request;
+
+/// One entry in the controller's event timeline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControlEvent {
+    /// Virtual time of the event, seconds.
+    pub t_s: f64,
+    /// Human-readable description (`"crash replica 0"`, `"scale-up"`, ...).
+    pub what: String,
+}
+
+/// Result of one controlled fleet run.
+///
+/// Every offered request lands in exactly one of four buckets —
+/// `completed`, `shed`, `lost`, `unfinished` — so nothing is ever silently
+/// dropped: `offered == completed + shed + lost + unfinished` always holds.
+#[derive(Debug, Clone, Serialize)]
+pub struct ControlResult {
+    /// Fleet-wide aggregates over completed requests, with latencies
+    /// measured from each request's *original* arrival (failover
+    /// resubmission delay is charged to the request, not hidden).
+    pub fleet: AggregateMetrics,
+    /// Per-request records (completed only), corrected to original
+    /// arrivals and sorted by request id.
+    pub per_request: Vec<RequestMetrics>,
+    /// Requests offered to the controller.
+    pub offered: usize,
+    /// Requests that completed decoding somewhere in the fleet.
+    pub completed: usize,
+    /// Requests explicitly rejected by admission control.
+    pub shed: usize,
+    /// Requests lost to crashes (no failover, or the fleet never
+    /// recovered enough capacity to replay them).
+    pub lost: usize,
+    /// Requests still queued or in flight when the run's horizon expired.
+    pub unfinished: usize,
+    /// Fraction of offered requests that completed within the TTFT SLO
+    /// (0.0 when nothing was offered).
+    pub goodput: f64,
+    /// The TTFT SLO the goodput is measured against, ms.
+    pub slo_ttft_ms: f64,
+    /// Requests rerouted off a crashed replica.
+    pub failovers: usize,
+    /// Prefill tokens recomputed because failover landed a request on a
+    /// replica without its warm prefix — the PAT-specific cost of losing
+    /// a warm cache.
+    pub refilled_prefill_tokens: u64,
+    /// Crashes injected (and actually applied).
+    pub crashes: usize,
+    /// Autoscaler scale-up decisions.
+    pub scale_ups: usize,
+    /// Autoscaler scale-down (drain) decisions.
+    pub scale_downs: usize,
+    /// Maximum number of live (non-dead) replicas at any instant.
+    pub peak_replicas: usize,
+    /// KV-pressure preemptions summed across all replica incarnations.
+    pub preemptions: u64,
+    /// Timeline of controller actions, in virtual-time order.
+    pub events: Vec<ControlEvent>,
+    /// Ids of shed requests, sorted.
+    pub shed_ids: Vec<u64>,
+    /// Ids of lost requests, sorted.
+    pub lost_ids: Vec<u64>,
+}
+
+/// Goodput and tail latency over one arrival window of a run — used to
+/// compare fleets phase by phase (steady state, through a crash, through a
+/// burst).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WindowStats {
+    /// Window start (arrival time, inclusive), seconds.
+    pub from_s: f64,
+    /// Window end (exclusive), seconds.
+    pub to_s: f64,
+    /// Requests whose original arrival falls in the window.
+    pub offered: usize,
+    /// Of those, how many completed.
+    pub completed: usize,
+    /// Of those, how many completed within the TTFT SLO.
+    pub within_slo: usize,
+    /// `within_slo / offered` (0.0 for an empty window).
+    pub goodput: f64,
+    /// 99th-percentile TTFT over the window's completions, ms.
+    pub p99_ttft_ms: f64,
+    /// Mean TTFT over the window's completions, ms.
+    pub mean_ttft_ms: f64,
+}
+
+/// Slices `result` to the requests of `trace` arriving in `[from_s, to_s)`.
+///
+/// TTFTs in `result.per_request` are already corrected to original
+/// arrivals, so a request delayed by failover shows its true
+/// user-perceived first-token latency here.
+pub fn window_stats(
+    trace: &[Request],
+    result: &ControlResult,
+    from_s: f64,
+    to_s: f64,
+) -> WindowStats {
+    let in_window: std::collections::BTreeSet<u64> = trace
+        .iter()
+        .filter(|r| (from_s..to_s).contains(&r.arrival_s))
+        .map(|r| r.id)
+        .collect();
+    let ttfts_ms: Vec<f64> = result
+        .per_request
+        .iter()
+        .filter(|m| in_window.contains(&m.request_id))
+        .map(|m| m.ttft_ns / 1e6)
+        .collect();
+    let within_slo = ttfts_ms
+        .iter()
+        .filter(|&&t| t <= result.slo_ttft_ms)
+        .count();
+    let offered = in_window.len();
+    WindowStats {
+        from_s,
+        to_s,
+        offered,
+        completed: ttfts_ms.len(),
+        within_slo,
+        goodput: if offered == 0 {
+            0.0
+        } else {
+            within_slo as f64 / offered as f64
+        },
+        p99_ttft_ms: percentile(&ttfts_ms, 0.99),
+        mean_ttft_ms: if ttfts_ms.is_empty() {
+            0.0
+        } else {
+            ttfts_ms.iter().sum::<f64>() / ttfts_ms.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::PromptSpec;
+
+    fn result_with(per_request: Vec<RequestMetrics>, slo_ttft_ms: f64) -> ControlResult {
+        ControlResult {
+            fleet: AggregateMetrics::from_requests(&per_request),
+            offered: per_request.len(),
+            completed: per_request.len(),
+            per_request,
+            shed: 0,
+            lost: 0,
+            unfinished: 0,
+            goodput: 1.0,
+            slo_ttft_ms,
+            failovers: 0,
+            refilled_prefill_tokens: 0,
+            crashes: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            peak_replicas: 1,
+            preemptions: 0,
+            events: Vec::new(),
+            shed_ids: Vec::new(),
+            lost_ids: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn window_stats_slice_by_original_arrival() {
+        let trace: Vec<Request> = (0..4)
+            .map(|i| Request {
+                id: i,
+                arrival_s: i as f64,
+                prompt: PromptSpec::from_parts([(1, 16)]),
+                decode_tokens: 4,
+            })
+            .collect();
+        let per_request: Vec<RequestMetrics> = (0..4)
+            .map(|i| RequestMetrics {
+                request_id: i,
+                ttft_ns: if i < 2 { 5e6 } else { 500e6 },
+                tpot_ns: 1e6,
+                completion_ns: 600e6,
+                decode_tokens: 4,
+            })
+            .collect();
+        let result = result_with(per_request, 100.0);
+        let early = window_stats(&trace, &result, 0.0, 2.0);
+        assert_eq!(early.offered, 2);
+        assert_eq!(early.within_slo, 2);
+        assert_eq!(early.goodput, 1.0);
+        let late = window_stats(&trace, &result, 2.0, 4.0);
+        assert_eq!(late.offered, 2);
+        assert_eq!(late.within_slo, 0);
+        assert_eq!(late.goodput, 0.0);
+        assert!(late.p99_ttft_ms > early.p99_ttft_ms);
+        let empty = window_stats(&trace, &result, 10.0, 20.0);
+        assert_eq!(empty.offered, 0);
+        assert_eq!(empty.goodput, 0.0);
+        assert!(empty.p99_ttft_ms.is_finite());
+    }
+}

@@ -1,0 +1,353 @@
+//! Integration tests for the fleet control plane: conservation of
+//! requests through crashes, failover correctness, autoscaling, admission
+//! control, and bit-level determinism.
+
+use cluster::{LeastOutstanding, PrefixAffinity, RoundRobin};
+use controller::{
+    window_stats, AdmissionConfig, AutoscalerConfig, ControlResult, ControllerConfig, FaultEvent,
+    FaultKind, FaultPlan, FleetController, RandomFaultConfig,
+};
+use serving::{ModelSpec, ServingConfig};
+use workloads::{generate_trace, TraceConfig, TraceKind};
+
+fn engine_config() -> ServingConfig {
+    ServingConfig::single_gpu(ModelSpec::llama3_8b())
+}
+
+fn trace(rate: f64, duration: f64, seed: u64) -> Vec<workloads::Request> {
+    generate_trace(TraceConfig {
+        kind: TraceKind::ToolAgent,
+        rate_per_s: rate,
+        duration_s: duration,
+        seed,
+    })
+}
+
+fn crash(at_s: f64, replica: usize, restart_after_s: Option<f64>) -> FaultEvent {
+    FaultEvent {
+        at_s,
+        kind: FaultKind::Crash {
+            replica,
+            restart_after_s,
+        },
+    }
+}
+
+/// Every offered request must land in exactly one outcome bucket.
+fn assert_conservation(requests: &[workloads::Request], r: &ControlResult) {
+    assert_eq!(
+        r.offered,
+        r.completed + r.shed + r.lost + r.unfinished,
+        "request accounting does not balance: {r:?}"
+    );
+    assert_eq!(r.offered, requests.len());
+    // Completed / shed / lost id sets must be disjoint.
+    let mut seen = std::collections::BTreeSet::new();
+    for id in r
+        .per_request
+        .iter()
+        .map(|m| m.request_id)
+        .chain(r.shed_ids.iter().copied())
+        .chain(r.lost_ids.iter().copied())
+    {
+        assert!(seen.insert(id), "request {id} counted in two buckets");
+    }
+}
+
+#[test]
+fn no_fault_controller_matches_cluster_run() {
+    let requests = trace(6.0, 6.0, 3);
+    let config = ControllerConfig::managed(3, engine_config());
+    let managed =
+        FleetController::with_lazy_pat(config, Box::new(RoundRobin::new()), FaultPlan::none())
+            .run(&requests);
+    let cluster_cfg = cluster::ClusterConfig::new(3, engine_config());
+    let reference =
+        cluster::Cluster::with_lazy_pat(&cluster_cfg, Box::new(RoundRobin::new())).run(&requests);
+    // With no faults the control plane must be a no-op: identical
+    // completions with identical (bit-for-bit) latencies.
+    assert_eq!(managed.completed, reference.fleet.completed);
+    let mut reference_records: Vec<_> = reference
+        .per_replica
+        .iter()
+        .flat_map(|r| r.result.per_request.iter().copied())
+        .collect();
+    reference_records.sort_by_key(|m| m.request_id);
+    assert_eq!(managed.per_request, reference_records);
+    assert_eq!(managed.failovers, 0);
+    assert_eq!(managed.crashes, 0);
+    assert_eq!(managed.lost, 0);
+    assert_eq!(managed.shed, 0);
+    assert_conservation(&requests, &managed);
+}
+
+#[test]
+fn failover_loses_nothing_and_pays_in_recomputed_prefill() {
+    let requests = trace(8.0, 12.0, 11);
+    let faults = FaultPlan::scripted(vec![crash(4.0, 0, Some(6.0))]);
+    let config = ControllerConfig::managed(3, engine_config());
+    let result = FleetController::with_lazy_pat(config, Box::new(PrefixAffinity::new()), faults)
+        .run(&requests);
+    assert_conservation(&requests, &result);
+    assert_eq!(result.crashes, 1);
+    // With two survivors and a restart, every request routed to the
+    // crashed replica must be completed — explicitly none lost or left.
+    assert_eq!(result.lost, 0, "lost: {:?}", result.lost_ids);
+    assert_eq!(result.unfinished, 0);
+    assert_eq!(result.completed, requests.len());
+    assert!(result.failovers > 0, "the crash stranded no requests?");
+    // The replays re-prefill prefixes that were warm on the dead replica.
+    assert!(
+        result.refilled_prefill_tokens > 0,
+        "failover cost not accounted"
+    );
+    // The timeline records the crash, its detection, and the restart.
+    let whats: Vec<&str> = result.events.iter().map(|e| e.what.as_str()).collect();
+    assert!(whats.iter().any(|w| w.starts_with("crash replica 0")));
+    assert!(whats
+        .iter()
+        .any(|w| w.starts_with("detected crash of replica 0")));
+    assert!(whats.iter().any(|w| w.starts_with("replica 0 up")));
+}
+
+#[test]
+fn permanent_crash_without_failover_loses_the_in_flight_work() {
+    let requests = trace(8.0, 10.0, 5);
+    let faults = FaultPlan::scripted(vec![crash(3.0, 1, None)]);
+    let config = ControllerConfig::static_fleet(3, engine_config());
+    let result =
+        FleetController::with_lazy_pat(config, Box::new(RoundRobin::new()), faults).run(&requests);
+    assert_conservation(&requests, &result);
+    // No failover and no restart: whatever was on (or later routed to)
+    // replica 1 is explicitly lost, never silently dropped.
+    assert!(result.lost > 0);
+    assert_eq!(result.completed + result.lost, requests.len());
+    // Round-robin keeps addressing the dead replica, so roughly a third
+    // of the offered load dies with it.
+    let lost_share = result.lost as f64 / result.offered as f64;
+    assert!(
+        (0.15..=0.5).contains(&lost_share),
+        "lost share {lost_share:.2}"
+    );
+}
+
+#[test]
+fn static_fleet_serves_limbo_after_restart_with_cold_penalty() {
+    let requests = trace(6.0, 8.0, 7);
+    let faults = FaultPlan::scripted(vec![crash(2.0, 0, Some(4.0))]);
+    let config = ControllerConfig::static_fleet(2, engine_config());
+    let result =
+        FleetController::with_lazy_pat(config, Box::new(RoundRobin::new()), faults.clone())
+            .run(&requests);
+    assert_conservation(&requests, &result);
+    // Requests routed into the void wait out the dead time, then get
+    // served cold after the restart — completed, but slow.
+    assert_eq!(
+        result.lost + result.completed,
+        requests.len() - result.unfinished - result.shed
+    );
+    assert!(result.completed > 0);
+    let baseline = FleetController::with_lazy_pat(
+        ControllerConfig::static_fleet(2, engine_config()),
+        Box::new(RoundRobin::new()),
+        FaultPlan::none(),
+    )
+    .run(&requests);
+    assert!(
+        result.fleet.p99_ttft_ms > baseline.fleet.p99_ttft_ms,
+        "a crash must show up in the tail: {:.1} !> {:.1}",
+        result.fleet.p99_ttft_ms,
+        baseline.fleet.p99_ttft_ms
+    );
+}
+
+#[test]
+fn managed_fleet_beats_static_through_a_crash() {
+    let requests = trace(8.0, 12.0, 13);
+    let faults = FaultPlan::scripted(vec![crash(4.0, 0, Some(5.0))]);
+    let managed = FleetController::with_lazy_pat(
+        ControllerConfig::managed(3, engine_config()),
+        Box::new(LeastOutstanding::new()),
+        faults.clone(),
+    )
+    .run(&requests);
+    let static_fleet = FleetController::with_lazy_pat(
+        ControllerConfig::static_fleet(3, engine_config()),
+        Box::new(RoundRobin::new()),
+        faults,
+    )
+    .run(&requests);
+    assert_conservation(&requests, &managed);
+    assert_conservation(&requests, &static_fleet);
+    assert!(
+        managed.goodput > static_fleet.goodput,
+        "managed goodput {:.3} !> static {:.3}",
+        managed.goodput,
+        static_fleet.goodput
+    );
+    let crash_window_managed = window_stats(&requests, &managed, 3.0, 9.0);
+    let crash_window_static = window_stats(&requests, &static_fleet, 3.0, 9.0);
+    assert!(
+        crash_window_managed.goodput > crash_window_static.goodput,
+        "through the crash: managed {:.3} !> static {:.3}",
+        crash_window_managed.goodput,
+        crash_window_static.goodput
+    );
+}
+
+#[test]
+fn straggler_completes_everything_but_slower() {
+    let requests = trace(5.0, 8.0, 17);
+    let faults = FaultPlan::scripted(vec![FaultEvent {
+        at_s: 1.0,
+        kind: FaultKind::Slowdown {
+            replica: 0,
+            factor: 0.4,
+            duration_s: 5.0,
+        },
+    }]);
+    let config = ControllerConfig::managed(2, engine_config());
+    let slowed =
+        FleetController::with_lazy_pat(config, Box::new(RoundRobin::new()), faults).run(&requests);
+    let healthy = FleetController::with_lazy_pat(
+        ControllerConfig::managed(2, engine_config()),
+        Box::new(RoundRobin::new()),
+        FaultPlan::none(),
+    )
+    .run(&requests);
+    assert_conservation(&requests, &slowed);
+    // A straggler degrades latency but loses nothing.
+    assert_eq!(slowed.completed, requests.len());
+    assert_eq!(slowed.lost, 0);
+    assert!(
+        slowed.fleet.mean_tpot_ms > healthy.fleet.mean_tpot_ms,
+        "slowdown invisible in TPOT: {:.3} !> {:.3}",
+        slowed.fleet.mean_tpot_ms,
+        healthy.fleet.mean_tpot_ms
+    );
+}
+
+#[test]
+fn autoscaler_grows_under_load_and_drains_when_it_recedes() {
+    // A short hot phase against a deliberately tiny scale-up threshold.
+    let requests = trace(12.0, 10.0, 23);
+    let mut autoscaler = AutoscalerConfig::new(1, 4);
+    autoscaler.scale_up_outstanding = 4.0;
+    autoscaler.scale_down_outstanding = 1.0;
+    autoscaler.provision_delay_s = 1.0;
+    autoscaler.cooldown_s = 1.0;
+    let mut config = ControllerConfig::managed(1, engine_config());
+    config.autoscaler = Some(autoscaler);
+    let result = FleetController::with_lazy_pat(
+        config,
+        Box::new(LeastOutstanding::new()),
+        FaultPlan::none(),
+    )
+    .run(&requests);
+    assert_conservation(&requests, &result);
+    assert!(result.scale_ups > 0, "never scaled up: {:?}", result.events);
+    assert!(
+        result.peak_replicas > 1,
+        "peak {} replicas",
+        result.peak_replicas
+    );
+    assert!(
+        result.scale_downs > 0,
+        "never drained back down: {:?}",
+        result.events
+    );
+    // Graceful drain: scale-down must not lose or strand anything.
+    assert_eq!(result.lost, 0);
+    assert_eq!(
+        result.completed,
+        requests.len() - result.shed - result.unfinished
+    );
+}
+
+#[test]
+fn admission_control_sheds_explicitly_at_saturation() {
+    // One replica, a firehose, and a tiny queue: most load must be shed,
+    // and every shed request accounted by id.
+    let requests = trace(40.0, 6.0, 29);
+    let mut config = ControllerConfig::managed(1, engine_config());
+    config.admission = Some(AdmissionConfig {
+        max_outstanding_per_replica: 8,
+        max_queued: 16,
+    });
+    let result =
+        FleetController::with_lazy_pat(config, Box::new(RoundRobin::new()), FaultPlan::none())
+            .run(&requests);
+    assert_conservation(&requests, &result);
+    assert!(result.shed > 0, "nothing shed at 40 req/s on one replica");
+    assert_eq!(result.shed, result.shed_ids.len());
+    // Backpressure keeps the *admitted* requests inside a sane envelope:
+    // nothing is lost, and goodput reflects the shed load honestly.
+    assert_eq!(result.lost, 0);
+    assert!(result.goodput < 1.0);
+}
+
+#[test]
+fn random_fault_runs_are_deterministic_and_conserve_requests() {
+    let requests = trace(6.0, 10.0, 31);
+    let fault_cfg = RandomFaultConfig {
+        seed: 99,
+        duration_s: 10.0,
+        replicas: 3,
+        crash_rate_per_min: 6.0,
+        mean_restart_s: 3.0,
+        slowdown_rate_per_min: 6.0,
+        mean_slowdown_s: 4.0,
+        slow_factor_range: (0.3, 0.8),
+    };
+    let run = || {
+        let mut config = ControllerConfig::managed(3, engine_config());
+        config.autoscaler = Some(AutoscalerConfig::new(2, 5));
+        config.admission = Some(AdmissionConfig::default());
+        FleetController::with_lazy_pat(
+            config,
+            Box::new(PrefixAffinity::new()),
+            FaultPlan::random(&fault_cfg),
+        )
+        .run(&requests)
+    };
+    let a = run();
+    let b = run();
+    assert_conservation(&requests, &a);
+    // Bit-identical reruns, via the serialized form (covers every field).
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+    assert_eq!(a.per_request, b.per_request);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.shed_ids, b.shed_ids);
+    assert_eq!(a.lost_ids, b.lost_ids);
+    assert_eq!(a.refilled_prefill_tokens, b.refilled_prefill_tokens);
+}
+
+#[test]
+fn goodput_is_zero_not_nan_on_an_empty_offer() {
+    let config = ControllerConfig::managed(2, engine_config());
+    let result =
+        FleetController::with_lazy_pat(config, Box::new(RoundRobin::new()), FaultPlan::none())
+            .run(&[]);
+    assert_eq!(result.offered, 0);
+    assert_eq!(result.goodput, 0.0);
+    assert!(result.fleet.mean_ttft_ms.is_finite());
+    assert!(result.fleet.p99_ttft_ms.is_finite());
+}
+
+#[test]
+fn router_skips_detected_dead_replicas() {
+    // After detection, no new arrival may be routed into the dead
+    // replica's limbo: managed mode with a long outage must still
+    // complete everything on the survivors.
+    let requests = trace(5.0, 10.0, 37);
+    let faults = FaultPlan::scripted(vec![crash(1.0, 0, None)]);
+    let config = ControllerConfig::managed(2, engine_config());
+    let result =
+        FleetController::with_lazy_pat(config, Box::new(RoundRobin::new()), faults).run(&requests);
+    assert_conservation(&requests, &result);
+    assert_eq!(result.lost, 0, "lost {:?}", result.lost_ids);
+    assert_eq!(result.completed, requests.len());
+}

@@ -170,6 +170,8 @@ pub struct ServingEngine {
     overhead_samples: Vec<(f64, f64)>,
     preemptions: u64,
     dropped: u64,
+    speed_factor: f64,
+    draining: bool,
 }
 
 impl ServingEngine {
@@ -208,6 +210,8 @@ impl ServingEngine {
             overhead_samples: Vec::new(),
             preemptions: 0,
             dropped: 0,
+            speed_factor: 1.0,
+            draining: false,
         }
     }
 
@@ -216,8 +220,11 @@ impl ServingEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `request` arrives before a previously submitted request.
+    /// Panics if `request` arrives before a previously submitted request,
+    /// or if the engine is draining (a draining replica must not receive
+    /// new work; route it elsewhere).
     pub fn submit(&mut self, request: Request) {
+        assert!(!self.draining, "cannot submit to a draining engine");
         if let Some(last) = self.requests.last() {
             assert!(
                 last.arrival_s <= request.arrival_s,
@@ -265,6 +272,78 @@ impl ServingEngine {
     /// Per-request records of requests completed so far.
     pub fn completed_requests(&self) -> &[RequestMetrics] {
         &self.completed
+    }
+
+    /// Ids of the requests currently in the decode batch, in batch order.
+    pub fn active_request_ids(&self) -> Vec<u64> {
+        self.active
+            .iter()
+            .map(|a| self.requests[a.req_idx].id)
+            .collect()
+    }
+
+    /// Sets the replica's speed factor: 1.0 is nominal, 0.5 makes every
+    /// prefill and decode step take twice as long (a straggler), values
+    /// above 1.0 model a faster part. Virtual time already spent is not
+    /// rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn set_speed_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "speed factor must be positive and finite"
+        );
+        self.speed_factor = factor;
+    }
+
+    /// The replica's current speed factor (1.0 = nominal).
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
+    /// Puts the engine into drain mode: it keeps serving everything already
+    /// submitted but rejects new submissions. Used for graceful scale-down —
+    /// the fleet controller stops routing here, waits for
+    /// [`outstanding`](ServingEngine::outstanding) to reach zero, then
+    /// retires the replica.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether the engine is in drain mode.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Removes and returns every submitted-but-incomplete request — queued,
+    /// mid-prefill, decoding, or not yet admitted — in arrival order, for
+    /// resubmission on another replica. Decoding requests are evicted
+    /// through the same path as KV-pressure preemption (blocks freed,
+    /// partial output discarded), so a requeued request restarts from
+    /// prefill wherever it lands next; these evictions are failover
+    /// requeues, not pressure preemptions, and do not count in
+    /// [`SimulationResult::preemptions`].
+    pub fn take_incomplete(&mut self) -> Vec<Request> {
+        let mut indices: Vec<usize> = Vec::new();
+        for a in self.active.drain(..) {
+            self.cache
+                .free_sequence(&a.table)
+                .expect("active blocks are allocated");
+            indices.push(a.req_idx);
+        }
+        indices.extend(self.prefilling.drain(..).map(|(idx, _, _)| idx));
+        indices.extend(self.waiting.drain(..));
+        indices.extend(self.next_arrival..self.requests.len());
+        self.next_arrival = self.requests.len();
+        // Submission order is arrival order, so sorting by index restores it.
+        indices.sort_unstable();
+        indices.dedup();
+        indices
+            .into_iter()
+            .map(|i| self.requests[i].clone())
+            .collect()
     }
 
     /// Drain deadline: this long past the latest submitted arrival, the
@@ -433,7 +512,7 @@ impl ServingEngine {
                     computed_tokens += prompt_tokens.saturating_sub(hit_tokens).max(1);
                     placed.push((idx, table));
                 }
-                self.clock_ns += self.cost.prefill_ns(computed_tokens);
+                self.clock_ns += self.cost.prefill_ns(computed_tokens) / self.speed_factor;
                 for (idx, table) in placed {
                     let req = &self.requests[idx];
                     let arrival_ns = req.arrival_s * 1e9;
@@ -493,7 +572,7 @@ impl ServingEngine {
         }
         if self.active.is_empty() {
             // Pure prefill-chunk step.
-            self.clock_ns += self.cost.prefill_ns(prefill_chunk);
+            self.clock_ns += self.cost.prefill_ns(prefill_chunk) / self.speed_factor;
             self.admit_finished_prefills(&finished_prefills);
             return StepOutcome::Progress;
         }
@@ -519,7 +598,9 @@ impl ServingEngine {
             * (8_000.0
                 + batch.num_queries() as f64 * self.config.model.hidden as f64 * 2.0 / 300.0);
         let prefill_ns = self.cost.chunked_prefill_marginal_ns(prefill_chunk);
-        let step_ns = attention_ns + linear_ns + pp_transfer_ns + prefill_ns;
+        // A straggler (speed factor < 1) stretches every step it executes.
+        let attention_ns = attention_ns / self.speed_factor;
+        let step_ns = attention_ns + (linear_ns + pp_transfer_ns + prefill_ns) / self.speed_factor;
         if let Some(sched) = attention.scheduling_cost_ns(&batch) {
             self.overhead_samples
                 .push((sched, self.cost.pre_attention_ns(batch.num_queries())));
@@ -848,6 +929,102 @@ mod tests {
         assert_eq!(upfront.decode_steps, incremental.decode_steps);
         assert_eq!(upfront.preemptions, incremental.preemptions);
         assert!(upfront.metrics.mean_tpot_ms == incremental.metrics.mean_tpot_ms);
+    }
+
+    #[test]
+    fn slower_speed_factor_stretches_latency_proportionally() {
+        let requests = short_trace(2.0);
+        let mut pat_a = LazyPat::new();
+        let nominal = simulate_serving(&config(), &mut pat_a, &requests);
+
+        let mut pat_b = LazyPat::new();
+        let mut engine = ServingEngine::new(config());
+        engine.set_speed_factor(0.5);
+        for request in &requests {
+            engine.submit(request.clone());
+        }
+        while engine.step(&mut pat_b) == StepOutcome::Progress {}
+        let slow = engine.into_result();
+
+        assert_eq!(slow.metrics.completed, nominal.metrics.completed);
+        // Half speed doubles every step; scheduling dynamics shift batch
+        // composition, so TPOT lands near 2x rather than exactly on it.
+        let ratio = slow.metrics.mean_tpot_ms / nominal.metrics.mean_tpot_ms;
+        assert!(
+            (1.5..=3.0).contains(&ratio),
+            "slow/nominal TPOT ratio {ratio:.3} not near 2x"
+        );
+        assert!(slow.metrics.mean_ttft_ms > nominal.metrics.mean_ttft_ms);
+    }
+
+    #[test]
+    fn unit_speed_factor_is_bit_identical_to_default() {
+        let requests = short_trace(4.0);
+        let mut pat_a = LazyPat::new();
+        let reference = simulate_serving(&config(), &mut pat_a, &requests);
+        let mut pat_b = LazyPat::new();
+        let mut engine = ServingEngine::new(config());
+        engine.set_speed_factor(1.0);
+        for request in &requests {
+            engine.submit(request.clone());
+        }
+        while engine.step(&mut pat_b) == StepOutcome::Progress {}
+        assert_eq!(engine.into_result().per_request, reference.per_request);
+    }
+
+    #[test]
+    fn take_incomplete_returns_unfinished_and_frees_their_blocks() {
+        let requests = short_trace(6.0);
+        let mut engine = ServingEngine::new(config());
+        for request in &requests {
+            engine.submit(request.clone());
+        }
+        let mut pat = LazyPat::new();
+        // Run just long enough that some requests finished, some are mid
+        // flight, and some have not arrived yet.
+        for _ in 0..200 {
+            if engine.step(&mut pat) == StepOutcome::Idle {
+                break;
+            }
+        }
+        let done_before = engine.completed_requests().len();
+        assert!(done_before > 0 && done_before < requests.len(), "mid-run");
+        let free_before = engine.cache().available_blocks();
+        let requeued = engine.take_incomplete();
+        assert_eq!(done_before + requeued.len(), requests.len());
+        assert!(engine.cache().available_blocks() >= free_before);
+        assert_eq!(engine.outstanding(), 0);
+        // Requeued requests come back in arrival order, ready to resubmit.
+        assert!(requeued
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        // The engine itself is still serviceable and idle.
+        while engine.step(&mut pat) == StepOutcome::Progress {}
+        assert_eq!(engine.completed_requests().len(), done_before);
+    }
+
+    #[test]
+    fn drain_mode_finishes_existing_work_and_rejects_new() {
+        let requests = short_trace(3.0);
+        let mut engine = ServingEngine::new(config());
+        for request in &requests {
+            engine.submit(request.clone());
+        }
+        engine.begin_drain();
+        assert!(engine.is_draining());
+        let mut pat = LazyPat::new();
+        while engine.step(&mut pat) == StepOutcome::Progress {}
+        assert_eq!(engine.outstanding(), 0);
+        assert_eq!(engine.completed_requests().len(), requests.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "draining")]
+    fn submitting_to_a_draining_engine_panics() {
+        let requests = short_trace(3.0);
+        let mut engine = ServingEngine::new(config());
+        engine.begin_drain();
+        engine.submit(requests[0].clone());
     }
 
     #[test]

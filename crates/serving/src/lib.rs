@@ -44,5 +44,5 @@ pub use costs::CostModel;
 pub use engine::{
     simulate_serving, Parallelism, ServingConfig, ServingEngine, SimulationResult, StepOutcome,
 };
-pub use metrics::{AggregateMetrics, RequestMetrics};
+pub use metrics::{percentile, AggregateMetrics, RequestMetrics};
 pub use model::{ModelSpec, MoeSpec};

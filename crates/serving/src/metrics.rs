@@ -23,6 +23,8 @@ pub struct RequestMetrics {
 pub struct AggregateMetrics {
     /// Mean time to first token, ms.
     pub mean_ttft_ms: f64,
+    /// 99th-percentile time to first token, ms.
+    pub p99_ttft_ms: f64,
     /// Mean time per output token, ms.
     pub mean_tpot_ms: f64,
     /// 99th-percentile per-request TPOT, ms.
@@ -33,35 +35,45 @@ pub struct AggregateMetrics {
     pub completed: usize,
 }
 
+/// Mean of a sample, 0.0 when empty (never NaN).
+pub(crate) fn guarded_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The `q`-quantile (`q` in `[0, 1]`) of a sample by the nearest-rank
+/// method, 0.0 when the sample is empty (never NaN). Sorts a copy.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 impl AggregateMetrics {
-    /// Aggregates a set of per-request records.
+    /// Aggregates a set of per-request records. Every field is 0 (never
+    /// NaN) when `requests` is empty or when no request decoded more than
+    /// one token.
     pub fn from_requests(requests: &[RequestMetrics]) -> Self {
-        if requests.is_empty() {
-            return AggregateMetrics::default();
-        }
-        let n = requests.len() as f64;
-        let mean = |f: fn(&RequestMetrics) -> f64| requests.iter().map(f).sum::<f64>() / n;
-        let mut tpots: Vec<f64> = requests
+        let ttfts: Vec<f64> = requests.iter().map(|r| r.ttft_ns).collect();
+        let completions: Vec<f64> = requests.iter().map(|r| r.completion_ns).collect();
+        let tpots: Vec<f64> = requests
             .iter()
             .filter(|r| r.decode_tokens > 1)
             .map(|r| r.tpot_ns)
             .collect();
-        tpots.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let p99 = if tpots.is_empty() {
-            0.0
-        } else {
-            tpots[((tpots.len() as f64 * 0.99).ceil() as usize - 1).min(tpots.len() - 1)]
-        };
-        let mean_tpot = if tpots.is_empty() {
-            0.0
-        } else {
-            tpots.iter().sum::<f64>() / tpots.len() as f64
-        };
         AggregateMetrics {
-            mean_ttft_ms: mean(|r| r.ttft_ns) / 1e6,
-            mean_tpot_ms: mean_tpot / 1e6,
-            p99_tpot_ms: p99 / 1e6,
-            mean_completion_ms: mean(|r| r.completion_ns) / 1e6,
+            mean_ttft_ms: guarded_mean(&ttfts) / 1e6,
+            p99_ttft_ms: percentile(&ttfts, 0.99) / 1e6,
+            mean_tpot_ms: guarded_mean(&tpots) / 1e6,
+            p99_tpot_ms: percentile(&tpots, 0.99) / 1e6,
+            mean_completion_ms: guarded_mean(&completions) / 1e6,
             completed: requests.len(),
         }
     }
@@ -113,5 +125,47 @@ mod tests {
         let agg = AggregateMetrics::from_requests(&[]);
         assert_eq!(agg.completed, 0);
         assert_eq!(agg.mean_tpot_ms, 0.0);
+    }
+
+    /// No input shape may produce NaN: empty runs, single-request runs, and
+    /// all-single-token runs (empty TPOT sample with non-empty TTFT sample)
+    /// must all aggregate to finite numbers.
+    #[test]
+    fn aggregates_are_never_nan() {
+        for reqs in [
+            vec![],
+            vec![rm(2e6, 0.0, 1)],
+            vec![rm(2e6, 0.0, 1), rm(4e6, 0.0, 1)],
+            vec![rm(1e6, 3e6, 8)],
+        ] {
+            let agg = AggregateMetrics::from_requests(&reqs);
+            for v in [
+                agg.mean_ttft_ms,
+                agg.p99_ttft_ms,
+                agg.mean_tpot_ms,
+                agg.p99_tpot_ms,
+                agg.mean_completion_ms,
+            ] {
+                assert!(v.is_finite(), "{agg:?} contains a non-finite field");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_is_guarded_and_exact() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[5.0], 0.99), 5.0);
+        assert_eq!(percentile(&[5.0], 0.0), 5.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn p99_ttft_picks_the_tail() {
+        let reqs: Vec<RequestMetrics> = (1..=100).map(|i| rm(i as f64 * 1e6, 0.0, 5)).collect();
+        let agg = AggregateMetrics::from_requests(&reqs);
+        assert!((agg.p99_ttft_ms - 99.0).abs() < 1e-9);
     }
 }

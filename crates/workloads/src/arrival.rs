@@ -56,10 +56,199 @@ impl PoissonArrivals {
     }
 }
 
+/// A burst window of a [`BurstyArrivals`] profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Burst start, seconds from trace start (inclusive).
+    pub start_s: f64,
+    /// Burst end, seconds (exclusive).
+    pub end_s: f64,
+    /// Rate multiplier applied inside the window (e.g. 4.0 for a 4x burst).
+    pub multiplier: f64,
+}
+
+/// A piecewise-constant arrival process: a base Poisson rate with scripted
+/// burst windows (a flash crowd, a retry storm, a viral moment). Sampled by
+/// thinning a homogeneous process at the peak rate, so the output is exact
+/// and deterministic per seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use workloads::{Burst, BurstyArrivals};
+///
+/// let profile = BurstyArrivals::new(
+///     4.0,
+///     vec![Burst { start_s: 10.0, end_s: 20.0, multiplier: 4.0 }],
+/// );
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let arrivals = profile.take_until(30.0, &mut rng);
+/// let in_burst = arrivals.iter().filter(|&&t| (10.0..20.0).contains(&t)).count();
+/// let outside = arrivals.len() - in_burst;
+/// // 10 s at 16/s inside vs 20 s at 4/s outside.
+/// assert!(in_burst > outside);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstyArrivals {
+    base_rate_per_s: f64,
+    bursts: Vec<Burst>,
+}
+
+impl BurstyArrivals {
+    /// A base rate with scripted burst windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base rate is not strictly positive, or any burst has a
+    /// non-positive multiplier or an empty window.
+    pub fn new(base_rate_per_s: f64, bursts: Vec<Burst>) -> Self {
+        assert!(base_rate_per_s > 0.0, "arrival rate must be positive");
+        for b in &bursts {
+            assert!(b.multiplier > 0.0, "burst multiplier must be positive");
+            assert!(b.end_s > b.start_s, "burst window must be non-empty");
+        }
+        BurstyArrivals {
+            base_rate_per_s,
+            bursts,
+        }
+    }
+
+    /// The instantaneous rate at time `t_s`.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let mut rate = self.base_rate_per_s;
+        for b in &self.bursts {
+            if (b.start_s..b.end_s).contains(&t_s) {
+                rate = self.base_rate_per_s * b.multiplier;
+            }
+        }
+        rate
+    }
+
+    /// All arrival times in `[0, duration_s)`, by thinning.
+    pub fn take_until<R: Rng + ?Sized>(&self, duration_s: f64, rng: &mut R) -> Vec<f64> {
+        let peak = self
+            .bursts
+            .iter()
+            .map(|b| self.base_rate_per_s * b.multiplier)
+            .fold(self.base_rate_per_s, f64::max);
+        thin(peak, |t| self.rate_at(t), duration_s, rng)
+    }
+}
+
+/// A smoothly varying diurnal arrival process:
+/// `rate(t) = mean * (1 + amplitude * sin(2*pi*t / period))`, sampled by
+/// thinning. Models the day/night load cycle that makes static fleet sizing
+/// wasteful and motivates autoscaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalArrivals {
+    mean_rate_per_s: f64,
+    period_s: f64,
+    amplitude: f64,
+}
+
+impl DiurnalArrivals {
+    /// A sinusoidal profile around `mean_rate_per_s` with relative swing
+    /// `amplitude` over one `period_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean rate or period is not strictly positive, or the
+    /// amplitude is outside `[0, 1)` (the rate must stay positive).
+    pub fn new(mean_rate_per_s: f64, period_s: f64, amplitude: f64) -> Self {
+        assert!(mean_rate_per_s > 0.0, "arrival rate must be positive");
+        assert!(period_s > 0.0, "period must be positive");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        DiurnalArrivals {
+            mean_rate_per_s,
+            period_s,
+            amplitude,
+        }
+    }
+
+    /// The instantaneous rate at time `t_s`.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        self.mean_rate_per_s
+            * (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t_s / self.period_s).sin())
+    }
+
+    /// All arrival times in `[0, duration_s)`, by thinning.
+    pub fn take_until<R: Rng + ?Sized>(&self, duration_s: f64, rng: &mut R) -> Vec<f64> {
+        let peak = self.mean_rate_per_s * (1.0 + self.amplitude);
+        thin(peak, |t| self.rate_at(t), duration_s, rng)
+    }
+}
+
+/// Samples an inhomogeneous Poisson process with instantaneous rate
+/// `rate_at(t) <= peak` by thinning a homogeneous process at `peak`.
+fn thin<R: Rng + ?Sized>(
+    peak: f64,
+    rate_at: impl Fn(f64) -> f64,
+    duration_s: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let proposal = PoissonArrivals::new(peak);
+    let mut out = Vec::new();
+    let mut t = proposal.next_gap(rng);
+    while t < duration_s {
+        if rng.gen_range(0.0..1.0) * peak < rate_at(t) {
+            out.push(t);
+        }
+        t += proposal.next_gap(rng);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn bursty_rate_profile_is_respected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let profile = BurstyArrivals::new(
+            5.0,
+            vec![Burst {
+                start_s: 100.0,
+                end_s: 200.0,
+                multiplier: 4.0,
+            }],
+        );
+        let arrivals = profile.take_until(300.0, &mut rng);
+        let in_burst = arrivals
+            .iter()
+            .filter(|&&t| (100.0..200.0).contains(&t))
+            .count() as f64
+            / 100.0;
+        let outside = arrivals
+            .iter()
+            .filter(|&&t| !(100.0..200.0).contains(&t))
+            .count() as f64
+            / 200.0;
+        assert!((in_burst - 20.0).abs() < 2.0, "burst rate {in_burst}");
+        assert!((outside - 5.0).abs() < 1.0, "base rate {outside}");
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn diurnal_peak_and_trough_differ() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let profile = DiurnalArrivals::new(10.0, 200.0, 0.8);
+        let arrivals = profile.take_until(200.0, &mut rng);
+        // First half-period covers the sinusoid's peak, second the trough.
+        let first = arrivals.iter().filter(|&&t| t < 100.0).count();
+        let second = arrivals.len() - first;
+        assert!(
+            first as f64 > 2.0 * second as f64,
+            "peak {first} vs trough {second}"
+        );
+        let mean = arrivals.len() as f64 / 200.0;
+        assert!((mean - 10.0).abs() < 1.5, "mean rate {mean}");
+    }
 
     #[test]
     fn mean_rate_converges() {

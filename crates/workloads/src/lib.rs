@@ -34,9 +34,9 @@ mod synthetic;
 mod tenants;
 mod traces;
 
-pub use arrival::PoissonArrivals;
+pub use arrival::{Burst, BurstyArrivals, DiurnalArrivals, PoissonArrivals};
 pub use io::{load_trace, save_trace};
 pub use requests::{PromptSpec, Request, Segment};
 pub use synthetic::{ablation_specs, figure11_specs, BatchSpec};
 pub use tenants::{generate_multi_tenant, MultiTenantConfig, MultiTenantTrace, TenantSpec};
-pub use traces::{generate_trace, measure_prefix_ratio, TraceConfig, TraceKind};
+pub use traces::{generate_trace, generate_trace_at, measure_prefix_ratio, TraceConfig, TraceKind};

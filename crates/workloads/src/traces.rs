@@ -101,16 +101,53 @@ const NS_UNIQUE: u64 = 7 << 40;
 pub fn generate_trace(cfg: TraceConfig) -> Vec<Request> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let arrivals = PoissonArrivals::new(cfg.rate_per_s).take_until(cfg.duration_s, &mut rng);
+    build_requests(cfg.kind, &arrivals, &mut rng)
+}
+
+/// Generates a trace's prompts over an externally supplied arrival process
+/// (e.g. [`BurstyArrivals`](crate::BurstyArrivals) or
+/// [`DiurnalArrivals`](crate::DiurnalArrivals)): same prompt models as
+/// [`generate_trace`], but the caller controls when requests land.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is not sorted ascending.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use workloads::{generate_trace_at, Burst, BurstyArrivals, TraceKind};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let arrivals = BurstyArrivals::new(
+///     8.0,
+///     vec![Burst { start_s: 5.0, end_s: 10.0, multiplier: 4.0 }],
+/// )
+/// .take_until(15.0, &mut rng);
+/// let requests = generate_trace_at(TraceKind::ToolAgent, &arrivals, 2);
+/// assert_eq!(requests.len(), arrivals.len());
+/// ```
+pub fn generate_trace_at(kind: TraceKind, arrivals: &[f64], seed: u64) -> Vec<Request> {
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    build_requests(kind, arrivals, &mut rng)
+}
+
+fn build_requests(kind: TraceKind, arrivals: &[f64], rng: &mut StdRng) -> Vec<Request> {
     arrivals
-        .into_iter()
+        .iter()
         .enumerate()
-        .map(|(i, arrival_s)| {
+        .map(|(i, &arrival_s)| {
             let id = i as u64;
-            let (prompt, decode_tokens) = match cfg.kind {
-                TraceKind::ToolAgent => toolagent_prompt(id, &mut rng),
-                TraceKind::Conversation => conversation_prompt(id, &mut rng),
-                TraceKind::QwenA => qwen_a_prompt(id, &mut rng),
-                TraceKind::QwenB => qwen_b_prompt(id, &mut rng),
+            let (prompt, decode_tokens) = match kind {
+                TraceKind::ToolAgent => toolagent_prompt(id, rng),
+                TraceKind::Conversation => conversation_prompt(id, rng),
+                TraceKind::QwenA => qwen_a_prompt(id, rng),
+                TraceKind::QwenB => qwen_b_prompt(id, rng),
             };
             Request {
                 id,

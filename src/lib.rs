@@ -20,7 +20,9 @@
 //! * [`workloads`] — synthetic `(B, L)` batches and trace models;
 //! * [`serving`] — the continuous-batching serving simulator;
 //! * [`cluster`] — the multi-replica fleet simulator with prefix-aware
-//!   request routing.
+//!   request routing;
+//! * [`controller`] — the fleet control plane: fault injection,
+//!   health-checked failover, SLO-aware autoscaling, admission control.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use attn_kernel;
 pub use attn_math;
 pub use baselines;
 pub use cluster;
+pub use controller;
 pub use kv_cache;
 pub use pat_core;
 pub use serving;
@@ -68,8 +71,11 @@ pub mod prelude {
         Cascade, Deft, FastTree, FlashAttention, FlashInfer, RelayAttention, RelayAttentionPP,
     };
     pub use cluster::{
-        Cluster, ClusterConfig, ConsistentHashPrefix, LeastOutstanding, PrefixAffinity, RoundRobin,
-        Router,
+        Cluster, ClusterConfig, ConsistentHashPrefix, LeastOutstanding, PrefixAffinity,
+        ReplicaState, RoundRobin, Router,
+    };
+    pub use controller::{
+        AdmissionConfig, AutoscalerConfig, ControllerConfig, FaultPlan, FleetController,
     };
     pub use kv_cache::{BlockId, BlockTable, CacheManager, PrefixForest};
     pub use pat_core::{LazyPat, PatBackend, PatConfig, TileSelector, TileSolver};

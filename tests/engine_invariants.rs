@@ -1,5 +1,6 @@
 //! Property tests of the GPU engine itself: work conservation, resource
-//! bounds, and stream semantics under randomized CTA populations.
+//! bounds, and stream semantics under randomized CTA populations — plus
+//! scheduler-level invariants of the serving engine under KV pressure.
 
 use proptest::prelude::*;
 use sim_gpu::{CtaResources, CtaWork, Engine, GpuSpec, KernelSpec, StreamSpec};
@@ -129,5 +130,125 @@ proptest! {
                 "{resident} CTAs x {smem_per_cta} B on one SM"
             );
         }
+    }
+}
+
+mod serving_preemption {
+    use super::*;
+    use pat_core::LazyPat;
+    use serving::{ModelSpec, ServingConfig, ServingEngine, StepOutcome};
+    use std::collections::BTreeSet;
+    use workloads::{PromptSpec, Request};
+
+    /// A stream of prefix-sharing requests tight enough to thrash a small
+    /// KV pool: few distinct prefix families, prompts of a few hundred
+    /// tokens, near-simultaneous arrivals.
+    fn pressured_trace(
+        n: usize,
+        families: u64,
+        shared_tokens: usize,
+        unique_tokens: usize,
+        decode_tokens: usize,
+    ) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                id: i as u64,
+                arrival_s: i as f64 * 0.02,
+                prompt: PromptSpec::from_parts([
+                    (1 + i as u64 % families, shared_tokens),
+                    (1_000 + i as u64, unique_tokens),
+                ]),
+                decode_tokens,
+            })
+            .collect()
+    }
+
+    /// Steps the engine to quiescence, counting every request that leaves
+    /// the decode batch without completing (an observed eviction).
+    fn run_counting_evictions(
+        config: ServingConfig,
+        requests: &[Request],
+    ) -> (serving::SimulationResult, u64) {
+        let mut engine = ServingEngine::new(config);
+        for r in requests {
+            engine.submit(r.clone());
+        }
+        let mut backend = LazyPat::new();
+        let mut evictions = 0u64;
+        loop {
+            let before: BTreeSet<u64> = engine.active_request_ids().into_iter().collect();
+            let completed_before = engine.completed_requests().len();
+            if engine.step(&mut backend) == StepOutcome::Idle {
+                break;
+            }
+            let after: BTreeSet<u64> = engine.active_request_ids().into_iter().collect();
+            let newly_completed: BTreeSet<u64> = engine.completed_requests()[completed_before..]
+                .iter()
+                .map(|m| m.request_id)
+                .collect();
+            evictions += before
+                .iter()
+                .filter(|id| !after.contains(id) && !newly_completed.contains(id))
+                .count() as u64;
+        }
+        (engine.into_result(), evictions)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Preempt-and-restart under KV pressure is loss-free: every request
+        /// completes exactly once with its full output length, and the
+        /// engine's `preemptions` counter equals the number of evictions
+        /// actually observed from outside, step by step.
+        #[test]
+        fn preemption_never_loses_or_duplicates_output(
+            n in 6usize..14,
+            families in 1u64..4,
+            shared_tokens in 128usize..384,
+            unique_tokens in 32usize..128,
+            decode_tokens in 16usize..48,
+            capacity_blocks in 48usize..96,
+        ) {
+            let requests =
+                pressured_trace(n, families, shared_tokens, unique_tokens, decode_tokens);
+            let mut config = ServingConfig::single_gpu(ModelSpec::llama3_8b());
+            // Small enough to force recompute preemptions, large enough
+            // that any single request always fits.
+            config.kv_capacity_blocks = capacity_blocks;
+            let (result, evictions) = run_counting_evictions(config, &requests);
+            prop_assert_eq!(result.dropped, 0, "a request could not fit the pool");
+            prop_assert_eq!(result.unfinished, 0);
+            prop_assert_eq!(
+                result.preemptions, evictions,
+                "engine counted {} preemptions but {} evictions were observed",
+                result.preemptions, evictions
+            );
+            // Exactly-once completion with exactly the requested tokens.
+            prop_assert_eq!(result.per_request.len(), requests.len());
+            let mut seen = BTreeSet::new();
+            for m in &result.per_request {
+                prop_assert!(seen.insert(m.request_id), "request {} completed twice", m.request_id);
+                prop_assert_eq!(
+                    m.decode_tokens,
+                    requests[m.request_id as usize].decode_tokens,
+                    "request {} lost output tokens across preemption",
+                    m.request_id
+                );
+            }
+        }
+    }
+
+    /// A pinned configuration where preemption is guaranteed, so the
+    /// property above is known to be exercised (not vacuously true).
+    #[test]
+    fn kv_pressure_actually_preempts() {
+        let requests = pressured_trace(12, 3, 320, 16, 64);
+        let mut config = ServingConfig::single_gpu(ModelSpec::llama3_8b());
+        config.kv_capacity_blocks = 48;
+        let (result, evictions) = run_counting_evictions(config, &requests);
+        assert!(result.preemptions > 0, "pressure config no longer preempts");
+        assert_eq!(result.preemptions, evictions);
+        assert_eq!(result.per_request.len(), requests.len());
     }
 }
