@@ -1,13 +1,19 @@
 //! The multi-replica cluster simulator.
 //!
 //! Instantiates N independent [`ServingEngine`] replicas — each with its own
-//! KV cache and attention backend — and co-simulates them in virtual time:
-//! before each arrival is routed, every replica is advanced to the arrival
-//! instant so the router observes loads and cache contents as they would be
-//! at that moment; the routed request is then submitted to exactly one
-//! replica. Replicas never share KV state, which is precisely why placement
-//! matters: a prefix cached on replica A is recomputed from scratch on
-//! replica B.
+//! KV cache and attention backend — and co-simulates them event-driven on
+//! the shared [`sim_core`] spine: arrivals are drained from a deterministic
+//! [`EventQueue`], and before each arrival is routed, every *busy* replica
+//! is advanced to the arrival instant so the router observes loads and
+//! cache contents as they would be at that moment (idle replicas are never
+//! ticked — their engines jump their own clocks on the next submission).
+//! The routed request is then submitted to exactly one replica. Replicas
+//! never share KV state, which is precisely why placement matters: a prefix
+//! cached on replica A is recomputed from scratch on replica B.
+//!
+//! Replicas with identical integer clocks advance in replica-index order —
+//! an exact guarantee under [`SimTime`], where equal instants compare equal
+//! instead of hiding an ulp of float drift.
 
 use crate::metrics::{
     duplicated_blocks, kv_block_bytes, load_imbalance, ClusterResult, ReplicaSummary,
@@ -15,6 +21,7 @@ use crate::metrics::{
 use crate::router::{ReplicaView, Router};
 use pat_core::LazyPat;
 use serving::{AggregateMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome};
+use sim_core::{EventQueue, SimTime};
 use workloads::Request;
 
 /// Cluster shape: how many replicas, each running the same engine config.
@@ -78,9 +85,15 @@ impl Cluster {
         Cluster::new(config, router, || Box::new(LazyPat::new()))
     }
 
-    /// Advances replica `i` until its clock reaches `t_ns` or it goes idle.
-    fn advance_replica_to(&mut self, i: usize, t_ns: f64) {
-        while self.engines[i].clock_ns() < t_ns {
+    /// Advances replica `i` until its clock reaches `t` or it goes idle.
+    /// Replicas with no outstanding work are skipped outright: stepping an
+    /// idle engine is a no-op, and its lagging clock jumps forward on the
+    /// next submission.
+    fn advance_replica_to(&mut self, i: usize, t: SimTime) {
+        if self.engines[i].outstanding() == 0 {
+            return;
+        }
+        while self.engines[i].clock() < t {
             if self.engines[i].step(self.backends[i].as_mut()) == StepOutcome::Idle {
                 break;
             }
@@ -104,12 +117,19 @@ impl Cluster {
         let n = self.engines.len();
         let mut assignments: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
         let mut routed = vec![0usize; n];
-        for request in requests {
-            let t_ns = request.arrival_s * 1e9;
-            // Bring the whole fleet up to the arrival instant so the router
-            // sees loads and caches as of "now", not as of the last arrival.
+        // Arrivals drain from the event queue in (time, submission-order):
+        // simultaneous arrivals route in trace order, deterministically.
+        let mut events: EventQueue<usize> = EventQueue::new();
+        for (idx, request) in requests.iter().enumerate() {
+            events.push(SimTime::from_secs_f64(request.arrival_s), idx);
+        }
+        while let Some((t, idx)) = events.pop() {
+            let request = &requests[idx];
+            // Bring every busy replica up to the arrival instant so the
+            // router sees loads and caches as of "now", not as of the last
+            // arrival. Equal clocks advance in replica-index order.
             for i in 0..n {
-                self.advance_replica_to(i, t_ns);
+                self.advance_replica_to(i, t);
             }
             let target = {
                 let views: Vec<ReplicaView<'_>> =

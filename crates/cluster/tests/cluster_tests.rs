@@ -240,6 +240,64 @@ fn prefix_affinity_beats_round_robin_on_a_toolagent_fleet() {
     );
 }
 
+/// Two replicas doing identical work hold *identical* integer clocks — not
+/// clocks an ulp apart — and the cluster's advance loop visits equal-clock
+/// replicas in replica-index order. Under f64 clocks neither half of this
+/// was a guarantee; under the `SimTime` spine both are exact.
+#[test]
+fn identical_clocks_advance_in_replica_index_order() {
+    use serving::{ServingAttention, ServingEngine, StepOutcome};
+    use sim_core::{EventQueue, SimTime};
+
+    let requests = generate_trace(TraceConfig {
+        kind: TraceKind::Conversation,
+        rate_per_s: 3.0,
+        duration_s: 4.0,
+        seed: 21,
+    });
+    let mut engines: Vec<ServingEngine> = (0..2)
+        .map(|_| ServingEngine::new(engine_config()))
+        .collect();
+    let mut backends: Vec<LazyPat> = (0..2).map(|_| LazyPat::new()).collect();
+    for request in &requests {
+        for engine in &mut engines {
+            engine.submit(request.clone());
+        }
+    }
+    // Lockstep: after every step, the two replicas' integer clocks are
+    // exactly equal — bit-for-bit, no tolerance.
+    loop {
+        let outcomes: Vec<StepOutcome> = engines
+            .iter_mut()
+            .zip(backends.iter_mut())
+            .map(|(e, b)| e.step(b as &mut dyn ServingAttention))
+            .collect();
+        assert_eq!(
+            engines[0].clock(),
+            engines[1].clock(),
+            "identical work must produce identical integer clocks"
+        );
+        if outcomes.iter().all(|&o| o == StepOutcome::Idle) {
+            break;
+        }
+    }
+    assert!(engines[0].clock() > SimTime::ZERO);
+    assert_eq!(
+        engines[0].completed_requests(),
+        engines[1].completed_requests()
+    );
+
+    // And when the fleet schedules advances for that shared instant, the
+    // queue hands them back in replica-index order, every time.
+    let tied = engines[0].clock();
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    for replica in 0..4 {
+        queue.push(tied, replica);
+    }
+    let order: Vec<usize> = std::iter::from_fn(|| queue.pop().map(|(_, r)| r)).collect();
+    assert_eq!(order, [0, 1, 2, 3], "equal instants must pop in push order");
+}
+
 #[test]
 fn least_outstanding_tracks_load_under_skewed_service_times() {
     let requests = generate_trace(TraceConfig {

@@ -10,16 +10,23 @@
 //! cost), an SLO-aware autoscaler with graceful drain, and admission
 //! control that queues or sheds load at saturation.
 //!
-//! Everything runs in virtual time off a single event loop, so a run is a
-//! pure function of `(config, router, fault plan, trace)`.
+//! Everything runs on the shared [`sim_core`] spine: virtual time is
+//! integer nanoseconds ([`SimTime`]), and the run is driven by a single
+//! [`EventQueue`] holding arrivals, faults, restarts, speed restorations,
+//! and health ticks. Idle stretches are skipped outright — the loop jumps
+//! from event to event instead of polling a grid — and simultaneous events
+//! resolve in a fixed order (faults, then restarts, then the tick, then
+//! arrivals; same-kind ties in push order), so a run is a pure function of
+//! `(config, router, fault plan, trace)` down to the bit.
 
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
-use crate::metrics::{ControlEvent, ControlResult};
+use crate::metrics::{ControlEvent, ControlResult, TimelineEvent};
 use cluster::{ReplicaState, ReplicaView, Router};
 use pat_core::LazyPat;
 use serving::{
     AggregateMetrics, RequestMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome,
 };
+use sim_core::{EventQueue, SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 use workloads::Request;
 
@@ -154,10 +161,10 @@ struct Replica {
     backend: Box<dyn ServingAttention>,
     actual: ReplicaState,
     observed: ReplicaState,
-    /// When a crashed (or still-provisioning) replica comes up, seconds.
-    restart_at_s: Option<f64>,
-    /// When a straggler's speed factor resets to 1.0, seconds.
-    restore_speed_at_s: Option<f64>,
+    /// When a crashed (or still-provisioning) replica comes up.
+    restart_at: Option<SimTime>,
+    /// When a straggler's speed factor resets to 1.0.
+    restore_speed_at: Option<SimTime>,
     /// Requests routed here while the replica was actually down: the
     /// control plane hasn't noticed, so from its view they are "in
     /// flight"; they surface at detection (failover) or restart (replay).
@@ -177,8 +184,8 @@ impl Replica {
             backend,
             actual: ReplicaState::Healthy,
             observed: ReplicaState::Healthy,
-            restart_at_s: None,
-            restore_speed_at_s: None,
+            restart_at: None,
+            restore_speed_at: None,
             limbo: Vec::new(),
             completed_seen: 0,
             archived: Vec::new(),
@@ -189,14 +196,31 @@ impl Replica {
     fn provisioning(
         engine_cfg: &ServingConfig,
         backend: Box<dyn ServingAttention>,
-        ready_s: f64,
+        ready: SimTime,
     ) -> Self {
         let mut r = Replica::fresh(engine_cfg, backend);
         r.actual = ReplicaState::Dead;
         r.observed = ReplicaState::Dead;
-        r.restart_at_s = Some(ready_s);
+        r.restart_at = Some(ready);
         r
     }
+}
+
+/// What the control plane's event queue schedules. Restart and
+/// restore-speed entries are wake-ups: the authoritative due-times live on
+/// the replica (`restart_at` / `restore_speed_at`), so a superseded entry
+/// pops as a harmless no-op.
+enum FleetEvent {
+    /// Index into the fault schedule.
+    Fault(usize),
+    /// A crashed or provisioning replica comes up.
+    Restart,
+    /// A straggler's speed factor resets.
+    RestoreSpeed,
+    /// Periodic health-check / control-loop tick.
+    Tick,
+    /// Index into the request trace.
+    Arrival(usize),
 }
 
 /// The fleet control plane. Build one per run; [`run`](FleetController::run)
@@ -271,34 +295,34 @@ impl FleetController {
         let replicas = (0..config.initial_replicas)
             .map(|_| Replica::fresh(&config.engine, backend_factory()))
             .collect();
-        let origin_ns: BTreeMap<u64, f64> =
-            requests.iter().map(|r| (r.id, r.arrival_s * 1e9)).collect();
-        assert_eq!(
-            origin_ns.len(),
-            requests.len(),
-            "request ids must be unique"
-        );
+        let origin: BTreeMap<u64, SimTime> = requests
+            .iter()
+            .map(|r| (r.id, SimTime::from_secs_f64(r.arrival_s)))
+            .collect();
+        assert_eq!(origin.len(), requests.len(), "request ids must be unique");
         let sim = Sim {
             peak_replicas: config.initial_replicas,
             config,
             router,
             backend_factory,
             replicas,
-            now_s: 0.0,
-            origin_ns,
-            submit_ns: BTreeMap::new(),
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            origin,
+            submit: BTreeMap::new(),
             pending: VecDeque::new(),
             orphans: Vec::new(),
             shed_ids: Vec::new(),
             lost_ids: Vec::new(),
             events: Vec::new(),
+            timeline: Vec::new(),
             ttft_window: VecDeque::new(),
             failovers: 0,
             refilled_prefill_tokens: 0,
             crashes: 0,
             scale_ups: 0,
             scale_downs: 0,
-            cooldown_until_s: 0.0,
+            cooldown_until: SimTime::ZERO,
         };
         sim.run(requests, &faults)
     }
@@ -310,13 +334,16 @@ struct Sim {
     router: Box<dyn Router>,
     backend_factory: Box<dyn FnMut() -> Box<dyn ServingAttention>>,
     replicas: Vec<Replica>,
-    now_s: f64,
-    /// Original arrival of every offered request, ns.
-    origin_ns: BTreeMap<u64, f64>,
-    /// Latest engine-submission instant per request, ns. Completion
-    /// metrics are relative to this; the delta to `origin_ns` converts
-    /// them back to user-perceived latencies.
-    submit_ns: BTreeMap<u64, f64>,
+    now: SimTime,
+    /// The event queue driving the run: arrivals, faults, restarts, speed
+    /// restorations, and (while the fleet has work) health ticks.
+    queue: EventQueue<FleetEvent>,
+    /// Original arrival of every offered request.
+    origin: BTreeMap<u64, SimTime>,
+    /// Latest engine-submission instant per request. Completion metrics
+    /// are relative to this; the delta to `origin` converts them back to
+    /// user-perceived latencies.
+    submit: BTreeMap<u64, SimTime>,
     /// Admission-control backpressure queue (FIFO).
     pending: VecDeque<Request>,
     /// Requests recovered from crashed replicas, awaiting re-routing.
@@ -324,6 +351,7 @@ struct Sim {
     shed_ids: Vec<u64>,
     lost_ids: Vec<u64>,
     events: Vec<ControlEvent>,
+    timeline: Vec<TimelineEvent>,
     /// Rolling corrected TTFTs (ms) of recent completions.
     ttft_window: VecDeque<f64>,
     failovers: usize,
@@ -332,64 +360,85 @@ struct Sim {
     scale_ups: usize,
     scale_downs: usize,
     peak_replicas: usize,
-    cooldown_until_s: f64,
+    cooldown_until: SimTime,
 }
 
 impl Sim {
     fn run(mut self, requests: &[Request], faults: &FaultPlan) -> ControlResult {
-        let tick_s = self.config.tick_s;
-        let mut next_tick = tick_s;
-        let mut arr = 0usize;
-        let mut fault_i = 0usize;
+        // The tick grid is quantized once at ingest; clamping to >= 1 ns
+        // keeps the catch-up loop below well-founded for degenerate
+        // configs.
+        let tick = SimDuration::from_secs_f64(self.config.tick_s).max(SimDuration::NANOSECOND);
+        let mut next_tick = SimTime::ZERO + tick;
+        // Time of the Tick wake-up currently sitting in the queue, if any.
+        // Ticks are only armed while the fleet has work, so an idle fleet's
+        // clock jumps straight to the next arrival or fault.
+        let mut tick_armed: Option<SimTime> = None;
         let schedule = faults.events();
         let last_arrival = requests.last().map_or(0.0, |r| r.arrival_s);
-        let horizon_s = last_arrival.max(faults.last_at_s()) + self.config.engine.drain_limit_s;
+        let horizon = SimTime::from_secs_f64(last_arrival.max(faults.last_at_s()))
+            + SimDuration::from_secs_f64(self.config.engine.drain_limit_s);
 
-        loop {
-            let mut t = f64::INFINITY;
-            if arr < requests.len() {
-                t = t.min(requests[arr].arrival_s);
-            }
-            if fault_i < schedule.len() {
-                t = t.min(schedule[fault_i].at_s);
-            }
-            for r in &self.replicas {
-                if let Some(x) = r.restart_at_s {
-                    t = t.min(x);
-                }
-                if let Some(x) = r.restore_speed_at_s {
-                    t = t.min(x);
-                }
-            }
-            if self.has_work() {
-                t = t.min(next_tick);
-            }
-            if !t.is_finite() || t > horizon_s {
+        for (idx, request) in requests.iter().enumerate() {
+            self.queue.push(
+                SimTime::from_secs_f64(request.arrival_s),
+                FleetEvent::Arrival(idx),
+            );
+        }
+        for (i, fault) in schedule.iter().enumerate() {
+            self.queue
+                .push(SimTime::from_secs_f64(fault.at_s), FleetEvent::Fault(i));
+        }
+
+        while let Some((t, first)) = self.queue.pop() {
+            if t > horizon {
                 break;
             }
-            self.advance_all(t * 1e9);
-            self.now_s = t;
-            while fault_i < schedule.len() && schedule[fault_i].at_s <= t {
-                self.apply_fault(&schedule[fault_i]);
-                fault_i += 1;
+            // Batch every event scheduled for this exact instant: they are
+            // processed under one `now`, in kind-priority order.
+            let mut batch = vec![first];
+            while self.queue.peek_time() == Some(t) {
+                batch.push(self.queue.pop().expect("peeked non-empty").1);
             }
+            // A tick wake-up that finds the fleet idle is dropped without
+            // touching the clock — the due-time stays in `next_tick` and
+            // fires at the next real event instead, exactly as if the grid
+            // had never been armed.
+            if !self.has_work() && batch.iter().all(|e| matches!(e, FleetEvent::Tick)) {
+                continue;
+            }
+            self.advance_all(t);
+            self.now = t;
+            for event in &batch {
+                if let FleetEvent::Fault(i) = event {
+                    self.apply_fault(&schedule[*i]);
+                }
+            }
+            // Restart / restore-speed dues are authoritative on the
+            // replica, checked at every processed instant; the queue
+            // entries merely guarantee an instant exists at each due time.
             for i in 0..self.replicas.len() {
-                if self.replicas[i].restart_at_s.is_some_and(|x| x <= t) {
+                if self.replicas[i].restart_at.is_some_and(|x| x <= t) {
                     self.revive(i);
                 }
-                if self.replicas[i].restore_speed_at_s.is_some_and(|x| x <= t) {
+                if self.replicas[i].restore_speed_at.is_some_and(|x| x <= t) {
                     self.restore_speed(i);
                 }
             }
             if next_tick <= t {
                 self.tick();
                 while next_tick <= t {
-                    next_tick += tick_s;
+                    next_tick += tick;
                 }
             }
-            while arr < requests.len() && requests[arr].arrival_s <= t {
-                self.offer(requests[arr].clone());
-                arr += 1;
+            for event in &batch {
+                if let FleetEvent::Arrival(idx) = event {
+                    self.offer(requests[*idx].clone());
+                }
+            }
+            if self.has_work() && tick_armed != Some(next_tick) {
+                self.queue.push(next_tick, FleetEvent::Tick);
+                tick_armed = Some(next_tick);
             }
         }
 
@@ -422,9 +471,9 @@ impl Sim {
             all.extend(res.per_request);
         }
         for m in &mut all {
-            let submit = self.submit_ns[&m.request_id];
-            let origin = self.origin_ns[&m.request_id];
-            let delta = submit - origin;
+            let submit = self.submit[&m.request_id];
+            let origin = self.origin[&m.request_id];
+            let delta = (submit - origin).as_ns_f64();
             m.ttft_ns += delta;
             m.completion_ns += delta;
         }
@@ -465,6 +514,7 @@ impl Sim {
             peak_replicas: self.peak_replicas,
             preemptions,
             events: self.events,
+            timeline: self.timeline,
             shed_ids: self.shed_ids,
             lost_ids: self.lost_ids,
         }
@@ -474,8 +524,17 @@ impl Sim {
 
     fn event(&mut self, what: String) {
         self.events.push(ControlEvent {
-            t_s: self.now_s,
+            t_s: self.now.as_secs_f64(),
             what,
+        });
+    }
+
+    /// Records a structured timeline entry at the current instant.
+    fn mark(&mut self, kind: &str, replica: Option<usize>) {
+        self.timeline.push(TimelineEvent {
+            t_ns: self.now.as_ns(),
+            kind: kind.to_string(),
+            replica,
         });
     }
 
@@ -508,12 +567,15 @@ impl Sim {
             })
     }
 
-    fn advance_all(&mut self, t_ns: f64) {
+    /// Advances every live, busy replica to `t`. Dead replicas hold their
+    /// clocks; idle ones are skipped outright (stepping them is a no-op —
+    /// their clocks jump forward on the next submission).
+    fn advance_all(&mut self, t: SimTime) {
         for r in &mut self.replicas {
-            if r.actual == ReplicaState::Dead {
+            if r.actual == ReplicaState::Dead || r.engine.outstanding() == 0 {
                 continue;
             }
-            while r.engine.clock_ns() < t_ns {
+            while r.engine.clock() < t {
                 if r.engine.step(r.backend.as_mut()) == StepOutcome::Idle {
                     break;
                 }
@@ -571,8 +633,11 @@ impl Sim {
     }
 
     fn submit_to(&mut self, i: usize, mut req: Request) {
-        req.arrival_s = self.now_s;
-        self.submit_ns.insert(req.id, self.now_s * 1e9);
+        // `as_secs_f64` round-trips exactly through `from_secs_f64` at
+        // simulation scale, so the engine admits the request at precisely
+        // `self.now`.
+        req.arrival_s = self.now.as_secs_f64();
+        self.submit.insert(req.id, self.now);
         self.replicas[i].engine.submit(req);
     }
 
@@ -640,7 +705,7 @@ impl Sim {
                 }
                 self.crashes += 1;
                 let failover = self.config.failover;
-                let now_s = self.now_s;
+                let restart_at = restart_after_s.map(|d| self.now + SimDuration::from_secs_f64(d));
                 let engine_cfg = self.config.engine.clone();
                 let r = &mut self.replicas[replica];
                 // Tear out everything incomplete, then swap in a cold
@@ -653,8 +718,8 @@ impl Sim {
                 r.archived_preemptions += res.preemptions;
                 r.completed_seen = 0;
                 r.actual = ReplicaState::Dead;
-                r.restart_at_s = restart_after_s.map(|d| now_s + d);
-                r.restore_speed_at_s = None;
+                r.restart_at = restart_at;
+                r.restore_speed_at = None;
                 let torn = incomplete.len();
                 if failover {
                     // Held as limbo until the health checker notices the
@@ -663,9 +728,13 @@ impl Sim {
                 } else {
                     self.lost_ids.extend(incomplete.iter().map(|q| q.id));
                 }
+                if let Some(at) = restart_at {
+                    self.queue.push(at, FleetEvent::Restart);
+                }
                 self.event(format!(
                     "crash replica {replica} ({torn} requests in flight)"
                 ));
+                self.mark("crash", Some(replica));
             }
             FaultKind::Slowdown {
                 replica,
@@ -677,23 +746,26 @@ impl Sim {
                 {
                     return;
                 }
-                let now_s = self.now_s;
+                let restore_at = self.now + SimDuration::from_secs_f64(duration_s);
                 let r = &mut self.replicas[replica];
                 r.engine.set_speed_factor(factor);
                 if r.actual == ReplicaState::Healthy {
                     r.actual = ReplicaState::Degraded;
                 }
-                r.restore_speed_at_s = Some(now_s + duration_s);
+                r.restore_speed_at = Some(restore_at);
+                self.queue.push(restore_at, FleetEvent::RestoreSpeed);
                 self.event(format!("slowdown replica {replica} to {factor}x"));
+                self.mark("slowdown", Some(replica));
             }
         }
     }
 
     fn revive(&mut self, i: usize) {
-        self.replicas[i].restart_at_s = None;
+        self.replicas[i].restart_at = None;
         self.replicas[i].actual = ReplicaState::Healthy;
         self.replicas[i].observed = ReplicaState::Healthy;
         self.event(format!("replica {i} up (cold cache)"));
+        self.mark("revive", Some(i));
         let limbo = std::mem::take(&mut self.replicas[i].limbo);
         if self.config.failover {
             // Anything still in limbo reroutes at the next tick.
@@ -710,12 +782,13 @@ impl Sim {
 
     fn restore_speed(&mut self, i: usize) {
         let r = &mut self.replicas[i];
-        r.restore_speed_at_s = None;
+        r.restore_speed_at = None;
         r.engine.set_speed_factor(1.0);
         if r.actual == ReplicaState::Degraded {
             r.actual = ReplicaState::Healthy;
         }
         self.event(format!("replica {i} speed restored"));
+        self.mark("restore-speed", Some(i));
     }
 
     // ---------------------------------------------------------- the tick
@@ -724,6 +797,7 @@ impl Sim {
     /// changes, fail over orphans, admit queued work, autoscale, retire
     /// drained replicas.
     fn tick(&mut self) {
+        self.mark("tick", None);
         self.observe_completions();
         if self.config.health_checks {
             self.detect();
@@ -748,9 +822,9 @@ impl Sim {
         for r in &mut self.replicas {
             let completed = r.engine.completed_requests();
             for m in &completed[r.completed_seen..] {
-                let submit = self.submit_ns[&m.request_id];
-                let origin = self.origin_ns[&m.request_id];
-                let corrected_ms = (m.ttft_ns + submit - origin) / 1e6;
+                let submit = self.submit[&m.request_id];
+                let origin = self.origin[&m.request_id];
+                let corrected_ms = (m.ttft_ns + (submit - origin).as_ns_f64()) / 1e6;
                 self.ttft_window.push_back(corrected_ms);
             }
             r.completed_seen = completed.len();
@@ -780,6 +854,7 @@ impl Sim {
                 "detected crash of replica {i} ({} stranded)",
                 limbo.len()
             ));
+            self.mark("detect", Some(i));
             if failover {
                 self.orphans.extend(limbo);
             } else {
@@ -792,14 +867,14 @@ impl Sim {
         let Some(a) = self.config.autoscaler.clone() else {
             return;
         };
-        if self.now_s < self.cooldown_until_s {
+        if self.now < self.cooldown_until {
             return;
         }
         let routable = self.routable_count();
         let provisioning = self
             .replicas
             .iter()
-            .filter(|r| r.actual == ReplicaState::Dead && r.restart_at_s.is_some())
+            .filter(|r| r.actual == ReplicaState::Dead && r.restart_at.is_some())
             .count();
         let load = self.observed_load() as f64;
         let mean_out = load / routable.max(1) as f64;
@@ -811,16 +886,18 @@ impl Sim {
         let want_up = mean_out > a.scale_up_outstanding
             || (!self.ttft_window.is_empty() && rolling_ttft_ms > self.config.slo_ttft_ms);
         if want_up && routable + provisioning < a.max_replicas {
-            let ready = self.now_s + a.provision_delay_s;
+            let ready = self.now + SimDuration::from_secs_f64(a.provision_delay_s);
             let backend = (self.backend_factory)();
             self.replicas
                 .push(Replica::provisioning(&self.config.engine, backend, ready));
+            let new_index = self.replicas.len() - 1;
+            self.queue.push(ready, FleetEvent::Restart);
             self.scale_ups += 1;
-            self.cooldown_until_s = self.now_s + a.cooldown_s;
+            self.cooldown_until = self.now + SimDuration::from_secs_f64(a.cooldown_s);
             self.event(format!(
-                "scale-up: provisioning replica {} (mean load {mean_out:.1}, rolling TTFT {rolling_ttft_ms:.0} ms)",
-                self.replicas.len() - 1
+                "scale-up: provisioning replica {new_index} (mean load {mean_out:.1}, rolling TTFT {rolling_ttft_ms:.0} ms)"
             ));
+            self.mark("scale-up", Some(new_index));
             return;
         }
         let want_down = mean_out < a.scale_down_outstanding
@@ -841,8 +918,9 @@ impl Sim {
             r.actual = ReplicaState::Draining;
             r.observed = ReplicaState::Draining;
             self.scale_downs += 1;
-            self.cooldown_until_s = self.now_s + a.cooldown_s;
+            self.cooldown_until = self.now + SimDuration::from_secs_f64(a.cooldown_s);
             self.event(format!("scale-down: draining replica {victim}"));
+            self.mark("scale-down", Some(victim));
         }
     }
 
@@ -854,6 +932,7 @@ impl Sim {
                 r.actual = ReplicaState::Dead;
                 r.observed = ReplicaState::Dead;
                 self.event(format!("retired replica {i}"));
+                self.mark("retire", Some(i));
             }
         }
     }

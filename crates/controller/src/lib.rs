@@ -62,7 +62,9 @@
 mod faults;
 mod fleet;
 mod metrics;
+mod trace;
 
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RandomFaultConfig};
 pub use fleet::{AdmissionConfig, AutoscalerConfig, ControllerConfig, FleetController};
-pub use metrics::{window_stats, ControlEvent, ControlResult, WindowStats};
+pub use metrics::{window_stats, ControlEvent, ControlResult, TimelineEvent, WindowStats};
+pub use trace::{result_chrome_json, timeline_chrome_json};

@@ -14,6 +14,24 @@ pub struct ControlEvent {
     pub what: String,
 }
 
+/// One structured entry on the event-queue timeline: what the control
+/// plane's event loop did and when, in integer nanoseconds. Unlike
+/// [`ControlEvent`] (free-text, for humans), these are machine-readable and
+/// include the periodic health ticks — the raw material for the Chrome
+/// trace export ([`crate::timeline_chrome_json`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimelineEvent {
+    /// Virtual time of the event, integer nanoseconds.
+    pub t_ns: u64,
+    /// Event kind: `"crash"`, `"detect"`, `"revive"`, `"slowdown"`,
+    /// `"restore-speed"`, `"tick"`, `"scale-up"`, `"scale-down"`,
+    /// `"retire"`.
+    pub kind: String,
+    /// The replica the event concerns, if any (`None` for fleet-wide
+    /// events such as ticks).
+    pub replica: Option<usize>,
+}
+
 /// Result of one controlled fleet run.
 ///
 /// Every offered request lands in exactly one of four buckets —
@@ -62,6 +80,10 @@ pub struct ControlResult {
     pub preemptions: u64,
     /// Timeline of controller actions, in virtual-time order.
     pub events: Vec<ControlEvent>,
+    /// Structured event-queue timeline (includes health ticks), in
+    /// virtual-time order. Feed to [`crate::timeline_chrome_json`] for a
+    /// `chrome://tracing` view of the run.
+    pub timeline: Vec<TimelineEvent>,
     /// Ids of shed requests, sorted.
     pub shed_ids: Vec<u64>,
     /// Ids of lost requests, sorted.
@@ -162,6 +184,7 @@ mod tests {
             peak_replicas: 1,
             preemptions: 0,
             events: Vec::new(),
+            timeline: Vec::new(),
             shed_ids: Vec::new(),
             lost_ids: Vec::new(),
         }

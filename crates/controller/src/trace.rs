@@ -1,0 +1,111 @@
+//! Chrome trace-event export of the control plane's event-queue timeline.
+//!
+//! Converts a [`ControlResult`]'s structured [`TimelineEvent`] stream into
+//! the Trace Event Format consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): one instant event (`ph: "i"`) per
+//! control action, one track per replica plus a fleet-wide track for ticks
+//! and scaling decisions. Useful for seeing crash → detect → failover →
+//! revive sequences laid out on the virtual clock.
+
+use crate::metrics::{ControlResult, TimelineEvent};
+
+/// Serializes a timeline into Trace Event Format JSON.
+///
+/// Timestamps are microseconds (the format's native unit); replicas map to
+/// thread ids under process 0, fleet-wide events (ticks, scaling) to thread
+/// id 0 under process 1. Instant events use thread scope (`"s":"t"`).
+///
+/// # Examples
+///
+/// ```
+/// use controller::timeline_chrome_json;
+///
+/// let json = timeline_chrome_json(&[]);
+/// assert_eq!(json, "[]");
+/// ```
+pub fn timeline_chrome_json(timeline: &[TimelineEvent]) -> String {
+    let events: Vec<String> = timeline
+        .iter()
+        .map(|event| {
+            let (pid, tid) = match event.replica {
+                Some(replica) => (0, replica),
+                None => (1, 0),
+            };
+            format!(
+                concat!(
+                    "{{\"name\":{},\"cat\":\"control\",\"ph\":\"i\",\"s\":\"t\",",
+                    "\"ts\":{:.3},\"pid\":{},\"tid\":{}}}"
+                ),
+                json_string(&event.kind),
+                event.t_ns as f64 / 1000.0,
+                pid,
+                tid,
+            )
+        })
+        .collect();
+    format!("[{}]", events.join(","))
+}
+
+/// [`timeline_chrome_json`] applied to a run's result.
+pub fn result_chrome_json(result: &ControlResult) -> String {
+    timeline_chrome_json(&result.timeline)
+}
+
+/// Minimal JSON string escaping for event names.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TimelineEvent> {
+        vec![
+            TimelineEvent {
+                t_ns: 2_000_000_000,
+                kind: "crash".into(),
+                replica: Some(1),
+            },
+            TimelineEvent {
+                t_ns: 2_500_000_000,
+                kind: "tick".into(),
+                replica: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn replica_events_and_fleet_events_land_on_separate_processes() {
+        let json = timeline_chrome_json(&sample());
+        assert!(json.contains("\"pid\":0,\"tid\":1"), "{json}");
+        assert!(json.contains("\"pid\":1,\"tid\":0"), "{json}");
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":2000000.000"));
+    }
+
+    #[test]
+    fn output_is_balanced_json() {
+        let json = timeline_chrome_json(&sample());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

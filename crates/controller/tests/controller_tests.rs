@@ -81,6 +81,50 @@ fn no_fault_controller_matches_cluster_run() {
     assert_conservation(&requests, &managed);
 }
 
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+    /// The controller analogue of the cluster's single-replica equivalence
+    /// guarantee: a 1-replica managed fleet with no faults, no autoscaler,
+    /// and no admission control is the bare serving engine, bit for bit.
+    /// Health ticks, the event queue, and the submit/origin bookkeeping
+    /// must all be invisible — the integer-time spine makes "invisible"
+    /// mean exact equality, not a tolerance.
+    #[test]
+    fn one_replica_managed_fleet_matches_bare_engine_bit_for_bit(
+        seed in 0u64..1_000,
+        kind_ix in 0usize..4,
+        rate in 2.0f64..8.0,
+    ) {
+        use proptest::prelude::prop_assert_eq;
+        let requests = generate_trace(TraceConfig {
+            kind: TraceKind::all()[kind_ix],
+            rate_per_s: rate,
+            duration_s: 4.0,
+            seed,
+        });
+        let mut pat = pat_core::LazyPat::new();
+        let reference = serving::simulate_serving(&engine_config(), &mut pat, &requests);
+        let config = ControllerConfig::managed(1, engine_config());
+        let managed = FleetController::with_lazy_pat(
+            config,
+            Box::new(RoundRobin::new()),
+            FaultPlan::none(),
+        )
+        .run(&requests);
+        assert_conservation(&requests, &managed);
+        let mut reference_records = reference.per_request.clone();
+        reference_records.sort_by_key(|m| m.request_id);
+        prop_assert_eq!(&managed.per_request, &reference_records);
+        prop_assert_eq!(managed.completed, reference.metrics.completed);
+        prop_assert_eq!(managed.fleet.mean_ttft_ms, reference.metrics.mean_ttft_ms);
+        prop_assert_eq!(managed.fleet.p99_tpot_ms, reference.metrics.p99_tpot_ms);
+        prop_assert_eq!(managed.unfinished, reference.unfinished);
+        prop_assert_eq!(managed.failovers, 0);
+        prop_assert_eq!(managed.lost, 0);
+        prop_assert_eq!(managed.shed, 0);
+    }
+}
+
 #[test]
 fn failover_loses_nothing_and_pays_in_recomputed_prefill() {
     let requests = trace(8.0, 12.0, 11);

@@ -22,6 +22,7 @@ use crate::model::ModelSpec;
 use attn_kernel::{simulate_plan, DecodeBatch};
 use attn_math::HeadConfig;
 use kv_cache::{BlockTable, CacheManager, DEFAULT_BLOCK_SIZE};
+use sim_core::{SimDuration, SimTime};
 use sim_gpu::GpuSpec;
 use std::collections::VecDeque;
 use workloads::Request;
@@ -133,8 +134,8 @@ struct Active {
     table: BlockTable,
     produced: usize,
     target: usize,
-    first_token_ns: f64,
-    arrival_ns: f64,
+    first_token: SimTime,
+    arrival: SimTime,
 }
 
 /// A steppable continuous-batching serving engine over one replica.
@@ -162,11 +163,11 @@ pub struct ServingEngine {
     active: Vec<Active>,
     completed: Vec<RequestMetrics>,
     next_arrival: usize,
-    clock_ns: f64,
+    clock: SimTime,
     decode_steps: usize,
     batch_acc: usize,
-    attn_time: f64,
-    total_time: f64,
+    attn_time: SimDuration,
+    total_time: SimDuration,
     overhead_samples: Vec<(f64, f64)>,
     preemptions: u64,
     dropped: u64,
@@ -202,11 +203,11 @@ impl ServingEngine {
             active: Vec::new(),
             completed: Vec::new(),
             next_arrival: 0,
-            clock_ns: 0.0,
+            clock: SimTime::ZERO,
             decode_steps: 0,
             batch_acc: 0,
-            attn_time: 0.0,
-            total_time: 0.0,
+            attn_time: SimDuration::ZERO,
+            total_time: SimDuration::ZERO,
             overhead_samples: Vec::new(),
             preemptions: 0,
             dropped: 0,
@@ -234,9 +235,9 @@ impl ServingEngine {
         self.requests.push(request);
     }
 
-    /// The engine's virtual clock, ns.
-    pub fn clock_ns(&self) -> f64 {
-        self.clock_ns
+    /// The engine's virtual clock.
+    pub fn clock(&self) -> SimTime {
+        self.clock
     }
 
     /// The engine's configuration.
@@ -348,8 +349,11 @@ impl ServingEngine {
 
     /// Drain deadline: this long past the latest submitted arrival, the
     /// engine stops (remaining requests count as unfinished).
-    fn deadline_ns(&self) -> f64 {
-        self.requests.last().map_or(0.0, |r| r.arrival_s * 1e9) + self.config.drain_limit_s * 1e9
+    fn deadline(&self) -> SimTime {
+        self.requests
+            .last()
+            .map_or(SimTime::ZERO, |r| SimTime::from_secs_f64(r.arrival_s))
+            + SimDuration::from_secs_f64(self.config.drain_limit_s)
     }
 
     /// Frees the most recently arrived active request and requeues it for
@@ -359,7 +363,7 @@ impl ServingEngine {
             .active
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.arrival_ns.partial_cmp(&b.1.arrival_ns).expect("finite"))?
+            .max_by_key(|(_, a)| a.arrival)?
             .0;
         let a = self.active.swap_remove(victim);
         self.cache
@@ -378,9 +382,11 @@ impl ServingEngine {
     /// Panics if a single request exceeds the KV pool even with every other
     /// request preempted.
     pub fn step(&mut self, attention: &mut dyn ServingAttention) -> StepOutcome {
-        // Admit arrivals.
+        // Admit arrivals. Arrival seconds quantize onto the integer spine
+        // once, here; the round trip through `as_secs_f64` is exact at
+        // simulation scale, so rewritten arrival times re-admit identically.
         while self.next_arrival < self.requests.len()
-            && self.requests[self.next_arrival].arrival_s * 1e9 <= self.clock_ns
+            && SimTime::from_secs_f64(self.requests[self.next_arrival].arrival_s) <= self.clock
         {
             self.waiting.push_back(self.next_arrival);
             self.next_arrival += 1;
@@ -389,10 +395,10 @@ impl ServingEngine {
             if self.next_arrival >= self.requests.len() {
                 return StepOutcome::Idle;
             }
-            self.clock_ns = self.requests[self.next_arrival].arrival_s * 1e9;
+            self.clock = SimTime::from_secs_f64(self.requests[self.next_arrival].arrival_s);
             return StepOutcome::Progress;
         }
-        if self.clock_ns > self.deadline_ns() {
+        if self.clock > self.deadline() {
             return StepOutcome::Idle;
         }
 
@@ -512,18 +518,21 @@ impl ServingEngine {
                     computed_tokens += prompt_tokens.saturating_sub(hit_tokens).max(1);
                     placed.push((idx, table));
                 }
-                self.clock_ns += self.cost.prefill_ns(computed_tokens) / self.speed_factor;
+                self.clock += SimDuration::from_ns_f64(
+                    self.cost.prefill_ns(computed_tokens) / self.speed_factor,
+                );
                 for (idx, table) in placed {
                     let req = &self.requests[idx];
-                    let arrival_ns = req.arrival_s * 1e9;
+                    let arrival = SimTime::from_secs_f64(req.arrival_s);
                     if req.decode_tokens <= 1 {
                         let request_id = req.id;
                         self.cache.free_sequence(&table).expect("allocated above");
+                        let latency = (self.clock - arrival).as_ns_f64();
                         self.completed.push(RequestMetrics {
                             request_id,
-                            ttft_ns: self.clock_ns - arrival_ns,
+                            ttft_ns: latency,
                             tpot_ns: 0.0,
-                            completion_ns: self.clock_ns - arrival_ns,
+                            completion_ns: latency,
                             decode_tokens: 1,
                         });
                     } else {
@@ -533,8 +542,8 @@ impl ServingEngine {
                             table,
                             produced: 1,
                             target,
-                            first_token_ns: self.clock_ns,
-                            arrival_ns,
+                            first_token: self.clock,
+                            arrival,
                         });
                     }
                 }
@@ -572,7 +581,8 @@ impl ServingEngine {
         }
         if self.active.is_empty() {
             // Pure prefill-chunk step.
-            self.clock_ns += self.cost.prefill_ns(prefill_chunk) / self.speed_factor;
+            self.clock +=
+                SimDuration::from_ns_f64(self.cost.prefill_ns(prefill_chunk) / self.speed_factor);
             self.admit_finished_prefills(&finished_prefills);
             return StepOutcome::Progress;
         }
@@ -605,11 +615,14 @@ impl ServingEngine {
             self.overhead_samples
                 .push((sched, self.cost.pre_attention_ns(batch.num_queries())));
         }
-        self.clock_ns += step_ns;
+        // Quantize the step once onto the integer spine; the attention share
+        // is quantized with the same rounding so the fraction stays honest.
+        let step = SimDuration::from_ns_f64(step_ns);
+        self.clock += step;
         self.decode_steps += 1;
         self.batch_acc += batch.num_queries();
-        self.attn_time += attention_ns;
-        self.total_time += step_ns;
+        self.attn_time += SimDuration::from_ns_f64(attention_ns);
+        self.total_time += step;
         self.admit_finished_prefills(&finished_prefills);
 
         let mut i = 0;
@@ -644,9 +657,9 @@ impl ServingEngine {
                 let gaps = (a.produced - 1).max(1) as f64;
                 self.completed.push(RequestMetrics {
                     request_id: self.requests[a.req_idx].id,
-                    ttft_ns: a.first_token_ns - a.arrival_ns,
-                    tpot_ns: (self.clock_ns - a.first_token_ns) / gaps,
-                    completion_ns: self.clock_ns - a.arrival_ns,
+                    ttft_ns: (a.first_token - a.arrival).as_ns_f64(),
+                    tpot_ns: (self.clock - a.first_token).as_ns_f64() / gaps,
+                    completion_ns: (self.clock - a.arrival).as_ns_f64(),
                     decode_tokens: a.produced,
                 });
             } else {
@@ -666,15 +679,16 @@ impl ServingEngine {
                 .insert_sequence(&tokens)
                 .expect("admission reserved blocks");
             let req = &self.requests[idx];
-            let arrival_ns = req.arrival_s * 1e9;
+            let arrival = SimTime::from_secs_f64(req.arrival_s);
             if req.decode_tokens <= 1 {
                 let request_id = req.id;
                 self.cache.free_sequence(&table).expect("allocated above");
+                let latency = (self.clock - arrival).as_ns_f64();
                 self.completed.push(RequestMetrics {
                     request_id,
-                    ttft_ns: self.clock_ns - arrival_ns,
+                    ttft_ns: latency,
                     tpot_ns: 0.0,
-                    completion_ns: self.clock_ns - arrival_ns,
+                    completion_ns: latency,
                     decode_tokens: 1,
                 });
             } else {
@@ -684,8 +698,8 @@ impl ServingEngine {
                     table,
                     produced: 1,
                     target,
-                    first_token_ns: self.clock_ns,
-                    arrival_ns,
+                    first_token: self.clock,
+                    arrival,
                 });
             }
         }
@@ -703,10 +717,10 @@ impl ServingEngine {
             } else {
                 self.batch_acc as f64 / self.decode_steps as f64
             },
-            attention_fraction: if self.total_time == 0.0 {
+            attention_fraction: if self.total_time == SimDuration::ZERO {
                 0.0
             } else {
-                self.attn_time / self.total_time
+                self.attn_time.as_ns_f64() / self.total_time.as_ns_f64()
             },
             overhead_samples: self.overhead_samples,
             unfinished: self.active.len()
@@ -914,8 +928,8 @@ mod tests {
         let mut pat_b = LazyPat::new();
         let mut engine = ServingEngine::new(config());
         for request in &requests {
-            let arrival_ns = request.arrival_s * 1e9;
-            while engine.clock_ns() < arrival_ns {
+            let arrival = sim_core::SimTime::from_secs_f64(request.arrival_s);
+            while engine.clock() < arrival {
                 if engine.step(&mut pat_b) == StepOutcome::Idle {
                     break;
                 }

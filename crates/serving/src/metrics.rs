@@ -1,6 +1,13 @@
 //! Serving metrics: TTFT, TPOT, completion latency (§8.2).
+//!
+//! The statistics primitives live in [`sim_core::stats`]; this module keeps
+//! the serving-specific record types and re-exports [`percentile`] for the
+//! crates that aggregate on top of serving runs.
 
 use serde::Serialize;
+use sim_core::stats::Samples;
+
+pub use sim_core::stats::percentile;
 
 /// Per-request latency record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -35,45 +42,26 @@ pub struct AggregateMetrics {
     pub completed: usize,
 }
 
-/// Mean of a sample, 0.0 when empty (never NaN).
-pub(crate) fn guarded_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
-}
-
-/// The `q`-quantile (`q` in `[0, 1]`) of a sample by the nearest-rank
-/// method, 0.0 when the sample is empty (never NaN). Sorts a copy.
-pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1) - 1;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
 impl AggregateMetrics {
     /// Aggregates a set of per-request records. Every field is 0 (never
     /// NaN) when `requests` is empty or when no request decoded more than
-    /// one token.
+    /// one token. Each sample vector is sorted exactly once.
     pub fn from_requests(requests: &[RequestMetrics]) -> Self {
-        let ttfts: Vec<f64> = requests.iter().map(|r| r.ttft_ns).collect();
-        let completions: Vec<f64> = requests.iter().map(|r| r.completion_ns).collect();
-        let tpots: Vec<f64> = requests
-            .iter()
-            .filter(|r| r.decode_tokens > 1)
-            .map(|r| r.tpot_ns)
-            .collect();
+        let ttfts = Samples::new(requests.iter().map(|r| r.ttft_ns).collect());
+        let completions = Samples::new(requests.iter().map(|r| r.completion_ns).collect());
+        let tpots = Samples::new(
+            requests
+                .iter()
+                .filter(|r| r.decode_tokens > 1)
+                .map(|r| r.tpot_ns)
+                .collect(),
+        );
         AggregateMetrics {
-            mean_ttft_ms: guarded_mean(&ttfts) / 1e6,
-            p99_ttft_ms: percentile(&ttfts, 0.99) / 1e6,
-            mean_tpot_ms: guarded_mean(&tpots) / 1e6,
-            p99_tpot_ms: percentile(&tpots, 0.99) / 1e6,
-            mean_completion_ms: guarded_mean(&completions) / 1e6,
+            mean_ttft_ms: ttfts.mean() / 1e6,
+            p99_ttft_ms: ttfts.percentile(0.99) / 1e6,
+            mean_tpot_ms: tpots.mean() / 1e6,
+            p99_tpot_ms: tpots.percentile(0.99) / 1e6,
+            mean_completion_ms: completions.mean() / 1e6,
             completed: requests.len(),
         }
     }
@@ -167,5 +155,38 @@ mod tests {
         let reqs: Vec<RequestMetrics> = (1..=100).map(|i| rm(i as f64 * 1e6, 0.0, 5)).collect();
         let agg = AggregateMetrics::from_requests(&reqs);
         assert!((agg.p99_ttft_ms - 99.0).abs() < 1e-9);
+    }
+
+    /// O(n²) nearest-rank reference, defined without sorting: the smallest
+    /// sample value that at least `ceil(q·n)` samples are ≤ to.
+    fn naive_percentile(values: &[f64], q: f64) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let need = ((values.len() as f64 * q).ceil() as usize).max(1);
+        values
+            .iter()
+            .copied()
+            .filter(|&v| values.iter().filter(|&&x| x <= v).count() >= need)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        /// The sort-once [`Samples`] path and the one-shot [`percentile`]
+        /// both match the quadratic reference on arbitrary samples for every
+        /// quantile the repo's metrics actually query.
+        #[test]
+        fn percentile_matches_naive_reference(
+            values in proptest::collection::vec(0.0f64..1e9, 0..64),
+        ) {
+            let samples = Samples::new(values.clone());
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                let reference = naive_percentile(&values, q);
+                proptest::prop_assert_eq!(samples.percentile(q), reference, "Samples, q={}", q);
+                proptest::prop_assert_eq!(percentile(&values, q), reference, "one-shot, q={}", q);
+            }
+        }
     }
 }

@@ -1,0 +1,170 @@
+//! A deterministic discrete-event queue.
+//!
+//! A binary heap keyed on `(SimTime, sequence)`: events pop in time order,
+//! and events scheduled for the *same* instant pop in the order they were
+//! pushed. The sequence tie-break is what turns "two replicas happened to
+//! reach the same clock" from unspecified-float-comparison territory into a
+//! guaranteed, seed-exact ordering.
+
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Orderings are reversed so the max-heap pops the earliest (time, seq).
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A future-event list over payload type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(20), "late");
+/// q.push(SimTime::from_ns(10), "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_at", &self.peek_time())
+            .finish()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at instant `at`. Events at equal instants pop in
+    /// push order.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, ties broken by push order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The instant of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &ns in &[50u64, 10, 40, 20, 30] {
+            q.push(SimTime::from_ns(ns), ns);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn equal_instants_pop_in_push_order() {
+        // The regression the integer spine exists to close: under f64
+        // clocks, tie order was whatever the float comparison happened to
+        // say; here it is the insertion sequence, always.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(1_000);
+        for label in ["replica-0", "replica-1", "replica-2", "replica-3"] {
+            q.push(t, label);
+        }
+        q.push(SimTime::from_ns(999), "earlier");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            [
+                "earlier",
+                "replica-0",
+                "replica-1",
+                "replica-2",
+                "replica-3"
+            ]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_ordering() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(5), 'a');
+        q.push(SimTime::from_ns(5), 'b');
+        assert_eq!(q.pop(), Some((SimTime::from_ns(5), 'a')));
+        q.push(SimTime::from_ns(5), 'c');
+        assert_eq!(q.pop(), Some((SimTime::from_ns(5), 'b')));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(5), 'c')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ns(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

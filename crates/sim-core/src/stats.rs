@@ -1,0 +1,143 @@
+//! NaN-guarded sample statistics shared by every metrics module.
+//!
+//! One implementation of the nearest-rank percentile and the guarded mean,
+//! replacing the copies that used to live in `serving::metrics`,
+//! `cluster::metrics`, and `controller::metrics`. [`Samples`] sorts its
+//! input **once** and then answers any number of quantile queries in O(1),
+//! fixing the old `percentile` that cloned and re-sorted the full vector
+//! per query.
+
+/// Mean of a sample; `0.0` when empty (never NaN).
+pub fn guarded_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The `q`-quantile (`q` in `[0, 1]`) of an **ascending-sorted** sample by
+/// the nearest-rank method; `0.0` when empty (never NaN).
+///
+/// In debug builds, panics if `sorted` is not actually sorted.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_sorted requires an ascending-sorted sample"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The `q`-quantile of an unsorted sample. Sorts a copy; if you need more
+/// than one quantile from the same data, build a [`Samples`] instead.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    percentile_sorted(&sorted, q)
+}
+
+/// A sample sorted once, ready for repeated quantile and mean queries.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::stats::Samples;
+///
+/// let s = Samples::new((1..=100).map(|i| i as f64).collect());
+/// assert_eq!(s.percentile(0.99), 99.0);
+/// assert_eq!(s.percentile(0.5), 50.0);
+/// assert_eq!(s.mean(), 50.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    sorted: Vec<f64>,
+    sum: f64,
+}
+
+impl Samples {
+    /// Takes ownership of `values` and sorts them ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN (metric samples are always finite).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let sum = values.iter().sum();
+        Samples {
+            sorted: values,
+            sum,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Mean; `0.0` when empty (never NaN).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sum / self.sorted.len() as f64
+        }
+    }
+
+    /// Nearest-rank `q`-quantile; `0.0` when empty (never NaN).
+    pub fn percentile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_mean_never_nan() {
+        assert_eq!(guarded_mean(&[]), 0.0);
+        assert_eq!(guarded_mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_matches_legacy_behavior() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[5.0], 0.99), 5.0);
+        assert_eq!(percentile(&[5.0], 0.0), 5.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn samples_agree_with_one_shot_percentile_on_unsorted_input() {
+        let v = vec![9.0, 1.0, 5.0, 3.0, 7.0, 2.0];
+        let s = Samples::new(v.clone());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), percentile(&v, q), "q = {q}");
+        }
+        assert_eq!(s.mean(), guarded_mean(&v));
+        assert_eq!(s.len(), v.len());
+    }
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        let s = Samples::new(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.99), 0.0);
+    }
+}

@@ -19,6 +19,7 @@
 use crate::occupancy::{CtaResources, Occupancy, OccupancyViolation};
 use crate::trace::{CtaSpan, ExecutionTrace, KernelSpan};
 use crate::GpuSpec;
+use sim_core::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -118,8 +119,8 @@ struct ActiveKernel {
     resources: CtaResources,
     pending: VecDeque<CtaWork>,
     outstanding: usize,
-    launch_time: f64,
-    first_dispatch: Option<f64>,
+    launch_time: SimTime,
+    first_dispatch: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -127,12 +128,12 @@ struct RunningCta {
     sm: usize,
     active_kernel: usize,
     tag: u64,
-    start: f64,
+    start: SimTime,
     /// Remaining DRAM-equivalent bytes to stream (L2 bytes are pre-scaled).
     remaining: f64,
     rate_cap: f64,
-    floor_end: f64,
-    tail_ns: f64,
+    floor_end: SimTime,
+    tail: SimDuration,
     tail_applied: bool,
     rate: f64,
 }
@@ -160,6 +161,9 @@ pub struct Engine {
     spec: GpuSpec,
 }
 
+/// Tolerance for *byte* quantities only (remaining transfer sizes, rate
+/// caps). Clock comparisons are exact integer nanoseconds and need no
+/// epsilon — that is the point of the `SimTime` spine.
 const EPS: f64 = 1e-6;
 
 impl Engine {
@@ -204,7 +208,7 @@ impl Engine {
 
         // Per-stream cursor and the time the next kernel may launch.
         let mut next_kernel: Vec<usize> = vec![0; streams.len()];
-        let mut launch_ready: Vec<f64> = vec![0.0; streams.len()];
+        let mut launch_ready: Vec<SimTime> = vec![SimTime::ZERO; streams.len()];
         let mut active: Vec<ActiveKernel> = Vec::new();
         let mut running: Vec<RunningCta> = Vec::new();
         let mut trace = ExecutionTrace::default();
@@ -212,11 +216,11 @@ impl Engine {
         let mut total_l2 = 0.0;
         let mut streamed_eff = 0.0;
 
-        let mut now = 0.0f64;
+        let mut now = SimTime::ZERO;
         loop {
             // 1. Activate stream-head kernels whose launch time has arrived.
             for (s, stream) in streams.iter().enumerate() {
-                while next_kernel[s] < stream.kernels.len() && launch_ready[s] <= now + EPS {
+                while next_kernel[s] < stream.kernels.len() && launch_ready[s] <= now {
                     // Only one kernel of a stream is in flight at a time.
                     let in_flight = active.iter().any(|k| k.stream == s);
                     if in_flight {
@@ -246,8 +250,7 @@ impl Engine {
             order.sort_by(|&a, &b| {
                 active[a]
                     .launch_time
-                    .partial_cmp(&active[b].launch_time)
-                    .expect("launch times are finite")
+                    .cmp(&active[b].launch_time)
                     .then_with(|| {
                         active[b]
                             .resources
@@ -283,8 +286,12 @@ impl Engine {
                         start: now,
                         remaining: work.dram_bytes + work.l2_bytes * l2_speedup,
                         rate_cap: work.rate_cap.max(EPS),
-                        floor_end: now + work.min_exec_ns.max(0.0),
-                        tail_ns: work.tail_ns.max(0.0),
+                        // Cost models hand in f64 ns; this is the lossy
+                        // ingest boundary onto the integer spine. Floors and
+                        // tails round UP so quantization never shortens a
+                        // span below its cost-model minimum.
+                        floor_end: now + SimDuration::from_ns_f64_ceil(work.min_exec_ns.max(0.0)),
+                        tail: SimDuration::from_ns_f64_ceil(work.tail_ns.max(0.0)),
                         tail_applied: false,
                         rate: 0.0,
                     });
@@ -297,13 +304,14 @@ impl Engine {
                 let next_launch = (0..streams.len())
                     .filter(|&s| next_kernel[s] < streams[s].kernels.len())
                     .map(|s| launch_ready[s])
-                    .fold(f64::INFINITY, f64::min);
-                if active.is_empty() && next_launch.is_infinite() {
-                    break;
-                }
-                if next_launch.is_finite() && next_launch > now {
-                    now = next_launch;
-                    continue;
+                    .min();
+                match next_launch {
+                    None if active.is_empty() => break,
+                    Some(t) if t > now => {
+                        now = t;
+                        continue;
+                    }
+                    _ => {}
                 }
             }
 
@@ -314,42 +322,39 @@ impl Engine {
                 self.spec.global_bandwidth * self.spec.dram_efficiency,
             );
 
-            // 4. Find the next event.
-            let mut next_event = f64::INFINITY;
+            // 4. Find the next event. Fractional f64 waits (bytes / rate)
+            //    quantize *up* to whole nanoseconds so every step strictly
+            //    advances the integer clock.
+            let step_floor = now + SimDuration::NANOSECOND;
+            let mut next_event: Option<SimTime> = None;
+            let mut consider = |t: SimTime| {
+                let t = t.max(step_floor);
+                next_event = Some(next_event.map_or(t, |cur| cur.min(t)));
+            };
             for cta in &running {
-                let t = if cta.remaining > EPS {
-                    if cta.rate > EPS {
-                        (now + cta.remaining / cta.rate).max(cta.floor_end.min(f64::INFINITY))
-                    } else {
-                        f64::INFINITY
-                    }
+                if cta.remaining > EPS && cta.rate > EPS {
+                    // Wake at the bytes-done moment to re-waterfill (the
+                    // compute floor is checked again at retirement).
+                    consider(now + SimDuration::from_ns_f64_ceil(cta.remaining / cta.rate));
                 } else {
-                    cta.floor_end
-                };
-                // The CTA's completion is bytes-done AND floor passed; but we
-                // must still wake at the bytes-done moment to re-waterfill.
-                let wake = if cta.remaining > EPS && cta.rate > EPS {
-                    now + cta.remaining / cta.rate
-                } else {
-                    cta.floor_end.max(now)
-                };
-                next_event = next_event.min(wake.max(now + EPS)).min(t.max(now + EPS));
+                    consider(cta.floor_end);
+                }
             }
             for (s, _) in streams.iter().enumerate() {
                 if next_kernel[s] < streams[s].kernels.len()
                     && !active.iter().any(|k| k.stream == s)
                     && launch_ready[s] > now
                 {
-                    next_event = next_event.min(launch_ready[s]);
+                    consider(launch_ready[s]);
                 }
             }
-            if next_event.is_infinite() {
+            let Some(next_event) = next_event else {
                 debug_assert!(running.is_empty(), "running CTAs but no next event");
                 break;
-            }
+            };
 
             // 5. Advance time.
-            let dt = next_event - now;
+            let dt = (next_event - now).as_ns_f64();
             for cta in running.iter_mut() {
                 let moved = (cta.rate * dt).min(cta.remaining);
                 cta.remaining -= moved;
@@ -363,13 +368,13 @@ impl Engine {
             for cta in running.iter_mut() {
                 if cta.remaining <= EPS && !cta.tail_applied {
                     cta.tail_applied = true;
-                    cta.floor_end = cta.floor_end.max(now + cta.tail_ns);
+                    cta.floor_end = cta.floor_end.max(now + cta.tail);
                 }
             }
             let mut finished_kernels: Vec<usize> = Vec::new();
             let mut i = 0;
             while i < running.len() {
-                let done = running[i].remaining <= EPS && running[i].floor_end <= now + EPS;
+                let done = running[i].remaining <= EPS && running[i].floor_end <= now;
                 if done {
                     let cta = running.swap_remove(i);
                     let res = active[cta.active_kernel].resources;
@@ -382,8 +387,8 @@ impl Engine {
                         kernel: active[cta.active_kernel].label.clone(),
                         tag: cta.tag,
                         sm: cta.sm,
-                        start_ns: cta.start,
-                        end_ns: now,
+                        start_ns: cta.start.as_ns_f64(),
+                        end_ns: now.as_ns_f64(),
                     });
                     active[cta.active_kernel].outstanding -= 1;
                     if active[cta.active_kernel].outstanding == 0
@@ -405,14 +410,18 @@ impl Engine {
                         cta.active_kernel = idx;
                     }
                 }
-                launch_ready[kernel.stream] = now + self.spec.kernel_launch_ns;
+                launch_ready[kernel.stream] =
+                    now + SimDuration::from_ns_f64(self.spec.kernel_launch_ns);
                 trace.kernels.push(KernelSpan {
                     stream: kernel.stream,
                     kernel_index: kernel.kernel_index,
                     label: kernel.label,
-                    launch_ns: kernel.launch_time,
-                    start_ns: kernel.first_dispatch.unwrap_or(kernel.launch_time),
-                    end_ns: now,
+                    launch_ns: kernel.launch_time.as_ns_f64(),
+                    start_ns: kernel
+                        .first_dispatch
+                        .unwrap_or(kernel.launch_time)
+                        .as_ns_f64(),
+                    end_ns: now.as_ns_f64(),
                 });
             }
         }
@@ -423,13 +432,13 @@ impl Engine {
         trace
             .kernels
             .sort_by(|a, b| a.launch_ns.partial_cmp(&b.launch_ns).expect("finite"));
-        let utilization = if now > 0.0 {
-            (streamed_eff / (self.spec.global_bandwidth * now)).min(1.0)
+        let utilization = if now > SimTime::ZERO {
+            (streamed_eff / (self.spec.global_bandwidth * now.as_ns_f64())).min(1.0)
         } else {
             0.0
         };
         Ok(RunResult {
-            total_ns: now,
+            total_ns: now.as_ns_f64(),
             dram_bytes: total_dram,
             l2_bytes: total_l2,
             bandwidth_utilization: utilization,

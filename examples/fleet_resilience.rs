@@ -13,16 +13,33 @@
 //!   the dead replica, whose share of the traffic simply waits out the
 //!   outage (in-flight work at the crash is lost outright).
 //!
-//! Run with `cargo run --release --example fleet_resilience`.
+//! Run with `cargo run --release --example fleet_resilience`. Pass
+//! `--trace out.json` to also dump the managed fleet's event-queue
+//! timeline as a Chrome trace (open in `chrome://tracing` or Perfetto).
 
 use controller::{
-    window_stats, ControllerConfig, FaultEvent, FaultKind, FaultPlan, FleetController,
+    result_chrome_json, window_stats, ControllerConfig, FaultEvent, FaultKind, FaultPlan,
+    FleetController,
 };
 use pat::prelude::*;
 use workloads::{generate_trace, TraceConfig};
 
 const CRASH_AT_S: f64 = 5.0;
 const RESTART_AFTER_S: f64 = 6.0;
+
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args
+                .next()
+                .expect("--trace requires a path, e.g. --trace out.json");
+            return Some(path);
+        }
+    }
+    None
+}
 
 fn main() {
     let trace = generate_trace(TraceConfig {
@@ -95,4 +112,12 @@ fn main() {
          the price of losing a warm PAT cache",
         managed.failovers, managed.refilled_prefill_tokens
     );
+
+    if let Some(path) = trace_path() {
+        std::fs::write(&path, result_chrome_json(&managed)).expect("write chrome trace");
+        println!(
+            "\nwrote {} timeline events to {path} (load in chrome://tracing)",
+            managed.timeline.len()
+        );
+    }
 }
