@@ -124,6 +124,7 @@ impl DecodeBatch {
                 *entry = (*entry).max(tokens);
             }
         }
+        // simlint: allow(R2) -- summing usizes is order-independent
         let tokens: usize = seen.values().sum();
         (tokens * self.kv_bytes_per_token_per_kv_head() * self.head.num_kv_heads()) as f64
     }

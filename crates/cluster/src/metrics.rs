@@ -121,7 +121,7 @@ pub fn load_imbalance(routed: &[usize]) -> f64 {
 /// Counts extra copies across replicas: a block resident on `k` replicas
 /// contributes `k - 1`.
 pub fn duplicated_blocks(resident_hashes: &[Vec<u64>]) -> usize {
-    let mut counts = std::collections::HashMap::new();
+    let mut counts = std::collections::BTreeMap::new();
     for replica in resident_hashes {
         for &h in replica {
             *counts.entry(h).or_insert(0usize) += 1;

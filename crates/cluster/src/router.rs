@@ -93,13 +93,13 @@ pub trait Router: std::fmt::Debug {
     /// Short policy name (used in metrics and bench output).
     fn name(&self) -> &'static str;
 
-    /// Picks the replica (index into `replicas`) to serve `request`.
+    /// Picks the replica (index into `replicas`) to serve `request`, or
+    /// `None` when no replica is routable.
     ///
     /// Implementations must skip non-routable replicas (draining or dead —
-    /// see [`ReplicaState::is_routable`]) and panic if no replica is
-    /// routable; callers are expected to shed or queue load instead of
-    /// routing into a fully dead fleet.
-    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> usize;
+    /// see [`ReplicaState::is_routable`]); callers decide whether to shed,
+    /// queue, or fail when the whole fleet is unroutable.
+    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> Option<usize>;
 }
 
 /// Cycles through replicas in order, ignoring state entirely.
@@ -120,16 +120,16 @@ impl Router for RoundRobin {
         "round-robin"
     }
 
-    fn route(&mut self, _request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
+    fn route(&mut self, _request: &Request, replicas: &[ReplicaView<'_>]) -> Option<usize> {
         let n = replicas.len();
         for _ in 0..n {
             let pick = self.next % n;
             self.next = (self.next + 1) % n;
             if replicas[pick].state().is_routable() {
-                return pick;
+                return Some(pick);
             }
         }
-        panic!("no routable replica");
+        None
     }
 }
 
@@ -150,12 +150,12 @@ impl Router for LeastOutstanding {
         "least-outstanding"
     }
 
-    fn route(&mut self, _request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
+    fn route(&mut self, _request: &Request, replicas: &[ReplicaView<'_>]) -> Option<usize> {
         least_loaded(replicas)
     }
 }
 
-fn least_loaded(replicas: &[ReplicaView<'_>]) -> usize {
+fn least_loaded(replicas: &[ReplicaView<'_>]) -> Option<usize> {
     let mut best: Option<usize> = None;
     for (i, view) in replicas.iter().enumerate() {
         if !view.state().is_routable() {
@@ -166,7 +166,7 @@ fn least_loaded(replicas: &[ReplicaView<'_>]) -> usize {
             _ => best = Some(i),
         }
     }
-    best.expect("no routable replica")
+    best
 }
 
 /// Consistent hashing on the request's prefix identity.
@@ -240,7 +240,7 @@ impl Router for ConsistentHashPrefix {
         "consistent-hash"
     }
 
-    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
+    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> Option<usize> {
         if self.built_for != replicas.len() {
             self.rebuild(replicas.len());
         }
@@ -252,10 +252,10 @@ impl Router for ConsistentHashPrefix {
         for offset in 0..self.ring.len() {
             let replica = self.ring[(at + offset) % self.ring.len()].1;
             if replicas[replica].state().is_routable() {
-                return replica;
+                return Some(replica);
             }
         }
-        panic!("no routable replica");
+        None
     }
 }
 
@@ -299,7 +299,7 @@ impl Router for PrefixAffinity {
         "prefix-affinity"
     }
 
-    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> usize {
+    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> Option<usize> {
         let prompt_tokens = request.prompt.to_tokens();
         let mut best: Option<usize> = None;
         let mut best_score = f64::NEG_INFINITY;
@@ -319,7 +319,7 @@ impl Router for PrefixAffinity {
         if best_overlap < self.min_overlap_tokens {
             return least_loaded(replicas);
         }
-        best.expect("no routable replica")
+        best
     }
 }
 
@@ -366,10 +366,13 @@ mod tests {
         let engines = engines(4);
         let states = [Healthy, Dead, Draining, Healthy];
         let mut rr = RoundRobin::new();
-        let picks: Vec<usize> = (0..6)
+        let picks: Vec<Option<usize>> = (0..6)
             .map(|_| rr.route(&request(), &views(&engines, &states)))
             .collect();
-        assert_eq!(picks, vec![0, 3, 0, 3, 0, 3]);
+        assert_eq!(
+            picks,
+            vec![Some(0), Some(3), Some(0), Some(3), Some(0), Some(3)]
+        );
     }
 
     #[test]
@@ -381,7 +384,7 @@ mod tests {
         engines[1].submit(request());
         let states = [Dead, Healthy, Healthy];
         let mut lo = LeastOutstanding::new();
-        assert_eq!(lo.route(&request(), &views(&engines, &states)), 2);
+        assert_eq!(lo.route(&request(), &views(&engines, &states)), Some(2));
     }
 
     #[test]
@@ -390,14 +393,22 @@ mod tests {
         let engines = engines(4);
         let mut ch = ConsistentHashPrefix::default();
         let all_healthy = [Healthy; 4];
-        let home = ch.route(&request(), &views(&engines, &all_healthy));
+        let home = ch
+            .route(&request(), &views(&engines, &all_healthy))
+            .unwrap();
         let mut with_dead = all_healthy;
         with_dead[home] = Dead;
-        let fallback = ch.route(&request(), &views(&engines, &with_dead));
+        let fallback = ch.route(&request(), &views(&engines, &with_dead)).unwrap();
         assert_ne!(fallback, home, "dead home replica must be skipped");
         // Deterministic fallback, and recovery snaps the family back home.
-        assert_eq!(fallback, ch.route(&request(), &views(&engines, &with_dead)));
-        assert_eq!(home, ch.route(&request(), &views(&engines, &all_healthy)));
+        assert_eq!(
+            Some(fallback),
+            ch.route(&request(), &views(&engines, &with_dead))
+        );
+        assert_eq!(
+            Some(home),
+            ch.route(&request(), &views(&engines, &all_healthy))
+        );
     }
 
     #[test]
@@ -407,15 +418,18 @@ mod tests {
         let states = [Dead, Healthy];
         let mut aff = PrefixAffinity::new();
         for _ in 0..4 {
-            assert_eq!(aff.route(&request(), &views(&engines, &states)), 1);
+            assert_eq!(aff.route(&request(), &views(&engines, &states)), Some(1));
         }
     }
 
     #[test]
-    #[should_panic(expected = "no routable replica")]
-    fn routing_into_a_fully_dead_fleet_panics() {
+    fn routing_into_a_fully_dead_fleet_returns_none() {
         let engines = engines(2);
         let states = [ReplicaState::Dead, ReplicaState::Dead];
-        LeastOutstanding::new().route(&request(), &views(&engines, &states));
+        let v = views(&engines, &states);
+        assert_eq!(LeastOutstanding::new().route(&request(), &v), None);
+        assert_eq!(RoundRobin::new().route(&request(), &v), None);
+        assert_eq!(ConsistentHashPrefix::default().route(&request(), &v), None);
+        assert_eq!(PrefixAffinity::new().route(&request(), &v), None);
     }
 }

@@ -131,10 +131,15 @@ impl Cluster {
             for i in 0..n {
                 self.advance_replica_to(i, t);
             }
-            let target = {
+            let choice = {
                 let views: Vec<ReplicaView<'_>> =
                     self.engines.iter().map(ReplicaView::new).collect();
                 self.router.route(request, &views)
+            };
+            // The fixed fleet is all-healthy, so a router returning `None`
+            // is a policy bug, not an operational condition.
+            let Some(target) = choice else {
+                panic!("router returned no replica for an all-healthy fleet of {n}");
             };
             assert!(target < n, "router picked replica {target} of {n}");
             self.engines[target].submit(request.clone());

@@ -95,7 +95,7 @@ impl FaultPlan {
                 assert!(duration_s > 0.0, "slowdown duration must be positive");
             }
         }
-        events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite fault times"));
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
         FaultPlan { events }
     }
 

@@ -397,8 +397,8 @@ impl Sim {
             // Batch every event scheduled for this exact instant: they are
             // processed under one `now`, in kind-priority order.
             let mut batch = vec![first];
-            while self.queue.peek_time() == Some(t) {
-                batch.push(self.queue.pop().expect("peeked non-empty").1);
+            while let Some(event) = self.queue.pop_at(t) {
+                batch.push(event);
             }
             // A tick wake-up that finds the fleet idle is dropped without
             // touching the clock — the due-time stays in `next_tick` and
@@ -608,9 +608,13 @@ impl Sim {
                 views.iter().any(|v| v.state().is_routable()),
                 "route_now called with no routable replica"
             );
-            let target = self.router.route(&req, &views);
+            // The assert above guarantees a routable view, and every router
+            // returns `Some` whenever one exists.
+            let Some(target) = self.router.route(&req, &views) else {
+                panic!("router returned no replica despite a routable view");
+            };
             assert!(
-                target < views.len() && views[target].state().is_routable(),
+                views[target].state().is_routable(),
                 "router picked non-routable replica {target}"
             );
             let overlap = if is_failover {
@@ -673,7 +677,7 @@ impl Sim {
 
     /// Admits queued work while the fleet has headroom.
     fn drain_pending(&mut self) {
-        while !self.pending.is_empty() {
+        loop {
             let routable = self.routable_count();
             if routable == 0 {
                 return;
@@ -685,7 +689,9 @@ impl Sim {
                     return;
                 }
             }
-            let req = self.pending.pop_front().expect("checked non-empty");
+            let Some(req) = self.pending.pop_front() else {
+                return;
+            };
             self.route_now(req, false);
         }
     }
@@ -905,22 +911,25 @@ impl Sim {
             && self.orphans.is_empty()
             && provisioning == 0;
         if want_down && routable > a.min_replicas {
+            // `routable > min_replicas >= 1` means the filter below is
+            // non-empty, but drain nothing rather than panic if not.
             let victim = self
                 .replicas
                 .iter()
                 .enumerate()
                 .filter(|(_, r)| r.observed.is_routable() && r.actual.is_routable())
                 .min_by_key(|(i, r)| (r.engine.outstanding(), *i))
-                .map(|(i, _)| i)
-                .expect("routable > min_replicas >= 1");
-            let r = &mut self.replicas[victim];
-            r.engine.begin_drain();
-            r.actual = ReplicaState::Draining;
-            r.observed = ReplicaState::Draining;
-            self.scale_downs += 1;
-            self.cooldown_until = self.now + SimDuration::from_secs_f64(a.cooldown_s);
-            self.event(format!("scale-down: draining replica {victim}"));
-            self.mark("scale-down", Some(victim));
+                .map(|(i, _)| i);
+            if let Some(victim) = victim {
+                let r = &mut self.replicas[victim];
+                r.engine.begin_drain();
+                r.actual = ReplicaState::Draining;
+                r.observed = ReplicaState::Draining;
+                self.scale_downs += 1;
+                self.cooldown_until = self.now + SimDuration::from_secs_f64(a.cooldown_s);
+                self.event(format!("scale-down: draining replica {victim}"));
+                self.mark("scale-down", Some(victim));
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 //! revive sequences laid out on the virtual clock.
 
 use crate::metrics::{ControlResult, TimelineEvent};
+use sim_core::SimTime;
 
 /// Serializes a timeline into Trace Event Format JSON.
 ///
@@ -37,7 +38,7 @@ pub fn timeline_chrome_json(timeline: &[TimelineEvent]) -> String {
                     "\"ts\":{:.3},\"pid\":{},\"tid\":{}}}"
                 ),
                 json_string(&event.kind),
-                event.t_ns as f64 / 1000.0,
+                SimTime::from_ns(event.t_ns).as_us_f64(),
                 pid,
                 tid,
             )

@@ -369,6 +369,51 @@ fn random_fault_runs_are_deterministic_and_conserve_requests() {
     assert_eq!(a.refilled_prefill_tokens, b.refilled_prefill_tokens);
 }
 
+/// sim-lint's reason to exist, exercised end to end: one seeded scenario
+/// (crash + restart + autoscaling + admission under a prefix-affinity
+/// router) run twice in the same process must serialize — metrics JSON and
+/// Chrome-trace timeline alike — to byte-identical strings with equal
+/// digests. Any HashMap iteration, wall-clock read, or float-compare
+/// nondeterminism anywhere in the stack shows up here.
+#[test]
+fn double_run_serialized_metrics_and_timeline_are_byte_identical() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    let digest = |bytes: &str| {
+        let mut h = DefaultHasher::new();
+        bytes.hash(&mut h);
+        h.finish()
+    };
+    let requests = trace(8.0, 8.0, 17);
+    let run = || {
+        let mut config = ControllerConfig::managed(3, engine_config());
+        config.autoscaler = Some(AutoscalerConfig::new(2, 5));
+        config.admission = Some(AdmissionConfig::default());
+        let faults = FaultPlan::scripted(vec![crash(2.0, 1, Some(2.5)), crash(5.0, 0, None)]);
+        let result =
+            FleetController::with_lazy_pat(config, Box::new(PrefixAffinity::new()), faults)
+                .run(&requests);
+        let metrics_json = serde_json::to_string(&result).unwrap();
+        let timeline_json = controller::result_chrome_json(&result);
+        (metrics_json, timeline_json)
+    };
+    let (metrics_a, timeline_a) = run();
+    let (metrics_b, timeline_b) = run();
+    assert_eq!(
+        metrics_a, metrics_b,
+        "serialized metrics must be byte-identical"
+    );
+    assert_eq!(
+        timeline_a, timeline_b,
+        "timeline export must be byte-identical"
+    );
+    assert_eq!(digest(&metrics_a), digest(&metrics_b));
+    assert_eq!(digest(&timeline_a), digest(&timeline_b));
+    // The scenario is non-trivial: events actually happened.
+    assert!(!timeline_a.is_empty() && timeline_a != "[]");
+}
+
 #[test]
 fn goodput_is_zero_not_nan_on_an_empty_offer() {
     let config = ControllerConfig::managed(2, engine_config());

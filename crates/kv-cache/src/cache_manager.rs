@@ -12,7 +12,7 @@
 
 use crate::{AllocError, BlockAllocator, BlockId, BlockTable};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 /// Token id type used throughout the reproduction.
@@ -71,8 +71,11 @@ struct CachedBlock {
 pub struct CacheManager {
     allocator: BlockAllocator,
     block_size: usize,
-    by_hash: HashMap<u64, CachedBlock>,
-    hash_of_block: HashMap<BlockId, u64>,
+    // BTreeMaps, not HashMaps: eviction scans these containers, and a
+    // deterministic iteration order makes LRU ties (and thus the whole
+    // simulation) reproducible run-to-run (sim-lint R2).
+    by_hash: BTreeMap<u64, CachedBlock>,
+    hash_of_block: BTreeMap<BlockId, u64>,
     stats: CacheStats,
     clock: u64,
 }
@@ -89,8 +92,8 @@ impl CacheManager {
         CacheManager {
             allocator: BlockAllocator::new(capacity_blocks),
             block_size,
-            by_hash: HashMap::new(),
-            hash_of_block: HashMap::new(),
+            by_hash: BTreeMap::new(),
+            hash_of_block: BTreeMap::new(),
             stats: CacheStats::default(),
             clock: 0,
         }
@@ -144,9 +147,10 @@ impl CacheManager {
         matched
     }
 
-    /// Chain hashes of every cache-resident shareable block. Two replicas
-    /// holding the same hash store the same KV content twice — the basis of
-    /// the cluster's cross-replica duplication metric.
+    /// Chain hashes of every cache-resident shareable block, in ascending
+    /// hash order (deterministic). Two replicas holding the same hash store
+    /// the same KV content twice — the basis of the cluster's cross-replica
+    /// duplication metric.
     pub fn resident_hashes(&self) -> impl Iterator<Item = u64> + '_ {
         self.by_hash.keys().copied()
     }
@@ -254,7 +258,9 @@ impl CacheManager {
     }
 
     /// Evicts the least-recently-used cached block that only the cache still
-    /// references. Returns false if none is evictable.
+    /// references. Returns false if none is evictable. Recency ties (never
+    /// produced by the `clock` today, but cheap to guarantee against) break
+    /// toward the smallest chain hash, deterministically.
     fn evict_one(&mut self) -> bool {
         let victim = self
             .by_hash
@@ -434,6 +440,44 @@ mod tests {
             "content-addressed"
         );
         cache.free_sequence(&table).unwrap();
+    }
+
+    /// R2 regression: two identically driven managers must evict the same
+    /// blocks and end with identical resident sets and stats — eviction
+    /// order may not depend on container iteration order.
+    #[test]
+    fn eviction_is_deterministic_across_runs() {
+        let drive = || {
+            let mut cache = CacheManager::new(8, 16);
+            let mut tables = Vec::new();
+            for i in 0..6u32 {
+                let t = cache
+                    .insert_sequence(&(i * 100..i * 100 + 32).collect::<Vec<_>>())
+                    .unwrap();
+                tables.push(t);
+            }
+            for t in &tables {
+                cache.free_sequence(t).unwrap();
+            }
+            // Everything is now evictable; re-inserting forces LRU churn.
+            for i in 10..16u32 {
+                cache
+                    .insert_sequence(&(i * 100..i * 100 + 32).collect::<Vec<_>>())
+                    .unwrap();
+            }
+            (
+                cache.stats(),
+                cache.resident_hashes().collect::<Vec<u64>>(),
+                cache.evictable_blocks(),
+            )
+        };
+        let a = drive();
+        let b = drive();
+        assert_eq!(a, b, "identical drive must produce identical cache state");
+        // resident_hashes is ascending, so any reordering is a bug.
+        let mut sorted = a.1.clone();
+        sorted.sort_unstable();
+        assert_eq!(a.1, sorted, "resident hashes enumerate in sorted order");
     }
 
     #[test]

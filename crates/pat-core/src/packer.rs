@@ -164,7 +164,7 @@ mod tests {
     use super::*;
     use attn_math::HeadConfig;
     use kv_cache::BlockTable;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn table(ids: &[u32], tokens: usize) -> BlockTable {
         BlockTable::new(ids.iter().map(|&i| BlockId(i)).collect(), tokens, 16)
@@ -177,7 +177,7 @@ mod tests {
     /// Coverage check: each query's packs must cover exactly its block table.
     fn assert_exact_coverage(batch: &DecodeBatch, packs: &[Pack]) {
         for (q, t) in batch.tables().iter().enumerate() {
-            let mut covered: HashMap<BlockId, usize> = HashMap::new();
+            let mut covered: BTreeMap<BlockId, usize> = BTreeMap::new();
             let mut tokens = 0;
             for p in packs.iter().filter(|p| p.queries.contains(&q)) {
                 for &b in &p.blocks {
@@ -186,7 +186,7 @@ mod tests {
                 tokens += p.tokens;
             }
             assert_eq!(tokens, t.num_tokens(), "query {q} token coverage");
-            let mut want: HashMap<BlockId, usize> = HashMap::new();
+            let mut want: BTreeMap<BlockId, usize> = BTreeMap::new();
             for &b in t.blocks() {
                 *want.entry(b).or_insert(0) += 1;
             }
@@ -315,6 +315,29 @@ mod tests {
         assert_eq!(out[0].queries.len(), 32);
         assert_eq!(out[1].queries.len(), 8);
         assert!(out.iter().all(|p| p.blocks == vec![BlockId(0)]));
+    }
+
+    /// R2 regression: packing the same batch repeatedly must yield the
+    /// identical pack list — the TreeHeuristic's CTA layout (and therefore
+    /// every downstream timing number) may not depend on any iteration
+    /// order.
+    #[test]
+    fn packing_is_deterministic_across_runs() {
+        let make = || {
+            let tables: Vec<BlockTable> = (0..16u32)
+                .map(|q| {
+                    let mut ids: Vec<u32> = (0..8).collect();
+                    ids.extend(100 + (q / 4) * 50..100 + (q / 4) * 50 + 4);
+                    ids.extend(1000 + q * 10..1000 + q * 10 + 2);
+                    table(&ids, 14 * 16)
+                })
+                .collect();
+            batch(tables)
+        };
+        let first = pack_batch(&make());
+        for _ in 0..3 {
+            assert_eq!(pack_batch(&make()), first, "packs must be identical");
+        }
     }
 
     #[test]

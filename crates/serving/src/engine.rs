@@ -566,8 +566,8 @@ impl ServingEngine {
                 budget -= take;
                 prefill_chunk += take;
                 if front.2 >= front.1 {
-                    let (idx, prompt_tokens, _) =
-                        self.prefilling.pop_front().expect("front exists");
+                    let (idx, prompt_tokens, _) = (front.0, front.1, front.2);
+                    self.prefilling.pop_front();
                     finished_prefills.push((idx, prompt_tokens));
                 } else {
                     break;

@@ -98,6 +98,18 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Removes and returns the next event only if it is scheduled exactly at
+    /// `at` — the batching primitive for "process every event of this
+    /// instant under one `now`". Peek-and-pop without an intervening
+    /// `expect`.
+    pub fn pop_at(&mut self, at: SimTime) -> Option<E> {
+        if self.peek_time() == Some(at) {
+            self.heap.pop().map(|e| e.event)
+        } else {
+            None
+        }
+    }
+
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -145,6 +157,20 @@ mod tests {
                 "replica-3"
             ]
         );
+    }
+
+    #[test]
+    fn pop_at_drains_exactly_one_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(100);
+        q.push(t, "a");
+        q.push(t, "b");
+        q.push(SimTime::from_ns(200), "later");
+        assert_eq!(q.pop_at(SimTime::from_ns(99)), None);
+        assert_eq!(q.pop_at(t), Some("a"));
+        assert_eq!(q.pop_at(t), Some("b"));
+        assert_eq!(q.pop_at(t), None, "later instants stay queued");
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -78,6 +78,12 @@ impl SimTime {
         self.0 as f64
     }
 
+    /// The instant as `f64` microseconds — the metrics boundary (Chrome
+    /// trace-event `ts` fields are natively microseconds).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
     /// The instant as `f64` milliseconds — the metrics boundary.
     pub fn as_ms_f64(self) -> f64 {
         self.0 as f64 / 1e6
@@ -161,6 +167,11 @@ impl SimDuration {
     /// The span as `f64` nanoseconds — the metrics boundary.
     pub fn as_ns_f64(self) -> f64 {
         self.0 as f64
+    }
+
+    /// The span as `f64` microseconds — the metrics boundary.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
     }
 
     /// The span as `f64` milliseconds — the metrics boundary.

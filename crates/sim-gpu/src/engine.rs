@@ -426,12 +426,10 @@ impl Engine {
             }
         }
 
-        trace
-            .ctas
-            .sort_by(|a, b| a.start_ns.partial_cmp(&b.start_ns).expect("finite"));
+        trace.ctas.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
         trace
             .kernels
-            .sort_by(|a, b| a.launch_ns.partial_cmp(&b.launch_ns).expect("finite"));
+            .sort_by(|a, b| a.launch_ns.total_cmp(&b.launch_ns));
         let utilization = if now > SimTime::ZERO {
             (streamed_eff / (self.spec.global_bandwidth * now.as_ns_f64())).min(1.0)
         } else {
@@ -455,12 +453,7 @@ impl Engine {
         for &i in &loaders {
             running[i].rate = 0.0;
         }
-        loaders.sort_by(|&a, &b| {
-            running[a]
-                .rate_cap
-                .partial_cmp(&running[b].rate_cap)
-                .expect("finite caps")
-        });
+        loaders.sort_by(|&a, &b| running[a].rate_cap.total_cmp(&running[b].rate_cap));
         let mut remaining_budget = budget;
         let mut remaining_n = loaders.len();
         for &i in &loaders {

@@ -12,7 +12,7 @@
 //!   timing fast path: a re-access hits L2 with probability
 //!   `min(1, capacity / working-set footprint)`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bytes served by each memory level for an access sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -83,8 +83,11 @@ pub fn reuse_fraction(l2_capacity_bytes: f64, footprint_bytes: f64) -> f64 {
 pub struct L2Simulator {
     capacity: u64,
     used: u64,
-    /// block key -> (size, last-use tick)
-    resident: HashMap<u64, (u64, u64)>,
+    /// block key -> (size, last-use tick). A BTreeMap so the eviction scan
+    /// iterates in key order: LRU ties (impossible today — ticks are
+    /// unique — but structurally guaranteed) resolve deterministically
+    /// (sim-lint R2).
+    resident: BTreeMap<u64, (u64, u64)>,
     tick: u64,
     totals: TrafficSplit,
 }
@@ -95,7 +98,7 @@ impl L2Simulator {
         L2Simulator {
             capacity,
             used: 0,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             tick: 0,
             totals: TrafficSplit::default(),
         }
@@ -144,9 +147,9 @@ impl L2Simulator {
             .resident
             .iter()
             .min_by_key(|(_, (_, tick))| *tick)
-            .map(|(k, _)| *k);
-        if let Some(key) = victim {
-            let (size, _) = self.resident.remove(&key).expect("victim exists");
+            .map(|(&k, &(size, _))| (k, size));
+        if let Some((key, size)) = victim {
+            self.resident.remove(&key);
             self.used -= size;
         } else {
             // Nothing resident; avoid an infinite loop on zero capacity.
@@ -205,6 +208,28 @@ mod tests {
         assert_eq!(reuse_fraction(10.0, 0.0), 1.0);
         assert_eq!(reuse_fraction(10.0, 5.0), 1.0);
         assert!((reuse_fraction(10.0, 40.0) - 0.25).abs() < 1e-12);
+    }
+
+    /// R2 regression: replaying the same access sequence twice must produce
+    /// bit-identical traffic splits and residency — eviction may not depend
+    /// on container iteration order.
+    #[test]
+    fn replay_is_deterministic_across_runs() {
+        let drive = || {
+            let mut l2 = L2Simulator::new(4_000);
+            let mut splits = Vec::new();
+            for round in 0..3u64 {
+                for key in 0..7u64 {
+                    splits.push(l2.access(key * 31 % 7, 900.0 + (round * 100) as f64));
+                }
+            }
+            (splits, l2.totals(), l2.used_bytes())
+        };
+        let a = drive();
+        let b = drive();
+        assert_eq!(a.0, b.0, "per-access split sequence must be identical");
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
     }
 
     #[test]

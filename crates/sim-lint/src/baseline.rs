@@ -1,0 +1,282 @@
+//! The ratchet baseline: `simlint.baseline.json`.
+//!
+//! The baseline freezes pre-existing violation *counts* per `(file, rule)`
+//! pair. A run fails only when some pair's current count exceeds its frozen
+//! count, so the tool can be adopted on a tree with known debt while still
+//! blocking every *new* hazard. `--update-baseline` can only shrink counts
+//! (or drop entries for files whose count reached zero); growing a count
+//! requires fixing the code or adding an inline waiver.
+//!
+//! The file format is a flat JSON object so diffs stay reviewable:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "counts": { "crates/serving/src/engine.rs|R4": 7 }
+//! }
+//! ```
+//!
+//! Parsing and serialization are hand-rolled over `std` — the linter must
+//! build offline with zero dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Frozen violation counts, keyed `"<workspace-relative path>|<rule>"`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per `(file, rule)` frozen counts.
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// The frozen count for a `(file, rule)` pair (zero when absent).
+    pub fn allowed(&self, file: &str, rule: &str) -> usize {
+        self.counts.get(&key(file, rule)).copied().unwrap_or(0)
+    }
+
+    /// Builds a baseline from current counts, dropping zero entries.
+    pub fn from_counts(current: &BTreeMap<String, usize>) -> Baseline {
+        Baseline {
+            counts: current
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(k, &c)| (k.clone(), c))
+                .collect(),
+        }
+    }
+
+    /// Loads a baseline; `Ok(None)` when the file does not exist.
+    pub fn load(path: &Path) -> io::Result<Option<Baseline>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        parse(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Writes the baseline as pretty, deterministically ordered JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Serializes to the on-disk JSON form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"counts\": {");
+        let mut first = true;
+        for (k, c) in &self.counts {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", escape(k), c);
+        }
+        if !self.counts.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Baseline map key for a `(file, rule)` pair.
+pub fn key(file: &str, rule: &str) -> String {
+    format!("{file}|{rule}")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+// ----------------------------------------------------------- tiny parser
+
+fn parse(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut counts = BTreeMap::new();
+    let mut version_seen = false;
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let field = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match field.as_str() {
+            "version" => {
+                let v = p.number()?;
+                if v != 1 {
+                    return Err(format!("unsupported baseline version {v}"));
+                }
+                version_seen = true;
+            }
+            "counts" => {
+                p.expect('{')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat('}') {
+                        break;
+                    }
+                    let k = p.string()?;
+                    p.skip_ws();
+                    p.expect(':')?;
+                    p.skip_ws();
+                    let v = p.number()?;
+                    counts.insert(k, v as usize);
+                    p.skip_ws();
+                    if !p.eat(',') {
+                        p.skip_ws();
+                        p.expect('}')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unknown baseline field `{other}`")),
+        }
+        p.skip_ws();
+        if !p.eat(',') {
+            p.skip_ws();
+            p.expect('}')?;
+            break;
+        }
+    }
+    if !version_seen {
+        return Err("baseline missing `version`".to_string());
+    }
+    Ok(Baseline { counts })
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .map(|c| c.is_whitespace())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at char {}: expected `{c}`",
+                self.pos
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.get(self.pos) {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos) {
+                        Some(&c) => {
+                            s.push(c);
+                            self.pos += 1;
+                        }
+                        None => return Err("unterminated escape".to_string()),
+                    }
+                }
+                Some(&c) => {
+                    s.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self
+            .chars
+            .get(self.pos)
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!(
+                "baseline parse error at char {start}: expected number"
+            ));
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse().map_err(|e| format!("bad number `{s}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert(key("crates/a/src/lib.rs", "R4"), 3);
+        counts.insert(key("crates/b/src/x.rs", "R2"), 1);
+        let b = Baseline::from_counts(&counts);
+        let parsed = parse(&b.to_json()).expect("round trip parses");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let b = Baseline::default();
+        assert_eq!(parse(&b.to_json()).expect("parses"), b);
+    }
+
+    #[test]
+    fn zero_counts_are_dropped() {
+        let mut counts = BTreeMap::new();
+        counts.insert(key("f.rs", "R1"), 0);
+        counts.insert(key("f.rs", "R2"), 2);
+        let b = Baseline::from_counts(&counts);
+        assert_eq!(b.counts.len(), 1);
+        assert_eq!(b.allowed("f.rs", "R2"), 2);
+        assert_eq!(b.allowed("f.rs", "R1"), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        assert!(parse("{\"version\": 2, \"counts\": {}}").is_err());
+        assert!(parse("{\"counts\": {}}").is_err());
+    }
+}

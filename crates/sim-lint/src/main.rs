@@ -1,0 +1,123 @@
+//! CLI for the workspace determinism & unit-discipline analyzer.
+//!
+//! ```text
+//! cargo run -p sim-lint                  # human-readable, exit 1 on new violations
+//! cargo run -p sim-lint -- --json       # machine-readable report
+//! cargo run -p sim-lint -- --all        # also list baselined/waived sites
+//! cargo run -p sim-lint -- --update-baseline   # shrink the ratchet
+//! ```
+
+use sim_lint::baseline::Baseline;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    json: bool,
+    show_all: bool,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline_path: None,
+        json: false,
+        show_all: false,
+        update_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--all" => opts.show_all = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--root" => {
+                let v = args.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = args.next().ok_or("--baseline requires a path")?;
+                opts.baseline_path = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sim-lint: workspace determinism & unit-discipline analyzer\n\
+                     \n\
+                     USAGE: sim-lint [--json] [--all] [--update-baseline]\n\
+                     \u{20}                [--root <dir>] [--baseline <file>]\n\
+                     \n\
+                     Rules: R1 wall-clock/entropy, R2 hash-container iteration,\n\
+                     R3 raw time casts outside sim-core, R4 unwrap/expect in\n\
+                     library code, R5 undocumented pub items (sim-core, cluster).\n\
+                     Waive inline: // simlint: allow(R2) -- <reason>\n\
+                     Exit codes: 0 clean, 1 new violations, 2 usage/IO error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            sim_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root found (run from the repo or pass --root)")?
+        }
+    };
+    let baseline_path = opts
+        .baseline_path
+        .unwrap_or_else(|| root.join("simlint.baseline.json"));
+
+    let analysis = sim_lint::analyze_tree(&root).map_err(|e| format!("scan failed: {e}"))?;
+    let existing =
+        Baseline::load(&baseline_path).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+
+    if opts.update_baseline {
+        let updated = match &existing {
+            // The ratchet only tightens once a baseline exists …
+            Some(old) => sim_lint::updated_baseline(&analysis, old)?,
+            // … but the very first run freezes the current state wholesale.
+            None => Baseline::from_counts(&analysis.counts()),
+        };
+        updated
+            .save(&baseline_path)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "sim-lint: baseline updated ({} entries) at {}",
+            updated.counts.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = existing.unwrap_or_default();
+    let verdict = sim_lint::compare(&analysis, &baseline);
+    if opts.json {
+        print!("{}", sim_lint::render_json(&analysis, &verdict));
+    } else {
+        print!(
+            "{}",
+            sim_lint::render_text(&analysis, &verdict, opts.show_all)
+        );
+    }
+    Ok(verdict.clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("sim-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! The rule set: R1–R5, plus waiver parsing.
+//!
+//! | Rule | Scope                         | What it flags                              |
+//! |------|-------------------------------|--------------------------------------------|
+//! | R1   | simulation crates, all code   | wall clocks, sleeps, OS entropy            |
+//! | R2   | simulation crates, all code   | iteration over `HashMap`/`HashSet`         |
+//! | R3   | sim crates minus `sim-core`, non-test | raw casts of time-named values     |
+//! | R4   | every scanned crate, non-test | `.unwrap()` / `.expect(` in library code   |
+//! | R5   | `sim-core` + `cluster`, non-test | undocumented `pub` items                |
+//!
+//! Waiver syntax, honored on the violating line or the standalone comment
+//! line directly above it:
+//!
+//! ```text
+//! // simlint: allow(R2) -- usize sum is order-independent
+//! ```
+
+use crate::scan::Line;
+
+/// Crates whose code runs inside the simulation and must be deterministic.
+pub const SIM_CRATES: &[&str] = &[
+    "sim-core",
+    "sim-gpu",
+    "serving",
+    "cluster",
+    "controller",
+    "kv-cache",
+    "pat-core",
+    "baselines",
+    "attn-kernel",
+];
+
+/// Crates whose entire `pub` surface must carry doc comments (R5).
+pub const DOC_CRATES: &[&str] = &["sim-core", "cluster"];
+
+/// All rule names, in report order.
+pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5"];
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule name (`"R1"` … `"R5"`).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description of the hazard.
+    pub message: String,
+    /// `Some(reason)` when an inline waiver covers this violation.
+    pub waived: Option<String>,
+}
+
+/// A parsed `simlint: allow(...)` waiver comment.
+#[derive(Debug, Clone)]
+struct Waiver {
+    rules: Vec<String>,
+    reason: String,
+    /// True when the waiver's line carries no code (applies to next line).
+    standalone: bool,
+}
+
+/// Checks one scanned file belonging to `crate_name`, returning violations.
+pub fn check_file(crate_name: &str, lines: &[Line]) -> Vec<Violation> {
+    let sim = SIM_CRATES.contains(&crate_name);
+    let doc = DOC_CRATES.contains(&crate_name);
+    let waivers = parse_waivers(lines);
+
+    // One token stream for the whole file, each token tagged with its
+    // 0-based line: method chains split across lines (`map\n.values()`)
+    // must not escape detection.
+    let stream: Vec<(usize, &str)> = lines
+        .iter()
+        .enumerate()
+        .flat_map(|(i, l)| tokens(&l.code).into_iter().map(move |t| (i, t)))
+        .collect();
+    let hash_idents = collect_hash_idents(&stream);
+    let in_test = |idx: usize| lines[idx].in_test;
+
+    let mut out = Vec::new();
+    if sim {
+        check_r1(&stream, &mut out);
+        check_r2(&stream, &hash_idents, &mut out);
+        if crate_name != "sim-core" {
+            check_r3(&stream, &in_test, &mut out);
+        }
+    }
+    check_r4(&stream, &in_test, &mut out);
+    if doc {
+        for (idx, line) in lines.iter().enumerate() {
+            if !line.in_test {
+                check_r5(&tokens(&line.code), lines, idx, &mut out);
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    for v in &mut out {
+        v.waived = waiver_for(&waivers, v.line, v.rule);
+    }
+    out
+}
+
+// ------------------------------------------------------------------ R1
+
+const R1_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "OsRng",
+    "RandomState",
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+];
+
+fn check_r1(stream: &[(usize, &str)], out: &mut Vec<Violation>) {
+    for (i, &(idx, t)) in stream.iter().enumerate() {
+        if R1_IDENTS.contains(&t) {
+            out.push(Violation {
+                rule: "R1",
+                line: idx + 1,
+                message: format!(
+                    "`{t}` inside a simulation crate: wall clocks and OS entropy \
+                     break reproducibility; use the sim-core time spine / seeded rng"
+                ),
+                waived: None,
+            });
+        }
+        if t == "sleep"
+            && i >= 3
+            && stream[i - 1].1 == ":"
+            && stream[i - 2].1 == ":"
+            && stream[i - 3].1 == "thread"
+        {
+            out.push(Violation {
+                rule: "R1",
+                line: idx + 1,
+                message: "`thread::sleep` inside a simulation crate: simulated time \
+                          never sleeps; advance the event queue instead"
+                    .to_string(),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R2
+
+/// Identifiers the file binds to `HashMap`/`HashSet` (fields, lets, params).
+fn collect_hash_idents(stream: &[(usize, &str)]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for i in 0..stream.len() {
+        let (line, t) = stream[i];
+        if t != "HashMap" && t != "HashSet" {
+            continue;
+        }
+        let tok = |j: usize| stream.get(j).map(|&(_, t)| t);
+        // `name: HashMap<...>` or `name: std::collections::HashMap<...>`
+        // — scan left over a possible path prefix to the `:` and its
+        // identifier. A `::` path separator is two `:` tokens.
+        let mut j = i;
+        while j >= 3 && tok(j - 1) == Some(":") && tok(j - 2) == Some(":") {
+            j -= 3; // skip `seg ::`
+        }
+        // Skip reference/mutability sigils: `name: &mut HashMap<...>`.
+        while j >= 1 && matches!(tok(j - 1), Some("&") | Some("mut")) {
+            j -= 1;
+        }
+        if j >= 2 && tok(j - 1) == Some(":") && tok(j - 2) != Some(":") && is_ident(stream[j - 2].1)
+        {
+            push_unique(&mut idents, stream[j - 2].1);
+        }
+        let _ = line;
+        // `let (mut) name = ... HashMap::...` — look back for a `let` in
+        // the same statement (no `;` in between) with an `=` before the
+        // type name.
+        if let Some(let_pos) = stream[..i].iter().rposition(|&(_, t)| t == "let") {
+            if stream[let_pos..i].iter().any(|&(_, t)| t == ";") {
+                continue;
+            }
+            let mut k = let_pos + 1;
+            if tok(k) == Some("mut") {
+                k += 1;
+            }
+            if let Some(name) = tok(k) {
+                if is_ident(name) && stream[let_pos..i].iter().any(|&(_, t)| t == "=") {
+                    push_unique(&mut idents, name);
+                }
+            }
+        }
+    }
+    idents
+}
+
+const R2_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+fn check_r2(stream: &[(usize, &str)], hash_idents: &[String], out: &mut Vec<Violation>) {
+    for i in 0..stream.len() {
+        let (idx, t) = stream[i];
+        let tok = |j: usize| stream.get(j).map(|&(_, t)| t);
+        // `ident.iter()` and friends (chains may span lines).
+        if i >= 2
+            && R2_ITER_METHODS.contains(&t)
+            && tok(i - 1) == Some(".")
+            && hash_idents.iter().any(|h| h == stream[i - 2].1)
+        {
+            out.push(Violation {
+                rule: "R2",
+                line: idx + 1,
+                message: format!(
+                    "iteration over std hash container `{}` (`.{}()`): order is \
+                     nondeterministic; use BTreeMap/BTreeSet or sorted traversal",
+                    stream[i - 2].1,
+                    t
+                ),
+                waived: None,
+            });
+        }
+        // `for pat in &mut? ident {`.
+        if t == "in" {
+            let mut j = i + 1;
+            while matches!(tok(j), Some("&") | Some("mut")) {
+                j += 1;
+            }
+            if let Some(name) = tok(j) {
+                if hash_idents.iter().any(|h| h == name) && tok(j + 1) == Some("{") {
+                    out.push(Violation {
+                        rule: "R2",
+                        line: stream[j].0 + 1,
+                        message: format!(
+                            "`for … in` over std hash container `{name}`: order is \
+                             nondeterministic; use BTreeMap/BTreeSet or sorted traversal"
+                        ),
+                        waived: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R3
+
+const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+fn is_time_named(ident: &str) -> bool {
+    ident == "ns"
+        || ident == "us"
+        || ident == "ms"
+        || ident == "secs"
+        || ident.ends_with("_ns")
+        || ident.ends_with("_us")
+        || ident.ends_with("_ms")
+        || ident.ends_with("_s")
+        || ident.ends_with("_secs")
+}
+
+fn check_r3(stream: &[(usize, &str)], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Violation>) {
+    for i in 1..stream.len() {
+        let (idx, t) = stream[i];
+        if t == "as"
+            && i + 1 < stream.len()
+            && NUMERIC_TYPES.contains(&stream[i + 1].1)
+            && is_time_named(stream[i - 1].1)
+            && !in_test(idx)
+        {
+            out.push(Violation {
+                rule: "R3",
+                line: idx + 1,
+                message: format!(
+                    "raw time cast `{} as {}` outside sim-core: route conversions \
+                     through SimTime/SimDuration (`from_ns_f64*`, `from_secs_f64`, `as_*_f64`)",
+                    stream[i - 1].1,
+                    stream[i + 1].1
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R4
+
+fn check_r4(stream: &[(usize, &str)], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Violation>) {
+    for i in 1..stream.len() {
+        let (idx, t) = stream[i];
+        let tok = |j: usize| stream.get(j).map(|&(_, t)| t);
+        if (t == "unwrap" || t == "expect") && tok(i - 1) == Some(".") && tok(i + 1) == Some("(") {
+            // `.unwrap()` must close immediately; `.unwrap_or` etc. are
+            // different tokens and never reach here. `.expect(` must take a
+            // string argument: a call passing a non-literal first token is
+            // a user-defined method (e.g. a parser's `expect(char)`), which
+            // this token-level pass cannot see the receiver type of.
+            if t == "unwrap" && tok(i + 2) != Some(")") {
+                continue;
+            }
+            if t == "expect" && tok(i + 2) != Some("\"") {
+                continue;
+            }
+            if in_test(idx) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "R4",
+                line: idx + 1,
+                message: format!(
+                    "`.{t}(…)` in non-test library code: propagate the error or \
+                     restructure so the invariant is expressed without a panic"
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R5
+
+const R5_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+fn check_r5(toks: &[&str], lines: &[Line], idx: usize, out: &mut Vec<Violation>) {
+    // A `pub` item keyword pair anywhere on the line (covers `pub fn` after
+    // indentation inside impl blocks). `pub(crate)`/`pub(super)` are not a
+    // public surface and are skipped.
+    let Some(p) = toks.iter().position(|&t| t == "pub") else {
+        return;
+    };
+    let Some(kw) = toks.get(p + 1) else { return };
+    if !R5_ITEM_KEYWORDS.contains(kw) {
+        return;
+    }
+    // Out-of-line module declarations (`pub mod x;`) document themselves
+    // with `//!` inner docs in their own file.
+    if *kw == "mod" && toks.contains(&";") {
+        return;
+    }
+    let name = toks.get(p + 2).copied().unwrap_or("?");
+    if is_documented(lines, idx) {
+        return;
+    }
+    out.push(Violation {
+        rule: "R5",
+        line: idx + 1,
+        message: format!("public item `{kw} {name}` has no doc comment"),
+        waived: None,
+    });
+}
+
+/// Walks upward from the item line, skipping attribute lines, until a doc
+/// comment or anything else is found.
+fn is_documented(lines: &[Line], item_idx: usize) -> bool {
+    let mut i = item_idx;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        let code = line.code.trim();
+        let comment = line.comment.trim();
+        if comment.starts_with("///") || comment.starts_with("//!") || comment.starts_with("/**") {
+            return true;
+        }
+        if code.starts_with("#[")
+            || code.starts_with("#![")
+            || code.ends_with("]") && !code.is_empty()
+        {
+            // Attribute (possibly multi-line); keep walking.
+            continue;
+        }
+        if code.is_empty() && comment.is_empty() {
+            return false; // blank line: docs must be adjacent
+        }
+        if code.is_empty() && comment.starts_with("//") {
+            return false; // plain comment is not documentation
+        }
+        return false;
+    }
+    false
+}
+
+// ------------------------------------------------------------------ waivers
+
+fn parse_waivers(lines: &[Line]) -> Vec<Option<Waiver>> {
+    lines
+        .iter()
+        .map(|line| {
+            let c = &line.comment;
+            let start = c.find("simlint:")?;
+            let rest = &c[start + "simlint:".len()..];
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix("allow")?.trim_start();
+            let rest = rest.strip_prefix('(')?;
+            let close = rest.find(')')?;
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let after = rest[close + 1..].trim_start();
+            let reason = after.strip_prefix("--")?.trim();
+            if rules.is_empty() || reason.is_empty() {
+                return None; // malformed waivers are not honored
+            }
+            Some(Waiver {
+                rules,
+                reason: reason.to_string(),
+                standalone: line.code.trim().is_empty(),
+            })
+        })
+        .collect()
+}
+
+fn waiver_for(waivers: &[Option<Waiver>], line: usize, rule: &str) -> Option<String> {
+    let covers = |w: &Waiver| w.rules.iter().any(|r| r == rule || r == "*");
+    // Inline on the violating line (1-based -> 0-based).
+    if let Some(Some(w)) = waivers.get(line - 1) {
+        if covers(w) {
+            return Some(w.reason.clone());
+        }
+    }
+    // Standalone comment on the line directly above.
+    if line >= 2 {
+        if let Some(Some(w)) = waivers.get(line - 2) {
+            if w.standalone && covers(w) {
+                return Some(w.reason.clone());
+            }
+        }
+    }
+    None
+}
+
+// ------------------------------------------------------------------ tokens
+
+/// Splits a code line into identifier tokens and single-char punctuation.
+fn tokens(code: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len() && {
+                let c = bytes[i] as char;
+                c.is_ascii_alphanumeric() || c == '_'
+            } {
+                i += 1;
+            }
+            out.push(&code[start..i]);
+        } else if c.is_whitespace() {
+            i += 1;
+        } else {
+            out.push(&code[i..i + 1]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_ident(t: &str) -> bool {
+    t.chars()
+        .next()
+        .map(|c| c.is_ascii_alphabetic() || c == '_')
+        .unwrap_or(false)
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn check(crate_name: &str, src: &str) -> Vec<Violation> {
+        check_file(crate_name, &scan(src))
+    }
+
+    #[test]
+    fn r1_flags_wall_clock_and_entropy() {
+        let v = check(
+            "serving",
+            "use std::time::Instant;\nlet t = SystemTime::now();\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "R1").count(), 2);
+        let v = check("serving", "std::thread::sleep(d);\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R1").count(), 1);
+        // Non-sim crates may use wall clocks.
+        assert!(check("workloads", "use std::time::Instant;\n").is_empty());
+    }
+
+    #[test]
+    fn r2_flags_hash_iteration_not_lookup() {
+        let src = "struct S { m: HashMap<u64, u32> }\nimpl S { fn f(&self) -> usize { self.m.values().count() } }\n";
+        let v = check("kv-cache", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "R2").count(), 1);
+        // Pure lookups are fine.
+        let src = "struct S { m: HashMap<u64, u32> }\nimpl S { fn f(&self) -> bool { self.m.contains_key(&1) } }\n";
+        assert!(check("kv-cache", src).iter().all(|v| v.rule != "R2"));
+        // BTreeMap iteration is fine.
+        let src = "struct S { m: BTreeMap<u64, u32> }\nimpl S { fn f(&self) -> usize { self.m.values().count() } }\n";
+        assert!(check("kv-cache", src).iter().all(|v| v.rule != "R2"));
+    }
+
+    #[test]
+    fn r2_sees_let_bindings_and_for_loops() {
+        let src =
+            "let mut counts = std::collections::HashMap::new();\nfor (k, v) in &counts {\n}\n";
+        let v = check("cluster", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "R2").count(), 1);
+    }
+
+    #[test]
+    fn r2_ignores_vec_of_hashmap_outer_ident() {
+        let src =
+            "let covered: Vec<HashMap<u32, u32>> = Vec::new();\nlet n = covered.iter().count();\n";
+        assert!(check("pat-core", src).iter().all(|v| v.rule != "R2"));
+    }
+
+    #[test]
+    fn r3_flags_raw_time_casts_outside_sim_core() {
+        let v = check("controller", "let x = event.t_ns as f64 / 1000.0;\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R3").count(), 1);
+        assert!(check("sim-core", "let x = t_ns as f64;\n")
+            .iter()
+            .all(|v| v.rule != "R3"));
+        // Non-time casts are untouched.
+        assert!(check("controller", "let x = tokens as f64;\n")
+            .iter()
+            .all(|v| v.rule != "R3"));
+    }
+
+    #[test]
+    fn r4_flags_unwrap_and_expect_outside_tests() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); z.unwrap_or(3); }\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }\n";
+        let v = check("anything", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "R4").count(), 2);
+    }
+
+    #[test]
+    fn r5_requires_docs_on_pub_items() {
+        let src = "/// Documented.\npub fn good() {}\n\npub fn bad() {}\n";
+        let v = check("sim-core", src);
+        let r5: Vec<_> = v.iter().filter(|v| v.rule == "R5").collect();
+        assert_eq!(r5.len(), 1);
+        assert_eq!(r5[0].line, 4);
+        // Attributes between doc and item are fine.
+        let src = "/// Doc.\n#[derive(Debug)]\npub struct S;\n";
+        assert!(check("cluster", src).iter().all(|v| v.rule != "R5"));
+        // Other crates are out of scope.
+        assert!(check("serving", "pub fn bad() {}\n")
+            .iter()
+            .all(|v| v.rule != "R5"));
+    }
+
+    #[test]
+    fn waivers_cover_same_line_and_line_above() {
+        let src = "let x = t_ns as f64; // simlint: allow(R3) -- metric egress\n";
+        let v = check("controller", src);
+        assert!(v[0].waived.is_some());
+        let src = "// simlint: allow(R3) -- metric egress\nlet x = t_ns as f64;\n";
+        let v = check("controller", src);
+        assert!(v[0].waived.is_some());
+        // A waiver for a different rule does not apply.
+        let src = "let x = t_ns as f64; // simlint: allow(R2) -- wrong rule\n";
+        let v = check("controller", src);
+        assert!(v[0].waived.is_none());
+        // Missing reason: not honored.
+        let src = "let x = t_ns as f64; // simlint: allow(R3)\n";
+        let v = check("controller", src);
+        assert!(v[0].waived.is_none());
+    }
+}

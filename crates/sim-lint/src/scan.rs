@@ -1,0 +1,331 @@
+//! Rust source scanner: separates code from comments and literals, and
+//! marks test regions.
+//!
+//! The rules sim-lint enforces are token-level, so a full parse (`syn`) is
+//! unnecessary — but a naive grep is not enough either: `unwrap()` inside a
+//! doc example must not count, `Instant` inside a string must not count,
+//! and `#[cfg(test)]` modules are exempt from most rules. This scanner gets
+//! exactly those distinctions right:
+//!
+//! * per line, the **code** text with comments removed and the *contents*
+//!   of string/char literals blanked to spaces (delimiters kept);
+//! * per line, the concatenated **comment** text (where `simlint:` waivers
+//!   live);
+//! * per line, whether it sits inside a `#[cfg(test)]` or `#[test]` item
+//!   (tracked by brace matching on the code text).
+//!
+//! Handled literal forms: `"…"`, `b"…"`, `r"…"`, `r#"…"#` (any number of
+//! hashes), `br#"…"#`, `'c'` char literals with escapes, and lifetimes
+//! (`'a` is *not* a char literal). Block comments nest, as in Rust.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Source text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text appearing on this line (with `//` / `/*`).
+    pub comment: String,
+    /// Whether any part of this line lies inside a test item.
+    pub in_test: bool,
+}
+
+/// Scans a whole source file into per-line code/comment/test-region info.
+pub fn scan(source: &str) -> Vec<Line> {
+    mark_tests(strip(source))
+}
+
+#[derive(Debug)]
+struct Stripped {
+    code: String,
+    comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Number of `#` marks closing the raw string.
+    RawStr(u32),
+    CharLit,
+}
+
+fn strip(source: &str) -> Vec<Stripped> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    // Last significant code character, to tell `r"` (raw string) from an
+    // identifier ending in `r` followed by a string.
+    let mut prev_code = ' ';
+    let mut i = 0;
+    let n = chars.len();
+    while i <= n {
+        if i == n || chars[i] == '\n' {
+            lines.push(Stripped {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        let c = chars[i];
+        let next = chars.get(i + 1).copied().unwrap_or(' ');
+        match state {
+            State::Code => {
+                if c == '/' && next == '/' {
+                    state = State::LineComment;
+                    comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    prev_code = '"';
+                    state = State::Str;
+                    i += 1;
+                } else if is_raw_string_start(&chars, i, prev_code) {
+                    // Consume the `r`/`br` prefix and hashes up to the quote.
+                    let mut j = i;
+                    while chars[j] != '"' {
+                        code.push(chars[j]);
+                        j += 1;
+                    }
+                    code.push('"');
+                    let hashes = chars[i..j].iter().filter(|&&h| h == '#').count() as u32;
+                    state = State::RawStr(hashes);
+                    prev_code = '"';
+                    i = j + 1;
+                } else if c == '\'' {
+                    if is_lifetime(&chars, i) {
+                        code.push('\'');
+                        prev_code = '\'';
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        prev_code = '\'';
+                        state = State::CharLit;
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    if !c.is_whitespace() {
+                        prev_code = c;
+                    }
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == '/' {
+                    comment.push_str("*/");
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    comment.push_str("/*");
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Does a raw (byte) string literal start at `chars[i]`?
+fn is_raw_string_start(chars: &[char], i: usize, prev_code: char) -> bool {
+    // An identifier character before `r` means this `r` is part of a name.
+    if prev_code.is_alphanumeric() || prev_code == '_' || prev_code == '"' {
+        return false;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `chars[i]` close a raw string expecting `hashes` marks?
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// `'x` is a lifetime (not a char literal) when followed by an identifier
+/// char that is not itself immediately closed by `'`.
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    let c1 = chars.get(i + 1).copied().unwrap_or(' ');
+    let c2 = chars.get(i + 2).copied().unwrap_or(' ');
+    (c1.is_alphabetic() || c1 == '_') && c2 != '\''
+}
+
+/// Brace-tracks `#[cfg(test)]` / `#[test]` items over the stripped lines.
+fn mark_tests(stripped: Vec<Stripped>) -> Vec<Line> {
+    let mut out = Vec::with_capacity(stripped.len());
+    let mut depth: i64 = 0;
+    let mut pending_test = false;
+    let mut test_depth: Option<i64> = None;
+    for s in stripped {
+        let squashed: String = s.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if squashed.contains("#[cfg(test)]") || squashed.contains("#[test]") {
+            pending_test = true;
+        }
+        let mut in_test = test_depth.is_some() || pending_test;
+        for c in s.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_test && test_depth.is_none() {
+                        test_depth = Some(depth);
+                        pending_test = false;
+                        in_test = true;
+                    }
+                }
+                '}' => {
+                    if test_depth == Some(depth) {
+                        test_depth = None;
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] use foo;` — a brace-less item consumes the
+                // pending attribute at its terminating semicolon.
+                ';' if pending_test && test_depth.is_none() => {
+                    pending_test = false;
+                }
+                _ => {}
+            }
+        }
+        out.push(Line {
+            code: s.code,
+            comment: s.comment,
+            in_test,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"Instant\"; // Instant here\nlet y = 1; /* SystemTime */ let z = 2;\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].comment.contains("Instant"));
+        assert!(!lines[1].code.contains("SystemTime"));
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let a = r#\"unwrap() \"quoted\"\"#; let b = '\\''; let c = 'x';\nfn f<'a>(x: &'a str) {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let b"));
+        assert!(lines[0].code.contains("let c"));
+        assert!(lines[1].code.contains("&'a str") || lines[1].code.contains("'a"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("let x"));
+        assert!(!lines[0].code.contains("outer"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "attribute line");
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test, "closing brace line");
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn lib() {}\n";
+        let lines = scan(src);
+        assert!(lines[2].in_test);
+        assert!(!lines[4].in_test);
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let src = "let s = \"line one\nInstant::now()\";\nlet t = 1;\n";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("Instant"));
+        assert!(lines[2].code.contains("let t"));
+    }
+}

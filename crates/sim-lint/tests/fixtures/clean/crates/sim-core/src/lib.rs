@@ -1,0 +1,18 @@
+//! Fixture: negatives — nothing here may be flagged.
+
+/// An instant only mentioned in comments and strings: "std::time::Instant".
+pub fn not_a_clock() -> &'static str {
+    // Instant::now() in a comment is fine.
+    "std::time::Instant"
+}
+
+/// Sorted iteration over a `BTreeMap` is deterministic.
+pub fn sum_btree(map: &std::collections::BTreeMap<u64, u64>) -> u64 {
+    map.values().sum()
+}
+
+/// `unwrap_or` is not `unwrap`; `expect(char)` methods are not
+/// `.expect("…")`.
+pub fn safe(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

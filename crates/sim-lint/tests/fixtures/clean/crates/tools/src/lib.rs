@@ -1,0 +1,12 @@
+//! Fixture: a non-simulation crate — R1/R2/R3 do not apply here, and R5
+//! covers only `sim-core` and `cluster`.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn host_elapsed_ns() -> u128 {
+    let t0 = Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let s: u32 = m.values().sum();
+    t0.elapsed().as_nanos() + u128::from(s)
+}

@@ -1,0 +1,38 @@
+//! Fixture: R2 (hash iteration) and R4 (unwrap) positives, one honored
+//! waiver, one malformed waiver, and test-code negatives.
+use std::collections::HashMap;
+
+/// Sums map values in nondeterministic order (R2).
+pub fn sum_values(map: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in map.iter() {
+        total += v;
+    }
+    total
+}
+
+/// Waived iteration: the reduction is commutative.
+pub fn sum_waived(map: &HashMap<u64, u64>) -> u64 {
+    // simlint: allow(R2) -- summing u64s is order-independent
+    map.values().sum()
+}
+
+/// A waiver without a reason is not honored (R2 still fires).
+pub fn sum_badly_waived(map: &HashMap<u64, u64>) -> u64 {
+    // simlint: allow(R2)
+    map.values().sum()
+}
+
+/// Unwraps in library code (R4).
+pub fn first_char(s: &str) -> char {
+    s.chars().next().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: R3 positive — a raw time cast outside `sim-core`.
+
+/// Converts an integer timestamp by hand instead of going through
+/// `sim-core`'s blessed egress API.
+pub fn to_float(t_ns: u64) -> f64 {
+    t_ns as f64
+}

@@ -1,0 +1,7 @@
+//! Fixture: R1 (wall clock) and R5 (undocumented pub) positives.
+use std::time::Instant;
+
+pub fn wall_clock_ns() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
