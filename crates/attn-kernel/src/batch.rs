@@ -63,6 +63,13 @@ impl DecodeBatch {
         }
     }
 
+    /// Consumes the batch, returning its block tables (allocation reuse:
+    /// callers that rebuild a batch every decode step can recover the table
+    /// vector instead of reallocating it).
+    pub fn into_tables(self) -> Vec<BlockTable> {
+        self.tables
+    }
+
     /// The attention head configuration.
     pub fn head(&self) -> HeadConfig {
         self.head

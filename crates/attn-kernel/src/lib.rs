@@ -59,6 +59,8 @@
 
 mod backend;
 mod batch;
+pub mod fingerprint;
+pub mod fxhash;
 mod numeric;
 mod plan;
 mod tile;
@@ -67,8 +69,9 @@ pub mod traffic;
 
 pub use backend::AttentionBackend;
 pub use batch::{DecodeBatch, KvStore, QueryActivations, FP16_BYTES};
+pub use fingerprint::{batch_structure_fingerprint, batch_timing_fingerprint};
 pub use numeric::{execute_numeric, execute_numeric_parallel, reference_output, AttnOutput};
 pub use plan::{CtaPlan, KernelPlan, KvSlice, L2Affinity, PlanError};
 pub use tile::{TileConfig, INTERMEDIATE_BYTES};
-pub use timing::{simulate_plan, TimingError, TimingReport};
+pub use timing::{simulate_plan, simulate_plan_trusted, TimingError, TimingReport};
 pub use traffic::{analyze_traffic, theoretical_min_kv_bytes, CtaTraffic, TrafficReport};

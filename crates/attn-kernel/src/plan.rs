@@ -6,9 +6,9 @@
 //! covered exactly once across its CTAs, so the merged output must equal the
 //! reference (the attn-math property tests cover the numeric side).
 
+use crate::fxhash::FxHashMap;
 use crate::{DecodeBatch, TileConfig};
 use kv_cache::BlockId;
-use std::collections::HashMap;
 use std::fmt;
 
 /// A contiguous run of KV blocks processed by one CTA.
@@ -222,7 +222,8 @@ impl KernelPlan {
     /// Returns the first violation found.
     pub fn validate(&self, batch: &DecodeBatch) -> Result<(), PlanError> {
         let g = batch.head().group_size();
-        let mut covered: Vec<HashMap<BlockId, usize>> = vec![HashMap::new(); batch.num_queries()];
+        let mut covered: Vec<FxHashMap<BlockId, usize>> =
+            vec![FxHashMap::default(); batch.num_queries()];
         let mut tokens: Vec<usize> = vec![0; batch.num_queries()];
         for (i, cta) in self.ctas.iter().enumerate() {
             let rows = cta.query_rows(g);
@@ -254,7 +255,7 @@ impl KernelPlan {
                     ),
                 });
             }
-            let mut want: HashMap<BlockId, usize> = HashMap::new();
+            let mut want: FxHashMap<BlockId, usize> = FxHashMap::default();
             for &b in table.blocks() {
                 *want.entry(b).or_insert(0) += 1;
             }

@@ -7,11 +7,11 @@
 //! `min(1, L2 / step working set)`, grouped re-accesses (RelayAttention++
 //! ordering) almost always hit.
 
+use crate::fxhash::FxHashMap;
 use crate::{DecodeBatch, KernelPlan, L2Affinity};
 use attn_math::PartialAttn;
 use kv_cache::BlockId;
 use sim_gpu::{l2::reuse_fraction, GpuSpec};
-use std::collections::HashMap;
 
 /// Hit probability of grouped (temporally adjacent) re-accesses.
 const GROUPED_HIT_RATE: f64 = 0.95;
@@ -88,7 +88,7 @@ pub fn analyze_traffic(
 
     // Access counts per block across CTAs (a CTA loads each slice block once
     // into shared memory regardless of how many queries it packs).
-    let mut access_count: HashMap<BlockId, usize> = HashMap::new();
+    let mut access_count: FxHashMap<BlockId, usize> = FxHashMap::default();
     for cta in &plan.ctas {
         for &b in &cta.kv.blocks {
             *access_count.entry(b).or_insert(0) += 1;

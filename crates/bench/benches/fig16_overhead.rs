@@ -17,13 +17,14 @@ struct Row {
     mean_pre_attention_us: f64,
     reduction_pct: f64,
     lazy_hit_rate: f64,
+    step_cache_hit_rate: f64,
 }
 
 fn main() {
     banner("Fig. 16 — pack-scheduler latency vs pre-attention task latency");
     println!(
-        "{:>14} {:>6} {:>16} {:>18} {:>12} {:>10}",
-        "trace", "rate", "scheduler (us)", "pre-attn (us)", "sched lower", "lazy hits"
+        "{:>14} {:>6} {:>16} {:>18} {:>12} {:>10} {:>10}",
+        "trace", "rate", "scheduler (us)", "pre-attn (us)", "sched lower", "lazy hits", "step hits"
     );
     let mut rows = Vec::new();
     for kind in [TraceKind::ToolAgent, TraceKind::Conversation] {
@@ -47,15 +48,17 @@ fn main() {
                 mean_pre_attention_us: mean(&pre) / 1000.0,
                 reduction_pct: (1.0 - mean(&sched) / mean(&pre)) * 100.0,
                 lazy_hit_rate: pat.stats().hit_rate(),
+                step_cache_hit_rate: result.step_sim.hit_rate(),
             };
             println!(
-                "{:>14} {:>6.1} {:>16.1} {:>18.1} {:>11.1}% {:>9.0}%",
+                "{:>14} {:>6.1} {:>16.1} {:>18.1} {:>11.1}% {:>9.0}% {:>9.0}%",
                 row.trace,
                 row.rate,
                 row.mean_scheduler_us,
                 row.mean_pre_attention_us,
                 row.reduction_pct,
-                row.lazy_hit_rate * 100.0
+                row.lazy_hit_rate * 100.0,
+                row.step_cache_hit_rate * 100.0
             );
             rows.push(row);
         }

@@ -32,7 +32,12 @@ fn policies() -> Vec<Box<dyn Router>> {
 
 fn main() {
     let model = ModelSpec::llama3_8b();
-    let mut rows: Vec<FleetRow> = Vec::new();
+    // Build the full (trace, replicas, policy) grid up front, with one
+    // shared trace per (trace, replicas) group, then fan every independent
+    // cluster simulation across the sim_core::par workers. ordered_map
+    // merges results in input order, so rows (and all printed output below)
+    // are identical at any PAT_SIM_THREADS.
+    let mut groups = Vec::new();
     for trace in TraceKind::all() {
         for &replicas in &REPLICA_COUNTS {
             let rate = RATE_PER_REPLICA * replicas as f64;
@@ -42,41 +47,44 @@ fn main() {
                 duration_s: DURATION_S,
                 seed: 18,
             });
-            banner(&format!(
-                "Fig. 18 — {} trace, {} replicas, {:.0} req/s fleet-wide",
-                trace.name(),
-                replicas,
-                rate
-            ));
+            groups.push((trace, replicas, rate, requests));
+        }
+    }
+    let n_policies = policies().len();
+    let cells: Vec<(usize, usize)> = (0..groups.len())
+        .flat_map(|g| (0..n_policies).map(move |p| (g, p)))
+        .collect();
+    let rows: Vec<FleetRow> = sim_core::par::ordered_map(&cells, |_, &(g, p)| {
+        let (trace, replicas, rate, ref requests) = groups[g];
+        let router = policies().swap_remove(p);
+        let policy = router.name();
+        let config = ClusterConfig::new(replicas, ServingConfig::single_gpu(model));
+        let result = Cluster::with_lazy_pat(&config, router).run(requests);
+        FleetRow::new(policy, trace.name(), rate, &result)
+    });
+    for (g, (trace, replicas, rate, _)) in groups.iter().enumerate() {
+        banner(&format!(
+            "Fig. 18 — {} trace, {} replicas, {:.0} req/s fleet-wide",
+            trace.name(),
+            replicas,
+            rate
+        ));
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>9} {:>10} {:>10} {:>6}",
+            "policy", "TTFT(ms)", "TPOT(ms)", "P99 TPOT", "hit", "imbalance", "dup(MiB)", "done"
+        );
+        for row in &rows[g * n_policies..(g + 1) * n_policies] {
             println!(
-                "{:<18} {:>10} {:>10} {:>10} {:>9} {:>10} {:>10} {:>6}",
-                "policy",
-                "TTFT(ms)",
-                "TPOT(ms)",
-                "P99 TPOT",
-                "hit",
-                "imbalance",
-                "dup(MiB)",
-                "done"
+                "{:<18} {:>10.1} {:>10.2} {:>10.2} {:>8.1}% {:>10.3} {:>10.1} {:>6}",
+                row.policy,
+                row.mean_ttft_ms,
+                row.mean_tpot_ms,
+                row.p99_tpot_ms,
+                100.0 * row.fleet_hit_rate,
+                row.load_imbalance,
+                row.duplicated_kv_mib,
+                row.completed,
             );
-            for router in policies() {
-                let policy = router.name();
-                let config = ClusterConfig::new(replicas, ServingConfig::single_gpu(model));
-                let result = Cluster::with_lazy_pat(&config, router).run(&requests);
-                let row = FleetRow::new(policy, trace.name(), rate, &result);
-                println!(
-                    "{:<18} {:>10.1} {:>10.2} {:>10.2} {:>8.1}% {:>10.3} {:>10.1} {:>6}",
-                    row.policy,
-                    row.mean_ttft_ms,
-                    row.mean_tpot_ms,
-                    row.p99_tpot_ms,
-                    100.0 * row.fleet_hit_rate,
-                    row.load_imbalance,
-                    row.duplicated_kv_mib,
-                    row.completed,
-                );
-                rows.push(row);
-            }
         }
     }
 

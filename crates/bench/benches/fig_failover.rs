@@ -227,12 +227,20 @@ fn main() {
         sc.restart_after_s,
     ));
 
-    let router_managed: Box<dyn Router> = Box::new(PrefixAffinity::new());
-    let managed =
-        FleetController::with_lazy_pat(managed_config(), router_managed, faults(&sc)).run(&trace);
-    let router_static: Box<dyn Router> = Box::new(RoundRobin::new());
-    let static_fleet =
-        FleetController::with_lazy_pat(static_config(), router_static, faults(&sc)).run(&trace);
+    // The two fleets are independent simulations over the same trace: fan
+    // them across the sim_core::par workers (results merge in input order,
+    // so output is identical at any PAT_SIM_THREADS).
+    let mut results = sim_core::par::ordered_map(&[true, false], |_, &is_managed| {
+        if is_managed {
+            let router: Box<dyn Router> = Box::new(PrefixAffinity::new());
+            FleetController::with_lazy_pat(managed_config(), router, faults(&sc)).run(&trace)
+        } else {
+            let router: Box<dyn Router> = Box::new(RoundRobin::new());
+            FleetController::with_lazy_pat(static_config(), router, faults(&sc)).run(&trace)
+        }
+    });
+    let static_fleet = results.pop().expect("two fleets simulated");
+    let managed = results.pop().expect("two fleets simulated");
 
     let mut phases: Vec<PhaseRow> = Vec::new();
     phase_rows("managed", &sc, &trace, &managed, &mut phases);

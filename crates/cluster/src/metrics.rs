@@ -5,7 +5,7 @@ use serde::Serialize;
 use serving::{AggregateMetrics, ModelSpec, SimulationResult};
 
 /// One replica's share of a cluster run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ReplicaSummary {
     /// Requests routed to this replica.
     pub routed: usize,
@@ -16,7 +16,7 @@ pub struct ReplicaSummary {
 }
 
 /// Result of one cluster simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ClusterResult {
     /// Per-replica summaries, indexed by replica.
     pub per_replica: Vec<ReplicaSummary>,

@@ -21,7 +21,7 @@ use crate::metrics::{
 use crate::router::{ReplicaView, Router};
 use pat_core::LazyPat;
 use serving::{AggregateMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome};
-use sim_core::{EventQueue, SimTime};
+use sim_core::{par, EventQueue, SimTime};
 use workloads::Request;
 
 /// Cluster shape: how many replicas, each running the same engine config.
@@ -85,19 +85,31 @@ impl Cluster {
         Cluster::new(config, router, || Box::new(LazyPat::new()))
     }
 
-    /// Advances replica `i` until its clock reaches `t` or it goes idle.
+    /// Advances every replica until its clock reaches `t` or it goes idle.
     /// Replicas with no outstanding work are skipped outright: stepping an
     /// idle engine is a no-op, and its lagging clock jumps forward on the
     /// next submission.
-    fn advance_replica_to(&mut self, i: usize, t: SimTime) {
-        if self.engines[i].outstanding() == 0 {
-            return;
-        }
-        while self.engines[i].clock() < t {
-            if self.engines[i].step(self.backends[i].as_mut()) == StepOutcome::Idle {
-                break;
+    ///
+    /// Replicas are independent between fleet event barriers — no shared
+    /// state is touched until the router runs at `t` — so they advance
+    /// concurrently on the `sim_core::par` workers. Each replica's step
+    /// sequence is a pure function of its own state; parallelism reorders
+    /// wall-clock execution only, so fleet results are bit-identical at any
+    /// `PAT_SIM_THREADS`.
+    fn advance_all_to(&mut self, t: SimTime) {
+        let mut busy: Vec<(&mut ServingEngine, &mut Box<dyn ServingAttention>)> = self
+            .engines
+            .iter_mut()
+            .zip(self.backends.iter_mut())
+            .filter(|(e, _)| e.outstanding() > 0 && e.clock() < t)
+            .collect();
+        par::for_each_mut(&mut busy, |_, (engine, backend)| {
+            while engine.clock() < t {
+                if engine.step(backend.as_mut()) == StepOutcome::Idle {
+                    break;
+                }
             }
-        }
+        });
     }
 
     /// Routes and serves `requests` (must be sorted by arrival), then drains
@@ -127,10 +139,8 @@ impl Cluster {
             let request = &requests[idx];
             // Bring every busy replica up to the arrival instant so the
             // router sees loads and caches as of "now", not as of the last
-            // arrival. Equal clocks advance in replica-index order.
-            for i in 0..n {
-                self.advance_replica_to(i, t);
-            }
+            // arrival. Replicas advance concurrently between barriers.
+            self.advance_all_to(t);
             let choice = {
                 let views: Vec<ReplicaView<'_>> =
                     self.engines.iter().map(ReplicaView::new).collect();
@@ -146,10 +156,17 @@ impl Cluster {
             assignments.push((request.id, target));
             routed[target] += 1;
         }
-        // Drain: run every replica to quiescence (or its drain deadline).
-        for i in 0..n {
-            while self.engines[i].step(self.backends[i].as_mut()) == StepOutcome::Progress {}
-        }
+        // Drain: run every replica to quiescence (or its drain deadline),
+        // concurrently — no more routing barriers exist past this point.
+        let mut draining: Vec<(&mut ServingEngine, &mut Box<dyn ServingAttention>)> = self
+            .engines
+            .iter_mut()
+            .zip(self.backends.iter_mut())
+            .collect();
+        par::for_each_mut(&mut draining, |_, (engine, backend)| {
+            while engine.step(backend.as_mut()) == StepOutcome::Progress {}
+        });
+        drop(draining);
 
         // Cache-level fleet metrics, read before finalization consumes the
         // engines.

@@ -316,3 +316,33 @@ fn least_outstanding_tracks_load_under_skewed_service_times() {
         result.load_imbalance
     );
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    /// `sim_core::par`'s thread count is a pure performance knob at the
+    /// cluster layer too: a random routed fleet run on 1 and on 4 worker
+    /// threads must produce byte-identical serialized results.
+    #[test]
+    fn cluster_results_are_thread_count_invariant(
+        seed in 0u64..1_000,
+        kind_ix in 0usize..4,
+        rate in 4.0f64..10.0,
+        policy_ix in 0usize..4,
+    ) {
+        let requests = generate_trace(TraceConfig {
+            kind: TraceKind::all()[kind_ix],
+            rate_per_s: rate,
+            duration_s: 5.0,
+            seed,
+        });
+        let run = |threads: usize| {
+            sim_core::par::set_thread_override(Some(threads));
+            let config = ClusterConfig::new(3, engine_config());
+            let router = policies().swap_remove(policy_ix);
+            let result = Cluster::with_lazy_pat(&config, router).run(&requests);
+            sim_core::par::set_thread_override(None);
+            serde_json::to_string(&result).expect("ClusterResult serializes")
+        };
+        prop_assert_eq!(run(1), run(4), "cluster metrics diverge across thread counts");
+    }
+}

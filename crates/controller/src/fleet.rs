@@ -26,7 +26,7 @@ use pat_core::LazyPat;
 use serving::{
     AggregateMetrics, RequestMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome,
 };
-use sim_core::{EventQueue, SimDuration, SimTime};
+use sim_core::{par, EventQueue, SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 use workloads::Request;
 
@@ -442,12 +442,13 @@ impl Sim {
             }
         }
 
-        // Quiesce every live replica and take one last look.
-        for r in &mut self.replicas {
+        // Quiesce every live replica — concurrently; no control-plane
+        // events remain — and take one last look.
+        par::for_each_mut(&mut self.replicas, |_, r| {
             if r.actual != ReplicaState::Dead {
                 while r.engine.step(r.backend.as_mut()) == StepOutcome::Progress {}
             }
-        }
+        });
         self.observe_completions();
         // Whatever never made it out of a dead replica's limbo, or could
         // not be replayed anywhere, is explicitly lost.
@@ -570,17 +571,22 @@ impl Sim {
     /// Advances every live, busy replica to `t`. Dead replicas hold their
     /// clocks; idle ones are skipped outright (stepping them is a no-op —
     /// their clocks jump forward on the next submission).
+    ///
+    /// Between control-plane events replicas share nothing, so they advance
+    /// concurrently on the `sim_core::par` workers; each replica's step
+    /// sequence depends only on its own state, so the fleet outcome is
+    /// bit-identical at any `PAT_SIM_THREADS`.
     fn advance_all(&mut self, t: SimTime) {
-        for r in &mut self.replicas {
+        par::for_each_mut(&mut self.replicas, |_, r| {
             if r.actual == ReplicaState::Dead || r.engine.outstanding() == 0 {
-                continue;
+                return;
             }
             while r.engine.clock() < t {
                 if r.engine.step(r.backend.as_mut()) == StepOutcome::Idle {
                     break;
                 }
             }
-        }
+        });
     }
 
     fn note_peak(&mut self) {

@@ -440,3 +440,43 @@ fn router_skips_detected_dead_replicas() {
     assert_eq!(result.lost, 0, "lost {:?}", result.lost_ids);
     assert_eq!(result.completed, requests.len());
 }
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(3))]
+    /// The contract `sim_core::par` sells: worker count is a pure
+    /// performance knob. A random faulted fleet scenario run on 1 thread
+    /// and on 4 threads must serialize — full metrics JSON and the Chrome
+    /// trace timeline alike — to byte-identical strings.
+    #[test]
+    fn thread_count_never_changes_metrics_or_timeline(
+        seed in 0u64..1_000,
+        rate in 4.0f64..9.0,
+        crash_at in 1.0f64..4.0,
+        restart_after in 1.0f64..3.0,
+    ) {
+        use proptest::prelude::prop_assert_eq;
+        let requests = trace(rate, 8.0, seed);
+        let run = |threads: usize| {
+            sim_core::par::set_thread_override(Some(threads));
+            let mut config = ControllerConfig::managed(3, engine_config());
+            config.autoscaler = Some(AutoscalerConfig::new(2, 5));
+            config.admission = Some(AdmissionConfig::default());
+            let faults = FaultPlan::scripted(vec![
+                crash(crash_at, 1, Some(crash_at + restart_after)),
+                crash(crash_at + 1.5, 0, None),
+            ]);
+            let result =
+                FleetController::with_lazy_pat(config, Box::new(PrefixAffinity::new()), faults)
+                    .run(&requests);
+            sim_core::par::set_thread_override(None);
+            (
+                serde_json::to_string(&result).expect("ControlResult serializes"),
+                controller::result_chrome_json(&result),
+            )
+        };
+        let (metrics_1t, timeline_1t) = run(1);
+        let (metrics_4t, timeline_4t) = run(4);
+        prop_assert_eq!(metrics_1t, metrics_4t, "metrics diverge across thread counts");
+        prop_assert_eq!(timeline_1t, timeline_4t, "timelines diverge across thread counts");
+    }
+}

@@ -40,11 +40,30 @@ pub const DEFAULT_BLOCK_SIZE: usize = 16;
 /// assert_eq!(table.num_tokens(), 20);
 /// assert_eq!(table.tokens_in_block(1), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct BlockTable {
     blocks: Vec<BlockId>,
     num_tokens: usize,
     block_size: usize,
+}
+
+impl Clone for BlockTable {
+    fn clone(&self) -> Self {
+        BlockTable {
+            blocks: self.blocks.clone(),
+            num_tokens: self.num_tokens,
+            block_size: self.block_size,
+        }
+    }
+
+    /// Capacity-reusing clone: the serving engine's per-step scratch arena
+    /// refreshes recycled tables in place, so steady-state decode steps
+    /// allocate nothing.
+    fn clone_from(&mut self, source: &Self) {
+        self.blocks.clone_from(&source.blocks);
+        self.num_tokens = source.num_tokens;
+        self.block_size = source.block_size;
+    }
 }
 
 impl BlockTable {

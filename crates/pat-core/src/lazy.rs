@@ -12,8 +12,6 @@ use crate::backend::PatBackend;
 use crate::packer::Pack;
 use attn_kernel::{DecodeBatch, KernelPlan};
 use sim_gpu::GpuSpec;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 
 /// Cache statistics of the lazy scheduler.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -123,15 +121,12 @@ impl LazyPat {
 
 /// Fingerprint of the batch's block-table *structure*: block ids and query
 /// order, but not token counts (the final partial block grows every step
-/// without changing the packing).
+/// without changing the packing). Delegates to the shared
+/// [`attn_kernel::batch_structure_fingerprint`] so the lazy-update cache
+/// and the serving layer's step-simulation cache agree on what "identical
+/// structure" means.
 pub fn structure_fingerprint(batch: &DecodeBatch) -> u64 {
-    let mut h = DefaultHasher::new();
-    batch.num_queries().hash(&mut h);
-    for t in batch.tables() {
-        t.blocks().hash(&mut h);
-        0xB10Cu16.hash(&mut h);
-    }
-    h.finish()
+    attn_kernel::batch_structure_fingerprint(batch)
 }
 
 #[cfg(test)]

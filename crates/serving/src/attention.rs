@@ -8,7 +8,11 @@ use pat_core::LazyPat;
 use sim_gpu::GpuSpec;
 
 /// A decode-attention implementation as used by the serving engine.
-pub trait ServingAttention {
+///
+/// `Send` is required so fleet drivers (`cluster`, `controller`) can advance
+/// independent replicas on `sim_core::par` worker threads between event
+/// barriers.
+pub trait ServingAttention: Send {
     /// Display name.
     fn name(&self) -> String;
 
@@ -33,7 +37,7 @@ pub trait ServingAttention {
 #[derive(Debug, Clone)]
 pub struct Stateless<B>(pub B);
 
-impl<B: AttentionBackend> ServingAttention for Stateless<B> {
+impl<B: AttentionBackend + Send> ServingAttention for Stateless<B> {
     fn name(&self) -> String {
         self.0.name().to_string()
     }

@@ -37,6 +37,7 @@ mod costs;
 mod engine;
 mod metrics;
 mod model;
+mod step_cache;
 
 pub use attention::{ServingAttention, Stateless};
 pub use breakdown::{latency_breakdown, BreakdownRow};
@@ -46,3 +47,4 @@ pub use engine::{
 };
 pub use metrics::{percentile, AggregateMetrics, RequestMetrics};
 pub use model::{ModelSpec, MoeSpec};
+pub use step_cache::{StepSimCache, StepSimReport, StepSimStats, DEFAULT_STEP_CACHE_CAPACITY};

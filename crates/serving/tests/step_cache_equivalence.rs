@@ -1,0 +1,177 @@
+//! Property tests for the step-simulation cache premise: the canonical
+//! timing fingerprint (`attn_kernel::batch_timing_fingerprint`) keys
+//! exactly the invariance class of `simulate_plan` — for random batch
+//! sequences, a cached report replayed on a fingerprint-equal batch with
+//! the same token counts is bit-identical to a fresh simulation.
+
+use attn_kernel::{batch_timing_fingerprint, simulate_plan, DecodeBatch};
+use attn_math::HeadConfig;
+use kv_cache::{BlockId, BlockTable};
+use pat_core::LazyPat;
+use proptest::prelude::*;
+use serving::{StepSimCache, StepSimReport};
+use sim_gpu::GpuSpec;
+
+const BLOCK_SIZE: usize = 16;
+
+/// One randomly shaped request: whether it mounts the shared prefix, how
+/// many private blocks follow, and how full the final block is.
+#[derive(Debug, Clone)]
+struct ReqShape {
+    shares_prefix: bool,
+    private_blocks: usize,
+    partial_fill: usize,
+}
+
+fn req_shape() -> impl Strategy<Value = ReqShape> {
+    (0u8..2, 1usize..5, 1usize..=BLOCK_SIZE).prop_map(
+        |(shares_prefix, private_blocks, partial_fill)| ReqShape {
+            shares_prefix: shares_prefix == 1,
+            private_blocks,
+            partial_fill,
+        },
+    )
+}
+
+/// Materializes the shapes into block tables, handing out physical ids via
+/// `alloc` so a renamed-but-isomorphic twin can be built from the same
+/// shapes with a different allocator.
+fn build_tables(
+    prefix_blocks: usize,
+    shapes: &[ReqShape],
+    mut alloc: impl FnMut() -> BlockId,
+) -> Vec<BlockTable> {
+    let prefix: Vec<BlockId> = (0..prefix_blocks).map(|_| alloc()).collect();
+    shapes
+        .iter()
+        .map(|s| {
+            let mut blocks = if s.shares_prefix {
+                prefix.clone()
+            } else {
+                Vec::new()
+            };
+            for _ in 0..s.private_blocks {
+                blocks.push(alloc());
+            }
+            let num_tokens = (blocks.len() - 1) * BLOCK_SIZE + s.partial_fill;
+            BlockTable::new(blocks, num_tokens, BLOCK_SIZE)
+        })
+        .collect()
+}
+
+fn simulate(batch: &DecodeBatch, spec: &GpuSpec) -> StepSimReport {
+    // A fresh LazyPat per batch: no pack cache carries over, so this is the
+    // "freshly simulated" side of the equivalence.
+    let mut pat = LazyPat::new();
+    let plan = pat.plan(batch, spec);
+    let report = simulate_plan(batch, &plan, spec).expect("generated plans are valid");
+    StepSimReport {
+        total_ns: report.total_ns,
+        scheduling_ns: report.scheduling_ns,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Two structurally isomorphic batches — same shapes, physical block
+    /// ids handed out by different allocators — must collide on the timing
+    /// fingerprint AND simulate to bit-identical reports, and the cache
+    /// must replay exactly that report. This is the correctness premise of
+    /// `StepSimCache`: a hit never changes what the engine would have
+    /// computed for a token-identical batch.
+    #[test]
+    fn cached_report_equals_fresh_simulation_for_isomorphic_batches(
+        prefix_blocks in 1usize..4,
+        shapes in proptest::collection::vec(req_shape(), 1..6),
+    ) {
+        let head = HeadConfig::new(8, 4, 32);
+        let spec = GpuSpec::a100_sxm4_80gb();
+
+        let mut next_a = 0u32;
+        let tables_a = build_tables(prefix_blocks, &shapes, || {
+            let id = BlockId(next_a);
+            next_a += 1;
+            id
+        });
+        // Sparse, shuffled-looking ids with the same sharing pattern.
+        let mut next_b = 0u32;
+        let tables_b = build_tables(prefix_blocks, &shapes, || {
+            let id = BlockId(9000 + 37 * next_b % 1013);
+            next_b += 1;
+            id
+        });
+
+        let batch_a = DecodeBatch::new(head, tables_a, 2);
+        let batch_b = DecodeBatch::new(head, tables_b, 2);
+        let fp_a = batch_timing_fingerprint(&batch_a, &spec);
+        let fp_b = batch_timing_fingerprint(&batch_b, &spec);
+        prop_assert_eq!(fp_a, fp_b, "isomorphic batches must share a key");
+
+        let fresh_a = simulate(&batch_a, &spec);
+        let fresh_b = simulate(&batch_b, &spec);
+        prop_assert_eq!(
+            fresh_a.total_ns.to_bits(),
+            fresh_b.total_ns.to_bits(),
+            "timing must be invariant under block-id renaming"
+        );
+        prop_assert_eq!(
+            fresh_a.scheduling_ns.to_bits(),
+            fresh_b.scheduling_ns.to_bits()
+        );
+
+        // Populate from batch A, replay against batch B's key: the replayed
+        // report is byte-for-byte the fresh simulation of B.
+        let mut cache = StepSimCache::new(8);
+        prop_assert!(cache.get((fp_a, 0)).is_none());
+        cache.insert((fp_a, 0), fresh_a);
+        let replayed = cache.get((fp_b, 0)).expect("fingerprint-equal batch must hit");
+        prop_assert_eq!(replayed.total_ns.to_bits(), fresh_b.total_ns.to_bits());
+        prop_assert_eq!(replayed.scheduling_ns.to_bits(), fresh_b.scheduling_ns.to_bits());
+    }
+
+    /// Re-simulating the exact same batch sequence through a cache always
+    /// reproduces the no-cache reports: every hit's replayed report equals
+    /// what a fresh simulation of that batch returns.
+    #[test]
+    fn replaying_a_random_batch_sequence_matches_uncached_reports(
+        prefix_blocks in 1usize..3,
+        shapes in proptest::collection::vec(req_shape(), 1..4),
+        repeats in 2usize..5,
+    ) {
+        let head = HeadConfig::new(8, 4, 32);
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut next = 0u32;
+        let tables = build_tables(prefix_blocks, &shapes, || {
+            let id = BlockId(next);
+            next += 1;
+            id
+        });
+        let batch = DecodeBatch::new(head, tables, 2);
+        let key = (batch_timing_fingerprint(&batch, &spec), 0);
+
+        let mut cache = StepSimCache::new(4);
+        let mut served = Vec::new();
+        for _ in 0..repeats {
+            let report = match cache.get(key) {
+                Some(r) => r,
+                None => {
+                    let r = simulate(&batch, &spec);
+                    cache.insert(key, r);
+                    r
+                }
+            };
+            served.push(report);
+        }
+        let reference = simulate(&batch, &spec);
+        for report in served {
+            prop_assert_eq!(report.total_ns.to_bits(), reference.total_ns.to_bits());
+            prop_assert_eq!(
+                report.scheduling_ns.to_bits(),
+                reference.scheduling_ns.to_bits()
+            );
+        }
+        prop_assert_eq!(cache.stats().misses, 1);
+        prop_assert_eq!(cache.stats().hits, repeats as u64 - 1);
+    }
+}

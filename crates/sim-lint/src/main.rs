@@ -50,7 +50,8 @@ fn parse_args() -> Result<Options, String> {
                      \n\
                      Rules: R1 wall-clock/entropy, R2 hash-container iteration,\n\
                      R3 raw time casts outside sim-core, R4 unwrap/expect in\n\
-                     library code, R5 undocumented pub items (sim-core, cluster).\n\
+                     library code, R5 undocumented pub items (sim-core, cluster),\n\
+                     R6 raw thread::spawn/scope outside sim_core::par.\n\
                      Waive inline: // simlint: allow(R2) -- <reason>\n\
                      Exit codes: 0 clean, 1 new violations, 2 usage/IO error."
                 );

@@ -7,6 +7,7 @@
 //! | R3   | sim crates minus `sim-core`, non-test | raw casts of time-named values     |
 //! | R4   | every scanned crate, non-test | `.unwrap()` / `.expect(` in library code   |
 //! | R5   | `sim-core` + `cluster`, non-test | undocumented `pub` items                |
+//! | R6   | sim crates minus `sim-core`, non-test | raw `thread::spawn`/`thread::scope` |
 //!
 //! Waiver syntax, honored on the violating line or the standalone comment
 //! line directly above it:
@@ -34,7 +35,7 @@ pub const SIM_CRATES: &[&str] = &[
 pub const DOC_CRATES: &[&str] = &["sim-core", "cluster"];
 
 /// All rule names, in report order.
-pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5"];
+pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6"];
 
 /// One diagnostic produced by the analyzer.
 #[derive(Debug, Clone)]
@@ -81,6 +82,7 @@ pub fn check_file(crate_name: &str, lines: &[Line]) -> Vec<Violation> {
         check_r2(&stream, &hash_idents, &mut out);
         if crate_name != "sim-core" {
             check_r3(&stream, &in_test, &mut out);
+            check_r6(&stream, &in_test, &mut out);
         }
     }
     check_r4(&stream, &in_test, &mut out);
@@ -283,6 +285,34 @@ fn check_r3(stream: &[(usize, &str)], in_test: &dyn Fn(usize) -> bool, out: &mut
                      through SimTime/SimDuration (`from_ns_f64*`, `from_secs_f64`, `as_*_f64`)",
                     stream[i - 1].1,
                     stream[i + 1].1
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R6
+
+/// Thread entry points that ad-hoc parallelism reaches for. `sleep` is R1's.
+const R6_ENTRY_POINTS: &[&str] = &["spawn", "scope"];
+
+fn check_r6(stream: &[(usize, &str)], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Violation>) {
+    for i in 3..stream.len() {
+        let (idx, t) = stream[i];
+        if R6_ENTRY_POINTS.contains(&t)
+            && stream[i - 1].1 == ":"
+            && stream[i - 2].1 == ":"
+            && stream[i - 3].1 == "thread"
+            && !in_test(idx)
+        {
+            out.push(Violation {
+                rule: "R6",
+                line: idx + 1,
+                message: format!(
+                    "raw `thread::{t}` inside a simulation crate: ad-hoc threading \
+                     risks order-dependent merges; route parallelism through \
+                     `sim_core::par` (ordered_map / for_each_mut)"
                 ),
                 waived: None,
             });
@@ -564,6 +594,28 @@ mod tests {
         assert!(check("serving", "pub fn bad() {}\n")
             .iter()
             .all(|v| v.rule != "R5"));
+    }
+
+    #[test]
+    fn r6_flags_raw_thread_spawn_and_scope() {
+        let v = check("cluster", "std::thread::spawn(|| {});\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R6").count(), 1);
+        let v = check("controller", "std::thread::scope(|s| {});\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R6").count(), 1);
+        // The blessed implementation itself lives in sim-core.
+        assert!(check("sim-core", "std::thread::scope(|s| {});\n")
+            .iter()
+            .all(|v| v.rule != "R6"));
+        // Non-sim crates may thread freely.
+        assert!(check("workloads", "std::thread::spawn(|| {});\n")
+            .iter()
+            .all(|v| v.rule != "R6"));
+        // Test code is exempt.
+        let src = "#[cfg(test)]\nmod t { fn g() { std::thread::spawn(|| {}); } }\n";
+        assert!(check("cluster", src).iter().all(|v| v.rule != "R6"));
+        // `thread::sleep` is R1's, not R6's.
+        let v = check("cluster", "std::thread::sleep(d);\n");
+        assert!(v.iter().all(|v| v.rule != "R6"));
     }
 
     #[test]

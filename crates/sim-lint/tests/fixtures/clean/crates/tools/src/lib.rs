@@ -1,4 +1,4 @@
-//! Fixture: a non-simulation crate — R1/R2/R3 do not apply here, and R5
+//! Fixture: a non-simulation crate — R1/R2/R3/R6 do not apply here, and R5
 //! covers only `sim-core` and `cluster`.
 use std::collections::HashMap;
 use std::time::Instant;
@@ -9,4 +9,10 @@ pub fn host_elapsed_ns() -> u128 {
     m.insert(1, 2);
     let s: u32 = m.values().sum();
     t0.elapsed().as_nanos() + u128::from(s)
+}
+
+pub fn host_threading() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
 }

@@ -1,7 +1,13 @@
-//! Fixture: R3 positive — a raw time cast outside `sim-core`.
+//! Fixture: R3 positive — a raw time cast outside `sim-core` — and R6
+//! positive — raw threading instead of `sim_core::par`.
 
 /// Converts an integer timestamp by hand instead of going through
 /// `sim-core`'s blessed egress API.
 pub fn to_float(t_ns: u64) -> f64 {
     t_ns as f64
+}
+
+/// Spawns a raw thread instead of using `sim_core::par`.
+pub fn ad_hoc_parallelism() {
+    std::thread::spawn(|| {}).join().ok();
 }

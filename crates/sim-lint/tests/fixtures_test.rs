@@ -45,6 +45,7 @@ fn dirty_fixture_flags_every_rule() {
             ("crates/cluster/src/lib.rs".to_string(), "R2"),
             ("crates/cluster/src/lib.rs".to_string(), "R4"),
             ("crates/serving/src/lib.rs".to_string(), "R3"),
+            ("crates/serving/src/lib.rs".to_string(), "R6"),
             ("crates/sim-core/src/lib.rs".to_string(), "R1"),
             ("crates/sim-core/src/lib.rs".to_string(), "R5"),
         ],
