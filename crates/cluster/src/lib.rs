@@ -58,7 +58,7 @@ pub use metrics::{
     duplicated_blocks, kv_block_bytes, load_imbalance, ClusterResult, FleetRow, ReplicaSummary,
 };
 pub use router::{
-    ConsistentHashPrefix, LeastOutstanding, PrefixAffinity, ReplicaState, ReplicaView, RoundRobin,
-    Router,
+    ConsistentHashPrefix, LeastOutstanding, PrefixAffinity, ReplicaRole, ReplicaState, ReplicaView,
+    RoleScoped, RoundRobin, Router,
 };
 pub use sim::{Cluster, ClusterConfig};

@@ -39,11 +39,40 @@ impl ReplicaState {
     }
 }
 
+/// Serving role of a replica in a (possibly disaggregated) fleet.
+///
+/// A unified fleet runs every replica as [`Unified`](ReplicaRole::Unified).
+/// Disaggregated serving splits the fleet: [`Prefill`](ReplicaRole::Prefill)
+/// replicas compute prompt KV and stream it out over the KV movement plane;
+/// [`Decode`](ReplicaRole::Decode) replicas ingest that KV and run the decode
+/// batches. Roles are a routing policy axis, not an engine capability — every
+/// engine *can* do both, roles say what the control plane sends where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplicaRole {
+    /// Serves both prefill and decode (the non-disaggregated default).
+    #[default]
+    Unified,
+    /// Prefill-only: computes prompt KV, never holds decode batches.
+    Prefill,
+    /// Decode-only: admits requests whose prompt KV arrives pre-computed.
+    Decode,
+}
+
+impl ReplicaRole {
+    /// Whether a replica of this role may serve work of role `wanted`.
+    /// Unified replicas serve everything; specialized replicas serve only
+    /// their own phase.
+    pub fn serves(self, wanted: ReplicaRole) -> bool {
+        self == ReplicaRole::Unified || self == wanted
+    }
+}
+
 /// Read-only snapshot of one replica, as exposed to routers.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplicaView<'a> {
     engine: &'a ServingEngine,
     state: ReplicaState,
+    role: ReplicaRole,
 }
 
 impl<'a> ReplicaView<'a> {
@@ -52,17 +81,53 @@ impl<'a> ReplicaView<'a> {
         ReplicaView {
             engine,
             state: ReplicaState::Healthy,
+            role: ReplicaRole::Unified,
         }
     }
 
     /// A view carrying an explicit lifecycle state (fleet control planes).
     pub fn with_state(engine: &'a ServingEngine, state: ReplicaState) -> Self {
-        ReplicaView { engine, state }
+        ReplicaView {
+            engine,
+            state,
+            role: ReplicaRole::Unified,
+        }
+    }
+
+    /// A view carrying an explicit state and serving role (disaggregated
+    /// fleets).
+    pub fn with_state_and_role(
+        engine: &'a ServingEngine,
+        state: ReplicaState,
+        role: ReplicaRole,
+    ) -> Self {
+        ReplicaView {
+            engine,
+            state,
+            role,
+        }
     }
 
     /// The replica's lifecycle state.
     pub fn state(&self) -> ReplicaState {
         self.state
+    }
+
+    /// The replica's serving role.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// This view with the replica forced non-routable. Role-scoped routing
+    /// masks replicas of the wrong role this way, so any inner policy skips
+    /// them through the ordinary [`ReplicaState::is_routable`] check without
+    /// index remapping.
+    pub fn masked(&self) -> ReplicaView<'a> {
+        ReplicaView {
+            engine: self.engine,
+            state: ReplicaState::Dead,
+            role: self.role,
+        }
     }
 
     /// Requests routed here that have not finished (queued, prefilling,
@@ -323,6 +388,50 @@ impl Router for PrefixAffinity {
     }
 }
 
+/// Restricts any routing policy to replicas serving a given role.
+///
+/// Replicas whose role does not [`serve`](ReplicaRole::serves) the wanted
+/// role are masked non-routable before the inner policy runs, so indices
+/// returned by the wrapper still index the original slice. Disaggregated
+/// control planes use two of these over one fleet: prefill admission scoped
+/// to [`ReplicaRole::Prefill`], decode admission to [`ReplicaRole::Decode`].
+#[derive(Debug, Clone)]
+pub struct RoleScoped<R> {
+    inner: R,
+    role: ReplicaRole,
+}
+
+impl<R: Router> RoleScoped<R> {
+    /// Scopes `inner` to replicas serving `role`.
+    pub fn new(inner: R, role: ReplicaRole) -> Self {
+        RoleScoped { inner, role }
+    }
+}
+
+impl<R: Router> Router for RoleScoped<R> {
+    fn name(&self) -> &'static str {
+        match self.role {
+            ReplicaRole::Unified => "role:unified",
+            ReplicaRole::Prefill => "role:prefill",
+            ReplicaRole::Decode => "role:decode",
+        }
+    }
+
+    fn route(&mut self, request: &Request, replicas: &[ReplicaView<'_>]) -> Option<usize> {
+        let scoped: Vec<ReplicaView<'_>> = replicas
+            .iter()
+            .map(|v| {
+                if v.role().serves(self.role) {
+                    *v
+                } else {
+                    v.masked()
+                }
+            })
+            .collect();
+        self.inner.route(request, &scoped)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +529,64 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(aff.route(&request(), &views(&engines, &states)), Some(1));
         }
+    }
+
+    #[test]
+    fn unified_replicas_serve_every_role() {
+        use ReplicaRole::{Decode, Prefill, Unified};
+        assert!(Unified.serves(Prefill) && Unified.serves(Decode));
+        assert!(Prefill.serves(Prefill) && !Prefill.serves(Decode));
+        assert!(Decode.serves(Decode) && !Decode.serves(Prefill));
+    }
+
+    #[test]
+    fn role_scoped_routing_masks_wrong_role_replicas() {
+        use ReplicaRole::{Decode, Prefill};
+        let engines = engines(4);
+        let roles = [Prefill, Decode, Prefill, Decode];
+        let v: Vec<ReplicaView<'_>> = engines
+            .iter()
+            .zip(roles)
+            .map(|(e, r)| ReplicaView::with_state_and_role(e, ReplicaState::Healthy, r))
+            .collect();
+        let mut prefill = RoleScoped::new(RoundRobin::new(), Prefill);
+        let mut decode = RoleScoped::new(RoundRobin::new(), Decode);
+        let p: Vec<Option<usize>> = (0..4).map(|_| prefill.route(&request(), &v)).collect();
+        let d: Vec<Option<usize>> = (0..4).map(|_| decode.route(&request(), &v)).collect();
+        assert_eq!(p, vec![Some(0), Some(2), Some(0), Some(2)]);
+        assert_eq!(d, vec![Some(1), Some(3), Some(1), Some(3)]);
+    }
+
+    #[test]
+    fn role_scoped_routing_uses_unified_replicas_for_any_phase() {
+        use ReplicaRole::{Decode, Unified};
+        let engines = engines(2);
+        let roles = [Unified, Decode];
+        let v: Vec<ReplicaView<'_>> = engines
+            .iter()
+            .zip(roles)
+            .map(|(e, r)| ReplicaView::with_state_and_role(e, ReplicaState::Healthy, r))
+            .collect();
+        let mut prefill = RoleScoped::new(LeastOutstanding::new(), ReplicaRole::Prefill);
+        assert_eq!(prefill.route(&request(), &v), Some(0));
+        let mut decode = RoleScoped::new(LeastOutstanding::new(), Decode);
+        assert_eq!(
+            decode.route(&request(), &v),
+            Some(0),
+            "unified serves decode too"
+        );
+    }
+
+    #[test]
+    fn role_scoped_routing_with_no_matching_replica_returns_none() {
+        use ReplicaRole::Prefill;
+        let engines = engines(2);
+        let v: Vec<ReplicaView<'_>> = engines
+            .iter()
+            .map(|e| ReplicaView::with_state_and_role(e, ReplicaState::Healthy, Prefill))
+            .collect();
+        let mut decode = RoleScoped::new(RoundRobin::new(), ReplicaRole::Decode);
+        assert_eq!(decode.route(&request(), &v), None);
     }
 
     #[test]

@@ -21,7 +21,8 @@
 
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::metrics::{ControlEvent, ControlResult, TimelineEvent};
-use cluster::{ReplicaState, ReplicaView, Router};
+use cluster::{kv_block_bytes, ReplicaRole, ReplicaState, ReplicaView, Router};
+use kv_transfer::{FleetTopology, TransferKind, TransferPlane};
 use pat_core::LazyPat;
 use serving::{
     AggregateMetrics, RequestMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome,
@@ -29,6 +30,80 @@ use serving::{
 use sim_core::{par, EventQueue, SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 use workloads::Request;
+
+/// High bit of the request-id space, reserved for the shadow prefill
+/// requests a disaggregated controller mints internally (one per original
+/// request). Shadow records never leak into [`ControlResult`].
+const SHADOW_BIT: u64 = 1 << 63;
+
+fn is_shadow(id: u64) -> bool {
+    id & SHADOW_BIT != 0
+}
+
+fn public_id(id: u64) -> u64 {
+    id & !SHADOW_BIT
+}
+
+/// Prefill/decode split of a disaggregated fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisaggConfig {
+    /// The first `prefill_replicas` replicas are prefill-only; the rest of
+    /// the initial fleet is decode-only. Autoscaled replicas join as
+    /// decode-only (decode is the capacity-bound phase).
+    pub prefill_replicas: usize,
+}
+
+/// KV movement policy of a fleet: the link topology plus which movements
+/// the controller is allowed to make on it.
+#[derive(Debug, Clone)]
+pub struct TransferConfig {
+    /// Link model between every replica pair.
+    pub topology: FleetTopology,
+    /// Warm-prefix migration on failover: stream the best donor's
+    /// overlapping prefix blocks to the failover target instead of
+    /// recomputing them — unless the cost model says recompute wins.
+    pub migration: bool,
+    /// Donor gain (tokens beyond what the target already holds) below which
+    /// migration is not attempted.
+    pub min_migration_tokens: usize,
+    /// On revive/scale-up, push the backlog's hottest warm prefix to the
+    /// cold replica before traffic lands on it.
+    pub prewarm_on_revive: bool,
+    /// How many backlog requests the prewarm donor scan considers.
+    pub prewarm_candidates: usize,
+    /// Prefill/decode disaggregation; `None` keeps the fleet unified.
+    pub disaggregation: Option<DisaggConfig>,
+}
+
+impl TransferConfig {
+    /// Warm-prefix migration (failover + revive prewarm) over `topology`,
+    /// unified fleet.
+    pub fn migration(topology: FleetTopology) -> Self {
+        TransferConfig {
+            topology,
+            migration: true,
+            min_migration_tokens: 32,
+            prewarm_on_revive: true,
+            prewarm_candidates: 8,
+            disaggregation: None,
+        }
+    }
+
+    /// Disaggregated serving over `topology`: the first `prefill_replicas`
+    /// replicas prefill and stream KV, the rest decode. Migration stays off
+    /// so the handoff effect can be measured alone; enable it with the
+    /// field.
+    pub fn disaggregated(topology: FleetTopology, prefill_replicas: usize) -> Self {
+        TransferConfig {
+            topology,
+            migration: false,
+            min_migration_tokens: 32,
+            prewarm_on_revive: false,
+            prewarm_candidates: 8,
+            disaggregation: Some(DisaggConfig { prefill_replicas }),
+        }
+    }
+}
 
 /// SLO-aware autoscaling policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +191,9 @@ pub struct ControllerConfig {
     pub autoscaler: Option<AutoscalerConfig>,
     /// Admission policy; `None` admits everything immediately.
     pub admission: Option<AdmissionConfig>,
+    /// KV movement plane; `None` means warm KV is never moved (every
+    /// failover pays full recompute, no disaggregation).
+    pub transfer: Option<TransferConfig>,
 }
 
 impl ControllerConfig {
@@ -136,6 +214,7 @@ impl ControllerConfig {
             slo_ttft_ms: 500.0,
             autoscaler: None,
             admission: None,
+            transfer: None,
         }
     }
 
@@ -161,6 +240,8 @@ struct Replica {
     backend: Box<dyn ServingAttention>,
     actual: ReplicaState,
     observed: ReplicaState,
+    /// Serving role (always `Unified` outside disaggregated mode).
+    role: ReplicaRole,
     /// When a crashed (or still-provisioning) replica comes up.
     restart_at: Option<SimTime>,
     /// When a straggler's speed factor resets to 1.0.
@@ -184,6 +265,7 @@ impl Replica {
             backend,
             actual: ReplicaState::Healthy,
             observed: ReplicaState::Healthy,
+            role: ReplicaRole::Unified,
             restart_at: None,
             restore_speed_at: None,
             limbo: Vec::new(),
@@ -221,6 +303,21 @@ enum FleetEvent {
     Tick,
     /// Index into the request trace.
     Arrival(usize),
+    /// A KV transfer's last byte arrived (id on the transfer plane).
+    TransferDone(u64),
+}
+
+/// What the controller does when an in-flight transfer completes.
+enum PendingTransfer {
+    /// Ingest the migrated prefix at the destination, then submit the held
+    /// failover request there (`donor_overlap` = tokens streamed + already
+    /// resident at decision time).
+    Migration { req: Request, donor_overlap: usize },
+    /// Ingest the pushed prefix at the (re)joined replica; no request held.
+    Prewarm { tokens: Vec<kv_cache::Token> },
+    /// Disaggregated handoff: ingest the full prompt prefix at the decode
+    /// replica, then submit the original request there.
+    Handoff { req: Request },
 }
 
 /// The fleet control plane. Build one per run; [`run`](FleetController::run)
@@ -292,14 +389,39 @@ impl FleetController {
             faults,
             mut backend_factory,
         } = self;
-        let replicas = (0..config.initial_replicas)
+        let mut replicas: Vec<Replica> = (0..config.initial_replicas)
             .map(|_| Replica::fresh(&config.engine, backend_factory()))
             .collect();
+        if let Some(disagg) = config.transfer.as_ref().and_then(|t| t.disaggregation) {
+            assert!(
+                (1..config.initial_replicas).contains(&disagg.prefill_replicas),
+                "disaggregation needs at least one prefill and one decode replica"
+            );
+            assert!(
+                config.health_checks && config.failover,
+                "disaggregation requires a managed fleet (health checks + failover)"
+            );
+            for (i, r) in replicas.iter_mut().enumerate() {
+                r.role = if i < disagg.prefill_replicas {
+                    ReplicaRole::Prefill
+                } else {
+                    ReplicaRole::Decode
+                };
+            }
+        }
         let origin: BTreeMap<u64, SimTime> = requests
             .iter()
             .map(|r| (r.id, SimTime::from_secs_f64(r.arrival_s)))
             .collect();
         assert_eq!(origin.len(), requests.len(), "request ids must be unique");
+        assert!(
+            requests.iter().all(|r| !is_shadow(r.id)),
+            "request ids must not use the reserved shadow bit"
+        );
+        let plane = config
+            .transfer
+            .as_ref()
+            .map(|t| TransferPlane::new(t.topology.clone()));
         let sim = Sim {
             peak_replicas: config.initial_replicas,
             config,
@@ -318,7 +440,15 @@ impl FleetController {
             timeline: Vec::new(),
             ttft_window: VecDeque::new(),
             failovers: 0,
-            refilled_prefill_tokens: 0,
+            refilled_cold: 0,
+            refilled_after_partial_migration: 0,
+            migrated_prefix_tokens: 0,
+            migrations: 0,
+            prewarm_transfers: 0,
+            disagg_handoffs: 0,
+            plane,
+            pending_transfers: BTreeMap::new(),
+            disagg_waiting: BTreeMap::new(),
             crashes: 0,
             scale_ups: 0,
             scale_downs: 0,
@@ -355,7 +485,19 @@ struct Sim {
     /// Rolling corrected TTFTs (ms) of recent completions.
     ttft_window: VecDeque<f64>,
     failovers: usize,
-    refilled_prefill_tokens: u64,
+    refilled_cold: u64,
+    refilled_after_partial_migration: u64,
+    migrated_prefix_tokens: u64,
+    migrations: usize,
+    prewarm_transfers: usize,
+    disagg_handoffs: usize,
+    /// KV movement plane (present when `config.transfer` is set).
+    plane: Option<TransferPlane>,
+    /// In-flight transfers by plane id, with what to do at completion.
+    pending_transfers: BTreeMap<u64, PendingTransfer>,
+    /// Disaggregated mode: original requests awaiting their shadow
+    /// prefill's completion, by original id.
+    disagg_waiting: BTreeMap<u64, Request>,
     crashes: usize,
     scale_ups: usize,
     scale_downs: usize,
@@ -391,14 +533,27 @@ impl Sim {
         }
 
         while let Some((t, first)) = self.queue.pop() {
-            if t > horizon {
-                break;
-            }
             // Batch every event scheduled for this exact instant: they are
             // processed under one `now`, in kind-priority order.
             let mut batch = vec![first];
             while let Some(event) = self.queue.pop_at(t) {
                 batch.push(event);
+            }
+            if t > horizon {
+                if self.pending_transfers.is_empty() {
+                    break;
+                }
+                // Past the horizon only transfer completions are serviced
+                // (no new transfers start), so the in-flight set shrinks
+                // monotonically and the loop terminates.
+                self.advance_all(t);
+                self.now = t;
+                for event in &batch {
+                    if let FleetEvent::TransferDone(id) = event {
+                        self.finish_transfer(*id);
+                    }
+                }
+                continue;
             }
             // A tick wake-up that finds the fleet idle is dropped without
             // touching the clock — the due-time stays in `next_tick` and
@@ -423,6 +578,11 @@ impl Sim {
                 }
                 if self.replicas[i].restore_speed_at.is_some_and(|x| x <= t) {
                     self.restore_speed(i);
+                }
+            }
+            for event in &batch {
+                if let FleetEvent::TransferDone(id) = event {
+                    self.finish_transfer(*id);
                 }
             }
             if next_tick <= t {
@@ -452,11 +612,18 @@ impl Sim {
         self.observe_completions();
         // Whatever never made it out of a dead replica's limbo, or could
         // not be replayed anywhere, is explicitly lost.
-        for r in &mut self.replicas {
-            self.lost_ids.extend(r.limbo.drain(..).map(|q| q.id));
+        let stranded: Vec<u64> = self
+            .replicas
+            .iter_mut()
+            .flat_map(|r| r.limbo.drain(..).map(|q| q.id))
+            .collect();
+        for id in stranded {
+            self.lose(id);
         }
         let orphans = std::mem::take(&mut self.orphans);
-        self.lost_ids.extend(orphans.into_iter().map(|q| q.id));
+        for q in orphans {
+            self.lose(q.id);
+        }
 
         self.finish(requests)
     }
@@ -471,6 +638,9 @@ impl Sim {
             preemptions += res.preemptions;
             all.extend(res.per_request);
         }
+        // Shadow prefills are internal bookkeeping of disaggregated mode;
+        // their originals are accounted via the handoff path.
+        all.retain(|m| !is_shadow(m.request_id));
         for m in &mut all {
             let submit = self.submit[&m.request_id];
             let origin = self.origin[&m.request_id];
@@ -493,6 +663,7 @@ impl Sim {
         );
         let slo_ns = self.config.slo_ttft_ms * 1e6;
         let within_slo = all.iter().filter(|m| m.ttft_ns <= slo_ns).count();
+        let transfer_stats = self.plane.as_ref().map(|p| *p.stats()).unwrap_or_default();
         ControlResult {
             fleet: AggregateMetrics::from_requests(&all),
             per_request: all,
@@ -508,7 +679,16 @@ impl Sim {
             },
             slo_ttft_ms: self.config.slo_ttft_ms,
             failovers: self.failovers,
-            refilled_prefill_tokens: self.refilled_prefill_tokens,
+            refilled_prefill_tokens: self.refilled_cold + self.refilled_after_partial_migration,
+            refilled_cold: self.refilled_cold,
+            refilled_after_partial_migration: self.refilled_after_partial_migration,
+            migrated_prefix_tokens: self.migrated_prefix_tokens,
+            migrations: self.migrations,
+            prewarm_transfers: self.prewarm_transfers,
+            disagg_handoffs: self.disagg_handoffs,
+            kv_transfers: transfer_stats.transfers,
+            kv_transfer_bytes: transfer_stats.bytes,
+            kv_transfer_nic_wait_ns: transfer_stats.nic_wait_ns,
             crashes: self.crashes,
             scale_ups: self.scale_ups,
             scale_downs: self.scale_downs,
@@ -532,11 +712,31 @@ impl Sim {
 
     /// Records a structured timeline entry at the current instant.
     fn mark(&mut self, kind: &str, replica: Option<usize>) {
+        self.mark_span(kind, replica, 0);
+    }
+
+    /// Records a timeline span starting now and lasting `dur_ns`
+    /// (`0` = instant event).
+    fn mark_span(&mut self, kind: &str, replica: Option<usize>, dur_ns: u64) {
         self.timeline.push(TimelineEvent {
             t_ns: self.now.as_ns(),
             kind: kind.to_string(),
             replica,
+            dur_ns,
         });
+    }
+
+    /// Records a loss, translating a shadow prefill back to its original
+    /// request (which dies with it — its KV never reached a decode replica).
+    fn lose(&mut self, id: u64) {
+        if is_shadow(id) {
+            let orig = public_id(id);
+            if self.disagg_waiting.remove(&orig).is_some() {
+                self.lost_ids.push(orig);
+            }
+        } else {
+            self.lost_ids.push(id);
+        }
     }
 
     fn routable_count(&self) -> usize {
@@ -561,6 +761,8 @@ impl Sim {
     fn has_work(&self) -> bool {
         !self.pending.is_empty()
             || !self.orphans.is_empty()
+            || !self.pending_transfers.is_empty()
+            || !self.disagg_waiting.is_empty()
             || self.replicas.iter().any(|r| {
                 !r.limbo.is_empty()
                     || r.actual == ReplicaState::Draining
@@ -600,21 +802,41 @@ impl Sim {
 
     // ------------------------------------------------------------- routing
 
-    /// Routes `req` among replicas the control plane believes routable.
-    /// If the chosen replica is actually down (an undetected crash), the
-    /// request falls into its limbo instead of an engine queue.
-    fn route_now(&mut self, req: Request, is_failover: bool) {
+    /// The role a request's next phase needs. Unified fleets place no
+    /// constraint; disaggregated ones send shadow prefills to prefill
+    /// replicas and everything else to decode replicas.
+    fn wanted_role(&self, id: u64) -> ReplicaRole {
+        match self.config.transfer.as_ref().and_then(|t| t.disaggregation) {
+            Some(_) if is_shadow(id) => ReplicaRole::Prefill,
+            Some(_) => ReplicaRole::Decode,
+            None => ReplicaRole::Unified,
+        }
+    }
+
+    /// Routes `req` among replicas the control plane believes routable for
+    /// the request's role. If the chosen replica is actually down (an
+    /// undetected crash), the request falls into its limbo instead of an
+    /// engine queue. Returns the request when no replica of the right role
+    /// is routable, so the caller can buffer or retry it.
+    fn route_now(&mut self, req: Request, is_failover: bool) -> Option<Request> {
+        let wanted = self.wanted_role(req.id);
         let (target, overlap) = {
             let views: Vec<ReplicaView<'_>> = self
                 .replicas
                 .iter()
-                .map(|r| ReplicaView::with_state(&r.engine, r.observed))
+                .map(|r| {
+                    let view = ReplicaView::with_state_and_role(&r.engine, r.observed, r.role);
+                    if r.role.serves(wanted) {
+                        view
+                    } else {
+                        view.masked()
+                    }
+                })
                 .collect();
-            assert!(
-                views.iter().any(|v| v.state().is_routable()),
-                "route_now called with no routable replica"
-            );
-            // The assert above guarantees a routable view, and every router
+            if !views.iter().any(|v| v.state().is_routable()) {
+                return Some(req);
+            }
+            // The check above guarantees a routable view, and every router
             // returns `Some` whenever one exists.
             let Some(target) = self.router.route(&req, &views) else {
                 panic!("router returned no replica despite a routable view");
@@ -633,13 +855,342 @@ impl Sim {
         if self.replicas[target].actual.is_routable() {
             if is_failover {
                 self.failovers += 1;
-                let recompute = req.prompt.total_tokens().saturating_sub(overlap);
-                self.refilled_prefill_tokens += recompute as u64;
+                if let Some(req) = self.try_migrate(target, overlap, req) {
+                    // No donor worth migrating from (or recompute wins):
+                    // the whole uncovered prompt refills cold.
+                    let recompute = req.prompt.total_tokens().saturating_sub(overlap);
+                    self.refilled_cold += recompute as u64;
+                    self.submit_to(target, req);
+                }
+            } else {
+                self.submit_to(target, req);
             }
-            self.submit_to(target, req);
         } else {
             self.replicas[target].limbo.push(req);
         }
+        None
+    }
+
+    /// Routes a fresh admission: directly in a unified fleet, or via a
+    /// shadow prefill on a prefill replica in a disaggregated one (the
+    /// original is held until the prefill's KV is handed off). Returns the
+    /// request when nothing can take it right now.
+    fn dispatch(&mut self, req: Request) -> Option<Request> {
+        let disagg = self
+            .config
+            .transfer
+            .as_ref()
+            .is_some_and(|t| t.disaggregation.is_some());
+        if !disagg {
+            return self.route_now(req, false);
+        }
+        let shadow = Request {
+            id: req.id | SHADOW_BIT,
+            arrival_s: req.arrival_s,
+            prompt: req.prompt.clone(),
+            decode_tokens: 1,
+        };
+        let origin = self.origin[&req.id];
+        self.origin.insert(shadow.id, origin);
+        if let Some(shadow) = self.route_now(shadow, false) {
+            // No prefill replica is routable; hand the original back.
+            self.origin.remove(&shadow.id);
+            return Some(req);
+        }
+        self.disagg_waiting.insert(req.id, req);
+        None
+    }
+
+    // ---------------------------------------------------------- kv movement
+
+    /// Block size of the per-replica KV caches (uniform across the fleet).
+    fn block_size(&self) -> usize {
+        self.replicas[0].engine.cache().block_size()
+    }
+
+    /// Failover hook: try to stream the best donor's warm prefix to the
+    /// failover target instead of recomputing it. Returns the request when
+    /// migration does not apply (caller recomputes cold); `None` means the
+    /// request is held until its transfer completes.
+    fn try_migrate(
+        &mut self,
+        target: usize,
+        target_overlap: usize,
+        req: Request,
+    ) -> Option<Request> {
+        let (migration, min_gain) = match self.config.transfer.as_ref() {
+            Some(t) => (t.migration, t.min_migration_tokens.max(1)),
+            None => return Some(req),
+        };
+        if !migration {
+            return Some(req);
+        }
+        let tokens = req.prompt.to_tokens();
+        // Donor: the routable replica holding the longest resident prefix.
+        let mut best: Option<(usize, usize)> = None;
+        for (j, r) in self.replicas.iter().enumerate() {
+            if j == target || !r.observed.is_routable() || !r.actual.is_routable() {
+                continue;
+            }
+            let overlap = r.engine.cache().prefix_overlap_tokens(&tokens);
+            if overlap > best.map_or(0, |(_, b)| b) {
+                best = Some((j, overlap));
+            }
+        }
+        let Some((donor, donor_overlap)) = best else {
+            return Some(req);
+        };
+        let gain = donor_overlap.saturating_sub(target_overlap);
+        if gain < min_gain {
+            return Some(req);
+        }
+        let block_size = self.block_size();
+        let bytes =
+            (gain / block_size) as u64 * kv_block_bytes(&self.config.engine.model, block_size);
+        let Some(plane) = self.plane.as_ref() else {
+            return Some(req);
+        };
+        // Migrate only when transfer-then-suffix-prefill beats recomputing
+        // the uncovered prompt right now on the target.
+        let total = req.prompt.total_tokens();
+        let finish = plane.estimate_finish(self.now, donor, target, bytes);
+        let cost = self.replicas[target].engine.cost_model();
+        let migrate_done =
+            finish.as_ns_f64() + cost.prefill_ns(total.saturating_sub(donor_overlap));
+        let recompute_done =
+            self.now.as_ns_f64() + cost.prefill_ns(total.saturating_sub(target_overlap));
+        if migrate_done >= recompute_done {
+            return Some(req);
+        }
+        let transfer = match self.plane.as_mut() {
+            Some(plane) => plane.begin(
+                self.now,
+                donor,
+                target,
+                bytes,
+                gain,
+                TransferKind::PrefixMigration,
+            ),
+            None => return Some(req),
+        };
+        self.queue
+            .push(transfer.finish, FleetEvent::TransferDone(transfer.id));
+        let dur = transfer.finish.saturating_sub(self.now).as_ns();
+        let req_id = req.id;
+        self.pending_transfers.insert(
+            transfer.id,
+            PendingTransfer::Migration { req, donor_overlap },
+        );
+        self.mark_span("transfer", Some(target), dur);
+        self.event(format!(
+            "migrate {gain} warm prefix tokens r{donor} -> r{target} for request {req_id}"
+        ));
+        None
+    }
+
+    /// A shadow prefill finished on `src`: stream the prompt's KV to a
+    /// decode replica and hold the original request until the bytes land.
+    fn begin_handoff(&mut self, src: usize, shadow_id: u64) {
+        let Some(req) = self.disagg_waiting.remove(&public_id(shadow_id)) else {
+            return; // the original was already lost
+        };
+        let wanted = ReplicaRole::Decode;
+        let target = {
+            let views: Vec<ReplicaView<'_>> = self
+                .replicas
+                .iter()
+                .map(|r| {
+                    let view = ReplicaView::with_state_and_role(&r.engine, r.observed, r.role);
+                    if r.role.serves(wanted) && r.actual.is_routable() {
+                        view
+                    } else {
+                        view.masked()
+                    }
+                })
+                .collect();
+            if !views.iter().any(|v| v.state().is_routable()) {
+                // No decode replica up: the KV is stranded on the prefill
+                // side; the original reroutes (and re-prefills) later.
+                self.orphans.push(req);
+                return;
+            }
+            match self.router.route(&req, &views) {
+                Some(t) if views[t].state().is_routable() => t,
+                _ => {
+                    self.orphans.push(req);
+                    return;
+                }
+            }
+        };
+        let block_size = self.block_size();
+        let tokens = req.prompt.to_tokens();
+        let aligned = tokens.len() / block_size * block_size;
+        if aligned == 0 {
+            // Nothing block-resident to move; the decode side re-prefills
+            // the (sub-block) prompt itself.
+            self.disagg_handoffs += 1;
+            self.submit_to(target, req);
+            return;
+        }
+        let bytes =
+            (aligned / block_size) as u64 * kv_block_bytes(&self.config.engine.model, block_size);
+        let transfer = match self.plane.as_mut() {
+            Some(plane) => plane.begin(
+                self.now,
+                src,
+                target,
+                bytes,
+                aligned,
+                TransferKind::DisaggHandoff,
+            ),
+            None => {
+                self.disagg_handoffs += 1;
+                self.submit_to(target, req);
+                return;
+            }
+        };
+        self.queue
+            .push(transfer.finish, FleetEvent::TransferDone(transfer.id));
+        let dur = transfer.finish.saturating_sub(self.now).as_ns();
+        let req_id = req.id;
+        self.pending_transfers
+            .insert(transfer.id, PendingTransfer::Handoff { req });
+        self.mark_span("transfer", Some(target), dur);
+        self.event(format!(
+            "handoff {aligned} prefill tokens r{src} -> r{target} for request {req_id}"
+        ));
+    }
+
+    /// A transfer's last byte arrived: ingest at the destination and release
+    /// whatever was held on it.
+    fn finish_transfer(&mut self, id: u64) {
+        let done = match self.plane.as_mut() {
+            Some(plane) => plane.complete(id),
+            None => None,
+        };
+        let (Some(done), Some(pending)) = (done, self.pending_transfers.remove(&id)) else {
+            return;
+        };
+        let dst = done.dst;
+        let alive =
+            self.replicas[dst].observed.is_routable() && self.replicas[dst].actual.is_routable();
+        if !alive {
+            // The destination died (or started draining) while bytes were
+            // in flight; the payload is lost with it.
+            self.mark("transfer-lost", Some(dst));
+            match pending {
+                PendingTransfer::Migration { req, .. } | PendingTransfer::Handoff { req } => {
+                    self.event(format!(
+                        "transfer to replica {dst} lost; request {} back to orphans",
+                        req.id
+                    ));
+                    self.orphans.push(req);
+                }
+                PendingTransfer::Prewarm { .. } => {
+                    self.event(format!("prewarm transfer to replica {dst} lost"));
+                }
+            }
+            return;
+        }
+        match pending {
+            PendingTransfer::Migration { req, donor_overlap } => {
+                let tokens = req.prompt.to_tokens();
+                let covered = donor_overlap.min(tokens.len());
+                let report = self.replicas[dst].engine.ingest_prefix(&tokens[..covered]);
+                let total = req.prompt.total_tokens();
+                let refill = total.saturating_sub(report.covered_tokens);
+                // Conservation: a block is never both migrated and
+                // recomputed — imported + refilled never exceeds the prompt.
+                assert!(
+                    report.imported_tokens + refill <= total,
+                    "migrated and recomputed token counts overlap"
+                );
+                self.migrations += 1;
+                self.migrated_prefix_tokens += report.imported_tokens as u64;
+                self.refilled_after_partial_migration += refill as u64;
+                self.mark("migrate-ingest", Some(dst));
+                self.event(format!(
+                    "replica {dst} ingested {} migrated tokens; request {} resumes ({refill} to refill)",
+                    report.imported_tokens, req.id
+                ));
+                self.submit_to(dst, req);
+            }
+            PendingTransfer::Prewarm { tokens } => {
+                let report = self.replicas[dst].engine.ingest_prefix(&tokens);
+                self.prewarm_transfers += 1;
+                self.migrated_prefix_tokens += report.imported_tokens as u64;
+                self.mark("prewarm-ingest", Some(dst));
+                self.event(format!(
+                    "replica {dst} prewarmed with {} tokens",
+                    report.imported_tokens
+                ));
+            }
+            PendingTransfer::Handoff { req } => {
+                let tokens = req.prompt.to_tokens();
+                let report = self.replicas[dst].engine.ingest_prefix(&tokens);
+                self.disagg_handoffs += 1;
+                self.migrated_prefix_tokens += report.imported_tokens as u64;
+                self.mark("handoff-ingest", Some(dst));
+                self.event(format!(
+                    "replica {dst} ingested {} handoff tokens; request {} enters decode",
+                    report.imported_tokens, req.id
+                ));
+                self.submit_to(dst, req);
+            }
+        }
+    }
+
+    /// Revive/scale-up hook: push the backlog's hottest warm prefix to the
+    /// cold replica before traffic lands on it.
+    fn maybe_prewarm(&mut self, dst: usize) {
+        let (min_tokens, candidates) = match self.config.transfer.as_ref() {
+            Some(t) if t.migration && t.prewarm_on_revive => {
+                (t.min_migration_tokens.max(1), t.prewarm_candidates)
+            }
+            _ => return,
+        };
+        let mut best: Option<(usize, usize, Vec<kv_cache::Token>)> = None;
+        for req in self
+            .pending
+            .iter()
+            .chain(self.orphans.iter())
+            .take(candidates)
+        {
+            let tokens = req.prompt.to_tokens();
+            for (j, r) in self.replicas.iter().enumerate() {
+                if j == dst || !r.observed.is_routable() || !r.actual.is_routable() {
+                    continue;
+                }
+                let overlap = r.engine.cache().prefix_overlap_tokens(&tokens);
+                if overlap >= min_tokens && overlap > best.as_ref().map_or(0, |(_, b, _)| *b) {
+                    best = Some((j, overlap, tokens.clone()));
+                }
+            }
+        }
+        let Some((donor, overlap, tokens)) = best else {
+            return;
+        };
+        let block_size = self.block_size();
+        let blocks = overlap / block_size;
+        if blocks == 0 {
+            return;
+        }
+        let bytes = blocks as u64 * kv_block_bytes(&self.config.engine.model, block_size);
+        let transfer = match self.plane.as_mut() {
+            Some(plane) => plane.begin(self.now, donor, dst, bytes, overlap, TransferKind::Prewarm),
+            None => return,
+        };
+        self.queue
+            .push(transfer.finish, FleetEvent::TransferDone(transfer.id));
+        let dur = transfer.finish.saturating_sub(self.now).as_ns();
+        self.pending_transfers.insert(
+            transfer.id,
+            PendingTransfer::Prewarm {
+                tokens: tokens[..overlap].to_vec(),
+            },
+        );
+        self.mark_span("transfer", Some(dst), dur);
+        self.event(format!("prewarm {overlap} tokens r{donor} -> r{dst}"));
     }
 
     fn submit_to(&mut self, i: usize, mut req: Request) {
@@ -666,7 +1217,9 @@ impl Sim {
                 return;
             }
         }
-        self.route_now(req, false);
+        if let Some(req) = self.dispatch(req) {
+            self.buffer_or_shed(req);
+        }
     }
 
     fn buffer_or_shed(&mut self, req: Request) {
@@ -698,7 +1251,12 @@ impl Sim {
             let Some(req) = self.pending.pop_front() else {
                 return;
             };
-            self.route_now(req, false);
+            if let Some(req) = self.dispatch(req) {
+                // Routable replicas exist but none serves this request's
+                // role right now; put it back and stop draining.
+                self.pending.push_front(req);
+                return;
+            }
         }
     }
 
@@ -790,6 +1348,7 @@ impl Sim {
             }
         }
         self.note_peak();
+        self.maybe_prewarm(i);
     }
 
     fn restore_speed(&mut self, i: usize) {
@@ -817,7 +1376,11 @@ impl Sim {
         if self.config.failover && !self.orphans.is_empty() && self.routable_count() > 0 {
             let orphans = std::mem::take(&mut self.orphans);
             for req in orphans {
-                self.route_now(req, true);
+                if let Some(req) = self.route_now(req, true) {
+                    // No routable replica of the right role yet; retry at a
+                    // later tick.
+                    self.orphans.push(req);
+                }
             }
         }
         self.drain_pending();
@@ -831,9 +1394,16 @@ impl Sim {
             .autoscaler
             .as_ref()
             .map_or(64, |a| a.ttft_window.max(1));
-        for r in &mut self.replicas {
+        let mut finished_shadows: Vec<(usize, u64)> = Vec::new();
+        for (i, r) in self.replicas.iter_mut().enumerate() {
             let completed = r.engine.completed_requests();
             for m in &completed[r.completed_seen..] {
+                if is_shadow(m.request_id) {
+                    // Shadow prefills don't enter the TTFT window (their
+                    // originals will); they trigger the KV handoff below.
+                    finished_shadows.push((i, m.request_id));
+                    continue;
+                }
                 let submit = self.submit[&m.request_id];
                 let origin = self.origin[&m.request_id];
                 let corrected_ms = (m.ttft_ns + (submit - origin).as_ns_f64()) / 1e6;
@@ -843,6 +1413,9 @@ impl Sim {
         }
         while self.ttft_window.len() > cap {
             self.ttft_window.pop_front();
+        }
+        for (src, shadow_id) in finished_shadows {
+            self.begin_handoff(src, shadow_id);
         }
     }
 
@@ -900,8 +1473,18 @@ impl Sim {
         if want_up && routable + provisioning < a.max_replicas {
             let ready = self.now + SimDuration::from_secs_f64(a.provision_delay_s);
             let backend = (self.backend_factory)();
-            self.replicas
-                .push(Replica::provisioning(&self.config.engine, backend, ready));
+            let mut grown = Replica::provisioning(&self.config.engine, backend, ready);
+            // Disaggregated fleets grow the decode tier: decode is the
+            // capacity-bound phase.
+            if self
+                .config
+                .transfer
+                .as_ref()
+                .is_some_and(|t| t.disaggregation.is_some())
+            {
+                grown.role = ReplicaRole::Decode;
+            }
+            self.replicas.push(grown);
             let new_index = self.replicas.len() - 1;
             self.queue.push(ready, FleetEvent::Restart);
             self.scale_ups += 1;

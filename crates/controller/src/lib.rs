@@ -25,6 +25,12 @@
 //! * **Admission control** ([`AdmissionConfig`]) — queues load at
 //!   saturation and sheds past the buffer, so overload degrades goodput
 //!   ([`ControlResult::goodput`]) instead of latency for everyone.
+//! * **KV movement** ([`TransferConfig`]) — a cross-replica transfer plane
+//!   (the `kv-transfer` crate) the controller uses for warm-prefix
+//!   migration on failover, speculative prewarm on revive/scale-up, and
+//!   prefill/decode disaggregation ([`DisaggConfig`]): shadow prefills run
+//!   on a prefill tier and stream finished KV to the decode tier before
+//!   decode admission.
 //!
 //! Every offered request is accounted for in exactly one of
 //! `completed / shed / lost / unfinished` — nothing is silently dropped.
@@ -65,6 +71,9 @@ mod metrics;
 mod trace;
 
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RandomFaultConfig};
-pub use fleet::{AdmissionConfig, AutoscalerConfig, ControllerConfig, FleetController};
+pub use fleet::{
+    AdmissionConfig, AutoscalerConfig, ControllerConfig, DisaggConfig, FleetController,
+    TransferConfig,
+};
 pub use metrics::{window_stats, ControlEvent, ControlResult, TimelineEvent, WindowStats};
 pub use trace::{result_chrome_json, timeline_chrome_json};

@@ -25,11 +25,16 @@ pub struct TimelineEvent {
     pub t_ns: u64,
     /// Event kind: `"crash"`, `"detect"`, `"revive"`, `"slowdown"`,
     /// `"restore-speed"`, `"tick"`, `"scale-up"`, `"scale-down"`,
-    /// `"retire"`.
+    /// `"retire"`, `"transfer"`, `"migrate-ingest"`, `"prewarm-ingest"`,
+    /// `"handoff-ingest"`, `"transfer-lost"`.
     pub kind: String,
     /// The replica the event concerns, if any (`None` for fleet-wide
     /// events such as ticks).
     pub replica: Option<usize>,
+    /// Span length in nanoseconds: `0` for instant control actions,
+    /// positive for extended ones (KV transfers occupy their wire time).
+    /// Spans render as complete events in the Chrome trace export.
+    pub dur_ns: u64,
 }
 
 /// Result of one controlled fleet run.
@@ -66,8 +71,31 @@ pub struct ControlResult {
     pub failovers: usize,
     /// Prefill tokens recomputed because failover landed a request on a
     /// replica without its warm prefix — the PAT-specific cost of losing
-    /// a warm cache.
+    /// a warm cache. Always `refilled_cold + refilled_after_partial_migration`.
     pub refilled_prefill_tokens: u64,
+    /// Refilled tokens for failovers that got no migrated KV at all (the
+    /// whole uncovered prompt recomputed cold).
+    pub refilled_cold: u64,
+    /// Refilled tokens for failovers whose prefix was partially covered by
+    /// a KV migration — only the uncovered suffix recomputed.
+    pub refilled_after_partial_migration: u64,
+    /// Prompt tokens whose KV arrived over the transfer plane (migration,
+    /// prewarm, and disaggregation-handoff imports) instead of being
+    /// recomputed. Disjoint from the refilled counts: a block is never
+    /// both migrated and recomputed.
+    pub migrated_prefix_tokens: u64,
+    /// Failover requests whose prefix was (partially) served by migration.
+    pub migrations: usize,
+    /// Speculative prefix pushes to replicas that (re)joined the fleet.
+    pub prewarm_transfers: usize,
+    /// Prefill→decode KV handoffs completed in disaggregated mode.
+    pub disagg_handoffs: usize,
+    /// KV transfers completed on the movement plane (all kinds).
+    pub kv_transfers: u64,
+    /// Bytes moved by completed KV transfers.
+    pub kv_transfer_bytes: u64,
+    /// Time completed transfers spent queued behind busy NICs, ns.
+    pub kv_transfer_nic_wait_ns: u64,
     /// Crashes injected (and actually applied).
     pub crashes: usize,
     /// Autoscaler scale-up decisions.
@@ -178,6 +206,15 @@ mod tests {
             slo_ttft_ms,
             failovers: 0,
             refilled_prefill_tokens: 0,
+            refilled_cold: 0,
+            refilled_after_partial_migration: 0,
+            migrated_prefix_tokens: 0,
+            migrations: 0,
+            prewarm_transfers: 0,
+            disagg_handoffs: 0,
+            kv_transfers: 0,
+            kv_transfer_bytes: 0,
+            kv_transfer_nic_wait_ns: 0,
             crashes: 0,
             scale_ups: 0,
             scale_downs: 0,

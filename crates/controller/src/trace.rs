@@ -3,9 +3,10 @@
 //! Converts a [`ControlResult`]'s structured [`TimelineEvent`] stream into
 //! the Trace Event Format consumed by `chrome://tracing` and
 //! [Perfetto](https://ui.perfetto.dev): one instant event (`ph: "i"`) per
-//! control action, one track per replica plus a fleet-wide track for ticks
-//! and scaling decisions. Useful for seeing crash → detect → failover →
-//! revive sequences laid out on the virtual clock.
+//! control action — or a complete event (`ph: "X"`) when the entry carries a
+//! duration, as KV transfers do — one track per replica plus a fleet-wide
+//! track for ticks and scaling decisions. Useful for seeing crash → detect →
+//! transfer → failover → revive sequences laid out on the virtual clock.
 
 use crate::metrics::{ControlResult, TimelineEvent};
 use sim_core::SimTime;
@@ -32,16 +33,30 @@ pub fn timeline_chrome_json(timeline: &[TimelineEvent]) -> String {
                 Some(replica) => (0, replica),
                 None => (1, 0),
             };
-            format!(
-                concat!(
-                    "{{\"name\":{},\"cat\":\"control\",\"ph\":\"i\",\"s\":\"t\",",
-                    "\"ts\":{:.3},\"pid\":{},\"tid\":{}}}"
-                ),
-                json_string(&event.kind),
-                SimTime::from_ns(event.t_ns).as_us_f64(),
-                pid,
-                tid,
-            )
+            if event.dur_ns > 0 {
+                format!(
+                    concat!(
+                        "{{\"name\":{},\"cat\":\"control\",\"ph\":\"X\",",
+                        "\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{}}}"
+                    ),
+                    json_string(&event.kind),
+                    SimTime::from_ns(event.t_ns).as_us_f64(),
+                    SimTime::from_ns(event.dur_ns).as_us_f64(),
+                    pid,
+                    tid,
+                )
+            } else {
+                format!(
+                    concat!(
+                        "{{\"name\":{},\"cat\":\"control\",\"ph\":\"i\",\"s\":\"t\",",
+                        "\"ts\":{:.3},\"pid\":{},\"tid\":{}}}"
+                    ),
+                    json_string(&event.kind),
+                    SimTime::from_ns(event.t_ns).as_us_f64(),
+                    pid,
+                    tid,
+                )
+            }
         })
         .collect();
     format!("[{}]", events.join(","))
@@ -79,11 +94,13 @@ mod tests {
                 t_ns: 2_000_000_000,
                 kind: "crash".into(),
                 replica: Some(1),
+                dur_ns: 0,
             },
             TimelineEvent {
                 t_ns: 2_500_000_000,
                 kind: "tick".into(),
                 replica: None,
+                dur_ns: 0,
             },
         ]
     }
@@ -103,6 +120,22 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn spans_render_as_complete_events() {
+        let json = timeline_chrome_json(&[TimelineEvent {
+            t_ns: 1_000_000,
+            kind: "transfer".into(),
+            replica: Some(2),
+            dur_ns: 250_000,
+        }]);
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"dur\":250.000"), "{json}");
+        assert!(
+            !json.contains("\"s\":\"t\""),
+            "complete events carry no scope"
+        );
     }
 
     #[test]

@@ -480,3 +480,181 @@ proptest::proptest! {
         prop_assert_eq!(timeline_1t, timeline_4t, "timelines diverge across thread counts");
     }
 }
+
+// ------------------------------------------------------------ kv movement
+
+use controller::TransferConfig;
+use kv_transfer::{FleetTopology, LinkSpec};
+
+fn migration_config(replicas: usize, link: LinkSpec) -> ControllerConfig {
+    let mut config = ControllerConfig::managed(replicas, engine_config());
+    config.transfer = Some(TransferConfig::migration(FleetTopology::uniform(
+        replicas, link,
+    )));
+    config
+}
+
+/// The tentpole claim at test scale: under crashes, warm-prefix migration
+/// strictly reduces the prefill tokens recomputed on failover, and the
+/// refill split plus the conservation invariant hold.
+///
+/// The scenario makes migration matter: replica 0 crashes and revives
+/// *cold*, then replica 1 crashes — its orphans land on the cold replica 0
+/// (least outstanding), which lacks the warm tool prefixes that the
+/// untouched replica 2 still holds and can donate.
+#[test]
+fn migration_reduces_refilled_prefill_under_a_crash() {
+    let requests = trace(8.0, 12.0, 11);
+    let faults = || FaultPlan::scripted(vec![crash(2.0, 0, Some(2.0)), crash(4.26, 1, Some(6.0))]);
+    let cold = FleetController::with_lazy_pat(
+        ControllerConfig::managed(3, engine_config()),
+        Box::new(LeastOutstanding::new()),
+        faults(),
+    )
+    .run(&requests);
+    let migrated = FleetController::with_lazy_pat(
+        migration_config(3, LinkSpec::rdma_200g()),
+        Box::new(LeastOutstanding::new()),
+        faults(),
+    )
+    .run(&requests);
+    assert_conservation(&requests, &migrated);
+    assert!(migrated.failovers > 0, "the crash stranded nothing");
+    assert!(
+        migrated.migrations > 0,
+        "no migration triggered: {:?}",
+        migrated.events
+    );
+    assert!(migrated.migrated_prefix_tokens > 0);
+    assert!(
+        migrated.refilled_prefill_tokens < cold.refilled_prefill_tokens,
+        "migration did not reduce refill: {} !< {}",
+        migrated.refilled_prefill_tokens,
+        cold.refilled_prefill_tokens
+    );
+    // The refill split always reconstitutes the total, and a plain managed
+    // fleet never records a partial-migration refill.
+    assert_eq!(
+        migrated.refilled_prefill_tokens,
+        migrated.refilled_cold + migrated.refilled_after_partial_migration
+    );
+    assert_eq!(cold.refilled_after_partial_migration, 0);
+    assert_eq!(cold.migrated_prefix_tokens, 0);
+    assert_eq!(cold.kv_transfers, 0);
+    assert!(migrated.kv_transfers >= migrated.migrations as u64);
+    assert!(migrated.kv_transfer_bytes > 0);
+    assert_eq!(migrated.lost, 0);
+    // Transfers occupy wire time: they appear as spans on the timeline and
+    // as complete events in the Chrome export.
+    assert!(migrated
+        .timeline
+        .iter()
+        .any(|e| e.kind == "transfer" && e.dur_ns > 0));
+    assert!(migrated.timeline.iter().any(|e| e.kind == "migrate-ingest"));
+    assert!(controller::result_chrome_json(&migrated).contains("\"ph\":\"X\""));
+}
+
+/// A zero-latency, infinite-bandwidth link makes migration a free warm
+/// cache: transfers finish at their request instant, never queue on a NIC,
+/// and render as zero-length spans.
+#[test]
+fn instant_links_make_migration_free_and_waitless() {
+    let requests = trace(8.0, 12.0, 11);
+    let faults = FaultPlan::scripted(vec![crash(2.0, 0, Some(2.0)), crash(4.26, 1, Some(6.0))]);
+    let result = FleetController::with_lazy_pat(
+        migration_config(3, LinkSpec::instant()),
+        Box::new(LeastOutstanding::new()),
+        faults,
+    )
+    .run(&requests);
+    assert_conservation(&requests, &result);
+    assert!(result.migrations > 0, "no migration: {:?}", result.events);
+    assert_eq!(result.kv_transfer_nic_wait_ns, 0);
+    assert!(result
+        .timeline
+        .iter()
+        .filter(|e| e.kind == "transfer")
+        .all(|e| e.dur_ns == 0));
+}
+
+/// Disaggregated mode: every request prefills on the prefill tier, its KV
+/// streams to a decode replica, and no shadow bookkeeping leaks into the
+/// public accounting.
+#[test]
+fn disaggregated_fleet_hands_off_kv_and_completes() {
+    let requests = trace(6.0, 8.0, 19);
+    let mut config = ControllerConfig::managed(4, engine_config());
+    config.transfer = Some(TransferConfig::disaggregated(
+        FleetTopology::uniform(4, LinkSpec::rdma_200g()),
+        2,
+    ));
+    let result = FleetController::with_lazy_pat(
+        config,
+        Box::new(LeastOutstanding::new()),
+        FaultPlan::none(),
+    )
+    .run(&requests);
+    assert_conservation(&requests, &result);
+    assert!(
+        result.disagg_handoffs > 0,
+        "no handoffs: {:?}",
+        result.events
+    );
+    assert_eq!(result.lost, 0);
+    assert_eq!(result.shed, 0);
+    assert!(
+        result.completed == requests.len(),
+        "completed {}/{} (unfinished {})",
+        result.completed,
+        requests.len(),
+        result.unfinished
+    );
+    let shadow_bit = 1u64 << 63;
+    assert!(result
+        .per_request
+        .iter()
+        .all(|m| m.request_id & shadow_bit == 0));
+    assert!(result
+        .lost_ids
+        .iter()
+        .chain(result.shed_ids.iter())
+        .all(|id| id & shadow_bit == 0));
+    assert!(result.timeline.iter().any(|e| e.kind == "handoff-ingest"));
+    assert!(result.kv_transfers >= result.disagg_handoffs as u64);
+}
+
+/// Transfer-plane runs stay bit-deterministic: same scenario serialized
+/// after runs on 1 and 4 worker threads and an in-process rerun must be
+/// byte-identical, with and without disaggregation.
+#[test]
+fn transfer_runs_are_deterministic_across_threads_and_reruns() {
+    let requests = trace(7.0, 8.0, 41);
+    let run = |threads: usize, disagg: bool| {
+        sim_core::par::set_thread_override(Some(threads));
+        let mut config = ControllerConfig::managed(4, engine_config());
+        config.transfer = Some(if disagg {
+            TransferConfig::disaggregated(FleetTopology::uniform(4, LinkSpec::ethernet_25g()), 2)
+        } else {
+            TransferConfig::migration(FleetTopology::uniform(4, LinkSpec::ethernet_25g()))
+        });
+        let faults = FaultPlan::scripted(vec![crash(2.0, if disagg { 3 } else { 0 }, Some(3.0))]);
+        let result =
+            FleetController::with_lazy_pat(config, Box::new(LeastOutstanding::new()), faults)
+                .run(&requests);
+        sim_core::par::set_thread_override(None);
+        (
+            serde_json::to_string(&result).expect("ControlResult serializes"),
+            controller::result_chrome_json(&result),
+        )
+    };
+    for disagg in [false, true] {
+        let one = run(1, disagg);
+        let four = run(4, disagg);
+        let again = run(1, disagg);
+        assert_eq!(
+            one, four,
+            "thread count changed a transfer run (disagg: {disagg})"
+        );
+        assert_eq!(one, again, "rerun diverged (disagg: {disagg})");
+    }
+}

@@ -31,6 +31,20 @@ pub struct CacheStats {
     pub miss_tokens: u64,
     /// Blocks evicted under memory pressure.
     pub evicted_blocks: u64,
+    /// Tokens made resident by KV import ([`CacheManager::ingest_prefix`])
+    /// rather than computed locally. Not counted as hits or misses.
+    pub imported_tokens: u64,
+}
+
+/// Outcome of one [`CacheManager::ingest_prefix`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Leading tokens now cache-resident (imported + already present).
+    pub covered_tokens: usize,
+    /// Tokens newly imported by this call (the bytes actually on the wire).
+    pub imported_tokens: usize,
+    /// Blocks newly imported by this call.
+    pub imported_blocks: usize,
 }
 
 impl CacheStats {
@@ -145,6 +159,65 @@ impl CacheManager {
             parent_hash = h;
         }
         matched
+    }
+
+    /// Export-side probe: the physical blocks a donor would stream for the
+    /// cache-resident prefix of `tokens`, in prefix order. Like
+    /// [`CacheManager::prefix_overlap_tokens`] this is read-only — recency,
+    /// refcounts and statistics are untouched.
+    pub fn resident_prefix_blocks(&self, tokens: &[Token]) -> Vec<BlockId> {
+        let mut parent_hash = 0u64;
+        let mut blocks = Vec::new();
+        for chunk in tokens.chunks_exact(self.block_size) {
+            let h = Self::chain_hash(parent_hash, chunk);
+            let Some(cached) = self.by_hash.get(&h) else {
+                break;
+            };
+            blocks.push(cached.block);
+            parent_hash = h;
+        }
+        blocks
+    }
+
+    /// Import side of KV migration: makes the full-block prefix of `tokens`
+    /// cache-resident *without* computing it, as if the blocks' contents had
+    /// arrived over the wire from a donor replica.
+    ///
+    /// Already-resident blocks are refreshed, not re-imported, so a block is
+    /// never both migrated and recomputed. Newly imported blocks are held by
+    /// the cache alone (evictable under pressure, like any warm prefix).
+    /// Allocation failure stops the import at the longest prefix that fit;
+    /// the report says how far it got. Hit/miss statistics are *not* touched
+    /// — imported tokens are accounted separately so prefill-discount
+    /// accounting stays honest.
+    pub fn ingest_prefix(&mut self, tokens: &[Token]) -> IngestReport {
+        let mut report = IngestReport::default();
+        let mut parent_hash = 0u64;
+        for chunk in tokens.chunks_exact(self.block_size) {
+            let h = Self::chain_hash(parent_hash, chunk);
+            self.clock += 1;
+            if let Some(cached) = self.by_hash.get_mut(&h) {
+                cached.last_use = self.clock;
+            } else {
+                let Ok(block) = self.allocate_with_eviction() else {
+                    break;
+                };
+                self.by_hash.insert(
+                    h,
+                    CachedBlock {
+                        block,
+                        last_use: self.clock,
+                    },
+                );
+                self.hash_of_block.insert(block, h);
+                self.stats.imported_tokens += self.block_size as u64;
+                report.imported_tokens += self.block_size;
+                report.imported_blocks += 1;
+            }
+            report.covered_tokens += self.block_size;
+            parent_hash = h;
+        }
+        report
     }
 
     /// Chain hashes of every cache-resident shareable block, in ascending
@@ -448,7 +521,7 @@ mod tests {
     #[test]
     fn eviction_is_deterministic_across_runs() {
         let drive = || {
-            let mut cache = CacheManager::new(8, 16);
+            let mut cache = CacheManager::new(12, 16);
             let mut tables = Vec::new();
             for i in 0..6u32 {
                 let t = cache
@@ -478,6 +551,79 @@ mod tests {
         let mut sorted = a.1.clone();
         sorted.sort_unstable();
         assert_eq!(a.1, sorted, "resident hashes enumerate in sorted order");
+    }
+
+    #[test]
+    fn ingest_makes_prefix_resident_without_hit_miss_accounting() {
+        let mut cache = CacheManager::new(64, 16);
+        let tokens: Vec<Token> = (0..40).collect();
+        let report = cache.ingest_prefix(&tokens);
+        // Only the two full blocks are importable; the 8-token tail is not.
+        assert_eq!(report.covered_tokens, 32);
+        assert_eq!(report.imported_tokens, 32);
+        assert_eq!(report.imported_blocks, 2);
+        assert_eq!(cache.stats().hit_blocks + cache.stats().miss_blocks, 0);
+        assert_eq!(cache.stats().imported_tokens, 32);
+        // A subsequent insert hits the imported prefix like any warm one.
+        let table = cache.insert_sequence(&tokens).unwrap();
+        assert_eq!(cache.stats().hit_blocks, 2);
+        cache.free_sequence(&table).unwrap();
+    }
+
+    #[test]
+    fn ingest_is_idempotent_and_never_double_imports() {
+        let mut cache = CacheManager::new(64, 16);
+        let tokens: Vec<Token> = (0..64).collect();
+        let warm = cache.insert_sequence(&tokens[..32]).unwrap();
+        let report = cache.ingest_prefix(&tokens);
+        // The two locally computed blocks are covered, not re-imported.
+        assert_eq!(report.covered_tokens, 64);
+        assert_eq!(report.imported_tokens, 32);
+        let again = cache.ingest_prefix(&tokens);
+        assert_eq!(again.imported_tokens, 0, "re-ingest imports nothing");
+        assert_eq!(again.covered_tokens, 64);
+        cache.free_sequence(&warm).unwrap();
+    }
+
+    #[test]
+    fn ingest_stops_at_longest_prefix_that_fits() {
+        let mut cache = CacheManager::new(2, 16);
+        let _held = cache
+            .insert_sequence(&(1000..1032).collect::<Vec<_>>())
+            .unwrap();
+        let report = cache.ingest_prefix(&(0..64).collect::<Vec<_>>());
+        assert_eq!(report.imported_tokens, 0, "pool full, nothing evictable");
+        assert_eq!(report.covered_tokens, 0);
+    }
+
+    #[test]
+    fn ingested_blocks_are_evictable() {
+        let mut cache = CacheManager::new(8, 16);
+        cache.ingest_prefix(&(0..64).collect::<Vec<_>>());
+        assert_eq!(cache.evictable_blocks(), 4);
+        // Pressure evicts imported blocks like any cached prefix.
+        let t = cache
+            .insert_sequence(&(500..628).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(t.blocks().len(), 8);
+        assert!(cache.stats().evicted_blocks >= 4);
+    }
+
+    #[test]
+    fn resident_prefix_blocks_enumerates_the_donor_payload() {
+        let mut cache = CacheManager::new(64, 16);
+        let tokens: Vec<Token> = (0..48).collect();
+        let table = cache.insert_sequence(&tokens).unwrap();
+        let exported = cache.resident_prefix_blocks(&tokens);
+        assert_eq!(exported, table.blocks().to_vec());
+        // Divergent probe exports only the matching prefix.
+        let mut other: Vec<Token> = tokens[..16].to_vec();
+        other.extend(900..932);
+        assert_eq!(cache.resident_prefix_blocks(&other), table.blocks()[..1]);
+        assert!(cache
+            .resident_prefix_blocks(&(700..732).collect::<Vec<_>>())
+            .is_empty());
+        cache.free_sequence(&table).unwrap();
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Point-to-point link model and fleet topology.
+
+use sim_core::SimDuration;
+use std::collections::BTreeMap;
+
+/// A directed point-to-point link between two replicas.
+///
+/// Transfer time follows the classic latency/bandwidth model
+/// `t = latency + bytes / bandwidth`, rounded *up* to the next nanosecond so
+/// a non-empty transfer over a finite link never completes instantaneously.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation plus software latency of the link.
+    pub latency: SimDuration,
+    /// Sustained bandwidth in bytes per second. `f64::INFINITY` models an
+    /// idealized link whose transfers cost only `latency`.
+    pub bytes_per_s: f64,
+}
+
+impl LinkSpec {
+    /// A link with the given latency and bandwidth (bytes per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_s` is not positive.
+    pub fn new(latency: SimDuration, bytes_per_s: f64) -> Self {
+        assert!(bytes_per_s > 0.0, "link bandwidth must be positive");
+        LinkSpec {
+            latency,
+            bytes_per_s,
+        }
+    }
+
+    /// An idealized zero-latency, infinite-bandwidth link. Any transfer over
+    /// it completes in zero simulated time — migration over this link is
+    /// equivalent to a free warm cache at the destination.
+    pub fn instant() -> Self {
+        LinkSpec {
+            latency: SimDuration::ZERO,
+            bytes_per_s: f64::INFINITY,
+        }
+    }
+
+    /// A 200 Gbit/s RDMA NIC (25 GB/s) with 10 µs latency — the intra-rack
+    /// default for GPU fleets.
+    pub fn rdma_200g() -> Self {
+        LinkSpec::new(SimDuration::from_ns(10_000), 25e9)
+    }
+
+    /// A 25 Gbit/s datacenter Ethernet link (3.125 GB/s) with 50 µs latency
+    /// — a cross-rack worst case.
+    pub fn ethernet_25g() -> Self {
+        LinkSpec::new(SimDuration::from_ns(50_000), 3.125e9)
+    }
+
+    /// Time to move `bytes` over this link: `latency + bytes / bandwidth`,
+    /// ceiling-rounded to integer nanoseconds.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let wire_ns = bytes as f64 / self.bytes_per_s * 1e9;
+        self.latency + SimDuration::from_ns_f64_ceil(wire_ns)
+    }
+}
+
+/// Link topology of a fleet: a uniform default link with optional per-pair
+/// overrides, keyed by `(src, dst)` replica index.
+///
+/// Replica indices beyond `num_replicas` are still answered (autoscaled
+/// replicas join with the default link), so the topology never needs
+/// resizing mid-run.
+#[derive(Debug, Clone)]
+pub struct FleetTopology {
+    num_replicas: usize,
+    default_link: LinkSpec,
+    overrides: BTreeMap<(usize, usize), LinkSpec>,
+}
+
+impl FleetTopology {
+    /// A topology where every ordered replica pair uses `link`.
+    pub fn uniform(num_replicas: usize, link: LinkSpec) -> Self {
+        FleetTopology {
+            num_replicas,
+            default_link: link,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the link used for transfers from `src` to `dst`.
+    pub fn set_link(&mut self, src: usize, dst: usize, link: LinkSpec) {
+        self.overrides.insert((src, dst), link);
+    }
+
+    /// The link used for transfers from `src` to `dst`.
+    pub fn link(&self, src: usize, dst: usize) -> LinkSpec {
+        self.overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Number of replicas the topology was declared with (informational;
+    /// higher indices fall back to the default link).
+    pub fn num_replicas(&self) -> usize {
+        self.num_replicas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_wire_time() {
+        let link = LinkSpec::new(SimDuration::from_ns(10_000), 1e9);
+        // 1 GB/s → 1 byte per ns: 5000 bytes = 5000 ns wire time.
+        assert_eq!(
+            link.transfer_time(5_000),
+            SimDuration::from_ns(10_000 + 5_000)
+        );
+    }
+
+    #[test]
+    fn wire_time_rounds_up() {
+        let link = LinkSpec::new(SimDuration::ZERO, 3e9);
+        // 10 bytes at 3 GB/s is 3.33 ns → ceil to 4.
+        assert_eq!(link.transfer_time(10), SimDuration::from_ns(4));
+    }
+
+    #[test]
+    fn instant_link_is_free() {
+        let link = LinkSpec::instant();
+        assert_eq!(link.transfer_time(u64::MAX), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overrides_shadow_the_default() {
+        let mut topo = FleetTopology::uniform(4, LinkSpec::rdma_200g());
+        topo.set_link(0, 3, LinkSpec::ethernet_25g());
+        assert_eq!(topo.link(0, 3), LinkSpec::ethernet_25g());
+        assert_eq!(topo.link(3, 0), LinkSpec::rdma_200g());
+        // Replicas beyond the declared fleet use the default link.
+        assert_eq!(topo.link(9, 12), LinkSpec::rdma_200g());
+    }
+}

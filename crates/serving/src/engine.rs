@@ -285,6 +285,23 @@ impl ServingEngine {
         &self.cache
     }
 
+    /// Ingests migrated KV for the full-block prefix of `tokens` into this
+    /// replica's cache without computing it, as if streamed from a donor
+    /// replica over the KV movement plane. Subsequent prompts sharing the
+    /// prefix get the ordinary prefill discount, so only the uncovered
+    /// suffix pays compute. Returns the ingest report (how many tokens are
+    /// now resident, and how many this call actually imported); under memory
+    /// pressure the import stops at the longest prefix that fits.
+    pub fn ingest_prefix(&mut self, tokens: &[kv_cache::Token]) -> kv_cache::IngestReport {
+        self.cache.ingest_prefix(tokens)
+    }
+
+    /// The cost model pricing this replica's prefill and decode steps (used
+    /// by the controller's migrate-vs-recompute decision).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
     /// Per-request records of requests completed so far.
     pub fn completed_requests(&self) -> &[RequestMetrics] {
         &self.completed

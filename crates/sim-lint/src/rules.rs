@@ -26,13 +26,14 @@ pub const SIM_CRATES: &[&str] = &[
     "cluster",
     "controller",
     "kv-cache",
+    "kv-transfer",
     "pat-core",
     "baselines",
     "attn-kernel",
 ];
 
 /// Crates whose entire `pub` surface must carry doc comments (R5).
-pub const DOC_CRATES: &[&str] = &["sim-core", "cluster"];
+pub const DOC_CRATES: &[&str] = &["sim-core", "cluster", "kv-transfer"];
 
 /// All rule names, in report order.
 pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6"];

@@ -75,9 +75,11 @@ pub mod prelude {
         ReplicaState, RoundRobin, Router,
     };
     pub use controller::{
-        AdmissionConfig, AutoscalerConfig, ControllerConfig, FaultPlan, FleetController,
+        AdmissionConfig, AutoscalerConfig, ControllerConfig, DisaggConfig, FaultPlan,
+        FleetController, TransferConfig,
     };
     pub use kv_cache::{BlockId, BlockTable, CacheManager, PrefixForest};
+    pub use kv_transfer::{FleetTopology, LinkSpec, TransferPlane};
     pub use pat_core::{LazyPat, PatBackend, PatConfig, TileSelector, TileSolver};
     pub use serving::{simulate_serving, ModelSpec, ServingConfig, ServingEngine};
     pub use sim_gpu::{Engine, GpuSpec};
