@@ -63,6 +63,7 @@ pub mod fingerprint;
 pub mod fxhash;
 mod numeric;
 mod plan;
+mod step_cache;
 mod tile;
 mod timing;
 pub mod traffic;
@@ -72,6 +73,7 @@ pub use batch::{DecodeBatch, KvStore, QueryActivations, FP16_BYTES};
 pub use fingerprint::{batch_structure_fingerprint, batch_timing_fingerprint};
 pub use numeric::{execute_numeric, execute_numeric_parallel, reference_output, AttnOutput};
 pub use plan::{CtaPlan, KernelPlan, KvSlice, L2Affinity, PlanError};
+pub use step_cache::{StepSimCache, StepSimReport, StepSimStats, DEFAULT_STEP_CACHE_CAPACITY};
 pub use tile::{TileConfig, INTERMEDIATE_BYTES};
 pub use timing::{simulate_plan, simulate_plan_trusted, TimingError, TimingReport};
 pub use traffic::{analyze_traffic, theoretical_min_kv_bytes, CtaTraffic, TrafficReport};

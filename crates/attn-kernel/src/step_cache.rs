@@ -1,13 +1,13 @@
 //! Step-simulation memoization: the serving-level analogue of §5.1.
 //!
-//! `ServingEngine::step` used to run the full sim-gpu discrete-event engine
-//! (`simulate_plan`) on every decode step, even though consecutive steps
-//! almost always have *identical structure* — every active request grows by
-//! one token inside its final partial KV block, which changes neither the
-//! packing (that is LazyPat's observation) nor, at block granularity, the
-//! simulated timing. [`StepSimCache`] memoizes the simulated timing report
-//! under the canonical batch fingerprint
-//! ([`attn_kernel::batch_timing_fingerprint`]) plus the backend identity,
+//! The serving engine used to run the full sim-gpu discrete-event engine
+//! ([`crate::simulate_plan`]) on every decode step, even though consecutive
+//! steps almost always have *identical structure* — every active request
+//! grows by one token inside its final partial KV block, which changes
+//! neither the packing (that is LazyPat's observation) nor, at block
+//! granularity, the simulated timing. [`StepSimCache`] memoizes the
+//! simulated timing report under the canonical batch fingerprint
+//! ([`crate::batch_timing_fingerprint`]) plus the backend identity,
 //! so structurally identical steps skip both the pack scheduler and the
 //! event loop entirely.
 //!
@@ -25,6 +25,10 @@
 //! `PAT_STEP_CACHE` environment variable (default 256, minimum 1). Worker
 //! threads never share a cache, so parallel fleet execution cannot affect
 //! hit patterns.
+//!
+//! This module lives in `attn-kernel` (next to the fingerprint it keys on)
+//! so that both the serving engine and the `replica-fidelity` Replay
+//! backend can share it; `serving` re-exports the public items unchanged.
 
 use serde::Serialize;
 use std::collections::BTreeMap;

@@ -55,7 +55,8 @@ mod router;
 mod sim;
 
 pub use metrics::{
-    duplicated_blocks, kv_block_bytes, load_imbalance, ClusterResult, FleetRow, ReplicaSummary,
+    duplicated_blocks, kv_block_bytes, load_imbalance, ClusterResult, FleetMergeScratch, FleetRow,
+    ReplicaSummary,
 };
 pub use router::{
     ConsistentHashPrefix, LeastOutstanding, PrefixAffinity, ReplicaRole, ReplicaState, ReplicaView,

@@ -1,8 +1,10 @@
 //! Fleet-level metrics: aggregate latency, load balance, and the KV memory
 //! cost of prefix duplication across replicas.
 
+use replica_fidelity::Fidelity;
 use serde::Serialize;
-use serving::{AggregateMetrics, ModelSpec, SimulationResult};
+use serving::{AggregateMetrics, ModelSpec, RequestMetrics, SimulationResult};
+use sim_core::stats::{guarded_mean, percentile_sorted};
 
 /// One replica's share of a cluster run.
 #[derive(Debug, Clone, Serialize)]
@@ -11,6 +13,8 @@ pub struct ReplicaSummary {
     pub routed: usize,
     /// Token-level prefix-cache hit rate of the replica's KV cache.
     pub prefix_hit_rate: f64,
+    /// The fidelity this replica was simulated at.
+    pub fidelity: Fidelity,
     /// The replica's full single-engine simulation result.
     pub result: SimulationResult,
 }
@@ -99,6 +103,51 @@ impl FleetRow {
     }
 }
 
+/// Reusable buffers for merging per-replica request records into fleet
+/// [`AggregateMetrics`]. A driver that aggregates repeatedly — per tick,
+/// per snapshot, or per cell of a bench sweep — stops allocating after the
+/// first merge; each sample vector is sorted exactly once per merge, and
+/// completion latencies (mean-only) are never sorted at all.
+#[derive(Debug, Default)]
+pub struct FleetMergeScratch {
+    ttfts: Vec<f64>,
+    tpots: Vec<f64>,
+    completions: Vec<f64>,
+}
+
+impl FleetMergeScratch {
+    /// Merges per-replica request slices into one fleet aggregate,
+    /// numerically identical to
+    /// [`AggregateMetrics::from_requests`] over their concatenation.
+    pub fn merge<'a>(
+        &mut self,
+        per_replica: impl IntoIterator<Item = &'a [RequestMetrics]>,
+    ) -> AggregateMetrics {
+        self.ttfts.clear();
+        self.tpots.clear();
+        self.completions.clear();
+        for requests in per_replica {
+            for r in requests {
+                self.ttfts.push(r.ttft_ns);
+                self.completions.push(r.completion_ns);
+                if r.decode_tokens > 1 {
+                    self.tpots.push(r.tpot_ns);
+                }
+            }
+        }
+        self.ttfts.sort_unstable_by(f64::total_cmp);
+        self.tpots.sort_unstable_by(f64::total_cmp);
+        AggregateMetrics {
+            mean_ttft_ms: guarded_mean(&self.ttfts) / 1e6,
+            p99_ttft_ms: percentile_sorted(&self.ttfts, 0.99) / 1e6,
+            mean_tpot_ms: guarded_mean(&self.tpots) / 1e6,
+            p99_tpot_ms: percentile_sorted(&self.tpots, 0.99) / 1e6,
+            mean_completion_ms: guarded_mean(&self.completions) / 1e6,
+            completed: self.ttfts.len(),
+        }
+    }
+}
+
 /// Coefficient of variation (stddev / mean) of per-replica routed counts.
 /// Zero when perfectly balanced or when nothing was routed.
 pub fn load_imbalance(routed: &[usize]) -> f64 {
@@ -163,6 +212,30 @@ mod tests {
         assert_eq!(duplicated_blocks(&[vec![1, 2], vec![3, 4]]), 0);
         assert_eq!(duplicated_blocks(&[vec![1, 2], vec![2, 3]]), 1);
         assert_eq!(duplicated_blocks(&[vec![7], vec![7], vec![7]]), 2);
+    }
+
+    #[test]
+    fn fleet_merge_matches_from_requests_and_reuses_scratch() {
+        let rm = |id: u64, ttft: f64, tpot: f64, tokens: usize| RequestMetrics {
+            request_id: id,
+            ttft_ns: ttft,
+            tpot_ns: tpot,
+            completion_ns: ttft + tpot * tokens as f64,
+            decode_tokens: tokens,
+        };
+        let a = vec![rm(0, 1e6, 2e6, 10), rm(1, 9e6, 0.0, 1)];
+        let b = vec![rm(2, 3e6, 4e6, 10)];
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let mut scratch = FleetMergeScratch::default();
+        for _ in 0..3 {
+            let merged = scratch.merge([a.as_slice(), b.as_slice()]);
+            assert_eq!(merged, AggregateMetrics::from_requests(&concat));
+        }
+        assert_eq!(
+            scratch.merge(std::iter::empty::<&[RequestMetrics]>()),
+            AggregateMetrics::from_requests(&[])
+        );
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Routing policies: which replica serves an arriving request.
 //!
 //! Routers see a read-only [`ReplicaView`] of every replica — load counters
-//! and a prefix-overlap probe against the replica's live KV cache — and pick
-//! a replica index. The probes are strictly read-only (no LRU perturbation),
-//! so a router's observations never change any replica's behavior; only its
-//! placement decision does.
+//! and a prefix-overlap probe against the replica's prefix residency — and
+//! pick a replica index. The probes are strictly read-only (no LRU
+//! perturbation), so a router's observations never change any replica's
+//! behavior; only its placement decision does. Views are fidelity-agnostic:
+//! they wrap any [`ReplicaModel`], so the same policies route over exact,
+//! replay, and analytical replicas (and mixes of them) unchanged.
 
-use serving::ServingEngine;
+use replica_fidelity::ReplicaModel;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use workloads::Request;
@@ -70,25 +72,25 @@ impl ReplicaRole {
 /// Read-only snapshot of one replica, as exposed to routers.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplicaView<'a> {
-    engine: &'a ServingEngine,
+    model: &'a dyn ReplicaModel,
     state: ReplicaState,
     role: ReplicaRole,
 }
 
 impl<'a> ReplicaView<'a> {
     /// A view of a healthy replica (the fixed-fleet cluster simulator).
-    pub fn new(engine: &'a ServingEngine) -> Self {
+    pub fn new(model: &'a dyn ReplicaModel) -> Self {
         ReplicaView {
-            engine,
+            model,
             state: ReplicaState::Healthy,
             role: ReplicaRole::Unified,
         }
     }
 
     /// A view carrying an explicit lifecycle state (fleet control planes).
-    pub fn with_state(engine: &'a ServingEngine, state: ReplicaState) -> Self {
+    pub fn with_state(model: &'a dyn ReplicaModel, state: ReplicaState) -> Self {
         ReplicaView {
-            engine,
+            model,
             state,
             role: ReplicaRole::Unified,
         }
@@ -97,15 +99,11 @@ impl<'a> ReplicaView<'a> {
     /// A view carrying an explicit state and serving role (disaggregated
     /// fleets).
     pub fn with_state_and_role(
-        engine: &'a ServingEngine,
+        model: &'a dyn ReplicaModel,
         state: ReplicaState,
         role: ReplicaRole,
     ) -> Self {
-        ReplicaView {
-            engine,
-            state,
-            role,
-        }
+        ReplicaView { model, state, role }
     }
 
     /// The replica's lifecycle state.
@@ -124,7 +122,7 @@ impl<'a> ReplicaView<'a> {
     /// index remapping.
     pub fn masked(&self) -> ReplicaView<'a> {
         ReplicaView {
-            engine: self.engine,
+            model: self.model,
             state: ReplicaState::Dead,
             role: self.role,
         }
@@ -133,23 +131,23 @@ impl<'a> ReplicaView<'a> {
     /// Requests routed here that have not finished (queued, prefilling,
     /// decoding, or not yet admitted).
     pub fn outstanding(&self) -> usize {
-        self.engine.outstanding()
+        self.model.outstanding()
     }
 
     /// Requests admitted but not yet decoding.
     pub fn queue_depth(&self) -> usize {
-        self.engine.queue_depth()
+        self.model.queue_depth()
     }
 
     /// Requests currently decoding.
     pub fn num_active(&self) -> usize {
-        self.engine.num_active()
+        self.model.num_active()
     }
 
     /// How many leading prompt tokens this replica's KV cache would serve
     /// without recomputation. Read-only: never touches cache recency.
     pub fn prefix_overlap_tokens(&self, prompt_tokens: &[u32]) -> usize {
-        self.engine.cache().prefix_overlap_tokens(prompt_tokens)
+        self.model.prefix_overlap_tokens(prompt_tokens)
     }
 }
 
@@ -435,12 +433,15 @@ impl<R: Router> Router for RoleScoped<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serving::{ModelSpec, ServingConfig, ServingEngine};
+    use pat_core::LazyPat;
+    use replica_fidelity::{new_replica, Fidelity};
+    use serving::{ModelSpec, ServingConfig};
     use workloads::PromptSpec;
 
-    fn engines(n: usize) -> Vec<ServingEngine> {
+    fn engines(n: usize) -> Vec<Box<dyn ReplicaModel>> {
+        let config = ServingConfig::single_gpu(ModelSpec::llama3_8b());
         (0..n)
-            .map(|_| ServingEngine::new(ServingConfig::single_gpu(ModelSpec::llama3_8b())))
+            .map(|_| new_replica(Fidelity::Exact, &config, Box::new(LazyPat::new())))
             .collect()
     }
 
@@ -453,11 +454,14 @@ mod tests {
         }
     }
 
-    fn views<'a>(engines: &'a [ServingEngine], states: &[ReplicaState]) -> Vec<ReplicaView<'a>> {
+    fn views<'a>(
+        engines: &'a [Box<dyn ReplicaModel>],
+        states: &[ReplicaState],
+    ) -> Vec<ReplicaView<'a>> {
         engines
             .iter()
             .zip(states)
-            .map(|(e, &s)| ReplicaView::with_state(e, s))
+            .map(|(e, &s)| ReplicaView::with_state(e.as_ref(), s))
             .collect()
     }
 
@@ -547,7 +551,7 @@ mod tests {
         let v: Vec<ReplicaView<'_>> = engines
             .iter()
             .zip(roles)
-            .map(|(e, r)| ReplicaView::with_state_and_role(e, ReplicaState::Healthy, r))
+            .map(|(e, r)| ReplicaView::with_state_and_role(e.as_ref(), ReplicaState::Healthy, r))
             .collect();
         let mut prefill = RoleScoped::new(RoundRobin::new(), Prefill);
         let mut decode = RoleScoped::new(RoundRobin::new(), Decode);
@@ -565,7 +569,7 @@ mod tests {
         let v: Vec<ReplicaView<'_>> = engines
             .iter()
             .zip(roles)
-            .map(|(e, r)| ReplicaView::with_state_and_role(e, ReplicaState::Healthy, r))
+            .map(|(e, r)| ReplicaView::with_state_and_role(e.as_ref(), ReplicaState::Healthy, r))
             .collect();
         let mut prefill = RoleScoped::new(LeastOutstanding::new(), ReplicaRole::Prefill);
         assert_eq!(prefill.route(&request(), &v), Some(0));
@@ -583,7 +587,7 @@ mod tests {
         let engines = engines(2);
         let v: Vec<ReplicaView<'_>> = engines
             .iter()
-            .map(|e| ReplicaView::with_state_and_role(e, ReplicaState::Healthy, Prefill))
+            .map(|e| ReplicaView::with_state_and_role(e.as_ref(), ReplicaState::Healthy, Prefill))
             .collect();
         let mut decode = RoleScoped::new(RoundRobin::new(), ReplicaRole::Decode);
         assert_eq!(decode.route(&request(), &v), None);

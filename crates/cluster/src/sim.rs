@@ -1,26 +1,34 @@
 //! The multi-replica cluster simulator.
 //!
-//! Instantiates N independent [`ServingEngine`] replicas — each with its own
-//! KV cache and attention backend — and co-simulates them event-driven on
-//! the shared [`sim_core`] spine: arrivals are drained from a deterministic
-//! [`EventQueue`], and before each arrival is routed, every *busy* replica
-//! is advanced to the arrival instant so the router observes loads and
-//! cache contents as they would be at that moment (idle replicas are never
-//! ticked — their engines jump their own clocks on the next submission).
-//! The routed request is then submitted to exactly one replica. Replicas
-//! never share KV state, which is precisely why placement matters: a prefix
-//! cached on replica A is recomputed from scratch on replica B.
+//! Instantiates N independent replicas — each a [`ReplicaModel`] with its
+//! own prefix residency and (for kernel-level fidelities) attention backend
+//! — and co-simulates them event-driven on the shared [`sim_core`] spine:
+//! arrivals are drained from a deterministic [`EventQueue`], and before each
+//! arrival is routed, every *busy* replica is advanced to the arrival
+//! instant so the router observes loads and cache contents as they would be
+//! at that moment (idle replicas are never ticked — their clocks jump
+//! forward on the next submission). The routed request is then submitted to
+//! exactly one replica. Replicas never share KV state, which is precisely
+//! why placement matters: a prefix cached on replica A is recomputed from
+//! scratch on replica B.
+//!
+//! Replica fidelity is selectable per cluster (or per replica via
+//! [`Cluster::with_fidelities`]): exact kernel simulation, step-cache
+//! replay, or the calibrated analytical model — see the
+//! [`replica_fidelity`] crate. The driver logic is fidelity-blind.
 //!
 //! Replicas with identical integer clocks advance in replica-index order —
 //! an exact guarantee under [`SimTime`], where equal instants compare equal
 //! instead of hiding an ulp of float drift.
 
 use crate::metrics::{
-    duplicated_blocks, kv_block_bytes, load_imbalance, ClusterResult, ReplicaSummary,
+    duplicated_blocks, kv_block_bytes, load_imbalance, ClusterResult, FleetMergeScratch,
+    ReplicaSummary,
 };
 use crate::router::{ReplicaView, Router};
 use pat_core::LazyPat;
-use serving::{AggregateMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome};
+use replica_fidelity::{fidelity_from_env, new_replica, Fidelity, ReplicaModel};
+use serving::{ServingAttention, ServingConfig, StepOutcome};
 use sim_core::{par, EventQueue, SimTime};
 use workloads::Request;
 
@@ -45,49 +53,77 @@ impl ClusterConfig {
     }
 }
 
-/// A fleet of serving-engine replicas behind a routing policy.
+/// A fleet of simulated replicas behind a routing policy.
 pub struct Cluster {
-    engines: Vec<ServingEngine>,
-    backends: Vec<Box<dyn ServingAttention>>,
+    replicas: Vec<Box<dyn ReplicaModel>>,
     router: Box<dyn Router>,
 }
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("replicas", &self.engines.len())
+            .field("replicas", &self.replicas.len())
             .field("router", &self.router)
             .finish_non_exhaustive()
     }
 }
 
 impl Cluster {
-    /// Builds a cluster whose replicas each get a backend from `backend`.
+    /// Builds an exact-fidelity cluster whose replicas each get a backend
+    /// from `backend`.
     pub fn new(
         config: &ClusterConfig,
         router: Box<dyn Router>,
+        backend: impl FnMut() -> Box<dyn ServingAttention>,
+    ) -> Self {
+        Cluster::with_fidelity(config, router, Fidelity::Exact, backend)
+    }
+
+    /// Builds a cluster at one uniform fidelity. The backend factory is
+    /// consulted for every replica slot regardless of fidelity (analytical
+    /// replicas drop theirs), so slot → backend assignment is stable across
+    /// fidelities.
+    pub fn with_fidelity(
+        config: &ClusterConfig,
+        router: Box<dyn Router>,
+        fidelity: Fidelity,
+        backend: impl FnMut() -> Box<dyn ServingAttention>,
+    ) -> Self {
+        let fidelities = vec![fidelity; config.replicas];
+        Cluster::with_fidelities(config, router, &fidelities, backend)
+    }
+
+    /// Builds a mixed-fidelity cluster: replica `i` runs at
+    /// `fidelities[i % fidelities.len()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas` is zero or `fidelities` is empty.
+    pub fn with_fidelities(
+        config: &ClusterConfig,
+        router: Box<dyn Router>,
+        fidelities: &[Fidelity],
         mut backend: impl FnMut() -> Box<dyn ServingAttention>,
     ) -> Self {
         assert!(config.replicas > 0, "a cluster needs at least one replica");
-        let engines = (0..config.replicas)
-            .map(|_| ServingEngine::new(config.engine.clone()))
+        assert!(!fidelities.is_empty(), "need at least one fidelity");
+        let replicas = (0..config.replicas)
+            .map(|i| new_replica(fidelities[i % fidelities.len()], &config.engine, backend()))
             .collect();
-        let backends = (0..config.replicas).map(|_| backend()).collect();
-        Cluster {
-            engines,
-            backends,
-            router,
-        }
+        Cluster { replicas, router }
     }
 
-    /// A cluster of PAT ([`LazyPat`]) replicas — the common case.
+    /// A cluster of PAT ([`LazyPat`]) replicas at the fidelity selected by
+    /// `PAT_REPLICA_FIDELITY` (exact when unset) — the common case.
     pub fn with_lazy_pat(config: &ClusterConfig, router: Box<dyn Router>) -> Self {
-        Cluster::new(config, router, || Box::new(LazyPat::new()))
+        Cluster::with_fidelity(config, router, fidelity_from_env(), || {
+            Box::new(LazyPat::new())
+        })
     }
 
     /// Advances every replica until its clock reaches `t` or it goes idle.
     /// Replicas with no outstanding work are skipped outright: stepping an
-    /// idle engine is a no-op, and its lagging clock jumps forward on the
+    /// idle replica is a no-op, and its lagging clock jumps forward on the
     /// next submission.
     ///
     /// Replicas are independent between fleet event barriers — no shared
@@ -97,15 +133,14 @@ impl Cluster {
     /// wall-clock execution only, so fleet results are bit-identical at any
     /// `PAT_SIM_THREADS`.
     fn advance_all_to(&mut self, t: SimTime) {
-        let mut busy: Vec<(&mut ServingEngine, &mut Box<dyn ServingAttention>)> = self
-            .engines
+        let mut busy: Vec<&mut Box<dyn ReplicaModel>> = self
+            .replicas
             .iter_mut()
-            .zip(self.backends.iter_mut())
-            .filter(|(e, _)| e.outstanding() > 0 && e.clock() < t)
+            .filter(|m| m.outstanding() > 0 && m.clock() < t)
             .collect();
-        par::for_each_mut(&mut busy, |_, (engine, backend)| {
-            while engine.clock() < t {
-                if engine.step(backend.as_mut()) == StepOutcome::Idle {
+        par::for_each_mut(&mut busy, |_, model| {
+            while model.clock() < t {
+                if model.step() == StepOutcome::Idle {
                     break;
                 }
             }
@@ -126,7 +161,7 @@ impl Cluster {
                 .all(|w| w[0].arrival_s <= w[1].arrival_s),
             "requests must be sorted by arrival"
         );
-        let n = self.engines.len();
+        let n = self.replicas.len();
         let mut assignments: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
         let mut routed = vec![0usize; n];
         // Arrivals drain from the event queue in (time, submission-order):
@@ -142,8 +177,11 @@ impl Cluster {
             // arrival. Replicas advance concurrently between barriers.
             self.advance_all_to(t);
             let choice = {
-                let views: Vec<ReplicaView<'_>> =
-                    self.engines.iter().map(ReplicaView::new).collect();
+                let views: Vec<ReplicaView<'_>> = self
+                    .replicas
+                    .iter()
+                    .map(|m| ReplicaView::new(m.as_ref()))
+                    .collect();
                 self.router.route(request, &views)
             };
             // The fixed fleet is all-healthy, so a router returning `None`
@@ -152,55 +190,42 @@ impl Cluster {
                 panic!("router returned no replica for an all-healthy fleet of {n}");
             };
             assert!(target < n, "router picked replica {target} of {n}");
-            self.engines[target].submit(request.clone());
+            self.replicas[target].submit(request.clone());
             assignments.push((request.id, target));
             routed[target] += 1;
         }
         // Drain: run every replica to quiescence (or its drain deadline),
         // concurrently — no more routing barriers exist past this point.
-        let mut draining: Vec<(&mut ServingEngine, &mut Box<dyn ServingAttention>)> = self
-            .engines
-            .iter_mut()
-            .zip(self.backends.iter_mut())
-            .collect();
-        par::for_each_mut(&mut draining, |_, (engine, backend)| {
-            while engine.step(backend.as_mut()) == StepOutcome::Progress {}
+        par::for_each_mut(&mut self.replicas, |_, model| {
+            while model.step() == StepOutcome::Progress {}
         });
-        drop(draining);
 
         // Cache-level fleet metrics, read before finalization consumes the
-        // engines.
+        // replicas.
         let block_bytes = kv_block_bytes(
-            &self.engines[0].config().model,
-            self.engines[0].cache().block_size(),
+            &self.replicas[0].config().model,
+            self.replicas[0].block_size(),
         );
         let resident: Vec<Vec<u64>> = self
-            .engines
+            .replicas
             .iter()
-            .map(|e| e.cache().resident_hashes().collect())
+            .map(|m| m.resident_block_hashes())
             .collect();
         let dup_blocks = duplicated_blocks(&resident);
-        let hit_rates: Vec<f64> = self
-            .engines
-            .iter()
-            .map(|e| e.cache().stats().hit_rate())
-            .collect();
+        let hit_rates: Vec<f64> = self.replicas.iter().map(|m| m.cache_hit_rate()).collect();
+        let fidelities: Vec<Fidelity> = self.replicas.iter().map(|m| m.fidelity()).collect();
         let (mut hit_tokens, mut total_tokens) = (0u64, 0u64);
-        for engine in &self.engines {
-            let stats = engine.cache().stats();
-            hit_tokens += stats.hit_tokens;
-            total_tokens += stats.hit_tokens + stats.miss_tokens;
+        for model in &self.replicas {
+            let (hit, miss) = model.cache_hit_miss_tokens();
+            hit_tokens += hit;
+            total_tokens += hit + miss;
         }
 
-        let results: Vec<_> = self
-            .engines
-            .into_iter()
-            .map(ServingEngine::into_result)
-            .collect();
-        let mut all_requests = Vec::new();
+        let results: Vec<_> = self.replicas.into_iter().map(|m| m.into_result()).collect();
+        let fleet =
+            FleetMergeScratch::default().merge(results.iter().map(|r| r.per_request.as_slice()));
         let (mut unfinished, mut preemptions, mut dropped) = (0usize, 0u64, 0u64);
         for r in &results {
-            all_requests.extend_from_slice(&r.per_request);
             unfinished += r.unfinished;
             preemptions += r.preemptions;
             dropped += r.dropped;
@@ -209,15 +234,19 @@ impl Cluster {
             .into_iter()
             .zip(routed.iter())
             .zip(hit_rates)
-            .map(|((result, &routed), prefix_hit_rate)| ReplicaSummary {
-                routed,
-                prefix_hit_rate,
-                result,
-            })
+            .zip(fidelities)
+            .map(
+                |(((result, &routed), prefix_hit_rate), fidelity)| ReplicaSummary {
+                    routed,
+                    prefix_hit_rate,
+                    fidelity,
+                    result,
+                },
+            )
             .collect();
         ClusterResult {
             per_replica,
-            fleet: AggregateMetrics::from_requests(&all_requests),
+            fleet,
             fleet_hit_rate: if total_tokens == 0 {
                 0.0
             } else {

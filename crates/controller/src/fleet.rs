@@ -1,7 +1,7 @@
 //! The fleet controller: a deterministic control plane over a set of
 //! serving-engine replicas.
 //!
-//! Wraps the same steppable [`ServingEngine`] replicas as
+//! Wraps the same steppable [`ReplicaModel`] replicas as
 //! [`cluster::Cluster`], but adds the operational layer a real deployment
 //! needs: injected faults ([`crate::FaultPlan`]), a periodic health checker
 //! that distinguishes a replica's *actual* state from what the control plane
@@ -24,9 +24,8 @@ use crate::metrics::{ControlEvent, ControlResult, TimelineEvent};
 use cluster::{kv_block_bytes, ReplicaRole, ReplicaState, ReplicaView, Router};
 use kv_transfer::{FleetTopology, TransferKind, TransferPlane};
 use pat_core::LazyPat;
-use serving::{
-    AggregateMetrics, RequestMetrics, ServingAttention, ServingConfig, ServingEngine, StepOutcome,
-};
+use replica_fidelity::{fidelity_from_env, new_replica, Fidelity, ReplicaModel};
+use serving::{AggregateMetrics, RequestMetrics, ServingAttention, ServingConfig, StepOutcome};
 use sim_core::{par, EventQueue, SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 use workloads::Request;
@@ -149,6 +148,38 @@ impl AutoscalerConfig {
     }
 }
 
+/// Load-adaptive per-replica fidelity: hot replicas simulate exactly, cold
+/// ones analytically.
+///
+/// At every control tick, each healthy replica whose outstanding work is at
+/// least `hot_outstanding` is switched to the `hot` fidelity, and each one
+/// below it to `cold`. A switch is a *cold handoff*: the replica's
+/// incomplete requests are torn off (exactly as in failover) and
+/// resubmitted to the fresh model, and its KV warmth is lost — which is why
+/// the policy is sound for throughput/latency aggregates but should be left
+/// off when studying per-request cache warmth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FidelityPolicy {
+    /// Fidelity for replicas at or above the outstanding threshold.
+    pub hot: Fidelity,
+    /// Fidelity for replicas below the threshold.
+    pub cold: Fidelity,
+    /// Outstanding-request threshold splitting hot from cold.
+    pub hot_outstanding: usize,
+}
+
+impl FidelityPolicy {
+    /// The canonical mix: busy replicas exact, idle-ish replicas
+    /// analytical, split at 8 outstanding requests.
+    pub fn hot_exact_cold_analytical() -> Self {
+        FidelityPolicy {
+            hot: Fidelity::Exact,
+            cold: Fidelity::Analytical,
+            hot_outstanding: 8,
+        }
+    }
+}
+
 /// Admission-control policy: queue at saturation, shed past the queue.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionConfig {
@@ -194,6 +225,13 @@ pub struct ControllerConfig {
     /// KV movement plane; `None` means warm KV is never moved (every
     /// failover pays full recompute, no disaggregation).
     pub transfer: Option<TransferConfig>,
+    /// Fidelity every replica starts at (and crashed/scaled-up replicas
+    /// rejoin at, absent a policy). `managed` and `static_fleet` default it
+    /// from `PAT_REPLICA_FIDELITY` (exact when unset).
+    pub fidelity: Fidelity,
+    /// Load-adaptive per-replica fidelity switching; `None` keeps every
+    /// replica at `fidelity` for the whole run.
+    pub fidelity_policy: Option<FidelityPolicy>,
 }
 
 impl ControllerConfig {
@@ -215,6 +253,8 @@ impl ControllerConfig {
             autoscaler: None,
             admission: None,
             transfer: None,
+            fidelity: fidelity_from_env(),
+            fidelity_policy: None,
         }
     }
 
@@ -232,12 +272,12 @@ impl ControllerConfig {
     }
 }
 
-/// One replica slot: the engine, its attention backend, and the split
-/// between ground truth (`actual`) and the control plane's belief
-/// (`observed`). Routing always uses `observed`; faults mutate `actual`.
+/// One replica slot: the replica model (which owns its attention backend,
+/// when its fidelity has one) and the split between ground truth (`actual`)
+/// and the control plane's belief (`observed`). Routing always uses
+/// `observed`; faults mutate `actual`.
 struct Replica {
-    engine: ServingEngine,
-    backend: Box<dyn ServingAttention>,
+    model: Box<dyn ReplicaModel>,
     actual: ReplicaState,
     observed: ReplicaState,
     /// Serving role (always `Unified` outside disaggregated mode).
@@ -250,19 +290,23 @@ struct Replica {
     /// control plane hasn't noticed, so from its view they are "in
     /// flight"; they surface at detection (failover) or restart (replay).
     limbo: Vec<Request>,
-    /// Cursor into `engine.completed_requests()` for incremental
+    /// Cursor into `model.completed_requests()` for incremental
     /// observation of completions.
     completed_seen: usize,
-    /// Per-request records of previous incarnations (pre-crash engines).
+    /// Per-request records of previous incarnations (pre-crash engines and
+    /// pre-switch fidelities).
     archived: Vec<RequestMetrics>,
     archived_preemptions: u64,
 }
 
 impl Replica {
-    fn fresh(engine_cfg: &ServingConfig, backend: Box<dyn ServingAttention>) -> Self {
+    fn fresh(
+        fidelity: Fidelity,
+        engine_cfg: &ServingConfig,
+        backend: Box<dyn ServingAttention>,
+    ) -> Self {
         Replica {
-            engine: ServingEngine::new(engine_cfg.clone()),
-            backend,
+            model: new_replica(fidelity, engine_cfg, backend),
             actual: ReplicaState::Healthy,
             observed: ReplicaState::Healthy,
             role: ReplicaRole::Unified,
@@ -276,11 +320,12 @@ impl Replica {
     }
 
     fn provisioning(
+        fidelity: Fidelity,
         engine_cfg: &ServingConfig,
         backend: Box<dyn ServingAttention>,
         ready: SimTime,
     ) -> Self {
-        let mut r = Replica::fresh(engine_cfg, backend);
+        let mut r = Replica::fresh(fidelity, engine_cfg, backend);
         r.actual = ReplicaState::Dead;
         r.observed = ReplicaState::Dead;
         r.restart_at = Some(ready);
@@ -390,7 +435,7 @@ impl FleetController {
             mut backend_factory,
         } = self;
         let mut replicas: Vec<Replica> = (0..config.initial_replicas)
-            .map(|_| Replica::fresh(&config.engine, backend_factory()))
+            .map(|_| Replica::fresh(config.fidelity, &config.engine, backend_factory()))
             .collect();
         if let Some(disagg) = config.transfer.as_ref().and_then(|t| t.disaggregation) {
             assert!(
@@ -453,6 +498,7 @@ impl FleetController {
             scale_ups: 0,
             scale_downs: 0,
             cooldown_until: SimTime::ZERO,
+            fidelity_switches: 0,
         };
         sim.run(requests, &faults)
     }
@@ -503,6 +549,8 @@ struct Sim {
     scale_downs: usize,
     peak_replicas: usize,
     cooldown_until: SimTime,
+    /// Mid-run fidelity switches performed by the fidelity policy.
+    fidelity_switches: usize,
 }
 
 impl Sim {
@@ -606,7 +654,7 @@ impl Sim {
         // events remain — and take one last look.
         par::for_each_mut(&mut self.replicas, |_, r| {
             if r.actual != ReplicaState::Dead {
-                while r.engine.step(r.backend.as_mut()) == StepOutcome::Progress {}
+                while r.model.step() == StepOutcome::Progress {}
             }
         });
         self.observe_completions();
@@ -634,7 +682,7 @@ impl Sim {
         for r in self.replicas {
             all.extend(r.archived);
             preemptions += r.archived_preemptions;
-            let res = r.engine.into_result();
+            let res = r.model.into_result();
             preemptions += res.preemptions;
             all.extend(res.per_request);
         }
@@ -692,6 +740,7 @@ impl Sim {
             crashes: self.crashes,
             scale_ups: self.scale_ups,
             scale_downs: self.scale_downs,
+            fidelity_switches: self.fidelity_switches,
             peak_replicas: self.peak_replicas,
             preemptions,
             events: self.events,
@@ -753,7 +802,7 @@ impl Sim {
             .replicas
             .iter()
             .filter(|r| r.observed.is_routable())
-            .map(|r| r.engine.outstanding() + r.limbo.len())
+            .map(|r| r.model.outstanding() + r.limbo.len())
             .sum();
         engine_load + self.pending.len() + self.orphans.len()
     }
@@ -766,7 +815,7 @@ impl Sim {
             || self.replicas.iter().any(|r| {
                 !r.limbo.is_empty()
                     || r.actual == ReplicaState::Draining
-                    || (r.actual != ReplicaState::Dead && r.engine.outstanding() > 0)
+                    || (r.actual != ReplicaState::Dead && r.model.outstanding() > 0)
             })
     }
 
@@ -780,11 +829,11 @@ impl Sim {
     /// bit-identical at any `PAT_SIM_THREADS`.
     fn advance_all(&mut self, t: SimTime) {
         par::for_each_mut(&mut self.replicas, |_, r| {
-            if r.actual == ReplicaState::Dead || r.engine.outstanding() == 0 {
+            if r.actual == ReplicaState::Dead || r.model.outstanding() == 0 {
                 return;
             }
-            while r.engine.clock() < t {
-                if r.engine.step(r.backend.as_mut()) == StepOutcome::Idle {
+            while r.model.clock() < t {
+                if r.model.step() == StepOutcome::Idle {
                     break;
                 }
             }
@@ -825,7 +874,8 @@ impl Sim {
                 .replicas
                 .iter()
                 .map(|r| {
-                    let view = ReplicaView::with_state_and_role(&r.engine, r.observed, r.role);
+                    let view =
+                        ReplicaView::with_state_and_role(r.model.as_ref(), r.observed, r.role);
                     if r.role.serves(wanted) {
                         view
                     } else {
@@ -905,7 +955,7 @@ impl Sim {
 
     /// Block size of the per-replica KV caches (uniform across the fleet).
     fn block_size(&self) -> usize {
-        self.replicas[0].engine.cache().block_size()
+        self.replicas[0].model.block_size()
     }
 
     /// Failover hook: try to stream the best donor's warm prefix to the
@@ -932,7 +982,7 @@ impl Sim {
             if j == target || !r.observed.is_routable() || !r.actual.is_routable() {
                 continue;
             }
-            let overlap = r.engine.cache().prefix_overlap_tokens(&tokens);
+            let overlap = r.model.prefix_overlap_tokens(&tokens);
             if overlap > best.map_or(0, |(_, b)| b) {
                 best = Some((j, overlap));
             }
@@ -954,7 +1004,7 @@ impl Sim {
         // the uncovered prompt right now on the target.
         let total = req.prompt.total_tokens();
         let finish = plane.estimate_finish(self.now, donor, target, bytes);
-        let cost = self.replicas[target].engine.cost_model();
+        let cost = self.replicas[target].model.cost_model();
         let migrate_done =
             finish.as_ns_f64() + cost.prefill_ns(total.saturating_sub(donor_overlap));
         let recompute_done =
@@ -1000,7 +1050,8 @@ impl Sim {
                 .replicas
                 .iter()
                 .map(|r| {
-                    let view = ReplicaView::with_state_and_role(&r.engine, r.observed, r.role);
+                    let view =
+                        ReplicaView::with_state_and_role(r.model.as_ref(), r.observed, r.role);
                     if r.role.serves(wanted) && r.actual.is_routable() {
                         view
                     } else {
@@ -1096,7 +1147,7 @@ impl Sim {
             PendingTransfer::Migration { req, donor_overlap } => {
                 let tokens = req.prompt.to_tokens();
                 let covered = donor_overlap.min(tokens.len());
-                let report = self.replicas[dst].engine.ingest_prefix(&tokens[..covered]);
+                let report = self.replicas[dst].model.ingest_prefix(&tokens[..covered]);
                 let total = req.prompt.total_tokens();
                 let refill = total.saturating_sub(report.covered_tokens);
                 // Conservation: a block is never both migrated and
@@ -1116,7 +1167,7 @@ impl Sim {
                 self.submit_to(dst, req);
             }
             PendingTransfer::Prewarm { tokens } => {
-                let report = self.replicas[dst].engine.ingest_prefix(&tokens);
+                let report = self.replicas[dst].model.ingest_prefix(&tokens);
                 self.prewarm_transfers += 1;
                 self.migrated_prefix_tokens += report.imported_tokens as u64;
                 self.mark("prewarm-ingest", Some(dst));
@@ -1127,7 +1178,7 @@ impl Sim {
             }
             PendingTransfer::Handoff { req } => {
                 let tokens = req.prompt.to_tokens();
-                let report = self.replicas[dst].engine.ingest_prefix(&tokens);
+                let report = self.replicas[dst].model.ingest_prefix(&tokens);
                 self.disagg_handoffs += 1;
                 self.migrated_prefix_tokens += report.imported_tokens as u64;
                 self.mark("handoff-ingest", Some(dst));
@@ -1161,7 +1212,7 @@ impl Sim {
                 if j == dst || !r.observed.is_routable() || !r.actual.is_routable() {
                     continue;
                 }
-                let overlap = r.engine.cache().prefix_overlap_tokens(&tokens);
+                let overlap = r.model.prefix_overlap_tokens(&tokens);
                 if overlap >= min_tokens && overlap > best.as_ref().map_or(0, |(_, b, _)| *b) {
                     best = Some((j, overlap, tokens.clone()));
                 }
@@ -1199,7 +1250,7 @@ impl Sim {
         // `self.now`.
         req.arrival_s = self.now.as_secs_f64();
         self.submit.insert(req.id, self.now);
-        self.replicas[i].engine.submit(req);
+        self.replicas[i].model.submit(req);
     }
 
     /// Handles one fresh arrival: admission control, then routing.
@@ -1276,13 +1327,20 @@ impl Sim {
                 self.crashes += 1;
                 let failover = self.config.failover;
                 let restart_at = restart_after_s.map(|d| self.now + SimDuration::from_secs_f64(d));
-                let engine_cfg = self.config.engine.clone();
+                // The replacement rejoins at the fidelity the dead replica
+                // was running; a fidelity policy re-sorts it at the next
+                // tick anyway.
+                let fresh = new_replica(
+                    self.replicas[replica].model.fidelity(),
+                    &self.config.engine,
+                    (self.backend_factory)(),
+                );
                 let r = &mut self.replicas[replica];
                 // Tear out everything incomplete, then swap in a cold
-                // engine: the KV cache and all in-flight decode state die
+                // model: the KV cache and all in-flight decode state die
                 // with the process.
-                let incomplete = r.engine.take_incomplete();
-                let dead = std::mem::replace(&mut r.engine, ServingEngine::new(engine_cfg));
+                let incomplete = r.model.take_incomplete();
+                let dead = std::mem::replace(&mut r.model, fresh);
                 let res = dead.into_result();
                 r.archived.extend(res.per_request);
                 r.archived_preemptions += res.preemptions;
@@ -1318,7 +1376,7 @@ impl Sim {
                 }
                 let restore_at = self.now + SimDuration::from_secs_f64(duration_s);
                 let r = &mut self.replicas[replica];
-                r.engine.set_speed_factor(factor);
+                r.model.set_speed_factor(factor);
                 if r.actual == ReplicaState::Healthy {
                     r.actual = ReplicaState::Degraded;
                 }
@@ -1354,7 +1412,7 @@ impl Sim {
     fn restore_speed(&mut self, i: usize) {
         let r = &mut self.replicas[i];
         r.restore_speed_at = None;
-        r.engine.set_speed_factor(1.0);
+        r.model.set_speed_factor(1.0);
         if r.actual == ReplicaState::Degraded {
             r.actual = ReplicaState::Healthy;
         }
@@ -1386,6 +1444,59 @@ impl Sim {
         self.drain_pending();
         self.autoscale();
         self.retire_drained();
+        self.adjust_fidelity();
+    }
+
+    // ------------------------------------------------------------- fidelity
+
+    /// Applies the load-adaptive fidelity policy: healthy replicas at or
+    /// above the outstanding threshold run `hot`, the rest `cold`. A switch
+    /// is a cold handoff (see [`FidelityPolicy`]), so replicas that are
+    /// crashed, draining, or holding limbo work are left alone.
+    fn adjust_fidelity(&mut self) {
+        let Some(policy) = self.config.fidelity_policy else {
+            return;
+        };
+        for i in 0..self.replicas.len() {
+            let r = &self.replicas[i];
+            if r.actual != ReplicaState::Healthy
+                || r.observed != ReplicaState::Healthy
+                || !r.limbo.is_empty()
+            {
+                continue;
+            }
+            let want = if r.model.outstanding() >= policy.hot_outstanding {
+                policy.hot
+            } else {
+                policy.cold
+            };
+            if want != r.model.fidelity() {
+                self.switch_fidelity(i, want);
+            }
+        }
+    }
+
+    /// Swaps replica `i` to a fresh model at fidelity `to`, archiving the
+    /// old model's accounting and resubmitting its incomplete requests. The
+    /// handoff is cold: KV warmth does not survive the switch.
+    fn switch_fidelity(&mut self, i: usize, to: Fidelity) {
+        let fresh = new_replica(to, &self.config.engine, (self.backend_factory)());
+        let r = &mut self.replicas[i];
+        let speed = r.model.speed_factor();
+        let incomplete = r.model.take_incomplete();
+        let old = std::mem::replace(&mut r.model, fresh);
+        let from = old.fidelity();
+        let res = old.into_result();
+        r.archived.extend(res.per_request);
+        r.archived_preemptions += res.preemptions;
+        r.completed_seen = 0;
+        r.model.set_speed_factor(speed);
+        self.fidelity_switches += 1;
+        self.event(format!("replica {i} fidelity {from:?} -> {to:?}"));
+        self.mark("fidelity-switch", Some(i));
+        for req in incomplete {
+            self.submit_to(i, req);
+        }
     }
 
     fn observe_completions(&mut self) {
@@ -1396,7 +1507,7 @@ impl Sim {
             .map_or(64, |a| a.ttft_window.max(1));
         let mut finished_shadows: Vec<(usize, u64)> = Vec::new();
         for (i, r) in self.replicas.iter_mut().enumerate() {
-            let completed = r.engine.completed_requests();
+            let completed = r.model.completed_requests();
             for m in &completed[r.completed_seen..] {
                 if is_shadow(m.request_id) {
                     // Shadow prefills don't enter the TTFT window (their
@@ -1473,7 +1584,8 @@ impl Sim {
         if want_up && routable + provisioning < a.max_replicas {
             let ready = self.now + SimDuration::from_secs_f64(a.provision_delay_s);
             let backend = (self.backend_factory)();
-            let mut grown = Replica::provisioning(&self.config.engine, backend, ready);
+            let mut grown =
+                Replica::provisioning(self.config.fidelity, &self.config.engine, backend, ready);
             // Disaggregated fleets grow the decode tier: decode is the
             // capacity-bound phase.
             if self
@@ -1507,11 +1619,11 @@ impl Sim {
                 .iter()
                 .enumerate()
                 .filter(|(_, r)| r.observed.is_routable() && r.actual.is_routable())
-                .min_by_key(|(i, r)| (r.engine.outstanding(), *i))
+                .min_by_key(|(i, r)| (r.model.outstanding(), *i))
                 .map(|(i, _)| i);
             if let Some(victim) = victim {
                 let r = &mut self.replicas[victim];
-                r.engine.begin_drain();
+                r.model.begin_drain();
                 r.actual = ReplicaState::Draining;
                 r.observed = ReplicaState::Draining;
                 self.scale_downs += 1;
@@ -1526,7 +1638,7 @@ impl Sim {
     fn retire_drained(&mut self) {
         for i in 0..self.replicas.len() {
             let r = &mut self.replicas[i];
-            if r.actual == ReplicaState::Draining && r.engine.outstanding() == 0 {
+            if r.actual == ReplicaState::Draining && r.model.outstanding() == 0 {
                 r.actual = ReplicaState::Dead;
                 r.observed = ReplicaState::Dead;
                 self.event(format!("retired replica {i}"));

@@ -3,9 +3,9 @@
 //! The operational layer above the [`cluster`] simulator: where `cluster`
 //! answers *"which replica should serve this request?"*, this crate answers
 //! *"what happens to the fleet when things go wrong?"* It drives the same
-//! steppable [`serving::ServingEngine`] replicas through injected crashes
-//! and slowdowns, and supplies the machinery a production deployment uses
-//! to survive them:
+//! steppable [`replica_fidelity::ReplicaModel`] replicas through injected
+//! crashes and slowdowns, and supplies the machinery a production
+//! deployment uses to survive them:
 //!
 //! * **Fault injection** ([`FaultPlan`]) — scripted or seeded-random
 //!   crashes (cold-cache restarts) and stragglers (speed-factor
@@ -31,6 +31,11 @@
 //!   prefill/decode disaggregation ([`DisaggConfig`]): shadow prefills run
 //!   on a prefill tier and stream finished KV to the decode tier before
 //!   decode admission.
+//! * **Per-replica fidelity** ([`FidelityPolicy`]) — each replica simulates
+//!   at a [`replica_fidelity::Fidelity`] chosen at construction
+//!   ([`ControllerConfig::fidelity`], env `PAT_REPLICA_FIDELITY`) or
+//!   adaptively per tick: hot replicas exact, cold replicas analytical,
+//!   switched mid-run via a cold handoff.
 //!
 //! Every offered request is accounted for in exactly one of
 //! `completed / shed / lost / unfinished` — nothing is silently dropped.
@@ -72,8 +77,11 @@ mod trace;
 
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RandomFaultConfig};
 pub use fleet::{
-    AdmissionConfig, AutoscalerConfig, ControllerConfig, DisaggConfig, FleetController,
-    TransferConfig,
+    AdmissionConfig, AutoscalerConfig, ControllerConfig, DisaggConfig, FidelityPolicy,
+    FleetController, TransferConfig,
 };
-pub use metrics::{window_stats, ControlEvent, ControlResult, TimelineEvent, WindowStats};
+pub use metrics::{
+    window_stats, window_stats_with, ControlEvent, ControlResult, TimelineEvent, WindowScratch,
+    WindowStats,
+};
 pub use trace::{result_chrome_json, timeline_chrome_json};

@@ -2,7 +2,8 @@
 //! per-phase slices of a run.
 
 use serde::Serialize;
-use serving::{percentile, AggregateMetrics, RequestMetrics};
+use serving::{AggregateMetrics, RequestMetrics};
+use sim_core::stats::{guarded_mean, percentile_sorted};
 use workloads::Request;
 
 /// One entry in the controller's event timeline.
@@ -102,6 +103,9 @@ pub struct ControlResult {
     pub scale_ups: usize,
     /// Autoscaler scale-down (drain) decisions.
     pub scale_downs: usize,
+    /// Mid-run replica fidelity switches performed by the fidelity policy
+    /// (0 when no [`crate::FidelityPolicy`] is configured).
+    pub fidelity_switches: usize,
     /// Maximum number of live (non-dead) replicas at any instant.
     pub peak_replicas: usize,
     /// KV-pressure preemptions summed across all replica incarnations.
@@ -141,6 +145,15 @@ pub struct WindowStats {
     pub mean_ttft_ms: f64,
 }
 
+/// Reusable buffers for [`window_stats_with`]. Slicing a long run into many
+/// windows (phase tables, rolling dashboards, the fleet-scale bench) stops
+/// allocating after the first window.
+#[derive(Debug, Default)]
+pub struct WindowScratch {
+    ids: Vec<u64>,
+    ttfts_ms: Vec<f64>,
+}
+
 /// Slices `result` to the requests of `trace` arriving in `[from_s, to_s)`.
 ///
 /// TTFTs in `result.per_request` are already corrected to original
@@ -152,39 +165,58 @@ pub fn window_stats(
     from_s: f64,
     to_s: f64,
 ) -> WindowStats {
-    let in_window: std::collections::BTreeSet<u64> = trace
-        .iter()
-        .filter(|r| (from_s..to_s).contains(&r.arrival_s))
-        .map(|r| r.id)
-        .collect();
-    let ttfts_ms: Vec<f64> = result
-        .per_request
-        .iter()
-        .filter(|m| in_window.contains(&m.request_id))
-        .map(|m| m.ttft_ns / 1e6)
-        .collect();
-    let within_slo = ttfts_ms
+    window_stats_with(&mut WindowScratch::default(), trace, result, from_s, to_s)
+}
+
+/// [`window_stats`] with caller-owned scratch buffers: sorts the window's
+/// TTFTs once (instead of once per quantile) and reuses `scratch`'s
+/// allocations across calls.
+pub fn window_stats_with(
+    scratch: &mut WindowScratch,
+    trace: &[Request],
+    result: &ControlResult,
+    from_s: f64,
+    to_s: f64,
+) -> WindowStats {
+    scratch.ids.clear();
+    scratch.ids.extend(
+        trace
+            .iter()
+            .filter(|r| (from_s..to_s).contains(&r.arrival_s))
+            .map(|r| r.id),
+    );
+    scratch.ids.sort_unstable();
+    scratch.ids.dedup();
+    scratch.ttfts_ms.clear();
+    scratch.ttfts_ms.extend(
+        result
+            .per_request
+            .iter()
+            .filter(|m| scratch.ids.binary_search(&m.request_id).is_ok())
+            .map(|m| m.ttft_ns / 1e6),
+    );
+    let within_slo = scratch
+        .ttfts_ms
         .iter()
         .filter(|&&t| t <= result.slo_ttft_ms)
         .count();
-    let offered = in_window.len();
+    let offered = scratch.ids.len();
+    let completed = scratch.ttfts_ms.len();
+    let mean_ttft_ms = guarded_mean(&scratch.ttfts_ms);
+    scratch.ttfts_ms.sort_unstable_by(f64::total_cmp);
     WindowStats {
         from_s,
         to_s,
         offered,
-        completed: ttfts_ms.len(),
+        completed,
         within_slo,
         goodput: if offered == 0 {
             0.0
         } else {
             within_slo as f64 / offered as f64
         },
-        p99_ttft_ms: percentile(&ttfts_ms, 0.99),
-        mean_ttft_ms: if ttfts_ms.is_empty() {
-            0.0
-        } else {
-            ttfts_ms.iter().sum::<f64>() / ttfts_ms.len() as f64
-        },
+        p99_ttft_ms: percentile_sorted(&scratch.ttfts_ms, 0.99),
+        mean_ttft_ms,
     }
 }
 
@@ -218,6 +250,7 @@ mod tests {
             crashes: 0,
             scale_ups: 0,
             scale_downs: 0,
+            fidelity_switches: 0,
             peak_replicas: 1,
             preemptions: 0,
             events: Vec::new(),
@@ -260,5 +293,32 @@ mod tests {
         assert_eq!(empty.offered, 0);
         assert_eq!(empty.goodput, 0.0);
         assert!(empty.p99_ttft_ms.is_finite());
+    }
+
+    #[test]
+    fn window_stats_with_reused_scratch_matches_fresh() {
+        let trace: Vec<Request> = (0..8)
+            .map(|i| Request {
+                id: i,
+                arrival_s: i as f64,
+                prompt: PromptSpec::from_parts([(1, 16)]),
+                decode_tokens: 4,
+            })
+            .collect();
+        let per_request: Vec<RequestMetrics> = (0..8)
+            .map(|i| RequestMetrics {
+                request_id: i,
+                ttft_ns: (i + 1) as f64 * 7e6,
+                tpot_ns: 1e6,
+                completion_ns: 600e6,
+                decode_tokens: 4,
+            })
+            .collect();
+        let result = result_with(per_request, 100.0);
+        let mut scratch = WindowScratch::default();
+        for (from_s, to_s) in [(0.0, 4.0), (4.0, 8.0), (2.0, 6.0), (9.0, 12.0)] {
+            let reused = window_stats_with(&mut scratch, &trace, &result, from_s, to_s);
+            assert_eq!(reused, window_stats(&trace, &result, from_s, to_s));
+        }
     }
 }

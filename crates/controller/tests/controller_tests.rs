@@ -5,8 +5,9 @@
 use cluster::{LeastOutstanding, PrefixAffinity, RoundRobin};
 use controller::{
     window_stats, AdmissionConfig, AutoscalerConfig, ControlResult, ControllerConfig, FaultEvent,
-    FaultKind, FaultPlan, FleetController, RandomFaultConfig,
+    FaultKind, FaultPlan, FidelityPolicy, FleetController, RandomFaultConfig,
 };
+use replica_fidelity::Fidelity;
 use serving::{ModelSpec, ServingConfig};
 use workloads::{generate_trace, TraceConfig, TraceKind};
 
@@ -657,4 +658,115 @@ fn transfer_runs_are_deterministic_across_threads_and_reruns() {
         );
         assert_eq!(one, again, "rerun diverged (disagg: {disagg})");
     }
+}
+
+/// A fleet under the hot-exact / cold-analytical fidelity policy keeps the
+/// request accounting exact through crashes and mid-run fidelity switches,
+/// and the switches actually happen.
+#[test]
+fn fidelity_policy_switches_mid_run_and_conserves_requests() {
+    let requests = trace(10.0, 8.0, 23);
+    let mut config = ControllerConfig::managed(3, engine_config());
+    config.fidelity_policy = Some(FidelityPolicy::hot_exact_cold_analytical());
+    let faults = FaultPlan::scripted(vec![crash(3.0, 1, Some(2.0))]);
+    let result =
+        FleetController::with_lazy_pat(config, Box::new(RoundRobin::new()), faults).run(&requests);
+    assert_conservation(&requests, &result);
+    assert!(
+        result.fidelity_switches > 0,
+        "the load-adaptive policy never switched a replica"
+    );
+    assert!(result.timeline.iter().any(|e| e.kind == "fidelity-switch"));
+    assert!(result.completed > 0);
+}
+
+/// Mid-run fidelity switching stays bit-deterministic across worker-thread
+/// counts and in-process reruns.
+#[test]
+fn fidelity_policy_runs_are_deterministic_across_threads_and_reruns() {
+    let requests = trace(8.0, 6.0, 29);
+    let run = |threads: usize| {
+        sim_core::par::set_thread_override(Some(threads));
+        let mut config = ControllerConfig::managed(3, engine_config());
+        config.fidelity_policy = Some(FidelityPolicy::hot_exact_cold_analytical());
+        let faults = FaultPlan::scripted(vec![crash(2.0, 0, Some(1.5))]);
+        let result =
+            FleetController::with_lazy_pat(config, Box::new(LeastOutstanding::new()), faults)
+                .run(&requests);
+        sim_core::par::set_thread_override(None);
+        serde_json::to_string(&result).expect("ControlResult serializes")
+    };
+    let one = run(1);
+    assert_eq!(one, run(4), "thread count changed a fidelity-policy run");
+    assert_eq!(one, run(1), "fidelity-policy rerun diverged");
+}
+
+/// The fleet-scale bench's smoke scenario in miniature — a managed
+/// analytical fleet serving a multi-tenant diurnal+burst stream through a
+/// crash with the migration plane on — serializes to identical bytes at 1
+/// and 4 worker threads and across in-process reruns.
+#[test]
+fn fleet_scale_smoke_is_thread_and_rerun_invariant() {
+    use kv_transfer::{FleetTopology, LinkSpec};
+    use rand::SeedableRng;
+    use workloads::{generate_multi_tenant_at, Burst, BurstyArrivals, DiurnalArrivals};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+    let diurnal = DiurnalArrivals::new(6.0, 10.0, 0.5).take_until(10.0, &mut rng);
+    let bursty = BurstyArrivals::new(
+        4.0,
+        vec![Burst {
+            start_s: 4.0,
+            end_s: 6.0,
+            multiplier: 2.5,
+        }],
+    )
+    .take_until(10.0, &mut rng);
+    let day = generate_multi_tenant_at(
+        &[
+            (TraceKind::ToolAgent, diurnal),
+            (TraceKind::Conversation, bursty),
+        ],
+        19,
+    );
+    let run = |threads: usize| {
+        sim_core::par::set_thread_override(Some(threads));
+        let mut config = ControllerConfig::managed(4, engine_config());
+        config.fidelity = Fidelity::Analytical;
+        config.transfer = Some(controller::TransferConfig::migration(
+            FleetTopology::uniform(4, LinkSpec::rdma_200g()),
+        ));
+        let faults = FaultPlan::scripted(vec![crash(3.0, 1, Some(2.0))]);
+        let result =
+            FleetController::with_lazy_pat(config, Box::new(LeastOutstanding::new()), faults)
+                .run(&day.requests);
+        sim_core::par::set_thread_override(None);
+        serde_json::to_string(&result).expect("ControlResult serializes")
+    };
+    let one = run(1);
+    assert_eq!(
+        one,
+        run(4),
+        "thread count changed the fleet-scale smoke run"
+    );
+    assert_eq!(one, run(1), "fleet-scale smoke rerun diverged");
+}
+
+/// An all-analytical fleet pays the same conservation guarantees as the
+/// exact one while running the whole control plane (faults, failover,
+/// autoscaling) — the configuration the fleet-scale bench leans on.
+#[test]
+fn analytical_fleet_survives_the_full_control_plane() {
+    let requests = trace(12.0, 8.0, 31);
+    let mut config = ControllerConfig::managed(2, engine_config());
+    config.fidelity = Fidelity::Analytical;
+    config.autoscaler = Some(AutoscalerConfig::new(2, 4));
+    config.admission = Some(AdmissionConfig::default());
+    let faults = FaultPlan::scripted(vec![crash(2.5, 0, Some(2.0))]);
+    let result = FleetController::with_lazy_pat(config, Box::new(LeastOutstanding::new()), faults)
+        .run(&requests);
+    assert_conservation(&requests, &result);
+    assert_eq!(result.crashes, 1);
+    assert!(result.completed > 0);
+    assert!(result.fleet.mean_ttft_ms.is_finite() && result.fleet.mean_tpot_ms.is_finite());
 }

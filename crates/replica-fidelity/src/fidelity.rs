@@ -1,0 +1,82 @@
+//! Fidelity selection: which replica model a fleet slot runs.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Environment variable selecting the default replica fidelity
+/// (`exact`, `replay`, or `analytical`; unset means `exact`).
+pub const FIDELITY_ENV: &str = "PAT_REPLICA_FIDELITY";
+
+/// Simulation fidelity of one replica slot.
+///
+/// Ordered from most to least expensive; see the crate docs for what each
+/// level models and when it is sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+pub enum Fidelity {
+    /// Full serving engine over the kernel simulator (the reference).
+    #[default]
+    Exact,
+    /// Full serving engine with an unbounded step-simulation cache: each
+    /// structurally distinct decode step is simulated once, then replayed.
+    Replay,
+    /// Closed-form calibrated cost model; no kernel simulation at all.
+    Analytical,
+}
+
+impl Fidelity {
+    /// Parses a fidelity name (`"exact"`, `"replay"`, `"analytical"`,
+    /// case-insensitive). Returns `None` for anything else.
+    pub fn parse(name: &str) -> Option<Fidelity> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "exact" => Some(Fidelity::Exact),
+            "replay" => Some(Fidelity::Replay),
+            "analytical" => Some(Fidelity::Analytical),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (`"exact"`, `"replay"`, `"analytical"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Exact => "exact",
+            Fidelity::Replay => "replay",
+            Fidelity::Analytical => "analytical",
+        }
+    }
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The fidelity selected by [`FIDELITY_ENV`], defaulting to
+/// [`Fidelity::Exact`] when unset or unrecognized.
+pub fn fidelity_from_env() -> Fidelity {
+    std::env::var(FIDELITY_ENV)
+        .ok()
+        .and_then(|v| Fidelity::parse(&v))
+        .unwrap_or(Fidelity::Exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_canonical_names() {
+        for f in [Fidelity::Exact, Fidelity::Replay, Fidelity::Analytical] {
+            assert_eq!(Fidelity::parse(f.name()), Some(f));
+            assert_eq!(Fidelity::parse(&f.name().to_uppercase()), Some(f));
+        }
+        assert_eq!(Fidelity::parse("kernel"), None);
+        assert_eq!(Fidelity::parse(""), None);
+    }
+
+    #[test]
+    fn ordering_is_most_to_least_expensive() {
+        assert!(Fidelity::Exact < Fidelity::Replay);
+        assert!(Fidelity::Replay < Fidelity::Analytical);
+    }
+}

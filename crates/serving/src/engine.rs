@@ -19,8 +19,8 @@ use crate::attention::ServingAttention;
 use crate::costs::CostModel;
 use crate::metrics::{AggregateMetrics, RequestMetrics};
 use crate::model::ModelSpec;
-use crate::step_cache::{StepSimCache, StepSimReport, StepSimStats};
 use attn_kernel::{batch_timing_fingerprint, simulate_plan_trusted, DecodeBatch};
+use attn_kernel::{StepSimCache, StepSimReport, StepSimStats};
 use attn_math::HeadConfig;
 use kv_cache::{BlockTable, CacheManager, DEFAULT_BLOCK_SIZE};
 use serde::Serialize;
@@ -229,6 +229,16 @@ impl ServingEngine {
             scratch_tables: Vec::new(),
             scratch_finished: Vec::new(),
         }
+    }
+
+    /// Replaces the step-simulation cache with one of `capacity` entries
+    /// (minimum 1), discarding any cached reports and counters.
+    ///
+    /// The default capacity comes from `PAT_STEP_CACHE` (see
+    /// [`StepSimCache::from_env`]); the `replica-fidelity` Replay backend
+    /// raises it so timing replay never evicts within a run.
+    pub fn set_step_cache_capacity(&mut self, capacity: usize) {
+        self.step_cache = StepSimCache::new(capacity);
     }
 
     /// Submits a request. Requests must be submitted in arrival order; the

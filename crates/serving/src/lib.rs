@@ -37,9 +37,9 @@ mod costs;
 mod engine;
 mod metrics;
 mod model;
-mod step_cache;
 
 pub use attention::{ServingAttention, Stateless};
+pub use attn_kernel::{StepSimCache, StepSimReport, StepSimStats, DEFAULT_STEP_CACHE_CAPACITY};
 pub use breakdown::{latency_breakdown, BreakdownRow};
 pub use costs::CostModel;
 pub use engine::{
@@ -47,4 +47,3 @@ pub use engine::{
 };
 pub use metrics::{percentile, AggregateMetrics, RequestMetrics};
 pub use model::{ModelSpec, MoeSpec};
-pub use step_cache::{StepSimCache, StepSimReport, StepSimStats, DEFAULT_STEP_CACHE_CAPACITY};

@@ -30,10 +30,11 @@ pub const SIM_CRATES: &[&str] = &[
     "pat-core",
     "baselines",
     "attn-kernel",
+    "replica-fidelity",
 ];
 
 /// Crates whose entire `pub` surface must carry doc comments (R5).
-pub const DOC_CRATES: &[&str] = &["sim-core", "cluster", "kv-transfer"];
+pub const DOC_CRATES: &[&str] = &["sim-core", "cluster", "kv-transfer", "replica-fidelity"];
 
 /// All rule names, in report order.
 pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6"];

@@ -38,5 +38,8 @@ pub use arrival::{Burst, BurstyArrivals, DiurnalArrivals, PoissonArrivals};
 pub use io::{load_trace, save_trace};
 pub use requests::{PromptSpec, Request, Segment};
 pub use synthetic::{ablation_specs, figure11_specs, BatchSpec};
-pub use tenants::{generate_multi_tenant, MultiTenantConfig, MultiTenantTrace, TenantSpec};
+pub use tenants::{
+    generate_multi_tenant, generate_multi_tenant_at, MultiTenantConfig, MultiTenantTrace,
+    TenantSpec,
+};
 pub use traces::{generate_trace, generate_trace_at, measure_prefix_ratio, TraceConfig, TraceKind};

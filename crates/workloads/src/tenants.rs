@@ -7,7 +7,7 @@
 //! prefix pools disjoint, so cross-tenant prompts never share KV blocks even
 //! when two tenants run the same trace model.
 
-use crate::traces::{generate_trace, TraceConfig, TraceKind};
+use crate::traces::{generate_trace, generate_trace_at, TraceConfig, TraceKind};
 use crate::Request;
 
 /// One tenant of a multi-tenant stream.
@@ -68,22 +68,52 @@ fn tag_segment(id: u64, tenant: usize) -> u64 {
 pub fn generate_multi_tenant(cfg: &MultiTenantConfig) -> MultiTenantTrace {
     let mut merged: Vec<(usize, Request)> = Vec::new();
     for (tenant, spec) in cfg.tenants.iter().enumerate() {
-        let sub_seed = cfg
-            .seed
-            .wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
         let mut requests = generate_trace(TraceConfig {
             kind: spec.kind,
             rate_per_s: spec.rate_per_s,
             duration_s: cfg.duration_s,
-            seed: sub_seed,
+            seed: tenant_seed(cfg.seed, tenant),
         });
-        for r in &mut requests {
-            for seg in &mut r.prompt.segments {
-                seg.id = tag_segment(seg.id, tenant);
-            }
-        }
+        tag_tenant(&mut requests, tenant);
         merged.extend(requests.into_iter().map(|r| (tenant, r)));
     }
+    merge_tenant_streams(merged)
+}
+
+/// Like [`generate_multi_tenant`], but with caller-supplied arrival times
+/// per tenant — the hook for non-Poisson profiles (diurnal cycles, bursts,
+/// replayed production timestamps). Each `(kind, arrivals)` pair becomes one
+/// tenant whose requests land exactly at `arrivals` (which need not be
+/// sorted); prompt content is seeded per tenant exactly as in
+/// [`generate_multi_tenant`], and prefix pools stay disjoint across tenants.
+pub fn generate_multi_tenant_at(tenants: &[(TraceKind, Vec<f64>)], seed: u64) -> MultiTenantTrace {
+    let mut merged: Vec<(usize, Request)> = Vec::new();
+    for (tenant, (kind, arrivals)) in tenants.iter().enumerate() {
+        let mut arrivals = arrivals.clone();
+        arrivals.sort_by(f64::total_cmp);
+        let mut requests = generate_trace_at(*kind, &arrivals, tenant_seed(seed, tenant));
+        tag_tenant(&mut requests, tenant);
+        merged.extend(requests.into_iter().map(|r| (tenant, r)));
+    }
+    merge_tenant_streams(merged)
+}
+
+/// Derives tenant `tenant`'s independent sub-seed from the stream seed.
+fn tenant_seed(seed: u64, tenant: usize) -> u64 {
+    seed.wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Moves every segment of `requests` into `tenant`'s private prefix pool.
+fn tag_tenant(requests: &mut [Request], tenant: usize) {
+    for r in requests {
+        for seg in &mut r.prompt.segments {
+            seg.id = tag_segment(seg.id, tenant);
+        }
+    }
+}
+
+/// Sorts tagged per-tenant streams by arrival and renumbers ids globally.
+fn merge_tenant_streams(mut merged: Vec<(usize, Request)>) -> MultiTenantTrace {
     merged.sort_by(|a, b| a.1.arrival_s.partial_cmp(&b.1.arrival_s).expect("finite"));
     let mut tenant_of = Vec::with_capacity(merged.len());
     let mut requests = Vec::with_capacity(merged.len());
@@ -161,6 +191,49 @@ mod tests {
             .collect();
         let leads: HashSet<u64> = tenant0.iter().map(|r| r.prompt.segments[0].id).collect();
         assert!(leads.len() < tenant0.len() / 2, "tool prompts must recur");
+    }
+
+    #[test]
+    fn custom_arrivals_land_exactly_and_stay_tenant_tagged() {
+        use crate::arrival::DiurnalArrivals;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let diurnal = DiurnalArrivals::new(4.0, 20.0, 0.8).take_until(20.0, &mut rng);
+        let scripted = vec![0.5, 0.25, 3.0];
+        let stream = generate_multi_tenant_at(
+            &[
+                (TraceKind::ToolAgent, diurnal.clone()),
+                (TraceKind::Conversation, scripted.clone()),
+            ],
+            9,
+        );
+        assert_eq!(stream.requests.len(), diurnal.len() + scripted.len());
+        assert!(stream
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        // Every supplied instant appears exactly once in the merged stream.
+        let mut want: Vec<f64> = diurnal.iter().chain(&scripted).copied().collect();
+        want.sort_by(f64::total_cmp);
+        let got: Vec<f64> = stream.requests.iter().map(|r| r.arrival_s).collect();
+        assert_eq!(got, want);
+        // Tenant prefix pools stay disjoint under custom arrivals too.
+        let mut pools: [HashSet<u64>; 2] = [HashSet::new(), HashSet::new()];
+        for (r, &t) in stream.requests.iter().zip(&stream.tenant_of) {
+            for seg in &r.prompt.segments {
+                pools[t].insert(seg.id);
+            }
+        }
+        assert!(pools[0].is_disjoint(&pools[1]));
+        // And the stream is a pure function of its inputs.
+        let again = generate_multi_tenant_at(
+            &[
+                (TraceKind::ToolAgent, diurnal),
+                (TraceKind::Conversation, scripted),
+            ],
+            9,
+        );
+        assert_eq!(stream, again);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub use cluster;
 pub use controller;
 pub use kv_cache;
 pub use pat_core;
+pub use replica_fidelity;
 pub use serving;
 pub use sim_gpu;
 pub use workloads;
@@ -81,6 +82,7 @@ pub mod prelude {
     pub use kv_cache::{BlockId, BlockTable, CacheManager, PrefixForest};
     pub use kv_transfer::{FleetTopology, LinkSpec, TransferPlane};
     pub use pat_core::{LazyPat, PatBackend, PatConfig, TileSelector, TileSolver};
+    pub use replica_fidelity::{fidelity_from_env, Fidelity, ReplicaModel};
     pub use serving::{simulate_serving, ModelSpec, ServingConfig, ServingEngine};
     pub use sim_gpu::{Engine, GpuSpec};
     pub use workloads::{figure11_specs, generate_trace, BatchSpec, TraceConfig, TraceKind};
