@@ -5,6 +5,7 @@
 //! (every tree node becomes CTAs regardless of the overhead/saving
 //! trade-off).
 
+use crate::common::supported_tile;
 use attn_kernel::{AttentionBackend, CtaPlan, DecodeBatch, KernelPlan, KvSlice, TileConfig};
 use pat_core::{enforce_row_limit, PackingPolicy, PatBackend, PatConfig};
 use sim_gpu::GpuSpec;
@@ -30,14 +31,17 @@ impl AttentionBackend for Cascade {
         "Cascade"
     }
 
-    fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
+    fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
         let g = batch.head().group_size();
+        let (hd, db) = (batch.head().head_dim(), batch.dtype_bytes());
+        let shared = supported_tile(spec, hd, db, Self::SHARED_TILE);
+        let unique = supported_tile(spec, hd, db, Self::UNIQUE_TILE);
         let naive = PatBackend::with_config(PatConfig {
             packing: PackingPolicy::Naive,
             ..PatConfig::default()
         });
         let packs = naive.pack(batch);
-        let packs = enforce_row_limit(packs, g, Self::SHARED_TILE.m.max(g));
+        let packs = enforce_row_limit(packs, g, shared.m.max(g));
         // Cascade launches one kernel per prefix level, serially: the phase
         // is the level (depth bucket) of the pack.
         let mut starts: Vec<usize> = packs.iter().map(|p| p.start).collect();
@@ -46,11 +50,7 @@ impl AttentionBackend for Cascade {
         let mut ctas: Vec<CtaPlan> = packs
             .into_iter()
             .map(|p| {
-                let tile = if p.queries.len() > 1 {
-                    Self::SHARED_TILE
-                } else {
-                    Self::UNIQUE_TILE
-                };
+                let tile = if p.queries.len() > 1 { shared } else { unique };
                 let phase = starts.binary_search(&p.start).expect("start collected");
                 CtaPlan {
                     queries: p.queries,

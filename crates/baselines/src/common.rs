@@ -1,6 +1,40 @@
 //! Shared plumbing for the baseline planners.
 
 use attn_kernel::{CtaPlan, DecodeBatch, KvSlice, TileConfig};
+use sim_gpu::{GpuSpec, Occupancy};
+
+/// The per-architecture tile fallback every real kernel ships: the
+/// baseline's documented `preferred` tile when the device can launch it,
+/// otherwise the closest launchable degradation (KV tile halved first —
+/// preserving query-row capacity — then the Q tile). On the paper's A100
+/// testbed every baseline's preferred tile launches, so the default path
+/// is unchanged; on smaller devices (V100's 96 KB shared memory) this is
+/// the fair-fight equivalent of FlashAttention's Volta fallbacks, keeping
+/// comparisons against PAT about scheduling rather than launch failures.
+pub fn supported_tile(
+    spec: &GpuSpec,
+    head_dim: usize,
+    dtype_bytes: usize,
+    preferred: TileConfig,
+) -> TileConfig {
+    let occ = Occupancy::new(spec.clone());
+    let fits = |t: TileConfig| occ.ctas_per_sm(t.resources(head_dim, dtype_bytes)).is_ok();
+    let mut m = preferred.m;
+    while m >= 16 {
+        let mut n = preferred.n;
+        while n >= 16 {
+            let tile = TileConfig::new(m, n);
+            if fits(tile) {
+                return tile;
+            }
+            n /= 2;
+        }
+        m /= 2;
+    }
+    // Nothing launches; return the preferred tile and let the simulator
+    // report the resource violation.
+    preferred
+}
 
 /// One CTA per query over its full KV — the query-centric paradigm (§3.2).
 pub fn one_query_per_cta(batch: &DecodeBatch, tile: TileConfig, stream: usize) -> Vec<CtaPlan> {
@@ -75,6 +109,22 @@ mod tests {
         let plan = KernelPlan::new(kv_chunked_ctas(&b, 48, TileConfig::new(16, 128)));
         plan.validate(&b).unwrap();
         assert_eq!(plan.num_ctas(), 4 * 3); // 9 blocks in chunks of 3
+    }
+
+    #[test]
+    fn supported_tile_keeps_paper_tiles_on_a100_and_degrades_elsewhere() {
+        let fa = TileConfig::new(64, 128);
+        // The paper's testbed launches every baseline's documented tile.
+        let a100 = GpuSpec::a100_sxm4_80gb();
+        assert_eq!(supported_tile(&a100, 128, 2, fa), fa);
+        assert_eq!(
+            supported_tile(&a100, 128, 2, TileConfig::new(16, 128)),
+            TileConfig::new(16, 128)
+        );
+        // Volta's 96 KB shared memory cannot host the Ampere tile; the KV
+        // tile halves first.
+        let v100 = sim_gpu::GpuModel::V100.spec();
+        assert_eq!(supported_tile(&v100, 128, 2, fa), TileConfig::new(64, 64));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! reduces SM tail bubbles, but the small fixed KV tile cannot keep enough
 //! data in flight and the naive packing spills extra intermediates (§8.3).
 
+use crate::common::supported_tile;
 use attn_kernel::{AttentionBackend, CtaPlan, DecodeBatch, KernelPlan, KvSlice, TileConfig};
 use pat_core::{enforce_row_limit, split_long_kv, PackingPolicy, PatBackend, PatConfig};
 use sim_gpu::GpuSpec;
@@ -29,14 +30,20 @@ impl AttentionBackend for Deft {
         "DeFT"
     }
 
-    fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
+    fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
         let g = batch.head().group_size();
+        let tile = supported_tile(
+            spec,
+            batch.head().head_dim(),
+            batch.dtype_bytes(),
+            Self::TILE,
+        );
         let naive = PatBackend::with_config(PatConfig {
             packing: PackingPolicy::Naive,
             ..PatConfig::default()
         });
         let packs = naive.pack(batch);
-        let packs = enforce_row_limit(packs, g, Self::TILE.m.max(g));
+        let packs = enforce_row_limit(packs, g, tile.m.max(g));
         // KV-length adjustment for SM load balance.
         let packs = split_long_kv(packs, batch.block_size());
         let ctas = packs
@@ -44,7 +51,7 @@ impl AttentionBackend for Deft {
             .map(|p| CtaPlan {
                 queries: p.queries,
                 kv: KvSlice::new(p.blocks, p.tokens, batch.block_size()),
-                tile: Self::TILE,
+                tile,
                 stream: 0,
                 phase: 0,
             })

@@ -7,6 +7,7 @@
 //! settings are missing bars in Fig. 11), and its serial two-kernel launch
 //! accumulates execution bubbles (Fig. 15b).
 
+use crate::common::supported_tile;
 use attn_kernel::{AttentionBackend, CtaPlan, DecodeBatch, KernelPlan, KvSlice, TileConfig};
 use pat_core::{enforce_row_limit, split_long_kv, PackingPolicy, PatBackend, PatConfig};
 use sim_gpu::GpuSpec;
@@ -36,15 +37,18 @@ impl AttentionBackend for FastTree {
         matches!(batch.head().group_size(), 1 | 4)
     }
 
-    fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
+    fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
         let g = batch.head().group_size();
+        let (hd, db) = (batch.head().head_dim(), batch.dtype_bytes());
+        let wide = supported_tile(spec, hd, db, Self::WIDE_TILE);
+        let narrow = supported_tile(spec, hd, db, Self::NARROW_TILE);
         // Compute-oriented tree packing (the cost model PAT-compute borrows).
         let packer = PatBackend::with_config(PatConfig {
             packing: PackingPolicy::ComputeCost,
             ..PatConfig::default()
         });
         let packs = packer.pack(batch);
-        let packs = enforce_row_limit(packs, g, Self::WIDE_TILE.m);
+        let packs = enforce_row_limit(packs, g, wide.m);
         // FastTree adjusts KV length per CTA for load balance.
         let packs = split_long_kv(packs, batch.block_size());
 
@@ -52,11 +56,7 @@ impl AttentionBackend for FastTree {
             .into_iter()
             .map(|p| {
                 let rows = p.queries.len() * g;
-                let tile = if rows > Self::NARROW_TILE.m {
-                    Self::WIDE_TILE
-                } else {
-                    Self::NARROW_TILE
-                };
+                let tile = if rows > narrow.m { wide } else { narrow };
                 CtaPlan {
                     queries: p.queries,
                     kv: KvSlice::new(p.blocks, p.tokens, batch.block_size()),

@@ -1,6 +1,6 @@
 //! Query-centric baselines: FlashAttention and FlashInfer (§8.2).
 
-use crate::common::{kv_chunked_ctas, one_query_per_cta};
+use crate::common::{kv_chunked_ctas, one_query_per_cta, supported_tile};
 use attn_kernel::{AttentionBackend, DecodeBatch, KernelPlan, L2Affinity, TileConfig};
 use sim_gpu::{GpuSpec, Occupancy};
 
@@ -30,14 +30,12 @@ impl AttentionBackend for FlashAttention {
     fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
         // FA ships per-architecture tile fallbacks (Volta's 96 KB shared
         // memory cannot host the (64, 128) Ampere tile).
-        let occ = Occupancy::new(spec.clone());
-        let tile = [Self::TILE, TileConfig::new(64, 64), TileConfig::new(32, 64)]
-            .into_iter()
-            .find(|t| {
-                occ.ctas_per_sm(t.resources(batch.head().head_dim(), batch.dtype_bytes()))
-                    .is_ok()
-            })
-            .unwrap_or(TileConfig::new(16, 32));
+        let tile = supported_tile(
+            spec,
+            batch.head().head_dim(),
+            batch.dtype_bytes(),
+            Self::TILE,
+        );
         let mut plan = KernelPlan::new(one_query_per_cta(batch, tile, 0));
         // FA v2.5's decode grid is GQA-oblivious: one CTA per (query, query
         // head), so each KV head's cache is loaded once per group member.
@@ -92,7 +90,12 @@ impl AttentionBackend for FlashInfer {
         let m = Self::TILE
             .m
             .max(batch.head().group_size().next_power_of_two());
-        let tile = TileConfig::new(m, Self::TILE.n);
+        let tile = supported_tile(
+            spec,
+            batch.head().head_dim(),
+            batch.dtype_bytes(),
+            TileConfig::new(m, Self::TILE.n),
+        );
         let ctas = kv_chunked_ctas(batch, chunk, tile);
         let mut plan = KernelPlan::new(ctas);
         // Dynamic partitioning runs on the CPU each step; its cost scales

@@ -10,6 +10,7 @@
 //! are issued adjacently so the redundant re-loads hit L2
 //! ([`L2Affinity::Grouped`]). It still requires a single first-level prefix.
 
+use crate::common::supported_tile;
 use attn_kernel::{
     AttentionBackend, CtaPlan, DecodeBatch, KernelPlan, KvSlice, L2Affinity, TileConfig,
 };
@@ -20,15 +21,17 @@ use sim_gpu::GpuSpec;
 const FA_TILE: TileConfig = TileConfig { m: 64, n: 128 };
 
 /// Builds the relay plan: prefix CTAs (chunked over queries to fit the FA
-/// tile) plus one suffix CTA per query.
-fn relay_plan(batch: &DecodeBatch, affinity: L2Affinity) -> KernelPlan {
+/// tile) plus one suffix CTA per query. The delegated FlashAttention tile
+/// degrades with the device, like FA itself.
+fn relay_plan(batch: &DecodeBatch, spec: &GpuSpec, affinity: L2Affinity) -> KernelPlan {
+    let tile = supported_tile(spec, batch.head().head_dim(), batch.dtype_bytes(), FA_TILE);
     let bs = batch.block_size();
     let forest = batch.forest();
     let root = &forest.roots()[0];
     let prefix_blocks = root.blocks.clone();
     let prefix_tokens = root.token_len;
     let g = batch.head().group_size();
-    let per_cta = (FA_TILE.m / g).max(1);
+    let per_cta = (tile.m / g).max(1);
 
     let mut ctas = Vec::new();
     let queries: Vec<usize> = (0..batch.num_queries()).collect();
@@ -36,7 +39,7 @@ fn relay_plan(batch: &DecodeBatch, affinity: L2Affinity) -> KernelPlan {
         ctas.push(CtaPlan {
             queries: chunk.to_vec(),
             kv: KvSlice::new(prefix_blocks.clone(), prefix_tokens, bs),
-            tile: FA_TILE,
+            tile,
             stream: 0,
             phase: 0,
         });
@@ -51,7 +54,7 @@ fn relay_plan(batch: &DecodeBatch, affinity: L2Affinity) -> KernelPlan {
             ctas.push(CtaPlan {
                 queries: vec![q],
                 kv: KvSlice::new(suffix_blocks, tokens, bs),
-                tile: FA_TILE,
+                tile,
                 stream: 0,
                 phase: 1,
             });
@@ -97,8 +100,8 @@ impl AttentionBackend for RelayAttention {
             && forest.roots()[0].children.iter().all(|c| c.is_leaf())
     }
 
-    fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
-        relay_plan(batch, L2Affinity::Scattered)
+    fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
+        relay_plan(batch, spec, L2Affinity::Scattered)
     }
 }
 
@@ -124,8 +127,8 @@ impl AttentionBackend for RelayAttentionPP {
         single_first_level_prefix(&batch.forest(), batch.num_queries())
     }
 
-    fn plan(&self, batch: &DecodeBatch, _spec: &GpuSpec) -> KernelPlan {
-        relay_plan(batch, L2Affinity::Grouped)
+    fn plan(&self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
+        relay_plan(batch, spec, L2Affinity::Grouped)
     }
 }
 
@@ -215,7 +218,7 @@ mod tests {
         let b = DecodeBatch::new(head, tables, 2);
         let spec = GpuSpec::a100_sxm4_80gb();
         let pp = RelayAttentionPP::new().plan(&b, &spec);
-        let base = relay_plan(&b, L2Affinity::Scattered);
+        let base = relay_plan(&b, &spec, L2Affinity::Scattered);
         let t_pp = simulate_plan(&b, &pp, &spec).unwrap();
         let t_base = simulate_plan(&b, &base, &spec).unwrap();
         assert!(t_pp.traffic.kv_dram_bytes < t_base.traffic.kv_dram_bytes);

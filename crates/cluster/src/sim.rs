@@ -114,10 +114,12 @@ impl Cluster {
     }
 
     /// A cluster of PAT ([`LazyPat`]) replicas at the fidelity selected by
-    /// `PAT_REPLICA_FIDELITY` (exact when unset) — the common case.
+    /// `PAT_REPLICA_FIDELITY` (exact when unset) and the tile policy
+    /// selected by `PAT_TILE_POLICY` (heuristic when unset) — the common
+    /// case.
     pub fn with_lazy_pat(config: &ClusterConfig, router: Box<dyn Router>) -> Self {
         Cluster::with_fidelity(config, router, fidelity_from_env(), || {
-            Box::new(LazyPat::new())
+            Box::new(LazyPat::from_env())
         })
     }
 

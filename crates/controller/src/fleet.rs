@@ -405,13 +405,15 @@ impl FleetController {
         }
     }
 
-    /// A controller over PAT ([`LazyPat`]) replicas — the common case.
+    /// A controller over PAT ([`LazyPat`]) replicas with the tile policy
+    /// selected by `PAT_TILE_POLICY` (heuristic when unset) — the common
+    /// case.
     pub fn with_lazy_pat(
         config: ControllerConfig,
         router: Box<dyn Router>,
         faults: FaultPlan,
     ) -> Self {
-        FleetController::new(config, router, faults, || Box::new(LazyPat::new()))
+        FleetController::new(config, router, faults, || Box::new(LazyPat::from_env()))
     }
 
     /// Serves `requests` (sorted by arrival, unique ids) under the fault

@@ -1,7 +1,8 @@
 //! The PAT attention backend (§4): pack → forward → merge planning.
 
 use crate::packer::{enforce_row_limit, pack_forest, Pack};
-use crate::selector::TileSelector;
+use crate::policy::{tile_policy_from_env, TileContext, TilePolicyKind};
+use crate::selector::{TileError, TileSelector};
 use crate::split::split_long_kv;
 use crate::tiles::TileSolver;
 use attn_kernel::{
@@ -40,6 +41,10 @@ pub struct PatConfig {
     pub multi_stream: bool,
     /// Split CTAs whose KV exceeds the batch mean (§6).
     pub long_kv_split: bool,
+    /// How per-CTA tiles are chosen when `multi_tile` is on: the §5.2
+    /// heuristic decision tree, or the committed offline-autotuned cache
+    /// (PAT-autotuned).
+    pub tile_policy: TilePolicyKind,
 }
 
 impl Default for PatConfig {
@@ -50,6 +55,7 @@ impl Default for PatConfig {
             fixed_tile: TileConfig::new(64, 128),
             multi_stream: true,
             long_kv_split: true,
+            tile_policy: TilePolicyKind::Heuristic,
         }
     }
 }
@@ -93,6 +99,15 @@ impl PatBackend {
         PatBackend { config }
     }
 
+    /// Full PAT with the tile policy taken from `PAT_TILE_POLICY`
+    /// (defaulting to the heuristic when unset).
+    pub fn from_env() -> Self {
+        PatBackend::with_config(PatConfig {
+            tile_policy: tile_policy_from_env(),
+            ..PatConfig::default()
+        })
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &PatConfig {
         &self.config
@@ -111,12 +126,39 @@ impl PatBackend {
 
     /// The forward-stage planning: packs → CTAs with tiles and streams.
     /// Used directly by the lazy-update scheduler with cached packs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when tile selection fails (no feasible tile for the
+    /// device/geometry); [`PatBackend::try_finish_plan`] surfaces the same
+    /// condition as a typed [`TileError`] instead.
     pub fn finish_plan(&self, batch: &DecodeBatch, packs: Vec<Pack>, spec: &GpuSpec) -> KernelPlan {
+        match self.try_finish_plan(batch, packs, spec) {
+            Ok(plan) => plan,
+            Err(e) => panic!("PAT planning failed on {}: {e}", spec.name),
+        }
+    }
+
+    /// Fallible forward-stage planning: packs → CTAs with tiles and
+    /// streams, surfacing no-feasible-tile conditions as [`TileError`].
+    pub fn try_finish_plan(
+        &self,
+        batch: &DecodeBatch,
+        packs: Vec<Pack>,
+        spec: &GpuSpec,
+    ) -> Result<KernelPlan, TileError> {
         let head = batch.head();
         let g = head.group_size();
         let selector = TileSelector::new(
             TileSolver::new(spec.clone(), head.head_dim(), batch.dtype_bytes()).feasible_tiles(),
-        );
+        )?;
+        let policy = self.config.tile_policy.policy();
+        let ctx = TileContext {
+            selector: &selector,
+            spec,
+            head_dim: head.head_dim(),
+            dtype_bytes: batch.dtype_bytes(),
+        };
         let max_m = if self.config.multi_tile {
             selector.max_m()
         } else {
@@ -133,26 +175,22 @@ impl PatBackend {
             }
         }
 
-        let mut ctas: Vec<CtaPlan> = packs
-            .into_iter()
-            .map(|pack| {
-                let rows = pack.queries.len() * g;
-                let tile = if self.config.multi_tile {
-                    selector
-                        .select(rows, pack.tokens)
-                        .expect("row limit enforced")
-                } else {
-                    self.config.fixed_tile
-                };
-                CtaPlan {
-                    queries: pack.queries,
-                    kv: KvSlice::new(pack.blocks, pack.tokens, batch.block_size()),
-                    tile,
-                    stream: 0,
-                    phase: 0,
-                }
-            })
-            .collect();
+        let mut ctas: Vec<CtaPlan> = Vec::with_capacity(packs.len());
+        for pack in packs {
+            let rows = pack.queries.len() * g;
+            let tile = if self.config.multi_tile {
+                policy.choose(&ctx, rows, pack.tokens)?
+            } else {
+                self.config.fixed_tile
+            };
+            ctas.push(CtaPlan {
+                queries: pack.queries,
+                kv: KvSlice::new(pack.blocks, pack.tokens, batch.block_size()),
+                tile,
+                stream: 0,
+                phase: 0,
+            });
+        }
 
         if self.config.multi_stream {
             // Longest-KV-first dispatch across the whole batch: the GigaThread
@@ -192,7 +230,7 @@ impl PatBackend {
         // residual re-accesses (row-limit chunking, merged parent blocks)
         // enjoy L2 temporal locality.
         plan.l2_affinity = L2Affinity::Grouped;
-        plan
+        Ok(plan)
     }
 
     /// CPU-side cost of one pack-scheduler invocation in ns — the Fig. 16
@@ -212,12 +250,14 @@ impl AttentionBackend for PatBackend {
             self.config.packing,
             self.config.multi_tile,
             self.config.multi_stream,
+            self.config.tile_policy,
         ) {
-            (PackingPolicy::MemoryProfit, true, true) => "PAT",
-            (PackingPolicy::ComputeCost, _, _) => "PAT-compute",
-            (PackingPolicy::Naive, _, _) => "PAT-naive",
-            (_, false, _) => "PAT-fixed",
-            (_, _, false) => "PAT-serial",
+            (PackingPolicy::MemoryProfit, true, true, TilePolicyKind::Heuristic) => "PAT",
+            (PackingPolicy::MemoryProfit, true, true, TilePolicyKind::Autotuned) => "PAT-autotuned",
+            (PackingPolicy::ComputeCost, _, _, _) => "PAT-compute",
+            (PackingPolicy::Naive, _, _, _) => "PAT-naive",
+            (_, false, _, _) => "PAT-fixed",
+            (_, _, false, _) => "PAT-serial",
         }
     }
 

@@ -10,6 +10,7 @@
 
 use crate::backend::PatBackend;
 use crate::packer::Pack;
+use crate::selector::TileError;
 use attn_kernel::{DecodeBatch, KernelPlan};
 use sim_gpu::GpuSpec;
 
@@ -79,6 +80,12 @@ impl LazyPat {
         }
     }
 
+    /// Creates a lazy scheduler around [`PatBackend::from_env`] (tile
+    /// policy from `PAT_TILE_POLICY`).
+    pub fn from_env() -> Self {
+        LazyPat::with_backend(PatBackend::from_env())
+    }
+
     /// The wrapped backend.
     pub fn backend(&self) -> &PatBackend {
         &self.backend
@@ -92,7 +99,27 @@ impl LazyPat {
     /// Plans a decode step, reusing the cached packing when the block-table
     /// structure is unchanged. Token counts are refreshed either way, so the
     /// plan is always exact for the current step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when tile selection fails; [`LazyPat::try_plan`] surfaces the
+    /// same condition as a typed [`TileError`] instead.
     pub fn plan(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
+        match self.try_plan(batch, spec) {
+            Ok(plan) => plan,
+            Err(e) => panic!("PAT planning failed on {}: {e}", spec.name),
+        }
+    }
+
+    /// Fallible [`LazyPat::plan`]: surfaces no-feasible-tile conditions as
+    /// [`TileError`] so serving replicas can record them instead of
+    /// crashing. Cache statistics are updated either way (the pack stage
+    /// itself cannot fail — only tile selection can).
+    pub fn try_plan(
+        &mut self,
+        batch: &DecodeBatch,
+        spec: &GpuSpec,
+    ) -> Result<KernelPlan, TileError> {
         let key = structure_fingerprint(batch);
         let packs = match &self.cached {
             Some((cached_key, packs)) if *cached_key == key => {
@@ -110,7 +137,7 @@ impl LazyPat {
                 packs
             }
         };
-        self.backend.finish_plan(batch, packs, spec)
+        self.backend.try_finish_plan(batch, packs, spec)
     }
 
     /// Drops the cached packing (e.g. on engine reconfiguration).

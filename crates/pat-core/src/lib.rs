@@ -51,6 +51,7 @@ pub mod exact;
 mod explain;
 mod lazy;
 mod packer;
+mod policy;
 mod profiler;
 pub mod profit;
 mod selector;
@@ -61,7 +62,12 @@ pub use backend::{PackingPolicy, PatBackend, PatConfig};
 pub use explain::{explain_pack, render_decisions, PackDecision};
 pub use lazy::{structure_fingerprint, LazyPat, LazyStats};
 pub use packer::{enforce_row_limit, pack_batch, pack_forest, Pack};
+pub use policy::{
+    generate_tile_cache, tile_policy_from_env, AutotunedPolicy, HeuristicPolicy, TileCache,
+    TileCacheEntry, TileContext, TilePolicy, TilePolicyKind, COMMITTED_TILE_CACHE_JSON, KV_BUCKETS,
+    TILE_POLICY_ENV,
+};
 pub use profiler::{derive_n_rule, NRule};
-pub use selector::TileSelector;
+pub use selector::{TileError, TileSelector};
 pub use split::split_long_kv;
 pub use tiles::{TileConstraint, TileSolver, TileVerdict, TILE_GRID};

@@ -15,6 +15,45 @@
 
 use attn_kernel::TileConfig;
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// Typed tile-selection failure.
+///
+/// Historically the no-feasible-tile paths were a panic/`None` split
+/// (`TileSelector::new` panicked on an empty suite while `select` returned
+/// `Option`); callers now get one error type they can surface — the serving
+/// engine records it in `SimulationResult::plan_error` instead of crashing
+/// the replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// The offline solver found no feasible tile configuration at all for
+    /// the device/geometry (every grid point violates constraints ①–③).
+    EmptySuite,
+    /// A CTA's query rows exceed the largest feasible Q tile; the caller
+    /// must row-split (via [`crate::enforce_row_limit`]) before selection.
+    RowsExceedMaxM {
+        /// Query rows requested.
+        rows: usize,
+        /// Largest feasible `m` in the suite.
+        max_m: usize,
+    },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::EmptySuite => {
+                write!(f, "no feasible tile configuration for this device/geometry")
+            }
+            TileError::RowsExceedMaxM { rows, max_m } => write!(
+                f,
+                "{rows} query rows exceed the largest feasible Q tile m={max_m} (row-split first)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
 
 /// The runtime tile selector over a feasible tile suite.
 ///
@@ -26,9 +65,9 @@ use std::collections::BTreeSet;
 /// use sim_gpu::GpuSpec;
 ///
 /// let solver = TileSolver::new(GpuSpec::a100_sxm4_80gb(), 128, 2);
-/// let selector = TileSelector::new(solver.feasible_tiles());
+/// let selector = TileSelector::new(solver.feasible_tiles()).unwrap();
 /// // 20 query rows round up to m=32; KV 192 picks n=64 (divides evenly).
-/// assert_eq!(selector.select(20, 192), Some(TileConfig::new(32, 64)));
+/// assert_eq!(selector.select(20, 192), Ok(TileConfig::new(32, 64)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct TileSelector {
@@ -38,25 +77,21 @@ pub struct TileSelector {
 
 impl TileSelector {
     /// Creates a selector over `feasible` tiles (from [`crate::TileSolver`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `feasible` is empty.
-    pub fn new(feasible: Vec<TileConfig>) -> Self {
-        assert!(
-            !feasible.is_empty(),
-            "selector needs a non-empty tile suite"
-        );
+    /// An empty suite is [`TileError::EmptySuite`].
+    pub fn new(feasible: Vec<TileConfig>) -> Result<Self, TileError> {
+        if feasible.is_empty() {
+            return Err(TileError::EmptySuite);
+        }
         let m_options: Vec<usize> = feasible
             .iter()
             .map(|t| t.m)
             .collect::<BTreeSet<_>>()
             .into_iter()
             .collect();
-        TileSelector {
+        Ok(TileSelector {
             feasible,
             m_options,
-        }
+        })
     }
 
     /// The feasible suite.
@@ -66,7 +101,8 @@ impl TileSelector {
 
     /// Largest feasible Q tile (the row-split threshold for the packer).
     pub fn max_m(&self) -> usize {
-        *self.m_options.last().expect("non-empty")
+        // Non-empty by construction.
+        self.m_options.last().copied().unwrap_or(0)
     }
 
     /// Round-up rule: smallest feasible `m ≥ query_rows`.
@@ -85,10 +121,13 @@ impl TileSelector {
     }
 
     /// Selects the `(m, n)` pair for a CTA with `query_rows` rows over
-    /// `kv_len` KV tokens. Returns `None` when `query_rows` exceeds the
-    /// largest feasible `m` (the caller must row-split first).
-    pub fn select(&self, query_rows: usize, kv_len: usize) -> Option<TileConfig> {
-        let m = self.select_m(query_rows)?;
+    /// `kv_len` KV tokens. [`TileError::RowsExceedMaxM`] when `query_rows`
+    /// exceeds the largest feasible `m` (the caller must row-split first).
+    pub fn select(&self, query_rows: usize, kv_len: usize) -> Result<TileConfig, TileError> {
+        let m = self.select_m(query_rows).ok_or(TileError::RowsExceedMaxM {
+            rows: query_rows,
+            max_m: self.max_m(),
+        })?;
         let cap = Self::preferred_n(kv_len);
         // Largest feasible n ≤ cap for this m; fall back to the smallest
         // available n when the cap excludes everything (e.g. m=64 has no
@@ -104,8 +143,9 @@ impl TileSelector {
             .iter()
             .copied()
             .rfind(|&n| n <= cap)
-            .or_else(|| candidates.first().copied())?;
-        Some(TileConfig::new(m, n))
+            .or_else(|| candidates.first().copied())
+            .ok_or(TileError::EmptySuite)?;
+        Ok(TileConfig::new(m, n))
     }
 }
 
@@ -117,7 +157,7 @@ mod tests {
 
     fn selector() -> TileSelector {
         let solver = TileSolver::new(GpuSpec::a100_sxm4_80gb(), 128, 2);
-        TileSelector::new(solver.feasible_tiles())
+        TileSelector::new(solver.feasible_tiles()).unwrap()
     }
 
     #[test]
@@ -171,8 +211,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn empty_suite_rejected() {
-        let _ = TileSelector::new(vec![]);
+    fn empty_suite_is_a_typed_error() {
+        assert_eq!(
+            TileSelector::new(vec![]).unwrap_err(),
+            TileError::EmptySuite
+        );
+    }
+
+    #[test]
+    fn oversized_rows_are_a_typed_error() {
+        let s = selector();
+        assert_eq!(
+            s.select(65, 1024),
+            Err(TileError::RowsExceedMaxM {
+                rows: 65,
+                max_m: 64
+            })
+        );
+    }
+
+    #[test]
+    fn tile_error_displays_context() {
+        let e = TileError::RowsExceedMaxM {
+            rows: 65,
+            max_m: 64,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("65") && msg.contains("64"), "{msg}");
+        assert!(TileError::EmptySuite.to_string().contains("no feasible"));
     }
 }

@@ -1,0 +1,89 @@
+//! Property tests for the tile-policy seam.
+//!
+//! The committed autotuned cache must be a conservative refinement of the
+//! §5.2 heuristic: on the A100 — the device whose profile points the
+//! paper's decision tree encodes (e.g. KV 192 → the n=64 class) — the two
+//! policies are *pinned equal* for every reachable (rows, KV) input,
+//! because every feasible tile there sits inside the paper's 1%
+//! performance-equivalence band and the tuner only departs from the
+//! heuristic on wins that clear the band. The offline tuner itself must be
+//! bit-deterministic: repeated in-process runs and different
+//! `PAT_SIM_THREADS` worker counts produce byte-identical
+//! `tile_cache.json` payloads.
+
+use attn_kernel::TileConfig;
+use pat_core::{generate_tile_cache, TileContext, TilePolicyKind, TileSelector, TileSolver};
+use proptest::prelude::*;
+use sim_core::par::set_thread_override;
+use sim_gpu::GpuSpec;
+
+fn choose(kind: TilePolicyKind, spec: &GpuSpec, rows: usize, kv: usize) -> TileConfig {
+    let solver = TileSolver::new(spec.clone(), 128, 2);
+    let selector = TileSelector::new(solver.feasible_tiles()).expect("A100 suite is non-empty");
+    let ctx = TileContext {
+        selector: &selector,
+        spec,
+        head_dim: 128,
+        dtype_bytes: 2,
+    };
+    kind.policy()
+        .choose(&ctx, rows, kv)
+        .expect("rows within max m")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Heuristic == Autotuned on A100 across the whole reachable input
+    /// space (rows up to the largest feasible m, KV through every bucket
+    /// including the open one).
+    #[test]
+    fn autotuned_matches_heuristic_on_a100(
+        rows in 1usize..=64,
+        kv in 0usize..=16_384,
+    ) {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let heuristic = choose(TilePolicyKind::Heuristic, &spec, rows, kv);
+        let autotuned = choose(TilePolicyKind::Autotuned, &spec, rows, kv);
+        prop_assert_eq!(
+            heuristic,
+            autotuned,
+            "A100 profile points must pin the policies equal (rows {}, kv {})",
+            rows,
+            kv
+        );
+    }
+}
+
+/// The paper's documented A100 profile point: KV 192 falls in the n=64
+/// class, and both policies must say so.
+#[test]
+fn documented_kv_192_profile_point_is_the_n64_class() {
+    let spec = GpuSpec::a100_sxm4_80gb();
+    for rows in [1, 16, 20, 32] {
+        let h = choose(TilePolicyKind::Heuristic, &spec, rows, 192);
+        let a = choose(TilePolicyKind::Autotuned, &spec, rows, 192);
+        assert_eq!(h.n, 64, "KV 192 is the n=64 class (rows {rows})");
+        assert_eq!(h, a);
+    }
+}
+
+/// Two in-process tune runs emit byte-identical canonical JSON.
+#[test]
+fn tune_runs_are_byte_identical() {
+    let first = generate_tile_cache().to_canonical_json();
+    let second = generate_tile_cache().to_canonical_json();
+    assert_eq!(first, second, "tune must be deterministic run-to-run");
+}
+
+/// The tune output is invariant under the `PAT_SIM_THREADS` worker count
+/// (exercised via the same override the env knob sets).
+#[test]
+fn tune_is_invariant_across_worker_counts() {
+    set_thread_override(Some(1));
+    let one = generate_tile_cache().to_canonical_json();
+    set_thread_override(Some(4));
+    let four = generate_tile_cache().to_canonical_json();
+    set_thread_override(None);
+    assert_eq!(one, four, "tile cache must not depend on PAT_SIM_THREADS");
+}

@@ -465,6 +465,7 @@ impl ReplicaModel for AnalyticalReplica {
                 + (self.requests.len() - self.next_arrival),
             preemptions: self.preemptions,
             dropped: self.dropped,
+            plan_error: None,
         }
     }
 }

@@ -40,7 +40,7 @@ use kv_cache::CacheManager;
 use pat_core::LazyPat;
 use serde::{Deserialize, Serialize};
 use serving::ModelSpec;
-use sim_gpu::GpuSpec;
+use sim_gpu::{GpuModel, GpuSpec};
 
 /// Documented relative-error bound of the analytical fidelity: on seeded
 /// small fleets, analytical fleet-level mean TTFT and mean TPOT stay
@@ -347,12 +347,15 @@ pub fn fit_entry(model: &ModelSpec, gpu: &GpuSpec, tp: usize) -> AttnCalibration
 }
 
 /// Regenerates the full calibration table (the `calibrate` binary's
-/// payload): every (model, GPU) pair the fleet benches run at.
+/// payload): one entry per curated hardware model ([`GpuModel::all`]), so
+/// the analytical fidelity stays calibrated whatever `PAT_GPU_MODEL`
+/// selects. Keys carry the spec name, so adding a model extends the table
+/// without disturbing existing entries' fitted bytes.
 pub fn generate_table() -> CalibrationTable {
-    let entries = vec![
-        fit_entry(&ModelSpec::llama3_8b(), &GpuSpec::a100_sxm4_80gb(), 1),
-        fit_entry(&ModelSpec::llama3_8b(), &GpuSpec::h100_sxm5_80gb(), 1),
-    ];
+    let entries = GpuModel::all()
+        .iter()
+        .map(|m| fit_entry(&ModelSpec::llama3_8b(), &m.spec(), 1))
+        .collect();
     CalibrationTable {
         version: 1,
         entries,

@@ -1,10 +1,13 @@
 //! The serving-side attention abstraction.
 //!
 //! Serving needs per-step planning with state (PAT's lazy-update cache);
-//! stateless kernel backends are adapted via [`Stateless`].
+//! stateless kernel backends are adapted via [`Stateless`]. Planning is
+//! fallible: a device/geometry with no feasible tile surfaces as a typed
+//! [`TileError`] that the engine records in
+//! `SimulationResult::plan_error` instead of crashing the replica.
 
 use attn_kernel::{AttentionBackend, DecodeBatch, KernelPlan};
-use pat_core::LazyPat;
+use pat_core::{LazyPat, TileError};
 use sim_gpu::GpuSpec;
 
 /// A decode-attention implementation as used by the serving engine.
@@ -22,8 +25,9 @@ pub trait ServingAttention: Send {
         true
     }
 
-    /// Plans one decode step (may use internal caching).
-    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan;
+    /// Plans one decode step (may use internal caching). Tile-selection
+    /// failure (no feasible tile for the device/geometry) is a typed error.
+    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> Result<KernelPlan, TileError>;
 
     /// CPU cost of this step's scheduling work, if the backend reports it
     /// (used for the Fig. 16 overhead analysis).
@@ -34,6 +38,9 @@ pub trait ServingAttention: Send {
 }
 
 /// Adapter: any stateless [`AttentionBackend`] serves as-is.
+///
+/// `AttentionBackend::plan` is infallible by contract (baseline planners
+/// pick fixed tiles), so the adapter never returns an error itself.
 #[derive(Debug, Clone)]
 pub struct Stateless<B>(pub B);
 
@@ -46,18 +53,20 @@ impl<B: AttentionBackend + Send> ServingAttention for Stateless<B> {
         self.0.supports(batch)
     }
 
-    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
-        self.0.plan(batch, spec)
+    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> Result<KernelPlan, TileError> {
+        Ok(self.0.plan(batch, spec))
     }
 }
 
 impl ServingAttention for LazyPat {
+    /// The configured backend's name (`"PAT"`, `"PAT-autotuned"`, ...), so
+    /// step-cache fingerprints distinguish tile policies.
     fn name(&self) -> String {
-        "PAT".to_string()
+        self.backend().name().to_string()
     }
 
-    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> KernelPlan {
-        self.plan(batch, spec)
+    fn plan_step(&mut self, batch: &DecodeBatch, spec: &GpuSpec) -> Result<KernelPlan, TileError> {
+        self.try_plan(batch, spec)
     }
 
     fn scheduling_cost_ns(&self, batch: &DecodeBatch) -> Option<f64> {
@@ -71,6 +80,7 @@ mod tests {
     use attn_math::HeadConfig;
     use baselines::FlashAttention;
     use kv_cache::{BlockId, BlockTable};
+    use pat_core::{PatBackend, PatConfig, TilePolicyKind};
 
     fn batch() -> DecodeBatch {
         DecodeBatch::new(
@@ -86,7 +96,7 @@ mod tests {
         assert_eq!(s.name(), "FlashAttention");
         let b = batch();
         assert!(s.supports(&b));
-        let plan = s.plan_step(&b, &GpuSpec::a100_sxm4_80gb());
+        let plan = s.plan_step(&b, &GpuSpec::a100_sxm4_80gb()).unwrap();
         plan.validate(&b).unwrap();
         assert!(s.scheduling_cost_ns(&b).is_none());
     }
@@ -95,8 +105,30 @@ mod tests {
     fn lazy_pat_reports_scheduling_cost() {
         let mut pat = LazyPat::new();
         let b = batch();
-        let plan = pat.plan_step(&b, &GpuSpec::a100_sxm4_80gb());
+        let plan = pat.plan_step(&b, &GpuSpec::a100_sxm4_80gb()).unwrap();
         plan.validate(&b).unwrap();
         assert!(pat.scheduling_cost_ns(&b).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn serving_name_tracks_tile_policy() {
+        assert_eq!(LazyPat::new().name(), "PAT");
+        let autotuned = LazyPat::with_backend(PatBackend::with_config(PatConfig {
+            tile_policy: TilePolicyKind::Autotuned,
+            ..PatConfig::default()
+        }));
+        assert_eq!(autotuned.name(), "PAT-autotuned");
+    }
+
+    #[test]
+    fn infeasible_device_is_a_typed_plan_error() {
+        // A degenerate device whose shared memory cannot hold even the
+        // smallest tile: planning must fail with EmptySuite, not panic.
+        let mut tiny = GpuSpec::a100_sxm4_80gb();
+        tiny.smem_per_cta_max = 1024;
+        tiny.smem_per_sm = 1024;
+        let mut pat = LazyPat::new();
+        let err = pat.plan_step(&batch(), &tiny).unwrap_err();
+        assert_eq!(err, TileError::EmptySuite);
     }
 }

@@ -25,7 +25,7 @@ use attn_math::HeadConfig;
 use kv_cache::{BlockTable, CacheManager, DEFAULT_BLOCK_SIZE};
 use serde::Serialize;
 use sim_core::{SimDuration, SimTime};
-use sim_gpu::GpuSpec;
+use sim_gpu::{gpu_model_from_env, GpuSpec};
 use std::collections::VecDeque;
 use workloads::Request;
 
@@ -80,11 +80,13 @@ pub struct ServingConfig {
 }
 
 impl ServingConfig {
-    /// A sensible single-A100 configuration for `model`.
+    /// A sensible single-GPU configuration for `model`. The device comes
+    /// from the `PAT_GPU_MODEL` environment knob, defaulting to the
+    /// paper's A100 testbed when unset.
     pub fn single_gpu(model: ModelSpec) -> Self {
         ServingConfig {
             model,
-            gpu: GpuSpec::a100_sxm4_80gb(),
+            gpu: gpu_model_from_env().spec(),
             parallel: Parallelism::single(),
             max_batch: 128,
             max_prefill_tokens: 8192,
@@ -121,6 +123,11 @@ pub struct SimulationResult {
     pub preemptions: u64,
     /// Requests dropped because they can never fit the KV pool.
     pub dropped: u64,
+    /// Tile-selection failure that halted the replica, if any (e.g. a
+    /// device/geometry with no feasible tile). `None` on a clean run; when
+    /// set, the engine stopped planning and the remaining requests count
+    /// as unfinished.
+    pub plan_error: Option<String>,
 }
 
 /// What one [`ServingEngine::step`] call accomplished.
@@ -185,6 +192,8 @@ pub struct ServingEngine {
     scratch_tables: Vec<BlockTable>,
     /// Scratch arena for the chunked-prefill completion list.
     scratch_finished: Vec<(usize, usize)>,
+    /// Tile-selection failure that halted this replica, if any.
+    plan_error: Option<String>,
 }
 
 impl ServingEngine {
@@ -228,6 +237,7 @@ impl ServingEngine {
             step_cache: StepSimCache::from_env(),
             scratch_tables: Vec::new(),
             scratch_finished: Vec::new(),
+            plan_error: None,
         }
     }
 
@@ -659,7 +669,18 @@ impl ServingEngine {
         let (report, cache_hit) = match self.step_cache.get(key) {
             Some(report) => (report, true),
             None => {
-                let plan = attention.plan_step(&batch, &self.config.gpu);
+                let plan = match attention.plan_step(&batch, &self.config.gpu) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        // No feasible tile for this device/geometry: record
+                        // the typed failure and halt the replica cleanly.
+                        // In-flight requests surface as `unfinished`.
+                        self.plan_error = Some(e.to_string());
+                        self.scratch_tables = batch.into_tables();
+                        self.scratch_finished = finished_prefills;
+                        return StepOutcome::Idle;
+                    }
+                };
                 let full = simulate_plan_trusted(&batch, &plan, &self.config.gpu)
                     .expect("backend plans are valid");
                 let report = StepSimReport {
@@ -821,6 +842,7 @@ impl ServingEngine {
                 + (self.requests.len() - self.next_arrival),
             preemptions: self.preemptions,
             dropped: self.dropped,
+            plan_error: self.plan_error,
         }
     }
 }
@@ -894,6 +916,26 @@ mod tests {
         assert!(result.metrics.mean_ttft_ms > 0.0);
         assert!(result.metrics.mean_tpot_ms > 0.0);
         assert!(result.decode_steps > 0);
+        assert_eq!(result.plan_error, None, "clean runs report no plan error");
+    }
+
+    #[test]
+    fn infeasible_device_surfaces_plan_error_instead_of_panicking() {
+        let requests = short_trace(2.0);
+        let mut cfg = config();
+        // A device whose shared memory cannot host any (m, n) tile: tile
+        // selection fails with a typed error, the replica halts cleanly,
+        // and its in-flight requests surface as unfinished.
+        cfg.gpu.smem_per_cta_max = 1024;
+        cfg.gpu.smem_per_sm = 1024;
+        let mut pat = LazyPat::new();
+        let result = simulate_serving(&cfg, &mut pat, &requests);
+        let err = result.plan_error.expect("plan failure must be recorded");
+        assert!(
+            err.contains("feasible"),
+            "error should name the feasibility failure: {err}"
+        );
+        assert!(result.unfinished > 0, "halted replica strands its requests");
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod chrome;
 mod engine;
 pub mod l2;
 mod memory;
+mod model;
 mod occupancy;
 mod spec;
 mod trace;
@@ -54,6 +55,7 @@ pub use chrome::chrome_trace_json;
 pub use engine::{CtaWork, Engine, EngineError, KernelSpec, RunResult, StreamSpec};
 pub use l2::{L2Simulator, TrafficSplit};
 pub use memory::TransferModel;
+pub use model::{gpu_model_from_env, GpuModel, GPU_MODEL_ENV};
 pub use occupancy::{CtaResources, Occupancy, OccupancyViolation};
 pub use spec::{GpuSpec, MemoryLevel};
 pub use trace::{CtaSpan, ExecutionTrace, KernelSpan};

@@ -1,0 +1,151 @@
+//! Named hardware models: the curated [`GpuSpec`] presets as an enum.
+//!
+//! [`GpuSpec`] itself is open — any parameterization can be built or
+//! deserialized — but most of the stack (env knobs, the tile-cache tuner,
+//! calibration tables, bench sweeps) wants a small closed family it can
+//! enumerate deterministically. [`GpuModel`] is that family; the
+//! `PAT_GPU_MODEL` environment variable selects one by name.
+
+use crate::spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Environment variable selecting the simulated hardware model
+/// (`a100`, `h100`, `v100`, `b200`, or `tpu`; unset means `a100`).
+pub const GPU_MODEL_ENV: &str = "PAT_GPU_MODEL";
+
+/// A named, curated hardware model — one of the [`GpuSpec`] presets.
+///
+/// Ordered by the §9 compute-to-bandwidth trend for the NVIDIA parts, with
+/// the TPU-like systolic model last.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum GpuModel {
+    /// NVIDIA V100-SXM2-32GB (Volta).
+    V100,
+    /// NVIDIA A100-SXM4-80GB (Ampere) — the paper's testbed and the default.
+    #[default]
+    A100,
+    /// NVIDIA H100-SXM5-80GB (Hopper).
+    H100,
+    /// NVIDIA B200-SXM-192GB (Blackwell).
+    B200,
+    /// TPU-v5p-like systolic accelerator (Ragged Paged Attention's target).
+    TpuLike,
+}
+
+impl GpuModel {
+    /// Every curated model, in a fixed deterministic order. Sweeps and the
+    /// tile tuner iterate this, so the order is part of committed artifacts.
+    pub fn all() -> [GpuModel; 5] {
+        [
+            GpuModel::V100,
+            GpuModel::A100,
+            GpuModel::H100,
+            GpuModel::B200,
+            GpuModel::TpuLike,
+        ]
+    }
+
+    /// Parses a model name (`"a100"`, `"h100"`, `"v100"`, `"b200"`,
+    /// `"tpu"`/`"tpu-like"`, case-insensitive). Returns `None` otherwise.
+    pub fn parse(name: &str) -> Option<GpuModel> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "v100" => Some(GpuModel::V100),
+            "a100" => Some(GpuModel::A100),
+            "h100" => Some(GpuModel::H100),
+            "b200" => Some(GpuModel::B200),
+            "tpu" | "tpu-like" | "tpulike" => Some(GpuModel::TpuLike),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase knob name (`"a100"`, ..., `"tpu"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuModel::V100 => "v100",
+            GpuModel::A100 => "a100",
+            GpuModel::H100 => "h100",
+            GpuModel::B200 => "b200",
+            GpuModel::TpuLike => "tpu",
+        }
+    }
+
+    /// The full hardware specification for this model.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuModel::V100 => GpuSpec::v100_sxm2_32gb(),
+            GpuModel::A100 => GpuSpec::a100_sxm4_80gb(),
+            GpuModel::H100 => GpuSpec::h100_sxm5_80gb(),
+            GpuModel::B200 => GpuSpec::b200_sxm_192gb(),
+            GpuModel::TpuLike => GpuSpec::tpu_v5p_like(),
+        }
+    }
+
+    /// Looks a model up by its spec's marketing name (the inverse of
+    /// `spec().name`), so artifacts keyed by spec name can be resolved
+    /// back to a model. Returns `None` for non-preset specs.
+    pub fn from_spec_name(spec_name: &str) -> Option<GpuModel> {
+        GpuModel::all()
+            .into_iter()
+            .find(|m| m.spec().name == spec_name)
+    }
+}
+
+impl fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The hardware model selected by [`GPU_MODEL_ENV`], defaulting to
+/// [`GpuModel::A100`] when unset or unrecognized.
+pub fn gpu_model_from_env() -> GpuModel {
+    std::env::var(GPU_MODEL_ENV)
+        .ok()
+        .and_then(|v| GpuModel::parse(&v))
+        .unwrap_or(GpuModel::A100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_canonical_names() {
+        for m in GpuModel::all() {
+            assert_eq!(GpuModel::parse(m.name()), Some(m));
+            assert_eq!(GpuModel::parse(&m.name().to_uppercase()), Some(m));
+        }
+        assert_eq!(GpuModel::parse("mi300"), None);
+        assert_eq!(GpuModel::parse(""), None);
+    }
+
+    #[test]
+    fn spec_names_are_distinct_and_invertible() {
+        let mut names: Vec<String> = GpuModel::all().iter().map(|m| m.spec().name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5, "spec names must be distinct: {names:?}");
+        for m in GpuModel::all() {
+            assert_eq!(GpuModel::from_spec_name(&m.spec().name), Some(m));
+        }
+        assert_eq!(GpuModel::from_spec_name("A100-PCIe-40GB"), None);
+    }
+
+    #[test]
+    fn default_is_the_paper_testbed() {
+        assert_eq!(GpuModel::default(), GpuModel::A100);
+        assert_eq!(GpuModel::default().spec(), GpuSpec::a100_sxm4_80gb());
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        for m in GpuModel::all() {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: GpuModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+}

@@ -1,19 +1,28 @@
-//! Hardware specifications of the simulated GPUs.
+//! Hardware specifications of the simulated accelerators.
 //!
 //! [`GpuSpec`] encodes the memory-hierarchy and execution-resource numbers the
 //! paper relies on (Table 1 for A100-SXM4-80GB, plus an H100-SXM setup used by
 //! §5.2 and Appendix A). All bandwidths are stored in bytes/ns, which is
 //! numerically equal to GB/s (with GB = 1e9 bytes), and all latencies in ns.
+//!
+//! The spec is a plain parameterized value, not a closed set of constructors:
+//! every field is public and the struct is serde-serializable, so hardware
+//! models can live in config files and benches can sweep synthetic devices.
+//! The named constructors below are curated presets ([`GpuModel`] indexes
+//! them by name for the `PAT_GPU_MODEL` knob).
+//!
+//! [`GpuModel`]: crate::GpuModel
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One level of the GPU memory hierarchy, as listed in Table 1 of the paper.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemoryLevel {
     /// Human-readable level name, e.g. `"Shared Memory / L1 Cache"`.
-    pub name: &'static str,
+    pub name: String,
     /// Which execution entity shares this level (thread, CTA, all SMs).
-    pub shared_by: &'static str,
+    pub shared_by: String,
     /// Capacity description (per-SM levels report per-SM size).
     pub size_bytes: u64,
     /// Approximate access latency in ns.
@@ -35,10 +44,13 @@ pub struct MemoryLevel {
 /// assert_eq!(a100.num_sms, 108);
 /// assert!(a100.global_bandwidth > 2000.0 && a100.global_bandwidth < 2100.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuSpec {
-    /// Marketing name of the device.
-    pub name: &'static str,
+    /// Marketing name of the device. Doubles as the hardware-model identity
+    /// everywhere the spec is keyed (timing fingerprints, calibration and
+    /// tile-cache lookups), so distinct parameterizations must carry
+    /// distinct names.
+    pub name: String,
     /// Number of streaming multiprocessors.
     pub num_sms: usize,
     /// Unified shared-memory/L1 size per SM in bytes.
@@ -78,7 +90,7 @@ impl GpuSpec {
     /// NVIDIA A100-SXM4-80GB (Ampere), the paper's primary testbed (Table 1).
     pub fn a100_sxm4_80gb() -> Self {
         GpuSpec {
-            name: "A100-SXM4-80GB",
+            name: "A100-SXM4-80GB".to_string(),
             num_sms: 108,
             smem_per_sm: 192 * 1024,
             smem_per_cta_max: 163 * 1024,
@@ -101,7 +113,7 @@ impl GpuSpec {
     /// NVIDIA H100-SXM5-80GB (Hopper), used in §5.2 and Appendix A.
     pub fn h100_sxm5_80gb() -> Self {
         GpuSpec {
-            name: "H100-SXM5-80GB",
+            name: "H100-SXM5-80GB".to_string(),
             num_sms: 132,
             smem_per_sm: 228 * 1024,
             smem_per_cta_max: 227 * 1024,
@@ -129,7 +141,7 @@ impl GpuSpec {
     /// trend discussed in §9 (V100 -> B200: 139 -> 312 FLOP/Byte).
     pub fn v100_sxm2_32gb() -> Self {
         GpuSpec {
-            name: "V100-SXM2-32GB",
+            name: "V100-SXM2-32GB".to_string(),
             num_sms: 80,
             smem_per_sm: 96 * 1024,
             smem_per_cta_max: 96 * 1024,
@@ -154,7 +166,7 @@ impl GpuSpec {
     /// like PAT increasingly valuable.
     pub fn b200_sxm_192gb() -> Self {
         GpuSpec {
-            name: "B200-SXM-192GB",
+            name: "B200-SXM-192GB".to_string(),
             num_sms: 148,
             smem_per_sm: 228 * 1024,
             smem_per_cta_max: 227 * 1024,
@@ -172,6 +184,42 @@ impl GpuSpec {
             tensor_flops_per_sm: 2_500_000.0 / 148.0,
             kernel_launch_ns: 3_000.0,
             hbm_bytes: 192 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A TPU-v5p-like accelerator (the Ragged Paged Attention target): a few
+    /// very wide systolic cores instead of many small SMs, a large software-
+    /// managed vector memory with **no per-CTA addressing cap**
+    /// (`smem_per_cta_max == smem_per_sm`), and a register budget generous
+    /// enough that the biggest Q tiles never spill. The resulting feasible
+    /// tile set is the mirror image of the GPUs': low core-level concurrency
+    /// means small KV tiles cannot keep enough data in flight (constraint ②
+    /// kills `n ≤ 32`), while the relaxed resource caps admit the
+    /// `m = 128` large systolic tiles that every NVIDIA preset rejects.
+    pub fn tpu_v5p_like() -> Self {
+        GpuSpec {
+            name: "TPU-v5p-like".to_string(),
+            num_sms: 16,
+            smem_per_sm: 2 * 1024 * 1024,
+            // No per-CTA shared-memory cap: one program can address the
+            // whole vector memory of its core.
+            smem_per_cta_max: 2 * 1024 * 1024,
+            regs_per_sm: 256 * 1024,
+            max_regs_per_thread: 512,
+            max_ctas_per_sm: 8,
+            max_threads_per_sm: 4096,
+            // The on-chip CMEM/VMEM pool standing in for L2.
+            l2_bytes: 128 * 1024 * 1024,
+            l2_bandwidth: 10_000.0,
+            global_bandwidth: 2765.0,
+            dram_efficiency: 0.9,
+            // Deep DMA pipeline: large transfers are required to hide it.
+            mem_latency_ns: 1_000.0,
+            // ~459 TFLOP/s bf16 across the modeled 16 cores.
+            tensor_flops_per_sm: 459_000.0 / 16.0,
+            // XLA dispatch is heavier than a CUDA kernel launch.
+            kernel_launch_ns: 10_000.0,
+            hbm_bytes: 95 * 1024 * 1024 * 1024,
         }
     }
 
@@ -195,32 +243,32 @@ impl GpuSpec {
     pub fn memory_hierarchy(&self) -> Vec<MemoryLevel> {
         vec![
             MemoryLevel {
-                name: "Register",
-                shared_by: "Thread",
+                name: "Register".to_string(),
+                shared_by: "Thread".to_string(),
                 size_bytes: (self.regs_per_sm * 4) as u64,
                 latency_ns: 2.0,
                 bandwidth: 20_000.0,
                 on_chip: true,
             },
             MemoryLevel {
-                name: "Shared Memory / L1 Cache",
-                shared_by: "CTA",
+                name: "Shared Memory / L1 Cache".to_string(),
+                shared_by: "CTA".to_string(),
                 size_bytes: self.smem_per_sm as u64,
                 latency_ns: 20.0,
                 bandwidth: 19_000.0,
                 on_chip: true,
             },
             MemoryLevel {
-                name: "L2 Cache",
-                shared_by: "All SMs",
+                name: "L2 Cache".to_string(),
+                shared_by: "All SMs".to_string(),
                 size_bytes: self.l2_bytes,
                 latency_ns: 140.0,
                 bandwidth: self.l2_bandwidth,
                 on_chip: true,
             },
             MemoryLevel {
-                name: "Global Memory",
-                shared_by: "All SMs",
+                name: "Global Memory".to_string(),
+                shared_by: "All SMs".to_string(),
                 size_bytes: self.hbm_bytes,
                 latency_ns: 200.0,
                 bandwidth: self.global_bandwidth,
@@ -314,5 +362,37 @@ mod tests {
         let text = GpuSpec::a100_sxm4_80gb().to_string();
         assert!(text.contains("A100"));
         assert!(text.contains("Global Memory"));
+    }
+
+    #[test]
+    fn spec_serde_round_trips() {
+        for spec in [
+            GpuSpec::a100_sxm4_80gb(),
+            GpuSpec::h100_sxm5_80gb(),
+            GpuSpec::v100_sxm2_32gb(),
+            GpuSpec::b200_sxm_192gb(),
+            GpuSpec::tpu_v5p_like(),
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: GpuSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+        let level = &GpuSpec::a100_sxm4_80gb().memory_hierarchy()[1];
+        let json = serde_json::to_string(level).unwrap();
+        let back: MemoryLevel = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, level);
+    }
+
+    #[test]
+    fn tpu_like_relaxes_per_cta_caps() {
+        let tpu = GpuSpec::tpu_v5p_like();
+        let a100 = GpuSpec::a100_sxm4_80gb();
+        // The defining properties of the systolic model: no per-CTA smem cap,
+        // few very wide cores, and a bigger in-flight requirement than A100.
+        assert_eq!(tpu.smem_per_cta_max, tpu.smem_per_sm);
+        assert!(tpu.num_sms < a100.num_sms / 4);
+        assert!(tpu.smem_per_cta_max > 4 * a100.smem_per_cta_max);
+        assert!(tpu.max_regs_per_thread > a100.max_regs_per_thread);
+        assert!(tpu.inflight_bytes_to_saturate() > a100.inflight_bytes_to_saturate());
     }
 }

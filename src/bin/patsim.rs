@@ -48,11 +48,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "patsim — prefix-aware attention simulator
 
 USAGE:
-  patsim kernel --b 1,4,16 --l 128,256,1024 [--heads 32/8] [--gpu a100|h100|v100|b200]
+  patsim kernel --b 1,4,16 --l 128,256,1024 [--heads 32/8] [--gpu a100|h100|v100|b200|tpu-like]
                [--chrome trace.json]
       Compare PAT and all baselines on one synthetic decode batch; --chrome
       dumps PAT's execution timeline for chrome://tracing / Perfetto.
-  patsim tiles [--gpu a100|h100|v100|b200]
+  patsim tiles [--gpu a100|h100|v100|b200|tpu-like]
       Print the multi-tile constraint solver's feasibility grid (Fig. 8b).
   patsim serve --trace toolagent|conversation|qwen-a|qwen-b --rate 5 --duration 20
                [--model llama3-8b|qwen3-8b|qwen25-72b|qwen3-30b-a3b] [--backend pat|fa|flashinfer|deft]
@@ -76,12 +76,12 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn gpu_of(flags: &HashMap<String, String>) -> Result<GpuSpec, String> {
-    match flags.get("gpu").map(String::as_str).unwrap_or("a100") {
-        "a100" => Ok(GpuSpec::a100_sxm4_80gb()),
-        "h100" => Ok(GpuSpec::h100_sxm5_80gb()),
-        "v100" => Ok(GpuSpec::v100_sxm2_32gb()),
-        "b200" => Ok(GpuSpec::b200_sxm_192gb()),
-        other => Err(format!("unknown gpu `{other}`")),
+    // `--gpu` wins; otherwise the `PAT_GPU_MODEL` env knob (default a100).
+    match flags.get("gpu") {
+        Some(name) => sim_gpu::GpuModel::parse(name)
+            .map(|m| m.spec())
+            .ok_or_else(|| format!("unknown gpu `{name}`")),
+        None => Ok(sim_gpu::gpu_model_from_env().spec()),
     }
 }
 

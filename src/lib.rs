@@ -81,9 +81,12 @@ pub mod prelude {
     };
     pub use kv_cache::{BlockId, BlockTable, CacheManager, PrefixForest};
     pub use kv_transfer::{FleetTopology, LinkSpec, TransferPlane};
-    pub use pat_core::{LazyPat, PatBackend, PatConfig, TileSelector, TileSolver};
+    pub use pat_core::{
+        tile_policy_from_env, AutotunedPolicy, HeuristicPolicy, LazyPat, PatBackend, PatConfig,
+        TileCache, TileContext, TileError, TilePolicy, TilePolicyKind, TileSelector, TileSolver,
+    };
     pub use replica_fidelity::{fidelity_from_env, Fidelity, ReplicaModel};
     pub use serving::{simulate_serving, ModelSpec, ServingConfig, ServingEngine};
-    pub use sim_gpu::{Engine, GpuSpec};
+    pub use sim_gpu::{gpu_model_from_env, Engine, GpuModel, GpuSpec};
     pub use workloads::{figure11_specs, generate_trace, BatchSpec, TraceConfig, TraceKind};
 }
