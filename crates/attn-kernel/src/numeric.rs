@@ -100,18 +100,32 @@ pub fn execute_numeric(
         }
     }
 
-    let per_query = partials
-        .into_iter()
-        .map(|heads| {
-            let mut out = Matrix::zeros(nh, d);
-            for (h, p) in heads.iter().enumerate() {
-                let row = p.finalize().expect("validated plan covers every query");
-                out.row_mut(h).copy_from_slice(&row);
-            }
-            out
-        })
-        .collect();
+    let per_query = finalize_partials(partials, nh, d)?;
     Ok(AttnOutput { per_query })
+}
+
+/// Finalizes the per-(query, head) accumulators into output rows. An empty
+/// accumulator means the plan left a (query, head) unattended, which
+/// `validate` should have rejected — surface it as a coverage error rather
+/// than panicking.
+fn finalize_partials(
+    partials: Vec<Vec<PartialAttn>>,
+    nh: usize,
+    d: usize,
+) -> Result<Vec<Matrix>, PlanError> {
+    let mut per_query = Vec::with_capacity(partials.len());
+    for (q, heads) in partials.into_iter().enumerate() {
+        let mut out = Matrix::zeros(nh, d);
+        for (h, p) in heads.iter().enumerate() {
+            let row = p.finalize().map_err(|_| PlanError::CoverageMismatch {
+                query: q,
+                detail: format!("no CTA attended head {h}"),
+            })?;
+            out.row_mut(h).copy_from_slice(&row);
+        }
+        per_query.push(out);
+    }
+    Ok(per_query)
 }
 
 /// The unpacked reference: every query attends over its full KV sequence.
@@ -330,7 +344,9 @@ pub fn execute_numeric_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            // A worker panic is re-raised on the caller's thread with its
+            // original payload, not wrapped in a second panic message.
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
 
@@ -344,17 +360,7 @@ pub fn execute_numeric_parallel(
             }
         }
     }
-    let per_query = merged
-        .into_iter()
-        .map(|heads| {
-            let mut out = Matrix::zeros(nh, d);
-            for (h, p) in heads.iter().enumerate() {
-                let row = p.finalize().expect("validated plan covers every query");
-                out.row_mut(h).copy_from_slice(&row);
-            }
-            out
-        })
-        .collect();
+    let per_query = finalize_partials(merged, nh, d)?;
     Ok(AttnOutput { per_query })
 }
 

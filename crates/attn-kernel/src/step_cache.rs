@@ -101,13 +101,11 @@ impl StepSimCache {
         }
     }
 
-    /// Creates a cache sized from the `PAT_STEP_CACHE` environment variable
-    /// (entries; default [`DEFAULT_STEP_CACHE_CAPACITY`]).
+    /// Creates a cache sized from the `PAT_STEP_CACHE` knob (entries;
+    /// default [`DEFAULT_STEP_CACHE_CAPACITY`]).
     pub fn from_env() -> Self {
-        let capacity = std::env::var("PAT_STEP_CACHE")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_STEP_CACHE_CAPACITY);
+        let capacity =
+            sim_core::knobs::usize_knob("PAT_STEP_CACHE").unwrap_or(DEFAULT_STEP_CACHE_CAPACITY);
         StepSimCache::new(capacity)
     }
 

@@ -214,15 +214,17 @@ mod tests {
     use crate::{CtaPlan, KvSlice};
     use attn_math::HeadConfig;
     use kv_cache::{BlockId, BlockTable};
+    use sim_core::cast::usize_to_u32;
 
     fn batch(n_queries: usize, shared_blocks: usize, private_blocks: usize) -> DecodeBatch {
         let head = HeadConfig::new(32, 8, 128);
         let bs = 16;
         let tables = (0..n_queries)
             .map(|q| {
-                let mut ids: Vec<BlockId> = (0..shared_blocks as u32).map(BlockId).collect();
+                let mut ids: Vec<BlockId> = (0..usize_to_u32(shared_blocks)).map(BlockId).collect();
                 ids.extend(
-                    (0..private_blocks as u32).map(|i| BlockId(10_000 + q as u32 * 512 + i)),
+                    (0..usize_to_u32(private_blocks))
+                        .map(|i| BlockId(10_000 + usize_to_u32(q) * 512 + i)),
                 );
                 BlockTable::new(ids, (shared_blocks + private_blocks) * bs, bs)
             })

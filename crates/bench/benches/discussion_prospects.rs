@@ -130,5 +130,5 @@ note: the raw PAT-vs-FA speedup shrinks on newer parts because their much"
     println!("\npaper §9: benefits shrink for architectures that compress or remove KV");
     println!("state (MLA, linear attention, MLKV) — the absolute time PAT saves per");
     println!("attention call drops with the KV footprint.");
-    save_json("discussion_prospects", &(&hw_rows, &arch_rows));
+    save_json("discussion_prospects", &(&hw_rows, &arch_rows)).expect("persist bench results");
 }

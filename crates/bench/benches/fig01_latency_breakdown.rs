@@ -51,5 +51,5 @@ fn main() {
     }
     println!("\npaper: decode attention contributes up to 53% of END-TO-END latency");
     println!("       (prefill included); within a decode step the share is higher.");
-    save_json("fig01_latency_breakdown", &rows);
+    save_json("fig01_latency_breakdown", &rows).expect("persist bench results");
 }

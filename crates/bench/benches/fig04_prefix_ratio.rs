@@ -78,5 +78,5 @@ fn main() {
     }
     println!("\npaper: prefix ratios 51.9-75.0%; intra-batch coverage 2.8-82.6%;");
     println!("       2.72 distinct shared prefixes per batch on average.");
-    save_json("fig04_prefix_ratio", &rows);
+    save_json("fig04_prefix_ratio", &rows).expect("persist bench results");
 }

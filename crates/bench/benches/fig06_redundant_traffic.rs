@@ -55,8 +55,12 @@ fn main() {
                 })
                 .collect();
             let batch = DecodeBatch::new(head, tables.clone(), 2);
-            let fa = time_backend(&FlashAttention::new(), &batch, &spec).expect("supported");
-            let pat = time_backend(&PatBackend::new(), &batch, &spec).expect("supported");
+            let fa = time_backend(&FlashAttention::new(), &batch, &spec)
+                .expect("plan simulates")
+                .expect("supported");
+            let pat = time_backend(&PatBackend::new(), &batch, &spec)
+                .expect("plan simulates")
+                .expect("supported");
             fa_sum += fa.traffic.kv_dram_bytes;
             pat_sum += pat.traffic.kv_dram_bytes;
             opt_sum += theoretical_min_kv_bytes(&batch);
@@ -83,5 +87,5 @@ fn main() {
     // A FlashAttention-vs-backend check is meaningful per layer; the numbers
     // above are per decode step for one layer.
     println!("\npaper: FA loads 4.3-8.7x the theoretical minimum and 4.1-7.5x PAT.");
-    save_json("fig06_redundant_traffic", &rows);
+    save_json("fig06_redundant_traffic", &rows).expect("persist bench results");
 }

@@ -45,7 +45,7 @@ fn main() {
     );
 
     banner("Fig. 8c/d — kernel equivalence @ batch 1134, KV 1024, no prefixes");
-    let rows = kernel_equivalence(&spec, 1134);
+    let rows = kernel_equivalence(&spec, 1134).expect("equivalence sweep simulates");
     println!(
         "{:>12} {:>8} {:>12} {:>14}",
         "tile", "C/SM", "bw util", "latency (us)"
@@ -77,5 +77,6 @@ fn main() {
             table,
             equivalence: rows,
         },
-    );
+    )
+    .expect("persist bench results");
 }

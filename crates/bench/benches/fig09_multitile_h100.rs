@@ -26,7 +26,7 @@ fn main() {
     );
 
     banner("Fig. 9a/b — kernel equivalence @ batch 1188, KV 1024, no prefixes (H100)");
-    let rows = kernel_equivalence(&spec, 1188);
+    let rows = kernel_equivalence(&spec, 1188).expect("equivalence sweep simulates");
     println!(
         "{:>12} {:>8} {:>12} {:>14}",
         "tile", "C/SM", "bw util", "latency (us)"
@@ -57,5 +57,6 @@ fn main() {
             table,
             equivalence: rows,
         },
-    );
+    )
+    .expect("persist bench results");
 }

@@ -8,6 +8,7 @@ use pat_bench::{run_kernel_figure, save_json};
 use sim_gpu::GpuSpec;
 
 fn main() {
-    let cells = run_kernel_figure(&GpuSpec::a100_sxm4_80gb(), "Fig. 11");
-    save_json("fig11_kernel_a100", &cells);
+    let cells =
+        run_kernel_figure(&GpuSpec::a100_sxm4_80gb(), "Fig. 11").expect("kernel figure simulates");
+    save_json("fig11_kernel_a100", &cells).expect("persist bench results");
 }

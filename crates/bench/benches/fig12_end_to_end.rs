@@ -117,5 +117,5 @@ fn main() {
         println!("vs {base:<18} TPOT reduction {lo:.1}%..{hi:.1}%");
     }
     println!("paper: 17.2-68.1% vs Relay++, 17.0-89.5% vs FA, 32.2-93.1% vs FlashInfer");
-    save_json("fig12_end_to_end", &rows);
+    save_json("fig12_end_to_end", &rows).expect("persist bench results");
 }

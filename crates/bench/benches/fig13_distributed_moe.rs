@@ -91,5 +91,5 @@ fn main() {
     }
     println!("\npaper: PAT reduces average TPOT by 14.3-26.7% (72B, TP/PP)");
     println!("       and 5.53-16.9% (30B-A3B MoE).");
-    save_json("fig13_distributed_moe", &rows);
+    save_json("fig13_distributed_moe", &rows).expect("persist bench results");
 }

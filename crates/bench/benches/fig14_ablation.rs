@@ -65,5 +65,5 @@ fn main() {
     }
     println!("\npaper: latency +4.6% (compute), +10.4% (naive), +39% (fixed), +4.8% (serial);");
     println!("       memory  +10.9% (compute), +16.7% (naive).");
-    save_json("fig14_ablation", &rows);
+    save_json("fig14_ablation", &rows).expect("persist bench results");
 }

@@ -66,5 +66,6 @@ fn main() {
             multi_stream_gantt: multi_gantt,
             serial_gantt,
         },
-    );
+    )
+    .expect("persist bench results");
 }

@@ -65,5 +65,5 @@ fn main() {
     }
     println!("\npaper: scheduling latency below pre-attention latency by 42.3% / 49.6%;");
     println!("       run asynchronously it adds no end-to-end latency.");
-    save_json("fig16_overhead", &rows);
+    save_json("fig16_overhead", &rows).expect("persist bench results");
 }

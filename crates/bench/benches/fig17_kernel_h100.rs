@@ -5,6 +5,7 @@ use pat_bench::{run_kernel_figure, save_json};
 use sim_gpu::GpuSpec;
 
 fn main() {
-    let cells = run_kernel_figure(&GpuSpec::h100_sxm5_80gb(), "Fig. 17");
-    save_json("fig17_kernel_h100", &cells);
+    let cells =
+        run_kernel_figure(&GpuSpec::h100_sxm5_80gb(), "Fig. 17").expect("kernel figure simulates");
+    save_json("fig17_kernel_h100", &cells).expect("persist bench results");
 }

@@ -127,5 +127,5 @@ fn main() {
             "does NOT consistently beat"
         }
     );
-    save_json("fig18_cluster_routing", &rows);
+    save_json("fig18_cluster_routing", &rows).expect("persist bench results");
 }

@@ -200,7 +200,7 @@ fn summarize(fleet: &str, r: &ControlResult) -> FleetSummary {
 }
 
 fn main() {
-    let smoke = std::env::var("PAT_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let smoke = sim_core::knobs::flag("PAT_BENCH_SMOKE");
     let sc = if smoke { SMOKE } else { FULL };
     let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
     let arrivals = BurstyArrivals::new(
@@ -321,7 +321,7 @@ fn main() {
             summarize("static", &static_fleet),
         ],
     };
-    save_json("fig_failover", &report);
+    save_json("fig_failover", &report).expect("persist bench results");
     if smoke {
         println!("smoke run complete; committed BENCH_failover.json left untouched");
         return;
@@ -332,7 +332,7 @@ fn main() {
         std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_failover.json");
     std::fs::write(
         &root_copy,
-        serde_json::to_string_pretty(&report).expect("serializable"),
+        pat_bench::artifact_json(&report).expect("serializable"),
     )
     .expect("write BENCH_failover.json");
     println!("wrote {}", root_copy.display());

@@ -274,7 +274,7 @@ fn scale_config(sc: &Scenario) -> ControllerConfig {
 }
 
 fn main() {
-    let smoke = std::env::var("PAT_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let smoke = sim_core::knobs::flag("PAT_BENCH_SMOKE");
     let sc = if smoke { SMOKE } else { FULL };
 
     // ---- Cell 1: validation — the same stream under each fidelity. ------
@@ -502,7 +502,7 @@ fn main() {
         scale_p99_ttft_ms: scale.p99_ttft_ms,
         scale_phases: scale.phases.clone(),
     };
-    save_json("fig_fleet_scale_sim", &projection);
+    save_json("fig_fleet_scale_sim", &projection).expect("persist bench results");
 
     let report = FleetScaleReport {
         slo_ttft_ms: SLO_TTFT_MS,
@@ -510,7 +510,7 @@ fn main() {
         validation,
         scale,
     };
-    save_json("fig_fleet_scale", &report);
+    save_json("fig_fleet_scale", &report).expect("persist bench results");
     if smoke {
         println!("smoke run complete; committed BENCH_fleet_scale.json left untouched");
         return;
@@ -521,7 +521,7 @@ fn main() {
         std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet_scale.json");
     std::fs::write(
         &root_copy,
-        serde_json::to_string_pretty(&report).expect("serializable"),
+        pat_bench::artifact_json(&report).expect("serializable"),
     )
     .expect("write BENCH_fleet_scale.json");
     println!("wrote {}", root_copy.display());

@@ -290,7 +290,7 @@ fn build_report(sc: &Scenario, trace: &[workloads::Request]) -> KvTransferReport
 }
 
 fn main() {
-    let smoke = std::env::var("PAT_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let smoke = sim_core::knobs::flag("PAT_BENCH_SMOKE");
     let sc = if smoke { SMOKE } else { FULL };
     let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
     let arrivals = BurstyArrivals::new(
@@ -323,8 +323,8 @@ fn main() {
     // its bit-determinism, so the reports have to serialize identically.
     let report = build_report(&sc, &trace);
     let rerun = build_report(&sc, &trace);
-    let json = serde_json::to_string_pretty(&report).expect("serializable");
-    let rerun_json = serde_json::to_string_pretty(&rerun).expect("serializable");
+    let json = pat_bench::artifact_json(&report).expect("serializable");
+    let rerun_json = pat_bench::artifact_json(&rerun).expect("serializable");
     assert_eq!(
         json, rerun_json,
         "rerun diverged: the run is not deterministic"
@@ -415,7 +415,7 @@ fn main() {
         );
     }
 
-    save_json("fig_kv_transfer", &report);
+    save_json("fig_kv_transfer", &report).expect("persist bench results");
     if smoke {
         println!("smoke run complete; committed BENCH_kv_transfer.json left untouched");
         return;

@@ -87,7 +87,7 @@ fn pat(policy: TilePolicyKind) -> PatBackend {
 }
 
 fn main() {
-    let smoke = std::env::var("PAT_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let smoke = sim_core::knobs::flag("PAT_BENCH_SMOKE");
     // The smoke subset keeps the A100 anchor plus B200 — the device whose
     // constraint geometry departs furthest, so both the win-a-cell and the
     // margin-shift assertions stay meaningful.
@@ -183,7 +183,7 @@ fn main() {
     let mut sensitivity = Vec::new();
     for model in &models {
         let spec = model.spec();
-        let sweep = kernel_equivalence(&spec, sweep_batch);
+        let sweep = kernel_equivalence(&spec, sweep_batch).expect("equivalence sweep simulates");
         let (lo, hi) = sweep.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), r| {
             (lo.min(r.latency_us), hi.max(r.latency_us))
         });
@@ -201,5 +201,5 @@ fn main() {
         });
     }
 
-    save_json("fig_tile_autotune", &Results { cells, sensitivity });
+    save_json("fig_tile_autotune", &Results { cells, sensitivity }).expect("persist bench results");
 }

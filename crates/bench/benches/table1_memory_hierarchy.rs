@@ -37,5 +37,5 @@ fn main() {
             spec.inflight_bytes_to_saturate() / 1e6
         );
     }
-    save_json("table1_memory_hierarchy", &rows);
+    save_json("table1_memory_hierarchy", &rows).expect("persist bench results");
 }

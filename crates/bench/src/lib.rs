@@ -27,19 +27,119 @@ pub fn banner(title: &str) {
     println!("{}", "=".repeat(78));
 }
 
-/// Directory where bench harnesses persist their JSON series.
-pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-results");
-    fs::create_dir_all(&dir).expect("create bench-results dir");
-    dir
+/// A bench-harness failure: filesystem trouble under
+/// `target/bench-results/`, result-set serialization, or a backend plan the
+/// kernel simulator rejects. Harness `main`s `.expect()` these — a figure
+/// regeneration that cannot persist its output should abort loudly — while
+/// library code propagates them.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path being created or written.
+        path: PathBuf,
+        /// The underlying IO error.
+        source: std::io::Error,
+    },
+    /// JSON serialization of a result set failed.
+    Serialize(String),
+    /// A backend produced a plan the kernel simulator rejected, or failed
+    /// to plan a batch the harness requires it to support.
+    Plan {
+        /// The system whose plan failed.
+        system: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
-/// Writes a JSON-serializable result set for later inspection.
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    fs::write(&path, json).expect("write results");
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            BenchError::Serialize(e) => write!(f, "serializing results: {e}"),
+            BenchError::Plan { system, detail } => write!(f, "{system}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Directory where bench harnesses persist their JSON series.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the directory cannot be created.
+pub fn results_dir() -> Result<PathBuf, BenchError> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-results");
+    fs::create_dir_all(&dir).map_err(|source| BenchError::Io {
+        path: dir.clone(),
+        source,
+    })?;
+    Ok(dir)
+}
+
+/// Writes a JSON-serializable result set for later inspection. Every
+/// persisted artifact embeds the output-scoped PAT_* knob snapshot under a
+/// top-level `"knobs"` field (see `sim_core::knobs`), so a result file
+/// always records the configuration that produced it.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Serialize`] when the value cannot be rendered and
+/// [`BenchError::Io`] when the file cannot be written.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> Result<(), BenchError> {
+    let path = results_dir()?.join(format!("{name}.json"));
+    let json = artifact_json(value)?;
+    fs::write(&path, json).map_err(|source| BenchError::Io {
+        path: path.clone(),
+        source,
+    })?;
     println!("[saved {}]", path.display());
+    Ok(())
+}
+
+/// Renders a result set as the exact bytes [`save_json`] persists: pretty
+/// JSON with the output-scoped knob snapshot embedded. Use this for
+/// additional committed copies of an artifact (the `BENCH_*.json` records
+/// at the repository root) so every persisted form carries its knobs.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Serialize`] when the value cannot be rendered.
+pub fn artifact_json<T: Serialize>(value: &T) -> Result<String, BenchError> {
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| BenchError::Serialize(e.to_string()))?;
+    Ok(embed_knobs(&json))
+}
+
+/// Splices the knob snapshot into a pretty-printed top-level JSON object
+/// (or array, which is wrapped as `{"knobs": …, "data": […]}`). Inputs
+/// that are neither are returned unchanged.
+fn embed_knobs(json: &str) -> String {
+    let knobs = sim_core::knobs::snapshot().artifact_json();
+    let trimmed = json.trim_end();
+    if let Some(rest) = trimmed.strip_prefix('{') {
+        // `{}` → `{"knobs": …}`; `{…}` → `{"knobs": …, …}`.
+        let rest = rest.trim_start();
+        if rest == "}" {
+            format!("{{\n  \"knobs\": {knobs}\n}}")
+        } else {
+            format!("{{\n  \"knobs\": {knobs},\n  {rest}")
+        }
+    } else if trimmed.starts_with('[') {
+        let indented = trimmed.replace('\n', "\n  ");
+        format!("{{\n  \"knobs\": {knobs},\n  \"data\": {indented}\n}}")
+    } else {
+        json.to_string()
+    }
 }
 
 /// The eight systems of the kernel benchmark (Fig. 11/17), PAT first.
@@ -71,20 +171,30 @@ pub struct KernelCell {
     pub normalized: Option<f64>,
 }
 
-/// Simulates one backend on one batch; `None` if unsupported.
+/// Simulates one backend on one batch; `Ok(None)` if unsupported.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Plan`] when the backend's plan fails validation or
+/// kernel simulation.
 pub fn time_backend(
     backend: &dyn AttentionBackend,
     batch: &DecodeBatch,
     spec: &GpuSpec,
-) -> Option<TimingReport> {
+) -> Result<Option<TimingReport>, BenchError> {
     if !backend.supports(batch) {
-        return None;
+        return Ok(None);
     }
     let plan = backend.plan(batch, spec);
-    plan.validate(batch).unwrap_or_else(|e| {
-        panic!("{} produced an invalid plan: {e}", backend.name());
-    });
-    Some(simulate_plan(batch, &plan, spec).expect("plan simulates"))
+    plan.validate(batch).map_err(|e| BenchError::Plan {
+        system: backend.name().to_string(),
+        detail: format!("produced an invalid plan: {e}"),
+    })?;
+    let report = simulate_plan(batch, &plan, spec).map_err(|e| BenchError::Plan {
+        system: backend.name().to_string(),
+        detail: format!("plan failed kernel simulation: {e}"),
+    })?;
+    Ok(Some(report))
 }
 
 /// Formats an optional latency for table output.
@@ -116,8 +226,66 @@ mod tests {
             2,
         );
         let spec = GpuSpec::a100_sxm4_80gb();
-        assert!(time_backend(&FastTree::new(), &batch, &spec).is_none());
-        assert!(time_backend(&FlashAttention::new(), &batch, &spec).is_some());
+        let fasttree = time_backend(&FastTree::new(), &batch, &spec).expect("simulates");
+        assert!(fasttree.is_none());
+        let fa = time_backend(&FlashAttention::new(), &batch, &spec).expect("simulates");
+        assert!(fa.is_some());
+    }
+
+    /// Round trip: the knob snapshot embedded by [`artifact_json`] parses
+    /// back to exactly `knobs::snapshot().artifact_map()`, overrides
+    /// included, and perf-only knobs never leak into the artifact.
+    #[test]
+    fn artifact_json_round_trips_the_knob_snapshot() {
+        use serde::Value;
+        use sim_core::knobs;
+
+        fn knob_strings(json: &str) -> Vec<(String, String)> {
+            let value: Value = serde_json::from_str(json).expect("valid JSON");
+            let embedded = value
+                .get("knobs")
+                .and_then(Value::as_map)
+                .expect("knobs map");
+            embedded
+                .iter()
+                .map(|(k, v)| match v {
+                    Value::Str(s) => (k.clone(), s.clone()),
+                    other => panic!("knob {k} must be a string, got {other:?}"),
+                })
+                .collect()
+        }
+
+        knobs::set_override("PAT_GPU_MODEL", Some("h100"));
+        let json = artifact_json(&vec![1u64, 2, 3]).expect("serializes");
+        knobs::set_override("PAT_GPU_MODEL", None);
+        let overridden = knob_strings(&json);
+        assert!(
+            overridden
+                .iter()
+                .any(|(k, v)| k == "PAT_GPU_MODEL" && v == "h100"),
+            "override must be captured in the artifact: {overridden:?}"
+        );
+        assert!(
+            overridden
+                .iter()
+                .all(|(k, _)| k != "PAT_SIM_THREADS" && k != "PAT_STEP_CACHE"),
+            "perf-only knobs must not appear in artifacts: {overridden:?}"
+        );
+        // Non-object payloads are wrapped so the snapshot always fits.
+        let value: Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(
+            value.get("data").is_some(),
+            "array payload wrapped under `data`"
+        );
+
+        // With the override cleared, a fresh embed matches the registry
+        // snapshot key-for-key and value-for-value.
+        let fresh: std::collections::BTreeMap<String, String> =
+            knob_strings(&artifact_json(&vec![0u64]).expect("serializes"))
+                .into_iter()
+                .collect();
+        let expected = knobs::snapshot().artifact_map();
+        assert_eq!(fresh, expected, "embedded snapshot must round-trip exactly");
     }
 }
 
@@ -125,7 +293,13 @@ mod tests {
 /// 20 decode-batch configurations × 4 head configurations × 8 systems.
 /// Prints normalized performance (PAT = 1.00, higher is better) and returns
 /// all cells.
-pub fn run_kernel_figure(spec: &GpuSpec, figure: &str) -> Vec<KernelCell> {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Plan`] when any system's plan fails simulation, or
+/// when PAT itself reports a grid batch unsupported (it must support all of
+/// them to serve as the normalization baseline).
+pub fn run_kernel_figure(spec: &GpuSpec, figure: &str) -> Result<Vec<KernelCell>, BenchError> {
     use attn_math::HeadConfig;
     use workloads::figure11_specs;
 
@@ -145,11 +319,17 @@ pub fn run_kernel_figure(spec: &GpuSpec, figure: &str) -> Vec<KernelCell> {
         println!();
         for (i, batch_spec) in figure11_specs().iter().enumerate() {
             let batch = batch_spec.build(head);
-            let times: Vec<Option<f64>> = systems
-                .iter()
-                .map(|s| time_backend(s.as_ref(), &batch, spec).map(|r| r.total_ns))
-                .collect();
-            let pat_ns = times[0].expect("PAT supports everything");
+            let mut times: Vec<Option<f64>> = Vec::with_capacity(systems.len());
+            for s in &systems {
+                times.push(time_backend(s.as_ref(), &batch, spec)?.map(|r| r.total_ns));
+            }
+            let pat_ns = times[0].ok_or_else(|| BenchError::Plan {
+                system: "PAT".to_string(),
+                detail: format!(
+                    "reported grid batch `{}` unsupported; it is the normalization baseline",
+                    batch_spec.label()
+                ),
+            })?;
             print!("({:>2}) {:<23}", i + 1, batch_spec.label());
             for (s, t) in systems.iter().zip(&times) {
                 let normalized = t.map(|ns| pat_ns / ns);
@@ -169,7 +349,7 @@ pub fn run_kernel_figure(spec: &GpuSpec, figure: &str) -> Vec<KernelCell> {
         }
     }
     summarize_kernel_cells(&cells);
-    cells
+    Ok(cells)
 }
 
 fn shorten(name: &str) -> String {
@@ -245,7 +425,15 @@ pub struct EquivalenceRow {
 /// Runs the kernel-equivalence validation of §5.2: a no-prefix decode batch
 /// (KV length 1024) executed under every feasible tile configuration. All
 /// feasible tiles should sustain similar bandwidth utilization and latency.
-pub fn kernel_equivalence(spec: &GpuSpec, batch_size: usize) -> Vec<EquivalenceRow> {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Plan`] when a feasible tile's plan fails kernel
+/// simulation.
+pub fn kernel_equivalence(
+    spec: &GpuSpec,
+    batch_size: usize,
+) -> Result<Vec<EquivalenceRow>, BenchError> {
     use attn_kernel::{CtaPlan, KernelPlan, KvSlice};
     use attn_math::HeadConfig;
     use kv_cache::{BlockId, BlockTable};
@@ -279,7 +467,10 @@ pub fn kernel_equivalence(spec: &GpuSpec, batch_size: usize) -> Vec<EquivalenceR
             })
             .collect();
         let plan = KernelPlan::new(ctas);
-        let report = simulate_plan(&batch, &plan, spec).expect("valid plan");
+        let report = simulate_plan(&batch, &plan, spec).map_err(|e| BenchError::Plan {
+            system: format!("tile {tile}"),
+            detail: format!("plan failed kernel simulation: {e}"),
+        })?;
         rows.push(EquivalenceRow {
             tile: tile.to_string(),
             ctas_per_sm: occupancy.ctas_per_sm(tile.resources(128, 2)).unwrap_or(0),
@@ -287,5 +478,5 @@ pub fn kernel_equivalence(spec: &GpuSpec, batch_size: usize) -> Vec<EquivalenceR
             latency_us: report.forward_ns / 1000.0,
         });
     }
-    rows
+    Ok(rows)
 }

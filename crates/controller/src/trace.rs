@@ -11,11 +11,14 @@
 use crate::metrics::{ControlResult, TimelineEvent};
 use sim_core::SimTime;
 
-/// Serializes a timeline into Trace Event Format JSON.
+/// Serializes a timeline into Trace Event Format JSON (object form).
 ///
 /// Timestamps are microseconds (the format's native unit); replicas map to
 /// thread ids under process 0, fleet-wide events (ticks, scaling) to thread
-/// id 0 under process 1. Instant events use thread scope (`"s":"t"`).
+/// id 0 under process 1. Instant events use thread scope (`"s":"t"`). The
+/// events sit under `traceEvents`, and `otherData.knobs` records the
+/// output-scoped knob snapshot (`sim_core::knobs`) so every exported trace
+/// carries the configuration that produced it.
 ///
 /// # Examples
 ///
@@ -23,7 +26,8 @@ use sim_core::SimTime;
 /// use controller::timeline_chrome_json;
 ///
 /// let json = timeline_chrome_json(&[]);
-/// assert_eq!(json, "[]");
+/// assert!(json.starts_with("{\"traceEvents\":[]"));
+/// assert!(json.contains("\"knobs\""));
 /// ```
 pub fn timeline_chrome_json(timeline: &[TimelineEvent]) -> String {
     let events: Vec<String> = timeline
@@ -59,7 +63,11 @@ pub fn timeline_chrome_json(timeline: &[TimelineEvent]) -> String {
             }
         })
         .collect();
-    format!("[{}]", events.join(","))
+    format!(
+        "{{\"traceEvents\":[{}],\"otherData\":{{\"knobs\":{}}}}}",
+        events.join(","),
+        sim_core::knobs::snapshot().artifact_json(),
+    )
 }
 
 /// [`timeline_chrome_json`] applied to a run's result.
@@ -76,7 +84,7 @@ fn json_string(s: &str) -> String {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }

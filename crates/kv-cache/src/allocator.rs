@@ -56,7 +56,9 @@ impl BlockAllocator {
     pub fn new(capacity: usize) -> Self {
         BlockAllocator {
             refcounts: vec![0; capacity],
-            free: (0..capacity as u32).map(BlockId).collect(),
+            free: (0..sim_core::cast::usize_to_u32(capacity))
+                .map(BlockId)
+                .collect(),
         }
     }
 

@@ -35,6 +35,7 @@ use attn_kernel::{simulate_plan, DecodeBatch, TileConfig};
 use attn_math::HeadConfig;
 use kv_cache::{BlockId, BlockTable, DEFAULT_BLOCK_SIZE};
 use serde::{Deserialize, Serialize};
+use sim_core::cast::usize_to_u32;
 use sim_gpu::{GpuModel, GpuSpec};
 use std::fmt;
 use std::sync::OnceLock;
@@ -93,8 +94,7 @@ impl fmt::Display for TilePolicyKind {
 /// The policy selected by [`TILE_POLICY_ENV`], defaulting to
 /// [`TilePolicyKind::Heuristic`] when unset or unrecognized.
 pub fn tile_policy_from_env() -> TilePolicyKind {
-    std::env::var(TILE_POLICY_ENV)
-        .ok()
+    sim_core::knobs::raw(TILE_POLICY_ENV)
         .and_then(|v| TilePolicyKind::parse(&v))
         .unwrap_or(TilePolicyKind::Heuristic)
 }
@@ -430,8 +430,8 @@ fn bucket_batch(head: HeadConfig, rows_class: usize, kv_lo: usize, kv_hi: usize)
         .flat_map(|c| {
             let len = lo + c * (hi - lo) / (TUNE_CTAS - 1);
             let blocks = len.div_ceil(bs);
-            let ids: Vec<BlockId> = (0..blocks as u32)
-                .map(|i| BlockId(c as u32 * 100_000 + i))
+            let ids: Vec<BlockId> = (0..usize_to_u32(blocks))
+                .map(|i| BlockId(usize_to_u32(c) * 100_000 + i))
                 .collect();
             (0..queries_per_cta).map(move |_| BlockTable::new(ids.clone(), len, bs))
         })

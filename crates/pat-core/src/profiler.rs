@@ -11,6 +11,7 @@
 use attn_kernel::{simulate_plan, CtaPlan, DecodeBatch, KernelPlan, KvSlice, TileConfig};
 use attn_math::HeadConfig;
 use kv_cache::{BlockId, BlockTable, DEFAULT_BLOCK_SIZE};
+use sim_core::cast::usize_to_u32;
 use sim_gpu::GpuSpec;
 use std::collections::BTreeSet;
 
@@ -118,8 +119,8 @@ fn mixed_batch(head: HeadConfig, batch_size: usize, kv: usize) -> DecodeBatch {
         .map(|q| {
             let len = (kv / 2 + q * kv / batch_size).max(bs);
             let blocks = len.div_ceil(bs);
-            let ids: Vec<BlockId> = (0..blocks as u32)
-                .map(|i| BlockId(q as u32 * 100_000 + i))
+            let ids: Vec<BlockId> = (0..usize_to_u32(blocks))
+                .map(|i| BlockId(usize_to_u32(q) * 100_000 + i))
                 .collect();
             BlockTable::new(ids, len, bs)
         })

@@ -43,7 +43,7 @@ pub fn split_long_kv(packs: Vec<Pack>, block_size: usize) -> Vec<Pack> {
             out.push(pack);
             continue;
         }
-        let parts = (pack.tokens as f64 / mean).ceil() as usize;
+        let parts = sim_core::cast::f64_to_usize((pack.tokens as f64 / mean).ceil());
         let parts = parts.min(pack.blocks.len()).max(1);
         let blocks_per_part = pack.blocks.len().div_ceil(parts);
         let mut consumed_tokens = 0;
@@ -78,7 +78,9 @@ mod tests {
     fn pack(q: usize, nblocks: u32, tokens: usize) -> Pack {
         Pack {
             queries: vec![q],
-            blocks: (0..nblocks).map(|i| BlockId(q as u32 * 1000 + i)).collect(),
+            blocks: (0..nblocks)
+                .map(|i| BlockId(sim_core::cast::usize_to_u32(q) * 1000 + i))
+                .collect(),
             tokens,
             start: 0,
         }

@@ -466,6 +466,7 @@ impl ReplicaModel for AnalyticalReplica {
             preemptions: self.preemptions,
             dropped: self.dropped,
             plan_error: None,
+            fault: None,
         }
     }
 }

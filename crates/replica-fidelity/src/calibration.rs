@@ -40,6 +40,7 @@ use kv_cache::CacheManager;
 use pat_core::LazyPat;
 use serde::{Deserialize, Serialize};
 use serving::ModelSpec;
+use sim_core::cast::usize_to_u32;
 use sim_gpu::{GpuModel, GpuSpec};
 
 /// Documented relative-error bound of the analytical fidelity: on seeded
@@ -275,8 +276,8 @@ pub fn fit_entry(model: &ModelSpec, gpu: &GpuSpec, tp: usize) -> AttnCalibration
             let mut cache = CacheManager::new(blocks_needed, 16);
             let mut tables = Vec::with_capacity(queries);
             for _ in 0..queries {
-                let tokens: Vec<u32> = (next_token..next_token + kv_len as u32).collect();
-                next_token += kv_len as u32;
+                let tokens: Vec<u32> = (next_token..next_token + usize_to_u32(kv_len)).collect();
+                next_token += usize_to_u32(kv_len);
                 match cache.insert_sequence(&tokens) {
                     Ok(table) => tables.push(table),
                     Err(_) => continue,

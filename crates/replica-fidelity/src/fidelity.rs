@@ -54,8 +54,7 @@ impl fmt::Display for Fidelity {
 /// The fidelity selected by [`FIDELITY_ENV`], defaulting to
 /// [`Fidelity::Exact`] when unset or unrecognized.
 pub fn fidelity_from_env() -> Fidelity {
-    std::env::var(FIDELITY_ENV)
-        .ok()
+    sim_core::knobs::raw(FIDELITY_ENV)
         .and_then(|v| Fidelity::parse(&v))
         .unwrap_or(Fidelity::Exact)
 }

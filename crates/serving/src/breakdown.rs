@@ -9,6 +9,7 @@ use crate::model::ModelSpec;
 use attn_kernel::{simulate_plan, AttentionBackend, DecodeBatch};
 use baselines::FlashAttention;
 use kv_cache::{BlockId, BlockTable, DEFAULT_BLOCK_SIZE};
+use sim_core::cast::usize_to_u32;
 use sim_gpu::GpuSpec;
 
 /// One row of the Fig. 1 breakdown.
@@ -42,8 +43,8 @@ pub fn latency_breakdown(
             let blocks = ctx.div_ceil(bs);
             let tables: Vec<BlockTable> = (0..batch)
                 .map(|q| {
-                    let ids: Vec<BlockId> = (0..blocks as u32)
-                        .map(|i| BlockId(q as u32 * 100_000 + i))
+                    let ids: Vec<BlockId> = (0..usize_to_u32(blocks))
+                        .map(|i| BlockId(usize_to_u32(q) * 100_000 + i))
                         .collect();
                     BlockTable::new(ids, ctx, bs)
                 })

@@ -22,7 +22,7 @@ use crate::model::ModelSpec;
 use attn_kernel::{batch_timing_fingerprint, simulate_plan_trusted, DecodeBatch};
 use attn_kernel::{StepSimCache, StepSimReport, StepSimStats};
 use attn_math::HeadConfig;
-use kv_cache::{BlockTable, CacheManager, DEFAULT_BLOCK_SIZE};
+use kv_cache::{AllocError, BlockTable, CacheManager, DEFAULT_BLOCK_SIZE};
 use serde::Serialize;
 use sim_core::{SimDuration, SimTime};
 use sim_gpu::{gpu_model_from_env, GpuSpec};
@@ -128,6 +128,41 @@ pub struct SimulationResult {
     /// set, the engine stopped planning and the remaining requests count
     /// as unfinished.
     pub plan_error: Option<String>,
+    /// Any [`EngineError`] that halted the replica, rendered as text —
+    /// plan failures (also in [`plan_error`](SimulationResult::plan_error))
+    /// plus kernel-simulation and KV-cache bookkeeping faults. `None` on a
+    /// clean run.
+    pub fault: Option<String>,
+}
+
+/// A broken engine invariant that halted the replica. Recorded rather than
+/// panicked: a fleet driver sees one stopped replica (its in-flight work
+/// counted as unfinished), not a crashed simulation process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Tile selection failed: the device/geometry admits no feasible tile.
+    Plan(String),
+    /// A backend-produced plan failed kernel simulation.
+    Simulate(String),
+    /// KV-cache bookkeeping diverged from the scheduler's view of it.
+    Cache {
+        /// The cache operation that failed.
+        op: &'static str,
+        /// The underlying allocator/cache error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Plan(e) => write!(f, "tile planning failed: {e}"),
+            EngineError::Simulate(e) => write!(f, "kernel simulation rejected a backend plan: {e}"),
+            EngineError::Cache { op, detail } => {
+                write!(f, "KV-cache bookkeeping fault in `{op}`: {detail}")
+            }
+        }
+    }
 }
 
 /// What one [`ServingEngine::step`] call accomplished.
@@ -192,8 +227,8 @@ pub struct ServingEngine {
     scratch_tables: Vec<BlockTable>,
     /// Scratch arena for the chunked-prefill completion list.
     scratch_finished: Vec<(usize, usize)>,
-    /// Tile-selection failure that halted this replica, if any.
-    plan_error: Option<String>,
+    /// First invariant fault that halted this replica, if any.
+    fault: Option<EngineError>,
 }
 
 impl ServingEngine {
@@ -237,8 +272,24 @@ impl ServingEngine {
             step_cache: StepSimCache::from_env(),
             scratch_tables: Vec::new(),
             scratch_finished: Vec::new(),
-            plan_error: None,
+            fault: None,
         }
+    }
+
+    /// Records the first fault and discards later ones: the first broken
+    /// invariant is the cause, anything after it is a symptom of the
+    /// already-corrupt state.
+    fn record_fault(&mut self, fault: EngineError) {
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
+    fn record_cache_fault(&mut self, op: &'static str, detail: impl std::fmt::Display) {
+        self.record_fault(EngineError::Cache {
+            op,
+            detail: detail.to_string(),
+        });
     }
 
     /// Replaces the step-simulation cache with one of `capacity` entries
@@ -380,11 +431,17 @@ impl ServingEngine {
     /// [`SimulationResult::preemptions`].
     pub fn take_incomplete(&mut self) -> Vec<Request> {
         let mut indices: Vec<usize> = Vec::new();
+        let mut free_fault: Option<AllocError> = None;
         for a in self.active.drain(..) {
-            self.cache
-                .free_sequence(&a.table)
-                .expect("active blocks are allocated");
+            // The request is still handed back for resubmission elsewhere;
+            // the freeing fault halts only this (now-retiring) replica.
+            if let Err(e) = self.cache.free_sequence(&a.table) {
+                free_fault = Some(e);
+            }
             indices.push(a.req_idx);
+        }
+        if let Some(e) = free_fault {
+            self.record_cache_fault("free_sequence (failover eviction)", e);
         }
         indices.extend(self.prefilling.drain(..).map(|(idx, _, _)| idx));
         indices.extend(self.waiting.drain(..));
@@ -418,9 +475,12 @@ impl ServingEngine {
             .max_by_key(|(_, a)| a.arrival)?
             .0;
         let a = self.active.swap_remove(victim);
-        self.cache
-            .free_sequence(&a.table)
-            .expect("victim blocks are allocated");
+        // A failed free corrupts the pool accounting: record the fault (the
+        // step loop halts on it) but still requeue the victim, so it is
+        // counted as unfinished rather than silently lost.
+        if let Err(e) = self.cache.free_sequence(&a.table) {
+            self.record_cache_fault("free_sequence (preemption)", e);
+        }
         self.waiting.push_front(a.req_idx);
         Some(a.req_idx)
     }
@@ -434,6 +494,11 @@ impl ServingEngine {
     /// Panics if a single request exceeds the KV pool even with every other
     /// request preempted.
     pub fn step(&mut self, attention: &mut dyn ServingAttention) -> StepOutcome {
+        // A faulted replica is halted: no further scheduling, in-flight
+        // requests surface as unfinished in `into_result`.
+        if self.fault.is_some() {
+            return StepOutcome::Idle;
+        }
         // Admit arrivals. Arrival seconds quantize onto the integer spine
         // once, here; the round trip through `as_secs_f64` is exact at
         // simulation scale, so rewritten arrival times re-admit identically.
@@ -550,7 +615,8 @@ impl ServingEngine {
                 // block is never cached and the request needs fresh logits.
                 let mut computed_tokens = 0usize;
                 let mut placed = Vec::with_capacity(admitted.len());
-                for (idx, prompt_tokens) in admitted {
+                let mut admitting = admitted.into_iter();
+                'admit: while let Some((idx, prompt_tokens)) = admitting.next() {
                     let tokens = self.requests[idx].prompt.to_tokens()[..prompt_tokens].to_vec();
                     let (table, hit_tokens) = loop {
                         let hits_before = self.cache.stats().hit_tokens;
@@ -563,6 +629,20 @@ impl ServingEngine {
                                 self.preemptions += 1;
                                 if self.preempt_latest().is_none() {
                                     panic!("a single request exceeds the KV pool");
+                                }
+                                if self.fault.is_some() {
+                                    // Preemption hit a cache fault: freeing
+                                    // made no room, so retrying can spin
+                                    // forever. Restore the un-admitted
+                                    // requests to the waiting queue (they
+                                    // count as unfinished) and halt.
+                                    let rest: Vec<usize> = std::iter::once(idx)
+                                        .chain(admitting.by_ref().map(|(i, _)| i))
+                                        .collect();
+                                    for &r in rest.iter().rev() {
+                                        self.waiting.push_front(r);
+                                    }
+                                    break 'admit;
                                 }
                             }
                         }
@@ -578,7 +658,11 @@ impl ServingEngine {
                     let arrival = SimTime::from_secs_f64(req.arrival_s);
                     if req.decode_tokens <= 1 {
                         let request_id = req.id;
-                        self.cache.free_sequence(&table).expect("allocated above");
+                        if let Err(e) = self.cache.free_sequence(&table) {
+                            // Completion metrics still count; the fault
+                            // halts the replica on the next step.
+                            self.record_cache_fault("free_sequence (prefill-only)", e);
+                        }
                         let latency = (self.clock - arrival).as_ns_f64();
                         self.completed.push(RequestMetrics {
                             request_id,
@@ -675,14 +759,23 @@ impl ServingEngine {
                         // No feasible tile for this device/geometry: record
                         // the typed failure and halt the replica cleanly.
                         // In-flight requests surface as `unfinished`.
-                        self.plan_error = Some(e.to_string());
+                        self.record_fault(EngineError::Plan(e.to_string()));
                         self.scratch_tables = batch.into_tables();
                         self.scratch_finished = finished_prefills;
                         return StepOutcome::Idle;
                     }
                 };
-                let full = simulate_plan_trusted(&batch, &plan, &self.config.gpu)
-                    .expect("backend plans are valid");
+                let full = match simulate_plan_trusted(&batch, &plan, &self.config.gpu) {
+                    Ok(full) => full,
+                    Err(e) => {
+                        // The backend produced a plan the kernel simulator
+                        // rejects — same clean halt as a planning failure.
+                        self.record_fault(EngineError::Simulate(e.to_string()));
+                        self.scratch_tables = batch.into_tables();
+                        self.scratch_finished = finished_prefills;
+                        return StepOutcome::Idle;
+                    }
+                };
                 let report = StepSimReport {
                     total_ns: full.total_ns,
                     scheduling_ns: full.scheduling_ns,
@@ -733,6 +826,11 @@ impl ServingEngine {
 
         let mut i = 0;
         while i < self.active.len() {
+            if self.fault.is_some() {
+                // A cache fault mid-append: stop mutating the pool; the
+                // replica halts on the next step call.
+                break;
+            }
             // Append this request's new token, preempting the youngest
             // request under KV pressure (possibly this one).
             let my_req = self.active[i].req_idx;
@@ -749,6 +847,9 @@ impl ServingEngine {
                 if self.preempt_latest().is_none() {
                     panic!("a single request exceeds the KV pool");
                 }
+                if self.fault.is_some() {
+                    break;
+                }
             }
             if !appended {
                 // Restart scanning: indices shifted and this slot now holds a
@@ -759,7 +860,9 @@ impl ServingEngine {
             self.active[i].produced += 1;
             if self.active[i].produced >= self.active[i].target {
                 let a = self.active.swap_remove(i);
-                self.cache.free_sequence(&a.table).expect("allocated above");
+                if let Err(e) = self.cache.free_sequence(&a.table) {
+                    self.record_cache_fault("free_sequence (completion)", e);
+                }
                 let gaps = (a.produced - 1).max(1) as f64;
                 self.completed.push(RequestMetrics {
                     request_id: self.requests[a.req_idx].id,
@@ -780,15 +883,24 @@ impl ServingEngine {
     fn admit_finished_prefills(&mut self, finished: &[(usize, usize)]) {
         for &(idx, prompt_tokens) in finished {
             let tokens = self.requests[idx].prompt.to_tokens()[..prompt_tokens].to_vec();
-            let table = self
-                .cache
-                .insert_sequence(&tokens)
-                .expect("admission reserved blocks");
+            let table = match self.cache.insert_sequence(&tokens) {
+                Ok(table) => table,
+                Err(e) => {
+                    // Admission reserved these blocks, so a failure here is
+                    // corrupt pool accounting: requeue the request (counted
+                    // as unfinished) and halt via the recorded fault.
+                    self.record_cache_fault("insert_sequence (chunked prefill)", e);
+                    self.waiting.push_front(idx);
+                    continue;
+                }
+            };
             let req = &self.requests[idx];
             let arrival = SimTime::from_secs_f64(req.arrival_s);
             if req.decode_tokens <= 1 {
                 let request_id = req.id;
-                self.cache.free_sequence(&table).expect("allocated above");
+                if let Err(e) = self.cache.free_sequence(&table) {
+                    self.record_cache_fault("free_sequence (chunked prefill-only)", e);
+                }
                 let latency = (self.clock - arrival).as_ns_f64();
                 self.completed.push(RequestMetrics {
                     request_id,
@@ -842,7 +954,11 @@ impl ServingEngine {
                 + (self.requests.len() - self.next_arrival),
             preemptions: self.preemptions,
             dropped: self.dropped,
-            plan_error: self.plan_error,
+            plan_error: match &self.fault {
+                Some(EngineError::Plan(e)) => Some(e.clone()),
+                _ => None,
+            },
+            fault: self.fault.as_ref().map(|f| f.to_string()),
         }
     }
 }

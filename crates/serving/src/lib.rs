@@ -43,7 +43,8 @@ pub use attn_kernel::{StepSimCache, StepSimReport, StepSimStats, DEFAULT_STEP_CA
 pub use breakdown::{latency_breakdown, BreakdownRow};
 pub use costs::CostModel;
 pub use engine::{
-    simulate_serving, Parallelism, ServingConfig, ServingEngine, SimulationResult, StepOutcome,
+    simulate_serving, EngineError, Parallelism, ServingConfig, ServingEngine, SimulationResult,
+    StepOutcome,
 };
 pub use metrics::{percentile, AggregateMetrics, RequestMetrics};
 pub use model::{ModelSpec, MoeSpec};

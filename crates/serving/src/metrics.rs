@@ -163,7 +163,7 @@ mod tests {
         if values.is_empty() {
             return 0.0;
         }
-        let need = ((values.len() as f64 * q).ceil() as usize).max(1);
+        let need = sim_core::cast::f64_to_usize((values.len() as f64 * q).ceil()).max(1);
         values
             .iter()
             .copied()

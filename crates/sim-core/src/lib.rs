@@ -35,7 +35,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cast;
 mod event;
+pub mod knobs;
 pub mod par;
 pub mod stats;
 mod time;

@@ -45,7 +45,7 @@ pub fn set_thread_override(threads: Option<usize>) {
 }
 
 /// The worker count every `par` entry point uses: the test override if set,
-/// else `PAT_SIM_THREADS` if parseable and non-zero, else available
+/// else the `PAT_SIM_THREADS` knob if parseable and non-zero, else available
 /// parallelism capped at 8 (fleet work units are coarse; more workers only
 /// add spawn overhead). Always at least 1.
 pub fn configured_threads() -> usize {
@@ -53,11 +53,9 @@ pub fn configured_threads() -> usize {
     if over > 0 {
         return over;
     }
-    if let Ok(v) = std::env::var("PAT_SIM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    if let Some(n) = crate::knobs::usize_knob("PAT_SIM_THREADS") {
+        if n > 0 {
+            return n;
         }
     }
     std::thread::available_parallelism()

@@ -39,7 +39,7 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, q)
 }
 
@@ -62,13 +62,12 @@ pub struct Samples {
 }
 
 impl Samples {
-    /// Takes ownership of `values` and sorts them ascending.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any value is NaN (metric samples are always finite).
+    /// Takes ownership of `values` and sorts them ascending by IEEE 754
+    /// total order (metric samples are always finite, so this is the usual
+    /// numeric order; a stray NaN would sort deterministically to the end
+    /// rather than panic).
     pub fn new(mut values: Vec<f64>) -> Self {
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values.sort_by(f64::total_cmp);
         let sum = values.iter().sum();
         Samples {
             sorted: values,

@@ -7,10 +7,13 @@
 
 use crate::trace::ExecutionTrace;
 
-/// Serializes the trace into Trace Event Format JSON.
+/// Serializes the trace into Trace Event Format JSON (object form).
 ///
 /// Timestamps are microseconds (the format's native unit); SMs map to
-/// thread ids under process 0, kernels to process 1 keyed by stream.
+/// thread ids under process 0, kernels to process 1 keyed by stream. The
+/// events sit under `traceEvents`, and `otherData.knobs` records the
+/// output-scoped knob snapshot (`sim_core::knobs`) so every exported
+/// trace carries the configuration that produced it.
 ///
 /// # Examples
 ///
@@ -18,8 +21,8 @@ use crate::trace::ExecutionTrace;
 /// use sim_gpu::{chrome_trace_json, ExecutionTrace};
 ///
 /// let json = chrome_trace_json(&ExecutionTrace::default());
-/// assert!(json.starts_with('['));
-/// assert!(json.ends_with(']'));
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"knobs\""));
 /// ```
 pub fn chrome_trace_json(trace: &ExecutionTrace) -> String {
     let mut events = Vec::new();
@@ -50,7 +53,11 @@ pub fn chrome_trace_json(trace: &ExecutionTrace) -> String {
             kernel.launch_ns / 1000.0,
         ));
     }
-    format!("[{}]", events.join(","))
+    format!(
+        "{{\"traceEvents\":[{}],\"otherData\":{{\"knobs\":{}}}}}",
+        events.join(","),
+        sim_core::knobs::snapshot().artifact_json(),
+    )
 }
 
 /// Minimal JSON string escaping for labels.
@@ -62,7 +69,7 @@ fn json_string(s: &str) -> String {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }
@@ -120,7 +127,10 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_is_empty_array() {
-        assert_eq!(chrome_trace_json(&ExecutionTrace::default()), "[]");
+    fn empty_trace_still_carries_the_knob_snapshot() {
+        let json = chrome_trace_json(&ExecutionTrace::default());
+        assert!(json.starts_with("{\"traceEvents\":[]"), "{json}");
+        assert!(json.contains("\"otherData\":{\"knobs\":{"), "{json}");
+        assert!(json.contains("\"PAT_GPU_MODEL\""), "{json}");
     }
 }

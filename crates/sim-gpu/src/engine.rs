@@ -19,6 +19,7 @@
 use crate::occupancy::{CtaResources, Occupancy, OccupancyViolation};
 use crate::trace::{CtaSpan, ExecutionTrace, KernelSpan};
 use crate::GpuSpec;
+use sim_core::cast::usize_to_isize;
 use sim_core::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::fmt;
@@ -199,10 +200,10 @@ impl Engine {
         let l2_speedup = self.spec.global_bandwidth / self.spec.l2_bandwidth;
         let mut sms: Vec<SmState> = (0..self.spec.num_sms)
             .map(|_| SmState {
-                free_smem: self.spec.smem_per_sm as isize,
-                free_regs: self.spec.regs_per_sm as isize,
-                free_threads: self.spec.max_threads_per_sm as isize,
-                free_slots: self.spec.max_ctas_per_sm as isize,
+                free_smem: usize_to_isize(self.spec.smem_per_sm),
+                free_regs: usize_to_isize(self.spec.regs_per_sm),
+                free_threads: usize_to_isize(self.spec.max_threads_per_sm),
+                free_slots: usize_to_isize(self.spec.max_ctas_per_sm),
             })
             .collect();
 
@@ -262,15 +263,15 @@ impl Engine {
                 while let Some(&work) = active[idx].pending.front() {
                     let res = active[idx].resources;
                     let slot = sms.iter().position(|sm| {
-                        sm.free_smem >= res.smem_bytes as isize
-                            && sm.free_regs >= res.regs_per_cta() as isize
-                            && sm.free_threads >= res.threads as isize
+                        sm.free_smem >= usize_to_isize(res.smem_bytes)
+                            && sm.free_regs >= usize_to_isize(res.regs_per_cta())
+                            && sm.free_threads >= usize_to_isize(res.threads)
                             && sm.free_slots >= 1
                     });
                     let Some(sm) = slot else { break };
-                    sms[sm].free_smem -= res.smem_bytes as isize;
-                    sms[sm].free_regs -= res.regs_per_cta() as isize;
-                    sms[sm].free_threads -= res.threads as isize;
+                    sms[sm].free_smem -= usize_to_isize(res.smem_bytes);
+                    sms[sm].free_regs -= usize_to_isize(res.regs_per_cta());
+                    sms[sm].free_threads -= usize_to_isize(res.threads);
                     sms[sm].free_slots -= 1;
                     active[idx].pending.pop_front();
                     active[idx].outstanding += 1;
@@ -378,9 +379,9 @@ impl Engine {
                 if done {
                     let cta = running.swap_remove(i);
                     let res = active[cta.active_kernel].resources;
-                    sms[cta.sm].free_smem += res.smem_bytes as isize;
-                    sms[cta.sm].free_regs += res.regs_per_cta() as isize;
-                    sms[cta.sm].free_threads += res.threads as isize;
+                    sms[cta.sm].free_smem += usize_to_isize(res.smem_bytes);
+                    sms[cta.sm].free_regs += usize_to_isize(res.regs_per_cta());
+                    sms[cta.sm].free_threads += usize_to_isize(res.threads);
                     sms[cta.sm].free_slots += 1;
                     trace.ctas.push(CtaSpan {
                         stream: active[cta.active_kernel].stream,

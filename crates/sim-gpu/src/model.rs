@@ -102,8 +102,7 @@ impl fmt::Display for GpuModel {
 /// The hardware model selected by [`GPU_MODEL_ENV`], defaulting to
 /// [`GpuModel::A100`] when unset or unrecognized.
 pub fn gpu_model_from_env() -> GpuModel {
-    std::env::var(GPU_MODEL_ENV)
-        .ok()
+    sim_core::knobs::raw(GPU_MODEL_ENV)
         .and_then(|v| GpuModel::parse(&v))
         .unwrap_or(GpuModel::A100)
 }

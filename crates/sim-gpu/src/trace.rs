@@ -1,5 +1,6 @@
 //! Execution traces and the ASCII pipeline rendering used for Fig. 15.
 
+use sim_core::cast::{f64_to_usize, usize_to_u32};
 use std::fmt::Write as _;
 
 /// Execution record of a single CTA.
@@ -85,9 +86,9 @@ impl ExecutionTrace {
         for sm in 0..num_sms {
             let mut row = vec!['.'; width];
             for c in self.ctas.iter().filter(|c| c.sm == sm) {
-                let from = ((c.start_ns / bucket) as usize).min(width - 1);
-                let to = ((c.end_ns / bucket).ceil() as usize).clamp(from + 1, width);
-                let glyph = char::from_digit((c.stream % 10) as u32, 10).unwrap_or('#');
+                let from = f64_to_usize(c.start_ns / bucket).min(width - 1);
+                let to = f64_to_usize((c.end_ns / bucket).ceil()).clamp(from + 1, width);
+                let glyph = char::from_digit(usize_to_u32(c.stream % 10), 10).unwrap_or('#');
                 for cell in row.iter_mut().take(to).skip(from) {
                     *cell = glyph;
                 }

@@ -11,10 +11,16 @@
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
+//!   "rules": ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"],
 //!   "counts": { "crates/serving/src/engine.rs|R4": 7 }
 //! }
 //! ```
+//!
+//! `rules` records the rule set the baseline was frozen against, so adding
+//! a rule family is visible in the baseline diff: a new rule *enters the
+//! baseline at zero* (no `counts` entries), meaning any violation of it
+//! fails CI immediately. Version-1 files (no `rules` field) still parse.
 //!
 //! Parsing and serialization are hand-rolled over `std` — the linter must
 //! build offline with zero dependencies.
@@ -29,6 +35,8 @@ use std::path::Path;
 pub struct Baseline {
     /// Per `(file, rule)` frozen counts.
     pub counts: BTreeMap<String, usize>,
+    /// Rule names this baseline was frozen against (empty for v1 files).
+    pub rules: Vec<String>,
 }
 
 impl Baseline {
@@ -37,13 +45,18 @@ impl Baseline {
         self.counts.get(&key(file, rule)).copied().unwrap_or(0)
     }
 
-    /// Builds a baseline from current counts, dropping zero entries.
+    /// Builds a baseline from current counts, dropping zero entries. The
+    /// rule list is stamped with the analyzer's full rule set.
     pub fn from_counts(current: &BTreeMap<String, usize>) -> Baseline {
         Baseline {
             counts: current
                 .iter()
                 .filter(|(_, &c)| c > 0)
                 .map(|(k, &c)| (k.clone(), c))
+                .collect(),
+            rules: crate::rules::ALL_RULES
+                .iter()
+                .map(|r| r.to_string())
                 .collect(),
         }
     }
@@ -65,9 +78,16 @@ impl Baseline {
         std::fs::write(path, self.to_json())
     }
 
-    /// Serializes to the on-disk JSON form.
+    /// Serializes to the on-disk JSON form (format version 2).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"counts\": {");
+        let mut out = String::from("{\n  \"version\": 2,\n  \"rules\": [");
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", escape(r));
+        }
+        out.push_str("],\n  \"counts\": {");
         let mut first = true;
         for (k, c) in &self.counts {
             if !first {
@@ -104,6 +124,7 @@ fn parse(text: &str) -> Result<Baseline, String> {
     p.skip_ws();
     p.expect('{')?;
     let mut counts = BTreeMap::new();
+    let mut rules = Vec::new();
     let mut version_seen = false;
     loop {
         p.skip_ws();
@@ -117,10 +138,26 @@ fn parse(text: &str) -> Result<Baseline, String> {
         match field.as_str() {
             "version" => {
                 let v = p.number()?;
-                if v != 1 {
+                if v != 1 && v != 2 {
                     return Err(format!("unsupported baseline version {v}"));
                 }
                 version_seen = true;
+            }
+            "rules" => {
+                p.expect('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(']') {
+                        break;
+                    }
+                    rules.push(p.string()?);
+                    p.skip_ws();
+                    if !p.eat(',') {
+                        p.skip_ws();
+                        p.expect(']')?;
+                        break;
+                    }
+                }
             }
             "counts" => {
                 p.expect('{')?;
@@ -155,7 +192,7 @@ fn parse(text: &str) -> Result<Baseline, String> {
     if !version_seen {
         return Err("baseline missing `version`".to_string());
     }
-    Ok(Baseline { counts })
+    Ok(Baseline { counts, rules })
 }
 
 struct Parser {
@@ -275,8 +312,22 @@ mod tests {
     }
 
     #[test]
-    fn rejects_wrong_version() {
-        assert!(parse("{\"version\": 2, \"counts\": {}}").is_err());
+    fn rejects_unknown_version_but_accepts_v1_and_v2() {
+        assert!(parse("{\"version\": 3, \"counts\": {}}").is_err());
         assert!(parse("{\"counts\": {}}").is_err());
+        // v1 files (no rules list) still parse.
+        let b = parse("{\"version\": 1, \"counts\": {\"f.rs|R4\": 2}}").expect("v1 parses");
+        assert!(b.rules.is_empty());
+        assert_eq!(b.allowed("f.rs", "R4"), 2);
+    }
+
+    #[test]
+    fn v2_round_trips_rule_list() {
+        let mut counts = BTreeMap::new();
+        counts.insert(key("f.rs", "R8"), 1);
+        let b = Baseline::from_counts(&counts);
+        assert!(b.rules.iter().any(|r| r == "R9"));
+        let parsed = parse(&b.to_json()).expect("v2 round trip");
+        assert_eq!(parsed, b);
     }
 }

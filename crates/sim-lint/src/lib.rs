@@ -1,7 +1,12 @@
 //! # sim-lint — workspace determinism & unit-discipline analyzer
 //!
-//! A pure-`std`, workspace-aware static-analysis pass enforcing the
-//! conventions that make this simulator trustworthy:
+//! A workspace-aware, two-pass semantic analyzer enforcing the conventions
+//! that make this simulator trustworthy. **Pass 1** builds a per-file
+//! symbol table ([`symbols::FileSymbols`]: `use`-declaration resolution,
+//! local function definitions) and a workspace-wide `pub fn` index
+//! ([`symbols::WorkspaceIndex`]); **pass 2** runs the rules over the token
+//! stream with that context, so a bare `var(…)` or `spawn(…)` is judged by
+//! what it *resolves to*, not by its spelling:
 //!
 //! * **R1** — no wall clocks (`Instant`, `SystemTime`), `thread::sleep`, or
 //!   OS entropy inside simulation crates;
@@ -13,13 +18,22 @@
 //! * **R5** — every `pub` item in `sim-core` and `cluster` is documented;
 //! * **R6** — no raw `thread::spawn`/`thread::scope` in simulation crates;
 //!   parallelism goes through `sim_core::par`'s ordered, deterministic
-//!   scoped-thread helpers.
+//!   scoped-thread helpers;
+//! * **R7** — no raw `std::env` access anywhere (libraries, benches,
+//!   examples) outside the `sim_core::knobs` registry: environment knobs
+//!   are declared once, read once, and recorded in artifact snapshots;
+//! * **R8** — no lossy `as` casts (integer narrowing, float→int) in
+//!   simulation crates outside `sim_core::cast`'s blessed helpers;
+//! * **R9** — no stale waivers: a `simlint: allow(…)` that stops
+//!   suppressing anything becomes a diagnostic itself.
 //!
 //! Diagnostics print as clickable `file:line`; `--json` emits a
-//! machine-readable report; `// simlint: allow(<rule>) -- <reason>` waivers
-//! are honored and counted; and a committed [`baseline::Baseline`] ratchet
-//! freezes pre-existing violations so the exit code flips only on *new*
-//! ones. See `DESIGN.md` § "Static analysis & determinism discipline".
+//! machine-readable report; `--github` emits GitHub Actions `::error`
+//! annotations; `// simlint: allow(<rule>) -- <reason>` waivers are honored
+//! and counted; and a committed [`baseline::Baseline`] ratchet freezes
+//! pre-existing violations so the exit code flips only on *new* ones. See
+//! `DESIGN.md` § "Static analysis & determinism discipline" and
+//! § "Configuration discipline & the knob registry".
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,13 +41,15 @@
 pub mod baseline;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
 use baseline::Baseline;
-use rules::{Violation, ALL_RULES};
+use rules::{FileContext, TargetKind, Violation, ALL_RULES};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use symbols::{FileSymbols, WorkspaceIndex};
 
 /// Analysis results for one scanned file.
 #[derive(Debug, Clone)]
@@ -100,18 +116,26 @@ impl Verdict {
     }
 }
 
-/// Scans every non-vendored workspace crate under `root`.
+/// Scans every non-vendored workspace crate under `root`, in two passes.
 ///
-/// Scanned: `crates/<name>/src/**/*.rs` for every crate whose directory
-/// name does not start with `compat-`, plus the root facade crate's
-/// `src/**/*.rs` (as crate `pat`). Integration tests, benches, examples,
-/// and vendored compat stubs are out of scope by construction.
+/// Scanned targets: `crates/<name>/src/**/*.rs` (kind [`TargetKind::Lib`],
+/// full rule set), `crates/<name>/benches/**/*.rs` and both the per-crate
+/// and root `examples/**/*.rs` (kinds `Bench`/`Example`, configuration
+/// rules R7/R9 only) for every crate whose directory name does not start
+/// with `compat-`, plus the root facade crate's `src/**/*.rs` (as crate
+/// `pat`). Integration tests and vendored compat stubs are out of scope by
+/// construction.
+///
+/// Pass 1 scans every file and builds its [`FileSymbols`] plus the
+/// workspace [`WorkspaceIndex`]; pass 2 runs [`rules::check_target`] with
+/// that context.
 ///
 /// # Errors
 ///
 /// Returns any I/O error encountered while walking or reading the tree.
 pub fn analyze_tree(root: &Path) -> io::Result<Analysis> {
-    let mut targets: Vec<(String, PathBuf)> = Vec::new(); // (crate, src dir)
+    // (crate, kind, dir); sorted for deterministic report order.
+    let mut targets: Vec<(String, TargetKind, PathBuf)> = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         for entry in std::fs::read_dir(&crates_dir)? {
@@ -120,41 +144,83 @@ pub fn analyze_tree(root: &Path) -> io::Result<Analysis> {
             if name.starts_with("compat-") {
                 continue;
             }
-            let src = entry.path().join("src");
-            if src.is_dir() {
-                targets.push((name, src));
+            for (sub, kind) in [
+                ("src", TargetKind::Lib),
+                ("benches", TargetKind::Bench),
+                ("examples", TargetKind::Example),
+            ] {
+                let dir = entry.path().join(sub);
+                if dir.is_dir() {
+                    targets.push((name.clone(), kind, dir));
+                }
             }
         }
     }
     let root_src = root.join("src");
     if root_src.is_dir() {
-        targets.push(("pat".to_string(), root_src));
+        targets.push(("pat".to_string(), TargetKind::Lib, root_src));
     }
-    targets.sort();
+    let root_examples = root.join("examples");
+    if root_examples.is_dir() {
+        targets.push(("pat".to_string(), TargetKind::Example, root_examples));
+    }
+    targets.sort_by(|a, b| (&a.0, &a.2).cmp(&(&b.0, &b.2)));
 
-    let mut files = Vec::new();
-    let mut scanned = 0usize;
-    for (crate_name, src) in targets {
+    // Pass 1: scan every file, build its symbol table, and fold library
+    // files into the workspace function index.
+    struct Scanned {
+        crate_name: String,
+        kind: TargetKind,
+        rel: String,
+        lines: Vec<scan::Line>,
+        symbols: FileSymbols,
+    }
+    let mut scanned_files: Vec<Scanned> = Vec::new();
+    let mut index = WorkspaceIndex::default();
+    for (crate_name, kind, dir) in targets {
         let mut paths = Vec::new();
-        collect_rs(&src, &mut paths)?;
+        collect_rs(&dir, &mut paths)?;
         paths.sort();
         for path in paths {
             let source = std::fs::read_to_string(&path)?;
             let lines = scan::scan(&source);
-            let violations = rules::check_file(&crate_name, &lines);
-            scanned += 1;
+            let symbols = FileSymbols::build(&lines);
+            if kind == TargetKind::Lib {
+                index.add_file(&crate_name, &symbols);
+            }
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            if !violations.is_empty() {
-                files.push(FileReport {
-                    path: rel,
-                    crate_name: crate_name.clone(),
-                    violations,
-                });
-            }
+            scanned_files.push(Scanned {
+                crate_name: crate_name.clone(),
+                kind,
+                rel,
+                lines,
+                symbols,
+            });
+        }
+    }
+
+    // Pass 2: run the rules with full context.
+    let mut files = Vec::new();
+    let scanned = scanned_files.len();
+    for f in &scanned_files {
+        let violations = rules::check_target(&FileContext {
+            crate_name: &f.crate_name,
+            path: &f.rel,
+            kind: f.kind,
+            lines: &f.lines,
+            symbols: &f.symbols,
+            index: &index,
+        });
+        if !violations.is_empty() {
+            files.push(FileReport {
+                path: f.rel.clone(),
+                crate_name: f.crate_name.clone(),
+                violations,
+            });
         }
     }
     Ok(Analysis {
@@ -360,6 +426,50 @@ pub fn render_json(analysis: &Analysis, verdict: &Verdict) -> String {
     );
     out.push_str("}\n");
     out
+}
+
+/// Renders GitHub Actions workflow annotations (`::error file=…`) for
+/// every *new* (non-baselined, non-waived) violation, followed by the
+/// human-readable summary line. Clean runs emit only the summary, so the
+/// output is safe to print unconditionally in CI.
+pub fn render_github(analysis: &Analysis, verdict: &Verdict) -> String {
+    let mut out = String::new();
+    for f in &analysis.files {
+        for v in &f.violations {
+            let key = baseline::key(&f.path, v.rule);
+            if v.waived.is_none() && verdict.regressions.contains_key(&key) {
+                let _ = writeln!(
+                    out,
+                    "::error file={},line={},title=sim-lint {}::{}",
+                    github_escape_property(&f.path),
+                    v.line,
+                    v.rule,
+                    github_escape_data(&v.message)
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "sim-lint: {} files scanned; {} new violation(s) beyond baseline",
+        analysis.files_scanned,
+        verdict.total - verdict.baselined
+    );
+    out
+}
+
+/// Escapes the data (message) part of a workflow command.
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a property (file/title) of a workflow command.
+fn github_escape_property(s: &str) -> String {
+    github_escape_data(s)
+        .replace(':', "%3A")
+        .replace(',', "%2C")
 }
 
 fn json_escape(s: &str) -> String {

@@ -1,4 +1,5 @@
-//! The rule set: R1–R5, plus waiver parsing.
+//! Pass 2 of the semantic analyzer: the rule set R1–R9, plus waiver
+//! parsing and stale-waiver detection.
 //!
 //! | Rule | Scope                         | What it flags                              |
 //! |------|-------------------------------|--------------------------------------------|
@@ -8,6 +9,17 @@
 //! | R4   | every scanned crate, non-test | `.unwrap()` / `.expect(` in library code   |
 //! | R5   | `sim-core` + `cluster`, non-test | undocumented `pub` items                |
 //! | R6   | sim crates minus `sim-core`, non-test | raw `thread::spawn`/`thread::scope` |
+//! | R7   | every target (libs, benches, examples), all code | raw `std::env` access outside `sim_core::knobs` |
+//! | R8   | sim crates minus `sim-core`, non-test | lossy `as` casts outside `sim_core::cast` |
+//! | R9   | every target, all code        | `simlint: allow(…)` waivers that no longer suppress anything |
+//!
+//! Rules run over a [`FileContext`]: the scanned lines plus the file's
+//! symbol table ([`FileSymbols`]) and the workspace function index from
+//! pass 1, so a bare `var(…)` call is judged by what it *resolves to* —
+//! `use std::env::var` makes it an R7 violation, a local `fn var` does
+//! not. Benches and examples are scanned too, but only for the rules that
+//! are about configuration honesty (R7) and waiver hygiene (R9): panics
+//! and wall clocks are legitimate in a bench harness.
 //!
 //! Waiver syntax, honored on the violating line or the standalone comment
 //! line directly above it:
@@ -15,8 +27,15 @@
 //! ```text
 //! // simlint: allow(R2) -- usize sum is order-independent
 //! ```
+//!
+//! A waiver is a *claim* that the rule fires on its line. R9 audits that
+//! claim: when the code is fixed (or moves) and the waiver stops
+//! suppressing anything, the waiver itself becomes the diagnostic, so the
+//! waiver set can only shrink.
 
 use crate::scan::Line;
+use crate::symbols::{FileSymbols, Resolution, WorkspaceIndex};
+use std::collections::BTreeSet;
 
 /// Crates whose code runs inside the simulation and must be deterministic.
 pub const SIM_CRATES: &[&str] = &[
@@ -37,12 +56,43 @@ pub const SIM_CRATES: &[&str] = &[
 pub const DOC_CRATES: &[&str] = &["sim-core", "cluster", "kv-transfer", "replica-fidelity"];
 
 /// All rule names, in report order.
-pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6"];
+pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"];
+
+/// The one file allowed to touch `std::env` directly: the knob registry.
+pub const R7_SANCTIONED_FILE: &str = "crates/sim-core/src/knobs.rs";
+
+/// What kind of compilation target a scanned file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `src/**` of a workspace crate — full rule set.
+    Lib,
+    /// `benches/**` — configuration rules only (R7, R9).
+    Bench,
+    /// `examples/**` — configuration rules only (R7, R9).
+    Example,
+}
+
+/// Everything pass 2 knows about one file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileContext<'a> {
+    /// Owning crate name (directory under `crates/`, or `pat` for `src/`).
+    pub crate_name: &'a str,
+    /// Workspace-relative path with forward slashes (empty in unit tests).
+    pub path: &'a str,
+    /// Which target tree the file came from.
+    pub kind: TargetKind,
+    /// Scanned lines.
+    pub lines: &'a [Line],
+    /// Pass-1 symbol table for this file.
+    pub symbols: &'a FileSymbols,
+    /// Pass-1 workspace function index.
+    pub index: &'a WorkspaceIndex,
+}
 
 /// One diagnostic produced by the analyzer.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Rule name (`"R1"` … `"R5"`).
+    /// Rule name (`"R1"` … `"R9"`).
     pub rule: &'static str,
     /// 1-based source line.
     pub line: usize,
@@ -61,10 +111,28 @@ struct Waiver {
     standalone: bool,
 }
 
-/// Checks one scanned file belonging to `crate_name`, returning violations.
+/// Checks one library file belonging to `crate_name`, with a symbol table
+/// built on the fly and no workspace index — the single-file entry point
+/// (unit tests, ad-hoc checks). Workspace runs go through [`check_target`].
 pub fn check_file(crate_name: &str, lines: &[Line]) -> Vec<Violation> {
-    let sim = SIM_CRATES.contains(&crate_name);
-    let doc = DOC_CRATES.contains(&crate_name);
+    let symbols = FileSymbols::build(lines);
+    let index = WorkspaceIndex::default();
+    check_target(&FileContext {
+        crate_name,
+        path: "",
+        kind: TargetKind::Lib,
+        lines,
+        symbols: &symbols,
+        index: &index,
+    })
+}
+
+/// Checks one scanned target file with full pass-1 context, returning all
+/// violations (waived or not), including R9 stale-waiver diagnostics.
+pub fn check_target(ctx: &FileContext) -> Vec<Violation> {
+    let lines = ctx.lines;
+    let sim = SIM_CRATES.contains(&ctx.crate_name);
+    let doc = DOC_CRATES.contains(&ctx.crate_name);
     let waivers = parse_waivers(lines);
 
     // One token stream for the whole file, each token tagged with its
@@ -75,30 +143,39 @@ pub fn check_file(crate_name: &str, lines: &[Line]) -> Vec<Violation> {
         .enumerate()
         .flat_map(|(i, l)| tokens(&l.code).into_iter().map(move |t| (i, t)))
         .collect();
-    let hash_idents = collect_hash_idents(&stream);
     let in_test = |idx: usize| lines[idx].in_test;
 
     let mut out = Vec::new();
-    if sim {
-        check_r1(&stream, &mut out);
-        check_r2(&stream, &hash_idents, &mut out);
-        if crate_name != "sim-core" {
-            check_r3(&stream, &in_test, &mut out);
-            check_r6(&stream, &in_test, &mut out);
+    if ctx.kind == TargetKind::Lib {
+        let hash_idents = collect_hash_idents(&stream);
+        if sim {
+            check_r1(&stream, ctx.symbols, &mut out);
+            check_r2(&stream, &hash_idents, &mut out);
+            if ctx.crate_name != "sim-core" {
+                check_r3(&stream, &in_test, &mut out);
+                check_r6(&stream, ctx.symbols, &in_test, &mut out);
+                check_r8(&stream, &in_test, &mut out);
+            }
         }
-    }
-    check_r4(&stream, &in_test, &mut out);
-    if doc {
-        for (idx, line) in lines.iter().enumerate() {
-            if !line.in_test {
-                check_r5(&tokens(&line.code), lines, idx, &mut out);
+        check_r4(&stream, &in_test, &mut out);
+        if doc {
+            for (idx, line) in lines.iter().enumerate() {
+                if !line.in_test {
+                    check_r5(&tokens(&line.code), lines, idx, &mut out);
+                }
             }
         }
     }
-    out.sort_by_key(|v| (v.line, v.rule));
-    for v in &mut out {
-        v.waived = waiver_for(&waivers, v.line, v.rule);
+    if ctx.path != R7_SANCTIONED_FILE {
+        check_r7(&stream, ctx, &mut out);
     }
+
+    let used = apply_waivers(&waivers, &mut out);
+    let mut stale = Vec::new();
+    check_r9(&waivers, &used, &mut stale);
+    apply_waivers(&waivers, &mut stale);
+    out.extend(stale);
+    out.sort_by_key(|v| (v.line, v.rule));
     out
 }
 
@@ -114,8 +191,9 @@ const R1_IDENTS: &[&str] = &[
     "getrandom",
 ];
 
-fn check_r1(stream: &[(usize, &str)], out: &mut Vec<Violation>) {
+fn check_r1(stream: &[(usize, &str)], sym: &FileSymbols, out: &mut Vec<Violation>) {
     for (i, &(idx, t)) in stream.iter().enumerate() {
+        let tok = |j: usize| stream.get(j).map(|&(_, t)| t);
         if R1_IDENTS.contains(&t) {
             out.push(Violation {
                 rule: "R1",
@@ -127,12 +205,7 @@ fn check_r1(stream: &[(usize, &str)], out: &mut Vec<Violation>) {
                 waived: None,
             });
         }
-        if t == "sleep"
-            && i >= 3
-            && stream[i - 1].1 == ":"
-            && stream[i - 2].1 == ":"
-            && stream[i - 3].1 == "thread"
-        {
+        if t == "sleep" && is_thread_call(stream, i, sym, "sleep") {
             out.push(Violation {
                 rule: "R1",
                 line: idx + 1,
@@ -142,7 +215,42 @@ fn check_r1(stream: &[(usize, &str)], out: &mut Vec<Violation>) {
                 waived: None,
             });
         }
+        let _ = tok;
     }
+}
+
+/// Is token `i` part of a `use` declaration? (`use std::thread::sleep;`
+/// mentions the path without calling it — declarations are not hazards.)
+fn in_use_decl(stream: &[(usize, &str)], i: usize) -> bool {
+    let start = stream[..i]
+        .iter()
+        .rposition(|&(_, t)| matches!(t, ";" | "{" | "}"))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    stream[start..i].iter().any(|&(_, t)| t == "use")
+}
+
+/// Does token `i` (named `name`) denote a call to `std::thread::<name>`?
+/// Matches the qualified form `thread::<name>(` and — via the pass-1
+/// symbol table — a bare `<name>(` the file imported with
+/// `use std::thread::<name>`. A local `fn <name>` is never flagged.
+fn is_thread_call(stream: &[(usize, &str)], i: usize, sym: &FileSymbols, name: &str) -> bool {
+    let tok = |j: usize| stream.get(j).map(|&(_, t)| t);
+    if in_use_decl(stream, i) {
+        return false;
+    }
+    if i >= 3 && tok(i - 1) == Some(":") && tok(i - 2) == Some(":") && tok(i - 3) == Some("thread")
+    {
+        return true;
+    }
+    // Bare call: `<name>(` neither path-qualified nor a method receiver.
+    if tok(i + 1) == Some("(")
+        && (i == 0 || !matches!(tok(i - 1), Some(".") | Some(":")))
+        && sym.resolves_to(name, &format!("std::thread::{name}"))
+    {
+        return true;
+    }
+    false
 }
 
 // ------------------------------------------------------------------ R2
@@ -299,15 +407,15 @@ fn check_r3(stream: &[(usize, &str)], in_test: &dyn Fn(usize) -> bool, out: &mut
 /// Thread entry points that ad-hoc parallelism reaches for. `sleep` is R1's.
 const R6_ENTRY_POINTS: &[&str] = &["spawn", "scope"];
 
-fn check_r6(stream: &[(usize, &str)], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Violation>) {
-    for i in 3..stream.len() {
+fn check_r6(
+    stream: &[(usize, &str)],
+    sym: &FileSymbols,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..stream.len() {
         let (idx, t) = stream[i];
-        if R6_ENTRY_POINTS.contains(&t)
-            && stream[i - 1].1 == ":"
-            && stream[i - 2].1 == ":"
-            && stream[i - 3].1 == "thread"
-            && !in_test(idx)
-        {
+        if R6_ENTRY_POINTS.contains(&t) && !in_test(idx) && is_thread_call(stream, i, sym, t) {
             out.push(Violation {
                 rule: "R6",
                 line: idx + 1,
@@ -420,13 +528,165 @@ fn is_documented(lines: &[Line], item_idx: usize) -> bool {
     false
 }
 
+// ------------------------------------------------------------------ R7
+
+/// The `std::env` functions that constitute hidden configuration inputs.
+const R7_ENV_FNS: &[&str] = &["var", "var_os", "vars", "vars_os", "set_var", "remove_var"];
+
+fn check_r7(stream: &[(usize, &str)], ctx: &FileContext, out: &mut Vec<Violation>) {
+    let sym = ctx.symbols;
+    for i in 0..stream.len() {
+        let (idx, t) = stream[i];
+        if !R7_ENV_FNS.contains(&t) {
+            continue;
+        }
+        let tok = |j: usize| stream.get(j).map(|&(_, t)| t);
+        if tok(i + 1) != Some("(") {
+            continue; // not a call
+        }
+        let path_qualified = i >= 2 && tok(i - 1) == Some(":") && tok(i - 2) == Some(":");
+        let hit = if path_qualified {
+            // `env::<fn>(` — the qualifier must be std's env module, either
+            // fully spelled (`std::env::<fn>`) or imported (`use std::env`).
+            if i >= 3 && tok(i - 3) == Some("env") {
+                let env_is_qualified = i >= 5 && tok(i - 4) == Some(":") && tok(i - 5) == Some(":");
+                if env_is_qualified {
+                    i >= 6 && tok(i - 6) == Some("std")
+                } else {
+                    sym.resolves_to("env", "std::env")
+                }
+            } else {
+                false
+            }
+        } else if i >= 1 && tok(i - 1) == Some(".") {
+            false // method call on some receiver, not std::env
+        } else {
+            // Bare call: flagged when the symbol table says it was imported
+            // from std::env, or when a `use std::env::*` glob could supply
+            // it and neither this file nor the workspace index defines a
+            // function by that name.
+            sym.resolves_to(t, &format!("std::env::{t}"))
+                || (sym.globs.iter().any(|g| g == "std::env")
+                    && sym.resolve(t) == Resolution::Unknown
+                    && ctx.index.defining_crates(t).is_none())
+        };
+        if hit {
+            out.push(Violation {
+                rule: "R7",
+                line: idx + 1,
+                message: format!(
+                    "raw `std::env::{t}` outside the knob registry: environment \
+                     knobs are hidden inputs; declare them in `sim_core::knobs::KNOBS` \
+                     and read through `knobs::raw`/`usize_knob`/`flag`/`choice`"
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R8
+
+/// Integer targets an `as` cast can silently truncate into.
+const R8_NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "isize"];
+
+/// All integer targets (for the float→int pattern, where even a wide
+/// target hides NaN/saturation semantics).
+const R8_ALL_INTS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Float methods whose result is conventionally cast straight to an int.
+const R8_FLOAT_METHODS: &[&str] = &["ceil", "floor", "round", "trunc"];
+
+fn check_r8(stream: &[(usize, &str)], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Violation>) {
+    for i in 0..stream.len() {
+        let (idx, t) = stream[i];
+        if t != "as" || in_test(idx) {
+            continue;
+        }
+        let Some(&(_, target)) = stream.get(i + 1) else {
+            continue;
+        };
+        let narrowing = R8_NARROW_INTS.contains(&target);
+        let float_to_int = R8_ALL_INTS.contains(&target)
+            && i >= 3
+            && stream[i - 1].1 == ")"
+            && stream[i - 2].1 == "("
+            && R8_FLOAT_METHODS.contains(&stream[i - 3].1);
+        if narrowing {
+            out.push(Violation {
+                rule: "R8",
+                line: idx + 1,
+                message: format!(
+                    "narrowing `as {target}` cast in a simulation crate: silent \
+                     truncation hides overflow; use `sim_core::cast` helpers \
+                     (or `{target}::from`/`try_from` where lossless)"
+                ),
+                waived: None,
+            });
+        } else if float_to_int {
+            out.push(Violation {
+                rule: "R8",
+                line: idx + 1,
+                message: format!(
+                    "float→`{target}` cast (`.{}() as {target}`) in a simulation \
+                     crate: NaN/saturation semantics are implicit; use \
+                     `sim_core::cast::f64_to_*` helpers",
+                    stream[i - 3].1
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------------ R9
+
+/// Reports every waiver rule name that suppressed nothing. `used` holds
+/// `(waiver line index, rule token)` pairs recorded while waiving.
+fn check_r9(
+    waivers: &[Option<Waiver>],
+    used: &BTreeSet<(usize, String)>,
+    out: &mut Vec<Violation>,
+) {
+    for (i, w) in waivers.iter().enumerate() {
+        let Some(w) = w else { continue };
+        for r in &w.rules {
+            // `allow(R9)` exists only to silence this rule itself; auditing
+            // it for staleness would recurse.
+            if r == "R9" {
+                continue;
+            }
+            if !used.contains(&(i, r.clone())) {
+                out.push(Violation {
+                    rule: "R9",
+                    line: i + 1,
+                    message: format!(
+                        "stale waiver: `allow({r})` no longer suppresses any {r} \
+                         violation on its line; delete it so the waiver set only shrinks"
+                    ),
+                    waived: None,
+                });
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------------ waivers
 
 fn parse_waivers(lines: &[Line]) -> Vec<Option<Waiver>> {
     lines
         .iter()
         .map(|line| {
-            let c = &line.comment;
+            let c = line.comment.trim_start();
+            // Waivers live in plain `//` comments only: doc text (`///`,
+            // `//!`) quoting the syntax — as this file does — is prose,
+            // not a waiver.
+            let body = c.strip_prefix("//")?;
+            if body.starts_with('/') || body.starts_with('!') {
+                return None;
+            }
             let start = c.find("simlint:")?;
             let rest = &c[start + "simlint:".len()..];
             let rest = rest.trim_start();
@@ -436,7 +696,12 @@ fn parse_waivers(lines: &[Line]) -> Vec<Option<Waiver>> {
             let rules: Vec<String> = rest[..close]
                 .split(',')
                 .map(|r| r.trim().to_string())
-                .filter(|r| !r.is_empty())
+                .filter(|r| {
+                    r == "*"
+                        || (r.len() >= 2
+                            && r.starts_with('R')
+                            && r[1..].chars().all(|c| c.is_ascii_digit()))
+                })
                 .collect();
             let after = rest[close + 1..].trim_start();
             let reason = after.strip_prefix("--")?.trim();
@@ -452,19 +717,47 @@ fn parse_waivers(lines: &[Line]) -> Vec<Option<Waiver>> {
         .collect()
 }
 
-fn waiver_for(waivers: &[Option<Waiver>], line: usize, rule: &str) -> Option<String> {
-    let covers = |w: &Waiver| w.rules.iter().any(|r| r == rule || r == "*");
+/// Assigns waivers to violations, mutating `waived`, and returns the set of
+/// `(waiver line index, rule token)` pairs that actually suppressed
+/// something — the ground truth R9 audits against.
+fn apply_waivers(waivers: &[Option<Waiver>], out: &mut [Violation]) -> BTreeSet<(usize, String)> {
+    let mut used = BTreeSet::new();
+    for v in out.iter_mut() {
+        if let Some((widx, token, reason)) = waiver_match(waivers, v.line, v.rule) {
+            v.waived = Some(reason);
+            used.insert((widx, token));
+        }
+    }
+    used
+}
+
+/// Finds the waiver covering (`line`, `rule`), returning its line index,
+/// the rule token that matched (the rule name or `"*"`), and the reason.
+/// Inline waivers take precedence over a standalone line above.
+fn waiver_match(
+    waivers: &[Option<Waiver>],
+    line: usize,
+    rule: &str,
+) -> Option<(usize, String, String)> {
+    let covers = |w: &Waiver| {
+        w.rules
+            .iter()
+            .find(|r| r.as_str() == rule || r.as_str() == "*")
+            .cloned()
+    };
     // Inline on the violating line (1-based -> 0-based).
     if let Some(Some(w)) = waivers.get(line - 1) {
-        if covers(w) {
-            return Some(w.reason.clone());
+        if let Some(token) = covers(w) {
+            return Some((line - 1, token, w.reason.clone()));
         }
     }
     // Standalone comment on the line directly above.
     if line >= 2 {
         if let Some(Some(w)) = waivers.get(line - 2) {
-            if w.standalone && covers(w) {
-                return Some(w.reason.clone());
+            if w.standalone {
+                if let Some(token) = covers(w) {
+                    return Some((line - 2, token, w.reason.clone()));
+                }
             }
         }
     }
@@ -521,6 +814,20 @@ mod tests {
         check_file(crate_name, &scan(src))
     }
 
+    fn check_kind(crate_name: &str, kind: TargetKind, src: &str) -> Vec<Violation> {
+        let lines = scan(src);
+        let symbols = FileSymbols::build(&lines);
+        let index = WorkspaceIndex::default();
+        check_target(&FileContext {
+            crate_name,
+            path: "",
+            kind,
+            lines: &lines,
+            symbols: &symbols,
+            index: &index,
+        })
+    }
+
     #[test]
     fn r1_flags_wall_clock_and_entropy() {
         let v = check(
@@ -532,6 +839,15 @@ mod tests {
         assert_eq!(v.iter().filter(|v| v.rule == "R1").count(), 1);
         // Non-sim crates may use wall clocks.
         assert!(check("workloads", "use std::time::Instant;\n").is_empty());
+    }
+
+    #[test]
+    fn r1_resolves_imported_bare_sleep() {
+        let v = check("serving", "use std::thread::sleep;\nfn f() { sleep(d); }\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R1").count(), 1);
+        // A local fn named sleep is not std::thread::sleep.
+        let v = check("serving", "fn sleep() {}\nfn f() { sleep(); }\n");
+        assert!(v.iter().all(|v| v.rule != "R1"));
     }
 
     #[test]
@@ -621,6 +937,145 @@ mod tests {
     }
 
     #[test]
+    fn r6_resolves_imported_bare_spawn() {
+        let v = check(
+            "cluster",
+            "use std::thread::spawn;\nfn f() { spawn(|| {}); }\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "R6").count(), 1);
+        // `sim_core::par`'s own entry points are not thread::spawn.
+        let v = check(
+            "cluster",
+            "use sim_core::par::spawn;\nfn f() { spawn(|| {}); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "R6"));
+    }
+
+    #[test]
+    fn r7_flags_all_env_access_forms() {
+        // Fully qualified.
+        let v = check("bench", "fn f() { let x = std::env::var(\"PAT_X\"); }\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R7").count(), 1);
+        // Module import.
+        let v = check(
+            "workloads",
+            "use std::env;\nfn f() { let x = env::var(\"PAT_X\"); }\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "R7").count(), 1);
+        // Function import, including renames.
+        let v = check(
+            "serving",
+            "use std::env::var;\nfn f() { let x = var(\"PAT_X\"); }\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "R7").count(), 1);
+        // set_var / remove_var mutate hidden state and are equally banned.
+        let v = check("bench", "fn f() { std::env::set_var(\"A\", \"1\"); }\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R7").count(), 1);
+    }
+
+    #[test]
+    fn r7_spares_unrelated_identifiers() {
+        // A local fn named `var` is not std::env::var.
+        let v = check("serving", "fn var() {}\nfn f() { var(); }\n");
+        assert!(v.iter().all(|v| v.rule != "R7"));
+        // A method call named `.vars(...)` has a receiver.
+        let v = check("serving", "fn f(m: M) { m.vars(); }\n");
+        assert!(v.iter().all(|v| v.rule != "R7"));
+        // Another crate's env module is not std's.
+        let v = check(
+            "serving",
+            "use config::env;\nfn f() { let x = env::var(\"A\"); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "R7"));
+        // env! / option_env! compile-time macros tokenize with a `!` and
+        // never match the call pattern.
+        let v = check(
+            "serving",
+            "fn f() { let d = env!(\"CARGO_MANIFEST_DIR\"); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "R7"));
+    }
+
+    #[test]
+    fn r7_applies_to_benches_and_test_code() {
+        let v = check_kind(
+            "bench",
+            TargetKind::Bench,
+            "fn main() { let s = std::env::var(\"PAT_BENCH_SMOKE\"); }\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "R7").count(), 1);
+        // Test code gets no exemption: knobs have a set_override hook.
+        let src = "#[cfg(test)]\nmod t { fn g() { std::env::var(\"X\").ok(); } }\n";
+        let v = check("serving", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "R7").count(), 1);
+    }
+
+    #[test]
+    fn benches_skip_lib_only_rules() {
+        let src = "fn main() { x.unwrap(); let t = std::time::Instant::now(); }\n";
+        let v = check_kind("bench", TargetKind::Bench, src);
+        assert!(v.is_empty(), "benches may panic and use wall clocks: {v:?}");
+    }
+
+    #[test]
+    fn r8_flags_narrowing_and_float_casts() {
+        let v = check("sim-gpu", "fn f(x: usize) -> u32 { x as u32 }\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R8").count(), 1);
+        let v = check("pat-core", "fn f(x: usize) -> isize { x as isize }\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "R8").count(), 1);
+        let v = check(
+            "serving",
+            "fn f(x: f64) -> usize { (x / 2.0).ceil() as usize }\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "R8").count(), 1);
+    }
+
+    #[test]
+    fn r8_spares_widening_sim_core_and_tests() {
+        // Widening to u64/usize without a float method is fine.
+        let v = check("sim-gpu", "fn f(x: u32) -> u64 { x as u64 }\n");
+        assert!(v.iter().all(|v| v.rule != "R8"));
+        // sim-core owns the blessed helpers.
+        let v = check("sim-core", "fn f(x: usize) -> u32 { x as u32 }\n");
+        assert!(v.iter().all(|v| v.rule != "R8"));
+        // Test code is exempt.
+        let src = "#[cfg(test)]\nmod t { fn g(x: usize) -> u32 { x as u32 } }\n";
+        let v = check("sim-gpu", src);
+        assert!(v.iter().all(|v| v.rule != "R8"));
+        // Non-sim crates are out of scope.
+        let v = check("workloads", "fn f(x: usize) -> u32 { x as u32 }\n");
+        assert!(v.iter().all(|v| v.rule != "R8"));
+    }
+
+    #[test]
+    fn r9_flags_stale_waivers_and_spares_live_ones() {
+        // Live waiver: suppresses a real R3 hit — no R9.
+        let src = "let x = t_ns as f64; // simlint: allow(R3) -- metric egress\n";
+        let v = check("controller", src);
+        assert!(v.iter().all(|v| v.rule != "R9"));
+        // Stale waiver: nothing fires on the line.
+        let src = "let x = tokens + 1; // simlint: allow(R3) -- metric egress\n";
+        let v = check("controller", src);
+        let r9: Vec<_> = v.iter().filter(|v| v.rule == "R9").collect();
+        assert_eq!(r9.len(), 1);
+        assert_eq!(r9[0].line, 1);
+        // Standalone stale waiver above a clean line.
+        let src = "// simlint: allow(R2) -- old reason\nlet x = 1;\n";
+        let v = check("cluster", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "R9").count(), 1);
+    }
+
+    #[test]
+    fn r9_audits_each_rule_in_a_multi_rule_waiver() {
+        // R3 fires, R2 does not: exactly the R2 token is stale.
+        let src = "let x = t_ns as f64; // simlint: allow(R2, R3) -- mixed\n";
+        let v = check("controller", src);
+        let r9: Vec<_> = v.iter().filter(|v| v.rule == "R9").collect();
+        assert_eq!(r9.len(), 1);
+        assert!(r9[0].message.contains("allow(R2)"));
+    }
+
+    #[test]
     fn waivers_cover_same_line_and_line_above() {
         let src = "let x = t_ns as f64; // simlint: allow(R3) -- metric egress\n";
         let v = check("controller", src);
@@ -628,10 +1083,12 @@ mod tests {
         let src = "// simlint: allow(R3) -- metric egress\nlet x = t_ns as f64;\n";
         let v = check("controller", src);
         assert!(v[0].waived.is_some());
-        // A waiver for a different rule does not apply.
+        // A waiver for a different rule does not apply (and is itself stale).
         let src = "let x = t_ns as f64; // simlint: allow(R2) -- wrong rule\n";
         let v = check("controller", src);
-        assert!(v[0].waived.is_none());
+        let r3 = v.iter().find(|v| v.rule == "R3").expect("R3 fires");
+        assert!(r3.waived.is_none());
+        assert!(v.iter().any(|v| v.rule == "R9"));
         // Missing reason: not honored.
         let src = "let x = t_ns as f64; // simlint: allow(R3)\n";
         let v = check("controller", src);

@@ -238,8 +238,14 @@ fn mark_tests(stripped: Vec<Stripped>) -> Vec<Line> {
             match c {
                 '{' => {
                     depth += 1;
-                    if pending_test && test_depth.is_none() {
-                        test_depth = Some(depth);
+                    // Consume the pending attribute even when already inside
+                    // a test region (`#[test]` fns inside `#[cfg(test)] mod`):
+                    // a stale flag would otherwise mark the first item *after*
+                    // the module as test code.
+                    if pending_test {
+                        if test_depth.is_none() {
+                            test_depth = Some(depth);
+                        }
                         pending_test = false;
                         in_test = true;
                     }
@@ -311,6 +317,16 @@ mod tests {
         assert!(lines[3].in_test);
         assert!(lines[4].in_test, "closing brace line");
         assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn code_after_midfile_test_module_is_not_test() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { boom(); }\n    #[test]\n    fn u() { boom(); }\n}\npub fn lib() {\n    work();\n}\n";
+        let lines = scan(src);
+        assert!(lines[3].in_test);
+        assert!(lines[5].in_test);
+        assert!(!lines[7].in_test, "fn after the module");
+        assert!(!lines[8].in_test, "body after the module");
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Pass 1 of the semantic analyzer: per-file symbol tables and the
+//! workspace function index.
+//!
+//! The token rules in [`crate::rules`] need to know what a bare identifier
+//! *resolves to*: `var(…)` is harmless when it names a local helper and an
+//! R7 violation when the file holds `use std::env::var`. This module builds
+//! exactly that much semantic context — no full parse, just:
+//!
+//! * [`FileSymbols`] — the file's `use`-declaration alias map (alias →
+//!   fully-qualified path, groups and `as`-renames resolved), its glob
+//!   imports, and the names of functions it defines locally;
+//! * [`WorkspaceIndex`] — which crates define each `pub fn` name, built
+//!   from every library file in the workspace before any rule runs, so
+//!   pass 2 can tell a workspace API call from an imported std one.
+
+use crate::scan::Line;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a bare identifier in one file resolves to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// An imported path: the full `use` target (e.g. `std::env::var`).
+    Import(String),
+    /// A function defined in this file.
+    LocalFn,
+    /// No information — not imported, not locally defined.
+    Unknown,
+}
+
+/// The symbol table of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    /// `use` alias map: visible name → fully-qualified path.
+    pub imports: BTreeMap<String, String>,
+    /// Prefixes of glob imports (`use std::env::*` records `std::env`).
+    pub globs: Vec<String>,
+    /// Names of `fn` items defined anywhere in this file.
+    pub local_fns: BTreeSet<String>,
+    /// Names of `pub fn` items defined in this file (feeds the index).
+    pub pub_fns: BTreeSet<String>,
+}
+
+impl FileSymbols {
+    /// Builds the symbol table from scanned lines.
+    pub fn build(lines: &[Line]) -> FileSymbols {
+        let mut sym = FileSymbols::default();
+        let toks = all_tokens(lines);
+        collect_uses(&toks, &mut sym);
+        collect_fns(&toks, &mut sym);
+        sym
+    }
+
+    /// Resolves a bare identifier as pass 2 sees it: explicit imports win,
+    /// then local function definitions, then nothing.
+    pub fn resolve(&self, name: &str) -> Resolution {
+        if let Some(path) = self.imports.get(name) {
+            return Resolution::Import(path.clone());
+        }
+        if self.local_fns.contains(name) {
+            return Resolution::LocalFn;
+        }
+        Resolution::Unknown
+    }
+
+    /// True when the visible `name` resolves to exactly `full` (an explicit
+    /// import of that path).
+    pub fn resolves_to(&self, name: &str, full: &str) -> bool {
+        matches!(self.resolve(name), Resolution::Import(p) if p == full)
+    }
+}
+
+/// Workspace-wide function-signature index: which crates define each
+/// `pub fn` name.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceIndex {
+    /// `pub fn` name → crates defining one.
+    pub pub_fns: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl WorkspaceIndex {
+    /// Folds one library file's symbols into the index.
+    pub fn add_file(&mut self, crate_name: &str, symbols: &FileSymbols) {
+        for f in &symbols.pub_fns {
+            self.pub_fns
+                .entry(f.clone())
+                .or_default()
+                .insert(crate_name.to_string());
+        }
+    }
+
+    /// Crates defining a `pub fn` with this name (empty slice view when
+    /// none do).
+    pub fn defining_crates(&self, fn_name: &str) -> Option<&BTreeSet<String>> {
+        self.pub_fns.get(fn_name)
+    }
+}
+
+/// Flattens the scanned file to one token stream (same tokenizer rules as
+/// pass 2: identifier chunks plus single-char punctuation).
+fn all_tokens(lines: &[Line]) -> Vec<String> {
+    let mut out = Vec::new();
+    for l in lines {
+        let bytes = l.code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let start = i;
+                while i < bytes.len() && {
+                    let c = bytes[i] as char;
+                    c.is_ascii_alphanumeric() || c == '_'
+                } {
+                    i += 1;
+                }
+                out.push(l.code[start..i].to_string());
+            } else if c.is_whitespace() {
+                i += 1;
+            } else {
+                out.push(l.code[i..i + 1].to_string());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts every `use …;` declaration (including `pub use`) and records
+/// the names it makes visible. Handles multi-segment paths, `as` renames,
+/// nested `{…}` groups, and `*` globs.
+fn collect_uses(toks: &[String], sym: &mut FileSymbols) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i] == "use" {
+            // Statement runs to the terminating `;`.
+            let end = toks[i + 1..]
+                .iter()
+                .position(|t| t == ";")
+                .map(|p| i + 1 + p)
+                .unwrap_or(toks.len());
+            parse_use_tree(&toks[i + 1..end], "", sym);
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses one `use`-tree (the tokens after `use`, before `;`), with
+/// `prefix` holding the already-resolved leading path (empty at top level).
+fn parse_use_tree(toks: &[String], prefix: &str, sym: &mut FileSymbols) {
+    // Split the tree at top-level commas (only possible inside groups).
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut parts: Vec<&[String]> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.as_str() {
+            "{" => depth += 1,
+            "}" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                parts.push(&toks[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&toks[start..]);
+
+    for part in parts {
+        if part.is_empty() {
+            continue;
+        }
+        // Walk `seg :: seg :: …` until a group, glob, `as`, or the end.
+        let mut path: Vec<String> = if prefix.is_empty() {
+            Vec::new()
+        } else {
+            prefix.split("::").map(str::to_string).collect()
+        };
+        let mut j = 0;
+        while j < part.len() {
+            let t = &part[j];
+            if t == ":" {
+                j += 1; // path separator tokens
+            } else if t == "{" {
+                // Nested group: recurse with the accumulated prefix. The
+                // matching close brace is the last `}` of this part.
+                let inner_end = part.iter().rposition(|x| x == "}").unwrap_or(part.len());
+                parse_use_tree(&part[j + 1..inner_end], &path.join("::"), sym);
+                j = part.len();
+                path.clear();
+            } else if t == "*" {
+                sym.globs.push(path.join("::"));
+                j = part.len();
+                path.clear();
+            } else if t == "as" {
+                let full = path.join("::");
+                if let Some(alias) = part.get(j + 1) {
+                    if alias != "_" {
+                        sym.imports.insert(alias.clone(), full);
+                    }
+                }
+                j = part.len();
+                path.clear();
+            } else {
+                path.push(t.clone());
+                j += 1;
+            }
+        }
+        if let Some(last) = path.last() {
+            // `use a::b::c;` makes `c` visible as `a::b::c`. `use a::b::self`
+            // makes `b` visible.
+            if last == "self" {
+                if path.len() >= 2 {
+                    let full = path[..path.len() - 1].join("::");
+                    sym.imports.insert(path[path.len() - 2].clone(), full);
+                }
+            } else {
+                sym.imports.insert(last.clone(), path.join("::"));
+            }
+        }
+    }
+}
+
+/// Records every `fn name` / `pub fn name` defined in the file.
+fn collect_fns(toks: &[String], sym: &mut FileSymbols) {
+    for i in 0..toks.len() {
+        if toks[i] == "fn" {
+            if let Some(name) = toks.get(i + 1) {
+                if name
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_alphabetic() || c == '_')
+                    .unwrap_or(false)
+                {
+                    sym.local_fns.insert(name.clone());
+                    if i >= 1 && toks[i - 1] == "pub" {
+                        sym.pub_fns.insert(name.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn build(src: &str) -> FileSymbols {
+        FileSymbols::build(&scan(src))
+    }
+
+    #[test]
+    fn simple_use_maps_last_segment() {
+        let s = build("use std::env;\nuse std::collections::BTreeMap;\n");
+        assert_eq!(s.imports.get("env").map(String::as_str), Some("std::env"));
+        assert_eq!(
+            s.imports.get("BTreeMap").map(String::as_str),
+            Some("std::collections::BTreeMap")
+        );
+    }
+
+    #[test]
+    fn grouped_and_renamed_uses_resolve() {
+        let s = build("use std::env::{var, set_var as sv, vars};\n");
+        assert!(s.resolves_to("var", "std::env::var"));
+        assert!(s.resolves_to("sv", "std::env::set_var"));
+        assert!(s.resolves_to("vars", "std::env::vars"));
+        assert!(!s.imports.contains_key("set_var"));
+    }
+
+    #[test]
+    fn nested_groups_and_self_resolve() {
+        let s = build("use std::{env::{self, var}, thread};\n");
+        assert!(s.resolves_to("env", "std::env"));
+        assert!(s.resolves_to("var", "std::env::var"));
+        assert!(s.resolves_to("thread", "std::thread"));
+    }
+
+    #[test]
+    fn globs_are_recorded_not_resolved() {
+        let s = build("use std::env::*;\n");
+        assert!(s.imports.is_empty());
+        assert_eq!(s.globs, vec!["std::env".to_string()]);
+        assert_eq!(s.resolve("var"), Resolution::Unknown);
+    }
+
+    #[test]
+    fn local_fns_shadow_nothing_but_register() {
+        let s = build("fn var() {}\npub fn snapshot() {}\n");
+        assert_eq!(s.resolve("var"), Resolution::LocalFn);
+        assert!(s.pub_fns.contains("snapshot"));
+        assert!(!s.pub_fns.contains("var"));
+    }
+
+    #[test]
+    fn explicit_import_wins_over_local_fn() {
+        let s = build("use std::env::var;\nfn var() {}\n");
+        assert_eq!(
+            s.resolve("var"),
+            Resolution::Import("std::env::var".to_string())
+        );
+    }
+
+    #[test]
+    fn workspace_index_collects_pub_fns_per_crate() {
+        let a = build("pub fn ordered_map() {}\n");
+        let b = build("pub fn ordered_map() {}\nfn private() {}\n");
+        let mut idx = WorkspaceIndex::default();
+        idx.add_file("sim-core", &a);
+        idx.add_file("cluster", &b);
+        let crates = idx.defining_crates("ordered_map").expect("indexed");
+        assert_eq!(crates.len(), 2);
+        assert!(idx.defining_crates("private").is_none());
+    }
+
+    #[test]
+    fn multiline_use_statements_parse() {
+        let s = build("use std::env::{\n    var,\n    var_os,\n};\n");
+        assert!(s.resolves_to("var", "std::env::var"));
+        assert!(s.resolves_to("var_os", "std::env::var_os"));
+    }
+}

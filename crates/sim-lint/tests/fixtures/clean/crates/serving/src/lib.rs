@@ -1,0 +1,20 @@
+//! Fixture: negatives for the configuration and cast rules — reading
+//! knobs through the registry and spelling casts the blessed way is
+//! clean in a simulation crate.
+
+/// Widening casts are lossless and untouched by R8.
+pub fn widen(x: u16) -> u64 {
+    u64::from(x) + (x as u64)
+}
+
+/// Routing a truncation through the blessed helper is the sanctioned
+/// spelling; the helper name itself must not trip R8.
+pub fn shrink(x: u64) -> u32 {
+    sim_core::cast::u64_to_u32(x)
+}
+
+/// Reading through the registry, not `std::env`, is the sanctioned path
+/// (the `flag` call must not trip R7).
+pub fn smoke() -> bool {
+    sim_core::knobs::flag("PAT_BENCH_SMOKE")
+}

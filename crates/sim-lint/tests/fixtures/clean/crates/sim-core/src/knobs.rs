@@ -1,0 +1,8 @@
+//! Fixture: the sanctioned registry file — `crates/sim-core/src/knobs.rs`
+//! is the one path where raw environment reads are allowed, so nothing
+//! here may be flagged by R7.
+
+/// The registry's single environment ingest point.
+pub fn raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}

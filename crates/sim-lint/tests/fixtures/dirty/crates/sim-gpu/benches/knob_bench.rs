@@ -1,0 +1,9 @@
+//! Fixture: bench targets get the configuration rules only — the raw
+//! env read below is an R7 positive, while the narrowing cast must NOT
+//! be flagged (R8 does not apply outside library code).
+
+fn main() {
+    let smoke = std::env::var("PAT_BENCH_SMOKE").is_ok();
+    let big: u64 = if smoke { 1 } else { 1 << 40 };
+    let _truncated = big as u32;
+}

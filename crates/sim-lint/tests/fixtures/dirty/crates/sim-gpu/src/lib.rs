@@ -1,0 +1,19 @@
+//! Fixture: R7 (raw env read), R8 (narrowing cast), and R9 (stale
+//! waiver) positives.
+
+/// Reads a knob straight from the process environment instead of the
+/// `sim_core::knobs` registry.
+pub fn threads_from_env() -> usize {
+    std::env::var("PAT_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Truncates a block counter by hand. The waiver names a rule (R2)
+/// that does not fire on the cast line, so it is stale — and it does
+/// nothing to suppress the R8 on the same line.
+pub fn truncate_blocks(blocks: u64) -> u32 {
+    // simlint: allow(R2) -- left over from a removed hash-map reduction
+    blocks as u32
+}

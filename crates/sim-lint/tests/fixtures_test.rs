@@ -1,6 +1,7 @@
 //! End-to-end tests of the analyzer against the fixture trees under
-//! `tests/fixtures/`: one positive and one negative case per rule R1–R5,
-//! waiver semantics, ratchet behavior, and the CLI's exit codes.
+//! `tests/fixtures/`: one positive and one negative case per rule R1–R9,
+//! waiver semantics (including the R9 stale-waiver lifecycle), ratchet
+//! behavior, and the CLI's exit codes.
 
 use sim_lint::baseline::{key, Baseline};
 use sim_lint::{analyze_tree, compare, updated_baseline, Analysis};
@@ -37,7 +38,7 @@ fn flagged(analysis: &Analysis) -> Vec<(String, &'static str)> {
 #[test]
 fn dirty_fixture_flags_every_rule() {
     let analysis = analyze("dirty");
-    assert_eq!(analysis.files_scanned, 3);
+    assert_eq!(analysis.files_scanned, 5);
     let pairs = flagged(&analysis);
     assert_eq!(
         pairs,
@@ -48,8 +49,65 @@ fn dirty_fixture_flags_every_rule() {
             ("crates/serving/src/lib.rs".to_string(), "R6"),
             ("crates/sim-core/src/lib.rs".to_string(), "R1"),
             ("crates/sim-core/src/lib.rs".to_string(), "R5"),
+            ("crates/sim-gpu/benches/knob_bench.rs".to_string(), "R7"),
+            ("crates/sim-gpu/src/lib.rs".to_string(), "R7"),
+            ("crates/sim-gpu/src/lib.rs".to_string(), "R8"),
+            ("crates/sim-gpu/src/lib.rs".to_string(), "R9"),
         ],
         "one positive per rule, at the expected file"
+    );
+}
+
+/// Bench targets get the configuration rules only: the raw env read in
+/// the bench fixture is an R7 violation, but its narrowing `as u32`
+/// cast must not produce an R8 (R8 covers library code).
+#[test]
+fn bench_targets_get_configuration_rules_only() {
+    let analysis = analyze("dirty");
+    let bench = analysis
+        .files
+        .iter()
+        .find(|f| f.path.ends_with("benches/knob_bench.rs"))
+        .expect("bench fixture report");
+    assert!(bench.violations.iter().any(|v| v.rule == "R7"));
+    assert!(
+        bench
+            .violations
+            .iter()
+            .all(|v| v.rule == "R7" || v.rule == "R9"),
+        "benches must only see configuration rules: {:?}",
+        bench.violations
+    );
+}
+
+/// The stale waiver in the sim-gpu fixture: `allow(R2)` sits on a line
+/// where only R8 fires, so R9 flags the waiver itself and the R8 stays
+/// live (a waiver for the wrong rule suppresses nothing).
+#[test]
+fn stale_waiver_is_flagged_and_suppresses_nothing() {
+    let analysis = analyze("dirty");
+    let gpu = analysis
+        .files
+        .iter()
+        .find(|f| f.path.ends_with("sim-gpu/src/lib.rs"))
+        .expect("sim-gpu fixture report");
+    let r9: Vec<&str> = gpu
+        .violations
+        .iter()
+        .filter(|v| v.rule == "R9")
+        .map(|v| v.message.as_str())
+        .collect();
+    assert_eq!(r9.len(), 1, "exactly one stale waiver: {r9:?}");
+    assert!(
+        r9[0].contains("R2"),
+        "diagnostic names the stale rule: {}",
+        r9[0]
+    );
+    assert!(
+        gpu.violations
+            .iter()
+            .any(|v| v.rule == "R8" && v.waived.is_none()),
+        "the mismatched waiver must not suppress the R8"
     );
 }
 
@@ -80,7 +138,7 @@ fn dirty_fixture_violations_carry_usable_lines() {
 #[test]
 fn clean_fixture_is_spotless() {
     let analysis = analyze("clean");
-    assert_eq!(analysis.files_scanned, 2);
+    assert_eq!(analysis.files_scanned, 4);
     assert!(
         analysis.files.is_empty(),
         "negatives flagged: {:?}",
@@ -168,6 +226,59 @@ fn baseline_json_round_trips() {
     std::fs::write(&path, &json).expect("write baseline");
     let reloaded = Baseline::load(&path).expect("parse").expect("file present");
     assert_eq!(reloaded.counts, b.counts);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The waiver lifecycle across a fix: a live waiver suppresses its rule
+/// and counts as waived; once the code is fixed the leftover waiver
+/// becomes an R9 diagnostic; deleting the waiver restores a clean tree.
+#[test]
+fn stale_waiver_lifecycle_tracks_the_fix() {
+    let dir = std::env::temp_dir().join(format!("simlint-waiver-{}", std::process::id()));
+    let src = dir.join("crates/sim-gpu/src");
+    std::fs::create_dir_all(&src).expect("temp tree");
+    let lib = src.join("lib.rs");
+    let analyze_stage = |body: &str| {
+        std::fs::write(&lib, body).expect("write stage");
+        analyze_tree(&dir).expect("stage scans")
+    };
+
+    // Stage 1: the cast is live and waived — no R8 escapes, no R9.
+    let waived = analyze_stage(
+        "//! Stage 1.\n\n/// Truncates.\npub fn shrink(x: u64) -> u32 {\n    \
+         // simlint: allow(R8) -- bounded by the block-count cap\n    x as u32\n}\n",
+    );
+    assert_eq!(waived.waived(), 1);
+    assert!(
+        waived.counts().is_empty(),
+        "waived stage is clean: {:?}",
+        waived.counts()
+    );
+
+    // Stage 2: the cast is fixed but the waiver was left behind — the
+    // waiver itself is now the (only) violation.
+    let stale = analyze_stage(
+        "//! Stage 2.\n\n/// Truncates.\npub fn shrink(x: u64) -> u32 {\n    \
+         // simlint: allow(R8) -- bounded by the block-count cap\n    \
+         sim_core::cast::u64_to_u32(x)\n}\n",
+    );
+    assert_eq!(stale.waived(), 0);
+    let counts = stale.counts();
+    assert_eq!(counts.len(), 1, "only the stale waiver fires: {counts:?}");
+    assert_eq!(counts.get("crates/sim-gpu/src/lib.rs|R9"), Some(&1));
+
+    // Stage 3: the waiver is deleted with the fix in place — spotless.
+    let clean = analyze_stage(
+        "//! Stage 3.\n\n/// Truncates.\npub fn shrink(x: u64) -> u32 {\n    \
+         sim_core::cast::u64_to_u32(x)\n}\n",
+    );
+    assert_eq!(clean.waived(), 0);
+    assert!(
+        clean.counts().is_empty(),
+        "fixed stage is clean: {:?}",
+        clean.counts()
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

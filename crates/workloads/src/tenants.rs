@@ -114,7 +114,7 @@ fn tag_tenant(requests: &mut [Request], tenant: usize) {
 
 /// Sorts tagged per-tenant streams by arrival and renumbers ids globally.
 fn merge_tenant_streams(mut merged: Vec<(usize, Request)>) -> MultiTenantTrace {
-    merged.sort_by(|a, b| a.1.arrival_s.partial_cmp(&b.1.arrival_s).expect("finite"));
+    merged.sort_by(|a, b| a.1.arrival_s.total_cmp(&b.1.arrival_s));
     let mut tenant_of = Vec::with_capacity(merged.len());
     let mut requests = Vec::with_capacity(merged.len());
     for (i, (tenant, mut r)) in merged.into_iter().enumerate() {
