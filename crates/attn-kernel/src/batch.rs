@@ -8,6 +8,7 @@
 
 use attn_math::{HeadConfig, Matrix};
 use kv_cache::{BlockId, BlockTable, PrefixForest};
+use sim_core::cast::usize_to_u32;
 use std::collections::HashMap;
 
 /// KV-cache element size in bytes for fp16, the paper's evaluation dtype.
@@ -36,6 +37,12 @@ pub struct DecodeBatch {
     head: HeadConfig,
     tables: Vec<BlockTable>,
     dtype_bytes: usize,
+    /// Stable per-query identities (serving request ids), when the caller
+    /// has them. Row `q` of `tables` belongs to `query_ids[q]`. Purely
+    /// advisory: planning and timing never read them; the delta-planning
+    /// classifier ([`crate::classify_step_delta`]) uses them to match rows
+    /// across consecutive decode steps.
+    query_ids: Option<Vec<u64>>,
 }
 
 impl DecodeBatch {
@@ -60,7 +67,30 @@ impl DecodeBatch {
             head,
             tables,
             dtype_bytes,
+            query_ids: None,
         }
+    }
+
+    /// Attaches stable per-query identities (one per table row), enabling
+    /// delta classification across decode steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id count disagrees with the query count.
+    #[must_use]
+    pub fn with_query_ids(mut self, ids: Vec<u64>) -> Self {
+        assert_eq!(
+            ids.len(),
+            self.tables.len(),
+            "one query id per block-table row"
+        );
+        self.query_ids = Some(ids);
+        self
+    }
+
+    /// The stable per-query identities, when attached.
+    pub fn query_ids(&self) -> Option<&[u64]> {
+        self.query_ids.as_deref()
     }
 
     /// Consumes the batch, returning its block tables (allocation reuse:
@@ -68,6 +98,13 @@ impl DecodeBatch {
     /// vector instead of reallocating it).
     pub fn into_tables(self) -> Vec<BlockTable> {
         self.tables
+    }
+
+    /// Decomposes the batch into its table vector and query-id vector
+    /// (empty when no ids were attached) so callers can recycle both
+    /// allocations across steps.
+    pub fn into_scratch(self) -> (Vec<BlockTable>, Vec<u64>) {
+        (self.tables, self.query_ids.unwrap_or_default())
     }
 
     /// The attention head configuration.
@@ -123,16 +160,19 @@ impl DecodeBatch {
     /// Distinct physical KV bytes of the batch across all kv-heads — the
     /// theoretical minimum KV traffic of Fig. 6a.
     pub fn distinct_kv_bytes(&self) -> f64 {
-        let mut seen: HashMap<BlockId, usize> = HashMap::new();
-        for table in &self.tables {
-            for i in 0..table.blocks().len() {
-                let tokens = table.tokens_in_block(i);
-                let entry = seen.entry(table.blocks()[i]).or_insert(0);
-                *entry = (*entry).max(tokens);
+        // Sum of per-block maxima, accumulated as each maximum is raised
+        // (integer increments, so the total is independent of visit order
+        // and identical to a build-a-map-then-sum formulation).
+        let mut tokens = 0usize;
+        crate::scratch::with_block_scratch(|seen| {
+            seen.clear();
+            for table in &self.tables {
+                for i in 0..table.blocks().len() {
+                    let t = usize_to_u32(table.tokens_in_block(i));
+                    tokens += seen.raise(table.blocks()[i].0, t) as usize;
+                }
             }
-        }
-        // simlint: allow(R2) -- summing usizes is order-independent
-        let tokens: usize = seen.values().sum();
+        });
         (tokens * self.kv_bytes_per_token_per_kv_head() * self.head.num_kv_heads()) as f64
     }
 }
@@ -243,14 +283,22 @@ impl KvStore {
         });
     }
 
+    /// The per-kv-head `(keys, values)` pair stored for `block`, naming the
+    /// missing block when a plan references KV that was never inserted.
+    fn head_pair(&self, block: BlockId, kv_head: usize) -> &(Matrix, Matrix) {
+        let Some(heads) = self.blocks.get(&block) else {
+            panic!("{block:?} absent from KV store");
+        };
+        &heads[kv_head]
+    }
+
     /// Keys of `block` for `kv_head`, rows `0..tokens`.
     ///
     /// # Panics
     ///
     /// Panics if the block is absent or indices are invalid.
     pub fn keys(&self, block: BlockId, kv_head: usize, tokens: usize) -> Matrix {
-        let (k, _) = &self.blocks.get(&block).expect("block present in store")[kv_head];
-        k.slice_rows(0, tokens)
+        self.head_pair(block, kv_head).0.slice_rows(0, tokens)
     }
 
     /// Values of `block` for `kv_head`, rows `0..tokens`.
@@ -259,8 +307,7 @@ impl KvStore {
     ///
     /// Panics if the block is absent or indices are invalid.
     pub fn values(&self, block: BlockId, kv_head: usize, tokens: usize) -> Matrix {
-        let (_, v) = &self.blocks.get(&block).expect("block present in store")[kv_head];
-        v.slice_rows(0, tokens)
+        self.head_pair(block, kv_head).1.slice_rows(0, tokens)
     }
 
     /// Number of distinct blocks stored.

@@ -106,7 +106,7 @@ pub enum L2Affinity {
 }
 
 /// A full decode-attention execution plan.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelPlan {
     /// The CTAs, in dispatch order.
     pub ctas: Vec<CtaPlan>,

@@ -46,13 +46,21 @@ pub struct StepSimReport {
     pub scheduling_ns: f64,
 }
 
-/// Hit/miss counters of a [`StepSimCache`].
+/// Hit/miss counters of a [`StepSimCache`], plus the planning-reuse split
+/// of the miss path (how steps that did run the planner produced their
+/// packing: reused plan state vs a cold rebuild).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct StepSimStats {
     /// Decode steps whose timing was served from cache.
     pub hits: u64,
     /// Decode steps that ran the full plan + sim-gpu pipeline.
     pub misses: u64,
+    /// Miss-path steps whose packing reused plan state (a frozen replay or
+    /// an incremental delta patch) instead of a scratch rebuild.
+    pub plan_reuse_hits: u64,
+    /// Miss-path steps that rebuilt the packing from scratch (always the
+    /// case for stateless baseline backends).
+    pub plan_cold: u64,
 }
 
 impl StepSimStats {
@@ -66,10 +74,37 @@ impl StepSimStats {
         }
     }
 
+    /// Fraction of decode steps that missed the step cache but still reused
+    /// planning state (0 when none ran). Together with
+    /// [`StepSimStats::hit_rate`] and [`StepSimStats::plan_cold_rate`] this
+    /// forms the three-way split of Fig. 16: step-cache hit / plan-reuse
+    /// hit / cold plan.
+    pub fn plan_reuse_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_reuse_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of decode steps planned entirely from scratch (0 when none
+    /// ran).
+    pub fn plan_cold_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cold as f64 / total as f64
+        }
+    }
+
     /// Accumulates another engine's counters (fleet-level aggregation).
     pub fn merge(&mut self, other: StepSimStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.plan_reuse_hits += other.plan_reuse_hits;
+        self.plan_cold += other.plan_cold;
     }
 }
 
@@ -145,6 +180,17 @@ impl StepSimCache {
         self.map.insert(key, Entry { report, last_used });
     }
 
+    /// Records how a miss-path step produced its packing (called once per
+    /// step that actually invoked the planner): `true` when plan state was
+    /// reused (frozen replay or delta patch), `false` for a scratch rebuild.
+    pub fn note_plan(&mut self, reused: bool) {
+        if reused {
+            self.stats.plan_reuse_hits += 1;
+        } else {
+            self.stats.plan_cold += 1;
+        }
+    }
+
     /// Hit/miss counters so far.
     pub fn stats(&self) -> StepSimStats {
         self.stats
@@ -189,7 +235,42 @@ mod tests {
         assert_eq!(c.get((1, 1)), None);
         c.insert((1, 1), report(100.0));
         assert_eq!(c.get((1, 1)), Some(report(100.0)));
-        assert_eq!(c.stats(), StepSimStats { hits: 1, misses: 1 });
+        assert_eq!(
+            c.stats(),
+            StepSimStats {
+                hits: 1,
+                misses: 1,
+                ..StepSimStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn note_plan_splits_the_miss_path() {
+        let mut c = StepSimCache::new(4);
+        c.note_plan(true);
+        c.note_plan(true);
+        c.note_plan(false);
+        let s = c.stats();
+        assert_eq!(s.plan_reuse_hits, 2);
+        assert_eq!(s.plan_cold, 1);
+        // Rates are over all steps (hits + misses), not just the miss path.
+        let mut s = StepSimStats {
+            hits: 5,
+            misses: 5,
+            plan_reuse_hits: 4,
+            plan_cold: 1,
+        };
+        assert!((s.plan_reuse_rate() - 0.4).abs() < 1e-12);
+        assert!((s.plan_cold_rate() - 0.1).abs() < 1e-12);
+        s.merge(StepSimStats {
+            hits: 0,
+            misses: 2,
+            plan_reuse_hits: 1,
+            plan_cold: 1,
+        });
+        assert_eq!(s.plan_reuse_hits, 5);
+        assert_eq!(s.plan_cold, 2);
     }
 
     #[test]
@@ -227,14 +308,23 @@ mod tests {
 
     #[test]
     fn hit_rate_and_merge() {
-        let mut a = StepSimStats { hits: 8, misses: 2 };
+        let mut a = StepSimStats {
+            hits: 8,
+            misses: 2,
+            ..StepSimStats::default()
+        };
         assert!((a.hit_rate() - 0.8).abs() < 1e-12);
-        a.merge(StepSimStats { hits: 2, misses: 8 });
+        a.merge(StepSimStats {
+            hits: 2,
+            misses: 8,
+            ..StepSimStats::default()
+        });
         assert_eq!(
             a,
             StepSimStats {
                 hits: 10,
-                misses: 10
+                misses: 10,
+                ..StepSimStats::default()
             }
         );
         assert_eq!(StepSimStats::default().hit_rate(), 0.0);

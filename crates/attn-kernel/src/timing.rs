@@ -156,7 +156,10 @@ pub fn simulate_plan_trusted(
         }
         let (floor, tail) = compute_floor_ns(spec, &occupancy, cta.tile, cta.kv.tokens, d, dtype);
         let rate_cap = cta.tile.rate_cap(spec, d, dtype);
-        let kernel = stream.kernels.last_mut().expect("just pushed");
+        // A stream's first CTA never matches the `None` in `last_kernel`, so
+        // the push above guarantees the stream has a current kernel.
+        let current = stream.kernels.len() - 1;
+        let kernel = &mut stream.kernels[current];
         let hw_ctas = if plan.per_query_head_kv {
             head.num_heads()
         } else {

@@ -7,10 +7,9 @@
 //! `min(1, L2 / step working set)`, grouped re-accesses (RelayAttention++
 //! ordering) almost always hit.
 
-use crate::fxhash::FxHashMap;
+use crate::scratch::with_block_scratch;
 use crate::{DecodeBatch, KernelPlan, L2Affinity};
 use attn_math::PartialAttn;
-use kv_cache::BlockId;
 use sim_gpu::{l2::reuse_fraction, GpuSpec};
 
 /// Hit probability of grouped (temporally adjacent) re-accesses.
@@ -86,15 +85,8 @@ pub fn analyze_traffic(
     let expansion = (head.num_kv_heads() * g_eff) as f64;
     let per_token = batch.kv_bytes_per_token_per_kv_head() as f64;
 
-    // Access counts per block across CTAs (a CTA loads each slice block once
-    // into shared memory regardless of how many queries it packs).
-    let mut access_count: FxHashMap<BlockId, usize> = FxHashMap::default();
-    for cta in &plan.ctas {
-        for &b in &cta.kv.blocks {
-            *access_count.entry(b).or_insert(0) += 1;
-        }
-    }
-
+    // Footprint first: `distinct_kv_bytes` uses the same thread scratch as
+    // the access counts below, and the two uses must not overlap.
     let footprint = batch.distinct_kv_bytes();
     let p_hit = match plan.l2_affinity {
         L2Affinity::Scattered => reuse_fraction(spec.l2_bytes as f64, footprint),
@@ -105,38 +97,59 @@ pub fn analyze_traffic(
     let mut per_cta = vec![CtaTraffic::default(); plan.ctas.len()];
     let mut report = TrafficReport::default();
 
-    for (i, cta) in plan.ctas.iter().enumerate() {
-        let mut kv_dram = 0.0;
-        let mut kv_l2 = 0.0;
-        for (bi, &b) in cta.kv.blocks.iter().enumerate() {
-            let bytes = cta.kv.tokens_in_block(bi, bs) as f64 * per_token;
-            // Accesses of this block's per-kv-head data across all hardware
-            // CTAs (including the g-fold redundancy of GQA-oblivious grids).
-            let k = (access_count[&b] * g_eff) as f64;
-            // One cold DRAM load plus (k-1) re-accesses split by p_hit,
-            // amortized evenly over the k accessing CTAs.
-            kv_dram += bytes * (1.0 + (k - 1.0) * (1.0 - p_hit)) / k;
-            kv_l2 += bytes * (k - 1.0) * p_hit / k;
+    with_block_scratch(|access_count| {
+        // Access counts per block across CTAs (a CTA loads each slice block
+        // once into shared memory regardless of how many queries it packs).
+        access_count.clear();
+        for cta in &plan.ctas {
+            for &b in &cta.kv.blocks {
+                access_count.incr(b.0);
+            }
         }
-        // Q activations: real rows only (padding wastes on-chip memory, not
-        // DRAM bandwidth). Per hardware CTA.
-        let q_bytes = (cta.queries.len() * g * d * batch.dtype_bytes()) as f64 / g_eff as f64;
-        // Intermediates: written only by queries split across CTAs.
-        let inter_bytes: f64 = cta
-            .queries
-            .iter()
-            .filter(|&&q| ctas_per_query[q] > 1)
-            .map(|_| (g * PartialAttn::spill_bytes(d)) as f64 / g_eff as f64)
-            .sum();
-        per_cta[i] = CtaTraffic {
-            dram_bytes: kv_dram + q_bytes + inter_bytes,
-            l2_bytes: kv_l2,
-        };
-        report.kv_dram_bytes += kv_dram * expansion;
-        report.kv_l2_bytes += kv_l2 * expansion;
-        report.q_bytes += q_bytes * expansion;
-        report.intermediate_write_bytes += inter_bytes * expansion;
-    }
+
+        for (i, cta) in plan.ctas.iter().enumerate() {
+            let mut kv_dram = 0.0;
+            let mut kv_l2 = 0.0;
+            for (bi, &b) in cta.kv.blocks.iter().enumerate() {
+                let bytes = cta.kv.tokens_in_block(bi, bs) as f64 * per_token;
+                // Accesses of this block's per-kv-head data across all
+                // hardware CTAs (including the g-fold redundancy of
+                // GQA-oblivious grids).
+                let accesses = access_count.get(b.0) as usize * g_eff;
+                if accesses == 1 {
+                    // Sole accessor: the general expression below reduces to
+                    // exactly `bytes` DRAM and zero L2 (k = 1 makes every
+                    // re-access term a true IEEE zero), so skip the float
+                    // work on this, the dominant prefix-packed case.
+                    kv_dram += bytes;
+                    continue;
+                }
+                let k = accesses as f64;
+                // One cold DRAM load plus (k-1) re-accesses split by p_hit,
+                // amortized evenly over the k accessing CTAs.
+                kv_dram += bytes * (1.0 + (k - 1.0) * (1.0 - p_hit)) / k;
+                kv_l2 += bytes * (k - 1.0) * p_hit / k;
+            }
+            // Q activations: real rows only (padding wastes on-chip memory,
+            // not DRAM bandwidth). Per hardware CTA.
+            let q_bytes = (cta.queries.len() * g * d * batch.dtype_bytes()) as f64 / g_eff as f64;
+            // Intermediates: written only by queries split across CTAs.
+            let inter_bytes: f64 = cta
+                .queries
+                .iter()
+                .filter(|&&q| ctas_per_query[q] > 1)
+                .map(|_| (g * PartialAttn::spill_bytes(d)) as f64 / g_eff as f64)
+                .sum();
+            per_cta[i] = CtaTraffic {
+                dram_bytes: kv_dram + q_bytes + inter_bytes,
+                l2_bytes: kv_l2,
+            };
+            report.kv_dram_bytes += kv_dram * expansion;
+            report.kv_l2_bytes += kv_l2 * expansion;
+            report.q_bytes += q_bytes * expansion;
+            report.intermediate_write_bytes += inter_bytes * expansion;
+        }
+    });
     // The merge kernel reads every intermediate back once.
     report.intermediate_read_bytes = report.intermediate_write_bytes;
     report.output_bytes = (batch.num_queries() * head.num_heads() * d * OUT_BYTES) as f64;
@@ -148,7 +161,7 @@ mod tests {
     use super::*;
     use crate::{CtaPlan, KvSlice, TileConfig};
     use attn_math::HeadConfig;
-    use kv_cache::BlockTable;
+    use kv_cache::{BlockId, BlockTable};
     use sim_core::cast::usize_to_u32;
 
     fn batch(n_queries: usize, shared_blocks: usize, private_blocks: usize) -> DecodeBatch {

@@ -116,11 +116,18 @@ impl PatBackend {
     /// The pack stage only: batch → packs under the configured policy
     /// (before row-limit enforcement, splitting, and tile selection).
     pub fn pack(&self, batch: &DecodeBatch) -> Vec<Pack> {
-        let forest = batch.forest();
+        self.pack_from_forest(&batch.forest(), batch.head().group_size())
+    }
+
+    /// The pack stage over an already-built forest. The delta-planning path
+    /// ([`crate::LazyPat`] with [`crate::PlanState`]) maintains the forest
+    /// incrementally across decode steps and packs it here without the
+    /// per-step rebuild that [`PatBackend::pack`] performs.
+    pub fn pack_from_forest(&self, forest: &PrefixForest, group_size: usize) -> Vec<Pack> {
         match self.config.packing {
-            PackingPolicy::MemoryProfit => pack_forest(&forest),
-            PackingPolicy::Naive => naive_pack(&forest),
-            PackingPolicy::ComputeCost => compute_pack(&forest, batch.head().group_size()),
+            PackingPolicy::MemoryProfit => pack_forest(forest),
+            PackingPolicy::Naive => naive_pack(forest),
+            PackingPolicy::ComputeCost => compute_pack(forest, group_size),
         }
     }
 
@@ -238,10 +245,17 @@ impl PatBackend {
     /// `O(|V|+|E|)` plus block-table conversion).
     pub fn scheduling_cost_ns(&self, batch: &DecodeBatch) -> f64 {
         let forest = batch.forest();
-        let nodes = forest.num_nodes() as f64;
         let blocks: usize = batch.tables().iter().map(|t| t.blocks().len()).sum();
-        1_000.0 + 80.0 * nodes + 2.0 * blocks as f64
+        scheduling_cost_from_counts(forest.num_nodes(), blocks)
     }
+}
+
+/// [`PatBackend::scheduling_cost_ns`] from precomputed forest statistics.
+/// The lazy scheduler evaluates this against its maintained forest so cost
+/// accounting needs no second per-step forest build; the formula (and hence
+/// the reported f64) is bit-identical to the batch-walking form.
+pub fn scheduling_cost_from_counts(nodes: usize, blocks: usize) -> f64 {
+    1_000.0 + 80.0 * nodes as f64 + 2.0 * blocks as f64
 }
 
 impl AttentionBackend for PatBackend {

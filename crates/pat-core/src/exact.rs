@@ -49,7 +49,9 @@ pub fn exact_pack(forest: &PrefixForest, num_queries: usize) -> (Vec<Pack>, f64)
         "exact packing is exponential; {edges} edges is too many"
     );
     let combos = 1u64 << edges;
-    let mut best: Option<(Vec<Pack>, f64)> = None;
+    // Mask 0 (the all-split packing) always runs, so `best` is always
+    // improved past the infinite sentinel.
+    let mut best: (Vec<Pack>, f64) = (Vec::new(), f64::INFINITY);
     for mask in 0..combos {
         let mut packs = Vec::new();
         let mut bit = 0usize;
@@ -57,11 +59,11 @@ pub fn exact_pack(forest: &PrefixForest, num_queries: usize) -> (Vec<Pack>, f64)
             assemble(root, &[], 0, 0, mask, &mut bit, &mut packs);
         }
         let cost = packing_cost(&packs, num_queries);
-        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-            best = Some((packs, cost));
+        if cost < best.1 {
+            best = (packs, cost);
         }
     }
-    best.expect("at least the all-split packing exists")
+    best
 }
 
 fn count_internal_edges(forest: &PrefixForest) -> usize {

@@ -8,29 +8,58 @@
 //! overlapped with pre-attention work, so its latency is not exposed
 //! (validated in Fig. 16 / §8.7).
 
-use crate::backend::PatBackend;
+use crate::backend::{scheduling_cost_from_counts, PatBackend};
 use crate::packer::Pack;
+use crate::plan_state::{plan_cache_enabled, PlanReuse, PlanState};
 use crate::selector::TileError;
 use attn_kernel::{DecodeBatch, KernelPlan};
+use kv_cache::PrefixForest;
 use sim_gpu::GpuSpec;
 
 /// Cache statistics of the lazy scheduler.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LazyStats {
-    /// Plans served from cache.
+    /// Plans served from cache with frozen pack decisions (structure
+    /// fingerprint hit).
     pub hits: u64,
-    /// Full scheduler invocations.
+    /// Plans re-packed from the incrementally patched forest (structure
+    /// miss classified as chain-local; no forest rebuild).
+    pub delta_hits: u64,
+    /// Full scheduler invocations (forest rebuild + re-pack).
     pub misses: u64,
 }
 
 impl LazyStats {
-    /// Fraction of decode steps that reused a cached packing.
+    fn total(&self) -> u64 {
+        self.hits + self.delta_hits + self.misses
+    }
+
+    /// Fraction of decode steps that reused a cached packing verbatim.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.total() == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of decode steps that patched the maintained forest instead
+    /// of rebuilding it (delta-planning hits).
+    pub fn delta_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.delta_hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of decode steps that avoided a scratch forest rebuild —
+    /// frozen replays plus delta patches.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.hits + self.delta_hits) as f64 / self.total() as f64
         }
     }
 }
@@ -58,24 +87,40 @@ impl LazyStats {
 /// assert_eq!(lazy.stats().misses, 1);
 /// assert_eq!(lazy.stats().hits, 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LazyPat {
     backend: PatBackend,
     cached: Option<(u64, Vec<Pack>)>,
+    state: Option<PlanState>,
+    delta_enabled: bool,
+    last_reuse: Option<PlanReuse>,
+    last_cost_ns: Option<f64>,
     stats: LazyStats,
+}
+
+impl Default for LazyPat {
+    fn default() -> Self {
+        LazyPat::new()
+    }
 }
 
 impl LazyPat {
     /// Creates a lazy scheduler around full PAT.
     pub fn new() -> Self {
-        LazyPat::default()
+        LazyPat::with_backend(PatBackend::default())
     }
 
-    /// Creates a lazy scheduler around a configured backend.
+    /// Creates a lazy scheduler around a configured backend. Delta-planning
+    /// is governed by `PAT_PLAN_CACHE` (performance-only; plans are
+    /// identical with it on or off).
     pub fn with_backend(backend: PatBackend) -> Self {
         LazyPat {
             backend,
             cached: None,
+            state: None,
+            delta_enabled: plan_cache_enabled(),
+            last_reuse: None,
+            last_cost_ns: None,
             stats: LazyStats::default(),
         }
     }
@@ -86,6 +131,15 @@ impl LazyPat {
         LazyPat::with_backend(PatBackend::from_env())
     }
 
+    /// Overrides the `PAT_PLAN_CACHE` decision for this scheduler (A/B
+    /// lever for benches and tests that must not touch process-global knob
+    /// state).
+    #[must_use]
+    pub fn with_plan_cache(mut self, enabled: bool) -> Self {
+        self.delta_enabled = enabled;
+        self
+    }
+
     /// The wrapped backend.
     pub fn backend(&self) -> &PatBackend {
         &self.backend
@@ -94,6 +148,30 @@ impl LazyPat {
     /// Cache statistics.
     pub fn stats(&self) -> LazyStats {
         self.stats
+    }
+
+    /// How the most recent [`LazyPat::try_plan`] produced its packing, or
+    /// `None` before the first plan.
+    pub fn last_plan_reuse(&self) -> Option<PlanReuse> {
+        self.last_reuse
+    }
+
+    /// Whether incremental delta-planning is active on this scheduler.
+    pub fn plan_cache_active(&self) -> bool {
+        self.delta_enabled
+    }
+
+    /// CPU-side pack-scheduler cost for `batch`, reusing the forest node
+    /// count recorded by the most recent plan when the batch structure is
+    /// unchanged (the serving engine samples this immediately after
+    /// planning the same step). Bit-identical to
+    /// [`PatBackend::scheduling_cost_ns`], which rebuilds the forest to
+    /// count its nodes.
+    pub fn scheduling_cost_ns(&self, batch: &DecodeBatch) -> f64 {
+        match (self.last_cost_ns, &self.cached) {
+            (Some(cost), Some((key, _))) if *key == structure_fingerprint(batch) => cost,
+            _ => self.backend.scheduling_cost_ns(batch),
+        }
     }
 
     /// Plans a decode step, reusing the cached packing when the block-table
@@ -124,6 +202,16 @@ impl LazyPat {
         let packs = match &self.cached {
             Some((cached_key, packs)) if *cached_key == key => {
                 self.stats.hits += 1;
+                self.last_reuse = Some(PlanReuse::Frozen);
+                // A same-structure step cannot change query identities in
+                // place, but a caller may stop attaching ids (or swap id
+                // spaces); desynchronized state must not classify later
+                // deltas.
+                if let (Some(state), Some(ids)) = (&self.state, batch.query_ids()) {
+                    if state.ids() != ids {
+                        self.state = None;
+                    }
+                }
                 let mut packs = packs.clone();
                 for p in &mut packs {
                     p.refresh_tokens(batch.tables());
@@ -131,8 +219,7 @@ impl LazyPat {
                 packs
             }
             _ => {
-                self.stats.misses += 1;
-                let packs = self.backend.pack(batch);
+                let packs = self.plan_packs(batch);
                 self.cached = Some((key, packs.clone()));
                 packs
             }
@@ -140,9 +227,46 @@ impl LazyPat {
         self.backend.try_finish_plan(batch, packs, spec)
     }
 
-    /// Drops the cached packing (e.g. on engine reconfiguration).
+    /// The structure-miss pack path: patch the maintained forest when the
+    /// step's delta is chain-local, rebuild from scratch otherwise.
+    fn plan_packs(&mut self, batch: &DecodeBatch) -> Vec<Pack> {
+        let group_size = batch.head().group_size();
+        if self.delta_enabled {
+            if let Some(mut state) = self.state.take() {
+                if state.advance(batch) {
+                    self.stats.delta_hits += 1;
+                    self.last_reuse = Some(PlanReuse::DeltaPatched);
+                    self.note_cost(state.forest(), batch);
+                    let packs = self.backend.pack_from_forest(state.forest(), group_size);
+                    self.state = Some(state);
+                    return packs;
+                }
+                // Structural step (or unpatchable edge): the state may be
+                // partially patched — drop it and re-capture below.
+            }
+        }
+        self.stats.misses += 1;
+        self.last_reuse = Some(PlanReuse::Cold);
+        let forest = PrefixForest::from_block_tables(batch.tables());
+        self.note_cost(&forest, batch);
+        let packs = self.backend.pack_from_forest(&forest, group_size);
+        if self.delta_enabled {
+            self.state = PlanState::capture(batch, forest);
+        }
+        packs
+    }
+
+    fn note_cost(&mut self, forest: &PrefixForest, batch: &DecodeBatch) {
+        let blocks: usize = batch.tables().iter().map(|t| t.blocks().len()).sum();
+        self.last_cost_ns = Some(scheduling_cost_from_counts(forest.num_nodes(), blocks));
+    }
+
+    /// Drops the cached packing and maintained plan state (e.g. on engine
+    /// reconfiguration).
     pub fn invalidate(&mut self) {
         self.cached = None;
+        self.state = None;
+        self.last_cost_ns = None;
     }
 }
 
@@ -179,7 +303,14 @@ mod tests {
         let p1 = lazy.plan(&batch(&[(&[0, 1], 20), (&[0, 2], 24)]), &spec);
         let b2 = batch(&[(&[0, 1], 21), (&[0, 2], 25)]);
         let p2 = lazy.plan(&b2, &spec);
-        assert_eq!(lazy.stats(), LazyStats { hits: 1, misses: 1 });
+        assert_eq!(
+            lazy.stats(),
+            LazyStats {
+                hits: 1,
+                delta_hits: 0,
+                misses: 1
+            }
+        );
         // Refreshed plan covers the new token counts exactly.
         p2.validate(&b2).unwrap();
         let t1: usize = p1.ctas.iter().map(|c| c.kv.tokens * c.queries.len()).sum();
@@ -195,7 +326,16 @@ mod tests {
         // Query 0 rolled into a fresh block: structure changed.
         let b = batch(&[(&[0, 1, 7], 33), (&[0, 2], 32)]);
         let p = lazy.plan(&b, &spec);
-        assert_eq!(lazy.stats(), LazyStats { hits: 0, misses: 2 });
+        // Without query ids there is no plan state to patch: both steps are
+        // full scheduler invocations.
+        assert_eq!(
+            lazy.stats(),
+            LazyStats {
+                hits: 0,
+                delta_hits: 0,
+                misses: 2
+            }
+        );
         p.validate(&b).unwrap();
     }
 
@@ -220,7 +360,130 @@ mod tests {
         lazy.plan(&b, &spec);
         lazy.invalidate();
         lazy.plan(&b, &spec);
-        assert_eq!(lazy.stats(), LazyStats { hits: 0, misses: 2 });
+        assert_eq!(
+            lazy.stats(),
+            LazyStats {
+                hits: 0,
+                delta_hits: 0,
+                misses: 2
+            }
+        );
+    }
+
+    fn batch_with_ids(rows: &[(&[u32], usize)], ids: &[u64]) -> DecodeBatch {
+        batch(rows).with_query_ids(ids.to_vec())
+    }
+
+    #[test]
+    fn chain_local_steps_patch_instead_of_rebuilding() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new();
+        lazy.plan(
+            &batch_with_ids(&[(&[0, 1], 32), (&[0, 2], 32), (&[5], 10)], &[7, 8, 9]),
+            &spec,
+        );
+        // Request 7 crosses a block boundary; 9 completes; 11 arrives.
+        let b = batch_with_ids(
+            &[(&[0, 1, 3], 33), (&[0, 2], 32), (&[6, 7], 20)],
+            &[7, 8, 11],
+        );
+        let patched = lazy.plan(&b, &spec);
+        assert_eq!(
+            lazy.stats(),
+            LazyStats {
+                hits: 0,
+                delta_hits: 1,
+                misses: 1
+            }
+        );
+        assert_eq!(lazy.last_plan_reuse(), Some(crate::PlanReuse::DeltaPatched));
+        // The patched plan is identical to what a cold scheduler produces.
+        assert_eq!(patched, LazyPat::new().plan(&b, &spec));
+    }
+
+    #[test]
+    fn disabled_plan_cache_always_rebuilds() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new().with_plan_cache(false);
+        assert!(!lazy.plan_cache_active());
+        lazy.plan(
+            &batch_with_ids(&[(&[0, 1], 32), (&[0, 2], 32)], &[1, 2]),
+            &spec,
+        );
+        let b = batch_with_ids(&[(&[0, 1, 3], 33), (&[0, 2], 32)], &[1, 2]);
+        let p = lazy.plan(&b, &spec);
+        assert_eq!(
+            lazy.stats(),
+            LazyStats {
+                hits: 0,
+                delta_hits: 0,
+                misses: 2
+            }
+        );
+        assert_eq!(lazy.last_plan_reuse(), Some(crate::PlanReuse::Cold));
+        // Same plan as the delta path: the knob is performance-only.
+        let mut with_cache = LazyPat::new().with_plan_cache(true);
+        with_cache.plan(
+            &batch_with_ids(&[(&[0, 1], 32), (&[0, 2], 32)], &[1, 2]),
+            &spec,
+        );
+        assert_eq!(p, with_cache.plan(&b, &spec));
+    }
+
+    #[test]
+    fn id_swap_on_frozen_hit_drops_the_state() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new().with_plan_cache(true);
+        lazy.plan(
+            &batch_with_ids(&[(&[0, 1], 31), (&[0, 2], 31)], &[1, 2]),
+            &spec,
+        );
+        // Same structure, different identities: frozen hit, but the state
+        // must not classify later deltas against the stale ids.
+        lazy.plan(
+            &batch_with_ids(&[(&[0, 1], 32), (&[0, 2], 32)], &[3, 4]),
+            &spec,
+        );
+        assert_eq!(lazy.last_plan_reuse(), Some(crate::PlanReuse::Frozen));
+        // Chain-local-looking step now goes cold (no state to patch).
+        lazy.plan(
+            &batch_with_ids(&[(&[0, 1, 5], 33), (&[0, 2], 32)], &[3, 4]),
+            &spec,
+        );
+        assert_eq!(
+            lazy.stats(),
+            LazyStats {
+                hits: 1,
+                delta_hits: 0,
+                misses: 2
+            }
+        );
+    }
+
+    #[test]
+    fn scheduling_cost_matches_backend_formula() {
+        let spec = GpuSpec::a100_sxm4_80gb();
+        let mut lazy = LazyPat::new();
+        let b0 = batch_with_ids(&[(&[0, 1], 32), (&[0, 2], 32)], &[1, 2]);
+        // Before any plan: falls back to the batch-walking form.
+        assert_eq!(
+            lazy.scheduling_cost_ns(&b0),
+            lazy.backend().scheduling_cost_ns(&b0)
+        );
+        lazy.plan(&b0, &spec);
+        assert_eq!(
+            lazy.scheduling_cost_ns(&b0),
+            lazy.backend().scheduling_cost_ns(&b0)
+        );
+        // After a delta-patched step the recorded cost still matches the
+        // scratch formula bit-for-bit.
+        let b1 = batch_with_ids(&[(&[0, 1, 4], 33), (&[0, 2], 32)], &[1, 2]);
+        lazy.plan(&b1, &spec);
+        assert_eq!(lazy.stats().delta_hits, 1);
+        assert_eq!(
+            lazy.scheduling_cost_ns(&b1),
+            lazy.backend().scheduling_cost_ns(&b1)
+        );
     }
 
     #[test]

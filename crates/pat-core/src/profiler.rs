@@ -37,14 +37,17 @@ impl NRule {
         NRule { entries }
     }
 
-    /// The profiled `n` for a KV length.
+    /// The profiled `n` for a KV length: the first entry whose bound covers
+    /// it, or the last entry for lengths past every bound.
     pub fn n_for(&self, kv_len: usize) -> usize {
-        for &(bound, n) in &self.entries {
+        let mut n = 1;
+        for &(bound, entry_n) in &self.entries {
+            n = entry_n;
             if kv_len <= bound {
-                return n;
+                break;
             }
         }
-        self.entries.last().expect("non-empty").1
+        n
     }
 
     /// The raw entries.
@@ -79,9 +82,11 @@ pub fn derive_n_rule(spec: &GpuSpec, head: HeadConfig, feasible_n: &[usize]) -> 
         for &n in &candidates {
             let tile = TileConfig::new(16, n);
             let plan = uniform_plan(&batch, tile);
-            let ns = simulate_plan(&batch, &plan, spec)
-                .expect("valid sweep plan")
-                .forward_ns;
+            // An infeasible candidate simply doesn't compete at this length.
+            let Ok(report) = simulate_plan(&batch, &plan, spec) else {
+                continue;
+            };
+            let ns = report.forward_ns;
             // Prefer the LARGER tile on ties within 1% (the paper's rule:
             // larger n lowers concurrency pressure on long KV).
             let better = match best {
@@ -94,7 +99,10 @@ pub fn derive_n_rule(spec: &GpuSpec, head: HeadConfig, feasible_n: &[usize]) -> 
                 best = Some((n, ns));
             }
         }
-        winners.push((kv, best.expect("candidates non-empty").0));
+        // A sweep length where no candidate simulated contributes no winner.
+        if let Some((n, _)) = best {
+            winners.push((kv, n));
+        }
     }
 
     // Compress consecutive equal winners into threshold entries.

@@ -7,7 +7,7 @@
 //! `SimulationResult::plan_error` instead of crashing the replica.
 
 use attn_kernel::{AttentionBackend, DecodeBatch, KernelPlan};
-use pat_core::{LazyPat, TileError};
+use pat_core::{LazyPat, PlanReuse, TileError};
 use sim_gpu::GpuSpec;
 
 /// A decode-attention implementation as used by the serving engine.
@@ -33,6 +33,13 @@ pub trait ServingAttention: Send {
     /// (used for the Fig. 16 overhead analysis).
     fn scheduling_cost_ns(&self, batch: &DecodeBatch) -> Option<f64> {
         let _ = batch;
+        None
+    }
+
+    /// How the most recent [`ServingAttention::plan_step`] produced its
+    /// packing, for backends that reuse plan state across steps. `None` for
+    /// stateless backends (every plan is implicitly cold).
+    fn last_plan_reuse(&self) -> Option<PlanReuse> {
         None
     }
 }
@@ -70,7 +77,13 @@ impl ServingAttention for LazyPat {
     }
 
     fn scheduling_cost_ns(&self, batch: &DecodeBatch) -> Option<f64> {
-        Some(self.backend().scheduling_cost_ns(batch))
+        // Reuses the forest statistics recorded at planning time;
+        // bit-identical to the backend's batch-walking form.
+        Some(LazyPat::scheduling_cost_ns(self, batch))
+    }
+
+    fn last_plan_reuse(&self) -> Option<PlanReuse> {
+        LazyPat::last_plan_reuse(self)
     }
 }
 
@@ -107,7 +120,7 @@ mod tests {
         let b = batch();
         let plan = pat.plan_step(&b, &GpuSpec::a100_sxm4_80gb()).unwrap();
         plan.validate(&b).unwrap();
-        assert!(pat.scheduling_cost_ns(&b).unwrap() > 0.0);
+        assert!(ServingAttention::scheduling_cost_ns(&pat, &b).unwrap() > 0.0);
     }
 
     #[test]

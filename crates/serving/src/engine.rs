@@ -23,6 +23,7 @@ use attn_kernel::{batch_timing_fingerprint, simulate_plan_trusted, DecodeBatch};
 use attn_kernel::{StepSimCache, StepSimReport, StepSimStats};
 use attn_math::HeadConfig;
 use kv_cache::{AllocError, BlockTable, CacheManager, DEFAULT_BLOCK_SIZE};
+use pat_core::PlanReuse;
 use serde::Serialize;
 use sim_core::{SimDuration, SimTime};
 use sim_gpu::{gpu_model_from_env, GpuSpec};
@@ -225,6 +226,9 @@ pub struct ServingEngine {
     /// Scratch arena: block-table vector recycled across decode steps so
     /// the per-step `DecodeBatch` rebuild allocates nothing in steady state.
     scratch_tables: Vec<BlockTable>,
+    /// Scratch arena for the batch's stable query ids (request ids), which
+    /// let stateful backends classify step deltas for incremental planning.
+    scratch_ids: Vec<u64>,
     /// Scratch arena for the chunked-prefill completion list.
     scratch_finished: Vec<(usize, usize)>,
     /// First invariant fault that halted this replica, if any.
@@ -271,6 +275,7 @@ impl ServingEngine {
             draining: false,
             step_cache: StepSimCache::from_env(),
             scratch_tables: Vec::new(),
+            scratch_ids: Vec::new(),
             scratch_finished: Vec::new(),
             fault: None,
         }
@@ -740,7 +745,10 @@ impl ServingEngine {
                 tables.push(a.table.clone());
             }
         }
-        let batch = DecodeBatch::new(self.shard_head, tables, 2);
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(self.active.iter().map(|a| self.requests[a.req_idx].id));
+        let batch = DecodeBatch::new(self.shard_head, tables, 2).with_query_ids(ids);
         // Step-simulation memoization (serving-level §5.1): consecutive
         // steps with identical block-granularity structure replay the
         // cached timing report and skip both the pack scheduler and the
@@ -760,18 +768,25 @@ impl ServingEngine {
                         // the typed failure and halt the replica cleanly.
                         // In-flight requests surface as `unfinished`.
                         self.record_fault(EngineError::Plan(e.to_string()));
-                        self.scratch_tables = batch.into_tables();
+                        (self.scratch_tables, self.scratch_ids) = batch.into_scratch();
                         self.scratch_finished = finished_prefills;
                         return StepOutcome::Idle;
                     }
                 };
+                // Fig. 16 three-way split: this step ran the planner —
+                // record whether it reused plan state or went cold.
+                // Stateless baselines report no reuse and count as cold.
+                self.step_cache.note_plan(matches!(
+                    attention.last_plan_reuse(),
+                    Some(r) if r != PlanReuse::Cold
+                ));
                 let full = match simulate_plan_trusted(&batch, &plan, &self.config.gpu) {
                     Ok(full) => full,
                     Err(e) => {
                         // The backend produced a plan the kernel simulator
                         // rejects — same clean halt as a planning failure.
                         self.record_fault(EngineError::Simulate(e.to_string()));
-                        self.scratch_tables = batch.into_tables();
+                        (self.scratch_tables, self.scratch_ids) = batch.into_scratch();
                         self.scratch_finished = finished_prefills;
                         return StepOutcome::Idle;
                     }
@@ -818,9 +833,9 @@ impl ServingEngine {
         self.batch_acc += batch.num_queries();
         self.attn_time += SimDuration::from_ns_f64(attention_ns);
         self.total_time += step;
-        // Return the table vector to the scratch arena, then the completion
-        // list; both keep their capacity for the next step.
-        self.scratch_tables = batch.into_tables();
+        // Return the table and id vectors to the scratch arena, then the
+        // completion list; all keep their capacity for the next step.
+        (self.scratch_tables, self.scratch_ids) = batch.into_scratch();
         self.admit_finished_prefills(&finished_prefills);
         self.scratch_finished = finished_prefills;
 

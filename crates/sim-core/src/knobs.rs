@@ -90,6 +90,15 @@ pub const KNOBS: &[KnobDef] = &[
         doc: "Per-engine capacity (entries) of the step-simulation LRU cache",
     },
     KnobDef {
+        name: "PAT_PLAN_CACHE",
+        kind: KnobKind::Choice(&["0", "1"]),
+        default: "1",
+        scope: KnobScope::PerfOnly,
+        doc: "Incremental delta-planning: patch the maintained prefix forest \
+              across decode steps instead of rebuilding it (plans are \
+              bit-identical either way)",
+    },
+    KnobDef {
         name: "PAT_BENCH_SMOKE",
         kind: KnobKind::Flag,
         default: "0",

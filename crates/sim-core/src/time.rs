@@ -201,7 +201,10 @@ impl Add<SimDuration> for SimTime {
     /// Panics on overflow past [`SimTime::MAX`]; use
     /// [`SimTime::saturating_add`] for "never"-style sentinels.
     fn add(self, d: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(d.0).expect("SimTime overflow"))
+        match self.0.checked_add(d.0) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime overflow: {self:?} + {d:?}"),
+        }
     }
 }
 
@@ -217,8 +220,10 @@ impl Sub<SimTime> for SimTime {
     /// Panics if the right operand is later than the left; use
     /// [`SimTime::saturating_sub`] when the ordering is not guaranteed.
     fn sub(self, earlier: SimTime) -> SimDuration {
-        self.checked_sub(earlier)
-            .expect("SimTime subtraction went negative")
+        match self.checked_sub(earlier) {
+            Some(d) => d,
+            None => panic!("SimTime subtraction went negative: {self:?} - {earlier:?}"),
+        }
     }
 }
 
@@ -227,7 +232,10 @@ impl Add for SimDuration {
     /// # Panics
     /// Panics on overflow.
     fn add(self, other: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(other.0).expect("SimDuration overflow"))
+        match self.0.checked_add(other.0) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration overflow: {self:?} + {other:?}"),
+        }
     }
 }
 

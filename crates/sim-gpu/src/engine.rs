@@ -118,6 +118,11 @@ struct ActiveKernel {
     kernel_index: usize,
     label: String,
     resources: CtaResources,
+    /// `resources` pre-converted to the signed accounting domain, so the
+    /// per-SM fit scan does not re-convert four fields per probe.
+    need_smem: isize,
+    need_regs: isize,
+    need_threads: isize,
     pending: VecDeque<CtaWork>,
     outstanding: usize,
     launch_time: SimTime,
@@ -166,6 +171,18 @@ pub struct Engine {
 /// caps). Clock comparisons are exact integer nanoseconds and need no
 /// epsilon — that is the point of the `SimTime` spine.
 const EPS: f64 = 1e-6;
+
+/// The next `f64` above a positive value (one ulp up; `+inf` maps to
+/// itself). Used to turn a rounded product into a guaranteed upper bound on
+/// the exact product.
+#[inline]
+fn up(x: f64) -> f64 {
+    if x.is_finite() {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        x
+    }
+}
 
 impl Engine {
     /// Creates an engine for `spec`.
@@ -217,6 +234,17 @@ impl Engine {
         let mut total_l2 = 0.0;
         let mut streamed_eff = 0.0;
 
+        // Number of SMs with at least one free CTA slot. Every CTA needs a
+        // slot, so when this hits zero the dispatch scan cannot succeed and
+        // is skipped wholesale (the saturated steady state, where the scan
+        // would otherwise walk every SM once per event).
+        let mut sms_with_free_slots = self.spec.num_sms;
+        // Scratch buffers reused across events (the loop runs O(#CTAs)
+        // times; reallocating these per event dominated the event cost).
+        let mut order: Vec<usize> = Vec::new();
+        let mut finished_kernels: Vec<usize> = Vec::new();
+        let mut loader_scratch: Vec<usize> = Vec::new();
+
         let mut now = SimTime::ZERO;
         loop {
             // 1. Activate stream-head kernels whose launch time has arrived.
@@ -234,6 +262,9 @@ impl Engine {
                         kernel_index: k,
                         label: kernel.label.clone(),
                         resources: kernel.resources,
+                        need_smem: usize_to_isize(kernel.resources.smem_bytes),
+                        need_regs: usize_to_isize(kernel.resources.regs_per_cta()),
+                        need_threads: usize_to_isize(kernel.resources.threads),
                         pending: kernel.ctas.iter().copied().collect(),
                         outstanding: 0,
                         launch_time: now,
@@ -247,55 +278,70 @@ impl Engine {
             //    oldest kernel first; launch-time ties go to the kernel with
             //    the larger per-CTA footprint so big CTAs are not starved by
             //    a flood of small ones filling every partially-free SM).
-            let mut order: Vec<usize> = (0..active.len()).collect();
-            order.sort_by(|&a, &b| {
-                active[a]
-                    .launch_time
-                    .cmp(&active[b].launch_time)
-                    .then_with(|| {
-                        active[b]
-                            .resources
-                            .smem_bytes
-                            .cmp(&active[a].resources.smem_bytes)
-                    })
-            });
-            for idx in order {
-                while let Some(&work) = active[idx].pending.front() {
-                    let res = active[idx].resources;
-                    let slot = sms.iter().position(|sm| {
-                        sm.free_smem >= usize_to_isize(res.smem_bytes)
-                            && sm.free_regs >= usize_to_isize(res.regs_per_cta())
-                            && sm.free_threads >= usize_to_isize(res.threads)
-                            && sm.free_slots >= 1
+            let any_pending = active.iter().any(|k| !k.pending.is_empty());
+            if any_pending && sms_with_free_slots > 0 {
+                order.clear();
+                order.extend(0..active.len());
+                if order.len() > 1 {
+                    order.sort_by(|&a, &b| {
+                        active[a]
+                            .launch_time
+                            .cmp(&active[b].launch_time)
+                            .then_with(|| {
+                                active[b]
+                                    .resources
+                                    .smem_bytes
+                                    .cmp(&active[a].resources.smem_bytes)
+                            })
                     });
-                    let Some(sm) = slot else { break };
-                    sms[sm].free_smem -= usize_to_isize(res.smem_bytes);
-                    sms[sm].free_regs -= usize_to_isize(res.regs_per_cta());
-                    sms[sm].free_threads -= usize_to_isize(res.threads);
-                    sms[sm].free_slots -= 1;
-                    active[idx].pending.pop_front();
-                    active[idx].outstanding += 1;
-                    if active[idx].first_dispatch.is_none() {
-                        active[idx].first_dispatch = Some(now);
+                }
+                for &idx in &order {
+                    let need_smem = active[idx].need_smem;
+                    let need_regs = active[idx].need_regs;
+                    let need_threads = active[idx].need_threads;
+                    while let Some(&work) = active[idx].pending.front() {
+                        if sms_with_free_slots == 0 {
+                            break;
+                        }
+                        let slot = sms.iter().position(|sm| {
+                            sm.free_smem >= need_smem
+                                && sm.free_regs >= need_regs
+                                && sm.free_threads >= need_threads
+                                && sm.free_slots >= 1
+                        });
+                        let Some(sm) = slot else { break };
+                        sms[sm].free_smem -= need_smem;
+                        sms[sm].free_regs -= need_regs;
+                        sms[sm].free_threads -= need_threads;
+                        sms[sm].free_slots -= 1;
+                        if sms[sm].free_slots == 0 {
+                            sms_with_free_slots -= 1;
+                        }
+                        active[idx].pending.pop_front();
+                        active[idx].outstanding += 1;
+                        if active[idx].first_dispatch.is_none() {
+                            active[idx].first_dispatch = Some(now);
+                        }
+                        total_dram += work.dram_bytes;
+                        total_l2 += work.l2_bytes;
+                        running.push(RunningCta {
+                            sm,
+                            active_kernel: idx,
+                            tag: work.tag,
+                            start: now,
+                            remaining: work.dram_bytes + work.l2_bytes * l2_speedup,
+                            rate_cap: work.rate_cap.max(EPS),
+                            // Cost models hand in f64 ns; this is the lossy
+                            // ingest boundary onto the integer spine. Floors and
+                            // tails round UP so quantization never shortens a
+                            // span below its cost-model minimum.
+                            floor_end: now
+                                + SimDuration::from_ns_f64_ceil(work.min_exec_ns.max(0.0)),
+                            tail: SimDuration::from_ns_f64_ceil(work.tail_ns.max(0.0)),
+                            tail_applied: false,
+                            rate: 0.0,
+                        });
                     }
-                    total_dram += work.dram_bytes;
-                    total_l2 += work.l2_bytes;
-                    running.push(RunningCta {
-                        sm,
-                        active_kernel: idx,
-                        tag: work.tag,
-                        start: now,
-                        remaining: work.dram_bytes + work.l2_bytes * l2_speedup,
-                        rate_cap: work.rate_cap.max(EPS),
-                        // Cost models hand in f64 ns; this is the lossy
-                        // ingest boundary onto the integer spine. Floors and
-                        // tails round UP so quantization never shortens a
-                        // span below its cost-model minimum.
-                        floor_end: now + SimDuration::from_ns_f64_ceil(work.min_exec_ns.max(0.0)),
-                        tail: SimDuration::from_ns_f64_ceil(work.tail_ns.max(0.0)),
-                        tail_applied: false,
-                        rate: 0.0,
-                    });
                 }
             }
 
@@ -321,25 +367,51 @@ impl Engine {
             Self::waterfill(
                 &mut running,
                 self.spec.global_bandwidth * self.spec.dram_efficiency,
+                &mut loader_scratch,
             );
 
             // 4. Find the next event. Fractional f64 waits (bytes / rate)
             //    quantize *up* to whole nanoseconds so every step strictly
             //    advances the integer clock.
+            //
+            // The bytes-done candidate is `min_i ceil(remaining_i / rate_i)`.
+            // Both rounding-to-nearest division and ceil are weakly monotone
+            // in the real quotient, so the minimum commutes with them: track
+            // the smallest *quotient* and convert once. A CTA whose
+            // `remaining > up(best * rate)` has a real quotient strictly
+            // above `best` (up() bumps one ulp, covering the product's
+            // rounding error) and provably cannot improve the minimum — the
+            // common case, decided by one multiply instead of one divide.
             let step_floor = now + SimDuration::NANOSECOND;
+            let mut best_quot = f64::INFINITY;
+            let mut best_stall: Option<SimTime> = None;
+            for cta in &running {
+                if cta.remaining > EPS && cta.rate > EPS {
+                    // Wake at the bytes-done moment to re-waterfill (the
+                    // compute floor is checked again at retirement).
+                    let bound = up(best_quot * cta.rate);
+                    if cta.remaining > bound {
+                        continue;
+                    }
+                    let q = cta.remaining / cta.rate;
+                    if q < best_quot {
+                        best_quot = q;
+                    }
+                } else {
+                    let t = cta.floor_end;
+                    best_stall = Some(best_stall.map_or(t, |cur| cur.min(t)));
+                }
+            }
             let mut next_event: Option<SimTime> = None;
             let mut consider = |t: SimTime| {
                 let t = t.max(step_floor);
                 next_event = Some(next_event.map_or(t, |cur| cur.min(t)));
             };
-            for cta in &running {
-                if cta.remaining > EPS && cta.rate > EPS {
-                    // Wake at the bytes-done moment to re-waterfill (the
-                    // compute floor is checked again at retirement).
-                    consider(now + SimDuration::from_ns_f64_ceil(cta.remaining / cta.rate));
-                } else {
-                    consider(cta.floor_end);
-                }
+            if best_quot.is_finite() {
+                consider(now + SimDuration::from_ns_f64_ceil(best_quot));
+            }
+            if let Some(t) = best_stall {
+                consider(t);
             }
             for (s, _) in streams.iter().enumerate() {
                 if next_kernel[s] < streams[s].kernels.len()
@@ -372,17 +444,20 @@ impl Engine {
                     cta.floor_end = cta.floor_end.max(now + cta.tail);
                 }
             }
-            let mut finished_kernels: Vec<usize> = Vec::new();
+            finished_kernels.clear();
             let mut i = 0;
             while i < running.len() {
                 let done = running[i].remaining <= EPS && running[i].floor_end <= now;
                 if done {
                     let cta = running.swap_remove(i);
-                    let res = active[cta.active_kernel].resources;
-                    sms[cta.sm].free_smem += usize_to_isize(res.smem_bytes);
-                    sms[cta.sm].free_regs += usize_to_isize(res.regs_per_cta());
-                    sms[cta.sm].free_threads += usize_to_isize(res.threads);
+                    let kernel = &active[cta.active_kernel];
+                    sms[cta.sm].free_smem += kernel.need_smem;
+                    sms[cta.sm].free_regs += kernel.need_regs;
+                    sms[cta.sm].free_threads += kernel.need_threads;
                     sms[cta.sm].free_slots += 1;
+                    if sms[cta.sm].free_slots == 1 {
+                        sms_with_free_slots += 1;
+                    }
                     trace.ctas.push(CtaSpan {
                         stream: active[cta.active_kernel].stream,
                         kernel: active[cta.active_kernel].label.clone(),
@@ -446,18 +521,29 @@ impl Engine {
     }
 
     /// Max-min fair sharing of `budget` bytes/ns among loading CTAs, each
-    /// capped at its own `rate_cap`.
-    fn waterfill(running: &mut [RunningCta], budget: f64) {
-        let mut loaders: Vec<usize> = (0..running.len())
-            .filter(|&i| running[i].remaining > EPS)
-            .collect();
-        for &i in &loaders {
-            running[i].rate = 0.0;
+    /// capped at its own `rate_cap`. `loaders` is caller-owned scratch so the
+    /// per-event call does not allocate.
+    fn waterfill(running: &mut [RunningCta], budget: f64, loaders: &mut Vec<usize>) {
+        loaders.clear();
+        // Track whether the cap sequence is already non-decreasing while
+        // collecting; plans overwhelmingly run homogeneous tiles (equal
+        // caps), where the stable sort is the identity and can be skipped.
+        let mut sorted = true;
+        let mut prev_cap = f64::NEG_INFINITY;
+        for (i, cta) in running.iter_mut().enumerate() {
+            if cta.remaining > EPS {
+                sorted &= prev_cap <= cta.rate_cap;
+                prev_cap = cta.rate_cap;
+                cta.rate = 0.0;
+                loaders.push(i);
+            }
         }
-        loaders.sort_by(|&a, &b| running[a].rate_cap.total_cmp(&running[b].rate_cap));
+        if !sorted {
+            loaders.sort_by(|&a, &b| running[a].rate_cap.total_cmp(&running[b].rate_cap));
+        }
         let mut remaining_budget = budget;
         let mut remaining_n = loaders.len();
-        for &i in &loaders {
+        for &i in loaders.iter() {
             let fair = remaining_budget / remaining_n as f64;
             let rate = running[i].rate_cap.min(fair);
             running[i].rate = rate;
